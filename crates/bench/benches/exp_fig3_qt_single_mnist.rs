@@ -1,0 +1,15 @@
+//! Experiment: **Figure 3** — single-source DR+CR+QT sweep on MNIST.
+//!
+//! Panels: (a) normalized k-means cost, (b) normalized communication
+//! cost, (c) source running time — each versus the quantizer's
+//! significant-bit count `s` for FSS+QT and the +QT variants of
+//! Algorithms 1–3.
+
+use ekm_bench::config::Scale;
+use ekm_bench::datasets::mnist_workload;
+use ekm_bench::qt_sweep::run_centralized_sweep;
+
+fn main() {
+    let workload = mnist_workload(Scale::from_env(), 61);
+    run_centralized_sweep("fig3_qt_mnist", workload.name, &workload.data);
+}

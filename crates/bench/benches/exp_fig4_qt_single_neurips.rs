@@ -1,0 +1,14 @@
+//! Experiment: **Figure 4** — single-source DR+CR+QT sweep on NeurIPS.
+//!
+//! Same panels as Figure 3 on the high-dimensional word-count workload,
+//! where the four-step JL+FSS+JL+QT procedure shows its full advantage
+//! (paper §7.3.2 observation iii).
+
+use ekm_bench::config::Scale;
+use ekm_bench::datasets::neurips_workload;
+use ekm_bench::qt_sweep::run_centralized_sweep;
+
+fn main() {
+    let workload = neurips_workload(Scale::from_env(), 62);
+    run_centralized_sweep("fig4_qt_neurips", workload.name, &workload.data);
+}

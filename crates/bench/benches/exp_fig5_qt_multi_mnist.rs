@@ -1,0 +1,16 @@
+//! Experiment: **Figure 5** — multi-source DR+CR+QT sweep on MNIST.
+//!
+//! BKLW+QT versus JL+BKLW+QT (Algorithm 4 + QT) across the quantizer's
+//! significant-bit count, with 10 data sources.
+
+use ekm_bench::config::{Scale, DISTRIBUTED_SOURCES};
+use ekm_bench::datasets::mnist_workload;
+use ekm_bench::qt_sweep::run_distributed_sweep;
+use ekm_data::partition::partition_uniform;
+
+fn main() {
+    let workload = mnist_workload(Scale::from_env(), 63);
+    let shards =
+        partition_uniform(&workload.data, DISTRIBUTED_SOURCES, 0xF15).expect("partition");
+    run_distributed_sweep("fig5_qt_multi_mnist", workload.name, &workload.data, &shards);
+}

@@ -1,0 +1,15 @@
+//! Experiment: **Figure 6** — multi-source DR+CR+QT sweep on NeurIPS.
+//!
+//! Same as Figure 5 on the high-dimensional word-count workload.
+
+use ekm_bench::config::{Scale, DISTRIBUTED_SOURCES};
+use ekm_bench::datasets::neurips_workload;
+use ekm_bench::qt_sweep::run_distributed_sweep;
+use ekm_data::partition::partition_uniform;
+
+fn main() {
+    let workload = neurips_workload(Scale::from_env(), 64);
+    let shards =
+        partition_uniform(&workload.data, DISTRIBUTED_SOURCES, 0xF16).expect("partition");
+    run_distributed_sweep("fig6_qt_multi_neurips", workload.name, &workload.data, &shards);
+}

@@ -1,0 +1,88 @@
+//! Experiment: **§6.3** — configuring joint DR, CR, and QT.
+//!
+//! Reproduces the analysis of §6.3.2: for each significant-bit count `s`,
+//! compute the quantization error `ε_QT`, the largest feasible ε under
+//! the approximation-error constraint (21b), and the modeled
+//! communication cost (24) with the paper's constants
+//! (`C1 = 54912(1+log₂3)(1+log₂(26/3))/225`, `C2 = 24`, `C3 = 2`);
+//! then report the cost-minimizing configuration, for several error
+//! budgets `Y₀`.
+//!
+//! The lower bound `E ≤ cost(P, X*)` comes from the §6.3.1
+//! adaptive-sampling estimator run on the actual workload.
+
+use ekm_bench::config::Scale;
+use ekm_bench::datasets::mnist_workload;
+use ekm_bench::report;
+use ekm_clustering::lower_bound::cost_lower_bound;
+use ekm_quant::QtOptimizer;
+
+fn main() {
+    report::banner("Section 6.3: optimal joint DR/CR/QT configuration");
+    let workload = mnist_workload(Scale::from_env(), 71);
+    let data = &workload.data;
+    let (n, d) = data.shape();
+    println!("dataset {} ({n} x {d}), k = 2", workload.name);
+
+    let weights = vec![1.0; n];
+    let e = cost_lower_bound(data, &weights, 2, 0.1, 9).expect("lower bound");
+    println!(
+        "adaptive-sampling lower bound: E = {:.4} (bicriteria cost {:.4}, {} trials)",
+        e.lower_bound, e.bicriteria_cost, e.trials
+    );
+
+    for y0 in [1.5f64, 2.0, 3.0, 5.0] {
+        let optimizer = QtOptimizer {
+            n,
+            d,
+            k: 2,
+            y0,
+            delta0: 0.1,
+            lower_bound_e: e.lower_bound.max(1e-9),
+            diameter: 2.0 * (d as f64).sqrt(),
+            max_norm: data.max_row_norm(),
+        };
+        match optimizer.optimize() {
+            Ok(rep) => {
+                let columns = vec![
+                    "epsilon_qt".to_string(),
+                    "max_epsilon".to_string(),
+                    "modeled_comm".to_string(),
+                ];
+                let rows: Vec<(f64, Vec<f64>)> = rep
+                    .candidates
+                    .iter()
+                    .map(|c| {
+                        (
+                            c.s as f64,
+                            vec![
+                                c.epsilon_qt,
+                                c.epsilon.unwrap_or(f64::NAN),
+                                c.comm_cost.unwrap_or(f64::NAN),
+                            ],
+                        )
+                    })
+                    .collect();
+                report::print_series_table(
+                    "sec63_qt_config",
+                    &format!("config_y0_{}", (y0 * 10.0) as u32),
+                    &format!("Per-s evaluation under Y0 = {y0} (NaN = infeasible)"),
+                    "s",
+                    &columns,
+                    &rows,
+                );
+                let best = rep.best();
+                println!(
+                    "==> Y0 = {y0}: optimal s* = {} (epsilon = {:.4}, modeled comm {:.4e})",
+                    best.s,
+                    best.epsilon.unwrap_or(f64::NAN),
+                    best.comm_cost.unwrap_or(f64::NAN)
+                );
+            }
+            Err(err) => println!("==> Y0 = {y0}: {err}"),
+        }
+    }
+    println!("\nExpected shapes (paper §7.3.2): the optimum is interior — very small");
+    println!("s is infeasible (quantization error alone exceeds the budget), very");
+    println!("large s wastes bits; tighter Y0 pushes s* upward.");
+}

@@ -1,0 +1,184 @@
+//! Experiment: **Table 2** — empirical validation of the communication
+//! and complexity scaling.
+//!
+//! Table 2 predicts, as functions of the dataset shape `(n, d)`:
+//!
+//! | algorithm | communication | source complexity |
+//! |---|---|---|
+//! | FSS | `O(kd/ε²)` — **linear in d**, flat in n | `O(nd·min(n,d))` |
+//! | JL+FSS (Alg 1) | `O(k·log n/ε⁴)` — flat in d | `Õ(nd/ε²)` |
+//! | FSS+JL (Alg 2) | `Õ(k³/ε⁶)` — flat in n and d | `O(nd·min(n,d))` |
+//! | JL+FSS+JL (Alg 3) | `Õ(k³/ε⁶)` — flat | `Õ(nd/ε²)` |
+//! | BKLW | `O(mkd/ε²)` | `O(nd·min(n,d))` |
+//! | JL+BKLW (Alg 4) | `O(mk·log n/ε⁴)` | `Õ(nd/ε⁴)` |
+//!
+//! This harness sweeps `d` at fixed `n` and `n` at fixed `d`, measuring
+//! transmitted bits and source seconds, and prints the growth factors so
+//! the flat-vs-linear distinctions are visible directly.
+//!
+//! Note on faithfulness: the *derived* sizes (coreset cardinality, JL
+//! dimensions, PCA rank) are held fixed across the sweep — the same
+//! `(k, ε)` configuration applied to growing data — exactly how the
+//! theorems state their bounds.
+
+use ekm_bench::report;
+use ekm_core::distributed::{Bklw, DistributedPipeline, JlBklw};
+use ekm_core::params::SummaryParams;
+use ekm_core::pipelines::{CentralizedPipeline, Fss, FssJl, JlFss, JlFssJl};
+use ekm_data::normalize::normalize_paper;
+use ekm_data::partition::partition_uniform;
+use ekm_data::synth::GaussianMixture;
+use ekm_linalg::Matrix;
+use ekm_net::Network;
+
+fn workload(n: usize, d: usize, seed: u64) -> Matrix {
+    let raw = GaussianMixture::new(n, d, 2)
+        .with_separation(4.0)
+        .with_seed(seed)
+        .generate()
+        .expect("valid mixture")
+        .points;
+    normalize_paper(&raw).0
+}
+
+/// Fixed-knob parameters so the sweep isolates (n, d) scaling.
+fn fixed_params(seed: u64) -> SummaryParams {
+    SummaryParams::practical(2, 4_000, 256)
+        .with_coreset_size(300)
+        .with_pca_dim(16)
+        .with_jl_dim_before(48)
+        .with_jl_dim_after(24)
+        .with_seed(seed)
+}
+
+fn centralized_algorithms() -> Vec<(String, Box<dyn Fn(SummaryParams) -> Box<dyn CentralizedPipeline>>)> {
+    vec![
+        ("FSS".into(), Box::new(|p| Box::new(Fss::new(p)) as Box<dyn CentralizedPipeline>)),
+        ("JL+FSS".into(), Box::new(|p| Box::new(JlFss::new(p)) as Box<dyn CentralizedPipeline>)),
+        ("FSS+JL".into(), Box::new(|p| Box::new(FssJl::new(p)) as Box<dyn CentralizedPipeline>)),
+        ("JL+FSS+JL".into(), Box::new(|p| Box::new(JlFssJl::new(p)) as Box<dyn CentralizedPipeline>)),
+    ]
+}
+
+fn distributed_algorithms() -> Vec<(String, Box<dyn Fn(SummaryParams) -> Box<dyn DistributedPipeline>>)> {
+    vec![
+        ("BKLW".into(), Box::new(|p| Box::new(Bklw::new(p)) as Box<dyn DistributedPipeline>)),
+        ("JL+BKLW".into(), Box::new(|p| Box::new(JlBklw::new(p)) as Box<dyn DistributedPipeline>)),
+    ]
+}
+
+fn sweep_dimension() {
+    let n = 1_500;
+    let dims = [64usize, 128, 256, 512];
+    let mut columns: Vec<String> = Vec::new();
+    let mut bit_rows: Vec<(f64, Vec<f64>)> = dims.iter().map(|&d| (d as f64, vec![])).collect();
+    let mut time_rows: Vec<(f64, Vec<f64>)> = dims.iter().map(|&d| (d as f64, vec![])).collect();
+
+    for (name, factory) in centralized_algorithms() {
+        columns.push(name);
+        for (row, &d) in dims.iter().enumerate() {
+            let data = workload(n, d, 7 + d as u64);
+            let mut net = Network::new(1);
+            let out = factory(fixed_params(1)).run(&data, &mut net).expect("run");
+            bit_rows[row].1.push(out.uplink_bits as f64);
+            time_rows[row].1.push(out.source_seconds);
+        }
+    }
+    for (name, factory) in distributed_algorithms() {
+        columns.push(name);
+        for (row, &d) in dims.iter().enumerate() {
+            let data = workload(n, d, 7 + d as u64);
+            let shards = partition_uniform(&data, 5, 3).expect("partition");
+            let mut net = Network::new(5);
+            let out = factory(fixed_params(1)).run(&shards, &mut net).expect("run");
+            bit_rows[row].1.push(out.uplink_bits as f64);
+            time_rows[row].1.push(out.source_seconds);
+        }
+    }
+
+    report::print_series_table(
+        "table2_scaling",
+        "comm_vs_d",
+        &format!("Uplink bits vs dimension d (n = {n} fixed)"),
+        "d",
+        &columns,
+        &bit_rows,
+    );
+    report::print_series_table(
+        "table2_scaling",
+        "time_vs_d",
+        &format!("Source seconds vs dimension d (n = {n} fixed)"),
+        "d",
+        &columns,
+        &time_rows,
+    );
+    print_growth("communication growth d: 64 -> 512 (factor)", &columns, &bit_rows);
+}
+
+fn sweep_cardinality() {
+    let d = 128;
+    let ns = [1_000usize, 2_000, 4_000, 8_000];
+    let mut columns: Vec<String> = Vec::new();
+    let mut bit_rows: Vec<(f64, Vec<f64>)> = ns.iter().map(|&n| (n as f64, vec![])).collect();
+    let mut time_rows: Vec<(f64, Vec<f64>)> = ns.iter().map(|&n| (n as f64, vec![])).collect();
+
+    for (name, factory) in centralized_algorithms() {
+        columns.push(name);
+        for (row, &n) in ns.iter().enumerate() {
+            let data = workload(n, d, 11 + n as u64);
+            let mut net = Network::new(1);
+            let out = factory(fixed_params(2)).run(&data, &mut net).expect("run");
+            bit_rows[row].1.push(out.uplink_bits as f64);
+            time_rows[row].1.push(out.source_seconds);
+        }
+    }
+    for (name, factory) in distributed_algorithms() {
+        columns.push(name);
+        for (row, &n) in ns.iter().enumerate() {
+            let data = workload(n, d, 11 + n as u64);
+            let shards = partition_uniform(&data, 5, 3).expect("partition");
+            let mut net = Network::new(5);
+            let out = factory(fixed_params(2)).run(&shards, &mut net).expect("run");
+            bit_rows[row].1.push(out.uplink_bits as f64);
+            time_rows[row].1.push(out.source_seconds);
+        }
+    }
+
+    report::print_series_table(
+        "table2_scaling",
+        "comm_vs_n",
+        &format!("Uplink bits vs cardinality n (d = {d} fixed)"),
+        "n",
+        &columns,
+        &bit_rows,
+    );
+    report::print_series_table(
+        "table2_scaling",
+        "time_vs_n",
+        &format!("Source seconds vs cardinality n (d = {d} fixed)"),
+        "n",
+        &columns,
+        &time_rows,
+    );
+    print_growth("communication growth n: 1000 -> 8000 (factor)", &columns, &bit_rows);
+}
+
+fn print_growth(title: &str, columns: &[String], rows: &[(f64, Vec<f64>)]) {
+    println!("\n{title}:");
+    let first = &rows.first().expect("rows").1;
+    let last = &rows.last().expect("rows").1;
+    for (i, c) in columns.iter().enumerate() {
+        println!("  {c:<12} {:>8.2}x", last[i] / first[i]);
+    }
+}
+
+fn main() {
+    report::banner("Table 2: communication/complexity scaling in n and d");
+    sweep_dimension();
+    sweep_cardinality();
+    println!("\nExpected shapes (paper Table 2): FSS and BKLW communication grows");
+    println!("~linearly in d while the JL/twice-projected variants stay flat; no");
+    println!("algorithm's communication grows linearly in n (coreset sizes are");
+    println!("constant; JL+FSS grows only logarithmically via the summary header).");
+    println!("Source time of FSS-first methods grows super-linearly in min(n,d).");
+}

@@ -1,0 +1,70 @@
+//! Experiment-scale configuration from environment variables.
+
+/// Scale of the experiment datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced shapes that finish the whole suite in minutes (default).
+    Small,
+    /// The paper's shapes (60000×784 MNIST, 11463×5812 NeurIPS).
+    Full,
+}
+
+impl Scale {
+    /// Reads `EKM_SCALE` (`small`/`full`, case-insensitive).
+    pub fn from_env() -> Scale {
+        match std::env::var("EKM_SCALE") {
+            Ok(v) if v.eq_ignore_ascii_case("full") => Scale::Full,
+            _ => Scale::Small,
+        }
+    }
+
+    /// MNIST-workload shape `(n, side)` at this scale.
+    pub fn mnist_shape(&self) -> (usize, usize) {
+        match self {
+            Scale::Small => (2_000, 14),
+            Scale::Full => (60_000, 28),
+        }
+    }
+
+    /// NeurIPS-workload shape `(n_words, n_papers)` at this scale.
+    pub fn neurips_shape(&self) -> (usize, usize) {
+        match self {
+            Scale::Small => (1_500, 500),
+            Scale::Full => (11_463, 5_812),
+        }
+    }
+}
+
+/// Monte-Carlo repetitions: `EKM_MC`, default `default` (the paper uses
+/// 10).
+pub fn monte_carlo_runs(default: usize) -> usize {
+    std::env::var("EKM_MC")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&v| v >= 1)
+        .unwrap_or(default)
+}
+
+/// The number of data sources in the distributed experiments (paper: 10).
+pub const DISTRIBUTED_SOURCES: usize = 10;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_paper_at_full_scale() {
+        assert_eq!(Scale::Full.mnist_shape(), (60_000, 28));
+        assert_eq!(Scale::Full.neurips_shape(), (11_463, 5_812));
+        let (n, side) = Scale::Small.mnist_shape();
+        assert!(n >= 1000 && side * side >= 100);
+    }
+
+    #[test]
+    fn mc_default() {
+        // Without EKM_MC set (test env), the default flows through.
+        if std::env::var("EKM_MC").is_err() {
+            assert_eq!(monte_carlo_runs(7), 7);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Workload construction for the experiment harnesses.
+
+use crate::config::Scale;
+use ekm_data::mnist_like::MnistLike;
+use ekm_data::neurips_like::NeurIpsLike;
+use ekm_data::normalize::normalize_paper;
+use ekm_linalg::Matrix;
+
+/// A named, normalized experiment workload.
+pub struct Workload {
+    /// Display name ("MNIST"-like or "NeurIPS"-like).
+    pub name: &'static str,
+    /// Normalized data (zero mean, `[-1, 1]`).
+    pub data: Matrix,
+}
+
+/// Builds the MNIST workload: the real dataset when `EKM_MNIST_DIR` is
+/// set and readable, the synthetic stand-in otherwise (DESIGN.md
+/// "Substitutions").
+pub fn mnist_workload(scale: Scale, seed: u64) -> Workload {
+    if let Ok(dir) = std::env::var("EKM_MNIST_DIR") {
+        if let Ok(raw) = ekm_data::idx::load_mnist_train_images(&dir) {
+            let (n, _) = raw.shape();
+            let keep = match scale {
+                Scale::Full => n,
+                Scale::Small => n.min(2_000),
+            };
+            let subset = raw.select_rows(&(0..keep).collect::<Vec<_>>());
+            let (data, _) = normalize_paper(&subset);
+            return Workload {
+                name: "MNIST(real)",
+                data,
+            };
+        }
+        eprintln!("warning: EKM_MNIST_DIR set but unreadable; using the synthetic stand-in");
+    }
+    let (n, side) = scale.mnist_shape();
+    let ds = MnistLike::new(n, side)
+        .with_seed(seed)
+        .generate()
+        .expect("valid generator parameters");
+    Workload {
+        name: "MNIST-like",
+        data: normalize_paper(&ds.points).0,
+    }
+}
+
+/// Builds the NeurIPS word-count workload (synthetic stand-in).
+pub fn neurips_workload(scale: Scale, seed: u64) -> Workload {
+    let (n, d) = scale.neurips_shape();
+    let ds = NeurIpsLike::new(n, d)
+        .with_seed(seed)
+        .generate()
+        .expect("valid generator parameters");
+    Workload {
+        name: "NeurIPS-like",
+        data: normalize_paper(&ds.points).0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_workloads_have_expected_shapes() {
+        let m = mnist_workload(Scale::Small, 1);
+        if m.name == "MNIST-like" {
+            assert_eq!(m.data.shape(), (2_000, 196));
+        }
+        let w = neurips_workload(Scale::Small, 1);
+        assert_eq!(w.data.shape(), (1_500, 500));
+        // Normalized.
+        assert!(w.data.mean_row().iter().all(|v| v.abs() < 1e-9));
+    }
+}

@@ -1,0 +1,24 @@
+//! Shared infrastructure for the experiment harnesses in `benches/`.
+//!
+//! Every table and figure of the paper's evaluation (§7) has a dedicated
+//! `harness = false` bench target that uses these helpers to generate the
+//! workload, run Monte-Carlo trials, and print the same rows/series the
+//! paper reports (plus CSV files under `target/ekm-exp/`).
+//!
+//! Environment knobs:
+//!
+//! * `EKM_SCALE` — `small` (default; minutes for the whole suite) or
+//!   `full` (the paper's 60000×784 / 11463×5812 shapes; hours).
+//! * `EKM_MC` — Monte-Carlo repetitions (default 10, like the paper).
+//! * `EKM_MNIST_DIR` — directory with the real `train-images-idx3-ubyte`;
+//!   when set, the MNIST workload uses it instead of the synthetic
+//!   stand-in.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod datasets;
+pub mod qt_sweep;
+pub mod report;
+pub mod runner;

@@ -1,0 +1,153 @@
+//! Shared driver for the quantization sweeps (paper Figures 3–6).
+//!
+//! For each significant-bit count `s` the driver builds the `+QT` variant
+//! of every pipeline, runs Monte-Carlo trials, and records the three
+//! per-panel metrics: normalized k-means cost (panel a), normalized
+//! communication cost (panel b), and source running time (panel c).
+//! `s = 53` denotes the unquantized configuration (the paper's right-most
+//! points).
+
+use crate::config::monte_carlo_runs;
+use crate::report;
+use crate::runner::{make_reference, run_centralized_mc, run_distributed_mc};
+use ekm_core::distributed::{Bklw, DistributedPipeline, JlBklw};
+use ekm_core::params::SummaryParams;
+use ekm_core::pipelines::{CentralizedPipeline, Fss, FssJl, JlFss, JlFssJl};
+use ekm_linalg::Matrix;
+use ekm_quant::RoundingQuantizer;
+
+/// The default sweep grid: dense at small `s` (where the paper's curves
+/// move), sparse after, with 53 = no quantization.
+pub fn default_grid() -> Vec<u32> {
+    vec![1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20, 26, 32, 40, 46, 52, 53]
+}
+
+fn with_quantizer(base: &SummaryParams, s: u32) -> SummaryParams {
+    if s >= 53 {
+        base.clone().without_quantizer()
+    } else {
+        base.clone()
+            .with_quantizer(RoundingQuantizer::new(s).expect("grid s valid"))
+    }
+}
+
+/// Runs the single-source sweep (Figures 3 and 4) and prints/writes the
+/// three panels.
+pub fn run_centralized_sweep(experiment: &str, dataset_name: &str, data: &Matrix) {
+    let (n, d) = data.shape();
+    let mc = monte_carlo_runs(3);
+    report::banner(&format!(
+        "{experiment}: single-source DR+CR+QT sweep on {dataset_name} ({n} x {d}), {mc} MC runs"
+    ));
+    let reference = make_reference(data, 2);
+    let base = SummaryParams::practical(2, n, d);
+
+    type Factory = fn(SummaryParams) -> Box<dyn CentralizedPipeline>;
+    let algorithms: Vec<(&str, Factory)> = vec![
+        ("FSS+QT", |p| Box::new(Fss::new(p))),
+        ("JL+FSS+QT", |p| Box::new(JlFss::new(p))),
+        ("FSS+JL+QT", |p| Box::new(FssJl::new(p))),
+        ("JL+FSS+JL+QT", |p| Box::new(JlFssJl::new(p))),
+    ];
+
+    let columns: Vec<String> = algorithms.iter().map(|(name, _)| (*name).into()).collect();
+    let mut cost_rows = Vec::new();
+    let mut comm_rows = Vec::new();
+    let mut time_rows = Vec::new();
+    for &s in &default_grid() {
+        let mut costs = Vec::new();
+        let mut comms = Vec::new();
+        let mut times = Vec::new();
+        for (_, factory) in &algorithms {
+            let params = with_quantizer(&base, s);
+            let mc_result = run_centralized_mc(data, &reference, mc, &params, factory);
+            costs.push(mc_result.mean(|t| t.normalized_cost));
+            comms.push(mc_result.mean(|t| t.normalized_comm));
+            times.push(mc_result.mean(|t| t.source_seconds));
+        }
+        cost_rows.push((s as f64, costs));
+        comm_rows.push((s as f64, comms));
+        time_rows.push((s as f64, times));
+    }
+    print_panels(experiment, &columns, &cost_rows, &comm_rows, &time_rows);
+}
+
+/// Runs the multi-source sweep (Figures 5 and 6).
+pub fn run_distributed_sweep(
+    experiment: &str,
+    dataset_name: &str,
+    data: &Matrix,
+    shards: &[Matrix],
+) {
+    let (n, d) = data.shape();
+    let mc = monte_carlo_runs(3);
+    report::banner(&format!(
+        "{experiment}: multi-source DR+CR+QT sweep on {dataset_name} ({n} x {d}, m = {}), {mc} MC runs",
+        shards.len()
+    ));
+    let reference = make_reference(data, 2);
+    let base = SummaryParams::practical(2, n, d);
+
+    type Factory = fn(SummaryParams) -> Box<dyn DistributedPipeline>;
+    let algorithms: Vec<(&str, Factory)> = vec![
+        ("BKLW+QT", |p| Box::new(Bklw::new(p))),
+        ("JL+BKLW+QT", |p| Box::new(JlBklw::new(p))),
+    ];
+
+    let columns: Vec<String> = algorithms.iter().map(|(name, _)| (*name).into()).collect();
+    let mut cost_rows = Vec::new();
+    let mut comm_rows = Vec::new();
+    let mut time_rows = Vec::new();
+    for &s in &default_grid() {
+        let mut costs = Vec::new();
+        let mut comms = Vec::new();
+        let mut times = Vec::new();
+        for (_, factory) in &algorithms {
+            let params = with_quantizer(&base, s);
+            let mc_result = run_distributed_mc(data, shards, &reference, mc, &params, factory);
+            costs.push(mc_result.mean(|t| t.normalized_cost));
+            comms.push(mc_result.mean(|t| t.normalized_comm));
+            times.push(mc_result.mean(|t| t.source_seconds));
+        }
+        cost_rows.push((s as f64, costs));
+        comm_rows.push((s as f64, comms));
+        time_rows.push((s as f64, times));
+    }
+    print_panels(experiment, &columns, &cost_rows, &comm_rows, &time_rows);
+}
+
+fn print_panels(
+    experiment: &str,
+    columns: &[String],
+    cost_rows: &[(f64, Vec<f64>)],
+    comm_rows: &[(f64, Vec<f64>)],
+    time_rows: &[(f64, Vec<f64>)],
+) {
+    report::print_series_table(
+        experiment,
+        "panel_a_cost",
+        "Panel (a): normalized k-means cost vs significant bits s (53 = no QT)",
+        "s",
+        columns,
+        cost_rows,
+    );
+    report::print_series_table(
+        experiment,
+        "panel_b_comm",
+        "Panel (b): normalized communication cost vs s",
+        "s",
+        columns,
+        comm_rows,
+    );
+    report::print_series_table(
+        experiment,
+        "panel_c_time",
+        "Panel (c): source running time (s) vs s",
+        "s",
+        columns,
+        time_rows,
+    );
+    println!("\nExpected shapes (paper): communication grows ~linearly in s; cost is");
+    println!("flat for moderate-to-large s and may degrade for very small s; time is");
+    println!("insensitive to s. Suitably small s cuts bits without hurting cost.");
+}

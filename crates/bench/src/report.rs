@@ -1,0 +1,208 @@
+//! Table and CDF printing + CSV output under `target/ekm-exp/`.
+
+use crate::runner::MonteCarlo;
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Directory CSV artifacts are written to: `EKM_OUT_DIR` if set, else the
+/// workspace `target/ekm-exp` (benches run with the package dir as cwd,
+/// so a bare relative path would land inside `crates/bench`).
+pub fn output_dir(experiment: &str) -> PathBuf {
+    let base = std::env::var("EKM_OUT_DIR").map(PathBuf::from).unwrap_or_else(|_| {
+        let manifest = std::env::var("CARGO_MANIFEST_DIR").map(PathBuf::from);
+        match manifest {
+            Ok(m) => {
+                // workspace root = two levels above crates/bench.
+                let ws = m.ancestors().nth(2).map(|p| p.to_path_buf()).unwrap_or(m);
+                ws.join("target").join("ekm-exp")
+            }
+            Err(_) => PathBuf::from("target").join("ekm-exp"),
+        }
+    });
+    let dir = base.join(experiment);
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// Prints a banner for an experiment section.
+pub fn banner(title: &str) {
+    println!("\n==================================================================");
+    println!("{title}");
+    println!("==================================================================");
+}
+
+/// Prints the empirical CDF series of a metric for several Monte-Carlo
+/// runs side by side — the textual form of the paper's Figure 1/2 panels —
+/// and writes `<experiment>/<file>.csv`.
+pub fn print_cdfs<F: Fn(&crate::runner::TrialMetrics) -> f64 + Copy>(
+    experiment: &str,
+    file: &str,
+    metric_label: &str,
+    series: &[&MonteCarlo],
+    metric: F,
+) {
+    println!("\nCDF of {metric_label}:");
+    print!("{:>8}", "CDF");
+    for mc in series {
+        print!(" {:>14}", mc.name);
+    }
+    println!();
+    let n = series.first().map(|m| m.trials.len()).unwrap_or(0);
+    let sorted: Vec<Vec<f64>> = series.iter().map(|m| m.sorted(metric)).collect();
+    for i in 0..n {
+        print!("{:>8.3}", (i + 1) as f64 / n as f64);
+        for s in &sorted {
+            print!(" {:>14.6}", s[i]);
+        }
+        println!();
+    }
+
+    let path = output_dir(experiment).join(format!("{file}.csv"));
+    if let Ok(mut f) = fs::File::create(&path) {
+        let _ = write!(f, "cdf");
+        for mc in series {
+            let _ = write!(f, ",{}", mc.name);
+        }
+        let _ = writeln!(f);
+        for i in 0..n {
+            let _ = write!(f, "{}", (i + 1) as f64 / n as f64);
+            for s in &sorted {
+                let _ = write!(f, ",{}", s[i]);
+            }
+            let _ = writeln!(f);
+        }
+        println!("(csv: {})", path.display());
+    }
+}
+
+/// Prints a one-row-per-algorithm summary table of metric means and
+/// writes it as CSV.
+pub fn print_mean_table(
+    experiment: &str,
+    file: &str,
+    title: &str,
+    series: &[&MonteCarlo],
+) {
+    println!("\n{title}:");
+    println!(
+        "{:<14} {:>14} {:>14} {:>12} {:>12}",
+        "algorithm", "norm. cost", "norm. comm", "source (s)", "server (s)"
+    );
+    let path = output_dir(experiment).join(format!("{file}.csv"));
+    let mut csv = fs::File::create(&path).ok();
+    if let Some(f) = csv.as_mut() {
+        let _ = writeln!(f, "algorithm,norm_cost,norm_comm,source_s,server_s");
+    }
+    for mc in series {
+        let cost = mc.mean(|t| t.normalized_cost);
+        let comm = mc.mean(|t| t.normalized_comm);
+        let src = mc.mean(|t| t.source_seconds);
+        let srv = mc.mean(|t| t.server_seconds);
+        println!(
+            "{:<14} {:>14.4} {:>14.4e} {:>12.4} {:>12.4}",
+            mc.name, cost, comm, src, srv
+        );
+        if let Some(f) = csv.as_mut() {
+            let _ = writeln!(f, "{},{},{},{},{}", mc.name, cost, comm, src, srv);
+        }
+    }
+    println!("(csv: {})", path.display());
+}
+
+/// Writes an arbitrary series table (e.g. quantization sweeps) as CSV and
+/// prints it. `columns` are the column labels beyond the x column; `rows`
+/// are `(x, values…)`.
+pub fn print_series_table(
+    experiment: &str,
+    file: &str,
+    title: &str,
+    x_label: &str,
+    columns: &[String],
+    rows: &[(f64, Vec<f64>)],
+) {
+    println!("\n{title}:");
+    print!("{x_label:>8}");
+    for c in columns {
+        print!(" {c:>14}");
+    }
+    println!();
+    for (x, vals) in rows {
+        print!("{x:>8.0}");
+        for v in vals {
+            print!(" {v:>14.6}");
+        }
+        println!();
+    }
+    let path = output_dir(experiment).join(format!("{file}.csv"));
+    if let Ok(mut f) = fs::File::create(&path) {
+        let _ = write!(f, "{x_label}");
+        for c in columns {
+            let _ = write!(f, ",{c}");
+        }
+        let _ = writeln!(f);
+        for (x, vals) in rows {
+            let _ = write!(f, "{x}");
+            for v in vals {
+                let _ = write!(f, ",{v}");
+            }
+            let _ = writeln!(f);
+        }
+        println!("(csv: {})", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::TrialMetrics;
+
+    fn mc(name: &str, costs: &[f64]) -> MonteCarlo {
+        MonteCarlo {
+            name: name.into(),
+            trials: costs
+                .iter()
+                .map(|&c| TrialMetrics {
+                    normalized_cost: c,
+                    normalized_comm: 0.01,
+                    source_seconds: 0.1,
+                    server_seconds: 0.2,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn csv_written() {
+        let a = mc("A", &[1.0, 1.2, 1.1]);
+        let b = mc("B", &[1.05, 1.0, 1.3]);
+        print_cdfs("selftest", "cdf_test", "normalized cost", &[&a, &b], |t| {
+            t.normalized_cost
+        });
+        let path = output_dir("selftest").join("cdf_test.csv");
+        let content = std::fs::read_to_string(path).unwrap();
+        assert!(content.starts_with("cdf,A,B"));
+        assert_eq!(content.lines().count(), 4);
+
+        print_mean_table("selftest", "table_test", "means", &[&a, &b]);
+        let content =
+            std::fs::read_to_string(output_dir("selftest").join("table_test.csv")).unwrap();
+        assert!(content.contains("A,1.1"));
+    }
+
+    #[test]
+    fn series_table_written() {
+        print_series_table(
+            "selftest",
+            "series_test",
+            "sweep",
+            "s",
+            &["m1".into()],
+            &[(1.0, vec![0.5]), (2.0, vec![0.7])],
+        );
+        let content =
+            std::fs::read_to_string(output_dir("selftest").join("series_test.csv")).unwrap();
+        assert!(content.contains("s,m1"));
+        assert!(content.contains("2,0.7"));
+    }
+}

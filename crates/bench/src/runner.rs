@@ -1,0 +1,147 @@
+//! Monte-Carlo trial runners for centralized and distributed pipelines.
+
+use ekm_core::evaluation::{normalized_cost, reference, Reference};
+use ekm_core::params::SummaryParams;
+use ekm_core::pipelines::CentralizedPipeline;
+use ekm_core::distributed::DistributedPipeline;
+use ekm_linalg::Matrix;
+use ekm_net::Network;
+
+/// Metrics of one pipeline trial — the three quantities §7.1 evaluates.
+#[derive(Debug, Clone, Copy)]
+pub struct TrialMetrics {
+    /// `cost(P, X)/cost(P, X*)`.
+    pub normalized_cost: f64,
+    /// Transmitted bits over raw-dataset bits.
+    pub normalized_comm: f64,
+    /// Data-source computation seconds.
+    pub source_seconds: f64,
+    /// Server computation seconds.
+    pub server_seconds: f64,
+}
+
+/// Aggregate of a Monte-Carlo series.
+#[derive(Debug, Clone)]
+pub struct MonteCarlo {
+    /// Pipeline display name.
+    pub name: String,
+    /// Per-trial metrics (one per seed).
+    pub trials: Vec<TrialMetrics>,
+}
+
+impl MonteCarlo {
+    /// Mean of a metric selected by `f`.
+    pub fn mean<F: Fn(&TrialMetrics) -> f64>(&self, f: F) -> f64 {
+        if self.trials.is_empty() {
+            return f64::NAN;
+        }
+        self.trials.iter().map(&f).sum::<f64>() / self.trials.len() as f64
+    }
+
+    /// The sorted values of a metric (for CDF output).
+    pub fn sorted<F: Fn(&TrialMetrics) -> f64>(&self, f: F) -> Vec<f64> {
+        let mut v: Vec<f64> = self.trials.iter().map(&f).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite metric"));
+        v
+    }
+}
+
+/// Computes the experiment's reference solution (`X*` proxy).
+pub fn make_reference(data: &Matrix, k: usize) -> Reference {
+    reference(data, k, 5, 0xEC0).expect("reference solve")
+}
+
+/// Runs `mc` Monte-Carlo trials of a centralized pipeline built per-seed
+/// by `factory`.
+pub fn run_centralized_mc<F>(
+    data: &Matrix,
+    reference: &Reference,
+    mc: usize,
+    base_params: &SummaryParams,
+    factory: F,
+) -> MonteCarlo
+where
+    F: Fn(SummaryParams) -> Box<dyn CentralizedPipeline>,
+{
+    let (n, d) = data.shape();
+    let mut trials = Vec::with_capacity(mc);
+    let mut name = String::new();
+    for run in 0..mc {
+        let params = base_params.clone().with_seed(0x5EED + 7919 * run as u64);
+        let pipe = factory(params);
+        if run == 0 {
+            name = pipe.name();
+        }
+        let mut net = Network::new(1);
+        let out = pipe.run(data, &mut net).expect("pipeline run");
+        trials.push(TrialMetrics {
+            normalized_cost: normalized_cost(data, &out.centers, reference.cost)
+                .expect("cost evaluation"),
+            normalized_comm: out.normalized_comm(n, d),
+            source_seconds: out.source_seconds,
+            server_seconds: out.server_seconds,
+        });
+    }
+    MonteCarlo { name, trials }
+}
+
+/// Runs `mc` Monte-Carlo trials of a distributed pipeline over `shards`.
+pub fn run_distributed_mc<F>(
+    data: &Matrix,
+    shards: &[Matrix],
+    reference: &Reference,
+    mc: usize,
+    base_params: &SummaryParams,
+    factory: F,
+) -> MonteCarlo
+where
+    F: Fn(SummaryParams) -> Box<dyn DistributedPipeline>,
+{
+    let (n, d) = data.shape();
+    let mut trials = Vec::with_capacity(mc);
+    let mut name = String::new();
+    for run in 0..mc {
+        let params = base_params.clone().with_seed(0xD157 + 104729 * run as u64);
+        let pipe = factory(params);
+        if run == 0 {
+            name = pipe.name();
+        }
+        let mut net = Network::new(shards.len());
+        let out = pipe.run(shards, &mut net).expect("pipeline run");
+        trials.push(TrialMetrics {
+            normalized_cost: normalized_cost(data, &out.centers, reference.cost)
+                .expect("cost evaluation"),
+            normalized_comm: out.normalized_comm(n, d),
+            source_seconds: out.source_seconds,
+            server_seconds: out.server_seconds,
+        });
+    }
+    MonteCarlo { name, trials }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ekm_core::pipelines::JlFss;
+
+    #[test]
+    fn centralized_mc_collects_trials() {
+        let raw = ekm_data::synth::GaussianMixture::new(300, 20, 2)
+            .with_separation(4.0)
+            .with_seed(1)
+            .generate()
+            .unwrap()
+            .points;
+        let data = ekm_data::normalize::normalize_paper(&raw).0;
+        let reference = make_reference(&data, 2);
+        let params = SummaryParams::practical(2, 300, 20);
+        let mc = run_centralized_mc(&data, &reference, 3, &params, |p| {
+            Box::new(JlFss::new(p))
+        });
+        assert_eq!(mc.trials.len(), 3);
+        assert_eq!(mc.name, "JL+FSS");
+        assert!(mc.mean(|t| t.normalized_cost) > 0.5);
+        let sorted = mc.sorted(|t| t.normalized_cost);
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,231 @@
+//! Bicriteria k-means approximation by adaptive (D²) sampling.
+//!
+//! Implements the Aggarwal–Deshpande–Kannan scheme (paper references \[36\],
+//! \[42\]): in each round, a batch of points is drawn from the current D²
+//! distribution and added to the center set. With `O(k)` points per round
+//! and a constant number of rounds, the selected set is an O(1)-approximate
+//! solution using more than `k` centers — which is what sensitivity
+//! sampling (disSS step 1) and the §6.3.1 lower bound need.
+
+use crate::cost::{assign, validate_weights};
+use crate::init::d2_sample_batch;
+use crate::{ClusteringError, Result};
+use ekm_linalg::random::{derive_seed, rng_from_seed};
+use ekm_linalg::Matrix;
+
+/// Configuration for [`bicriteria`].
+#[derive(Debug, Clone)]
+pub struct BicriteriaConfig {
+    /// Points sampled per adaptive round, as a multiple of `k` (default 3).
+    pub per_round_factor: usize,
+    /// Number of adaptive rounds (default 5).
+    pub rounds: usize,
+    /// Independent trials; the lowest-cost solution wins (default 1 —
+    /// the §6.3.1 estimator uses `⌈log(1/δ)⌉`).
+    pub trials: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BicriteriaConfig {
+    fn default() -> Self {
+        BicriteriaConfig {
+            per_round_factor: 3,
+            rounds: 5,
+            trials: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// A bicriteria solution: more than `k` centers whose cost is within a
+/// constant factor of the optimal `k`-means cost.
+#[derive(Debug, Clone)]
+pub struct BicriteriaSolution {
+    /// Selected centers (`O(k · rounds) × d`), actual rows of the input.
+    pub centers: Matrix,
+    /// Row indices of the selected centers in the input dataset.
+    pub indices: Vec<usize>,
+    /// Weighted k-means cost of the input against `centers`.
+    pub cost: f64,
+}
+
+/// Computes a bicriteria approximation of weighted k-means via adaptive
+/// sampling.
+///
+/// # Errors
+///
+/// * [`ClusteringError::EmptyInput`] for an empty dataset.
+/// * [`ClusteringError::InvalidK`] if `k == 0`.
+/// * [`ClusteringError::InvalidWeights`] for malformed weights.
+///
+/// # Example
+///
+/// ```
+/// use ekm_linalg::Matrix;
+/// use ekm_clustering::bicriteria::{bicriteria, BicriteriaConfig};
+///
+/// let p = Matrix::from_rows(&[vec![0.0], vec![0.1], vec![5.0], vec![5.1]]);
+/// let w = vec![1.0; 4];
+/// let sol = bicriteria(&p, &w, 2, &BicriteriaConfig::default()).unwrap();
+/// assert!(sol.cost <= 0.02); // enough centers to nail both blobs
+/// ```
+pub fn bicriteria(
+    points: &Matrix,
+    weights: &[f64],
+    k: usize,
+    config: &BicriteriaConfig,
+) -> Result<BicriteriaSolution> {
+    if points.is_empty() {
+        return Err(ClusteringError::EmptyInput);
+    }
+    validate_weights(weights, points.rows())?;
+    if k == 0 {
+        return Err(ClusteringError::InvalidK { k, n: points.rows() });
+    }
+    let per_round = (config.per_round_factor.max(1) * k).min(points.rows());
+    let trials = config.trials.max(1);
+
+    let mut best: Option<BicriteriaSolution> = None;
+    for trial in 0..trials {
+        let mut rng = rng_from_seed(derive_seed(config.seed, trial as u64));
+        let mut indices: Vec<usize> = Vec::new();
+        let mut centers = Matrix::zeros(0, 0);
+        for round in 0..config.rounds.max(1) {
+            let current = if round == 0 { None } else { Some(&centers) };
+            let batch = d2_sample_batch(&mut rng, points, weights, current, per_round)?;
+            indices.extend(batch);
+            indices.sort_unstable();
+            indices.dedup();
+            centers = points.select_rows(&indices);
+        }
+        let cost = assign(points, &centers)?.weighted_cost(weights);
+        let better = best.as_ref().map(|b| cost < b.cost).unwrap_or(true);
+        if better {
+            best = Some(BicriteriaSolution {
+                centers,
+                indices,
+                cost,
+            });
+        }
+    }
+    Ok(best.expect("trials >= 1"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmeans::KMeans;
+
+    fn blobs(per: usize, centers: &[(f64, f64)]) -> Matrix {
+        let mut rows = Vec::new();
+        for &(cx, cy) in centers {
+            for i in 0..per {
+                let j = (i % 9) as f64 * 0.02;
+                rows.push(vec![cx + j, cy - j]);
+            }
+        }
+        Matrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn cost_within_constant_of_kmeans() {
+        let p = blobs(40, &[(0.0, 0.0), (20.0, 0.0), (0.0, 20.0)]);
+        let w = vec![1.0; p.rows()];
+        let sol = bicriteria(&p, &w, 3, &BicriteriaConfig::default()).unwrap();
+        let opt = KMeans::new(3).with_seed(3).fit(&p).unwrap().inertia;
+        // The theory gives O(1); in practice adaptive sampling with 3
+        // rounds × 3k points is well within 20× of optimal.
+        assert!(
+            sol.cost <= 20.0 * opt.max(1e-9) + 1e-9,
+            "bicriteria cost {} vs opt {opt}",
+            sol.cost
+        );
+    }
+
+    #[test]
+    fn selects_input_rows() {
+        let p = blobs(10, &[(0.0, 0.0), (5.0, 5.0)]);
+        let w = vec![1.0; p.rows()];
+        let sol = bicriteria(&p, &w, 2, &BicriteriaConfig::default()).unwrap();
+        for (pos, &i) in sol.indices.iter().enumerate() {
+            assert_eq!(sol.centers.row(pos), p.row(i));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = blobs(15, &[(0.0, 0.0), (9.0, 9.0)]);
+        let w = vec![1.0; p.rows()];
+        let cfg = BicriteriaConfig {
+            seed: 77,
+            ..BicriteriaConfig::default()
+        };
+        let a = bicriteria(&p, &w, 2, &cfg).unwrap();
+        let b = bicriteria(&p, &w, 2, &cfg).unwrap();
+        assert_eq!(a.indices, b.indices);
+        assert_eq!(a.cost, b.cost);
+    }
+
+    #[test]
+    fn more_trials_never_worse() {
+        let p = blobs(20, &[(0.0, 0.0), (30.0, 0.0), (0.0, 30.0), (30.0, 30.0)]);
+        let w = vec![1.0; p.rows()];
+        let one = bicriteria(
+            &p,
+            &w,
+            4,
+            &BicriteriaConfig {
+                trials: 1,
+                seed: 5,
+                ..BicriteriaConfig::default()
+            },
+        )
+        .unwrap();
+        let five = bicriteria(
+            &p,
+            &w,
+            4,
+            &BicriteriaConfig {
+                trials: 5,
+                seed: 5,
+                ..BicriteriaConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(five.cost <= one.cost + 1e-12);
+    }
+
+    #[test]
+    fn handles_small_datasets() {
+        let p = Matrix::from_rows(&[vec![1.0], vec![2.0]]);
+        let w = vec![1.0, 1.0];
+        let sol = bicriteria(&p, &w, 5, &BicriteriaConfig::default()).unwrap();
+        assert!(sol.centers.rows() <= 2);
+        assert!(sol.cost <= 0.5);
+    }
+
+    #[test]
+    fn invalid_inputs_error() {
+        let p = Matrix::from_rows(&[vec![1.0]]);
+        assert!(bicriteria(&Matrix::zeros(0, 1), &[], 1, &BicriteriaConfig::default()).is_err());
+        assert!(bicriteria(&p, &[1.0], 0, &BicriteriaConfig::default()).is_err());
+        assert!(bicriteria(&p, &[-1.0], 1, &BicriteriaConfig::default()).is_err());
+    }
+
+    #[test]
+    fn weighted_sampling_prefers_heavy_regions() {
+        // Heavy far blob must get a center despite having few points.
+        let mut rows = vec![vec![0.0]; 50];
+        rows.push(vec![1000.0]);
+        let p = Matrix::from_rows(&rows);
+        let mut w = vec![1.0; 51];
+        w[50] = 1000.0;
+        let sol = bicriteria(&p, &w, 2, &BicriteriaConfig::default()).unwrap();
+        assert!(
+            sol.indices.contains(&50),
+            "heavy outlier not selected: {:?}",
+            sol.indices
+        );
+    }
+}

@@ -1,0 +1,84 @@
+use ekm_linalg::LinalgError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by clustering routines.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ClusteringError {
+    /// `k` is zero or exceeds the number of (positive-weight) points.
+    InvalidK {
+        /// Requested number of clusters.
+        k: usize,
+        /// Number of available points.
+        n: usize,
+    },
+    /// The input dataset has no points or no dimensions.
+    EmptyInput,
+    /// Weights are invalid: wrong length, negative, non-finite, or all zero.
+    InvalidWeights {
+        /// Explanation of what is wrong.
+        reason: &'static str,
+    },
+    /// A linear-algebra primitive failed.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for ClusteringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusteringError::InvalidK { k, n } => {
+                write!(f, "invalid number of clusters k={k} for {n} points")
+            }
+            ClusteringError::EmptyInput => write!(f, "empty input dataset"),
+            ClusteringError::InvalidWeights { reason } => {
+                write!(f, "invalid weights: {reason}")
+            }
+            ClusteringError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl Error for ClusteringError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ClusteringError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for ClusteringError {
+    fn from(e: LinalgError) -> Self {
+        ClusteringError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(ClusteringError::InvalidK { k: 3, n: 2 }
+            .to_string()
+            .contains("k=3"));
+        assert!(ClusteringError::EmptyInput.to_string().contains("empty"));
+        assert!(ClusteringError::InvalidWeights { reason: "negative" }
+            .to_string()
+            .contains("negative"));
+    }
+
+    #[test]
+    fn from_linalg_preserves_source() {
+        let e: ClusteringError = LinalgError::EmptyMatrix { op: "qr" }.into();
+        assert!(Error::source(&e).is_some());
+        assert!(e.to_string().contains("qr"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ClusteringError>();
+    }
+}

@@ -1,0 +1,280 @@
+//! k-means++ (D²) seeding, weighted.
+//!
+//! The D² distribution — pick the next center with probability proportional
+//! to (weight ×) squared distance to the current centers — is used three
+//! ways in the paper's stack: as Lloyd seeding, as the inner loop of the
+//! ADK bicriteria approximation, and (via sensitivities) in coreset
+//! sampling.
+
+use crate::cost::{nearest_center, validate_weights};
+use crate::{ClusteringError, Result};
+use ekm_linalg::Matrix;
+use rand::Rng;
+
+/// Selects `k` initial center indices by weighted k-means++.
+///
+/// The first center is drawn with probability proportional to the weights;
+/// each subsequent center with probability proportional to
+/// `w(p) · D²(p)` where `D(p)` is the distance to the nearest center chosen
+/// so far. Zero-weight points are never selected.
+///
+/// # Errors
+///
+/// * [`ClusteringError::EmptyInput`] for an empty dataset.
+/// * [`ClusteringError::InvalidK`] if `k` is 0 or exceeds the number of
+///   positive-weight points.
+/// * [`ClusteringError::InvalidWeights`] for malformed weights.
+pub fn kmeanspp_indices<R: Rng + ?Sized>(
+    rng: &mut R,
+    points: &Matrix,
+    weights: &[f64],
+    k: usize,
+) -> Result<Vec<usize>> {
+    if points.is_empty() {
+        return Err(ClusteringError::EmptyInput);
+    }
+    let n = points.rows();
+    validate_weights(weights, n)?;
+    let positive = weights.iter().filter(|&&w| w > 0.0).count();
+    if k == 0 || k > positive {
+        return Err(ClusteringError::InvalidK { k, n: positive });
+    }
+
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    // First center: ∝ w.
+    chosen.push(draw_index(rng, weights)?);
+
+    // Maintain D² to the chosen set incrementally.
+    let mut d2: Vec<f64> = (0..n)
+        .map(|i| ekm_linalg::ops::sq_dist(points.row(i), points.row(chosen[0])))
+        .collect();
+
+    while chosen.len() < k {
+        let probs: Vec<f64> = d2
+            .iter()
+            .zip(weights)
+            .map(|(&d, &w)| d * w)
+            .collect();
+        let total: f64 = probs.iter().sum();
+        let next = if total > 0.0 {
+            draw_index(rng, &probs)?
+        } else {
+            // All remaining mass at distance zero (duplicate-heavy data):
+            // fall back to weight-proportional sampling among unchosen
+            // positive-weight points.
+            let mut fallback = weights.to_vec();
+            for &c in &chosen {
+                fallback[c] = 0.0;
+            }
+            if fallback.iter().all(|&w| w == 0.0) {
+                return Err(ClusteringError::InvalidK { k, n: chosen.len() });
+            }
+            draw_index(rng, &fallback)?
+        };
+        chosen.push(next);
+        let new_row = points.row(next);
+        for (i, d) in d2.iter_mut().enumerate() {
+            let nd = ekm_linalg::ops::sq_dist(points.row(i), new_row);
+            if nd < *d {
+                *d = nd;
+            }
+        }
+    }
+    Ok(chosen)
+}
+
+/// Selects `k` initial centers (as a matrix of rows) by weighted k-means++.
+///
+/// # Errors
+///
+/// See [`kmeanspp_indices`].
+pub fn kmeanspp_centers<R: Rng + ?Sized>(
+    rng: &mut R,
+    points: &Matrix,
+    weights: &[f64],
+    k: usize,
+) -> Result<Matrix> {
+    let idx = kmeanspp_indices(rng, points, weights, k)?;
+    Ok(points.select_rows(&idx))
+}
+
+/// Draws a batch of `count` indices i.i.d. from the current D² distribution
+/// with respect to `centers` (one adaptive-sampling round of ADK).
+///
+/// When `centers` is empty the draw is weight-proportional (the "first
+/// round" of adaptive sampling).
+///
+/// # Errors
+///
+/// * [`ClusteringError::EmptyInput`] for an empty dataset.
+/// * [`ClusteringError::InvalidWeights`] for malformed weights.
+pub fn d2_sample_batch<R: Rng + ?Sized>(
+    rng: &mut R,
+    points: &Matrix,
+    weights: &[f64],
+    centers: Option<&Matrix>,
+    count: usize,
+) -> Result<Vec<usize>> {
+    if points.is_empty() {
+        return Err(ClusteringError::EmptyInput);
+    }
+    validate_weights(weights, points.rows())?;
+    let probs: Vec<f64> = match centers {
+        Some(c) if !c.is_empty() => (0..points.rows())
+            .map(|i| weights[i] * nearest_center(points.row(i), c).1)
+            .collect(),
+        _ => weights.to_vec(),
+    };
+    let total: f64 = probs.iter().sum();
+    let effective = if total > 0.0 { probs } else { weights.to_vec() };
+    (0..count).map(|_| draw_index(rng, &effective)).collect()
+}
+
+/// Draws one index with probability proportional to `probs` (nonnegative,
+/// not all zero).
+fn draw_index<R: Rng + ?Sized>(rng: &mut R, probs: &[f64]) -> Result<usize> {
+    let total: f64 = probs.iter().sum();
+    if total.is_nan() || total <= 0.0 || total.is_infinite() {
+        return Err(ClusteringError::InvalidWeights {
+            reason: "sampling distribution has no mass",
+        });
+    }
+    let mut target = rng.gen::<f64>() * total;
+    for (i, &p) in probs.iter().enumerate() {
+        target -= p;
+        if target <= 0.0 && p > 0.0 {
+            return Ok(i);
+        }
+    }
+    // Floating-point slack: return the last positive-probability index.
+    Ok(probs
+        .iter()
+        .rposition(|&p| p > 0.0)
+        .expect("total > 0 implies a positive entry"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ekm_linalg::random::rng_from_seed;
+
+    fn two_blob_points() -> Matrix {
+        let mut rows = Vec::new();
+        for i in 0..50 {
+            rows.push(vec![0.0 + (i % 5) as f64 * 0.01, 0.0]);
+        }
+        for i in 0..50 {
+            rows.push(vec![100.0 + (i % 5) as f64 * 0.01, 0.0]);
+        }
+        Matrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn kmeanspp_selects_k_distinct_indices() {
+        let p = two_blob_points();
+        let w = vec![1.0; 100];
+        let mut rng = rng_from_seed(1);
+        let idx = kmeanspp_indices(&mut rng, &p, &w, 2).unwrap();
+        assert_eq!(idx.len(), 2);
+        assert_ne!(idx[0], idx[1]);
+    }
+
+    #[test]
+    fn kmeanspp_spreads_across_blobs() {
+        // With two far blobs, the two seeds should land in different blobs
+        // essentially always.
+        let p = two_blob_points();
+        let w = vec![1.0; 100];
+        for seed in 0..20 {
+            let mut rng = rng_from_seed(seed);
+            let idx = kmeanspp_indices(&mut rng, &p, &w, 2).unwrap();
+            let blob = |i: usize| usize::from(i >= 50);
+            assert_ne!(blob(idx[0]), blob(idx[1]), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn zero_weight_points_never_selected() {
+        let p = two_blob_points();
+        let mut w = vec![0.0; 100];
+        for wv in w.iter_mut().take(10) {
+            *wv = 1.0;
+        }
+        let mut rng = rng_from_seed(3);
+        let idx = kmeanspp_indices(&mut rng, &p, &w, 3).unwrap();
+        assert!(idx.iter().all(|&i| i < 10));
+    }
+
+    #[test]
+    fn invalid_k_errors() {
+        let p = two_blob_points();
+        let w = vec![1.0; 100];
+        let mut rng = rng_from_seed(4);
+        assert!(matches!(
+            kmeanspp_indices(&mut rng, &p, &w, 0),
+            Err(ClusteringError::InvalidK { .. })
+        ));
+        assert!(kmeanspp_indices(&mut rng, &p, &w, 101).is_err());
+    }
+
+    #[test]
+    fn duplicate_points_fall_back_gracefully() {
+        // 5 identical points, k=3: D² mass collapses to zero after the
+        // first pick; fallback must still produce 3 picks.
+        let p = Matrix::from_rows(&vec![vec![1.0]; 5]);
+        let w = vec![1.0; 5];
+        let mut rng = rng_from_seed(5);
+        let idx = kmeanspp_indices(&mut rng, &p, &w, 3).unwrap();
+        assert_eq!(idx.len(), 3);
+    }
+
+    #[test]
+    fn kmeanspp_centers_shape() {
+        let p = two_blob_points();
+        let w = vec![1.0; 100];
+        let mut rng = rng_from_seed(6);
+        let c = kmeanspp_centers(&mut rng, &p, &w, 4).unwrap();
+        assert_eq!(c.shape(), (4, 2));
+    }
+
+    #[test]
+    fn d2_batch_first_round_is_weight_proportional() {
+        let p = two_blob_points();
+        let mut w = vec![0.0; 100];
+        w[7] = 1.0;
+        let mut rng = rng_from_seed(7);
+        let batch = d2_sample_batch(&mut rng, &p, &w, None, 20).unwrap();
+        assert!(batch.iter().all(|&i| i == 7));
+    }
+
+    #[test]
+    fn d2_batch_avoids_points_at_existing_centers() {
+        let p = two_blob_points();
+        let w = vec![1.0; 100];
+        // Center sitting exactly on blob 1 => all mass on blob 2.
+        let c = Matrix::from_rows(&[vec![0.02, 0.0]]);
+        let mut rng = rng_from_seed(8);
+        let batch = d2_sample_batch(&mut rng, &p, &w, Some(&c), 50).unwrap();
+        let far = batch.iter().filter(|&&i| i >= 50).count();
+        assert!(far >= 49, "only {far}/50 samples in far blob");
+    }
+
+    #[test]
+    fn draw_index_respects_distribution() {
+        let mut rng = rng_from_seed(9);
+        let probs = [0.0, 0.25, 0.75];
+        let mut counts = [0usize; 3];
+        for _ in 0..20_000 {
+            counts[draw_index(&mut rng, &probs).unwrap()] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let frac = counts[2] as f64 / 20_000.0;
+        assert!((frac - 0.75).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn draw_index_no_mass_errors() {
+        let mut rng = rng_from_seed(10);
+        assert!(draw_index(&mut rng, &[0.0, 0.0]).is_err());
+    }
+}

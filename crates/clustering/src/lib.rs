@@ -1,0 +1,46 @@
+//! k-means substrate for the `edge-kmeans` workspace.
+//!
+//! Provides the clustering machinery the paper's pipelines are built on:
+//!
+//! * [`cost`] — the k-means objective `cost(P, X) = Σ_p min_x ‖p − x‖²`
+//!   (paper eq. (1)), weighted variants (eq. (4) without the Δ shift), and
+//!   nearest-center assignment;
+//! * [`init`] — k-means++ (D²) seeding, weighted;
+//! * [`lloyd`] — weighted Lloyd iteration with empty-cluster repair;
+//! * [`kmeans`] — a multi-restart [`KMeans`](kmeans::KMeans) driver, the
+//!   `kmeans(S', w, k)` primitive run by the server in Algorithms 1–4;
+//! * [`bicriteria`] — Aggarwal–Deshpande–Kannan adaptive sampling, the
+//!   bicriteria approximation used by distributed sensitivity sampling and
+//!   by the cost lower bound;
+//! * [`lower_bound`] — the `E ≤ cost(P, X*)` estimator of §6.3.1 (a
+//!   20-approximation divided by 20).
+//!
+//! # Example
+//!
+//! ```
+//! use ekm_linalg::Matrix;
+//! use ekm_clustering::kmeans::KMeans;
+//!
+//! let points = Matrix::from_rows(&[
+//!     vec![0.0, 0.0], vec![0.1, 0.0], vec![10.0, 10.0], vec![10.1, 10.0],
+//! ]);
+//! let model = KMeans::new(2).with_seed(7).fit(&points).unwrap();
+//! assert_eq!(model.centers.rows(), 2);
+//! assert!(model.inertia < 0.02);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bicriteria;
+pub mod cost;
+mod error;
+pub mod init;
+pub mod kmeans;
+pub mod lloyd;
+pub mod lower_bound;
+
+pub use error::ClusteringError;
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, ClusteringError>;

@@ -1,0 +1,279 @@
+//! Weighted Lloyd iteration with empty-cluster repair.
+
+use crate::cost::{assign, validate_weights, Assignment};
+use crate::{ClusteringError, Result};
+use ekm_linalg::Matrix;
+
+/// Outcome of running Lloyd's algorithm from a fixed initialization.
+#[derive(Debug, Clone)]
+pub struct LloydOutcome {
+    /// Final centers (`k × d`).
+    pub centers: Matrix,
+    /// Final assignment of the input points to `centers`.
+    pub assignment: Assignment,
+    /// Final weighted cost (inertia).
+    pub inertia: f64,
+    /// Iterations executed (center-update steps).
+    pub iterations: usize,
+    /// Whether the relative-improvement tolerance was reached before the
+    /// iteration cap.
+    pub converged: bool,
+}
+
+/// Configuration for [`lloyd`].
+#[derive(Debug, Clone)]
+pub struct LloydConfig {
+    /// Maximum number of iterations (default 100).
+    pub max_iter: usize,
+    /// Relative improvement threshold for convergence (default `1e-7`):
+    /// stop when `(prev − cur) ≤ tol · prev`.
+    pub tol: f64,
+}
+
+impl Default for LloydConfig {
+    fn default() -> Self {
+        LloydConfig {
+            max_iter: 100,
+            tol: 1e-7,
+        }
+    }
+}
+
+/// Runs weighted Lloyd iteration from the given initial centers.
+///
+/// Empty clusters are repaired by re-seeding them at the positive-weight
+/// point with the largest weighted squared distance to its current center,
+/// which keeps `k` centers active and never increases the objective by more
+/// than the repair step itself.
+///
+/// # Errors
+///
+/// * [`ClusteringError::EmptyInput`] for an empty dataset.
+/// * [`ClusteringError::InvalidWeights`] for malformed weights.
+/// * [`ClusteringError::InvalidK`] if `initial_centers` has no rows.
+pub fn lloyd(
+    points: &Matrix,
+    weights: &[f64],
+    initial_centers: &Matrix,
+    config: &LloydConfig,
+) -> Result<LloydOutcome> {
+    if points.is_empty() {
+        return Err(ClusteringError::EmptyInput);
+    }
+    validate_weights(weights, points.rows())?;
+    if initial_centers.rows() == 0 {
+        return Err(ClusteringError::InvalidK {
+            k: 0,
+            n: points.rows(),
+        });
+    }
+    let k = initial_centers.rows();
+    let d = points.cols();
+    let mut centers = initial_centers.clone();
+    let mut assignment = assign(points, &centers)?;
+    let mut inertia = assignment.weighted_cost(weights);
+    let mut iterations = 0;
+    let mut converged = false;
+
+    for _ in 0..config.max_iter {
+        // Update step: weighted centroid per cluster.
+        let mut sums = Matrix::zeros(k, d);
+        let mut totals = vec![0.0f64; k];
+        for (i, row) in points.iter_rows().enumerate() {
+            let w = weights[i];
+            if w == 0.0 {
+                continue;
+            }
+            let c = assignment.labels[i];
+            totals[c] += w;
+            let srow = sums.row_mut(c);
+            for (s, &v) in srow.iter_mut().zip(row) {
+                *s += w * v;
+            }
+        }
+        for c in 0..k {
+            if totals[c] > 0.0 {
+                let inv = 1.0 / totals[c];
+                let srow = sums.row(c).to_vec();
+                for (j, v) in srow.iter().enumerate() {
+                    centers[(c, j)] = v * inv;
+                }
+            }
+            // Empty clusters repaired below after distances refresh.
+        }
+
+        let mut new_assignment = assign(points, &centers)?;
+
+        // Repair empty clusters: move each to the worst-served point.
+        let mut sizes = new_assignment.cluster_weights(k, weights);
+        let mut repaired = false;
+        for c in 0..k {
+            if sizes[c] == 0.0 {
+                if let Some(worst) = worst_point(&new_assignment, weights) {
+                    for j in 0..d {
+                        centers[(c, j)] = points[(worst, j)];
+                    }
+                    repaired = true;
+                }
+            }
+        }
+        if repaired {
+            new_assignment = assign(points, &centers)?;
+            sizes = new_assignment.cluster_weights(k, weights);
+            let _ = sizes;
+        }
+
+        let new_inertia = new_assignment.weighted_cost(weights);
+        iterations += 1;
+        let improved = inertia - new_inertia;
+        assignment = new_assignment;
+        let prev = inertia;
+        inertia = new_inertia;
+        if improved <= config.tol * prev.max(f64::MIN_POSITIVE) {
+            converged = true;
+            break;
+        }
+    }
+
+    Ok(LloydOutcome {
+        centers,
+        assignment,
+        inertia,
+        iterations,
+        converged,
+    })
+}
+
+/// Index of the positive-weight point with the largest weighted distance to
+/// its assigned center.
+fn worst_point(assignment: &Assignment, weights: &[f64]) -> Option<usize> {
+    assignment
+        .distances_sq
+        .iter()
+        .zip(weights)
+        .enumerate()
+        .filter(|(_, (_, &w))| w > 0.0)
+        .max_by(|(_, (d1, w1)), (_, (d2, w2))| {
+            (*d1 * **w1)
+                .partial_cmp(&(*d2 * **w2))
+                .expect("finite distances")
+        })
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Matrix {
+        let mut rows = Vec::new();
+        for i in 0..20 {
+            rows.push(vec![(i % 4) as f64 * 0.1, 0.0]);
+            rows.push(vec![50.0 + (i % 4) as f64 * 0.1, 0.0]);
+        }
+        Matrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn converges_on_two_blobs() {
+        let p = blobs();
+        let w = vec![1.0; p.rows()];
+        let init = Matrix::from_rows(&[vec![1.0, 0.0], vec![45.0, 0.0]]);
+        let out = lloyd(&p, &w, &init, &LloydConfig::default()).unwrap();
+        assert!(out.converged);
+        assert!(out.inertia < 1.0, "inertia {}", out.inertia);
+        // One center near 0.15, one near 50.15.
+        let mut xs: Vec<f64> = (0..2).map(|i| out.centers[(i, 0)]).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((xs[0] - 0.15).abs() < 1e-9);
+        assert!((xs[1] - 50.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inertia_monotonically_nonincreasing() {
+        let p = blobs();
+        let w = vec![1.0; p.rows()];
+        let init = Matrix::from_rows(&[vec![0.0, 0.0], vec![1.0, 0.0]]);
+        // Run step by step by capping iterations and compare.
+        let mut last = f64::INFINITY;
+        for iters in 1..6 {
+            let out = lloyd(
+                &p,
+                &w,
+                &init,
+                &LloydConfig {
+                    max_iter: iters,
+                    tol: 0.0,
+                },
+            )
+            .unwrap();
+            assert!(out.inertia <= last + 1e-9, "inertia rose at iter {iters}");
+            last = out.inertia;
+        }
+    }
+
+    #[test]
+    fn weights_shift_centroid() {
+        let p = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
+        let w = vec![3.0, 1.0];
+        let init = Matrix::from_rows(&[vec![0.5]]);
+        let out = lloyd(&p, &w, &init, &LloydConfig::default()).unwrap();
+        assert!((out.centers[(0, 0)] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cluster_gets_repaired() {
+        let p = blobs();
+        let w = vec![1.0; p.rows()];
+        // Both initial centers inside the left blob; the far blob would
+        // otherwise leave one cluster empty after the first update... force
+        // an initially empty cluster with an absurd center.
+        let init = Matrix::from_rows(&[vec![0.0, 0.0], vec![1.0e6, 0.0]]);
+        let out = lloyd(&p, &w, &init, &LloydConfig::default()).unwrap();
+        let sizes = out.assignment.cluster_sizes(2);
+        assert!(sizes.iter().all(|&s| s > 0), "sizes {sizes:?}");
+        assert!(out.inertia < 1.0);
+    }
+
+    #[test]
+    fn zero_weight_points_ignored_in_update() {
+        let p = Matrix::from_rows(&[vec![0.0], vec![100.0], vec![0.2]]);
+        let w = vec![1.0, 0.0, 1.0];
+        let init = Matrix::from_rows(&[vec![0.0]]);
+        let out = lloyd(&p, &w, &init, &LloydConfig::default()).unwrap();
+        assert!((out.centers[(0, 0)] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_point_single_center() {
+        let p = Matrix::from_rows(&[vec![3.0, 4.0]]);
+        let out = lloyd(&p, &[2.0], &p.clone(), &LloydConfig::default()).unwrap();
+        assert_eq!(out.inertia, 0.0);
+        assert!(out.converged);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let p = Matrix::zeros(0, 2);
+        let c = Matrix::from_rows(&[vec![0.0, 0.0]]);
+        assert!(lloyd(&p, &[], &c, &LloydConfig::default()).is_err());
+        let p = Matrix::from_rows(&[vec![0.0]]);
+        assert!(lloyd(&p, &[1.0], &Matrix::zeros(0, 1), &LloydConfig::default()).is_err());
+        assert!(lloyd(&p, &[-1.0], &c, &LloydConfig::default()).is_err());
+    }
+
+    #[test]
+    fn max_iter_zero_returns_initial_assignment() {
+        let p = blobs();
+        let w = vec![1.0; p.rows()];
+        let init = Matrix::from_rows(&[vec![0.0, 0.0], vec![50.0, 0.0]]);
+        let cfg = LloydConfig {
+            max_iter: 0,
+            tol: 1e-7,
+        };
+        let out = lloyd(&p, &w, &init, &cfg).unwrap();
+        assert_eq!(out.iterations, 0);
+        assert!(!out.converged);
+        assert!(out.centers.approx_eq(&init, 0.0));
+    }
+}

@@ -1,0 +1,141 @@
+//! Lower bound on the optimal k-means cost (paper §6.3.1).
+//!
+//! The quantizer configuration problem needs a value `E` with
+//! `E ≤ cost(P, X*)`. Following the paper (and its reference \[36\]): run the
+//! adaptive-sampling selection `⌈log(1/δ)⌉` times, keep the minimum-cost
+//! selected set `X̃`; `cost(P, X̃)` is at most 20× the optimum with
+//! probability `≥ 1 − δ`, so `E := cost(P, X̃)/20` is a valid lower bound.
+
+use crate::bicriteria::{bicriteria, BicriteriaConfig};
+use crate::Result;
+use ekm_linalg::Matrix;
+
+/// The provable over-approximation factor of the adaptive-sampling
+/// estimator from \[36\] (see §6.3.1: "at most 20-time worse than the optimal
+/// solution").
+pub const ADAPTIVE_SAMPLING_FACTOR: f64 = 20.0;
+
+/// Estimate of a lower bound `E ≤ cost(P, X*)` together with the bicriteria
+/// cost it was derived from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostLowerBound {
+    /// The lower bound `E = bicriteria_cost / 20`.
+    pub lower_bound: f64,
+    /// The cost of the best adaptive-sampling solution found.
+    pub bicriteria_cost: f64,
+    /// Number of trials performed (`⌈log(1/δ)⌉`, at least 1).
+    pub trials: usize,
+}
+
+/// Computes the §6.3.1 lower bound on the optimal k-means cost.
+///
+/// `delta` is the failure probability; `⌈ln(1/δ)⌉` adaptive-sampling trials
+/// are run and the cheapest one is divided by
+/// [`ADAPTIVE_SAMPLING_FACTOR`].
+///
+/// # Errors
+///
+/// Propagates [`bicriteria`] errors (empty input, invalid `k`/weights).
+///
+/// # Example
+///
+/// ```
+/// use ekm_linalg::Matrix;
+/// use ekm_clustering::lower_bound::cost_lower_bound;
+///
+/// let p = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![10.0], vec![11.0]]);
+/// let w = vec![1.0; 4];
+/// let lb = cost_lower_bound(&p, &w, 2, 0.1, 42).unwrap();
+/// assert!(lb.lower_bound >= 0.0);
+/// ```
+pub fn cost_lower_bound(
+    points: &Matrix,
+    weights: &[f64],
+    k: usize,
+    delta: f64,
+    seed: u64,
+) -> Result<CostLowerBound> {
+    let trials = trials_for_delta(delta);
+    let config = BicriteriaConfig {
+        trials,
+        seed,
+        ..BicriteriaConfig::default()
+    };
+    let sol = bicriteria(points, weights, k, &config)?;
+    Ok(CostLowerBound {
+        lower_bound: sol.cost / ADAPTIVE_SAMPLING_FACTOR,
+        bicriteria_cost: sol.cost,
+        trials,
+    })
+}
+
+/// Number of independent trials needed for failure probability `delta`
+/// (`⌈ln(1/δ)⌉`, clamped to `[1, 64]`).
+pub fn trials_for_delta(delta: f64) -> usize {
+    if delta.is_nan() || delta <= 0.0 || delta >= 1.0 {
+        return 1;
+    }
+    ((1.0 / delta).ln().ceil() as usize).clamp(1, 64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmeans::KMeans;
+
+    fn blobs() -> Matrix {
+        let mut rows = Vec::new();
+        for i in 0..60 {
+            let j = i as f64 * 0.05;
+            rows.push(vec![j, 0.0]);
+            rows.push(vec![25.0 + j, 1.0]);
+        }
+        Matrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn lower_bound_is_below_kmeans_cost() {
+        let p = blobs();
+        let w = vec![1.0; p.rows()];
+        let lb = cost_lower_bound(&p, &w, 2, 0.1, 7).unwrap();
+        let opt_proxy = KMeans::new(2).with_seed(1).with_n_init(5).fit(&p).unwrap();
+        assert!(
+            lb.lower_bound <= opt_proxy.inertia + 1e-9,
+            "E = {} exceeds cost {}",
+            lb.lower_bound,
+            opt_proxy.inertia
+        );
+        assert!(lb.lower_bound > 0.0);
+    }
+
+    #[test]
+    fn bound_relationship_holds() {
+        let p = blobs();
+        let w = vec![1.0; p.rows()];
+        let lb = cost_lower_bound(&p, &w, 2, 0.05, 3).unwrap();
+        assert!((lb.bicriteria_cost / ADAPTIVE_SAMPLING_FACTOR - lb.lower_bound).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trials_scale_with_delta() {
+        assert_eq!(trials_for_delta(1.0), 1);
+        assert_eq!(trials_for_delta(0.5), 1);
+        assert_eq!(trials_for_delta(0.1), 3);
+        assert!(trials_for_delta(1e-30) <= 64);
+        assert_eq!(trials_for_delta(0.0), 1);
+        assert_eq!(trials_for_delta(-1.0), 1);
+    }
+
+    #[test]
+    fn zero_cost_dataset_gives_zero_bound() {
+        let p = Matrix::from_rows(&[vec![2.0], vec![2.0], vec![2.0]]);
+        let w = vec![1.0; 3];
+        let lb = cost_lower_bound(&p, &w, 1, 0.1, 5).unwrap();
+        assert_eq!(lb.lower_bound, 0.0);
+    }
+
+    #[test]
+    fn propagates_errors() {
+        assert!(cost_lower_bound(&Matrix::zeros(0, 1), &[], 1, 0.1, 0).is_err());
+    }
+}

@@ -1,0 +1,786 @@
+//! Multi-data-source pipelines (paper §5 and the §6 quantized variants).
+//!
+//! * [`dispca`] — distributed PCA \[11\]/\[35\]: each source sends its
+//!   top-`t1` local SVD summary `(Σ_i^{(t1)}, V_i^{(t1)})`; the server
+//!   stacks `Y = [Σ_1V_1ᵀ; …; Σ_mV_mᵀ]`, computes a global SVD, and
+//!   broadcasts the top-`t2` right singular vectors back.
+//! * [`disss`] — distributed sensitivity sampling \[4\]: sources report
+//!   local bicriteria costs, the server allocates the global sample budget
+//!   proportionally, sources reply with D²-sampled points plus their
+//!   bicriteria centers, weighted to match per-cluster counts.
+//! * [`Bklw`] — the state-of-the-art baseline \[27\]: disPCA + disSS.
+//! * [`JlBklw`] — **Algorithm 4**: every source applies the shared-seed JL
+//!   projection first, shrinking the disPCA summaries from `O(kd/ε²)` to
+//!   `O(k·log n/ε⁴)` per source (Theorem 5.4).
+
+use crate::params::SummaryParams;
+use crate::pipelines::{expect_coreset, quantize_for_wire, seeds};
+use crate::projection::MaybeProjection;
+use crate::server::{lift_centers_through_basis, solve_weighted_kmeans};
+use crate::{CoreError, Result, RunOutput};
+use ekm_clustering::bicriteria::{bicriteria, BicriteriaConfig};
+use ekm_clustering::cost::assign;
+use ekm_coreset::Coreset;
+use ekm_linalg::random::{derive_seed, rng_from_seed, sample_weighted_indices};
+use ekm_linalg::{ops, svd, Matrix};
+use ekm_net::messages::Message;
+use ekm_net::Network;
+use std::time::Instant;
+
+/// A pipeline in the multi-data-source (distributed) setting.
+pub trait DistributedPipeline {
+    /// Human-readable name matching the paper's legends.
+    fn name(&self) -> String;
+
+    /// Runs the protocol over the shards (one per data source, rows are
+    /// points; all shards share a dimensionality).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, numeric, and protocol failures.
+    fn run(&self, shards: &[Matrix], net: &mut Network) -> Result<RunOutput>;
+}
+
+/// Output of the disPCA protocol.
+#[derive(Debug, Clone)]
+pub struct DisPcaOutput {
+    /// The global top-`t2` right singular vectors (`d × t2`), held by the
+    /// server and broadcast to the sources.
+    pub basis: Matrix,
+    /// Per-source coordinates of the projected data (`n_i × t2`).
+    pub coords: Vec<Matrix>,
+    /// Max per-source compute seconds.
+    pub source_seconds: f64,
+    /// Server compute seconds.
+    pub server_seconds: f64,
+}
+
+/// Computes the top-`t` local SVD summary `(σ, V)` of one shard.
+///
+/// Always the exact (Gram) SVD: disPCA step 1 is "each data source
+/// computes local SVD `A_Pi = U_iΣ_iV_iᵀ`", and BKLW's
+/// `O(nd·min(n,d))` complexity (Theorem 5.3) comes precisely from this
+/// step — swapping in a randomized SVD would erase the complexity
+/// separation from Algorithm 4 that the paper measures.
+fn local_svd_summary(data: &Matrix, t: usize) -> Result<(Vec<f64>, Matrix)> {
+    let max_rank = data.rows().min(data.cols());
+    let t = t.min(max_rank);
+    let s = svd::thin_svd(data)?.truncate(t)?;
+    Ok((s.singular_values, s.v))
+}
+
+/// Runs the disPCA protocol (paper §5.1, Theorem 5.1) with `t1 = t2 = t`.
+///
+/// # Errors
+///
+/// Propagates SVD and protocol failures; rejects empty shard lists.
+pub fn dispca(shards: &[Matrix], t: usize, net: &mut Network) -> Result<DisPcaOutput> {
+    if shards.is_empty() {
+        return Err(CoreError::InvalidConfig {
+            reason: "no shards",
+        });
+    }
+    if shards.len() != net.sources() {
+        return Err(CoreError::InvalidConfig {
+            reason: "shard count differs from network sources",
+        });
+    }
+    let d = shards[0].cols();
+    if shards.iter().any(|s| s.cols() != d) {
+        return Err(CoreError::InvalidConfig {
+            reason: "shards disagree on dimensionality",
+        });
+    }
+
+    // Step 1: local SVDs, summaries uplinked.
+    let mut summaries = Vec::with_capacity(shards.len());
+    let mut source_seconds = 0.0f64;
+    for (i, shard) in shards.iter().enumerate() {
+        let t0 = Instant::now();
+        let (sv, v) = local_svd_summary(shard, t)?;
+        source_seconds = source_seconds.max(t0.elapsed().as_secs_f64());
+        let msg = Message::SvdSummary {
+            singular_values: sv,
+            basis: v,
+        };
+        let received = net.send_to_server(i, &msg)?;
+        match received {
+            Message::SvdSummary {
+                singular_values,
+                basis,
+            } => summaries.push((singular_values, basis)),
+            _ => {
+                return Err(CoreError::Protocol {
+                    reason: "expected svd summary",
+                })
+            }
+        }
+    }
+
+    // Step 2: server stacks Y = [Σ_i V_iᵀ] and takes the global SVD.
+    let t1 = Instant::now();
+    let mut blocks = Vec::with_capacity(summaries.len());
+    for (sv, v) in &summaries {
+        // Σ_i V_iᵀ is (rank × d): scale the columns of V by σ then
+        // transpose.
+        let mut scaled = v.clone();
+        for r in 0..scaled.rows() {
+            let row = scaled.row_mut(r);
+            for (x, s) in row.iter_mut().zip(sv) {
+                *x *= s;
+            }
+        }
+        blocks.push(scaled.transpose());
+    }
+    let y = Matrix::vstack_all(blocks.iter())?;
+    let global_rank = t.min(y.rows().min(y.cols()));
+    let global = svd::thin_svd(&y)?.truncate(global_rank)?;
+    let basis = global.v; // d × t2
+    let server_seconds = t1.elapsed().as_secs_f64();
+
+    // Step 3: broadcast the basis; each source computes its coordinates.
+    net.broadcast_to_sources(&Message::Basis {
+        basis: basis.clone(),
+    })?;
+    let mut coords = Vec::with_capacity(shards.len());
+    let mut post_seconds = 0.0f64;
+    for shard in shards {
+        let t2 = Instant::now();
+        coords.push(ops::matmul(shard, &basis)?);
+        post_seconds = post_seconds.max(t2.elapsed().as_secs_f64());
+    }
+
+    Ok(DisPcaOutput {
+        basis,
+        coords,
+        source_seconds: source_seconds + post_seconds,
+        server_seconds,
+    })
+}
+
+/// Output of the disSS protocol.
+#[derive(Debug, Clone)]
+pub struct DisSsOutput {
+    /// The union coreset assembled at the server (Δ = 0, Theorem 5.2).
+    pub coreset: Coreset,
+    /// Max per-source compute seconds.
+    pub source_seconds: f64,
+    /// Server compute seconds.
+    pub server_seconds: f64,
+}
+
+/// Runs the disSS protocol (paper §5.1, Theorem 5.2) over per-source
+/// datasets (typically disPCA coordinates).
+///
+/// `sample_size` is the *global* budget `s`; the optional quantizer is
+/// applied to the transmitted sample points (the +QT variants of §6).
+///
+/// # Errors
+///
+/// Propagates clustering and protocol failures.
+pub fn disss(
+    shard_points: &[Matrix],
+    k: usize,
+    sample_size: usize,
+    seed: u64,
+    quantizer: Option<&ekm_quant::RoundingQuantizer>,
+    net: &mut Network,
+) -> Result<DisSsOutput> {
+    if shard_points.is_empty() {
+        return Err(CoreError::InvalidConfig { reason: "no shards" });
+    }
+    if sample_size == 0 {
+        return Err(CoreError::InvalidConfig {
+            reason: "zero disSS sample budget",
+        });
+    }
+    let m = shard_points.len();
+
+    // Step 1: local bicriteria solutions + cost reports.
+    let mut local = Vec::with_capacity(m);
+    let mut source_seconds = 0.0f64;
+    let mut reported_costs = Vec::with_capacity(m);
+    for (i, shard) in shard_points.iter().enumerate() {
+        let t0 = Instant::now();
+        let w = vec![1.0; shard.rows()];
+        let bic = bicriteria(
+            shard,
+            &w,
+            k,
+            &BicriteriaConfig {
+                seed: derive_seed(seed, 100 + i as u64),
+                ..BicriteriaConfig::default()
+            },
+        )?;
+        source_seconds = source_seconds.max(t0.elapsed().as_secs_f64());
+        let received = net.send_to_server(i, &Message::CostReport { cost: bic.cost })?;
+        let cost = match received {
+            Message::CostReport { cost } => cost,
+            _ => {
+                return Err(CoreError::Protocol {
+                    reason: "expected cost report",
+                })
+            }
+        };
+        reported_costs.push(cost);
+        local.push(bic);
+    }
+
+    // Step 2: server allocates the budget proportionally to cost.
+    let total_cost: f64 = reported_costs.iter().sum();
+    let allocations: Vec<usize> = if total_cost > 0.0 {
+        reported_costs
+            .iter()
+            .map(|c| ((sample_size as f64) * c / total_cost).round() as usize)
+            .collect()
+    } else {
+        vec![0; m]
+    };
+    for (i, &s_i) in allocations.iter().enumerate() {
+        net.send_to_source(i, &Message::SampleAllocation { size: s_i as u64 })?;
+    }
+
+    // Step 3: each source samples and reports S_i ∪ X_i with weights.
+    let mut parts: Vec<Coreset> = Vec::with_capacity(m);
+    for (i, shard) in shard_points.iter().enumerate() {
+        let t0 = Instant::now();
+        let bic = &local[i];
+        let s_i = allocations[i];
+        let a = assign(shard, &bic.centers)?;
+        let n_clusters = bic.centers.rows();
+        let cluster_sizes: Vec<f64> = {
+            let sizes = a.cluster_sizes(n_clusters);
+            sizes.iter().map(|&s| s as f64).collect()
+        };
+
+        // D² sampling ∝ cost({p}, X_i); weight cost_i/(s_i·q(p)) =
+        // (cost_total/s)·1/cost(p) by proportional allocation.
+        let (mut points, mut weights) = if s_i > 0 && bic.cost > 0.0 {
+            let mut rng = rng_from_seed(derive_seed(seed, 200 + i as u64));
+            let drawn = sample_weighted_indices(&mut rng, &a.distances_sq, s_i);
+            let pts = shard.select_rows(&drawn);
+            let w: Vec<f64> = drawn
+                .iter()
+                .map(|&p| bic.cost / (s_i as f64 * a.distances_sq[p]))
+                .collect();
+            (pts, w)
+        } else {
+            (Matrix::zeros(0, shard.cols()), Vec::new())
+        };
+
+        // Bicriteria centers weighted to match per-cluster point counts
+        // (with the same overshoot-safe scheme as the [4] sampler).
+        let mut absorbed = vec![0.0f64; n_clusters];
+        let labels_of_drawn: Vec<usize> = (0..points.rows())
+            .map(|r| {
+                // The sample's cluster is its nearest bicriteria center.
+                ekm_clustering::cost::nearest_center(points.row(r), &bic.centers).0
+            })
+            .collect();
+        for (r, &c) in labels_of_drawn.iter().enumerate() {
+            absorbed[c] += weights[r];
+        }
+        let mut center_weights = vec![0.0f64; n_clusters];
+        let mut scale = vec![1.0f64; n_clusters];
+        for c in 0..n_clusters {
+            if absorbed[c] > cluster_sizes[c] {
+                scale[c] = cluster_sizes[c] / absorbed[c];
+            } else {
+                center_weights[c] = cluster_sizes[c] - absorbed[c];
+            }
+        }
+        for (r, &c) in labels_of_drawn.iter().enumerate() {
+            weights[r] *= scale[c];
+        }
+        points = points.vstack(&bic.centers)?;
+        weights.extend(center_weights);
+
+        let (wire_points, precision) = quantize_for_wire(&points, quantizer);
+        source_seconds = source_seconds.max(t0.elapsed().as_secs_f64());
+        let received = net.send_to_server(
+            i,
+            &Message::Coreset {
+                points: wire_points,
+                weights,
+                delta: 0.0,
+                precision,
+            },
+        )?;
+        let (pts, w, delta) = expect_coreset(received)?;
+        parts.push(Coreset::new(pts, w, delta).map_err(CoreError::Coreset)?);
+    }
+
+    // Step 4: server merges.
+    let t1 = Instant::now();
+    let coreset = Coreset::merge(parts.iter()).map_err(CoreError::Coreset)?;
+    let server_seconds = t1.elapsed().as_secs_f64();
+
+    Ok(DisSsOutput {
+        coreset,
+        source_seconds,
+        server_seconds,
+    })
+}
+
+/// How the optional JL projection combines with BKLW.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JlPlacement {
+    /// No JL projection (plain BKLW).
+    None,
+    /// Shared-seed JL at every source *before* BKLW (Algorithm 4).
+    Before,
+    /// JL applied to the disSS sample points *after* BKLW — the §5.2
+    /// "distributed counterpart of Algorithm 2" the paper argues is not
+    /// competitive (implemented to verify that claim empirically).
+    After,
+}
+
+/// The BKLW baseline \[27\]: disPCA followed by disSS, k-means at the
+/// server on the union coreset, centers lifted through the global basis.
+#[derive(Debug, Clone)]
+pub struct Bklw {
+    params: SummaryParams,
+}
+
+impl Bklw {
+    /// Creates the BKLW baseline.
+    pub fn new(params: SummaryParams) -> Self {
+        Bklw { params }
+    }
+
+    fn run_inner(
+        &self,
+        shards: &[Matrix],
+        net: &mut Network,
+        placement: JlPlacement,
+    ) -> Result<RunOutput> {
+        let p = &self.params;
+        if shards.is_empty() {
+            return Err(CoreError::InvalidConfig { reason: "no shards" });
+        }
+        let d = shards[0].cols();
+        let total_n: usize = shards.iter().map(|s| s.rows()).sum();
+        p.validate(total_n, d)?;
+        let up0 = net.stats().total_uplink_bits();
+        let down0 = net.stats().total_downlink_bits();
+
+        // Optional shared-seed JL projection at every source (Alg 4).
+        let mut jl_seconds = 0.0f64;
+        let (working, pi1): (Vec<Matrix>, Option<MaybeProjection>) =
+            if placement == JlPlacement::Before {
+                let d1 = p.effective_jl_before(d);
+                let pi = MaybeProjection::generate(
+                    p.jl_kind,
+                    d,
+                    d1,
+                    derive_seed(p.seed, seeds::JL_BEFORE),
+                );
+                let mut projected = Vec::with_capacity(shards.len());
+                for s in shards {
+                    let t0 = Instant::now();
+                    projected.push(pi.project(s)?);
+                    jl_seconds = jl_seconds.max(t0.elapsed().as_secs_f64());
+                }
+                (projected, Some(pi))
+            } else {
+                (shards.to_vec(), None)
+            };
+
+        // disPCA at t1 = t2 = t.
+        let work_dim = working[0].cols();
+        let t = p.effective_pca_dim(work_dim);
+        let pca = dispca(&working, t, net)?;
+
+        // For the §5.2 "JL after BKLW" variant, sources express their
+        // projected data in the original space and apply a shared-seed JL
+        // there before sampling/transmitting. The disPCA summaries above
+        // already paid the O(mkd/ε²) cost, so this cannot improve the
+        // communication order — which is the paper's point.
+        let (sample_spaces, pi2): (Vec<Matrix>, Option<MaybeProjection>) =
+            if placement == JlPlacement::After {
+                let d2 = p.effective_jl_after(d);
+                let pi = MaybeProjection::generate(
+                    p.jl_kind,
+                    d,
+                    d2,
+                    derive_seed(p.seed, seeds::JL_AFTER),
+                );
+                let mut projected = Vec::with_capacity(pca.coords.len());
+                for c in &pca.coords {
+                    let t0 = Instant::now();
+                    let ambient = ops::matmul_transb(c, &pca.basis)?;
+                    projected.push(pi.project(&ambient)?);
+                    jl_seconds = jl_seconds.max(t0.elapsed().as_secs_f64());
+                }
+                (projected, Some(pi))
+            } else {
+                (pca.coords.clone(), None)
+            };
+
+        // disSS over the chosen sample space.
+        let ss = disss(
+            &sample_spaces,
+            p.k,
+            p.coreset_size,
+            derive_seed(p.seed, seeds::FSS),
+            p.quantizer.as_ref(),
+            net,
+        )?;
+
+        // Server: weighted k-means on the union coreset, then map the
+        // centers back to the original space.
+        let t1 = Instant::now();
+        let centers_sample_space = solve_weighted_kmeans(
+            ss.coreset.points(),
+            ss.coreset.weights(),
+            p.k,
+            p.kmeans_restarts,
+            derive_seed(p.seed, seeds::SERVER),
+        )?;
+        let centers = match (&pi1, &pi2) {
+            // JL after: samples live in π2-space; lift straight to R^d.
+            (None, Some(pi)) => pi.lift(&centers_sample_space)?,
+            // Plain / JL before: samples live in disPCA coordinates; lift
+            // through the basis, then through π1⁺ if one was applied.
+            (maybe_pi1, None) => {
+                let in_work =
+                    lift_centers_through_basis(&centers_sample_space, &pca.basis)?;
+                match maybe_pi1 {
+                    Some(pi) => pi.lift(&in_work)?,
+                    None => in_work,
+                }
+            }
+            (Some(_), Some(_)) => {
+                return Err(CoreError::InvalidConfig {
+                    reason: "JL before and after BKLW simultaneously is unsupported",
+                })
+            }
+        };
+        let server_kmeans_seconds = t1.elapsed().as_secs_f64();
+
+        Ok(RunOutput {
+            centers,
+            uplink_bits: net.stats().total_uplink_bits() - up0,
+            downlink_bits: net.stats().total_downlink_bits() - down0,
+            source_seconds: jl_seconds + pca.source_seconds + ss.source_seconds,
+            server_seconds: pca.server_seconds + ss.server_seconds + server_kmeans_seconds,
+            summary_points: ss.coreset.len(),
+        })
+    }
+}
+
+impl DistributedPipeline for Bklw {
+    fn name(&self) -> String {
+        match self.params.quantizer {
+            Some(_) => "BKLW+QT".into(),
+            None => "BKLW".into(),
+        }
+    }
+
+    fn run(&self, shards: &[Matrix], net: &mut Network) -> Result<RunOutput> {
+        self.run_inner(shards, net, JlPlacement::None)
+    }
+}
+
+/// **Algorithm 4** (JL+BKLW): shared-seed JL projection at every source,
+/// then BKLW in the projected space (Theorem 5.4).
+#[derive(Debug, Clone)]
+pub struct JlBklw {
+    inner: Bklw,
+}
+
+impl JlBklw {
+    /// Creates Algorithm 4.
+    pub fn new(params: SummaryParams) -> Self {
+        JlBklw {
+            inner: Bklw::new(params),
+        }
+    }
+}
+
+impl DistributedPipeline for JlBklw {
+    fn name(&self) -> String {
+        match self.inner.params.quantizer {
+            Some(_) => "JL+BKLW+QT".into(),
+            None => "JL+BKLW".into(),
+        }
+    }
+
+    fn run(&self, shards: &[Matrix], net: &mut Network) -> Result<RunOutput> {
+        self.inner.run_inner(shards, net, JlPlacement::Before)
+    }
+}
+
+/// The §5.2 thought-experiment: JL applied *after* BKLW (the distributed
+/// counterpart of Algorithm 2). The paper argues — and this implementation
+/// verifies empirically (see the ablation bench) — that it is **not
+/// competitive**: the disPCA summaries already cost `O(mkd/ε²)`, so the
+/// late projection cannot improve the communication order, while its
+/// distortion adds to the approximation error.
+#[derive(Debug, Clone)]
+pub struct BklwJl {
+    inner: Bklw,
+}
+
+impl BklwJl {
+    /// Creates the BKLW+JL variant.
+    pub fn new(params: SummaryParams) -> Self {
+        BklwJl {
+            inner: Bklw::new(params),
+        }
+    }
+}
+
+impl DistributedPipeline for BklwJl {
+    fn name(&self) -> String {
+        match self.inner.params.quantizer {
+            Some(_) => "BKLW+JL+QT".into(),
+            None => "BKLW+JL".into(),
+        }
+    }
+
+    fn run(&self, shards: &[Matrix], net: &mut Network) -> Result<RunOutput> {
+        self.inner.run_inner(shards, net, JlPlacement::After)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ekm_clustering::cost::cost;
+    use ekm_clustering::kmeans::KMeans;
+    use ekm_data::partition::partition_uniform;
+    use ekm_data::synth::GaussianMixture;
+
+    /// Paper-regime workload: moderate separation, §7.1 normalization
+    /// (see the note on the centralized tests' `workload`).
+    fn workload(n: usize, d: usize, seed: u64) -> Matrix {
+        let raw = GaussianMixture::new(n, d, 2)
+            .with_separation(4.0)
+            .with_cluster_std(1.0)
+            .with_seed(seed)
+            .generate()
+            .unwrap()
+            .points;
+        ekm_data::normalize::normalize_paper(&raw).0
+    }
+
+    fn shards(data: &Matrix, m: usize) -> Vec<Matrix> {
+        partition_uniform(data, m, 99).unwrap()
+    }
+
+    #[test]
+    fn dispca_basis_is_orthonormal_and_captures_energy() {
+        // Strong low-rank structure so a rank-6 basis must capture most
+        // energy (no lifting involved, so no need for the paper regime).
+        let data = GaussianMixture::new(500, 30, 2)
+            .with_separation(12.0)
+            .with_cluster_std(1.0)
+            .with_seed(1)
+            .generate()
+            .unwrap()
+            .points;
+        let parts = shards(&data, 5);
+        let mut net = Network::new(5);
+        let out = dispca(&parts, 6, &mut net).unwrap();
+        assert_eq!(out.basis.shape(), (30, 6));
+        let g = ops::gram(&out.basis);
+        assert!(g.approx_eq(&Matrix::identity(6), 1e-6));
+        // Projection captures most energy of well-clustered data.
+        let coords_energy: f64 = out.coords.iter().map(|c| c.frobenius_norm_sq()).sum();
+        let total: f64 = parts.iter().map(|s| s.frobenius_norm_sq()).sum();
+        assert!(coords_energy / total > 0.8, "captured {}", coords_energy / total);
+        // Uplink includes m SVD summaries; downlink the broadcast basis.
+        assert!(net.stats().total_uplink_bits() > 0);
+        assert!(net.stats().total_downlink_bits() > 0);
+    }
+
+    #[test]
+    fn dispca_close_to_centralized_pca() {
+        let data = workload(400, 20, 2);
+        let parts = shards(&data, 4);
+        let mut net = Network::new(4);
+        let out = dispca(&parts, 5, &mut net).unwrap();
+        // Residual energy of the distributed basis vs the centralized one.
+        let coords = ops::matmul(&data, &out.basis).unwrap();
+        let dist_resid = data.frobenius_norm_sq() - coords.frobenius_norm_sq();
+        let pca = ekm_sketch::Pca::fit(&data, 5).unwrap();
+        let cent_resid = pca.residual_sq();
+        assert!(
+            dist_resid <= 1.2 * cent_resid + 1e-6,
+            "disPCA residual {dist_resid} vs centralized {cent_resid}"
+        );
+    }
+
+    #[test]
+    fn disss_coreset_weight_matches_n() {
+        let data = workload(600, 10, 3);
+        let parts = shards(&data, 6);
+        let mut net = Network::new(6);
+        let out = disss(&parts, 2, 80, 7, None, &mut net).unwrap();
+        assert!(
+            (out.coreset.total_weight() - 600.0).abs() < 1e-6,
+            "Σw = {}",
+            out.coreset.total_weight()
+        );
+        assert_eq!(out.coreset.delta(), 0.0);
+    }
+
+    #[test]
+    fn disss_coreset_approximates_cost() {
+        let data = workload(800, 8, 4);
+        let parts = shards(&data, 4);
+        let mut net = Network::new(4);
+        let out = disss(&parts, 2, 200, 8, None, &mut net).unwrap();
+        for trial in 0..3 {
+            let x = ekm_linalg::random::gaussian_matrix(40 + trial, 2, 8, 6.0);
+            let truth = cost(&data, &x).unwrap();
+            let approx = out.coreset.cost(&x).unwrap();
+            let ratio = approx / truth;
+            assert!((0.6..=1.4).contains(&ratio), "distortion {ratio}");
+        }
+    }
+
+    #[test]
+    fn bklw_and_jlbklw_produce_good_centers() {
+        let data = workload(900, 60, 5);
+        let parts = shards(&data, 10);
+        let reference = KMeans::new(2).with_seed(1).with_n_init(5).fit(&data).unwrap();
+        for (name, out) in [
+            (
+                "BKLW",
+                Bklw::new(SummaryParams::practical(2, 900, 60).with_seed(3))
+                    .run(&parts, &mut Network::new(10))
+                    .unwrap(),
+            ),
+            (
+                "JL+BKLW",
+                JlBklw::new(SummaryParams::practical(2, 900, 60).with_seed(3))
+                    .run(&parts, &mut Network::new(10))
+                    .unwrap(),
+            ),
+        ] {
+            assert_eq!(out.centers.shape(), (2, 60), "{name}");
+            let c = cost(&data, &out.centers).unwrap();
+            let ratio = c / reference.inertia;
+            assert!(ratio < 1.35, "{name}: normalized cost {ratio}");
+        }
+    }
+
+    #[test]
+    fn jl_bklw_sends_fewer_bits_for_high_dim() {
+        let data = workload(600, 300, 6);
+        let parts = shards(&data, 5);
+        let params = SummaryParams::practical(2, 600, 300).with_seed(4);
+        let mut net1 = Network::new(5);
+        let bklw = Bklw::new(params.clone()).run(&parts, &mut net1).unwrap();
+        let mut net2 = Network::new(5);
+        let jl = JlBklw::new(params).run(&parts, &mut net2).unwrap();
+        assert!(
+            jl.uplink_bits < bklw.uplink_bits,
+            "JL+BKLW {} vs BKLW {}",
+            jl.uplink_bits,
+            bklw.uplink_bits
+        );
+    }
+
+    #[test]
+    fn quantized_variants_cut_bits() {
+        let data = workload(500, 40, 7);
+        let parts = shards(&data, 5);
+        let base = SummaryParams::practical(2, 500, 40).with_seed(5);
+        let q = ekm_quant::RoundingQuantizer::new(8).unwrap();
+        let mut net1 = Network::new(5);
+        let plain = Bklw::new(base.clone()).run(&parts, &mut net1).unwrap();
+        let mut net2 = Network::new(5);
+        let quant = Bklw::new(base.with_quantizer(q)).run(&parts, &mut net2).unwrap();
+        assert!(quant.uplink_bits < plain.uplink_bits);
+        let c_plain = cost(&data, &plain.centers).unwrap();
+        let c_quant = cost(&data, &quant.centers).unwrap();
+        assert!(c_quant < 1.3 * c_plain, "QT cost {c_quant} vs {c_plain}");
+    }
+
+    #[test]
+    fn names() {
+        let p = SummaryParams::practical(2, 100, 10);
+        assert_eq!(Bklw::new(p.clone()).name(), "BKLW");
+        assert_eq!(JlBklw::new(p.clone()).name(), "JL+BKLW");
+        let q = ekm_quant::RoundingQuantizer::new(4).unwrap();
+        assert_eq!(Bklw::new(p.clone().with_quantizer(q)).name(), "BKLW+QT");
+        assert_eq!(JlBklw::new(p.with_quantizer(q)).name(), "JL+BKLW+QT");
+    }
+
+    #[test]
+    fn config_errors() {
+        let p = SummaryParams::practical(2, 100, 10);
+        let mut net = Network::new(2);
+        assert!(Bklw::new(p.clone()).run(&[], &mut net).is_err());
+        // Shard/network mismatch in dispca.
+        let data = workload(40, 5, 8);
+        let parts = shards(&data, 4);
+        assert!(dispca(&parts, 2, &mut net).is_err());
+        // Zero budget in disss.
+        let mut net4 = Network::new(4);
+        assert!(disss(&parts, 2, 0, 0, None, &mut net4).is_err());
+    }
+
+    #[test]
+    fn disss_handles_zero_cost_shards() {
+        // One shard entirely at a single point: cost 0, allocation 0,
+        // still contributes its center with the right weight.
+        let a = Matrix::from_fn(50, 3, |_, _| 2.0);
+        let b = workload(50, 3, 9);
+        let mut net = Network::new(2);
+        let out = disss(&[a, b], 2, 30, 1, None, &mut net).unwrap();
+        assert!((out.coreset.total_weight() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = workload(300, 20, 10);
+        let parts = shards(&data, 3);
+        let params = SummaryParams::practical(2, 300, 20).with_seed(21);
+        let a = JlBklw::new(params.clone())
+            .run(&parts, &mut Network::new(3))
+            .unwrap();
+        let b = JlBklw::new(params).run(&parts, &mut Network::new(3)).unwrap();
+        assert!(a.centers.approx_eq(&b.centers, 0.0));
+        assert_eq!(a.uplink_bits, b.uplink_bits);
+    }
+
+    #[test]
+    fn bklw_jl_variant_runs_but_does_not_beat_bklw_on_comm() {
+        // §5.2: applying JL *after* BKLW keeps the same communication
+        // order (the disPCA summaries dominate) — the reason the paper
+        // dismisses this ordering in the distributed setting.
+        let data = workload(600, 80, 11);
+        let parts = shards(&data, 5);
+        let params = SummaryParams::practical(2, 600, 80).with_seed(13);
+        let plain = Bklw::new(params.clone())
+            .run(&parts, &mut Network::new(5))
+            .unwrap();
+        let after = BklwJl::new(params)
+            .run(&parts, &mut Network::new(5))
+            .unwrap();
+        assert_eq!(after.centers.shape(), (2, 80));
+        assert!(after.centers.as_slice().iter().all(|v| v.is_finite()));
+        // Same order of magnitude: no dramatic saving from the late JL.
+        assert!(
+            after.uplink_bits * 2 > plain.uplink_bits,
+            "BKLW+JL {} vs BKLW {} — late JL should not halve the bits",
+            after.uplink_bits,
+            plain.uplink_bits
+        );
+        let c = cost(&data, &after.centers).unwrap();
+        let reference = KMeans::new(2).with_seed(1).with_n_init(5).fit(&data).unwrap();
+        assert!(c / reference.inertia < 1.5, "BKLW+JL cost ratio {}", c / reference.inertia);
+    }
+
+    #[test]
+    fn bklw_jl_name() {
+        let p = SummaryParams::practical(2, 100, 10);
+        assert_eq!(BklwJl::new(p.clone()).name(), "BKLW+JL");
+        let q = ekm_quant::RoundingQuantizer::new(4).unwrap();
+        assert_eq!(BklwJl::new(p.with_quantizer(q)).name(), "BKLW+JL+QT");
+    }
+}

@@ -1,0 +1,48 @@
+//! Pipeline run results.
+
+use ekm_linalg::Matrix;
+
+/// The result of one end-to-end pipeline run.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// k-means centers mapped back to the original space (`k × d`).
+    pub centers: Matrix,
+    /// Total bits the data source(s) sent to the server.
+    pub uplink_bits: u64,
+    /// Total bits the server sent to the data source(s).
+    pub downlink_bits: u64,
+    /// Wall-clock seconds of data-source-side computation (max over
+    /// sources in the distributed setting — sources work in parallel).
+    pub source_seconds: f64,
+    /// Wall-clock seconds of server-side computation.
+    pub server_seconds: f64,
+    /// Number of summary points the server clustered.
+    pub summary_points: usize,
+}
+
+impl RunOutput {
+    /// Normalized communication cost: uplink bits over the raw-dataset bit
+    /// size (`n·d` doubles) — the paper's Table 3/4 metric.
+    pub fn normalized_comm(&self, n: usize, d: usize) -> f64 {
+        self.uplink_bits as f64 / ((n * d) as f64 * 64.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_comm_metric() {
+        let out = RunOutput {
+            centers: Matrix::zeros(2, 3),
+            uplink_bits: 64,
+            downlink_bits: 0,
+            source_seconds: 0.0,
+            server_seconds: 0.0,
+            summary_points: 5,
+        };
+        // 64 bits over 10×10×64 = 6400 raw bits = 0.01.
+        assert!((out.normalized_comm(10, 10) - 0.01).abs() < 1e-12);
+    }
+}

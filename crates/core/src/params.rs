@@ -1,0 +1,276 @@
+//! Pipeline configuration.
+//!
+//! The paper's theorems fix every size as a function of `(n, d, k, ε, δ)`
+//! with large constants; its experiments instead tune sizes so all
+//! algorithms reach a similar empirical error (§7.2.1). [`SummaryParams`]
+//! carries the tuned knobs, and [`SummaryParams::practical`] derives
+//! defaults from the scaled-down formulas:
+//!
+//! * coreset size `⌈25·k·ln n⌉` (clamped),
+//! * FSS/disPCA intrinsic dimension `t = k + ⌈4k/ε²⌉ − 1` (Theorem 5.1),
+//! * first JL dimension `⌈ln(nk)/ε²⌉` (Lemma 4.1 shape, unit constant),
+//! * second JL dimension `⌈ln(n'k)/ε²⌉` (Lemma 4.2 shape).
+
+use ekm_quant::RoundingQuantizer;
+use ekm_sketch::JlKind;
+
+/// Tunable configuration shared by all pipelines.
+#[derive(Debug, Clone)]
+pub struct SummaryParams {
+    /// Number of k-means centers `k`.
+    pub k: usize,
+    /// Error parameter ε (drives derived dimensions).
+    pub epsilon: f64,
+    /// Failure probability δ.
+    pub delta: f64,
+    /// Sensitivity-sampling coreset size.
+    pub coreset_size: usize,
+    /// FSS / disPCA intrinsic dimension `t` (`t1 = t2`).
+    pub pca_dim: usize,
+    /// Dimension of the JL projection applied *before* CR (`d'`).
+    pub jl_dim_before: usize,
+    /// Dimension of the JL projection applied *after* CR (`d''`).
+    pub jl_dim_after: usize,
+    /// JL family used for every projection.
+    pub jl_kind: JlKind,
+    /// Optional quantizer applied to transmitted coreset points (§6).
+    pub quantizer: Option<RoundingQuantizer>,
+    /// Seed shared by sources and server (projections are regenerated
+    /// from it, never transmitted).
+    pub seed: u64,
+    /// k-means++ restarts of the server-side solver.
+    pub kmeans_restarts: usize,
+}
+
+impl SummaryParams {
+    /// Practical defaults for a dataset of `n` points in `d` dimensions,
+    /// with `ε = 0.5`, `δ = 0.1` — the regime the paper's experiments
+    /// operate in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k`, `n`, or `d` is zero.
+    pub fn practical(k: usize, n: usize, d: usize) -> Self {
+        assert!(k > 0 && n > 0 && d > 0, "k, n, d must be positive");
+        let epsilon = 0.5;
+        let delta = 0.1;
+        let coreset_size = ekm_coreset::size::practical_fss_sample_size(n, k, 25.0);
+        let pca_dim = ekm_sketch::dims::theorem51_pca_dim(k, epsilon).min(d);
+        // The pre-CR projection controls the quality of the final center
+        // lift `X = X'·Π⁺` much more than the communication cost (its size
+        // only enters through the small FSS basis), so it gets a larger
+        // constant plus a floor of d/2. The floor matches the paper's own
+        // operating point: Lemma 4.1 with the §6.3.2 constant gives
+        // d' = ⌈8·ln(4nk/δ)/ε²⌉ ≈ 0.6·d at MNIST scale (≈493 of 784).
+        let jl_before = ekm_sketch::dims::practical_jl_dim(n, k, epsilon, 2.0, d)
+            .max(d.div_ceil(2))
+            .min(d);
+        // After CR the cardinality is the coreset size (plus bicriteria
+        // centers); Lemma 4.2 uses that smaller n'.
+        let n_prime = coreset_size.max(2);
+        let jl_after = ekm_sketch::dims::practical_jl_dim(n_prime, k, epsilon, 1.0, d);
+        SummaryParams {
+            k,
+            epsilon,
+            delta,
+            coreset_size,
+            pca_dim,
+            jl_dim_before: jl_before,
+            jl_dim_after: jl_after,
+            jl_kind: JlKind::Gaussian,
+            quantizer: None,
+            seed: 0,
+            kmeans_restarts: 3,
+        }
+    }
+
+    /// Sets the shared seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the error parameter and rederives nothing (explicit knobs win).
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the coreset size.
+    pub fn with_coreset_size(mut self, size: usize) -> Self {
+        self.coreset_size = size;
+        self
+    }
+
+    /// Sets the FSS/disPCA intrinsic dimension.
+    pub fn with_pca_dim(mut self, t: usize) -> Self {
+        self.pca_dim = t.max(1);
+        self
+    }
+
+    /// Sets the pre-CR JL dimension `d'`.
+    pub fn with_jl_dim_before(mut self, d: usize) -> Self {
+        self.jl_dim_before = d.max(1);
+        self
+    }
+
+    /// Sets the post-CR JL dimension `d''`.
+    pub fn with_jl_dim_after(mut self, d: usize) -> Self {
+        self.jl_dim_after = d.max(1);
+        self
+    }
+
+    /// Sets the JL family.
+    pub fn with_jl_kind(mut self, kind: JlKind) -> Self {
+        self.jl_kind = kind;
+        self
+    }
+
+    /// Attaches a quantizer (the `+QT` pipeline variants of §6).
+    pub fn with_quantizer(mut self, q: RoundingQuantizer) -> Self {
+        self.quantizer = Some(q);
+        self
+    }
+
+    /// Removes the quantizer.
+    pub fn without_quantizer(mut self) -> Self {
+        self.quantizer = None;
+        self
+    }
+
+    /// Sets the server-side k-means restarts.
+    pub fn with_kmeans_restarts(mut self, restarts: usize) -> Self {
+        self.kmeans_restarts = restarts.max(1);
+        self
+    }
+
+    /// Validates the configuration against a dataset shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::InvalidConfig`] describing the problem.
+    pub fn validate(&self, n: usize, d: usize) -> crate::Result<()> {
+        if self.k == 0 {
+            return Err(crate::CoreError::InvalidConfig { reason: "k is zero" });
+        }
+        if n == 0 || d == 0 {
+            return Err(crate::CoreError::InvalidConfig {
+                reason: "empty dataset",
+            });
+        }
+        if self.coreset_size == 0 {
+            return Err(crate::CoreError::InvalidConfig {
+                reason: "coreset size is zero",
+            });
+        }
+        if !(self.epsilon > 0.0 && self.epsilon < 1.0) {
+            return Err(crate::CoreError::InvalidConfig {
+                reason: "epsilon outside (0,1)",
+            });
+        }
+        if !(self.delta > 0.0 && self.delta < 1.0) {
+            return Err(crate::CoreError::InvalidConfig {
+                reason: "delta outside (0,1)",
+            });
+        }
+        Ok(())
+    }
+
+    /// The pre-CR JL dimension, clamped to the data dimension.
+    pub fn effective_jl_before(&self, d: usize) -> usize {
+        self.jl_dim_before.min(d).max(1)
+    }
+
+    /// The post-CR JL dimension, clamped to the dimension of whatever
+    /// space the coreset lives in.
+    pub fn effective_jl_after(&self, current_dim: usize) -> usize {
+        self.jl_dim_after.min(current_dim).max(1)
+    }
+
+    /// The intrinsic (PCA) dimension, clamped.
+    pub fn effective_pca_dim(&self, d: usize) -> usize {
+        self.pca_dim.min(d).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn practical_defaults_reasonable() {
+        let p = SummaryParams::practical(2, 60_000, 784);
+        assert_eq!(p.k, 2);
+        assert!(p.coreset_size >= 100 && p.coreset_size <= 2000, "{}", p.coreset_size);
+        assert!(p.pca_dim >= 2 && p.pca_dim <= 784);
+        assert!(p.jl_dim_before >= 2 && p.jl_dim_before <= 784);
+        assert!(p.jl_dim_after <= p.jl_dim_before);
+        assert!(p.validate(60_000, 784).is_ok());
+    }
+
+    #[test]
+    fn builders_apply() {
+        let p = SummaryParams::practical(2, 1000, 50)
+            .with_seed(9)
+            .with_epsilon(0.3)
+            .with_coreset_size(77)
+            .with_pca_dim(5)
+            .with_jl_dim_before(20)
+            .with_jl_dim_after(10)
+            .with_jl_kind(JlKind::Achlioptas)
+            .with_kmeans_restarts(0);
+        assert_eq!(p.seed, 9);
+        assert_eq!(p.epsilon, 0.3);
+        assert_eq!(p.coreset_size, 77);
+        assert_eq!(p.pca_dim, 5);
+        assert_eq!(p.jl_dim_before, 20);
+        assert_eq!(p.jl_dim_after, 10);
+        assert_eq!(p.jl_kind, JlKind::Achlioptas);
+        assert_eq!(p.kmeans_restarts, 1); // clamped
+    }
+
+    #[test]
+    fn quantizer_attach_detach() {
+        let q = RoundingQuantizer::new(8).unwrap();
+        let p = SummaryParams::practical(2, 100, 10).with_quantizer(q);
+        assert!(p.quantizer.is_some());
+        let p = p.without_quantizer();
+        assert!(p.quantizer.is_none());
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let p = SummaryParams::practical(2, 100, 10);
+        assert!(p.validate(0, 10).is_err());
+        assert!(p.validate(100, 0).is_err());
+        let mut bad = p.clone();
+        bad.k = 0;
+        assert!(bad.validate(100, 10).is_err());
+        let mut bad = p.clone();
+        bad.coreset_size = 0;
+        assert!(bad.validate(100, 10).is_err());
+        let mut bad = p.clone();
+        bad.epsilon = 1.0;
+        assert!(bad.validate(100, 10).is_err());
+        let mut bad = p;
+        bad.delta = 0.0;
+        assert!(bad.validate(100, 10).is_err());
+    }
+
+    #[test]
+    fn effective_dims_clamp() {
+        let p = SummaryParams::practical(2, 1000, 100)
+            .with_jl_dim_before(500)
+            .with_jl_dim_after(400)
+            .with_pca_dim(300);
+        assert_eq!(p.effective_jl_before(100), 100);
+        assert_eq!(p.effective_jl_after(30), 30);
+        assert_eq!(p.effective_pca_dim(100), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn practical_zero_k_panics() {
+        let _ = SummaryParams::practical(0, 10, 10);
+    }
+}

@@ -1,0 +1,647 @@
+//! Single-data-source pipelines (paper §4 and the §6 quantized variants).
+//!
+//! Every pipeline plays both roles of the protocol: the *data source* part
+//! builds a summary and sends it over the [`Network`] (whose counters
+//! measure the encoded bits), and the *server* part solves weighted
+//! k-means on what arrives and maps the centers back to the original
+//! space. JL projection matrices are regenerated from the shared seed on
+//! the server side — they are never transmitted.
+
+use crate::params::SummaryParams;
+use crate::projection::MaybeProjection;
+use crate::server::{lift_centers_through_basis, solve_weighted_kmeans};
+use crate::{CoreError, Result, RunOutput};
+use ekm_coreset::FssBuilder;
+use ekm_linalg::random::derive_seed;
+use ekm_linalg::{ops, Matrix};
+use ekm_net::messages::Message;
+use ekm_net::wire::Precision;
+use ekm_net::Network;
+use ekm_quant::RoundingQuantizer;
+use std::time::Instant;
+
+/// Seed streams derived from the shared seed (source and server derive
+/// identical values).
+pub(crate) mod seeds {
+    /// First (pre-CR) JL projection.
+    pub const JL_BEFORE: u64 = 1;
+    /// Second (post-CR) JL projection.
+    pub const JL_AFTER: u64 = 2;
+    /// FSS / sensitivity sampling randomness.
+    pub const FSS: u64 = 3;
+    /// Server-side k-means solver.
+    pub const SERVER: u64 = 4;
+}
+
+/// A pipeline in the single-data-source (centralized) setting.
+pub trait CentralizedPipeline {
+    /// Human-readable name matching the paper's legends ("JL+FSS", …).
+    fn name(&self) -> String;
+
+    /// Runs the full source → server protocol on `data`, charging all
+    /// traffic to source 0 of `net`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, numeric, and protocol failures.
+    fn run(&self, data: &Matrix, net: &mut Network) -> Result<RunOutput>;
+}
+
+/// Quantizes points for the wire if a quantizer is configured; returns the
+/// payload and its [`Precision`].
+pub(crate) fn quantize_for_wire(
+    points: &Matrix,
+    quantizer: Option<&RoundingQuantizer>,
+) -> (Matrix, Precision) {
+    match quantizer {
+        Some(q) => (
+            q.quantize_matrix(points),
+            Precision::Quantized {
+                s: q.significant_bits(),
+            },
+        ),
+        None => (points.clone(), Precision::Full),
+    }
+}
+
+/// Destructures a decoded coreset message.
+pub(crate) fn expect_coreset(msg: Message) -> Result<(Matrix, Vec<f64>, f64)> {
+    match msg {
+        Message::Coreset {
+            points,
+            weights,
+            delta,
+            ..
+        } => Ok((points, weights, delta)),
+        _ => Err(CoreError::Protocol {
+            reason: "expected a coreset message",
+        }),
+    }
+}
+
+/// Destructures a decoded basis message.
+pub(crate) fn expect_basis(msg: Message) -> Result<Matrix> {
+    match msg {
+        Message::Basis { basis } => Ok(basis),
+        _ => Err(CoreError::Protocol {
+            reason: "expected a basis message",
+        }),
+    }
+}
+
+/// The "no reduction" baseline: ship the raw dataset, solve at the server.
+#[derive(Debug, Clone)]
+pub struct NoReduction {
+    params: SummaryParams,
+}
+
+impl NoReduction {
+    /// Creates the baseline with the given parameters (only `k`,
+    /// `kmeans_restarts`, and `seed` are used).
+    pub fn new(params: SummaryParams) -> Self {
+        NoReduction { params }
+    }
+}
+
+impl CentralizedPipeline for NoReduction {
+    fn name(&self) -> String {
+        "NR".into()
+    }
+
+    fn run(&self, data: &Matrix, net: &mut Network) -> Result<RunOutput> {
+        self.params.validate(data.rows(), data.cols())?;
+        let up0 = net.stats().total_uplink_bits();
+        let down0 = net.stats().total_downlink_bits();
+
+        let t0 = Instant::now();
+        let msg = Message::RawData {
+            points: data.clone(),
+        };
+        let source_seconds = t0.elapsed().as_secs_f64();
+        let received = net.send_to_server(0, &msg)?;
+        let points = match received {
+            Message::RawData { points } => points,
+            _ => {
+                return Err(CoreError::Protocol {
+                    reason: "expected raw data",
+                })
+            }
+        };
+
+        let t1 = Instant::now();
+        let weights = vec![1.0; points.rows()];
+        let centers = solve_weighted_kmeans(
+            &points,
+            &weights,
+            self.params.k,
+            self.params.kmeans_restarts,
+            derive_seed(self.params.seed, seeds::SERVER),
+        )?;
+        let server_seconds = t1.elapsed().as_secs_f64();
+
+        Ok(RunOutput {
+            centers,
+            uplink_bits: net.stats().total_uplink_bits() - up0,
+            downlink_bits: net.stats().total_downlink_bits() - down0,
+            source_seconds,
+            server_seconds,
+            summary_points: points.rows(),
+        })
+    }
+}
+
+/// The FSS baseline \[11\]: PCA-subspace coreset, transmitted as
+/// coordinates **plus the subspace basis** (the `O(kd/ε²)` communication
+/// cost of Theorem 4.1).
+#[derive(Debug, Clone)]
+pub struct Fss {
+    params: SummaryParams,
+}
+
+impl Fss {
+    /// Creates the FSS baseline.
+    pub fn new(params: SummaryParams) -> Self {
+        Fss { params }
+    }
+}
+
+impl CentralizedPipeline for Fss {
+    fn name(&self) -> String {
+        match self.params.quantizer {
+            Some(_) => "FSS+QT".into(),
+            None => "FSS".into(),
+        }
+    }
+
+    fn run(&self, data: &Matrix, net: &mut Network) -> Result<RunOutput> {
+        let p = &self.params;
+        p.validate(data.rows(), data.cols())?;
+        let up0 = net.stats().total_uplink_bits();
+        let down0 = net.stats().total_downlink_bits();
+
+        // --- data source ---
+        let t0 = Instant::now();
+        let t = p.effective_pca_dim(data.cols());
+        let fss = FssBuilder::new(p.k)
+            .with_pca_dim(t)
+            .with_sample_size(p.coreset_size)
+            .with_seed(derive_seed(p.seed, seeds::FSS))
+            .build(data)?;
+        let (coords_wire, precision) =
+            quantize_for_wire(fss.coordinates(), p.quantizer.as_ref());
+        let basis_msg = Message::Basis {
+            basis: fss.basis().clone(),
+        };
+        let coreset_msg = Message::Coreset {
+            points: coords_wire,
+            weights: fss.weights().to_vec(),
+            delta: fss.delta(),
+            precision,
+        };
+        let source_seconds = t0.elapsed().as_secs_f64();
+
+        let basis = expect_basis(net.send_to_server(0, &basis_msg)?)?;
+        let (coords, weights, _delta) = expect_coreset(net.send_to_server(0, &coreset_msg)?)?;
+
+        // --- server ---
+        let t1 = Instant::now();
+        let centers_coord = solve_weighted_kmeans(
+            &coords,
+            &weights,
+            p.k,
+            p.kmeans_restarts,
+            derive_seed(p.seed, seeds::SERVER),
+        )?;
+        let centers = lift_centers_through_basis(&centers_coord, &basis)?;
+        let server_seconds = t1.elapsed().as_secs_f64();
+
+        Ok(RunOutput {
+            centers,
+            uplink_bits: net.stats().total_uplink_bits() - up0,
+            downlink_bits: net.stats().total_downlink_bits() - down0,
+            source_seconds,
+            server_seconds,
+            summary_points: coords.rows(),
+        })
+    }
+}
+
+/// **Algorithm 1** (JL+FSS): JL projection first, then FSS in the
+/// projected space. Communication `O(k·log n/ε⁴)`, source complexity
+/// `Õ(nd/ε²)` (Theorem 4.2).
+#[derive(Debug, Clone)]
+pub struct JlFss {
+    params: SummaryParams,
+}
+
+impl JlFss {
+    /// Creates Algorithm 1.
+    pub fn new(params: SummaryParams) -> Self {
+        JlFss { params }
+    }
+}
+
+impl CentralizedPipeline for JlFss {
+    fn name(&self) -> String {
+        match self.params.quantizer {
+            Some(_) => "JL+FSS+QT".into(),
+            None => "JL+FSS".into(),
+        }
+    }
+
+    fn run(&self, data: &Matrix, net: &mut Network) -> Result<RunOutput> {
+        let p = &self.params;
+        p.validate(data.rows(), data.cols())?;
+        let up0 = net.stats().total_uplink_bits();
+        let down0 = net.stats().total_downlink_bits();
+        let d = data.cols();
+
+        // --- data source ---
+        let t0 = Instant::now();
+        let d1 = p.effective_jl_before(d);
+        let pi1 =
+            MaybeProjection::generate(p.jl_kind, d, d1, derive_seed(p.seed, seeds::JL_BEFORE));
+        let projected = pi1.project(data)?;
+        let t = p.effective_pca_dim(pi1.target_dim());
+        let fss = FssBuilder::new(p.k)
+            .with_pca_dim(t)
+            .with_sample_size(p.coreset_size)
+            .with_seed(derive_seed(p.seed, seeds::FSS))
+            .build(&projected)?;
+        let (coords_wire, precision) =
+            quantize_for_wire(fss.coordinates(), p.quantizer.as_ref());
+        let basis_msg = Message::Basis {
+            basis: fss.basis().clone(), // d1 × t — small, no O(d) term
+        };
+        let coreset_msg = Message::Coreset {
+            points: coords_wire,
+            weights: fss.weights().to_vec(),
+            delta: fss.delta(),
+            precision,
+        };
+        let source_seconds = t0.elapsed().as_secs_f64();
+
+        let basis = expect_basis(net.send_to_server(0, &basis_msg)?)?;
+        let (coords, weights, _delta) = expect_coreset(net.send_to_server(0, &coreset_msg)?)?;
+
+        // --- server ---
+        let t1 = Instant::now();
+        let centers_coord = solve_weighted_kmeans(
+            &coords,
+            &weights,
+            p.k,
+            p.kmeans_restarts,
+            derive_seed(p.seed, seeds::SERVER),
+        )?;
+        // Lift: coordinates → R^{d1} (basis), then R^{d1} → R^d (π1⁺,
+        // regenerated from the shared seed).
+        let in_proj = lift_centers_through_basis(&centers_coord, &basis)?;
+        let pi1_server =
+            MaybeProjection::generate(p.jl_kind, d, d1, derive_seed(p.seed, seeds::JL_BEFORE));
+        let centers = pi1_server.lift(&in_proj)?;
+        let server_seconds = t1.elapsed().as_secs_f64();
+
+        Ok(RunOutput {
+            centers,
+            uplink_bits: net.stats().total_uplink_bits() - up0,
+            downlink_bits: net.stats().total_downlink_bits() - down0,
+            source_seconds,
+            server_seconds,
+            summary_points: coords.rows(),
+        })
+    }
+}
+
+/// **Algorithm 2** (FSS+JL): FSS in the original space, then JL projection
+/// of the coreset points. Communication `Õ(k³/ε⁶)` (no basis, no `log n`),
+/// source complexity `O(nd·min(n,d))` (Theorem 4.3).
+#[derive(Debug, Clone)]
+pub struct FssJl {
+    params: SummaryParams,
+}
+
+impl FssJl {
+    /// Creates Algorithm 2.
+    pub fn new(params: SummaryParams) -> Self {
+        FssJl { params }
+    }
+}
+
+impl CentralizedPipeline for FssJl {
+    fn name(&self) -> String {
+        match self.params.quantizer {
+            Some(_) => "FSS+JL+QT".into(),
+            None => "FSS+JL".into(),
+        }
+    }
+
+    fn run(&self, data: &Matrix, net: &mut Network) -> Result<RunOutput> {
+        let p = &self.params;
+        p.validate(data.rows(), data.cols())?;
+        let up0 = net.stats().total_uplink_bits();
+        let down0 = net.stats().total_downlink_bits();
+        let d = data.cols();
+
+        // --- data source ---
+        let t0 = Instant::now();
+        let t = p.effective_pca_dim(d);
+        let fss = FssBuilder::new(p.k)
+            .with_pca_dim(t)
+            .with_sample_size(p.coreset_size)
+            .with_seed(derive_seed(p.seed, seeds::FSS))
+            .build(data)?;
+        // Coreset points back in ambient space, then JL (Lemma 4.2 dims).
+        let ambient = ops::matmul_transb(fss.coordinates(), fss.basis())?;
+        let d2 = p.effective_jl_after(d);
+        let pi2 =
+            MaybeProjection::generate(p.jl_kind, d, d2, derive_seed(p.seed, seeds::JL_AFTER));
+        let projected = pi2.project(&ambient)?;
+        let (points_wire, precision) = quantize_for_wire(&projected, p.quantizer.as_ref());
+        let coreset_msg = Message::Coreset {
+            points: points_wire,
+            weights: fss.weights().to_vec(),
+            delta: fss.delta(),
+            precision,
+        };
+        let source_seconds = t0.elapsed().as_secs_f64();
+
+        let (points, weights, _delta) = expect_coreset(net.send_to_server(0, &coreset_msg)?)?;
+
+        // --- server ---
+        let t1 = Instant::now();
+        let centers_proj = solve_weighted_kmeans(
+            &points,
+            &weights,
+            p.k,
+            p.kmeans_restarts,
+            derive_seed(p.seed, seeds::SERVER),
+        )?;
+        let pi2_server =
+            MaybeProjection::generate(p.jl_kind, d, d2, derive_seed(p.seed, seeds::JL_AFTER));
+        let centers = pi2_server.lift(&centers_proj)?;
+        let server_seconds = t1.elapsed().as_secs_f64();
+
+        Ok(RunOutput {
+            centers,
+            uplink_bits: net.stats().total_uplink_bits() - up0,
+            downlink_bits: net.stats().total_downlink_bits() - down0,
+            source_seconds,
+            server_seconds,
+            summary_points: points.rows(),
+        })
+    }
+}
+
+/// **Algorithm 3** (JL+FSS+JL): JL before *and* after FSS — the
+/// communication of Algorithm 2 at the complexity of Algorithm 1
+/// (Theorem 4.4).
+#[derive(Debug, Clone)]
+pub struct JlFssJl {
+    params: SummaryParams,
+}
+
+impl JlFssJl {
+    /// Creates Algorithm 3.
+    pub fn new(params: SummaryParams) -> Self {
+        JlFssJl { params }
+    }
+}
+
+impl CentralizedPipeline for JlFssJl {
+    fn name(&self) -> String {
+        match self.params.quantizer {
+            Some(_) => "JL+FSS+JL+QT".into(),
+            None => "JL+FSS+JL".into(),
+        }
+    }
+
+    fn run(&self, data: &Matrix, net: &mut Network) -> Result<RunOutput> {
+        let p = &self.params;
+        p.validate(data.rows(), data.cols())?;
+        let up0 = net.stats().total_uplink_bits();
+        let down0 = net.stats().total_downlink_bits();
+        let d = data.cols();
+
+        // --- data source ---
+        let t0 = Instant::now();
+        let d1 = p.effective_jl_before(d);
+        let pi1 =
+            MaybeProjection::generate(p.jl_kind, d, d1, derive_seed(p.seed, seeds::JL_BEFORE));
+        let projected = pi1.project(data)?;
+        let t = p.effective_pca_dim(pi1.target_dim());
+        let fss = FssBuilder::new(p.k)
+            .with_pca_dim(t)
+            .with_sample_size(p.coreset_size)
+            .with_seed(derive_seed(p.seed, seeds::FSS))
+            .build(&projected)?;
+        let ambient = ops::matmul_transb(fss.coordinates(), fss.basis())?; // in R^{d1}
+        let d2 = p.effective_jl_after(pi1.target_dim());
+        let pi2 = MaybeProjection::generate(
+            p.jl_kind,
+            pi1.target_dim(),
+            d2,
+            derive_seed(p.seed, seeds::JL_AFTER),
+        );
+        let twice = pi2.project(&ambient)?;
+        let (points_wire, precision) = quantize_for_wire(&twice, p.quantizer.as_ref());
+        let coreset_msg = Message::Coreset {
+            points: points_wire,
+            weights: fss.weights().to_vec(),
+            delta: fss.delta(),
+            precision,
+        };
+        let source_seconds = t0.elapsed().as_secs_f64();
+
+        let (points, weights, _delta) = expect_coreset(net.send_to_server(0, &coreset_msg)?)?;
+
+        // --- server ---
+        let t1 = Instant::now();
+        let centers_proj = solve_weighted_kmeans(
+            &points,
+            &weights,
+            p.k,
+            p.kmeans_restarts,
+            derive_seed(p.seed, seeds::SERVER),
+        )?;
+        let pi1_server =
+            MaybeProjection::generate(p.jl_kind, d, d1, derive_seed(p.seed, seeds::JL_BEFORE));
+        let pi2_server = MaybeProjection::generate(
+            p.jl_kind,
+            pi1_server.target_dim(),
+            d2,
+            derive_seed(p.seed, seeds::JL_AFTER),
+        );
+        let centers = pi1_server.lift(&pi2_server.lift(&centers_proj)?)?;
+        let server_seconds = t1.elapsed().as_secs_f64();
+
+        Ok(RunOutput {
+            centers,
+            uplink_bits: net.stats().total_uplink_bits() - up0,
+            downlink_bits: net.stats().total_downlink_bits() - down0,
+            source_seconds,
+            server_seconds,
+            summary_points: points.rows(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ekm_clustering::cost::cost;
+    use ekm_data::synth::GaussianMixture;
+
+    /// A paper-regime workload: moderately separated mixture, normalized
+    /// to zero mean / [-1, 1] exactly as §7.1 prescribes. (The JL-based
+    /// pipelines lift centers through Π⁺, which — like in the paper —
+    /// assumes centroid norms are modest relative to in-cluster scatter;
+    /// normalization is what makes that hold on the real datasets too.)
+    fn workload(n: usize, d: usize, seed: u64) -> Matrix {
+        let raw = GaussianMixture::new(n, d, 2)
+            .with_separation(4.0)
+            .with_cluster_std(1.0)
+            .with_seed(seed)
+            .generate()
+            .unwrap()
+            .points;
+        ekm_data::normalize::normalize_paper(&raw).0
+    }
+
+    fn params(n: usize, d: usize) -> SummaryParams {
+        SummaryParams::practical(2, n, d).with_seed(11)
+    }
+
+    fn all_pipelines(p: &SummaryParams) -> Vec<Box<dyn CentralizedPipeline>> {
+        vec![
+            Box::new(Fss::new(p.clone())),
+            Box::new(JlFss::new(p.clone())),
+            Box::new(FssJl::new(p.clone())),
+            Box::new(JlFssJl::new(p.clone())),
+        ]
+    }
+
+    #[test]
+    fn all_pipelines_produce_good_centers() {
+        let data = workload(600, 40, 1);
+        let p = params(600, 40);
+        let mut net = Network::new(1);
+        let reference = NoReduction::new(p.clone())
+            .run(&data, &mut net)
+            .unwrap();
+        let ref_cost = cost(&data, &reference.centers).unwrap();
+        for pipe in all_pipelines(&p) {
+            let out = pipe.run(&data, &mut net).unwrap();
+            assert_eq!(out.centers.shape(), (2, 40), "{}", pipe.name());
+            let c = cost(&data, &out.centers).unwrap();
+            let ratio = c / ref_cost;
+            assert!(
+                ratio < 1.35,
+                "{}: normalized cost {ratio}",
+                pipe.name()
+            );
+        }
+    }
+
+    #[test]
+    fn communication_ordering_matches_table2() {
+        // For d ≫ log n the paper's Table 2 predicts:
+        // NR ≫ FSS > JL-based methods.
+        let data = workload(500, 200, 2);
+        let p = params(500, 200);
+        let mut net = Network::new(1);
+        let nr = NoReduction::new(p.clone()).run(&data, &mut net).unwrap();
+        let fss = Fss::new(p.clone()).run(&data, &mut net).unwrap();
+        let jlfss = JlFss::new(p.clone()).run(&data, &mut net).unwrap();
+        let fssjl = FssJl::new(p.clone()).run(&data, &mut net).unwrap();
+        let jlfssjl = JlFssJl::new(p.clone()).run(&data, &mut net).unwrap();
+        assert!(fss.uplink_bits < nr.uplink_bits / 2, "FSS {} vs NR {}", fss.uplink_bits, nr.uplink_bits);
+        assert!(jlfss.uplink_bits < fss.uplink_bits, "JL+FSS {} vs FSS {}", jlfss.uplink_bits, fss.uplink_bits);
+        assert!(fssjl.uplink_bits < fss.uplink_bits);
+        assert!(jlfssjl.uplink_bits < fss.uplink_bits);
+    }
+
+    #[test]
+    fn quantization_reduces_bits_without_hurting_cost_much() {
+        let data = workload(500, 60, 3);
+        let p = params(500, 60);
+        let q = RoundingQuantizer::new(10).unwrap();
+        let pq = p.clone().with_quantizer(q);
+        let mut net = Network::new(1);
+        let plain = JlFssJl::new(p.clone()).run(&data, &mut net).unwrap();
+        let quant = JlFssJl::new(pq).run(&data, &mut net).unwrap();
+        assert!(
+            quant.uplink_bits < plain.uplink_bits,
+            "quantized {} vs plain {}",
+            quant.uplink_bits,
+            plain.uplink_bits
+        );
+        let c_plain = cost(&data, &plain.centers).unwrap();
+        let c_quant = cost(&data, &quant.centers).unwrap();
+        assert!(
+            c_quant < 1.3 * c_plain,
+            "QT cost {c_quant} vs plain {c_plain}"
+        );
+    }
+
+    #[test]
+    fn pipeline_names() {
+        let p = params(100, 10);
+        assert_eq!(NoReduction::new(p.clone()).name(), "NR");
+        assert_eq!(Fss::new(p.clone()).name(), "FSS");
+        assert_eq!(JlFss::new(p.clone()).name(), "JL+FSS");
+        assert_eq!(FssJl::new(p.clone()).name(), "FSS+JL");
+        assert_eq!(JlFssJl::new(p.clone()).name(), "JL+FSS+JL");
+        let q = RoundingQuantizer::new(4).unwrap();
+        assert_eq!(Fss::new(p.clone().with_quantizer(q)).name(), "FSS+QT");
+        assert_eq!(JlFssJl::new(p.with_quantizer(q)).name(), "JL+FSS+JL+QT");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = workload(300, 20, 4);
+        let p = params(300, 20);
+        let mut net = Network::new(1);
+        let a = JlFssJl::new(p.clone()).run(&data, &mut net).unwrap();
+        let b = JlFssJl::new(p).run(&data, &mut net).unwrap();
+        assert!(a.centers.approx_eq(&b.centers, 0.0));
+        assert_eq!(a.uplink_bits, b.uplink_bits);
+    }
+
+    #[test]
+    fn uplink_accounting_is_delta_based() {
+        let data = workload(200, 15, 5);
+        let p = params(200, 15);
+        let mut net = Network::new(1);
+        let first = JlFss::new(p.clone()).run(&data, &mut net).unwrap();
+        let second = JlFss::new(p).run(&data, &mut net).unwrap();
+        // Same pipeline twice: identical per-run bits even though the
+        // network accumulates.
+        assert_eq!(first.uplink_bits, second.uplink_bits);
+        assert_eq!(
+            net.stats().total_uplink_bits(),
+            first.uplink_bits + second.uplink_bits
+        );
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let data = workload(50, 5, 6);
+        let mut p = params(50, 5);
+        p.coreset_size = 0;
+        let mut net = Network::new(1);
+        assert!(matches!(
+            JlFss::new(p).run(&data, &mut net),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn summary_points_far_fewer_than_n() {
+        let data = workload(2000, 30, 7);
+        let p = params(2000, 30);
+        let mut net = Network::new(1);
+        let out = JlFssJl::new(p).run(&data, &mut net).unwrap();
+        assert!(out.summary_points < 2000 / 2, "{}", out.summary_points);
+        assert!(out.summary_points > 0);
+    }
+}

@@ -1,0 +1,81 @@
+use ekm_clustering::ClusteringError;
+use ekm_linalg::LinalgError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by coreset construction.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoresetError {
+    /// The requested coreset is larger than sensible or zero-sized.
+    InvalidSampleSize {
+        /// The requested size.
+        requested: usize,
+    },
+    /// Weights/points disagree in length or are otherwise malformed.
+    Malformed {
+        /// Explanation.
+        reason: &'static str,
+    },
+    /// A clustering primitive failed.
+    Clustering(ClusteringError),
+    /// A linear-algebra primitive failed.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for CoresetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoresetError::InvalidSampleSize { requested } => {
+                write!(f, "invalid coreset sample size {requested}")
+            }
+            CoresetError::Malformed { reason } => write!(f, "malformed coreset input: {reason}"),
+            CoresetError::Clustering(e) => write!(f, "clustering failure: {e}"),
+            CoresetError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl Error for CoresetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoresetError::Clustering(e) => Some(e),
+            CoresetError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ClusteringError> for CoresetError {
+    fn from(e: ClusteringError) -> Self {
+        CoresetError::Clustering(e)
+    }
+}
+
+impl From<LinalgError> for CoresetError {
+    fn from(e: LinalgError) -> Self {
+        CoresetError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoresetError::InvalidSampleSize { requested: 0 };
+        assert!(e.to_string().contains('0'));
+        let e: CoresetError = ClusteringError::EmptyInput.into();
+        assert!(Error::source(&e).is_some());
+        let e: CoresetError = LinalgError::EmptyMatrix { op: "svd" }.into();
+        assert!(e.to_string().contains("svd"));
+        assert!(CoresetError::Malformed { reason: "x" }.to_string().contains('x'));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<CoresetError>();
+    }
+}

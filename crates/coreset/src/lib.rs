@@ -1,0 +1,38 @@
+//! Cardinality-reduction (CR) methods: ε-coresets for k-means.
+//!
+//! Implements the paper's CR building blocks (§3.3):
+//!
+//! * [`types::Coreset`] — the `(S, Δ, w)` triple of Definition 3.2 with its
+//!   shifted cost `cost(S, X) = Σ_q w(q)·min_x ‖q − x‖² + Δ` (eq. (4));
+//! * [`sensitivity`] — sensitivity sampling in the Langberg–Schulman /
+//!   Feldman–Langberg framework (references \[23\], \[24\]), including the
+//!   deterministic-total-weight variant of \[4\] that disSS relies on
+//!   (`Σ w = n` exactly, footnote 8 of the paper);
+//! * [`fss`] — the FSS construction of Theorem 3.2 / \[11\]: PCA to the
+//!   intrinsic dimension, sensitivity sampling in the subspace, and the
+//!   PCA residual as the additive Δ;
+//! * [`size`] — coreset-cardinality formulas from the theorems, with the
+//!   paper's explicit constants, plus the practical sizes used by the
+//!   experiment harness;
+//! * [`streaming`] — merge-and-reduce maintenance of a coreset over a
+//!   point stream (the \[25\]-style extension), so an edge device can
+//!   summarize while collecting.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+pub mod fss;
+pub mod sensitivity;
+pub mod size;
+pub mod streaming;
+pub mod types;
+
+pub use error::CoresetError;
+pub use fss::{FssBuilder, FssCoreset};
+pub use sensitivity::SensitivitySampler;
+pub use streaming::StreamingCoreset;
+pub use types::Coreset;
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, CoresetError>;

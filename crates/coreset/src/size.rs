@@ -1,0 +1,138 @@
+//! Coreset-cardinality formulas from the paper's theorems.
+//!
+//! These are the *theory* sizes (with the explicit constants of §6.3.2).
+//! They are enormous for practical ε — the paper's own experiments tune
+//! sizes instead (§7.2.1) — so [`practical_fss_sample_size`] provides the
+//! tuned counterpart used by the experiment harness.
+
+/// Theorem 3.2 / §6.3.2 FSS coreset cardinality:
+/// `n' = C1 · k³ · log₂²(k) · ln(1/δ) / ε⁴` with
+/// `C1 = 54912(1+log₂3)(1+log₂(26/3))/225` (assumes `k ≥ 2`).
+///
+/// # Panics
+///
+/// Panics unless `k ≥ 2`, `ε ∈ (0,1)`, `δ ∈ (0,1)`.
+pub fn theorem32_fss_size(k: usize, epsilon: f64, delta: f64) -> f64 {
+    assert!(k >= 2, "the explicit constant assumes k >= 2");
+    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon in (0,1)");
+    assert!(delta > 0.0 && delta < 1.0, "delta in (0,1)");
+    let kf = k as f64;
+    let logk = kf.log2();
+    ekm_c1() * kf.powi(3) * logk * logk * (1.0 / delta).ln() / epsilon.powi(4)
+}
+
+/// The explicit FSS constant `C1` of §6.3.2.
+pub fn ekm_c1() -> f64 {
+    54912.0 * (1.0 + 3f64.log2()) * (1.0 + (26.0 / 3.0f64).log2()) / 225.0
+}
+
+/// Theorem 5.2 disSS sample size:
+/// `|S| = O(ε⁻⁴·(k·d + ln(1/δ)) + m·k·ln(mk/δ))` (unit constants).
+///
+/// # Panics
+///
+/// Panics unless `ε, δ ∈ (0,1)` and `m, k, d ≥ 1`.
+pub fn theorem52_disss_size(m: usize, k: usize, d: usize, epsilon: f64, delta: f64) -> f64 {
+    assert!(m >= 1 && k >= 1 && d >= 1, "m, k, d must be positive");
+    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon in (0,1)");
+    assert!(delta > 0.0 && delta < 1.0, "delta in (0,1)");
+    let (mf, kf, df) = (m as f64, k as f64, d as f64);
+    (kf * df + (1.0 / delta).ln()) / epsilon.powi(4) + mf * kf * (mf * kf / delta).ln()
+}
+
+/// BKLW's global sample size (§5.1):
+/// `s = O(ε⁻⁴·(k²/ε² + ln(1/δ)) + m·k·ln(mk/δ))` (unit constants) — the
+/// disSS size after disPCA has reduced the dimension to `O(k/ε²)`.
+///
+/// # Panics
+///
+/// Panics unless `ε, δ ∈ (0,1)` and `m, k ≥ 1`.
+pub fn bklw_sample_size(m: usize, k: usize, epsilon: f64, delta: f64) -> f64 {
+    assert!(m >= 1 && k >= 1, "m, k must be positive");
+    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon in (0,1)");
+    assert!(delta > 0.0 && delta < 1.0, "delta in (0,1)");
+    let (mf, kf) = (m as f64, k as f64);
+    (kf * kf / (epsilon * epsilon) + (1.0 / delta).ln()) / epsilon.powi(4)
+        + mf * kf * (mf * kf / delta).ln()
+}
+
+/// Practical FSS/disSS sample size used by the experiment harness:
+/// `⌈c · k · ln(n)⌉`, clamped to `[4k, n]`.
+///
+/// With `c ≈ 25` this lands in the "few thousand points" regime the
+/// paper's Table 3 communication footprints imply for MNIST-scale data.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `k == 0` or `c <= 0`.
+pub fn practical_fss_sample_size(n: usize, k: usize, c: f64) -> usize {
+    assert!(n > 0 && k > 0, "n and k must be positive");
+    assert!(c > 0.0, "c must be positive");
+    let raw = (c * k as f64 * (n as f64).ln()).ceil() as usize;
+    raw.clamp((4 * k).min(n), n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem32_scales_as_inverse_eps4() {
+        let a = theorem32_fss_size(2, 0.4, 0.1);
+        let b = theorem32_fss_size(2, 0.2, 0.1);
+        let ratio = b / a;
+        assert!((ratio - 16.0).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn theorem32_scales_as_k_cubed_polylog() {
+        let a = theorem32_fss_size(2, 0.5, 0.1);
+        let b = theorem32_fss_size(4, 0.5, 0.1);
+        // k³·log₂²k: (4³·2²)/(2³·1²) = 32.
+        assert!((b / a - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theory_sizes_are_huge() {
+        // The point of §7.2.1: theory sizes are impractical, hence tuning.
+        let s = theorem32_fss_size(2, 0.1, 0.1);
+        assert!(s > 1e8, "size {s}");
+    }
+
+    #[test]
+    fn theorem52_combines_terms() {
+        let v = theorem52_disss_size(10, 2, 50, 0.5, 0.1);
+        let expect = (100.0 + 10.0f64.ln()) / 0.0625 + 20.0 * (200.0f64).ln();
+        assert!((v - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bklw_independent_of_d() {
+        let a = bklw_sample_size(10, 2, 0.5, 0.1);
+        // Same formula regardless of original dimension — that is the
+        // benefit of the disPCA step.
+        let expect = (4.0 / 0.25 + 10.0f64.ln()) / 0.0625 + 20.0 * (200.0f64).ln();
+        assert!((a - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn practical_size_reasonable() {
+        let s = practical_fss_sample_size(60_000, 2, 25.0);
+        assert!((500..=1000).contains(&s), "practical size {s}");
+        // Clamped below by 4k and above by n.
+        assert_eq!(practical_fss_sample_size(10, 2, 0.001), 8);
+        assert_eq!(practical_fss_sample_size(5, 2, 1e9), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 2")]
+    fn theorem32_requires_k_ge_2() {
+        let _ = theorem32_fss_size(1, 0.5, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn bad_epsilon_panics() {
+        let _ = theorem52_disss_size(1, 1, 1, 1.5, 0.1);
+    }
+}

@@ -1,0 +1,340 @@
+//! Streaming coreset maintenance by merge-and-reduce.
+//!
+//! The paper's CR methods are batch constructions; its related work
+//! (reference \[25\], Braverman–Feldman–Lang) extends coresets to streams
+//! with the classic merge-and-reduce tree: buffer incoming points into
+//! leaves, build a coreset per leaf, and whenever two coresets occupy the
+//! same level of a binary counter, *merge* them (union of weighted
+//! points) and *reduce* the union back to the target size with weighted
+//! sensitivity sampling. An edge device can therefore maintain a
+//! bounded-size summary while collecting data, and ship it on demand —
+//! the natural streaming companion to the paper's one-round protocols.
+//!
+//! Memory: `O(levels · sample_size)` where `levels = O(log(n/leaf))`.
+//! Each point participates in `O(log n)` reduces, so the construction
+//! stays near-linear overall.
+
+use crate::sensitivity::{SensitivitySampler, WeightMode};
+use crate::types::Coreset;
+use crate::{CoresetError, Result};
+use ekm_linalg::random::derive_seed;
+use ekm_linalg::Matrix;
+
+/// A streaming k-means coreset built by merge-and-reduce.
+///
+/// # Example
+///
+/// ```
+/// use ekm_linalg::Matrix;
+/// use ekm_coreset::streaming::StreamingCoreset;
+///
+/// let mut stream = StreamingCoreset::new(2, 64, 32).with_seed(7);
+/// for batch in 0..8 {
+///     let points = Matrix::from_fn(50, 3, |i, j| {
+///         ((batch * 50 + i) % 10) as f64 + (j as f64) * 0.1
+///     });
+///     stream.push_batch(&points).unwrap();
+/// }
+/// let coreset = stream.finalize().unwrap();
+/// assert!((coreset.total_weight() - 400.0).abs() < 1e-6);
+/// assert!(coreset.len() < 400);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingCoreset {
+    k: usize,
+    leaf_size: usize,
+    sample_size: usize,
+    seed: u64,
+    dim: Option<usize>,
+    buffer: Vec<f64>,
+    buffered_rows: usize,
+    levels: Vec<Option<Coreset>>,
+    points_seen: usize,
+    reduces: u64,
+}
+
+impl StreamingCoreset {
+    /// Creates a streaming builder for `k`-means with the given leaf
+    /// buffer size and per-coreset sample size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k`, `leaf_size`, or `sample_size` is zero.
+    pub fn new(k: usize, leaf_size: usize, sample_size: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        assert!(leaf_size > 0, "leaf_size must be positive");
+        assert!(sample_size > 0, "sample_size must be positive");
+        StreamingCoreset {
+            k,
+            leaf_size,
+            sample_size,
+            seed: 0,
+            dim: None,
+            buffer: Vec::new(),
+            buffered_rows: 0,
+            levels: Vec::new(),
+            points_seen: 0,
+            reduces: 0,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Total points pushed so far.
+    pub fn points_seen(&self) -> usize {
+        self.points_seen
+    }
+
+    /// Number of reduce operations performed (diagnostic).
+    pub fn reduces(&self) -> u64 {
+        self.reduces
+    }
+
+    /// Current summary footprint in stored points (levels + buffer).
+    pub fn stored_points(&self) -> usize {
+        self.buffered_rows
+            + self
+                .levels
+                .iter()
+                .flatten()
+                .map(Coreset::len)
+                .sum::<usize>()
+    }
+
+    /// Feeds a batch of points (rows) into the stream.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoresetError::Malformed`] if the batch dimensionality differs
+    ///   from earlier batches.
+    /// * Propagates sampling failures.
+    pub fn push_batch(&mut self, points: &Matrix) -> Result<()> {
+        if points.rows() == 0 {
+            return Ok(());
+        }
+        match self.dim {
+            None => self.dim = Some(points.cols()),
+            Some(d) if d == points.cols() => {}
+            Some(_) => {
+                return Err(CoresetError::Malformed {
+                    reason: "batch dimensionality changed mid-stream",
+                })
+            }
+        }
+        for row in points.iter_rows() {
+            self.buffer.extend_from_slice(row);
+            self.buffered_rows += 1;
+            self.points_seen += 1;
+            if self.buffered_rows == self.leaf_size {
+                self.flush_leaf()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the final coreset: merge of all levels plus the residual
+    /// buffer (buffer points keep weight 1).
+    ///
+    /// # Errors
+    ///
+    /// * [`CoresetError::Malformed`] if nothing was pushed.
+    /// * Propagates merge failures.
+    pub fn finalize(&self) -> Result<Coreset> {
+        let mut parts: Vec<Coreset> = self.levels.iter().flatten().cloned().collect();
+        if self.buffered_rows > 0 {
+            let d = self.dim.expect("dim known once points buffered");
+            let m = Matrix::from_vec(self.buffered_rows, d, self.buffer.clone());
+            parts.push(Coreset::new(m, vec![1.0; self.buffered_rows], 0.0)?);
+        }
+        if parts.is_empty() {
+            return Err(CoresetError::Malformed {
+                reason: "finalize on an empty stream",
+            });
+        }
+        Coreset::merge(parts.iter())
+    }
+
+    fn flush_leaf(&mut self) -> Result<()> {
+        let d = self.dim.expect("dim known");
+        let m = Matrix::from_vec(self.buffered_rows, d, std::mem::take(&mut self.buffer));
+        self.buffered_rows = 0;
+        let leaf = self.reduce(&m, None)?;
+        self.carry(leaf, 0)
+    }
+
+    /// Reduces a (possibly weighted) point set to `sample_size` points.
+    fn reduce(&mut self, points: &Matrix, weights: Option<&[f64]>) -> Result<Coreset> {
+        self.reduces += 1;
+        if points.rows() <= self.sample_size {
+            let w = match weights {
+                Some(w) => w.to_vec(),
+                None => vec![1.0; points.rows()],
+            };
+            return Coreset::new(points.clone(), w, 0.0);
+        }
+        SensitivitySampler::new(self.k, self.sample_size)
+            .with_seed(derive_seed(self.seed, 0x100 + self.reduces))
+            .with_weight_mode(WeightMode::DeterministicTotal)
+            .sample(points, weights)
+    }
+
+    /// Binary-counter carry: insert at `level`, merging upward while the
+    /// slot is occupied.
+    fn carry(&mut self, mut coreset: Coreset, mut level: usize) -> Result<()> {
+        loop {
+            if self.levels.len() <= level {
+                self.levels.resize(level + 1, None);
+            }
+            match self.levels[level].take() {
+                None => {
+                    self.levels[level] = Some(coreset);
+                    return Ok(());
+                }
+                Some(existing) => {
+                    let merged = Coreset::merge([&existing, &coreset])?;
+                    coreset =
+                        self.reduce(&merged.points().clone(), Some(merged.weights()))?;
+                    // Δ's add under merge; our reduces carry Δ = 0, so the
+                    // merged Δ stays 0 — assert the invariant in debug.
+                    debug_assert_eq!(merged.delta(), 0.0);
+                    level += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ekm_clustering::kmeans::KMeans;
+    use ekm_linalg::random::gaussian_matrix;
+
+    fn blobs(n_per: usize, seed: u64) -> Matrix {
+        let mut m = gaussian_matrix(seed, 2 * n_per, 4, 0.4);
+        for i in 0..n_per {
+            m.row_mut(i)[0] += 10.0;
+        }
+        m
+    }
+
+    #[test]
+    fn weight_conservation_over_stream() {
+        let mut stream = StreamingCoreset::new(2, 50, 30).with_seed(1);
+        let data = blobs(300, 2);
+        // Push in uneven batches.
+        let sizes = [100, 37, 263, 200];
+        let mut start = 0;
+        for &sz in &sizes {
+            let idx: Vec<usize> = (start..start + sz).collect();
+            stream.push_batch(&data.select_rows(&idx)).unwrap();
+            start += sz;
+        }
+        assert_eq!(stream.points_seen(), 600);
+        let coreset = stream.finalize().unwrap();
+        assert!(
+            (coreset.total_weight() - 600.0).abs() < 1e-6,
+            "Σw = {}",
+            coreset.total_weight()
+        );
+    }
+
+    #[test]
+    fn footprint_stays_bounded() {
+        let mut stream = StreamingCoreset::new(2, 64, 32).with_seed(3);
+        let data = blobs(2000, 4);
+        stream.push_batch(&data).unwrap();
+        // levels ≈ log2(4000/64) ≈ 6; each ≤ sample + bicriteria extras.
+        assert!(
+            stream.stored_points() < 12 * 100,
+            "footprint {} too large",
+            stream.stored_points()
+        );
+        assert!(stream.reduces() > 10);
+    }
+
+    #[test]
+    fn streaming_coreset_supports_good_clustering() {
+        let data = blobs(800, 5);
+        let mut stream = StreamingCoreset::new(2, 100, 60).with_seed(6);
+        stream.push_batch(&data).unwrap();
+        let coreset = stream.finalize().unwrap();
+        let model = KMeans::new(2)
+            .with_seed(1)
+            .fit_weighted(coreset.points(), coreset.weights())
+            .unwrap();
+        let via_stream = ekm_clustering::cost::cost(&data, &model.centers).unwrap();
+        let direct = KMeans::new(2).with_seed(1).fit(&data).unwrap().inertia;
+        assert!(
+            via_stream <= 1.3 * direct,
+            "stream-derived cost {via_stream} vs direct {direct}"
+        );
+    }
+
+    #[test]
+    fn short_stream_kept_exactly() {
+        let mut stream = StreamingCoreset::new(2, 100, 50).with_seed(7);
+        let data = blobs(20, 8); // 40 points < leaf
+        stream.push_batch(&data).unwrap();
+        let coreset = stream.finalize().unwrap();
+        assert_eq!(coreset.len(), 40);
+        assert!(coreset.weights().iter().all(|&w| w == 1.0));
+    }
+
+    #[test]
+    fn empty_stream_errors_and_empty_batch_ok() {
+        let mut stream = StreamingCoreset::new(2, 10, 5);
+        assert!(stream.finalize().is_err());
+        stream.push_batch(&Matrix::zeros(0, 3)).unwrap();
+        assert!(stream.finalize().is_err());
+    }
+
+    #[test]
+    fn dimension_change_rejected() {
+        let mut stream = StreamingCoreset::new(2, 10, 5);
+        stream.push_batch(&gaussian_matrix(1, 5, 3, 1.0)).unwrap();
+        assert!(matches!(
+            stream.push_batch(&gaussian_matrix(2, 5, 4, 1.0)),
+            Err(CoresetError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = blobs(400, 9);
+        let build = || {
+            let mut s = StreamingCoreset::new(2, 64, 32).with_seed(11);
+            s.push_batch(&data).unwrap();
+            s.finalize().unwrap()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn cost_tracks_batch_coreset_quality() {
+        // The streamed coreset's cost estimate should be in the same
+        // ballpark as a single-shot coreset of comparable size.
+        let data = blobs(600, 10);
+        let mut stream = StreamingCoreset::new(2, 128, 64).with_seed(12);
+        stream.push_batch(&data).unwrap();
+        let streamed = stream.finalize().unwrap();
+        let single = SensitivitySampler::new(2, 64)
+            .with_seed(12)
+            .sample(&data, None)
+            .unwrap();
+        for trial in 0..3 {
+            let x = gaussian_matrix(50 + trial, 2, 4, 4.0);
+            let truth = ekm_clustering::cost::cost(&data, &x).unwrap();
+            let via_stream = streamed.cost(&x).unwrap() / truth;
+            let via_single = single.cost(&x).unwrap() / truth;
+            assert!(
+                (via_stream - 1.0).abs() < (via_single - 1.0).abs() + 0.35,
+                "stream distortion {via_stream} vs single {via_single}"
+            );
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for coreset construction.
+
+use ekm_coreset::sensitivity::WeightMode;
+use ekm_coreset::{Coreset, FssBuilder, SensitivitySampler};
+use ekm_linalg::random::gaussian_matrix;
+use ekm_linalg::Matrix;
+use proptest::prelude::*;
+
+fn clustered(seed: u64, n_per: usize, d: usize) -> Matrix {
+    let mut m = gaussian_matrix(seed, 2 * n_per, d, 0.5);
+    for i in 0..n_per {
+        m.row_mut(i)[0] += 8.0;
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Deterministic-total mode: Σw = n for any dataset, seed, and size.
+    #[test]
+    fn weight_conservation(seed in 0u64..500, n_per in 20usize..120, size in 5usize..60) {
+        let data = clustered(seed, n_per, 4);
+        let c = SensitivitySampler::new(2, size)
+            .with_seed(seed)
+            .sample(&data, None)
+            .unwrap();
+        prop_assert!((c.total_weight() - (2 * n_per) as f64).abs() < 1e-6);
+        // All weights nonnegative.
+        prop_assert!(c.weights().iter().all(|&w| w >= 0.0));
+    }
+
+    /// Plain mode never produces negative weights either.
+    #[test]
+    fn plain_weights_nonnegative(seed in 0u64..200) {
+        let data = clustered(seed, 50, 3);
+        let c = SensitivitySampler::new(2, 30)
+            .with_seed(seed)
+            .with_weight_mode(WeightMode::Plain)
+            .sample(&data, None)
+            .unwrap();
+        prop_assert!(c.weights().iter().all(|&w| w >= 0.0));
+    }
+
+    /// Coreset cost is an unbiased-ish estimator: its expectation tracks
+    /// the true cost (checked loosely by averaging over seeds).
+    #[test]
+    fn cost_estimator_centers(seed in 0u64..20) {
+        let data = clustered(1000 + seed, 100, 4);
+        let x = gaussian_matrix(seed + 3, 2, 4, 4.0);
+        let truth = ekm_clustering::cost::cost(&data, &x).unwrap();
+        let mut total = 0.0;
+        let reps = 8;
+        for r in 0..reps {
+            let c = SensitivitySampler::new(2, 60)
+                .with_seed(seed * 100 + r)
+                .sample(&data, None)
+                .unwrap();
+            total += c.cost(&x).unwrap();
+        }
+        let mean = total / reps as f64;
+        prop_assert!((mean / truth - 1.0).abs() < 0.35, "mean ratio {}", mean / truth);
+    }
+
+    /// FSS's Δ equals the dataset energy not captured by the basis, and
+    /// the factored representation is consistent: lifting coordinates
+    /// through the basis reproduces the ambient coreset.
+    #[test]
+    fn fss_factored_consistency(seed in 0u64..200) {
+        let data = clustered(seed, 60, 6);
+        let fss = FssBuilder::new(2)
+            .with_pca_dim(3)
+            .with_sample_size(25)
+            .with_seed(seed)
+            .build(&data)
+            .unwrap();
+        prop_assert!(fss.delta() >= 0.0);
+        let ambient = fss.to_coreset().unwrap();
+        let lifted = ekm_linalg::ops::matmul_transb(fss.coordinates(), fss.basis()).unwrap();
+        prop_assert!(lifted.approx_eq(ambient.points(), 1e-9));
+        prop_assert_eq!(ambient.weights(), fss.weights());
+        prop_assert_eq!(ambient.delta(), fss.delta());
+    }
+
+    /// Merging coresets preserves total weight and Δ additivity.
+    #[test]
+    fn merge_additivity(seed in 0u64..200, parts in 2usize..5) {
+        let coresets: Vec<Coreset> = (0..parts)
+            .map(|i| {
+                let data = clustered(seed + i as u64, 30, 3);
+                SensitivitySampler::new(2, 15)
+                    .with_seed(seed + i as u64)
+                    .sample(&data, None)
+                    .unwrap()
+            })
+            .collect();
+        let merged = Coreset::merge(coresets.iter()).unwrap();
+        let total: f64 = coresets.iter().map(|c| c.total_weight()).sum();
+        prop_assert!((merged.total_weight() - total).abs() < 1e-9);
+        let len: usize = coresets.iter().map(|c| c.len()).sum();
+        prop_assert_eq!(merged.len(), len);
+    }
+
+    /// The coreset cost function is monotone in Δ.
+    #[test]
+    fn cost_monotone_in_delta(seed in 0u64..100, d1 in 0.0f64..10.0, d2 in 0.0f64..10.0) {
+        let data = clustered(seed, 20, 3);
+        let base = SensitivitySampler::new(2, 10)
+            .with_seed(seed)
+            .sample(&data, None)
+            .unwrap();
+        let x = gaussian_matrix(seed, 2, 3, 3.0);
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let c_lo = base.with_delta(lo).unwrap().cost(&x).unwrap();
+        let c_hi = base.with_delta(hi).unwrap().cost(&x).unwrap();
+        prop_assert!(c_lo <= c_hi + 1e-12);
+        prop_assert!((c_hi - c_lo - (hi - lo)).abs() < 1e-9);
+    }
+}

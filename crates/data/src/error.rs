@@ -1,0 +1,79 @@
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors produced by dataset loading and generation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DataError {
+    /// An I/O failure while reading dataset files.
+    Io(io::Error),
+    /// A dataset file did not match its expected binary format.
+    Format {
+        /// Explanation.
+        reason: String,
+    },
+    /// Invalid generation/partition parameters.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Explanation.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Io(e) => write!(f, "dataset i/o failure: {e}"),
+            DataError::Format { reason } => write!(f, "bad dataset format: {reason}"),
+            DataError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for DataError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DataError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DataError {
+    fn from(e: io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = DataError::from(io::Error::new(io::ErrorKind::NotFound, "nope"));
+        assert!(e.to_string().contains("nope"));
+        assert!(Error::source(&e).is_some());
+        assert!(DataError::Format {
+            reason: "bad magic".into()
+        }
+        .to_string()
+        .contains("bad magic"));
+        assert!(DataError::InvalidParameter {
+            name: "parts",
+            reason: "zero"
+        }
+        .to_string()
+        .contains("parts"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<DataError>();
+    }
+}

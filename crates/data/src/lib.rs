@@ -1,0 +1,36 @@
+//! Workload datasets for the `edge-kmeans` experiments.
+//!
+//! The paper evaluates on MNIST (60000×784 images) and the NeurIPS
+//! 1987–2015 word-count dataset (11463 words × 5812 papers), both
+//! normalized to `[-1, 1]` with zero mean and, in the multi-source case,
+//! randomly partitioned across 10 data sources (§7.1).
+//!
+//! Neither dataset ships with this repository, so [`mnist_like`] and
+//! [`neurips_like`] provide seeded synthetic stand-ins matching the
+//! originals' cardinality, dimensionality, value range, and cluster
+//! structure (see DESIGN.md "Substitutions" for why that preserves the
+//! evaluated behaviour). A real-MNIST [`idx`] loader is included and used
+//! by the harness when `EKM_MNIST_DIR` points at the IDX files.
+//!
+//! * [`synth`] — general seeded Gaussian-mixture workloads;
+//! * [`mnist_like`] — 10-prototype image-like blobs on a pixel grid;
+//! * [`neurips_like`] — sparse Zipf word counts with topic structure;
+//! * [`normalize`] — the paper's zero-mean `[-1,1]` normalization;
+//! * [`partition`] — random splitting across `m` data sources;
+//! * [`idx`] — the MNIST IDX binary format.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+pub mod idx;
+pub mod mnist_like;
+pub mod neurips_like;
+pub mod normalize;
+pub mod partition;
+pub mod synth;
+
+pub use error::DataError;
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, DataError>;

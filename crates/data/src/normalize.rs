@@ -1,0 +1,130 @@
+//! The paper's dataset normalization (§7.1): zero mean, values in
+//! `[-1, 1]`.
+
+use ekm_linalg::Matrix;
+
+/// Parameters of a fitted normalization (kept so summaries can be mapped
+/// back to raw units if needed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Normalization {
+    /// Column means subtracted from the data.
+    pub mean: Vec<f64>,
+    /// The single positive scale the centered data was divided by.
+    pub scale: f64,
+}
+
+/// Normalizes `data` the way the paper does: subtract the (column) mean,
+/// then divide by the largest absolute value so every entry lies in
+/// `[-1, 1]` with exact zero column means.
+///
+/// Constant datasets (all rows equal) come back as all zeros with
+/// `scale = 1`.
+///
+/// # Example
+///
+/// ```
+/// use ekm_linalg::Matrix;
+/// use ekm_data::normalize::normalize_paper;
+///
+/// let raw = Matrix::from_rows(&[vec![0.0, 10.0], vec![4.0, 30.0]]);
+/// let (norm, info) = normalize_paper(&raw);
+/// assert!(norm.as_slice().iter().all(|v| (-1.0..=1.0).contains(v)));
+/// assert_eq!(info.mean, vec![2.0, 20.0]);
+/// ```
+pub fn normalize_paper(data: &Matrix) -> (Matrix, Normalization) {
+    if data.rows() == 0 {
+        return (
+            data.clone(),
+            Normalization {
+                mean: vec![0.0; data.cols()],
+                scale: 1.0,
+            },
+        );
+    }
+    let mean = data.mean_row();
+    let mut centered = data.clone();
+    centered.sub_row_vector_mut(&mean);
+    let max_abs = centered
+        .as_slice()
+        .iter()
+        .fold(0.0f64, |acc, v| acc.max(v.abs()));
+    let scale = if max_abs > 0.0 { max_abs } else { 1.0 };
+    centered.scale_mut(1.0 / scale);
+    (centered, Normalization { mean, scale })
+}
+
+impl Normalization {
+    /// Maps normalized points back to raw units: `x·scale + mean`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions disagree with the fitted means.
+    pub fn denormalize(&self, points: &Matrix) -> Matrix {
+        assert_eq!(points.cols(), self.mean.len(), "dimension mismatch");
+        let mut out = points.scaled(self.scale);
+        for i in 0..out.rows() {
+            let row = out.row_mut(i);
+            for (x, &m) in row.iter_mut().zip(&self.mean) {
+                *x += m;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_mean_and_unit_range() {
+        let raw = Matrix::from_fn(50, 6, |i, j| ((i * 7 + j * 13) % 23) as f64 - 5.0);
+        let (norm, _) = normalize_paper(&raw);
+        let mean = norm.mean_row();
+        assert!(mean.iter().all(|m| m.abs() < 1e-12), "means {mean:?}");
+        let max = norm.as_slice().iter().fold(0.0f64, |a, v| a.max(v.abs()));
+        assert!((max - 1.0).abs() < 1e-12, "max |v| = {max}");
+    }
+
+    #[test]
+    fn denormalize_roundtrips() {
+        let raw = Matrix::from_fn(20, 4, |i, j| (i as f64) * 2.5 - (j as f64) * 0.75 + 3.0);
+        let (norm, info) = normalize_paper(&raw);
+        let back = info.denormalize(&norm);
+        assert!(back.approx_eq(&raw, 1e-9));
+    }
+
+    #[test]
+    fn constant_dataset_becomes_zero() {
+        let raw = Matrix::filled(5, 3, 7.5);
+        let (norm, info) = normalize_paper(&raw);
+        assert!(norm.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(info.scale, 1.0);
+        assert_eq!(info.mean, vec![7.5, 7.5, 7.5]);
+    }
+
+    #[test]
+    fn empty_dataset_passes_through() {
+        let raw = Matrix::zeros(0, 4);
+        let (norm, info) = normalize_paper(&raw);
+        assert_eq!(norm.shape(), (0, 4));
+        assert_eq!(info.scale, 1.0);
+    }
+
+    #[test]
+    fn preserves_cluster_separation_order() {
+        // Normalization is affine, so relative distances are preserved.
+        let raw = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![100.0]]);
+        let (norm, _) = normalize_paper(&raw);
+        let d01 = (norm[(0, 0)] - norm[(1, 0)]).abs();
+        let d02 = (norm[(0, 0)] - norm[(2, 0)]).abs();
+        assert!(d02 > 50.0 * d01);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn denormalize_checks_dims() {
+        let (_, info) = normalize_paper(&Matrix::zeros(2, 3));
+        let _ = info.denormalize(&Matrix::zeros(2, 4));
+    }
+}

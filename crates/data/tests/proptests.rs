@@ -1,0 +1,122 @@
+//! Property-based tests for dataset generation and partitioning.
+
+use ekm_data::mnist_like::MnistLike;
+use ekm_data::neurips_like::NeurIpsLike;
+use ekm_data::normalize::normalize_paper;
+use ekm_data::partition::{partition_indices, partition_skewed, partition_uniform};
+use ekm_data::synth::GaussianMixture;
+use ekm_linalg::Matrix;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Normalization always yields zero column means and entries in
+    /// [-1, 1], and denormalization inverts it.
+    #[test]
+    fn normalization_invariants(seed in 0u64..500, n in 2usize..60, d in 1usize..12) {
+        let raw = ekm_linalg::random::gaussian_matrix(seed, n, d, 7.0);
+        let (norm, info) = normalize_paper(&raw);
+        prop_assert!(norm.as_slice().iter().all(|v| (-1.0 - 1e-12..=1.0 + 1e-12).contains(v)));
+        prop_assert!(norm.mean_row().iter().all(|m| m.abs() < 1e-9));
+        let back = info.denormalize(&norm);
+        prop_assert!(back.approx_eq(&raw, 1e-9 * (1.0 + raw.frobenius_norm())));
+    }
+
+    /// Uniform partition: disjoint cover with near-equal sizes.
+    #[test]
+    fn uniform_partition_cover(seed in 0u64..500, n in 10usize..200, parts in 1usize..10) {
+        prop_assume!(parts <= n);
+        let data = Matrix::from_fn(n, 1, |i, _| i as f64);
+        let shards = partition_uniform(&data, parts, seed).unwrap();
+        let mut all: Vec<i64> = shards
+            .iter()
+            .flat_map(|s| s.col(0).into_iter().map(|v| v as i64))
+            .collect();
+        all.sort_unstable();
+        let expect: Vec<i64> = (0..n as i64).collect();
+        prop_assert_eq!(all, expect);
+        let sizes: Vec<usize> = shards.iter().map(|s| s.rows()).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    /// Skewed partition: disjoint cover with non-empty shards.
+    #[test]
+    fn skewed_partition_cover(seed in 0u64..200, n in 20usize..150, parts in 2usize..8, skew in 0.2f64..1.0) {
+        prop_assume!(parts <= n);
+        let data = Matrix::from_fn(n, 1, |i, _| i as f64);
+        let shards = partition_skewed(&data, parts, skew, seed).unwrap();
+        prop_assert_eq!(shards.iter().map(|s| s.rows()).sum::<usize>(), n);
+        prop_assert!(shards.iter().all(|s| s.rows() >= 1));
+    }
+
+    /// Index partition is consistent across repeated calls (seeded).
+    #[test]
+    fn partition_deterministic(seed in 0u64..500, n in 5usize..80) {
+        let a = partition_indices(n, 3.min(n), seed, None).unwrap();
+        let b = partition_indices(n, 3.min(n), seed, None).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Generators are deterministic in their seed and honor shapes.
+    #[test]
+    fn generators_deterministic(seed in 0u64..100) {
+        let a = GaussianMixture::new(30, 4, 2).with_seed(seed).generate().unwrap();
+        let b = GaussianMixture::new(30, 4, 2).with_seed(seed).generate().unwrap();
+        prop_assert!(a.points.approx_eq(&b.points, 0.0));
+
+        let m = MnistLike::new(20, 6).with_seed(seed).generate().unwrap();
+        prop_assert_eq!(m.points.shape(), (20, 36));
+        prop_assert!(m.points.as_slice().iter().all(|v| (0.0..=1.0).contains(v)));
+
+        let w = NeurIpsLike::new(25, 10).with_seed(seed).generate().unwrap();
+        prop_assert_eq!(w.points.shape(), (25, 10));
+        prop_assert!(w.points.as_slice().iter().all(|&v| v >= 0.0));
+    }
+
+    /// Mixture labels are consistent with proximity for well-separated
+    /// clusters: a point is nearer its own component mean than any other.
+    #[test]
+    fn mixture_labels_sane(seed in 0u64..50) {
+        let ds = GaussianMixture::new(60, 6, 3)
+            .with_separation(50.0)
+            .with_cluster_std(0.5)
+            .with_seed(seed)
+            .generate()
+            .unwrap();
+        // Estimate component means from labels, then verify proximity.
+        let mut means = vec![vec![0.0; 6]; 3];
+        let mut counts = [0usize; 3];
+        for (i, &l) in ds.labels.iter().enumerate() {
+            counts[l] += 1;
+            for (m, &v) in means[l].iter_mut().zip(ds.points.row(i)) {
+                *m += v;
+            }
+        }
+        for (mean, &count) in means.iter_mut().zip(&counts) {
+            prop_assume!(count > 0);
+            for m in mean.iter_mut() {
+                *m /= count as f64;
+            }
+        }
+        let mut correct = 0;
+        for (i, &l) in ds.labels.iter().enumerate() {
+            let dists: Vec<f64> = means
+                .iter()
+                .map(|m| ekm_linalg::ops::sq_dist(ds.points.row(i), m))
+                .collect();
+            let nearest = dists
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            if nearest == l {
+                correct += 1;
+            }
+        }
+        prop_assert!(correct as f64 / 60.0 > 0.95);
+    }
+}

@@ -1,0 +1,218 @@
+//! Cholesky factorization and SPD linear solves.
+//!
+//! The Moore–Penrose inverse of a full-column-rank JL projection matrix
+//! `Π ∈ R^{d×d'}` is `Π⁺ = (ΠᵀΠ)⁻¹Πᵀ`, which needs one SPD solve with the
+//! `d'×d'` Gram matrix — exactly what this module provides.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Lower-triangular Cholesky factor `L` with `A = L · Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::DimensionMismatch`] if `a` is not square.
+    /// * [`LinalgError::NotPositiveDefinite`] if a pivot is non-positive.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ekm_linalg::{Matrix, cholesky::Cholesky};
+    /// let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]);
+    /// let ch = Cholesky::factor(&a).unwrap();
+    /// let x = ch.solve_vec(&[8.0, 7.0]).unwrap();
+    /// assert!((x[0] - 1.25).abs() < 1e-12);
+    /// assert!((x[1] - 1.5).abs() < 1e-12);
+    /// ```
+    pub fn factor(a: &Matrix) -> Result<Cholesky> {
+        if a.rows() != a.cols() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky",
+                lhs: a.shape(),
+                rhs: a.shape(),
+            });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut diag = a[(j, j)];
+            for k in 0..j {
+                diag -= l[(j, k)] * l[(j, k)];
+            }
+            if diag <= 0.0 || !diag.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { pivot: j });
+            }
+            let ljj = diag.sqrt();
+            l[(j, j)] = ljj;
+            for i in (j + 1)..n {
+                let mut v = a[(i, j)];
+                for k in 0..j {
+                    v -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = v / ljj;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Borrows the lower-triangular factor.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A·x = b` for a single right-hand side.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len()` differs from
+    /// the factor's dimension.
+    pub fn solve_vec(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Forward: L·y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut v = b[i];
+            for k in 0..i {
+                v -= self.l[(i, k)] * y[k];
+            }
+            y[i] = v / self.l[(i, i)];
+        }
+        // Backward: Lᵀ·x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut v = y[i];
+            for k in (i + 1)..n {
+                v -= self.l[(k, i)] * x[k];
+            }
+            x[i] = v / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A·X = B` column by column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `B.rows()` differs from
+    /// the factor's dimension.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.l.rows();
+        if b.rows() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky solve_matrix",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let col = b.col(j);
+            let x = self.solve_vec(&col)?;
+            for i in 0..n {
+                out[(i, j)] = x[i];
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+    use crate::random::gaussian_matrix;
+
+    fn random_spd(seed: u64, n: usize) -> Matrix {
+        let g = gaussian_matrix(seed, n + 4, n, 1.0);
+        let mut a = ops::gram(&g);
+        for i in 0..n {
+            a[(i, i)] += 0.5; // well conditioned
+        }
+        a
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = random_spd(3, 8);
+        let ch = Cholesky::factor(&a).unwrap();
+        let back = ops::matmul_transb(ch.l(), ch.l()).unwrap();
+        assert!(back.approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn l_is_lower_triangular() {
+        let a = random_spd(4, 6);
+        let ch = Cholesky::factor(&a).unwrap();
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                assert_eq!(ch.l()[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_vec_residual_small() {
+        let a = random_spd(5, 10);
+        let ch = Cholesky::factor(&a).unwrap();
+        let b: Vec<f64> = (0..10).map(|i| (i as f64) - 4.5).collect();
+        let x = ch.solve_vec(&b).unwrap();
+        let ax = ops::matvec(&a, &x).unwrap();
+        for (ai, bi) in ax.iter().zip(&b) {
+            assert!((ai - bi).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn solve_matrix_multiple_rhs() {
+        let a = random_spd(6, 5);
+        let ch = Cholesky::factor(&a).unwrap();
+        let b = gaussian_matrix(7, 5, 3, 1.0);
+        let x = ch.solve_matrix(&b).unwrap();
+        let ax = ops::matmul(&a, &x).unwrap();
+        assert!(ax.approx_eq(&b, 1e-8));
+    }
+
+    #[test]
+    fn not_positive_definite_detected() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]); // indefinite
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(Cholesky::factor(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_in_solve() {
+        let a = random_spd(8, 4);
+        let ch = Cholesky::factor(&a).unwrap();
+        assert!(ch.solve_vec(&[1.0, 2.0]).is_err());
+        assert!(ch.solve_matrix(&Matrix::zeros(3, 2)).is_err());
+    }
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let ch = Cholesky::factor(&Matrix::identity(4)).unwrap();
+        let b = vec![1.0, -2.0, 3.0, -4.0];
+        assert_eq!(ch.solve_vec(&b).unwrap(), b);
+    }
+}

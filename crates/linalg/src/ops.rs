@@ -1,0 +1,312 @@
+//! Matrix products and related kernels.
+//!
+//! All kernels use cache-friendly `i-k-j` loop ordering on the row-major
+//! [`Matrix`] layout and switch to scoped-thread row parallelism above a size
+//! threshold (see [`crate::parallel`]).
+
+use crate::parallel;
+use crate::{LinalgError, Matrix, Result};
+
+/// Minimum number of multiply-adds before a kernel bothers spawning threads.
+const PAR_FLOPS_THRESHOLD: usize = 1 << 22;
+
+/// Computes the product `A · B`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] unless `A.cols() == B.rows()`.
+///
+/// # Example
+///
+/// ```
+/// use ekm_linalg::{Matrix, ops};
+/// let a = Matrix::from_rows(&[vec![1.0, 2.0]]);
+/// let b = Matrix::from_rows(&[vec![3.0], vec![4.0]]);
+/// assert_eq!(ops::matmul(&a, &b).unwrap()[(0, 0)], 11.0);
+/// ```
+pub fn matmul(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if a.cols() != b.rows() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "matmul",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let (n, k, m) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(n, m);
+    let flops = n * k * m;
+    let bs = b.as_slice();
+    parallel::for_each_row_chunk(
+        c.as_mut_slice(),
+        m,
+        flops >= PAR_FLOPS_THRESHOLD,
+        |row_start, rows_chunk| {
+            for (local_i, crow) in rows_chunk.chunks_exact_mut(m).enumerate() {
+                let i = row_start + local_i;
+                let arow = a.row(i);
+                for (kk, &aik) in arow.iter().enumerate() {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let brow = &bs[kk * m..(kk + 1) * m];
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += aik * bv;
+                    }
+                }
+            }
+        },
+    );
+    Ok(c)
+}
+
+/// Computes `A · Bᵀ` without materializing the transpose.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] unless `A.cols() == B.cols()`.
+pub fn matmul_transb(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if a.cols() != b.cols() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "matmul_transb",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let (n, k, m) = (a.rows(), a.cols(), b.rows());
+    let mut c = Matrix::zeros(n, m);
+    let flops = n * k * m;
+    parallel::for_each_row_chunk(
+        c.as_mut_slice(),
+        m,
+        flops >= PAR_FLOPS_THRESHOLD,
+        |row_start, rows_chunk| {
+            for (local_i, crow) in rows_chunk.chunks_exact_mut(m).enumerate() {
+                let arow = a.row(row_start + local_i);
+                for (j, cv) in crow.iter_mut().enumerate() {
+                    *cv = dot(arow, b.row(j));
+                }
+            }
+        },
+    );
+    Ok(c)
+}
+
+/// Computes `Aᵀ · B`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] unless `A.rows() == B.rows()`.
+pub fn matmul_transa(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if a.rows() != b.rows() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "matmul_transa",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let (n, da, db) = (a.rows(), a.cols(), b.cols());
+    // Accumulate rank-1 contributions row by row: cache friendly for both.
+    let mut c = Matrix::zeros(da, db);
+    for i in 0..n {
+        let arow = a.row(i);
+        let brow = b.row(i);
+        for (j, &aij) in arow.iter().enumerate() {
+            if aij == 0.0 {
+                continue;
+            }
+            let crow = c.row_mut(j);
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += aij * bv;
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// Computes the Gram matrix `Aᵀ · A` (symmetric `d × d`).
+pub fn gram(a: &Matrix) -> Matrix {
+    // Unwrap is fine: shapes always agree with themselves.
+    matmul_transa(a, a).expect("gram: self shapes agree")
+}
+
+/// Computes the outer Gram matrix `A · Aᵀ` (symmetric `n × n`).
+pub fn outer_gram(a: &Matrix) -> Matrix {
+    matmul_transb(a, a).expect("outer_gram: self shapes agree")
+}
+
+/// Computes the matrix-vector product `A · x`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] unless `A.cols() == x.len()`.
+pub fn matvec(a: &Matrix, x: &[f64]) -> Result<Vec<f64>> {
+    if a.cols() != x.len() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "matvec",
+            lhs: a.shape(),
+            rhs: (x.len(), 1),
+        });
+    }
+    Ok(a.iter_rows().map(|r| dot(r, x)).collect())
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics in debug builds if the lengths differ (release builds truncate to
+/// the shorter operand, which callers must not rely on).
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    // 4-way unrolled accumulation; the compiler vectorizes this reliably.
+    let mut acc0 = 0.0;
+    let mut acc1 = 0.0;
+    let mut acc2 = 0.0;
+    let mut acc3 = 0.0;
+    let chunks = a.len() / 4;
+    for c in 0..chunks {
+        let i = c * 4;
+        acc0 += a[i] * b[i];
+        acc1 += a[i + 1] * b[i + 1];
+        acc2 += a[i + 2] * b[i + 2];
+        acc3 += a[i + 3] * b[i + 3];
+    }
+    let mut acc = acc0 + acc1 + acc2 + acc3;
+    for i in chunks * 4..a.len() {
+        acc += a[i] * b[i];
+    }
+    acc
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics in debug builds if the lengths differ.
+#[inline]
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "sq_dist: length mismatch");
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+/// ℓ2 norm of a slice.
+#[inline]
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(rows: &[&[f64]]) -> Matrix {
+        Matrix::from_rows(&rows.iter().map(|r| r.to_vec()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        let a = mat(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = mat(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = matmul(&a, &b).unwrap();
+        assert!(c.approx_eq(&mat(&[&[19.0, 22.0], &[43.0, 50.0]]), 1e-12));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+        let c = matmul(&a, &Matrix::identity(4)).unwrap();
+        assert!(c.approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn matmul_dim_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn matmul_transb_matches_explicit_transpose() {
+        let a = Matrix::from_fn(3, 5, |i, j| ((i + 1) * (j + 2)) as f64);
+        let b = Matrix::from_fn(4, 5, |i, j| (i as f64 - j as f64) * 0.5);
+        let c1 = matmul_transb(&a, &b).unwrap();
+        let c2 = matmul(&a, &b.transpose()).unwrap();
+        assert!(c1.approx_eq(&c2, 1e-12));
+    }
+
+    #[test]
+    fn matmul_transa_matches_explicit_transpose() {
+        let a = Matrix::from_fn(6, 3, |i, j| (i * 3 + j) as f64 * 0.25);
+        let b = Matrix::from_fn(6, 2, |i, j| (i + j) as f64);
+        let c1 = matmul_transa(&a, &b).unwrap();
+        let c2 = matmul(&a.transpose(), &b).unwrap();
+        assert!(c1.approx_eq(&c2, 1e-12));
+    }
+
+    #[test]
+    fn gram_is_symmetric_psd_diagonal() {
+        let a = Matrix::from_fn(5, 3, |i, j| ((i * 7 + j * 3) % 5) as f64 - 2.0);
+        let g = gram(&a);
+        assert_eq!(g.shape(), (3, 3));
+        for i in 0..3 {
+            assert!(g[(i, i)] >= 0.0);
+            for j in 0..3 {
+                assert!((g[(i, j)] - g[(j, i)]).abs() < 1e-12);
+            }
+        }
+        // trace(AᵀA) == ‖A‖_F².
+        let trace: f64 = (0..3).map(|i| g[(i, i)]).sum();
+        assert!((trace - a.frobenius_norm_sq()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn outer_gram_shape() {
+        let a = Matrix::from_fn(4, 2, |i, j| (i + j) as f64);
+        let g = outer_gram(&a);
+        assert_eq!(g.shape(), (4, 4));
+        assert!((g[(1, 2)] - dot(a.row(1), a.row(2))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matvec_known() {
+        let a = mat(&[&[1.0, 0.0], &[0.0, 2.0], &[1.0, 1.0]]);
+        assert_eq!(matvec(&a, &[3.0, 4.0]).unwrap(), vec![3.0, 8.0, 7.0]);
+        assert!(matvec(&a, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn dot_and_sq_dist() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [5.0, 4.0, 3.0, 2.0, 1.0];
+        assert_eq!(dot(&a, &b), 35.0);
+        assert_eq!(sq_dist(&a, &a), 0.0);
+        assert_eq!(sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn matmul_large_triggers_parallel_path() {
+        // Big enough to exceed PAR_FLOPS_THRESHOLD: 256*256*256 = 2^24.
+        let n = 256;
+        let a = Matrix::from_fn(n, n, |i, j| ((i + j) % 7) as f64);
+        let b = Matrix::identity(n);
+        let c = matmul(&a, &b).unwrap();
+        assert!(c.approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn matmul_associativity_numeric() {
+        let a = Matrix::from_fn(3, 4, |i, j| (i as f64) - (j as f64) * 0.5);
+        let b = Matrix::from_fn(4, 2, |i, j| (i * 2 + j) as f64 * 0.1);
+        let c = Matrix::from_fn(2, 3, |i, j| 1.0 / ((i + j + 1) as f64));
+        let left = matmul(&matmul(&a, &b).unwrap(), &c).unwrap();
+        let right = matmul(&a, &matmul(&b, &c).unwrap()).unwrap();
+        assert!(left.approx_eq(&right, 1e-10));
+    }
+}

@@ -1,0 +1,143 @@
+//! Minimal scoped-thread helpers for data-parallel loops.
+//!
+//! The workspace deliberately avoids external thread-pool crates; plain
+//! `std::thread::scope` over row chunks is enough for the dense kernels and
+//! the k-means assignment loops.
+
+use std::num::NonZeroUsize;
+
+/// Returns the number of worker threads to use for parallel sections.
+pub fn worker_count() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Splits the row-major buffer `data` (rows of width `row_width`) into
+/// near-equal chunks of whole rows and runs `f(first_row_index, chunk)` on
+/// each, in parallel when `parallel` is true and it is worth it.
+///
+/// `f` must be safe to run concurrently on disjoint chunks.
+///
+/// # Panics
+///
+/// Panics if `row_width == 0` while `data` is non-empty.
+pub fn for_each_row_chunk<F>(data: &mut [f64], row_width: usize, parallel: bool, f: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    if data.is_empty() {
+        return;
+    }
+    assert!(row_width > 0, "for_each_row_chunk: zero row width");
+    let n_rows = data.len() / row_width;
+    let workers = if parallel { worker_count().min(n_rows) } else { 1 };
+    if workers <= 1 {
+        f(0, data);
+        return;
+    }
+    let rows_per = n_rows.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let mut row_start = 0;
+        while !rest.is_empty() {
+            let take_rows = rows_per.min(rest.len() / row_width);
+            let (chunk, tail) = rest.split_at_mut(take_rows * row_width);
+            let fref = &f;
+            let start = row_start;
+            scope.spawn(move || fref(start, chunk));
+            row_start += take_rows;
+            rest = tail;
+        }
+    });
+}
+
+/// Maps `f` over `0..n` in parallel, writing results into a `Vec`.
+///
+/// Used for embarrassingly parallel per-point computations (e.g. assignment
+/// distances). Falls back to a sequential loop for small `n`.
+pub fn par_map_indices<T, F>(n: usize, min_parallel: usize, f: F) -> Vec<T>
+where
+    T: Send + Default + Clone,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out = vec![T::default(); n];
+    if n == 0 {
+        return out;
+    }
+    let workers = if n >= min_parallel { worker_count().min(n) } else { 1 };
+    if workers <= 1 {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = f(i);
+        }
+        return out;
+    }
+    let per = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let mut rest: &mut [T] = &mut out;
+        let mut start = 0;
+        while !rest.is_empty() {
+            let take = per.min(rest.len());
+            let (chunk, tail) = rest.split_at_mut(take);
+            let fref = &f;
+            scope.spawn(move || {
+                for (off, slot) in chunk.iter_mut().enumerate() {
+                    *slot = fref(start + off);
+                }
+            });
+            start += take;
+            rest = tail;
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_count_at_least_one() {
+        assert!(worker_count() >= 1);
+    }
+
+    #[test]
+    fn for_each_row_chunk_sequential_matches_parallel() {
+        let width = 3;
+        let rows = 100;
+        let mut seq = vec![0.0f64; rows * width];
+        let mut par = vec![0.0f64; rows * width];
+        let fill = |start: usize, chunk: &mut [f64]| {
+            for (local, row) in chunk.chunks_exact_mut(width).enumerate() {
+                let i = start + local;
+                for (j, v) in row.iter_mut().enumerate() {
+                    *v = (i * width + j) as f64;
+                }
+            }
+        };
+        for_each_row_chunk(&mut seq, width, false, fill);
+        for_each_row_chunk(&mut par, width, true, fill);
+        assert_eq!(seq, par);
+        assert_eq!(seq[5 * width + 2], (5 * width + 2) as f64);
+    }
+
+    #[test]
+    fn for_each_row_chunk_empty_ok() {
+        let mut empty: Vec<f64> = vec![];
+        for_each_row_chunk(&mut empty, 4, true, |_, _| panic!("must not run"));
+    }
+
+    #[test]
+    fn par_map_indices_matches_sequential() {
+        let seq = par_map_indices(1000, usize::MAX, |i| i * i);
+        let par = par_map_indices(1000, 1, |i| i * i);
+        assert_eq!(seq, par);
+        assert_eq!(seq[31], 961);
+    }
+
+    #[test]
+    fn par_map_indices_empty() {
+        let v: Vec<usize> = par_map_indices(0, 1, |i| i);
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,170 @@
+//! Moore–Penrose pseudo-inverse.
+//!
+//! The paper maps k-means centers computed in a projected space back to the
+//! original space via *any* inverse of the (non-invertible) projection; the
+//! canonical choice is the Moore–Penrose inverse `Π⁺` (§3.1). For
+//! full-column-rank matrices a fast normal-equation route is used; the
+//! general case falls back to the SVD.
+
+use crate::cholesky::Cholesky;
+use crate::{ops, svd, LinalgError, Matrix, Result};
+
+/// Computes the Moore–Penrose pseudo-inverse `A⁺` of `a`.
+///
+/// For a full-column-rank `d × t` matrix (`t ≤ d`) this uses
+/// `A⁺ = (AᵀA)⁻¹Aᵀ` via Cholesky; otherwise (or when the Gram matrix is
+/// numerically singular) it falls back to the SVD route
+/// `A⁺ = V·Σ⁺·Uᵀ`.
+///
+/// # Errors
+///
+/// * [`LinalgError::EmptyMatrix`] for an empty input.
+/// * Propagates SVD convergence failures.
+///
+/// # Example
+///
+/// ```
+/// use ekm_linalg::{Matrix, pinv, ops};
+/// let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 2.0], vec![0.0, 0.0]]);
+/// let p = pinv::pinv(&a).unwrap();
+/// // A⁺·A = I for full column rank.
+/// let ident = ops::matmul(&p, &a).unwrap();
+/// assert!(ident.approx_eq(&Matrix::identity(2), 1e-10));
+/// ```
+pub fn pinv(a: &Matrix) -> Result<Matrix> {
+    if a.is_empty() {
+        return Err(LinalgError::EmptyMatrix { op: "pinv" });
+    }
+    if a.cols() <= a.rows() {
+        // Try the fast normal-equation route first, but only trust it when
+        // the Cholesky pivots show the Gram matrix is far from singular
+        // (rank-deficient inputs can factor with tiny spurious pivots).
+        let gram = ops::gram(a);
+        if let Ok(ch) = Cholesky::factor(&gram) {
+            let l = ch.l();
+            let mut dmin = f64::INFINITY;
+            let mut dmax: f64 = 0.0;
+            for i in 0..l.rows() {
+                dmin = dmin.min(l[(i, i)]);
+                dmax = dmax.max(l[(i, i)]);
+            }
+            if dmax > 0.0 && dmin / dmax > 1e-7 {
+                // (AᵀA)⁻¹ Aᵀ: solve for each column of Aᵀ.
+                let at = a.transpose();
+                return ch.solve_matrix(&at);
+            }
+        }
+    }
+    pinv_svd(a)
+}
+
+/// Pseudo-inverse via the SVD: `A⁺ = V·Σ⁺·Uᵀ` with small singular values
+/// dropped at a relative tolerance of `1e-6·σ_max`.
+///
+/// The tolerance accounts for the Gram-route SVD: eigenvalues carry an
+/// absolute error of about `1e-14·σ_max²`, so spurious singular values can
+/// reach `1e-7·σ_max` and must be treated as zero.
+///
+/// # Errors
+///
+/// Propagates SVD errors.
+pub fn pinv_svd(a: &Matrix) -> Result<Matrix> {
+    let s = svd::thin_svd(a)?;
+    let smax = s.singular_values.first().copied().unwrap_or(0.0);
+    let tol = smax * 1e-6;
+    // V · Σ⁺ (scale columns of V) then · Uᵀ.
+    let mut v_scaled = s.v.clone();
+    for i in 0..v_scaled.rows() {
+        let row = v_scaled.row_mut(i);
+        for (x, &sv) in row.iter_mut().zip(&s.singular_values) {
+            *x = if sv > tol { *x / sv } else { 0.0 };
+        }
+    }
+    ops::matmul_transb(&v_scaled, &s.u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::gaussian_matrix;
+
+    fn check_penrose(a: &Matrix, p: &Matrix, tol: f64) {
+        // 1. A·A⁺·A = A
+        let apa = ops::matmul(&ops::matmul(a, p).unwrap(), a).unwrap();
+        assert!(apa.approx_eq(a, tol), "A·A⁺·A != A");
+        // 2. A⁺·A·A⁺ = A⁺
+        let pap = ops::matmul(&ops::matmul(p, a).unwrap(), p).unwrap();
+        assert!(pap.approx_eq(p, tol), "A⁺·A·A⁺ != A⁺");
+        // 3. (A·A⁺)ᵀ = A·A⁺
+        let ap = ops::matmul(a, p).unwrap();
+        assert!(ap.approx_eq(&ap.transpose(), tol), "A·A⁺ not symmetric");
+        // 4. (A⁺·A)ᵀ = A⁺·A
+        let pa = ops::matmul(p, a).unwrap();
+        assert!(pa.approx_eq(&pa.transpose(), tol), "A⁺·A not symmetric");
+    }
+
+    #[test]
+    fn tall_full_rank_penrose_conditions() {
+        let a = gaussian_matrix(61, 12, 4, 1.0);
+        let p = pinv(&a).unwrap();
+        assert_eq!(p.shape(), (4, 12));
+        check_penrose(&a, &p, 1e-8);
+    }
+
+    #[test]
+    fn wide_full_rank_penrose_conditions() {
+        let a = gaussian_matrix(62, 4, 12, 1.0);
+        let p = pinv(&a).unwrap();
+        assert_eq!(p.shape(), (12, 4));
+        check_penrose(&a, &p, 1e-8);
+    }
+
+    #[test]
+    fn rank_deficient_penrose_conditions() {
+        // Rank-2 matrix in 6×5.
+        let u = gaussian_matrix(63, 6, 2, 1.0);
+        let v = gaussian_matrix(64, 2, 5, 1.0);
+        let a = ops::matmul(&u, &v).unwrap();
+        let p = pinv(&a).unwrap();
+        check_penrose(&a, &p, 1e-7);
+    }
+
+    #[test]
+    fn pinv_of_square_invertible_is_inverse() {
+        let mut a = gaussian_matrix(65, 5, 5, 1.0);
+        for i in 0..5 {
+            a[(i, i)] += 3.0; // ensure well-conditioned
+        }
+        let p = pinv(&a).unwrap();
+        let ident = ops::matmul(&a, &p).unwrap();
+        assert!(ident.approx_eq(&Matrix::identity(5), 1e-8));
+    }
+
+    #[test]
+    fn left_inverse_for_full_column_rank() {
+        let a = gaussian_matrix(66, 30, 6, 1.0);
+        let p = pinv(&a).unwrap();
+        let pa = ops::matmul(&p, &a).unwrap();
+        assert!(pa.approx_eq(&Matrix::identity(6), 1e-8));
+    }
+
+    #[test]
+    fn pinv_svd_matches_pinv_on_full_rank() {
+        let a = gaussian_matrix(67, 10, 4, 1.0);
+        let p1 = pinv(&a).unwrap();
+        let p2 = pinv_svd(&a).unwrap();
+        assert!(p1.approx_eq(&p2, 1e-7));
+    }
+
+    #[test]
+    fn zero_matrix_pinv_is_zero() {
+        let a = Matrix::zeros(3, 2);
+        let p = pinv(&a).unwrap();
+        assert!(p.approx_eq(&Matrix::zeros(2, 3), 1e-12));
+    }
+
+    #[test]
+    fn empty_errors() {
+        assert!(pinv(&Matrix::zeros(0, 0)).is_err());
+    }
+}

@@ -1,0 +1,239 @@
+//! Householder QR factorization.
+//!
+//! Used by the randomized SVD's subspace iteration to re-orthonormalize
+//! iterates, and generally whenever an orthonormal basis of a tall matrix is
+//! needed.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Result of a thin QR factorization `A = Q · R`.
+#[derive(Debug, Clone)]
+pub struct QrDecomposition {
+    /// `n × t` matrix with orthonormal columns (`t = min(n, d)`).
+    pub q: Matrix,
+    /// `t × d` upper-triangular factor.
+    pub r: Matrix,
+}
+
+/// Computes the thin QR factorization of `a` (`n × d`) via Householder
+/// reflections: `a = q · r` with `q` having `min(n, d)` orthonormal columns.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::EmptyMatrix`] if `a` has no entries.
+///
+/// # Example
+///
+/// ```
+/// use ekm_linalg::{Matrix, qr};
+/// let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 1.0], vec![0.0, 1.0]]);
+/// let f = qr::qr(&a).unwrap();
+/// let back = ekm_linalg::ops::matmul(&f.q, &f.r).unwrap();
+/// assert!(back.approx_eq(&a, 1e-10));
+/// ```
+pub fn qr(a: &Matrix) -> Result<QrDecomposition> {
+    if a.is_empty() {
+        return Err(LinalgError::EmptyMatrix { op: "qr" });
+    }
+    let n = a.rows();
+    let d = a.cols();
+    let t = n.min(d);
+
+    // Work on a copy of A; Householder vectors accumulate below (and on) the
+    // diagonal as in LAPACK's `geqrf`, R's diagonal goes to `alphas`.
+    let mut work = a.clone();
+    let mut betas = vec![0.0f64; t];
+    let mut alphas = vec![0.0f64; t];
+
+    for k in 0..t {
+        let mut norm_sq = 0.0;
+        for i in k..n {
+            let v = work[(i, k)];
+            norm_sq += v * v;
+        }
+        let norm = norm_sq.sqrt();
+        if norm == 0.0 {
+            betas[k] = 0.0;
+            alphas[k] = 0.0;
+            continue;
+        }
+        let akk = work[(k, k)];
+        let alpha = if akk >= 0.0 { -norm } else { norm };
+        let v0 = akk - alpha;
+        // vᵀv = ‖x‖² − 2·alpha·akk + alpha² (only the first entry changed).
+        let vtv = norm_sq - 2.0 * alpha * akk + alpha * alpha;
+        if vtv == 0.0 {
+            betas[k] = 0.0;
+            alphas[k] = alpha;
+            continue;
+        }
+        let beta = 2.0 / vtv;
+        betas[k] = beta;
+        alphas[k] = alpha;
+        work[(k, k)] = v0;
+        // Apply H = I − beta·v·vᵀ to trailing columns.
+        for j in (k + 1)..d {
+            let mut dot = 0.0;
+            for i in k..n {
+                dot += work[(i, k)] * work[(i, j)];
+            }
+            let s = beta * dot;
+            if s != 0.0 {
+                for i in k..n {
+                    let vik = work[(i, k)];
+                    work[(i, j)] -= s * vik;
+                }
+            }
+        }
+    }
+
+    // Extract R (t × d).
+    let mut r = Matrix::zeros(t, d);
+    for i in 0..t {
+        r[(i, i)] = alphas[i];
+        for j in (i + 1)..d {
+            r[(i, j)] = work[(i, j)];
+        }
+    }
+
+    // Expand thin Q (n × t) by applying reflections to the identity,
+    // in reverse order.
+    let mut q = Matrix::zeros(n, t);
+    for j in 0..t {
+        q[(j, j)] = 1.0;
+    }
+    for k in (0..t).rev() {
+        let beta = betas[k];
+        if beta == 0.0 {
+            continue;
+        }
+        for j in 0..t {
+            let mut dot = 0.0;
+            for i in k..n {
+                dot += work[(i, k)] * q[(i, j)];
+            }
+            let s = beta * dot;
+            if s != 0.0 {
+                for i in k..n {
+                    let vik = work[(i, k)];
+                    q[(i, j)] -= s * vik;
+                }
+            }
+        }
+    }
+
+    Ok(QrDecomposition { q, r })
+}
+
+/// Returns an orthonormal basis for the column space of `a` (thin `Q`).
+///
+/// # Errors
+///
+/// Propagates errors from [`qr`].
+pub fn orthonormalize(a: &Matrix) -> Result<Matrix> {
+    Ok(qr(a)?.q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+    use crate::random::gaussian_matrix;
+
+    fn assert_orthonormal_cols(q: &Matrix, tol: f64) {
+        let g = ops::gram(q);
+        for i in 0..g.rows() {
+            for j in 0..g.cols() {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (g[(i, j)] - expect).abs() < tol,
+                    "QᵀQ[{i},{j}] = {} (expected {expect})",
+                    g[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn qr_reconstructs_tall_matrix() {
+        let a = gaussian_matrix(11, 20, 5, 1.0);
+        let f = qr(&a).unwrap();
+        assert_eq!(f.q.shape(), (20, 5));
+        assert_eq!(f.r.shape(), (5, 5));
+        assert_orthonormal_cols(&f.q, 1e-10);
+        let back = ops::matmul(&f.q, &f.r).unwrap();
+        assert!(back.approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn qr_reconstructs_wide_matrix() {
+        let a = gaussian_matrix(13, 4, 9, 1.0);
+        let f = qr(&a).unwrap();
+        assert_eq!(f.q.shape(), (4, 4));
+        assert_eq!(f.r.shape(), (4, 9));
+        assert_orthonormal_cols(&f.q, 1e-10);
+        let back = ops::matmul(&f.q, &f.r).unwrap();
+        assert!(back.approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = gaussian_matrix(17, 8, 6, 1.0);
+        let f = qr(&a).unwrap();
+        for i in 0..f.r.rows() {
+            for j in 0..i.min(f.r.cols()) {
+                assert!(f.r[(i, j)].abs() < 1e-12, "R[{i},{j}] = {}", f.r[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn qr_of_identity() {
+        let f = qr(&Matrix::identity(4)).unwrap();
+        let back = ops::matmul(&f.q, &f.r).unwrap();
+        assert!(back.approx_eq(&Matrix::identity(4), 1e-12));
+    }
+
+    #[test]
+    fn qr_rank_deficient_still_factorizes() {
+        // Two identical columns.
+        let a = Matrix::from_rows(&[
+            vec![1.0, 1.0, 2.0],
+            vec![2.0, 2.0, 0.0],
+            vec![3.0, 3.0, 1.0],
+            vec![4.0, 4.0, 5.0],
+        ]);
+        let f = qr(&a).unwrap();
+        let back = ops::matmul(&f.q, &f.r).unwrap();
+        assert!(back.approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn qr_empty_errors() {
+        assert!(qr(&Matrix::zeros(0, 0)).is_err());
+    }
+
+    #[test]
+    fn orthonormalize_gives_orthonormal_basis() {
+        let a = gaussian_matrix(23, 30, 6, 1.0);
+        let q = orthonormalize(&a).unwrap();
+        assert_orthonormal_cols(&q, 1e-10);
+    }
+
+    #[test]
+    fn qr_zero_column_handled() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![0.0, 2.0], vec![0.0, 3.0]]);
+        let f = qr(&a).unwrap();
+        let back = ops::matmul(&f.q, &f.r).unwrap();
+        assert!(back.approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn qr_single_column() {
+        let a = Matrix::from_rows(&[vec![3.0], vec![4.0]]);
+        let f = qr(&a).unwrap();
+        assert!((f.r[(0, 0)].abs() - 5.0).abs() < 1e-12);
+        let back = ops::matmul(&f.q, &f.r).unwrap();
+        assert!(back.approx_eq(&a, 1e-12));
+    }
+}

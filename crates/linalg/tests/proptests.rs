@@ -1,0 +1,137 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use ekm_linalg::{cholesky::Cholesky, eig, ops, pinv, qr, svd, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a matrix with dimensions in [1, max_dim] and entries in [-10, 10].
+fn matrix_strategy(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f64..10.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_involution(m in matrix_strategy(12, 12)) {
+        prop_assert!(m.transpose().transpose().approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn matmul_identity_left_right(m in matrix_strategy(10, 10)) {
+        let il = Matrix::identity(m.rows());
+        let ir = Matrix::identity(m.cols());
+        prop_assert!(ops::matmul(&il, &m).unwrap().approx_eq(&m, 1e-12));
+        prop_assert!(ops::matmul(&m, &ir).unwrap().approx_eq(&m, 1e-12));
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(
+        a in matrix_strategy(6, 6),
+        seed in 0u64..1000,
+    ) {
+        let b = ekm_linalg::random::gaussian_matrix(seed, a.cols(), 4, 1.0);
+        let c = ekm_linalg::random::gaussian_matrix(seed + 1, a.cols(), 4, 1.0);
+        let left = ops::matmul(&a, &b.add(&c).unwrap()).unwrap();
+        let right = ops::matmul(&a, &b).unwrap().add(&ops::matmul(&a, &c).unwrap()).unwrap();
+        prop_assert!(left.approx_eq(&right, 1e-9));
+    }
+
+    #[test]
+    fn transpose_of_product((r, k, c) in (1usize..6, 1usize..6, 1usize..6), seed in 0u64..500) {
+        let a = ekm_linalg::random::gaussian_matrix(seed, r, k, 1.0);
+        let b = ekm_linalg::random::gaussian_matrix(seed + 7, k, c, 1.0);
+        // (AB)ᵀ = BᵀAᵀ
+        let lhs = ops::matmul(&a, &b).unwrap().transpose();
+        let rhs = ops::matmul(&b.transpose(), &a.transpose()).unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-10));
+    }
+
+    #[test]
+    fn qr_reconstruction_property(m in matrix_strategy(10, 6)) {
+        let f = qr::qr(&m).unwrap();
+        let back = ops::matmul(&f.q, &f.r).unwrap();
+        prop_assert!(back.approx_eq(&m, 1e-8 * (1.0 + m.frobenius_norm())));
+        // Orthonormal columns.
+        let g = ops::gram(&f.q);
+        prop_assert!(g.approx_eq(&Matrix::identity(g.rows()), 1e-8));
+    }
+
+    #[test]
+    fn svd_reconstruction_property(m in matrix_strategy(8, 8)) {
+        let s = svd::thin_svd(&m).unwrap();
+        let back = s.reconstruct().unwrap();
+        prop_assert!(back.approx_eq(&m, 1e-7 * (1.0 + m.frobenius_norm())));
+    }
+
+    #[test]
+    fn svd_operator_norm_bound(m in matrix_strategy(8, 8)) {
+        // σ_max ≤ ‖A‖_F and Σσ² = ‖A‖_F².
+        let s = svd::thin_svd(&m).unwrap();
+        let fro_sq = m.frobenius_norm_sq();
+        let sum_sq: f64 = s.singular_values.iter().map(|v| v * v).sum();
+        prop_assert!((sum_sq - fro_sq).abs() <= 1e-6 * (1.0 + fro_sq));
+        if let Some(&smax) = s.singular_values.first() {
+            prop_assert!(smax * smax <= fro_sq + 1e-6 * (1.0 + fro_sq));
+        }
+    }
+
+    #[test]
+    fn pinv_penrose_1(m in matrix_strategy(7, 7)) {
+        let p = pinv::pinv(&m).unwrap();
+        let apa = ops::matmul(&ops::matmul(&m, &p).unwrap(), &m).unwrap();
+        prop_assert!(apa.approx_eq(&m, 1e-6 * (1.0 + m.frobenius_norm())));
+    }
+
+    #[test]
+    fn cholesky_solve_property(seed in 0u64..1000, n in 1usize..8) {
+        let g = ekm_linalg::random::gaussian_matrix(seed, n + 3, n, 1.0);
+        let mut a = ops::gram(&g);
+        for i in 0..n {
+            a[(i, i)] += 1.0;
+        }
+        let ch = Cholesky::factor(&a).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64) - 1.5).collect();
+        let x = ch.solve_vec(&b).unwrap();
+        let ax = ops::matvec(&a, &x).unwrap();
+        for (l, r) in ax.iter().zip(&b) {
+            prop_assert!((l - r).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn eigen_reconstruction_property(seed in 0u64..1000, n in 1usize..8) {
+        let g = ekm_linalg::random::gaussian_matrix(seed, n + 2, n, 1.0);
+        let a = ops::gram(&g);
+        let e = eig::symmetric_eigen(&a).unwrap();
+        let mut lam = Matrix::zeros(n, n);
+        for i in 0..n {
+            lam[(i, i)] = e.values[i];
+        }
+        let back = ops::matmul_transb(&ops::matmul(&e.vectors, &lam).unwrap(), &e.vectors).unwrap();
+        prop_assert!(back.approx_eq(&a, 1e-7 * (1.0 + a.frobenius_norm())));
+    }
+
+    #[test]
+    fn row_norms_consistent_with_frobenius(m in matrix_strategy(10, 10)) {
+        let total: f64 = m.row_norms_sq().iter().sum();
+        prop_assert!((total - m.frobenius_norm_sq()).abs() < 1e-9 * (1.0 + total));
+    }
+
+    #[test]
+    fn dot_cauchy_schwarz(
+        v in proptest::collection::vec(-5.0f64..5.0, 1..32),
+        w_seed in 0u64..100,
+    ) {
+        let w: Vec<f64> = {
+            use rand::Rng;
+            let mut rng = ekm_linalg::random::rng_from_seed(w_seed);
+            (0..v.len()).map(|_| rng.gen_range(-5.0..5.0)).collect()
+        };
+        let d = ops::dot(&v, &w).abs();
+        let bound = ops::norm(&v) * ops::norm(&w);
+        prop_assert!(d <= bound + 1e-9);
+    }
+}

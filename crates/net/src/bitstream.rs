@@ -1,0 +1,249 @@
+//! Bit-granular serialization primitives.
+//!
+//! Quantized scalars occupy `1 + 11 + s` bits (paper §6.1), which is not
+//! byte aligned for most `s`; the writer/reader here pack values MSB-first
+//! into a byte buffer and track the exact bit length so communication
+//! counters are bit-accurate.
+
+use crate::{NetError, Result};
+
+/// An MSB-first bit writer.
+///
+/// # Example
+///
+/// ```
+/// use ekm_net::bitstream::{BitReader, BitWriter};
+///
+/// let mut w = BitWriter::new();
+/// w.write_bits(0b101, 3);
+/// w.write_bits(0xFFFF, 16);
+/// let (buf, bits) = w.finish();
+/// assert_eq!(bits, 19);
+/// let mut r = BitReader::new(&buf, bits);
+/// assert_eq!(r.read_bits(3).unwrap(), 0b101);
+/// assert_eq!(r.read_bits(16).unwrap(), 0xFFFF);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    bit_len: usize,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.bit_len
+    }
+
+    /// Appends the low `n` bits of `value` (MSB of those `n` first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    pub fn write_bits(&mut self, value: u64, n: u32) {
+        assert!(n <= 64, "write_bits: n = {n} > 64");
+        if n == 0 {
+            return;
+        }
+        let masked = if n == 64 { value } else { value & ((1u64 << n) - 1) };
+        // Write bit by bit group: fill the current partial byte, then whole
+        // bytes.
+        let mut remaining = n;
+        while remaining > 0 {
+            let bit_in_byte = self.bit_len % 8;
+            if bit_in_byte == 0 {
+                self.buf.push(0);
+            }
+            let space = (8 - bit_in_byte) as u32;
+            let take = space.min(remaining);
+            // The `take` bits to emit next are the highest of the remaining.
+            let shift = remaining - take;
+            let chunk = ((masked >> shift) & ((1u64 << take) - 1)) as u8;
+            let byte = self.buf.last_mut().expect("pushed above");
+            *byte |= chunk << (space - take);
+            self.bit_len += take as usize;
+            remaining -= take;
+        }
+    }
+
+    /// Consumes the writer, returning the packed buffer and its exact bit
+    /// length.
+    pub fn finish(self) -> (Vec<u8>, usize) {
+        (self.buf, self.bit_len)
+    }
+}
+
+/// An MSB-first bit reader over a packed buffer.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    bit_len: usize,
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Wraps a buffer whose meaningful prefix is `bit_len` bits.
+    pub fn new(data: &'a [u8], bit_len: usize) -> Self {
+        BitReader {
+            data,
+            bit_len: bit_len.min(data.len() * 8),
+            pos: 0,
+        }
+    }
+
+    /// Bits left to read.
+    pub fn remaining(&self) -> usize {
+        self.bit_len - self.pos
+    }
+
+    /// Reads `n` bits into the low end of a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnexpectedEnd`] if fewer than `n` bits remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    pub fn read_bits(&mut self, n: u32) -> Result<u64> {
+        assert!(n <= 64, "read_bits: n = {n} > 64");
+        if (self.remaining() as u64) < n as u64 {
+            return Err(NetError::UnexpectedEnd {
+                requested: n,
+                remaining: self.remaining(),
+            });
+        }
+        let mut out: u64 = 0;
+        let mut remaining = n;
+        while remaining > 0 {
+            let byte = self.data[self.pos / 8];
+            let bit_in_byte = self.pos % 8;
+            let avail = (8 - bit_in_byte) as u32;
+            let take = avail.min(remaining);
+            let shift = avail - take;
+            let chunk = ((byte >> shift) as u64) & ((1u64 << take) - 1);
+            out = (out << take) | chunk;
+            self.pos += take as usize;
+            remaining -= take;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_various_widths() {
+        let mut w = BitWriter::new();
+        let values = [
+            (0u64, 1u32),
+            (1, 1),
+            (0b10110, 5),
+            (0xDEADBEEF, 32),
+            (u64::MAX, 64),
+            (0x123456789ABCDEF0, 61),
+            (7, 3),
+        ];
+        for &(v, n) in &values {
+            w.write_bits(v, n);
+        }
+        let total: u32 = values.iter().map(|&(_, n)| n).sum();
+        let (buf, bits) = w.finish();
+        assert_eq!(bits, total as usize);
+        let mut r = BitReader::new(&buf, bits);
+        for &(v, n) in &values {
+            let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+            assert_eq!(r.read_bits(n).unwrap(), v & mask, "width {n}");
+        }
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn overrun_is_detected() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b11, 2);
+        let (buf, bits) = w.finish();
+        let mut r = BitReader::new(&buf, bits);
+        assert!(matches!(
+            r.read_bits(3),
+            Err(NetError::UnexpectedEnd {
+                requested: 3,
+                remaining: 2
+            })
+        ));
+        assert_eq!(r.read_bits(2).unwrap(), 0b11);
+        assert!(r.read_bits(1).is_err());
+    }
+
+    #[test]
+    fn zero_width_writes_are_noops() {
+        let mut w = BitWriter::new();
+        w.write_bits(123, 0);
+        assert_eq!(w.bit_len(), 0);
+        let (buf, bits) = w.finish();
+        assert!(buf.is_empty());
+        assert_eq!(bits, 0);
+    }
+
+    #[test]
+    fn buffer_size_is_minimal() {
+        let mut w = BitWriter::new();
+        w.write_bits(0x1FF, 9); // 9 bits → 2 bytes
+        let (buf, bits) = w.finish();
+        assert_eq!(bits, 9);
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    fn msb_first_layout() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1, 1);
+        w.write_bits(0b0000000, 7);
+        let (buf, _) = w.finish();
+        assert_eq!(buf[0], 0b1000_0000);
+    }
+
+    #[test]
+    fn values_are_masked_to_width() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xFF, 4); // only low 4 bits (0xF) survive
+        let (buf, bits) = w.finish();
+        let mut r = BitReader::new(&buf, bits);
+        assert_eq!(r.read_bits(4).unwrap(), 0xF);
+    }
+
+    #[test]
+    fn reader_clamps_bit_len_to_buffer() {
+        let buf = [0xFFu8];
+        let mut r = BitReader::new(&buf, 999);
+        assert_eq!(r.remaining(), 8);
+        assert_eq!(r.read_bits(8).unwrap(), 0xFF);
+    }
+
+    #[test]
+    fn long_random_roundtrip() {
+        use rand::Rng;
+        let mut rng = ekm_linalg::random::rng_from_seed(5);
+        let mut w = BitWriter::new();
+        let mut expect = Vec::new();
+        for _ in 0..2000 {
+            let n: u32 = rng.gen_range(1..=64);
+            let v: u64 = rng.gen();
+            let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+            w.write_bits(v, n);
+            expect.push((v & mask, n));
+        }
+        let (buf, bits) = w.finish();
+        let mut r = BitReader::new(&buf, bits);
+        for (v, n) in expect {
+            assert_eq!(r.read_bits(n).unwrap(), v);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the simulated network and wire format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// A read ran past the end of the encoded payload.
+    UnexpectedEnd {
+        /// Bits requested by the failing read.
+        requested: u32,
+        /// Bits remaining in the stream.
+        remaining: usize,
+    },
+    /// An encoded message carried an unknown tag byte.
+    UnknownMessageTag {
+        /// The offending tag.
+        tag: u8,
+    },
+    /// A field failed validation while decoding.
+    MalformedMessage {
+        /// Explanation.
+        reason: &'static str,
+    },
+    /// A source index was out of range for the network.
+    UnknownSource {
+        /// The offending index.
+        source: usize,
+        /// Number of sources in the network.
+        sources: usize,
+    },
+    /// Invalid precision parameter (significand bits out of range).
+    InvalidPrecision {
+        /// The offending bit count.
+        s: u32,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnexpectedEnd {
+                requested,
+                remaining,
+            } => write!(
+                f,
+                "unexpected end of payload: requested {requested} bits, {remaining} remain"
+            ),
+            NetError::UnknownMessageTag { tag } => write!(f, "unknown message tag {tag}"),
+            NetError::MalformedMessage { reason } => write!(f, "malformed message: {reason}"),
+            NetError::UnknownSource { source, sources } => {
+                write!(f, "source {source} out of range (network has {sources})")
+            }
+            NetError::InvalidPrecision { s } => {
+                write!(f, "invalid precision: {s} significand bits")
+            }
+        }
+    }
+}
+
+impl Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(NetError::UnexpectedEnd {
+            requested: 8,
+            remaining: 3
+        }
+        .to_string()
+        .contains("8 bits"));
+        assert!(NetError::UnknownMessageTag { tag: 9 }.to_string().contains('9'));
+        assert!(NetError::MalformedMessage { reason: "x" }.to_string().contains('x'));
+        assert!(NetError::UnknownSource {
+            source: 5,
+            sources: 2
+        }
+        .to_string()
+        .contains('5'));
+        assert!(NetError::InvalidPrecision { s: 60 }.to_string().contains("60"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<NetError>();
+    }
+}

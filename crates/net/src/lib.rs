@@ -1,0 +1,47 @@
+//! Simulated edge network with exact transmitted-bit accounting.
+//!
+//! The paper's central metric is *communication cost* — how many bits the
+//! data sources push over their wireless uplinks. This crate makes that
+//! measurement real rather than analytical:
+//!
+//! * [`bitstream`] — a `BitWriter`/`BitReader` pair for non-byte-aligned
+//!   payloads (a quantized scalar occupies `1 + 11 + s` bits, paper §6.1);
+//! * [`wire`] — the encoding of scalars, vectors, and matrices at either
+//!   full or quantized precision;
+//! * [`messages`] — the protocol messages exchanged by the paper's
+//!   algorithms (raw data, coresets, SVD summaries for disPCA, cost
+//!   reports and sample allocations for disSS, final centers);
+//! * [`network`] — an in-process star network of `m` data sources and one
+//!   server; every send actually encodes the message, counts its bits, and
+//!   hands the *decoded* message to the receiver, so anything lossy about
+//!   the wire format (quantization) is faithfully reflected in what the
+//!   server computes on.
+//!
+//! # Example
+//!
+//! ```
+//! use ekm_net::messages::Message;
+//! use ekm_net::network::Network;
+//! use ekm_linalg::Matrix;
+//!
+//! let mut net = Network::new(2);
+//! let msg = Message::CostReport { cost: 42.0 };
+//! let received = net.send_to_server(0, &msg).unwrap();
+//! assert_eq!(received, msg);
+//! assert!(net.stats().uplink_bits(0) > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bitstream;
+mod error;
+pub mod messages;
+pub mod network;
+pub mod wire;
+
+pub use error::NetError;
+pub use network::{Network, NetworkStats};
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, NetError>;

@@ -1,0 +1,274 @@
+//! The simulated star network: `m` data sources, one edge server.
+//!
+//! Every send encodes the message, charges its exact bit length to the
+//! right counter, and returns the *decoded* message — so the receiver
+//! computes on exactly what survived the wire format (including
+//! quantization), and communication totals are measured, not estimated.
+
+use crate::messages::Message;
+use crate::{NetError, Result};
+use std::collections::BTreeMap;
+
+/// Per-direction, per-source transmission counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    uplink_bits: Vec<u64>,
+    downlink_bits: Vec<u64>,
+    uplink_msgs: Vec<u64>,
+    downlink_msgs: Vec<u64>,
+    uplink_by_kind: BTreeMap<&'static str, u64>,
+}
+
+impl NetworkStats {
+    fn new(sources: usize) -> Self {
+        NetworkStats {
+            uplink_bits: vec![0; sources],
+            downlink_bits: vec![0; sources],
+            uplink_msgs: vec![0; sources],
+            downlink_msgs: vec![0; sources],
+            uplink_by_kind: BTreeMap::new(),
+        }
+    }
+
+    /// Number of sources tracked.
+    pub fn sources(&self) -> usize {
+        self.uplink_bits.len()
+    }
+
+    /// Bits source `i` sent to the server.
+    pub fn uplink_bits(&self, source: usize) -> u64 {
+        self.uplink_bits[source]
+    }
+
+    /// Bits the server sent to source `i`.
+    pub fn downlink_bits(&self, source: usize) -> u64 {
+        self.downlink_bits[source]
+    }
+
+    /// Total uplink bits over all sources — the paper's "communication
+    /// cost over all the data sources".
+    pub fn total_uplink_bits(&self) -> u64 {
+        self.uplink_bits.iter().sum()
+    }
+
+    /// Total downlink bits over all sources.
+    pub fn total_downlink_bits(&self) -> u64 {
+        self.downlink_bits.iter().sum()
+    }
+
+    /// Total messages sent upstream.
+    pub fn total_uplink_messages(&self) -> u64 {
+        self.uplink_msgs.iter().sum()
+    }
+
+    /// Total messages sent downstream.
+    pub fn total_downlink_messages(&self) -> u64 {
+        self.downlink_msgs.iter().sum()
+    }
+
+    /// Normalized uplink communication cost: total uplink bits divided by
+    /// the bit size of the raw dataset (`n·d` doubles) — the paper's
+    /// Table 3/4 metric, where "NR" (transmit raw data) scores 1.
+    pub fn normalized_uplink(&self, n: usize, d: usize) -> f64 {
+        let raw_bits = (n as f64) * (d as f64) * 64.0;
+        self.total_uplink_bits() as f64 / raw_bits
+    }
+
+    /// Uplink bits broken down by message kind (protocol phase): e.g.
+    /// "svd-summary" is the disPCA term Algorithm 4 shrinks, "coreset" is
+    /// the disSS samples, "cost-report" the scalar round of footnote 1.
+    pub fn uplink_bits_by_kind(&self) -> &BTreeMap<&'static str, u64> {
+        &self.uplink_by_kind
+    }
+}
+
+/// An in-process star network with exact bit accounting.
+#[derive(Debug, Clone)]
+pub struct Network {
+    sources: usize,
+    stats: NetworkStats,
+}
+
+impl Network {
+    /// Creates a network with `m` data sources and one server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources == 0`.
+    pub fn new(sources: usize) -> Self {
+        assert!(sources > 0, "network needs at least one source");
+        Network {
+            sources,
+            stats: NetworkStats::new(sources),
+        }
+    }
+
+    /// Number of data sources.
+    pub fn sources(&self) -> usize {
+        self.sources
+    }
+
+    /// Sends `msg` from source `source` to the server: encodes, charges
+    /// the uplink, and returns what the server decodes.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetError::UnknownSource`] for an out-of-range source.
+    /// * Decode errors if the message round-trip fails (a bug in the wire
+    ///   format — surfaced rather than swallowed).
+    pub fn send_to_server(&mut self, source: usize, msg: &Message) -> Result<Message> {
+        self.check(source)?;
+        let (buf, bits) = msg.encode();
+        self.stats.uplink_bits[source] += bits as u64;
+        self.stats.uplink_msgs[source] += 1;
+        *self.stats.uplink_by_kind.entry(msg.kind()).or_insert(0) += bits as u64;
+        Message::decode(&buf, bits)
+    }
+
+    /// Sends `msg` from the server to source `source`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Network::send_to_server`].
+    pub fn send_to_source(&mut self, source: usize, msg: &Message) -> Result<Message> {
+        self.check(source)?;
+        let (buf, bits) = msg.encode();
+        self.stats.downlink_bits[source] += bits as u64;
+        self.stats.downlink_msgs[source] += 1;
+        Message::decode(&buf, bits)
+    }
+
+    /// Broadcasts `msg` from the server to every source, charging each
+    /// downlink, and returns the decoded copy each receives.
+    ///
+    /// # Errors
+    ///
+    /// See [`Network::send_to_server`].
+    pub fn broadcast_to_sources(&mut self, msg: &Message) -> Result<Vec<Message>> {
+        (0..self.sources)
+            .map(|i| self.send_to_source(i, msg))
+            .collect()
+    }
+
+    /// Read access to the accumulated statistics.
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    /// Resets all counters (e.g. between Monte-Carlo runs).
+    pub fn reset_stats(&mut self) {
+        self.stats = NetworkStats::new(self.sources);
+    }
+
+    fn check(&self, source: usize) -> Result<()> {
+        if source >= self.sources {
+            return Err(NetError::UnknownSource {
+                source,
+                sources: self.sources,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::Precision;
+    use ekm_linalg::Matrix;
+
+    #[test]
+    fn uplink_accounting_exact() {
+        let mut net = Network::new(3);
+        let msg = Message::CostReport { cost: 1.0 };
+        let (_, bits) = msg.encode();
+        net.send_to_server(1, &msg).unwrap();
+        net.send_to_server(1, &msg).unwrap();
+        assert_eq!(net.stats().uplink_bits(1), 2 * bits as u64);
+        assert_eq!(net.stats().uplink_bits(0), 0);
+        assert_eq!(net.stats().total_uplink_bits(), 2 * bits as u64);
+        assert_eq!(net.stats().total_uplink_messages(), 2);
+    }
+
+    #[test]
+    fn downlink_and_broadcast() {
+        let mut net = Network::new(4);
+        let msg = Message::SampleAllocation { size: 9 };
+        let (_, bits) = msg.encode();
+        let received = net.broadcast_to_sources(&msg).unwrap();
+        assert_eq!(received.len(), 4);
+        assert!(received.iter().all(|m| *m == msg));
+        assert_eq!(net.stats().total_downlink_bits(), 4 * bits as u64);
+        assert_eq!(net.stats().total_downlink_messages(), 4);
+        assert_eq!(net.stats().total_uplink_bits(), 0);
+    }
+
+    #[test]
+    fn decoded_message_matches_sent() {
+        let mut net = Network::new(1);
+        let msg = Message::Coreset {
+            points: Matrix::from_fn(3, 2, |i, j| (i * 2 + j) as f64 * 0.25),
+            weights: vec![1.0, 2.0, 3.0],
+            delta: 0.5,
+            precision: Precision::Full,
+        };
+        let received = net.send_to_server(0, &msg).unwrap();
+        assert_eq!(received, msg);
+    }
+
+    #[test]
+    fn unknown_source_rejected() {
+        let mut net = Network::new(2);
+        let msg = Message::CostReport { cost: 0.0 };
+        assert!(matches!(
+            net.send_to_server(2, &msg),
+            Err(NetError::UnknownSource { source: 2, sources: 2 })
+        ));
+        assert!(net.send_to_source(5, &msg).is_err());
+    }
+
+    #[test]
+    fn normalized_uplink_metric() {
+        let mut net = Network::new(1);
+        // Send the full "raw dataset": 10×4 doubles.
+        let points = Matrix::from_fn(10, 4, |i, j| (i + j) as f64);
+        net.send_to_server(0, &Message::RawData { points }).unwrap();
+        let norm = net.stats().normalized_uplink(10, 4);
+        // Overhead: 8-bit tag + two 32-bit shape fields over 2560 data bits.
+        assert!(norm > 1.0 && norm < 1.05, "normalized {norm}");
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut net = Network::new(2);
+        net.send_to_server(0, &Message::CostReport { cost: 1.0 }).unwrap();
+        net.reset_stats();
+        assert_eq!(net.stats().total_uplink_bits(), 0);
+        assert_eq!(net.stats().sources(), 2);
+    }
+
+    #[test]
+    fn per_kind_breakdown_tracks_uplink() {
+        let mut net = Network::new(2);
+        let report = Message::CostReport { cost: 1.0 };
+        let raw = Message::RawData {
+            points: Matrix::from_fn(3, 2, |i, j| (i + j) as f64),
+        };
+        net.send_to_server(0, &report).unwrap();
+        net.send_to_server(1, &report).unwrap();
+        net.send_to_server(0, &raw).unwrap();
+        let by_kind = net.stats().uplink_bits_by_kind();
+        let (_, report_bits) = report.encode();
+        let (_, raw_bits) = raw.encode();
+        assert_eq!(by_kind["cost-report"], 2 * report_bits as u64);
+        assert_eq!(by_kind["raw-data"], raw_bits as u64);
+        let total: u64 = by_kind.values().sum();
+        assert_eq!(total, net.stats().total_uplink_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one source")]
+    fn zero_sources_panics() {
+        let _ = Network::new(0);
+    }
+}

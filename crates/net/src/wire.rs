@@ -1,0 +1,335 @@
+//! Wire encoding of scalars, vectors, and matrices.
+//!
+//! Scalars travel either at full IEEE-754 width (64 bits) or quantized to
+//! `1 + 11 + s` bits (sign, exponent, top-`s` stored significand bits —
+//! paper §6.1). The quantized decoder zero-fills the dropped significand
+//! bits, so `decode(encode(Γ(x))) == Γ(x)` exactly for the rounding
+//! quantizer Γ with the same `s`.
+
+use crate::bitstream::{BitReader, BitWriter};
+use crate::{NetError, Result};
+use ekm_linalg::Matrix;
+use ekm_quant::rounding::{EXPONENT_BITS, STORED_SIGNIFICAND_BITS};
+
+/// Precision at which float payloads are encoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// Full 64-bit IEEE-754 doubles.
+    Full,
+    /// `1 + 11 + s` bits per scalar (the paper's quantized format).
+    Quantized {
+        /// Stored significand bits `s ∈ 1..=52`.
+        s: u32,
+    },
+}
+
+impl Precision {
+    /// Bits one scalar occupies at this precision.
+    pub fn bits_per_scalar(&self) -> u32 {
+        match self {
+            Precision::Full => 64,
+            Precision::Quantized { s } => 1 + EXPONENT_BITS + s,
+        }
+    }
+
+    /// Validates the precision parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidPrecision`] if `s ∉ 1..=52`.
+    pub fn validate(&self) -> Result<()> {
+        match *self {
+            Precision::Full => Ok(()),
+            Precision::Quantized { s } => {
+                if s == 0 || s > STORED_SIGNIFICAND_BITS {
+                    Err(NetError::InvalidPrecision { s })
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Encodes the precision itself (1 + 6 bits).
+    pub(crate) fn encode(&self, w: &mut BitWriter) {
+        match *self {
+            Precision::Full => {
+                w.write_bits(0, 1);
+                w.write_bits(0, 6);
+            }
+            Precision::Quantized { s } => {
+                w.write_bits(1, 1);
+                w.write_bits(s as u64, 6);
+            }
+        }
+    }
+
+    /// Decodes a precision descriptor.
+    pub(crate) fn decode(r: &mut BitReader<'_>) -> Result<Precision> {
+        let quantized = r.read_bits(1)? == 1;
+        let s = r.read_bits(6)? as u32;
+        let p = if quantized {
+            Precision::Quantized { s }
+        } else {
+            Precision::Full
+        };
+        p.validate()?;
+        Ok(p)
+    }
+}
+
+/// Encodes one `f64` at the given precision.
+pub fn encode_f64(w: &mut BitWriter, x: f64, precision: Precision) {
+    match precision {
+        Precision::Full => w.write_bits(x.to_bits(), 64),
+        Precision::Quantized { s } => {
+            let bits = x.to_bits();
+            let sign = bits >> 63;
+            let exponent = (bits >> STORED_SIGNIFICAND_BITS) & ((1u64 << EXPONENT_BITS) - 1);
+            let mantissa_top = (bits & ((1u64 << STORED_SIGNIFICAND_BITS) - 1))
+                >> (STORED_SIGNIFICAND_BITS - s);
+            w.write_bits(sign, 1);
+            w.write_bits(exponent, EXPONENT_BITS);
+            w.write_bits(mantissa_top, s);
+        }
+    }
+}
+
+/// Decodes one `f64` encoded at the given precision.
+///
+/// # Errors
+///
+/// Returns [`NetError::UnexpectedEnd`] on truncated payloads.
+pub fn decode_f64(r: &mut BitReader<'_>, precision: Precision) -> Result<f64> {
+    match precision {
+        Precision::Full => Ok(f64::from_bits(r.read_bits(64)?)),
+        Precision::Quantized { s } => {
+            let sign = r.read_bits(1)?;
+            let exponent = r.read_bits(EXPONENT_BITS)?;
+            let mantissa_top = r.read_bits(s)?;
+            let bits = (sign << 63)
+                | (exponent << STORED_SIGNIFICAND_BITS)
+                | (mantissa_top << (STORED_SIGNIFICAND_BITS - s));
+            Ok(f64::from_bits(bits))
+        }
+    }
+}
+
+/// Encodes a `u64` length/count field (fixed 32 bits — ample for our
+/// payloads, negligible next to the data).
+pub fn encode_len(w: &mut BitWriter, len: usize) {
+    debug_assert!(len <= u32::MAX as usize, "length field overflow");
+    w.write_bits(len as u64, 32);
+}
+
+/// Decodes a length/count field.
+///
+/// # Errors
+///
+/// Returns [`NetError::UnexpectedEnd`] on truncated payloads.
+pub fn decode_len(r: &mut BitReader<'_>) -> Result<usize> {
+    Ok(r.read_bits(32)? as usize)
+}
+
+/// Encodes a slice of `f64` (length-prefixed).
+pub fn encode_f64_slice(w: &mut BitWriter, xs: &[f64], precision: Precision) {
+    encode_len(w, xs.len());
+    for &x in xs {
+        encode_f64(w, x, precision);
+    }
+}
+
+/// Decodes a slice of `f64`.
+///
+/// # Errors
+///
+/// Returns [`NetError::UnexpectedEnd`] on truncated payloads.
+pub fn decode_f64_slice(r: &mut BitReader<'_>, precision: Precision) -> Result<Vec<f64>> {
+    let len = decode_len(r)?;
+    let mut out = Vec::with_capacity(len.min(1 << 24));
+    for _ in 0..len {
+        out.push(decode_f64(r, precision)?);
+    }
+    Ok(out)
+}
+
+/// Encodes a matrix (shape-prefixed, row-major entries).
+pub fn encode_matrix(w: &mut BitWriter, m: &Matrix, precision: Precision) {
+    encode_len(w, m.rows());
+    encode_len(w, m.cols());
+    for &x in m.as_slice() {
+        encode_f64(w, x, precision);
+    }
+}
+
+/// Decodes a matrix.
+///
+/// # Errors
+///
+/// * [`NetError::UnexpectedEnd`] on truncated payloads.
+/// * [`NetError::MalformedMessage`] on absurd shapes.
+pub fn decode_matrix(r: &mut BitReader<'_>, precision: Precision) -> Result<Matrix> {
+    let rows = decode_len(r)?;
+    let cols = decode_len(r)?;
+    let total = rows.checked_mul(cols).ok_or(NetError::MalformedMessage {
+        reason: "matrix shape overflow",
+    })?;
+    // A decoded entry takes ≥ 13 bits; anything claiming more entries than
+    // the stream could hold is malformed.
+    if (total as u64) * 13 > r.remaining() as u64 + 64 {
+        return Err(NetError::MalformedMessage {
+            reason: "matrix larger than payload",
+        });
+    }
+    let mut data = Vec::with_capacity(total);
+    for _ in 0..total {
+        data.push(decode_f64(r, precision)?);
+    }
+    Ok(Matrix::from_vec(rows, cols, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ekm_quant::RoundingQuantizer;
+
+    fn roundtrip_f64(x: f64, p: Precision) -> f64 {
+        let mut w = BitWriter::new();
+        encode_f64(&mut w, x, p);
+        let (buf, bits) = w.finish();
+        assert_eq!(bits as u32, p.bits_per_scalar());
+        let mut r = BitReader::new(&buf, bits);
+        decode_f64(&mut r, p).unwrap()
+    }
+
+    #[test]
+    fn full_precision_exact() {
+        for &x in &[0.0, -0.0, 1.5, -3.25e300, f64::MIN_POSITIVE, f64::MAX] {
+            let y = roundtrip_f64(x, Precision::Full);
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert!(roundtrip_f64(f64::NAN, Precision::Full).is_nan());
+    }
+
+    #[test]
+    fn quantized_roundtrip_exact_after_quantizer() {
+        use rand::Rng;
+        let mut rng = ekm_linalg::random::rng_from_seed(1);
+        for s in [1u32, 4, 11, 23, 52] {
+            let q = RoundingQuantizer::new(s).unwrap();
+            let p = Precision::Quantized { s };
+            for _ in 0..500 {
+                let x: f64 = (rng.gen::<f64>() - 0.5) * 1e6;
+                let qx = q.quantize(x);
+                let y = roundtrip_f64(qx, p);
+                assert_eq!(qx.to_bits(), y.to_bits(), "s={s} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_encoding_truncates_unquantized_values() {
+        // Encoding an unquantized value at s bits truncates (not rounds) —
+        // callers must quantize first; the error is still ≤ 2^{1-s}|x|.
+        let x = std::f64::consts::PI;
+        let y = roundtrip_f64(x, Precision::Quantized { s: 8 });
+        assert!((x - y).abs() <= x * 2f64.powi(-7));
+    }
+
+    #[test]
+    fn bits_per_scalar() {
+        assert_eq!(Precision::Full.bits_per_scalar(), 64);
+        assert_eq!(Precision::Quantized { s: 8 }.bits_per_scalar(), 20);
+        assert_eq!(Precision::Quantized { s: 52 }.bits_per_scalar(), 64);
+    }
+
+    #[test]
+    fn precision_descriptor_roundtrip() {
+        for p in [
+            Precision::Full,
+            Precision::Quantized { s: 1 },
+            Precision::Quantized { s: 52 },
+        ] {
+            let mut w = BitWriter::new();
+            p.encode(&mut w);
+            let (buf, bits) = w.finish();
+            let mut r = BitReader::new(&buf, bits);
+            assert_eq!(Precision::decode(&mut r).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn precision_validation() {
+        assert!(Precision::Full.validate().is_ok());
+        assert!(Precision::Quantized { s: 52 }.validate().is_ok());
+        assert!(Precision::Quantized { s: 0 }.validate().is_err());
+        assert!(Precision::Quantized { s: 53 }.validate().is_err());
+    }
+
+    #[test]
+    fn slice_roundtrip() {
+        let xs = vec![1.0, -2.5, 0.0, 1e-10];
+        let mut w = BitWriter::new();
+        encode_f64_slice(&mut w, &xs, Precision::Full);
+        let (buf, bits) = w.finish();
+        assert_eq!(bits, 32 + 4 * 64);
+        let mut r = BitReader::new(&buf, bits);
+        assert_eq!(decode_f64_slice(&mut r, Precision::Full).unwrap(), xs);
+    }
+
+    #[test]
+    fn matrix_roundtrip_full_and_quantized() {
+        let m = Matrix::from_fn(7, 3, |i, j| (i as f64 - 3.0) * 1.37 + j as f64 * 0.11);
+        // Full precision: exact.
+        let mut w = BitWriter::new();
+        encode_matrix(&mut w, &m, Precision::Full);
+        let (buf, bits) = w.finish();
+        let mut r = BitReader::new(&buf, bits);
+        assert!(decode_matrix(&mut r, Precision::Full).unwrap().approx_eq(&m, 0.0));
+        // Quantized: exact after quantization.
+        let q = RoundingQuantizer::new(10).unwrap();
+        let qm = q.quantize_matrix(&m);
+        let mut w = BitWriter::new();
+        encode_matrix(&mut w, &qm, Precision::Quantized { s: 10 });
+        let (buf, bits) = w.finish();
+        assert_eq!(bits, 64 + 21 * 22);
+        let mut r = BitReader::new(&buf, bits);
+        assert!(decode_matrix(&mut r, Precision::Quantized { s: 10 })
+            .unwrap()
+            .approx_eq(&qm, 0.0));
+    }
+
+    #[test]
+    fn truncated_payload_errors() {
+        let m = Matrix::from_fn(2, 2, |i, j| (i + j) as f64);
+        let mut w = BitWriter::new();
+        encode_matrix(&mut w, &m, Precision::Full);
+        let (buf, bits) = w.finish();
+        let mut r = BitReader::new(&buf, bits - 10);
+        assert!(decode_matrix(&mut r, Precision::Full).is_err());
+    }
+
+    #[test]
+    fn oversized_shape_rejected() {
+        let mut w = BitWriter::new();
+        encode_len(&mut w, 1_000_000);
+        encode_len(&mut w, 1_000_000);
+        let (buf, bits) = w.finish();
+        let mut r = BitReader::new(&buf, bits);
+        assert!(matches!(
+            decode_matrix(&mut r, Precision::Full),
+            Err(NetError::MalformedMessage { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_matrix_roundtrip() {
+        let m = Matrix::zeros(0, 5);
+        let mut w = BitWriter::new();
+        encode_matrix(&mut w, &m, Precision::Full);
+        let (buf, bits) = w.finish();
+        let mut r = BitReader::new(&buf, bits);
+        let back = decode_matrix(&mut r, Precision::Full).unwrap();
+        assert_eq!(back.shape(), (0, 5));
+    }
+}

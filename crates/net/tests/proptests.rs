@@ -1,0 +1,121 @@
+//! Property-based tests for the wire format and network accounting.
+
+use ekm_linalg::Matrix;
+use ekm_net::bitstream::{BitReader, BitWriter};
+use ekm_net::messages::Message;
+use ekm_net::wire::{decode_f64, encode_f64, Precision};
+use ekm_net::Network;
+use ekm_quant::RoundingQuantizer;
+use proptest::prelude::*;
+
+fn small_matrix() -> impl Strategy<Value = Matrix> {
+    (1usize..8, 1usize..8).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-1.0e6f64..1.0e6, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary bit sequences round-trip through the bitstream.
+    #[test]
+    fn bitstream_roundtrip(values in proptest::collection::vec((0u64..u64::MAX, 1u32..=64), 1..64)) {
+        let mut w = BitWriter::new();
+        for &(v, n) in &values {
+            w.write_bits(v, n);
+        }
+        let (buf, bits) = w.finish();
+        let mut r = BitReader::new(&buf, bits);
+        for &(v, n) in &values {
+            let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+            prop_assert_eq!(r.read_bits(n).unwrap(), v & mask);
+        }
+        prop_assert_eq!(r.remaining(), 0);
+    }
+
+    /// Full-precision f64 encoding is bit-exact.
+    #[test]
+    fn f64_full_roundtrip(x in proptest::num::f64::ANY) {
+        let mut w = BitWriter::new();
+        encode_f64(&mut w, x, Precision::Full);
+        let (buf, bits) = w.finish();
+        let mut r = BitReader::new(&buf, bits);
+        let y = decode_f64(&mut r, Precision::Full).unwrap();
+        prop_assert_eq!(x.to_bits(), y.to_bits());
+    }
+
+    /// Quantize-then-encode is lossless at the matching precision.
+    #[test]
+    fn quantized_roundtrip(x in -1.0e9f64..1.0e9, s in 1u32..=52) {
+        let q = RoundingQuantizer::new(s).unwrap();
+        let qx = q.quantize(x);
+        let mut w = BitWriter::new();
+        encode_f64(&mut w, qx, Precision::Quantized { s });
+        let (buf, bits) = w.finish();
+        prop_assert_eq!(bits as u32, 12 + s);
+        let mut r = BitReader::new(&buf, bits);
+        let y = decode_f64(&mut r, Precision::Quantized { s }).unwrap();
+        prop_assert_eq!(qx.to_bits(), y.to_bits());
+    }
+
+    /// Every message kind round-trips through encode/decode.
+    #[test]
+    fn message_roundtrip(points in small_matrix(), delta in 0.0f64..100.0, cost in 0.0f64..1e9) {
+        let weights = vec![1.5; points.rows()];
+        let messages = vec![
+            Message::RawData { points: points.clone() },
+            Message::Coreset {
+                points: points.clone(),
+                weights,
+                delta,
+                precision: Precision::Full,
+            },
+            Message::CostReport { cost },
+            Message::SampleAllocation { size: points.rows() as u64 },
+            Message::Centers { centers: points.clone() },
+            Message::Basis { basis: points.clone() },
+        ];
+        for msg in messages {
+            let (buf, bits) = msg.encode();
+            let back = Message::decode(&buf, bits).unwrap();
+            prop_assert_eq!(back, msg);
+        }
+    }
+
+    /// The network charges exactly the encoded size and delivers exactly
+    /// the decoded message.
+    #[test]
+    fn network_charges_encoded_bits(points in small_matrix(), sources in 1usize..5) {
+        let mut net = Network::new(sources);
+        let msg = Message::RawData { points };
+        let (_, bits) = msg.encode();
+        let src = sources - 1;
+        let received = net.send_to_server(src, &msg).unwrap();
+        prop_assert_eq!(received, msg);
+        prop_assert_eq!(net.stats().uplink_bits(src), bits as u64);
+        prop_assert_eq!(net.stats().total_uplink_bits(), bits as u64);
+    }
+
+    /// Truncating any message payload produces an error, never a panic or
+    /// a silently wrong message.
+    #[test]
+    fn truncation_is_detected(points in small_matrix(), cut in 1usize..64) {
+        let msg = Message::Coreset {
+            points: points.clone(),
+            weights: vec![1.0; points.rows()],
+            delta: 0.0,
+            precision: Precision::Full,
+        };
+        let (buf, bits) = msg.encode();
+        if bits > cut {
+            let result = Message::decode(&buf, bits - cut);
+            // Either a decode error, or (if the cut only removed padding
+            // within the final field) an equal message — never a different
+            // successfully-decoded message.
+            if let Ok(m) = result {
+                prop_assert_eq!(m, msg);
+            }
+        }
+    }
+}

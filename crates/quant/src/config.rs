@@ -1,0 +1,374 @@
+//! Joint DR/CR/QT configuration (paper §6.3).
+//!
+//! Given a bound `Y₀` on the approximation ratio and a confidence `1 − δ₀`,
+//! the optimizer enumerates every significant-bit count `s`, computes the
+//! largest ε (with `ε₁⁽¹⁾ = ε₂ = ε₁⁽²⁾ = ε`, the paper's simplification)
+//! satisfying the error constraint (21b), evaluates the communication-cost
+//! model (24), and returns the configuration minimizing it.
+//!
+//! Constants from §6.3.2 (for `k ≥ 2`):
+//! `C1 = 54912·(1+log₂3)·(1+log₂(26/3))/225`, `C2 = 24`, `C3 = 2`.
+
+use crate::rounding::{RoundingQuantizer, STORED_SIGNIFICAND_BITS};
+use crate::{QuantError, Result};
+
+/// The paper's explicit constant `C1` (coreset-cardinality constant of FSS
+/// instantiated with the sampling bounds of \[23\], \[37\], \[38\]).
+pub fn c1_constant() -> f64 {
+    54912.0 * (1.0 + 3f64.log2()) * (1.0 + (26.0 / 3.0f64).log2()) / 225.0
+}
+
+/// The paper's explicit constant `C2` (JL dimension constant).
+pub const C2_CONSTANT: f64 = 24.0;
+
+/// The paper's explicit constant `C3` (precision constant).
+pub const C3_CONSTANT: f64 = 2.0;
+
+/// Problem instance for the §6.3 optimizer.
+#[derive(Debug, Clone)]
+pub struct QtOptimizer {
+    /// Dataset cardinality `n`.
+    pub n: usize,
+    /// Dataset dimensionality `d`.
+    pub d: usize,
+    /// Number of clusters `k`.
+    pub k: usize,
+    /// Desired bound `Y₀ > 1` on `cost(P,X)/cost(P,X*)`.
+    pub y0: f64,
+    /// Desired overall failure probability `δ₀ ∈ (0,1)`.
+    pub delta0: f64,
+    /// Lower bound `E ≤ cost(P, X*)` (§6.3.1; see
+    /// `ekm_clustering::lower_bound`).
+    pub lower_bound_e: f64,
+    /// Diameter `Δ_D` of the input space.
+    pub diameter: f64,
+    /// Maximum point norm `max_{p∈P} ‖p‖` (drives eq. (14)).
+    pub max_norm: f64,
+}
+
+/// One row of the optimizer's per-`s` evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct QtCandidate {
+    /// Significant bits retained by the quantizer.
+    pub s: u32,
+    /// Quantization error bound `Δ_QT = 2^{-s}·max‖p‖` (eq. (14)).
+    pub delta_qt: f64,
+    /// Multiplicative error contribution `ε_QT = 4nΔ_DΔ_QT/E` (§6.3.1).
+    pub epsilon_qt: f64,
+    /// Largest feasible ε under constraint (21b), if any.
+    pub epsilon: Option<f64>,
+    /// Modeled communication cost (24), if feasible.
+    pub comm_cost: Option<f64>,
+}
+
+/// Result of the §6.3 configuration search.
+#[derive(Debug, Clone)]
+pub struct QtConfigReport {
+    /// All evaluated candidates, `s = 1..=52` in order.
+    pub candidates: Vec<QtCandidate>,
+    /// Index into `candidates` of the cost-minimizing feasible choice.
+    pub best_index: usize,
+    /// The per-stage failure probability `δ = 1 − (1 − δ₀)^{1/3}`.
+    pub delta: f64,
+}
+
+impl QtConfigReport {
+    /// The winning candidate.
+    pub fn best(&self) -> &QtCandidate {
+        &self.candidates[self.best_index]
+    }
+
+    /// Builds the quantizer for the winning candidate.
+    pub fn best_quantizer(&self) -> RoundingQuantizer {
+        RoundingQuantizer::new(self.best().s).expect("winning s is valid")
+    }
+}
+
+impl QtOptimizer {
+    /// Validates the instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidParameter`] for out-of-range fields.
+    pub fn validate(&self) -> Result<()> {
+        if self.n == 0 || self.d == 0 || self.k == 0 {
+            return Err(QuantError::InvalidParameter {
+                name: "n/d/k",
+                reason: "must be positive",
+            });
+        }
+        if self.y0.is_nan() || self.y0 <= 1.0 {
+            return Err(QuantError::InvalidParameter {
+                name: "y0",
+                reason: "approximation bound must exceed 1",
+            });
+        }
+        if self.delta0.is_nan() || self.delta0 <= 0.0 || self.delta0 >= 1.0 {
+            return Err(QuantError::InvalidParameter {
+                name: "delta0",
+                reason: "must lie in (0,1)",
+            });
+        }
+        if self.lower_bound_e.is_nan() || self.lower_bound_e <= 0.0 {
+            return Err(QuantError::InvalidParameter {
+                name: "lower_bound_e",
+                reason: "must be positive",
+            });
+        }
+        if !(self.diameter > 0.0 && self.max_norm > 0.0) {
+            return Err(QuantError::InvalidParameter {
+                name: "diameter/max_norm",
+                reason: "must be positive",
+            });
+        }
+        Ok(())
+    }
+
+    /// Left side of constraint (21b) with all ε's equal:
+    /// `Y(ε, ε_QT) = ((1+ε)⁴/(1−ε)) · ((1+ε)⁵ + ε_QT)`.
+    pub fn error_bound(epsilon: f64, epsilon_qt: f64) -> f64 {
+        let one_plus = 1.0 + epsilon;
+        (one_plus.powi(4) / (1.0 - epsilon)) * (one_plus.powi(5) + epsilon_qt)
+    }
+
+    /// Largest ε in `(0, 1)` with `Y(ε, ε_QT) ≤ y0`, by bisection;
+    /// `None` when even ε → 0 violates the bound.
+    pub fn max_feasible_epsilon(&self, epsilon_qt: f64) -> Option<f64> {
+        if Self::error_bound(0.0, epsilon_qt) > self.y0 {
+            return None;
+        }
+        let mut lo = 0.0f64;
+        let mut hi = 0.999_999f64;
+        if Self::error_bound(hi, epsilon_qt) <= self.y0 {
+            return Some(hi);
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if Self::error_bound(mid, epsilon_qt) <= self.y0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        (lo > 0.0).then_some(lo)
+    }
+
+    /// The communication-cost model of eq. (22)–(24):
+    /// `X ≈ n'(ε) · d'(ε, n') · b'(ε_QT)` with the §6.3.2 constants.
+    pub fn comm_cost_model(&self, epsilon: f64, epsilon_qt: f64, delta: f64) -> f64 {
+        let k = self.k as f64;
+        let e2 = epsilon;
+        // n' = C1·k³·log₂²(k)·log(1/δ)/ε₂⁴ — the paper assumes k ≥ 2; for
+        // k < 2 the log factor is clamped to 1 so the model stays usable.
+        let logk = k.log2().max(1.0);
+        let n_prime = c1_constant() * k.powi(3) * logk * logk * (1.0 / delta).ln() / e2.powi(4);
+        // d' = C2·log(n'k/δ)/ε² (Lemma 4.2 with the §6.3.2 constant).
+        let d_prime = C2_CONSTANT * (n_prime * k / delta).ln() / (epsilon * epsilon);
+        // b' = C3·log(n·√d / ε_QT).
+        let b_prime = C3_CONSTANT
+            * ((self.n as f64) * (self.d as f64).sqrt() / epsilon_qt)
+                .ln()
+                .max(1.0);
+        n_prime * d_prime * b_prime
+    }
+
+    /// Runs the full §6.3 search over `s = 1..=52`.
+    ///
+    /// # Errors
+    ///
+    /// * [`QuantError::InvalidParameter`] for a malformed instance.
+    /// * [`QuantError::Infeasible`] when no `s` admits a feasible ε.
+    pub fn optimize(&self) -> Result<QtConfigReport> {
+        self.validate()?;
+        let delta = 1.0 - (1.0 - self.delta0).powf(1.0 / 3.0);
+        let mut candidates = Vec::with_capacity(STORED_SIGNIFICAND_BITS as usize);
+        let mut best: Option<(usize, f64)> = None;
+        let mut min_y = f64::INFINITY;
+        for s in 1..=STORED_SIGNIFICAND_BITS {
+            let q = RoundingQuantizer::new(s).expect("s in range");
+            let delta_qt = q.max_error_bound(self.max_norm);
+            let epsilon_qt =
+                4.0 * (self.n as f64) * self.diameter * delta_qt / self.lower_bound_e;
+            min_y = min_y.min(Self::error_bound(0.0, epsilon_qt));
+            let epsilon = self.max_feasible_epsilon(epsilon_qt);
+            let comm_cost = epsilon.map(|e| self.comm_cost_model(e, epsilon_qt, delta));
+            if let Some(x) = comm_cost {
+                let better = best.map(|(_, bx)| x < bx).unwrap_or(true);
+                if better {
+                    best = Some((candidates.len(), x));
+                }
+            }
+            candidates.push(QtCandidate {
+                s,
+                delta_qt,
+                epsilon_qt,
+                epsilon,
+                comm_cost,
+            });
+        }
+        match best {
+            Some((best_index, _)) => Ok(QtConfigReport {
+                candidates,
+                best_index,
+                delta,
+            }),
+            None => Err(QuantError::Infeasible {
+                target: self.y0,
+                best_achievable: min_y,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instance() -> QtOptimizer {
+        QtOptimizer {
+            n: 60_000,
+            d: 784,
+            k: 2,
+            y0: 2.0,
+            delta0: 0.1,
+            lower_bound_e: 1_000.0,
+            diameter: 2.0 * 28.0, // [-1,1]^784 ball-ish
+            max_norm: 28.0,
+        }
+    }
+
+    #[test]
+    fn constants_match_paper() {
+        // C1 = 54912(1+log₂3)(1+log₂(26/3))/225
+        let c1 = c1_constant();
+        let expect = 54912.0 * (1.0 + 1.584962500721156) * (1.0 + 3.115477217419936) / 225.0;
+        assert!((c1 - expect).abs() < 1e-6);
+        assert_eq!(C2_CONSTANT, 24.0);
+        assert_eq!(C3_CONSTANT, 2.0);
+    }
+
+    #[test]
+    fn error_bound_reduces_without_quantization() {
+        // ε_QT = 0: Y(ε) = (1+ε)⁹/(1−ε), the Theorem 4.4 ratio.
+        let y = QtOptimizer::error_bound(0.1, 0.0);
+        let expect = 1.1f64.powi(9) / 0.9;
+        assert!((y - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_bound_monotone_in_epsilon_and_qt() {
+        let y1 = QtOptimizer::error_bound(0.1, 0.01);
+        let y2 = QtOptimizer::error_bound(0.2, 0.01);
+        let y3 = QtOptimizer::error_bound(0.1, 0.05);
+        assert!(y2 > y1);
+        assert!(y3 > y1);
+    }
+
+    #[test]
+    fn max_feasible_epsilon_bisection() {
+        let opt = instance();
+        let e = opt.max_feasible_epsilon(0.0).expect("feasible");
+        // Y(e) == y0 at the boundary.
+        let y = QtOptimizer::error_bound(e, 0.0);
+        assert!((y - opt.y0).abs() < 1e-6, "Y(e*) = {y}");
+        // Infeasible when ε_QT alone exceeds the budget: Y(0, εqt) = 1+εqt.
+        assert!(opt.max_feasible_epsilon(1.5).is_none());
+    }
+
+    #[test]
+    fn optimize_returns_interior_s() {
+        let opt = instance();
+        let report = opt.optimize().unwrap();
+        assert_eq!(report.candidates.len(), 52);
+        let best = report.best();
+        // The optimum is neither the minimum nor the maximum s: very small
+        // s forces tiny ε (huge coreset), very large s wastes bits.
+        assert!(best.s > 1, "best s = {}", best.s);
+        assert!(best.s < 52, "best s = {}", best.s);
+        assert!(best.comm_cost.is_some());
+        // δ = 1 − (1−δ₀)^{1/3}
+        let expect_delta = 1.0 - 0.9f64.powf(1.0 / 3.0);
+        assert!((report.delta - expect_delta).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_model_decreases_with_looser_epsilon() {
+        let opt = instance();
+        let x_tight = opt.comm_cost_model(0.05, 1e-6, 0.03);
+        let x_loose = opt.comm_cost_model(0.2, 1e-6, 0.03);
+        assert!(x_loose < x_tight);
+    }
+
+    #[test]
+    fn small_s_infeasible_large_s_feasible() {
+        let opt = instance();
+        let report = opt.optimize().unwrap();
+        // s = 1: ε_QT = 4nΔ_D·(max_norm/2)/E — astronomically over budget.
+        assert!(report.candidates[0].epsilon.is_none());
+        // s = 52 is essentially unquantized → feasible.
+        assert!(report.candidates[51].epsilon.is_some());
+    }
+
+    #[test]
+    fn infeasible_target_errors() {
+        let mut opt = instance();
+        opt.y0 = 1.0 + 1e-12;
+        // Even ε = 0 with the smallest ε_QT cannot get below ~1 + ε_QT.
+        opt.lower_bound_e = 1e-9;
+        assert!(matches!(
+            opt.optimize(),
+            Err(QuantError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_bad_fields() {
+        let mut opt = instance();
+        opt.y0 = 0.5;
+        assert!(opt.validate().is_err());
+        let mut opt = instance();
+        opt.k = 0;
+        assert!(opt.validate().is_err());
+        let mut opt = instance();
+        opt.delta0 = 1.0;
+        assert!(opt.validate().is_err());
+        let mut opt = instance();
+        opt.lower_bound_e = 0.0;
+        assert!(opt.validate().is_err());
+        let mut opt = instance();
+        opt.max_norm = -1.0;
+        assert!(opt.validate().is_err());
+    }
+
+    #[test]
+    fn best_quantizer_constructible() {
+        let report = instance().optimize().unwrap();
+        let q = report.best_quantizer();
+        assert_eq!(q.significant_bits(), report.best().s);
+    }
+
+    #[test]
+    fn tighter_y0_needs_more_bits() {
+        let loose = QtOptimizer {
+            y0: 3.0,
+            ..instance()
+        }
+        .optimize()
+        .unwrap();
+        let tight = QtOptimizer {
+            y0: 1.2,
+            ..instance()
+        }
+        .optimize()
+        .unwrap();
+        // The smallest feasible s grows as the error budget shrinks.
+        let first_feasible = |r: &QtConfigReport| {
+            r.candidates
+                .iter()
+                .find(|c| c.epsilon.is_some())
+                .map(|c| c.s)
+                .unwrap()
+        };
+        assert!(first_feasible(&tight) >= first_feasible(&loose));
+    }
+}

@@ -1,0 +1,77 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by quantization routines.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QuantError {
+    /// Requested significant-bit count outside `1..=52`.
+    InvalidBits {
+        /// The requested count.
+        s: u32,
+    },
+    /// A configuration parameter is out of its valid range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Explanation.
+        reason: &'static str,
+    },
+    /// No quantizer configuration can satisfy the requested error bound.
+    Infeasible {
+        /// The requested bound on the approximation ratio.
+        target: f64,
+        /// The smallest achievable approximation ratio over all `s`.
+        best_achievable: f64,
+    },
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::InvalidBits { s } => {
+                write!(f, "significant bits s={s} outside the valid range 1..=52")
+            }
+            QuantError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+            QuantError::Infeasible {
+                target,
+                best_achievable,
+            } => write!(
+                f,
+                "no configuration achieves approximation bound {target} (best achievable {best_achievable})"
+            ),
+        }
+    }
+}
+
+impl Error for QuantError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(QuantError::InvalidBits { s: 60 }.to_string().contains("60"));
+        assert!(QuantError::InvalidParameter {
+            name: "epsilon",
+            reason: "must be positive"
+        }
+        .to_string()
+        .contains("epsilon"));
+        let e = QuantError::Infeasible {
+            target: 1.1,
+            best_achievable: 1.5,
+        };
+        assert!(e.to_string().contains("1.1"));
+        assert!(e.to_string().contains("1.5"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<QuantError>();
+    }
+}

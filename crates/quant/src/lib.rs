@@ -1,0 +1,25 @@
+//! Quantization (QT) for the `edge-kmeans` workspace — paper Section 6.
+//!
+//! * [`rounding`] — the rounding-based quantizer Γ of eq. (13): keep `s`
+//!   significant bits of the IEEE-754 double representation, round the
+//!   rest. Implemented bit-exactly on the `f64` encoding, with the error
+//!   bound of eq. (14) (`Δ_QT ≤ 2^{-s}·max‖p‖`).
+//! * [`config`] — the §6.3 joint DR/CR/QT configuration optimizer: choose
+//!   the number of significant bits `s` (and the matching ε) minimizing the
+//!   modeled communication cost (24) subject to the approximation-error
+//!   constraint (21b), using the paper's explicit constants
+//!   `C1 = 54912(1+log₂3)(1+log₂(26/3))/225`, `C2 = 24`, `C3 = 2`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+mod error;
+pub mod rounding;
+
+pub use config::{QtConfigReport, QtOptimizer};
+pub use error::QuantError;
+pub use rounding::RoundingQuantizer;
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, QuantError>;

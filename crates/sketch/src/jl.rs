@@ -1,0 +1,289 @@
+//! Johnson–Lindenstrauss random projections.
+//!
+//! A JL projection here is a linear map `π(p) = p·Π` with `Π ∈ R^{d×d'}`
+//! drawn from a sub-Gaussian family satisfying the JL Lemma (paper
+//! Lemma 3.1 / Theorem 3.1). Both supported families preserve squared
+//! norms in expectation:
+//!
+//! * [`JlKind::Gaussian`] — i.i.d. `N(0, 1/d')` entries;
+//! * [`JlKind::Achlioptas`] — sparse `{±√(3/d'), 0}` entries with
+//!   probabilities `(1/6, 1/6, 2/3)` (reference \[33\]).
+//!
+//! The matrix is a pure function of `(kind, d, d', seed)`, so two parties
+//! sharing the seed regenerate the identical map — transmitting it costs
+//! nothing (§3.2 Remark).
+
+use ekm_linalg::random::{achlioptas_matrix, gaussian_matrix};
+use ekm_linalg::{ops, pinv, LinalgError, Matrix};
+use std::fmt;
+
+/// The random family a [`JlProjection`] is drawn from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JlKind {
+    /// Dense i.i.d. Gaussian entries, `N(0, 1/d')`.
+    Gaussian,
+    /// Sparse Achlioptas entries `{±√(3/d'), 0}` w.p. `(1/6, 1/6, 2/3)`.
+    Achlioptas,
+}
+
+impl fmt::Display for JlKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JlKind::Gaussian => write!(f, "gaussian"),
+            JlKind::Achlioptas => write!(f, "achlioptas"),
+        }
+    }
+}
+
+/// A seeded Johnson–Lindenstrauss projection `R^d → R^{d'}`.
+///
+/// # Example
+///
+/// ```
+/// use ekm_linalg::Matrix;
+/// use ekm_sketch::{JlKind, JlProjection};
+///
+/// let pi = JlProjection::generate(JlKind::Gaussian, 100, 20, 42);
+/// let data = Matrix::from_fn(5, 100, |i, j| ((i + j) % 3) as f64);
+/// let reduced = pi.project(&data).unwrap();
+/// assert_eq!(reduced.shape(), (5, 20));
+/// // Same seed on another node: identical map, zero communication.
+/// let pi2 = JlProjection::generate(JlKind::Gaussian, 100, 20, 42);
+/// assert!(pi2.project(&data).unwrap().approx_eq(&reduced, 0.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct JlProjection {
+    kind: JlKind,
+    seed: u64,
+    matrix: Matrix,
+}
+
+impl JlProjection {
+    /// Generates the projection matrix for `(kind, source_dim, target_dim,
+    /// seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source_dim == 0` or `target_dim == 0`.
+    pub fn generate(kind: JlKind, source_dim: usize, target_dim: usize, seed: u64) -> Self {
+        assert!(source_dim > 0, "JL projection needs source_dim > 0");
+        assert!(target_dim > 0, "JL projection needs target_dim > 0");
+        let sigma = 1.0 / (target_dim as f64).sqrt();
+        let matrix = match kind {
+            JlKind::Gaussian => gaussian_matrix(seed, source_dim, target_dim, sigma),
+            JlKind::Achlioptas => achlioptas_matrix(seed, source_dim, target_dim, sigma),
+        };
+        JlProjection { kind, seed, matrix }
+    }
+
+    /// The family this projection was drawn from.
+    pub fn kind(&self) -> JlKind {
+        self.kind
+    }
+
+    /// The seed the matrix is derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Input dimensionality `d`.
+    pub fn source_dim(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    /// Output dimensionality `d'`.
+    pub fn target_dim(&self) -> usize {
+        self.matrix.cols()
+    }
+
+    /// Borrows the projection matrix `Π ∈ R^{d×d'}`.
+    pub fn matrix(&self) -> &Matrix {
+        &self.matrix
+    }
+
+    /// Projects a dataset: `π(P) = A_P · Π` (`n×d → n×d'`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `data.cols()` differs
+    /// from [`source_dim`](Self::source_dim).
+    pub fn project(&self, data: &Matrix) -> Result<Matrix, LinalgError> {
+        ops::matmul(data, &self.matrix)
+    }
+
+    /// Projects a single point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] on length mismatch.
+    pub fn project_point(&self, point: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if point.len() != self.source_dim() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "jl project_point",
+                lhs: (1, point.len()),
+                rhs: self.matrix.shape(),
+            });
+        }
+        let mut out = vec![0.0; self.target_dim()];
+        for (i, &v) in point.iter().enumerate() {
+            if v == 0.0 {
+                continue;
+            }
+            for (o, &m) in out.iter_mut().zip(self.matrix.row(i)) {
+                *o += v * m;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Computes the Moore–Penrose pseudo-inverse `Π⁺ ∈ R^{d'×d}` used to map
+    /// centers found in the projected space back to `R^d`
+    /// (`π⁻¹(X') = A_{X'}·Π⁺`, paper §3.1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates pseudo-inverse failures.
+    pub fn pseudo_inverse(&self) -> Result<Matrix, LinalgError> {
+        pinv::pinv(&self.matrix)
+    }
+
+    /// Maps centers `X' ⊂ R^{d'}` back to the original space via `Π⁺`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape and pseudo-inverse failures.
+    pub fn lift(&self, centers: &Matrix) -> Result<Matrix, LinalgError> {
+        let p = self.pseudo_inverse()?;
+        ops::matmul(centers, &p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ekm_linalg::random::rng_from_seed;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a = JlProjection::generate(JlKind::Gaussian, 50, 10, 7);
+        let b = JlProjection::generate(JlKind::Gaussian, 50, 10, 7);
+        assert!(a.matrix().approx_eq(b.matrix(), 0.0));
+        let c = JlProjection::generate(JlKind::Gaussian, 50, 10, 8);
+        assert!(!a.matrix().approx_eq(c.matrix(), 1e-9));
+    }
+
+    #[test]
+    fn shapes_and_accessors() {
+        let p = JlProjection::generate(JlKind::Achlioptas, 30, 5, 1);
+        assert_eq!(p.source_dim(), 30);
+        assert_eq!(p.target_dim(), 5);
+        assert_eq!(p.kind(), JlKind::Achlioptas);
+        assert_eq!(p.seed(), 1);
+        assert_eq!(format!("{}", JlKind::Gaussian), "gaussian");
+        assert_eq!(format!("{}", JlKind::Achlioptas), "achlioptas");
+    }
+
+    #[test]
+    fn norm_preservation_in_expectation_gaussian() {
+        // E‖π(x)‖² = ‖x‖²; averaged over many unit vectors and a decent d',
+        // the mean distortion should be close to 1.
+        let d = 200;
+        let dp = 64;
+        let pi = JlProjection::generate(JlKind::Gaussian, d, dp, 3);
+        let mut rng = rng_from_seed(4);
+        let mut total = 0.0;
+        let trials = 200;
+        for _ in 0..trials {
+            let x: Vec<f64> = (0..d).map(|_| rng.gen::<f64>() - 0.5).collect();
+            let nx = ops::dot(&x, &x);
+            let y = pi.project_point(&x).unwrap();
+            let ny = ops::dot(&y, &y);
+            total += ny / nx;
+        }
+        let mean = total / trials as f64;
+        assert!((mean - 1.0).abs() < 0.1, "mean distortion {mean}");
+    }
+
+    #[test]
+    fn norm_preservation_in_expectation_achlioptas() {
+        let d = 200;
+        let dp = 64;
+        let pi = JlProjection::generate(JlKind::Achlioptas, d, dp, 5);
+        let mut rng = rng_from_seed(6);
+        let mut total = 0.0;
+        let trials = 200;
+        for _ in 0..trials {
+            let x: Vec<f64> = (0..d).map(|_| rng.gen::<f64>() - 0.5).collect();
+            let y = pi.project_point(&x).unwrap();
+            total += ops::dot(&y, &y) / ops::dot(&x, &x);
+        }
+        let mean = total / trials as f64;
+        assert!((mean - 1.0).abs() < 0.1, "mean distortion {mean}");
+    }
+
+    #[test]
+    fn project_matches_project_point() {
+        let pi = JlProjection::generate(JlKind::Gaussian, 20, 6, 9);
+        let data = Matrix::from_fn(4, 20, |i, j| ((i * j) % 5) as f64 - 2.0);
+        let m = pi.project(&data).unwrap();
+        for i in 0..4 {
+            let p = pi.project_point(data.row(i)).unwrap();
+            for j in 0..6 {
+                assert!((m[(i, j)] - p[j]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn lift_then_project_is_identity_on_projected_space() {
+        // π(π⁻¹(X')) = X' because Π⁺ is a right inverse of projection
+        // composition when d' < d (Π has full column rank a.s.).
+        let pi = JlProjection::generate(JlKind::Gaussian, 40, 8, 11);
+        let x_prime = Matrix::from_fn(3, 8, |i, j| (i + j) as f64 * 0.3);
+        let lifted = pi.lift(&x_prime).unwrap();
+        assert_eq!(lifted.shape(), (3, 40));
+        let reprojected = pi.project(&lifted).unwrap();
+        assert!(
+            reprojected.approx_eq(&x_prime, 1e-8),
+            "π(π⁻¹(X')) != X'"
+        );
+    }
+
+    #[test]
+    fn dimension_mismatch_errors() {
+        let pi = JlProjection::generate(JlKind::Gaussian, 10, 4, 2);
+        assert!(pi.project(&Matrix::zeros(3, 9)).is_err());
+        assert!(pi.project_point(&[0.0; 9]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "target_dim")]
+    fn zero_target_dim_panics() {
+        let _ = JlProjection::generate(JlKind::Gaussian, 10, 0, 1);
+    }
+
+    #[test]
+    fn pairwise_distance_distortion_bounded() {
+        // JL with d' = 64 on a handful of points: empirical distortion of
+        // pairwise distances stays within ±50% with overwhelming
+        // probability (loose sanity bound — the lemma promises much more
+        // for this d').
+        let d = 300;
+        let pi = JlProjection::generate(JlKind::Gaussian, d, 64, 13);
+        let mut rng = rng_from_seed(14);
+        let pts = Matrix::from_fn(10, d, |_, _| rng.gen::<f64>() - 0.5);
+        let proj = pi.project(&pts).unwrap();
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                let orig = ops::sq_dist(pts.row(i), pts.row(j));
+                let red = ops::sq_dist(proj.row(i), proj.row(j));
+                let ratio = red / orig;
+                assert!(
+                    (0.5..=1.5).contains(&ratio),
+                    "distortion {ratio} outside [0.5, 1.5]"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Dimensionality-reduction (DR) methods for the `edge-kmeans` workspace.
+//!
+//! Two DR families from the paper (§3.2):
+//!
+//! * [`jl`] — Johnson–Lindenstrauss random projections (Gaussian and
+//!   Achlioptas sparse-sign), the *data-oblivious* maps at the heart of
+//!   Algorithms 1–4. Because the projection matrix is generated from a seed
+//!   shared between data sources and server, applying DR costs **zero
+//!   communication** — the key observation behind the paper's improvements
+//!   over FSS/BKLW.
+//! * [`pca`] — PCA / truncated-SVD projection, the data-*dependent* DR used
+//!   inside FSS and disPCA (which is why those must transmit a basis,
+//!   paying `O(d)` per basis vector).
+//!
+//! [`dims`] computes the target dimensions prescribed by Lemma 4.1 and
+//! Lemma 4.2 (with the explicit constant `d' = ⌈8·ln(4nk/δ)/ε²⌉` the paper
+//! uses in §6.3.2), plus the practical variants used by the experiments.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dims;
+pub mod jl;
+pub mod pca;
+
+pub use jl::{JlKind, JlProjection};
+pub use pca::Pca;

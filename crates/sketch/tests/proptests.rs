@@ -1,0 +1,107 @@
+//! Property-based tests for JL projections and PCA.
+
+use ekm_linalg::{ops, Matrix};
+use ekm_sketch::{dims, JlKind, JlProjection, Pca};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// JL projection is linear: π(aX + bY) = a·π(X) + b·π(Y).
+    #[test]
+    fn jl_is_linear(seed in 0u64..200, a in -3.0f64..3.0, b in -3.0f64..3.0) {
+        let pi = JlProjection::generate(JlKind::Gaussian, 24, 8, seed);
+        let x = ekm_linalg::random::gaussian_matrix(seed + 1, 4, 24, 1.0);
+        let y = ekm_linalg::random::gaussian_matrix(seed + 2, 4, 24, 1.0);
+        let combo = x.scaled(a).add(&y.scaled(b)).unwrap();
+        let left = pi.project(&combo).unwrap();
+        let right = pi.project(&x).unwrap().scaled(a)
+            .add(&pi.project(&y).unwrap().scaled(b)).unwrap();
+        prop_assert!(left.approx_eq(&right, 1e-9));
+    }
+
+    /// Norm preservation in expectation: averaging ‖π(x)‖²/‖x‖² over many
+    /// independent projections concentrates near 1.
+    #[test]
+    fn jl_unbiased_norms(seed in 0u64..50) {
+        let x = ekm_linalg::random::gaussian_matrix(seed, 1, 64, 1.0);
+        let nx = ops::dot(x.row(0), x.row(0));
+        let mut total = 0.0;
+        let reps = 60;
+        for r in 0..reps {
+            let pi = JlProjection::generate(JlKind::Gaussian, 64, 16, seed * 1000 + r);
+            let y = pi.project(&x).unwrap();
+            total += ops::dot(y.row(0), y.row(0)) / nx;
+        }
+        let mean = total / reps as f64;
+        prop_assert!((mean - 1.0).abs() < 0.25, "mean distortion {mean}");
+    }
+
+    /// Achlioptas projections have the same unbiasedness.
+    #[test]
+    fn achlioptas_unbiased_norms(seed in 0u64..50) {
+        let x = ekm_linalg::random::gaussian_matrix(seed + 500, 1, 64, 1.0);
+        let nx = ops::dot(x.row(0), x.row(0));
+        let mut total = 0.0;
+        let reps = 60;
+        for r in 0..reps {
+            let pi = JlProjection::generate(JlKind::Achlioptas, 64, 16, seed * 997 + r);
+            let y = pi.project(&x).unwrap();
+            total += ops::dot(y.row(0), y.row(0)) / nx;
+        }
+        let mean = total / reps as f64;
+        prop_assert!((mean - 1.0).abs() < 0.25, "mean distortion {mean}");
+    }
+
+    /// Lift∘project is the identity on the projected space for every seed
+    /// and shape.
+    #[test]
+    fn lift_right_inverse(seed in 0u64..300, d in 6usize..40) {
+        let dp = 2 + (seed as usize % (d - 3));
+        let pi = JlProjection::generate(JlKind::Gaussian, d, dp.min(d - 1), seed);
+        let x = ekm_linalg::random::gaussian_matrix(seed + 7, 2, pi.target_dim(), 1.0);
+        let back = pi.project(&pi.lift(&x).unwrap()).unwrap();
+        prop_assert!(back.approx_eq(&x, 1e-6));
+    }
+
+    /// PCA coordinates plus residual conserve energy for every input.
+    #[test]
+    fn pca_energy_conservation(seed in 0u64..200, t in 1usize..6) {
+        let data = ekm_linalg::random::gaussian_matrix(seed, 30, 8, 1.0);
+        let pca = Pca::fit(&data, t).unwrap();
+        let coords = pca.coordinates(&data).unwrap();
+        let total = coords.frobenius_norm_sq() + pca.residual_sq();
+        prop_assert!((total - data.frobenius_norm_sq()).abs() < 1e-7 * data.frobenius_norm_sq());
+    }
+
+    /// PCA projection is idempotent: projecting the projection changes
+    /// nothing.
+    #[test]
+    fn pca_projection_idempotent(seed in 0u64..200) {
+        let data = ekm_linalg::random::gaussian_matrix(seed, 20, 10, 1.0);
+        let pca = Pca::fit(&data, 3).unwrap();
+        let once = pca.project_into_subspace(&data).unwrap();
+        let twice = pca.project_into_subspace(&once).unwrap();
+        prop_assert!(twice.approx_eq(&once, 1e-8));
+    }
+
+    /// Lemma 4.1 dimension is monotone: more points, more clusters, or a
+    /// smaller δ never shrink d'.
+    #[test]
+    fn lemma41_monotone(n in 10usize..10_000, k in 1usize..10) {
+        let base = dims::lemma41_jl_dim(n, k, 0.5, 0.1);
+        prop_assert!(dims::lemma41_jl_dim(n * 2, k, 0.5, 0.1) >= base);
+        prop_assert!(dims::lemma41_jl_dim(n, k + 1, 0.5, 0.1) >= base);
+        prop_assert!(dims::lemma41_jl_dim(n, k, 0.5, 0.05) >= base);
+    }
+
+    /// Matrices regenerate identically from the same seed across calls.
+    #[test]
+    fn seeded_regeneration(seed in 0u64..1000) {
+        let a = JlProjection::generate(JlKind::Achlioptas, 16, 4, seed);
+        let b = JlProjection::generate(JlKind::Achlioptas, 16, 4, seed);
+        prop_assert!(a.matrix().approx_eq(b.matrix(), 0.0));
+        let m = Matrix::from_fn(3, 16, |i, j| (i * 16 + j) as f64 * 0.01);
+        prop_assert!(a.project(&m).unwrap().approx_eq(&b.project(&m).unwrap(), 0.0));
+    }
+}

@@ -1,0 +1,72 @@
+//! Configuring joint DR + CR + QT (paper §6.3).
+//!
+//! Run with `cargo run --release --example quantization_tuning`.
+//!
+//! Sweeps the rounding quantizer's significant-bit count `s` on a real
+//! pipeline (measuring cost/communication like Figures 3–6), then runs the
+//! paper's §6.3 optimizer, which picks `s` from the analytic
+//! communication-cost model (24) under the error constraint (21b).
+
+use edge_kmeans::clustering::lower_bound::cost_lower_bound;
+use edge_kmeans::data::neurips_like::NeurIpsLike;
+use edge_kmeans::data::normalize::normalize_paper;
+use edge_kmeans::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (n_words, n_papers, k) = (2_000, 600, 2);
+
+    let raw = NeurIpsLike::new(n_words, n_papers).with_seed(5).generate()?.points;
+    let (dataset, _) = normalize_paper(&raw);
+    let (n, d) = dataset.shape();
+    println!("dataset: {n} words x {d} papers (NeurIPS-like), k = {k}\n");
+
+    let reference = evaluation::reference(&dataset, k, 5, 1)?;
+    let base = SummaryParams::practical(k, n, d).with_seed(17);
+
+    // --- Empirical sweep over s (the Figure 3/4 experiment) ---
+    println!(
+        "{:>4} {:>12} {:>14} {:>12}",
+        "s", "norm. cost", "norm. comm", "source (s)"
+    );
+    for s in [2u32, 4, 8, 12, 16, 24, 32, 44, 52] {
+        let q = RoundingQuantizer::new(s)?;
+        let params = base.clone().with_quantizer(q);
+        let mut net = Network::new(1);
+        let out = JlFssJl::new(params).run(&dataset, &mut net)?;
+        let nc = evaluation::normalized_cost(&dataset, &out.centers, reference.cost)?;
+        println!(
+            "{s:>4} {:>12.4} {:>14.3e} {:>12.4}",
+            nc,
+            out.normalized_comm(n, d),
+            out.source_seconds
+        );
+    }
+
+    // --- The §6.3 analytic optimizer ---
+    let weights = vec![1.0; n];
+    let e = cost_lower_bound(&dataset, &weights, k, 0.1, 3)?;
+    let optimizer = QtOptimizer {
+        n,
+        d,
+        k,
+        y0: 2.0,
+        delta0: 0.1,
+        lower_bound_e: e.lower_bound.max(1e-9),
+        diameter: 2.0 * (d as f64).sqrt(), // the [-1,1]^d cube diameter
+        max_norm: dataset.max_row_norm(),
+    };
+    let report = optimizer.optimize()?;
+    let best = report.best();
+    println!("\nSection 6.3 optimizer (Y0 = {}, delta0 = {}):", optimizer.y0, optimizer.delta0);
+    println!(
+        "  chose s* = {} significant bits (epsilon = {:.4}, modeled comm {:.3e})",
+        best.s,
+        best.epsilon.unwrap_or(f64::NAN),
+        best.comm_cost.unwrap_or(f64::NAN),
+    );
+    let feasible = report.candidates.iter().filter(|c| c.epsilon.is_some()).count();
+    println!("  {feasible}/52 bit-widths feasible under the error bound");
+    println!("\nVery small s blows up the k-means cost; very large s wastes bits —");
+    println!("the optimizer lands in between, matching the U-shape in the sweep above.");
+    Ok(())
+}

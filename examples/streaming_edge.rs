@@ -1,0 +1,72 @@
+//! An edge device summarizes data *while collecting it*.
+//!
+//! Run with `cargo run --release --example streaming_edge`.
+//!
+//! The paper's protocols assume the device holds its dataset when the
+//! server asks. Real sensors collect over time; the merge-and-reduce
+//! extension (`ekm_coreset::streaming`) maintains a bounded-size coreset
+//! incrementally, so the device can answer a summary request at any
+//! moment with one round of communication — and the answer is as good as
+//! a batch-built coreset of the same size.
+
+use edge_kmeans::coreset::StreamingCoreset;
+use edge_kmeans::data::normalize::normalize_paper;
+use edge_kmeans::data::synth::GaussianMixture;
+use edge_kmeans::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (total, d, k) = (20_000, 32, 3);
+    let raw = GaussianMixture::new(total, d, k)
+        .with_separation(5.0)
+        .with_seed(21)
+        .generate()?
+        .points;
+    let (data, _) = normalize_paper(&raw);
+
+    let mut stream = StreamingCoreset::new(k, 512, 256).with_seed(4);
+    println!("device collects {total} points in bursts; coreset budget 256 points\n");
+    println!(
+        "{:>10} {:>14} {:>12} {:>14}",
+        "collected", "stored points", "reduces", "norm. cost"
+    );
+
+    let reference = evaluation::reference(&data, k, 4, 1)?;
+    let burst = 2_500;
+    let mut collected = 0;
+    while collected < total {
+        let idx: Vec<usize> = (collected..(collected + burst).min(total)).collect();
+        stream.push_batch(&data.select_rows(&idx))?;
+        collected += idx.len();
+
+        // At any instant the device can answer a k-means request.
+        let coreset = stream.finalize()?;
+        let model = KMeans::new(k)
+            .with_seed(2)
+            .fit_weighted(coreset.points(), coreset.weights())?;
+        let cost = edge_kmeans::clustering::cost::cost(&data.select_rows(&(0..collected).collect::<Vec<_>>()), &model.centers)?;
+        let ref_cost = edge_kmeans::clustering::cost::cost(
+            &data.select_rows(&(0..collected).collect::<Vec<_>>()),
+            &reference.centers,
+        )?;
+        println!(
+            "{:>10} {:>14} {:>12} {:>14.4}",
+            collected,
+            stream.stored_points(),
+            stream.reduces(),
+            cost / ref_cost.max(1e-12),
+        );
+    }
+
+    let final_coreset = stream.finalize()?;
+    println!(
+        "\nfinal summary: {} weighted points covering {} collected ({}x reduction),",
+        final_coreset.len(),
+        stream.points_seen(),
+        stream.points_seen() / final_coreset.len().max(1)
+    );
+    println!(
+        "total weight {:.1} (= n exactly), ready to ship in one round.",
+        final_coreset.total_weight()
+    );
+    Ok(())
+}

@@ -1,0 +1,357 @@
+//! `ekm` — command-line driver for the edge-kmeans pipelines.
+//!
+//! ```text
+//! ekm run   --pipeline jl-fss-jl --dataset mnist-like --n 2000 --k 2
+//! ekm sweep --dataset neurips-like --n 1500 --d 500
+//! ekm qtopt --dataset mnist-like --y0 2.0
+//! ekm --help
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace deliberately carries no
+//! CLI dependency); every flag has a sensible default so `ekm run` alone
+//! does something useful.
+
+use edge_kmeans::clustering::lower_bound::cost_lower_bound;
+use edge_kmeans::data::mnist_like::MnistLike;
+use edge_kmeans::data::neurips_like::NeurIpsLike;
+use edge_kmeans::data::normalize::normalize_paper;
+use edge_kmeans::data::partition::partition_uniform;
+use edge_kmeans::data::synth::GaussianMixture;
+use edge_kmeans::prelude::*;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+const HELP: &str = "\
+ekm — communication-efficient k-means for edge-based machine learning
+
+USAGE:
+    ekm <COMMAND> [FLAGS]
+
+COMMANDS:
+    run      run one pipeline end to end and print the three paper metrics
+    sweep    run every pipeline on one dataset (the Figure 1 comparison)
+    qtopt    run the Section 6.3 quantizer-configuration optimizer
+    help     show this message
+
+FLAGS (with defaults):
+    --pipeline <name>   nr | fss | jl-fss | fss-jl | jl-fss-jl |
+                        bklw | jl-bklw              [jl-fss-jl]
+    --dataset <name>    mnist-like | neurips-like | mixture   [mnist-like]
+    --n <int>           dataset cardinality                    [2000]
+    --d <int>           dataset dimensionality (mixture/neurips) [196]
+    --k <int>           clusters                               [2]
+    --sources <int>     data sources (distributed pipelines)   [10]
+    --seed <int>        RNG seed                               [42]
+    --quantize <bits>   add the +QT variant with s significant bits
+    --y0 <float>        qtopt error budget                     [2.0]
+
+EXAMPLES:
+    ekm run --pipeline jl-bklw --sources 10
+    ekm run --pipeline jl-fss --dataset neurips-like --n 1500 --d 500
+    ekm sweep --dataset mnist-like --quantize 10
+";
+
+#[derive(Debug)]
+struct Args {
+    command: String,
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut command = String::from("help");
+        let mut flags = HashMap::new();
+        let mut i = 0;
+        let mut saw_command = false;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(name) = a.strip_prefix("--") {
+                if name == "help" {
+                    return Ok(Args {
+                        command: "help".into(),
+                        flags,
+                    });
+                }
+                let value = argv
+                    .get(i + 1)
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                flags.insert(name.to_string(), value.clone());
+                i += 2;
+            } else {
+                if saw_command {
+                    return Err(format!("unexpected argument '{a}'"));
+                }
+                command = a.clone();
+                saw_command = true;
+                i += 1;
+            }
+        }
+        Ok(Args { command, flags })
+    }
+
+    fn get_usize(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<usize>()
+                .map_err(|_| format!("--{name} expects an integer, got '{v}'")),
+        }
+    }
+
+    fn get_u64(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<u64>()
+                .map_err(|_| format!("--{name} expects an integer, got '{v}'")),
+        }
+    }
+
+    fn get_f64(&self, name: &str, default: f64) -> Result<f64, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<f64>()
+                .map_err(|_| format!("--{name} expects a number, got '{v}'")),
+        }
+    }
+
+    fn get_str(&self, name: &str, default: &str) -> String {
+        self.flags
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+}
+
+fn build_dataset(args: &Args) -> Result<Matrix, String> {
+    let n = args.get_usize("n", 2000)?;
+    let d = args.get_usize("d", 196)?;
+    let seed = args.get_u64("seed", 42)?;
+    let raw = match args.get_str("dataset", "mnist-like").as_str() {
+        "mnist-like" => {
+            let side = (d as f64).sqrt().round() as usize;
+            MnistLike::new(n, side.max(4))
+                .with_seed(seed)
+                .generate()
+                .map_err(|e| e.to_string())?
+                .points
+        }
+        "neurips-like" => NeurIpsLike::new(n, d)
+            .with_seed(seed)
+            .generate()
+            .map_err(|e| e.to_string())?
+            .points,
+        "mixture" => {
+            let k = args.get_usize("k", 2)?;
+            GaussianMixture::new(n, d, k)
+                .with_separation(4.0)
+                .with_seed(seed)
+                .generate()
+                .map_err(|e| e.to_string())?
+                .points
+        }
+        other => return Err(format!("unknown dataset '{other}'")),
+    };
+    Ok(normalize_paper(&raw).0)
+}
+
+fn build_params(args: &Args, n: usize, d: usize) -> Result<SummaryParams, String> {
+    let k = args.get_usize("k", 2)?;
+    let seed = args.get_u64("seed", 42)?;
+    let mut params = SummaryParams::practical(k, n, d).with_seed(seed);
+    if let Some(bits) = args.flags.get("quantize") {
+        let s: u32 = bits
+            .parse()
+            .map_err(|_| format!("--quantize expects bits, got '{bits}'"))?;
+        params = params.with_quantizer(RoundingQuantizer::new(s).map_err(|e| e.to_string())?);
+    }
+    Ok(params)
+}
+
+fn run_one(
+    name: &str,
+    params: &SummaryParams,
+    data: &Matrix,
+    sources: usize,
+    reference_cost: f64,
+) -> Result<(), String> {
+    let (n, d) = data.shape();
+    let centralized: Option<Box<dyn CentralizedPipeline>> = match name {
+        "nr" => Some(Box::new(NoReduction::new(params.clone()))),
+        "fss" => Some(Box::new(Fss::new(params.clone()))),
+        "jl-fss" => Some(Box::new(JlFss::new(params.clone()))),
+        "fss-jl" => Some(Box::new(FssJl::new(params.clone()))),
+        "jl-fss-jl" => Some(Box::new(JlFssJl::new(params.clone()))),
+        _ => None,
+    };
+    let out = if let Some(pipe) = centralized {
+        let mut net = Network::new(1);
+        let out = pipe.run(data, &mut net).map_err(|e| e.to_string())?;
+        (pipe.name(), out)
+    } else {
+        let pipe: Box<dyn DistributedPipeline> = match name {
+            "bklw" => Box::new(Bklw::new(params.clone())),
+            "jl-bklw" => Box::new(JlBklw::new(params.clone())),
+            "bklw-jl" => Box::new(BklwJl::new(params.clone())),
+            other => return Err(format!("unknown pipeline '{other}'")),
+        };
+        let shards = partition_uniform(data, sources, params.seed).map_err(|e| e.to_string())?;
+        let mut net = Network::new(sources);
+        let out = pipe.run(&shards, &mut net).map_err(|e| e.to_string())?;
+        (pipe.name(), out)
+    };
+    let (display, out) = out;
+    let nc = evaluation::normalized_cost(data, &out.centers, reference_cost)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "{display:<14} cost {nc:>8.4}   comm {:>10.3e}   source {:>8.4}s   summary {:>6} pts",
+        out.normalized_comm(n, d),
+        out.source_seconds,
+        out.summary_points
+    );
+    Ok(())
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let data = build_dataset(args)?;
+    let (n, d) = data.shape();
+    let params = build_params(args, n, d)?;
+    let sources = args.get_usize("sources", 10)?;
+    println!("dataset {n} x {d}, k = {}", params.k);
+    let reference = evaluation::reference(&data, params.k, 5, 1).map_err(|e| e.to_string())?;
+    println!("reference cost: {:.4}\n", reference.cost);
+    run_one(
+        &args.get_str("pipeline", "jl-fss-jl"),
+        &params,
+        &data,
+        sources,
+        reference.cost,
+    )
+}
+
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    let data = build_dataset(args)?;
+    let (n, d) = data.shape();
+    let params = build_params(args, n, d)?;
+    let sources = args.get_usize("sources", 10)?;
+    println!("dataset {n} x {d}, k = {}", params.k);
+    let reference = evaluation::reference(&data, params.k, 5, 1).map_err(|e| e.to_string())?;
+    println!("reference cost: {:.4}\n", reference.cost);
+    for name in ["nr", "fss", "jl-fss", "fss-jl", "jl-fss-jl", "bklw", "jl-bklw"] {
+        run_one(name, &params, &data, sources, reference.cost)?;
+    }
+    Ok(())
+}
+
+fn cmd_qtopt(args: &Args) -> Result<(), String> {
+    let data = build_dataset(args)?;
+    let (n, d) = data.shape();
+    let k = args.get_usize("k", 2)?;
+    let y0 = args.get_f64("y0", 2.0)?;
+    let weights = vec![1.0; n];
+    let e = cost_lower_bound(&data, &weights, k, 0.1, args.get_u64("seed", 42)?)
+        .map_err(|e| e.to_string())?;
+    let optimizer = QtOptimizer {
+        n,
+        d,
+        k,
+        y0,
+        delta0: 0.1,
+        lower_bound_e: e.lower_bound.max(1e-12),
+        diameter: 2.0 * (d as f64).sqrt(),
+        max_norm: data.max_row_norm(),
+    };
+    let report = optimizer.optimize().map_err(|e| e.to_string())?;
+    let best = report.best();
+    println!("dataset {n} x {d}, k = {k}, Y0 = {y0}");
+    println!("lower bound E = {:.6}", e.lower_bound);
+    println!(
+        "optimal configuration: s* = {} significant bits (epsilon = {:.4})",
+        best.s,
+        best.epsilon.unwrap_or(f64::NAN)
+    );
+    let feasible = report
+        .candidates
+        .iter()
+        .filter(|c| c.epsilon.is_some())
+        .count();
+    println!("{feasible}/52 bit-widths feasible under the bound");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match Args::parse(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{HELP}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_str() {
+        "run" => cmd_run(&args),
+        "sweep" => cmd_sweep(&args),
+        "qtopt" => cmd_qtopt(&args),
+        "help" => {
+            println!("{HELP}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n\n{HELP}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Result<Args, String> {
+        Args::parse(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = args(&["run", "--pipeline", "fss", "--n", "500"]).unwrap();
+        assert_eq!(a.command, "run");
+        assert_eq!(a.get_str("pipeline", "x"), "fss");
+        assert_eq!(a.get_usize("n", 0).unwrap(), 500);
+        assert_eq!(a.get_usize("d", 7).unwrap(), 7); // default
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(args(&["run", "--n"]).is_err());
+    }
+
+    #[test]
+    fn double_command_is_an_error() {
+        assert!(args(&["run", "sweep"]).is_err());
+    }
+
+    #[test]
+    fn help_flag_short_circuits() {
+        let a = args(&["run", "--help"]).unwrap();
+        assert_eq!(a.command, "help");
+    }
+
+    #[test]
+    fn bad_numbers_error() {
+        let a = args(&["run", "--n", "abc"]).unwrap();
+        assert!(a.get_usize("n", 0).is_err());
+        let a = args(&["qtopt", "--y0", "x"]).unwrap();
+        assert!(a.get_f64("y0", 1.0).is_err());
+    }
+
+    #[test]
+    fn default_command_is_help() {
+        let a = args(&[]).unwrap();
+        assert_eq!(a.command, "help");
+    }
+}

@@ -1,0 +1,127 @@
+//! Capstone tests: the paper's §7.4 "Summary of Observations", each
+//! asserted end-to-end on the reproduction.
+//!
+//! 1. Solving k-means on DR/CR summaries gives a reasonably good solution
+//!    at a drastically reduced communication cost without heavy device
+//!    compute.
+//! 2. Suitable DR+CR combinations beat the state-of-the-art baselines on
+//!    communication and/or complexity at similar quality.
+//! 3. Adding suitably configured quantization further reduces
+//!    communication without adversely affecting the other metrics.
+
+use edge_kmeans::data::mnist_like::MnistLike;
+use edge_kmeans::data::normalize::normalize_paper;
+use edge_kmeans::data::partition::partition_uniform;
+use edge_kmeans::prelude::*;
+
+fn workload(seed: u64) -> Matrix {
+    let ds = MnistLike::new(1800, 14).with_seed(seed).generate().unwrap();
+    normalize_paper(&ds.points).0
+}
+
+#[test]
+fn observation_1_summaries_give_good_cheap_solutions() {
+    let data = workload(1);
+    let (n, d) = data.shape();
+    let reference = evaluation::reference(&data, 2, 5, 1).unwrap();
+    let params = SummaryParams::practical(2, n, d).with_seed(2);
+
+    let mut net = Network::new(1);
+    let nr = NoReduction::new(params.clone()).run(&data, &mut net).unwrap();
+    let summary = JlFssJl::new(params).run(&data, &mut net).unwrap();
+
+    // "reasonably good solution"
+    let nc = evaluation::normalized_cost(&data, &summary.centers, reference.cost).unwrap();
+    assert!(nc < 1.35, "normalized cost {nc}");
+    // "drastically reduced communication cost" — >95% below raw.
+    assert!(
+        (summary.uplink_bits as f64) < 0.05 * nr.uplink_bits as f64,
+        "summary bits {} vs raw {}",
+        summary.uplink_bits,
+        nr.uplink_bits
+    );
+    // "without incurring a high complexity at data sources" — well under
+    // a second at this scale.
+    assert!(summary.source_seconds < 1.0);
+}
+
+#[test]
+fn observation_2_proposed_beat_baselines() {
+    let data = workload(3);
+    let (n, d) = data.shape();
+    let reference = evaluation::reference(&data, 2, 5, 2).unwrap();
+    let params = SummaryParams::practical(2, n, d).with_seed(4);
+
+    // Centralized: Algorithm 1 vs the FSS baseline.
+    let mut net = Network::new(1);
+    let fss = Fss::new(params.clone()).run(&data, &mut net).unwrap();
+    let alg1 = JlFss::new(params.clone()).run(&data, &mut net).unwrap();
+    let nc_fss = evaluation::normalized_cost(&data, &fss.centers, reference.cost).unwrap();
+    let nc_alg1 = evaluation::normalized_cost(&data, &alg1.centers, reference.cost).unwrap();
+    assert!(alg1.uplink_bits < fss.uplink_bits, "Alg 1 must cut bits vs FSS");
+    assert!(
+        alg1.source_seconds < fss.source_seconds,
+        "Alg 1 must cut device time vs FSS"
+    );
+    assert!(nc_alg1 < nc_fss + 0.35, "similar quality: {nc_alg1} vs {nc_fss}");
+
+    // Distributed: Algorithm 4 vs the BKLW baseline.
+    let shards = partition_uniform(&data, 10, 5).unwrap();
+    let mut net_a = Network::new(10);
+    let bklw = Bklw::new(params.clone()).run(&shards, &mut net_a).unwrap();
+    let mut net_b = Network::new(10);
+    let alg4 = JlBklw::new(params).run(&shards, &mut net_b).unwrap();
+    let nc_bklw = evaluation::normalized_cost(&data, &bklw.centers, reference.cost).unwrap();
+    let nc_alg4 = evaluation::normalized_cost(&data, &alg4.centers, reference.cost).unwrap();
+    assert!(alg4.uplink_bits < bklw.uplink_bits, "Alg 4 must cut bits vs BKLW");
+    assert!(nc_alg4 < nc_bklw + 0.35, "similar quality: {nc_alg4} vs {nc_bklw}");
+}
+
+#[test]
+fn observation_3_quantization_is_free_bits() {
+    let data = workload(6);
+    let (n, d) = data.shape();
+    let reference = evaluation::reference(&data, 2, 5, 3).unwrap();
+    let base = SummaryParams::practical(2, n, d).with_seed(7);
+
+    let mut net = Network::new(1);
+    let plain = JlFssJl::new(base.clone()).run(&data, &mut net).unwrap();
+    let q = RoundingQuantizer::new(10).unwrap();
+    let quant = JlFssJl::new(base.with_quantizer(q)).run(&data, &mut net).unwrap();
+
+    // "further reduce the communication cost by 2/3" (paper §7.3.2 (i)).
+    assert!(
+        (quant.uplink_bits as f64) < 0.45 * plain.uplink_bits as f64,
+        "quantized {} vs plain {}",
+        quant.uplink_bits,
+        plain.uplink_bits
+    );
+    // "without increasing the k-means cost"
+    let nc_plain = evaluation::normalized_cost(&data, &plain.centers, reference.cost).unwrap();
+    let nc_quant = evaluation::normalized_cost(&data, &quant.centers, reference.cost).unwrap();
+    assert!(
+        nc_quant < nc_plain + 0.05,
+        "quantized cost {nc_quant} vs plain {nc_plain}"
+    );
+    // "or the running time"
+    assert!(quant.source_seconds < plain.source_seconds * 3.0 + 0.05);
+}
+
+#[test]
+fn headline_order_matters_tradeoff() {
+    // §4.3's central finding on one dataset: Alg 1 is fastest-at-device,
+    // Alg 2 is cheapest-to-transmit, Alg 3 achieves both at once.
+    let data = workload(8);
+    let (n, d) = data.shape();
+    let params = SummaryParams::practical(2, n, d).with_seed(9);
+    let mut net = Network::new(1);
+    let alg1 = JlFss::new(params.clone()).run(&data, &mut net).unwrap();
+    let alg2 = FssJl::new(params.clone()).run(&data, &mut net).unwrap();
+    let alg3 = JlFssJl::new(params).run(&data, &mut net).unwrap();
+
+    // Alg 3 matches Alg 2's bits…
+    assert!(alg3.uplink_bits <= alg2.uplink_bits + alg2.uplink_bits / 100);
+    assert!(alg3.uplink_bits < alg1.uplink_bits);
+    // …and Alg 1's device speed (Alg 2 pays the exact-SVD price).
+    assert!(alg3.source_seconds < alg2.source_seconds / 2.0);
+}

@@ -1,0 +1,135 @@
+//! Integration: streaming collection composed with the paper's
+//! DR/CR/QT summary machinery, end to end over the simulated network.
+
+use edge_kmeans::coreset::StreamingCoreset;
+use edge_kmeans::data::normalize::normalize_paper;
+use edge_kmeans::data::synth::GaussianMixture;
+use edge_kmeans::net::messages::Message;
+use edge_kmeans::net::wire::Precision;
+use edge_kmeans::prelude::*;
+
+fn workload(n: usize, d: usize, seed: u64) -> Matrix {
+    let raw = GaussianMixture::new(n, d, 2)
+        .with_separation(4.0)
+        .with_seed(seed)
+        .generate()
+        .unwrap()
+        .points;
+    normalize_paper(&raw).0
+}
+
+#[test]
+fn stream_then_ship_then_solve() {
+    let data = workload(4_000, 24, 1);
+    let (n, d) = data.shape();
+
+    // Device: stream the data in bursts into a bounded summary.
+    let mut stream = StreamingCoreset::new(2, 256, 128).with_seed(2);
+    for chunk in (0..n).step_by(500) {
+        let idx: Vec<usize> = (chunk..(chunk + 500).min(n)).collect();
+        stream.push_batch(&data.select_rows(&idx)).unwrap();
+    }
+    let coreset = stream.finalize().unwrap();
+    assert!((coreset.total_weight() - n as f64).abs() < 1e-6);
+
+    // Device: project (shared seed) + quantize, then ship one message.
+    let pi = JlProjection::generate(JlKind::Gaussian, d, 12, 77);
+    let q = RoundingQuantizer::new(12).unwrap();
+    let projected = pi.project(coreset.points()).unwrap();
+    let shipped = q.quantize_matrix(&projected);
+    let msg = Message::Coreset {
+        points: shipped,
+        weights: coreset.weights().to_vec(),
+        delta: coreset.delta(),
+        precision: Precision::Quantized { s: 12 },
+    };
+    let mut net = Network::new(1);
+    let received = net.send_to_server(0, &msg).unwrap();
+
+    // Server: solve in projected space, lift with the shared-seed Π⁺.
+    let (points, weights) = match received {
+        Message::Coreset {
+            points, weights, ..
+        } => (points, weights),
+        _ => panic!("wrong message"),
+    };
+    let model = KMeans::new(2)
+        .with_n_init(3)
+        .with_seed(3)
+        .fit_weighted(&points, &weights)
+        .unwrap();
+    let pi_server = JlProjection::generate(JlKind::Gaussian, d, 12, 77);
+    let centers = pi_server.lift(&model.centers).unwrap();
+
+    // Quality: close to the full-data reference despite streaming + DR +
+    // QT + the wire round-trip.
+    let reference = evaluation::reference(&data, 2, 5, 1).unwrap();
+    let nc = evaluation::normalized_cost(&data, &centers, reference.cost).unwrap();
+    assert!(nc < 1.5, "stream+DR+QT normalized cost {nc}");
+
+    // And the message was genuinely small: well under 5% of raw bits.
+    let norm_comm = net.stats().normalized_uplink(n, d);
+    assert!(norm_comm < 0.05, "normalized comm {norm_comm}");
+}
+
+#[test]
+fn streaming_matches_batch_summary_quality() {
+    let data = workload(3_000, 16, 4);
+    let reference = evaluation::reference(&data, 2, 5, 2).unwrap();
+
+    // Batch: one-shot sensitivity sampling at the same budget.
+    let batch = edge_kmeans::coreset::SensitivitySampler::new(2, 128)
+        .with_seed(5)
+        .sample(&data, None)
+        .unwrap();
+    // Stream: same budget via merge-and-reduce.
+    let mut stream = StreamingCoreset::new(2, 256, 128).with_seed(5);
+    stream.push_batch(&data).unwrap();
+    let streamed = stream.finalize().unwrap();
+
+    let solve = |c: &Coreset| {
+        let model = KMeans::new(2)
+            .with_n_init(3)
+            .with_seed(1)
+            .fit_weighted(c.points(), c.weights())
+            .unwrap();
+        evaluation::normalized_cost(&data, &model.centers, reference.cost).unwrap()
+    };
+    let nc_batch = solve(&batch);
+    let nc_stream = solve(&streamed);
+    assert!(nc_batch < 1.2, "batch {nc_batch}");
+    assert!(
+        nc_stream < nc_batch + 0.2,
+        "stream {nc_stream} much worse than batch {nc_batch}"
+    );
+}
+
+#[test]
+fn interleaved_streams_from_multiple_devices() {
+    // Two devices stream independently; the server merges their final
+    // summaries — the one-round distributed story with streaming sources.
+    let data = workload(2_000, 12, 6);
+    let (left, right) = {
+        let idx_a: Vec<usize> = (0..1000).collect();
+        let idx_b: Vec<usize> = (1000..2000).collect();
+        (data.select_rows(&idx_a), data.select_rows(&idx_b))
+    };
+    let mut streams = [
+        StreamingCoreset::new(2, 128, 64).with_seed(7),
+        StreamingCoreset::new(2, 128, 64).with_seed(8),
+    ];
+    streams[0].push_batch(&left).unwrap();
+    streams[1].push_batch(&right).unwrap();
+    let parts: Vec<Coreset> = streams.iter().map(|s| s.finalize().unwrap()).collect();
+    let union = Coreset::merge(parts.iter()).unwrap();
+    assert!((union.total_weight() - 2000.0).abs() < 1e-6);
+
+    let model = KMeans::new(2)
+        .with_n_init(3)
+        .with_seed(2)
+        .fit_weighted(union.points(), union.weights())
+        .unwrap();
+    let reference = evaluation::reference(&data, 2, 5, 3).unwrap();
+    let nc = evaluation::normalized_cost(&data, &model.centers, reference.cost).unwrap();
+    assert!(nc < 1.3, "two-device streamed cost {nc}");
+}

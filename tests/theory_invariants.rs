@@ -1,0 +1,171 @@
+//! Property-based cross-crate tests of the theory invariants the paper's
+//! analysis rests on.
+
+use edge_kmeans::clustering::cost::cost;
+use edge_kmeans::coreset::FssBuilder;
+use edge_kmeans::data::normalize::normalize_paper;
+use edge_kmeans::data::synth::GaussianMixture;
+use edge_kmeans::prelude::*;
+use proptest::prelude::*;
+
+fn mixture(n: usize, d: usize, k: usize, seed: u64) -> Matrix {
+    let raw = GaussianMixture::new(n, d, k)
+        .with_separation(4.0)
+        .with_seed(seed)
+        .generate()
+        .unwrap()
+        .points;
+    normalize_paper(&raw).0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Definition 3.2: the FSS coreset preserves the k-means cost of the
+    /// dataset for arbitrary center sets, up to a modest factor at our
+    /// practical sample sizes.
+    #[test]
+    fn fss_is_an_approximate_coreset(seed in 0u64..50, centers_seed in 0u64..50) {
+        let data = mixture(400, 12, 2, seed);
+        let fss = FssBuilder::new(2)
+            .with_pca_dim(6)
+            .with_sample_size(120)
+            .with_seed(seed)
+            .build(&data)
+            .unwrap();
+        let coreset = fss.to_coreset().unwrap();
+        let x = ekm_linalg::random::gaussian_matrix(centers_seed, 2, 12, 0.3);
+        let truth = cost(&data, &x).unwrap();
+        let approx = coreset.cost(&x).unwrap();
+        let ratio = approx / truth;
+        prop_assert!((0.5..=1.5).contains(&ratio), "coreset distortion {ratio}");
+    }
+
+    /// Lemma 4.1 shape: JL projection preserves the k-means cost of the
+    /// dataset against fixed centers within a distortion factor.
+    #[test]
+    fn jl_preserves_kmeans_cost(seed in 0u64..50) {
+        let data = mixture(300, 64, 2, seed);
+        let pi = JlProjection::generate(JlKind::Gaussian, 64, 32, seed);
+        let x = ekm_linalg::random::gaussian_matrix(seed + 1, 2, 64, 0.3);
+        let projected_data = pi.project(&data).unwrap();
+        let projected_x = pi.project(&x).unwrap();
+        let orig = cost(&data, &x).unwrap();
+        let proj = cost(&projected_data, &projected_x).unwrap();
+        let ratio = proj / orig;
+        prop_assert!((0.5..=1.5).contains(&ratio), "JL cost distortion {ratio}");
+    }
+
+    /// The deterministic-total sampler keeps Σw = n for any workload.
+    #[test]
+    fn coreset_weight_conservation(seed in 0u64..100, n in 50usize..300) {
+        let data = mixture(n, 6, 2, seed);
+        let fss = FssBuilder::new(2)
+            .with_pca_dim(4)
+            .with_sample_size(30)
+            .with_seed(seed)
+            .build(&data)
+            .unwrap();
+        let total: f64 = fss.weights().iter().sum();
+        prop_assert!((total - n as f64).abs() < 1e-6, "Σw = {total}, n = {n}");
+    }
+
+    /// Quantizing a coreset perturbs its cost by at most the Lipschitz
+    /// bound of Theorem 6.1's proof: |cost(S) − cost(S_QT)| ≤ 2·Δ_D·Δ_QT·Σw.
+    #[test]
+    fn quantized_coreset_cost_lipschitz(seed in 0u64..50, s in 2u32..20) {
+        let data = mixture(200, 8, 2, seed);
+        let fss = FssBuilder::new(2)
+            .with_pca_dim(4)
+            .with_sample_size(50)
+            .with_seed(seed)
+            .build(&data)
+            .unwrap();
+        let coreset = fss.to_coreset().unwrap();
+        let q = RoundingQuantizer::new(s).unwrap();
+        let quantized = coreset.map_points(|m| q.quantize_matrix(m)).unwrap();
+        let x = ekm_linalg::random::gaussian_matrix(seed + 9, 2, 8, 0.3);
+        let c1 = coreset.cost(&x).unwrap();
+        let c2 = quantized.cost(&x).unwrap();
+        // Diameter of the normalized space with the centers: generous
+        // upper bound via max norms.
+        let diam = 2.0 * (coreset.points().max_row_norm() + x.max_row_norm());
+        let dqt = q.max_error_bound(coreset.points().max_row_norm());
+        let bound = 2.0 * diam * dqt * coreset.total_weight() + 1e-9;
+        prop_assert!(
+            (c1 - c2).abs() <= bound,
+            "cost moved {} > Lipschitz bound {bound}",
+            (c1 - c2).abs()
+        );
+    }
+
+    /// Composing the pipeline's own lift with its projections is exact:
+    /// π(π⁻¹(X)) = X for the Moore–Penrose inverse.
+    #[test]
+    fn lift_is_right_inverse(seed in 0u64..100, d in 10usize..60) {
+        let dp = (d / 2).max(2);
+        let pi = JlProjection::generate(JlKind::Gaussian, d, dp, seed);
+        let x = ekm_linalg::random::gaussian_matrix(seed + 3, 3, dp, 1.0);
+        let lifted = pi.lift(&x).unwrap();
+        let back = pi.project(&lifted).unwrap();
+        prop_assert!(back.approx_eq(&x, 1e-6), "π∘π⁻¹ ≠ id");
+    }
+
+    /// Theorem 5.1 sanity: projecting onto the disPCA basis never
+    /// increases the cost against centers inside the subspace by more than
+    /// the residual energy.
+    #[test]
+    fn pca_projection_cost_shift_bounded_by_residual(seed in 0u64..50) {
+        let data = mixture(250, 10, 2, seed);
+        let pca = Pca::fit(&data, 4).unwrap();
+        let projected = pca.project_into_subspace(&data).unwrap();
+        let x_coords = ekm_linalg::random::gaussian_matrix(seed + 5, 2, 4, 0.3);
+        let x = pca.lift_coordinates(&x_coords).unwrap();
+        let c_orig = cost(&data, &x).unwrap();
+        let c_proj = cost(&projected, &x).unwrap();
+        // Pythagorean identity: cost(P,X) = cost(P̃,X) + Δ for X in the
+        // subspace.
+        let delta = pca.residual_sq();
+        prop_assert!(
+            (c_orig - (c_proj + delta)).abs() <= 1e-6 * (1.0 + c_orig),
+            "cost(P,X) = {c_orig} vs cost(P̃,X)+Δ = {}",
+            c_proj + delta
+        );
+    }
+}
+
+#[test]
+fn epsilon_tightening_grows_every_derived_size() {
+    // Table 2's ε dependencies: all derived sizes are monotone in 1/ε.
+    let mut last_jl = 0usize;
+    let mut last_pca = 0usize;
+    let mut last_coreset = 0.0f64;
+    for eps in [0.8, 0.5, 0.3, 0.2] {
+        let jl = edge_kmeans::sketch::dims::lemma41_jl_dim(10_000, 2, eps, 0.1);
+        let pca = edge_kmeans::sketch::dims::theorem51_pca_dim(2, eps);
+        let coreset = edge_kmeans::coreset::size::theorem32_fss_size(2, eps, 0.1);
+        assert!(jl > last_jl, "JL dim not growing at ε={eps}");
+        assert!(pca > last_pca, "PCA dim not growing at ε={eps}");
+        assert!(coreset > last_coreset, "coreset size not growing at ε={eps}");
+        last_jl = jl;
+        last_pca = pca;
+        last_coreset = coreset;
+    }
+}
+
+#[test]
+fn approximation_chain_theorem42_shape() {
+    // Empirical check of the Theorem 4.2 error chain on one seed: the
+    // summary-derived centers cost at most (1+ε)⁵/(1−ε) of the reference
+    // with generous practical ε.
+    let data = mixture(800, 24, 2, 7);
+    let (n, d) = data.shape();
+    let reference = evaluation::reference(&data, 2, 6, 1).unwrap();
+    let params = SummaryParams::practical(2, n, d).with_seed(8);
+    let mut net = Network::new(1);
+    let out = JlFss::new(params).run(&data, &mut net).unwrap();
+    let nc = evaluation::normalized_cost(&data, &out.centers, reference.cost).unwrap();
+    let eps = 0.25f64; // practical dims correspond to a much smaller eff. ε
+    let bound = (1.0 + eps).powi(5) / (1.0 - eps);
+    assert!(nc <= bound, "normalized cost {nc} above Theorem 4.2 bound {bound}");
+}
