@@ -31,7 +31,10 @@ fn jl_kind_ablation(data: &Matrix, mc: usize) {
     let reference = make_reference(data, 2);
     let base = SummaryParams::practical(2, n, d);
     let mut results: Vec<MonteCarlo> = Vec::new();
-    for (label, kind) in [("gaussian", JlKind::Gaussian), ("achlioptas", JlKind::Achlioptas)] {
+    for (label, kind) in [
+        ("gaussian", JlKind::Gaussian),
+        ("achlioptas", JlKind::Achlioptas),
+    ] {
         let params = base.clone().with_jl_kind(kind);
         let mut mc_run = run_centralized_mc(data, &reference, mc, &params, |p| {
             Box::new(JlFssJl::new(p)) as Box<dyn CentralizedPipeline>
@@ -50,10 +53,7 @@ fn jl_kind_ablation(data: &Matrix, mc: usize) {
 
 fn weight_mode_ablation(data: &Matrix) {
     println!("\nAblation 2: sensitivity-sampling weight mode (coreset cost distortion)");
-    println!(
-        "{:<22} {:>14} {:>14}",
-        "mode", "max distortion", "Σw - n"
-    );
+    println!("{:<22} {:>14} {:>14}", "mode", "max distortion", "Σw - n");
     let n = data.rows() as f64;
     for (label, mode) in [
         ("plain", WeightMode::Plain),

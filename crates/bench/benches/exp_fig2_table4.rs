@@ -27,10 +27,7 @@ fn run_dataset(workload: &Workload, mc: usize) -> Vec<MonteCarlo> {
     let params = SummaryParams::practical(2, n, d);
 
     type Factory = fn(SummaryParams) -> Box<dyn DistributedPipeline>;
-    let factories: Vec<Factory> = vec![
-        |p| Box::new(Bklw::new(p)),
-        |p| Box::new(JlBklw::new(p)),
-    ];
+    let factories: Vec<Factory> = vec![|p| Box::new(Bklw::new(p)), |p| Box::new(JlBklw::new(p))];
     factories
         .into_iter()
         .map(|f| run_distributed_mc(data, &shards, &reference, mc, &params, f))

@@ -10,7 +10,11 @@ use ekm_data::partition::partition_uniform;
 
 fn main() {
     let workload = mnist_workload(Scale::from_env(), 63);
-    let shards =
-        partition_uniform(&workload.data, DISTRIBUTED_SOURCES, 0xF15).expect("partition");
-    run_distributed_sweep("fig5_qt_multi_mnist", workload.name, &workload.data, &shards);
+    let shards = partition_uniform(&workload.data, DISTRIBUTED_SOURCES, 0xF15).expect("partition");
+    run_distributed_sweep(
+        "fig5_qt_multi_mnist",
+        workload.name,
+        &workload.data,
+        &shards,
+    );
 }

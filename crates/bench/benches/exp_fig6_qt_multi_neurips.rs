@@ -9,7 +9,11 @@ use ekm_data::partition::partition_uniform;
 
 fn main() {
     let workload = neurips_workload(Scale::from_env(), 64);
-    let shards =
-        partition_uniform(&workload.data, DISTRIBUTED_SOURCES, 0xF16).expect("partition");
-    run_distributed_sweep("fig6_qt_multi_neurips", workload.name, &workload.data, &shards);
+    let shards = partition_uniform(&workload.data, DISTRIBUTED_SOURCES, 0xF16).expect("partition");
+    run_distributed_sweep(
+        "fig6_qt_multi_neurips",
+        workload.name,
+        &workload.data,
+        &shards,
+    );
 }

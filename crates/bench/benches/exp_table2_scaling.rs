@@ -51,19 +51,40 @@ fn fixed_params(seed: u64) -> SummaryParams {
         .with_seed(seed)
 }
 
-fn centralized_algorithms() -> Vec<(String, Box<dyn Fn(SummaryParams) -> Box<dyn CentralizedPipeline>>)> {
+type CentralizedFactory = Box<dyn Fn(SummaryParams) -> Box<dyn CentralizedPipeline>>;
+type DistributedFactory = Box<dyn Fn(SummaryParams) -> Box<dyn DistributedPipeline>>;
+
+fn centralized_algorithms() -> Vec<(String, CentralizedFactory)> {
     vec![
-        ("FSS".into(), Box::new(|p| Box::new(Fss::new(p)) as Box<dyn CentralizedPipeline>)),
-        ("JL+FSS".into(), Box::new(|p| Box::new(JlFss::new(p)) as Box<dyn CentralizedPipeline>)),
-        ("FSS+JL".into(), Box::new(|p| Box::new(FssJl::new(p)) as Box<dyn CentralizedPipeline>)),
-        ("JL+FSS+JL".into(), Box::new(|p| Box::new(JlFssJl::new(p)) as Box<dyn CentralizedPipeline>)),
+        (
+            "FSS".into(),
+            Box::new(|p| Box::new(Fss::new(p)) as Box<dyn CentralizedPipeline>),
+        ),
+        (
+            "JL+FSS".into(),
+            Box::new(|p| Box::new(JlFss::new(p)) as Box<dyn CentralizedPipeline>),
+        ),
+        (
+            "FSS+JL".into(),
+            Box::new(|p| Box::new(FssJl::new(p)) as Box<dyn CentralizedPipeline>),
+        ),
+        (
+            "JL+FSS+JL".into(),
+            Box::new(|p| Box::new(JlFssJl::new(p)) as Box<dyn CentralizedPipeline>),
+        ),
     ]
 }
 
-fn distributed_algorithms() -> Vec<(String, Box<dyn Fn(SummaryParams) -> Box<dyn DistributedPipeline>>)> {
+fn distributed_algorithms() -> Vec<(String, DistributedFactory)> {
     vec![
-        ("BKLW".into(), Box::new(|p| Box::new(Bklw::new(p)) as Box<dyn DistributedPipeline>)),
-        ("JL+BKLW".into(), Box::new(|p| Box::new(JlBklw::new(p)) as Box<dyn DistributedPipeline>)),
+        (
+            "BKLW".into(),
+            Box::new(|p| Box::new(Bklw::new(p)) as Box<dyn DistributedPipeline>),
+        ),
+        (
+            "JL+BKLW".into(),
+            Box::new(|p| Box::new(JlBklw::new(p)) as Box<dyn DistributedPipeline>),
+        ),
     ]
 }
 
@@ -90,7 +111,9 @@ fn sweep_dimension() {
             let data = workload(n, d, 7 + d as u64);
             let shards = partition_uniform(&data, 5, 3).expect("partition");
             let mut net = Network::new(5);
-            let out = factory(fixed_params(1)).run(&shards, &mut net).expect("run");
+            let out = factory(fixed_params(1))
+                .run(&shards, &mut net)
+                .expect("run");
             bit_rows[row].1.push(out.uplink_bits as f64);
             time_rows[row].1.push(out.source_seconds);
         }
@@ -112,7 +135,11 @@ fn sweep_dimension() {
         &columns,
         &time_rows,
     );
-    print_growth("communication growth d: 64 -> 512 (factor)", &columns, &bit_rows);
+    print_growth(
+        "communication growth d: 64 -> 512 (factor)",
+        &columns,
+        &bit_rows,
+    );
 }
 
 fn sweep_cardinality() {
@@ -138,7 +165,9 @@ fn sweep_cardinality() {
             let data = workload(n, d, 11 + n as u64);
             let shards = partition_uniform(&data, 5, 3).expect("partition");
             let mut net = Network::new(5);
-            let out = factory(fixed_params(2)).run(&shards, &mut net).expect("run");
+            let out = factory(fixed_params(2))
+                .run(&shards, &mut net)
+                .expect("run");
             bit_rows[row].1.push(out.uplink_bits as f64);
             time_rows[row].1.push(out.source_seconds);
         }
@@ -160,7 +189,11 @@ fn sweep_cardinality() {
         &columns,
         &time_rows,
     );
-    print_growth("communication growth n: 1000 -> 8000 (factor)", &columns, &bit_rows);
+    print_growth(
+        "communication growth n: 1000 -> 8000 (factor)",
+        &columns,
+        &bit_rows,
+    );
 }
 
 fn print_growth(title: &str, columns: &[String], rows: &[(f64, Vec<f64>)]) {

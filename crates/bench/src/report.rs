@@ -9,17 +9,19 @@ use std::path::PathBuf;
 /// workspace `target/ekm-exp` (benches run with the package dir as cwd,
 /// so a bare relative path would land inside `crates/bench`).
 pub fn output_dir(experiment: &str) -> PathBuf {
-    let base = std::env::var("EKM_OUT_DIR").map(PathBuf::from).unwrap_or_else(|_| {
-        let manifest = std::env::var("CARGO_MANIFEST_DIR").map(PathBuf::from);
-        match manifest {
-            Ok(m) => {
-                // workspace root = two levels above crates/bench.
-                let ws = m.ancestors().nth(2).map(|p| p.to_path_buf()).unwrap_or(m);
-                ws.join("target").join("ekm-exp")
+    let base = std::env::var("EKM_OUT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            let manifest = std::env::var("CARGO_MANIFEST_DIR").map(PathBuf::from);
+            match manifest {
+                Ok(m) => {
+                    // workspace root = two levels above crates/bench.
+                    let ws = m.ancestors().nth(2).map(|p| p.to_path_buf()).unwrap_or(m);
+                    ws.join("target").join("ekm-exp")
+                }
+                Err(_) => PathBuf::from("target").join("ekm-exp"),
             }
-            Err(_) => PathBuf::from("target").join("ekm-exp"),
-        }
-    });
+        });
     let dir = base.join(experiment);
     let _ = fs::create_dir_all(&dir);
     dir
@@ -78,12 +80,7 @@ pub fn print_cdfs<F: Fn(&crate::runner::TrialMetrics) -> f64 + Copy>(
 
 /// Prints a one-row-per-algorithm summary table of metric means and
 /// writes it as CSV.
-pub fn print_mean_table(
-    experiment: &str,
-    file: &str,
-    title: &str,
-    series: &[&MonteCarlo],
-) {
+pub fn print_mean_table(experiment: &str, file: &str, title: &str, series: &[&MonteCarlo]) {
     println!("\n{title}:");
     println!(
         "{:<14} {:>14} {:>14} {:>12} {:>12}",

@@ -1,9 +1,9 @@
 //! Monte-Carlo trial runners for centralized and distributed pipelines.
 
+use ekm_core::distributed::DistributedPipeline;
 use ekm_core::evaluation::{normalized_cost, reference, Reference};
 use ekm_core::params::SummaryParams;
 use ekm_core::pipelines::CentralizedPipeline;
-use ekm_core::distributed::DistributedPipeline;
 use ekm_linalg::Matrix;
 use ekm_net::Network;
 
@@ -135,9 +135,7 @@ mod tests {
         let data = ekm_data::normalize::normalize_paper(&raw).0;
         let reference = make_reference(&data, 2);
         let params = SummaryParams::practical(2, 300, 20);
-        let mc = run_centralized_mc(&data, &reference, 3, &params, |p| {
-            Box::new(JlFss::new(p))
-        });
+        let mc = run_centralized_mc(&data, &reference, 3, &params, |p| Box::new(JlFss::new(p)));
         assert_eq!(mc.trials.len(), 3);
         assert_eq!(mc.name, "JL+FSS");
         assert!(mc.mean(|t| t.normalized_cost) > 0.5);

@@ -81,7 +81,10 @@ pub fn bicriteria(
     }
     validate_weights(weights, points.rows())?;
     if k == 0 {
-        return Err(ClusteringError::InvalidK { k, n: points.rows() });
+        return Err(ClusteringError::InvalidK {
+            k,
+            n: points.rows(),
+        });
     }
     let per_round = (config.per_round_factor.max(1) * k).min(points.rows());
     let trials = config.trials.max(1);

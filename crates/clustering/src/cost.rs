@@ -83,9 +83,8 @@ pub fn assign(points: &Matrix, centers: &Matrix) -> Result<Assignment> {
         ));
     }
     let n = points.rows();
-    let pairs = parallel::par_map_indices(n, PAR_POINTS, |i| {
-        nearest_center(points.row(i), centers)
-    });
+    let pairs =
+        parallel::par_map_indices(n, PAR_POINTS, |i| nearest_center(points.row(i), centers));
     let mut labels = Vec::with_capacity(n);
     let mut distances_sq = Vec::with_capacity(n);
     for (l, d) in pairs {

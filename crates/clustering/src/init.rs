@@ -50,11 +50,7 @@ pub fn kmeanspp_indices<R: Rng + ?Sized>(
         .collect();
 
     while chosen.len() < k {
-        let probs: Vec<f64> = d2
-            .iter()
-            .zip(weights)
-            .map(|(&d, &w)| d * w)
-            .collect();
+        let probs: Vec<f64> = d2.iter().zip(weights).map(|(&d, &w)| d * w).collect();
         let total: f64 = probs.iter().sum();
         let next = if total > 0.0 {
             draw_index(rng, &probs)?

@@ -12,11 +12,19 @@
 //! * [`JlBklw`] — **Algorithm 4**: every source applies the shared-seed JL
 //!   projection first, shrinking the disPCA summaries from `O(kd/ε²)` to
 //!   `O(k·log n/ε⁴)` per source (Theorem 5.4).
+//!
+//! Per-source work in both protocols (local SVDs, bicriteria, sampling,
+//! and the transmissions themselves) executes concurrently on
+//! `std::thread::scope` workers, each charging an independent
+//! [`ekm_net::network::SourceLink`] merged back at the phase barrier —
+//! results and accounting are bit-identical to sequential execution.
+//! The named pipelines are canned stage lists over the generic
+//! [`StagePipeline`] engine, exactly like their centralized siblings.
 
+use crate::engine::{par_map, par_map_sources, StagePipeline};
 use crate::params::SummaryParams;
-use crate::pipelines::{expect_coreset, quantize_for_wire, seeds};
-use crate::projection::MaybeProjection;
-use crate::server::{lift_centers_through_basis, solve_weighted_kmeans};
+use crate::pipelines::{expect_coreset, quantize_for_wire};
+use crate::stage::Stage;
 use crate::{CoreError, Result, RunOutput};
 use ekm_clustering::bicriteria::{bicriteria, BicriteriaConfig};
 use ekm_clustering::cost::assign;
@@ -25,6 +33,7 @@ use ekm_linalg::random::{derive_seed, rng_from_seed, sample_weighted_indices};
 use ekm_linalg::{ops, svd, Matrix};
 use ekm_net::messages::Message;
 use ekm_net::Network;
+use std::borrow::Borrow;
 use std::time::Instant;
 
 /// A pipeline in the multi-data-source (distributed) setting.
@@ -39,6 +48,16 @@ pub trait DistributedPipeline {
     ///
     /// Propagates configuration, numeric, and protocol failures.
     fn run(&self, shards: &[Matrix], net: &mut Network) -> Result<RunOutput>;
+}
+
+impl DistributedPipeline for StagePipeline {
+    fn name(&self) -> String {
+        StagePipeline::name(self)
+    }
+
+    fn run(&self, shards: &[Matrix], net: &mut Network) -> Result<RunOutput> {
+        StagePipeline::run_shards(self, shards, net)
+    }
 }
 
 /// Output of the disPCA protocol.
@@ -69,52 +88,74 @@ fn local_svd_summary(data: &Matrix, t: usize) -> Result<(Vec<f64>, Matrix)> {
     Ok((s.singular_values, s.v))
 }
 
-/// Runs the disPCA protocol (paper §5.1, Theorem 5.1) with `t1 = t2 = t`.
+/// Runs the disPCA protocol (paper §5.1, Theorem 5.1) with `t1 = t2 = t`,
+/// sources working concurrently.
 ///
 /// # Errors
 ///
 /// Propagates SVD and protocol failures; rejects empty shard lists.
 pub fn dispca(shards: &[Matrix], t: usize, net: &mut Network) -> Result<DisPcaOutput> {
+    dispca_opts(shards, t, net, true)
+}
+
+/// [`dispca`] with explicit control over concurrent per-source execution
+/// (results are bit-identical either way; sequential mode exists for
+/// equivalence tests and debugging).
+///
+/// # Errors
+///
+/// See [`dispca`].
+pub fn dispca_opts<S: Borrow<Matrix> + Sync>(
+    shards: &[S],
+    t: usize,
+    net: &mut Network,
+    parallel: bool,
+) -> Result<DisPcaOutput> {
     if shards.is_empty() {
         return Err(CoreError::InvalidConfig {
             reason: "no shards",
         });
     }
-    if shards.len() != net.sources() {
+    if shards.len() > net.sources() {
         return Err(CoreError::InvalidConfig {
-            reason: "shard count differs from network sources",
+            reason: "more shards than network sources",
         });
     }
-    let d = shards[0].cols();
-    if shards.iter().any(|s| s.cols() != d) {
+    let d = shards[0].borrow().cols();
+    if shards.iter().any(|s| s.borrow().cols() != d) {
         return Err(CoreError::InvalidConfig {
             reason: "shards disagree on dimensionality",
         });
     }
 
-    // Step 1: local SVDs, summaries uplinked.
-    let mut summaries = Vec::with_capacity(shards.len());
-    let mut source_seconds = 0.0f64;
-    for (i, shard) in shards.iter().enumerate() {
+    let mut links = net.links();
+    links.truncate(shards.len());
+
+    // Step 1: local SVDs on concurrent workers, summaries uplinked
+    // through each source's own link.
+    let step1 = par_map_sources(shards, &mut links, parallel, |_i, shard, link| {
         let t0 = Instant::now();
-        let (sv, v) = local_svd_summary(shard, t)?;
-        source_seconds = source_seconds.max(t0.elapsed().as_secs_f64());
+        let (sv, v) = local_svd_summary(shard.borrow(), t)?;
+        let secs = t0.elapsed().as_secs_f64();
         let msg = Message::SvdSummary {
             singular_values: sv,
             basis: v,
         };
-        let received = net.send_to_server(i, &msg)?;
-        match received {
+        match link.send_to_server(&msg)? {
             Message::SvdSummary {
                 singular_values,
                 basis,
-            } => summaries.push((singular_values, basis)),
-            _ => {
-                return Err(CoreError::Protocol {
-                    reason: "expected svd summary",
-                })
-            }
+            } => Ok(((singular_values, basis), secs)),
+            _ => Err(CoreError::Protocol {
+                reason: "expected svd summary",
+            }),
         }
+    })?;
+    let mut source_seconds = 0.0f64;
+    let mut summaries = Vec::with_capacity(step1.len());
+    for (summary, secs) in step1 {
+        source_seconds = source_seconds.max(secs);
+        summaries.push(summary);
     }
 
     // Step 2: server stacks Y = [Σ_i V_iᵀ] and takes the global SVD.
@@ -138,17 +179,28 @@ pub fn dispca(shards: &[Matrix], t: usize, net: &mut Network) -> Result<DisPcaOu
     let basis = global.v; // d × t2
     let server_seconds = t1.elapsed().as_secs_f64();
 
-    // Step 3: broadcast the basis; each source computes its coordinates.
-    net.broadcast_to_sources(&Message::Basis {
-        basis: basis.clone(),
-    })?;
-    let mut coords = Vec::with_capacity(shards.len());
-    let mut post_seconds = 0.0f64;
-    for shard in shards {
-        let t2 = Instant::now();
-        coords.push(ops::matmul(shard, &basis)?);
-        post_seconds = post_seconds.max(t2.elapsed().as_secs_f64());
+    // Step 3: broadcast the basis; each source computes its coordinates
+    // (concurrently — this is the `O(n_i·d·t)` projection).
+    for link in &mut links {
+        link.recv_from_server(&Message::Basis {
+            basis: basis.clone(),
+        })?;
     }
+    let coords_timed = par_map(shards, parallel, |_i, shard| {
+        let t2 = Instant::now();
+        let c = ops::matmul(shard.borrow(), &basis)?;
+        Ok((c, t2.elapsed().as_secs_f64()))
+    })?;
+    let mut post_seconds = 0.0f64;
+    let coords = coords_timed
+        .into_iter()
+        .map(|(c, secs)| {
+            post_seconds = post_seconds.max(secs);
+            c
+        })
+        .collect();
+
+    net.absorb(links);
 
     Ok(DisPcaOutput {
         basis,
@@ -170,7 +222,7 @@ pub struct DisSsOutput {
 }
 
 /// Runs the disSS protocol (paper §5.1, Theorem 5.2) over per-source
-/// datasets (typically disPCA coordinates).
+/// datasets (typically disPCA coordinates), sources working concurrently.
 ///
 /// `sample_size` is the *global* budget `s`; the optional quantizer is
 /// applied to the transmitted sample points (the +QT variants of §6).
@@ -186,8 +238,28 @@ pub fn disss(
     quantizer: Option<&ekm_quant::RoundingQuantizer>,
     net: &mut Network,
 ) -> Result<DisSsOutput> {
+    disss_opts(shard_points, k, sample_size, seed, quantizer, net, true)
+}
+
+/// [`disss`] with explicit control over concurrent per-source execution
+/// (results are bit-identical either way).
+///
+/// # Errors
+///
+/// See [`disss`].
+pub fn disss_opts<S: Borrow<Matrix> + Sync>(
+    shard_points: &[S],
+    k: usize,
+    sample_size: usize,
+    seed: u64,
+    quantizer: Option<&ekm_quant::RoundingQuantizer>,
+    net: &mut Network,
+    parallel: bool,
+) -> Result<DisSsOutput> {
     if shard_points.is_empty() {
-        return Err(CoreError::InvalidConfig { reason: "no shards" });
+        return Err(CoreError::InvalidConfig {
+            reason: "no shards",
+        });
     }
     if sample_size == 0 {
         return Err(CoreError::InvalidConfig {
@@ -195,12 +267,17 @@ pub fn disss(
         });
     }
     let m = shard_points.len();
+    if m > net.sources() {
+        return Err(CoreError::InvalidConfig {
+            reason: "more shards than network sources",
+        });
+    }
+    let mut links = net.links();
+    links.truncate(m);
 
-    // Step 1: local bicriteria solutions + cost reports.
-    let mut local = Vec::with_capacity(m);
-    let mut source_seconds = 0.0f64;
-    let mut reported_costs = Vec::with_capacity(m);
-    for (i, shard) in shard_points.iter().enumerate() {
+    // Step 1: local bicriteria solutions + cost reports, concurrently.
+    let step1 = par_map_sources(shard_points, &mut links, parallel, |i, shard, link| {
+        let shard = shard.borrow();
         let t0 = Instant::now();
         let w = vec![1.0; shard.rows()];
         let bic = bicriteria(
@@ -212,8 +289,8 @@ pub fn disss(
                 ..BicriteriaConfig::default()
             },
         )?;
-        source_seconds = source_seconds.max(t0.elapsed().as_secs_f64());
-        let received = net.send_to_server(i, &Message::CostReport { cost: bic.cost })?;
+        let secs = t0.elapsed().as_secs_f64();
+        let received = link.send_to_server(&Message::CostReport { cost: bic.cost })?;
         let cost = match received {
             Message::CostReport { cost } => cost,
             _ => {
@@ -222,6 +299,13 @@ pub fn disss(
                 })
             }
         };
+        Ok((bic, cost, secs))
+    })?;
+    let mut source_seconds = 0.0f64;
+    let mut local = Vec::with_capacity(m);
+    let mut reported_costs = Vec::with_capacity(m);
+    for (bic, cost, secs) in step1 {
+        source_seconds = source_seconds.max(secs);
         reported_costs.push(cost);
         local.push(bic);
     }
@@ -236,13 +320,14 @@ pub fn disss(
     } else {
         vec![0; m]
     };
-    for (i, &s_i) in allocations.iter().enumerate() {
-        net.send_to_source(i, &Message::SampleAllocation { size: s_i as u64 })?;
+    for (link, &s_i) in links.iter_mut().zip(&allocations) {
+        link.recv_from_server(&Message::SampleAllocation { size: s_i as u64 })?;
     }
 
-    // Step 3: each source samples and reports S_i ∪ X_i with weights.
-    let mut parts: Vec<Coreset> = Vec::with_capacity(m);
-    for (i, shard) in shard_points.iter().enumerate() {
+    // Step 3: each source samples and reports S_i ∪ X_i with weights,
+    // concurrently.
+    let step3 = par_map_sources(shard_points, &mut links, parallel, |i, shard, link| {
+        let shard = shard.borrow();
         let t0 = Instant::now();
         let bic = &local[i];
         let s_i = allocations[i];
@@ -296,19 +381,25 @@ pub fn disss(
         weights.extend(center_weights);
 
         let (wire_points, precision) = quantize_for_wire(&points, quantizer);
-        source_seconds = source_seconds.max(t0.elapsed().as_secs_f64());
-        let received = net.send_to_server(
-            i,
-            &Message::Coreset {
-                points: wire_points,
-                weights,
-                delta: 0.0,
-                precision,
-            },
-        )?;
+        let secs = t0.elapsed().as_secs_f64();
+        let received = link.send_to_server(&Message::Coreset {
+            points: wire_points,
+            weights,
+            delta: 0.0,
+            precision,
+        })?;
         let (pts, w, delta) = expect_coreset(received)?;
-        parts.push(Coreset::new(pts, w, delta).map_err(CoreError::Coreset)?);
+        Ok((
+            Coreset::new(pts, w, delta).map_err(CoreError::Coreset)?,
+            secs,
+        ))
+    })?;
+    let mut parts: Vec<Coreset> = Vec::with_capacity(m);
+    for (part, secs) in step3 {
+        source_seconds = source_seconds.max(secs);
+        parts.push(part);
     }
+    net.absorb(links);
 
     // Step 4: server merges.
     let t1 = Instant::now();
@@ -322,227 +413,85 @@ pub fn disss(
     })
 }
 
-/// How the optional JL projection combines with BKLW.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum JlPlacement {
-    /// No JL projection (plain BKLW).
-    None,
-    /// Shared-seed JL at every source *before* BKLW (Algorithm 4).
-    Before,
-    /// JL applied to the disSS sample points *after* BKLW — the §5.2
-    /// "distributed counterpart of Algorithm 2" the paper argues is not
-    /// competitive (implemented to verify that claim empirically).
-    After,
-}
-
-/// The BKLW baseline \[27\]: disPCA followed by disSS, k-means at the
-/// server on the union coreset, centers lifted through the global basis.
-#[derive(Debug, Clone)]
-pub struct Bklw {
-    params: SummaryParams,
-}
-
-impl Bklw {
-    /// Creates the BKLW baseline.
-    pub fn new(params: SummaryParams) -> Self {
-        Bklw { params }
-    }
-
-    fn run_inner(
-        &self,
-        shards: &[Matrix],
-        net: &mut Network,
-        placement: JlPlacement,
-    ) -> Result<RunOutput> {
-        let p = &self.params;
-        if shards.is_empty() {
-            return Err(CoreError::InvalidConfig { reason: "no shards" });
+macro_rules! declare_distributed_pipeline {
+    ($(#[$meta:meta])* $name:ident, $display:literal, [$($pre:expr),*], [$($post:expr),*]) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            inner: StagePipeline,
         }
-        let d = shards[0].cols();
-        let total_n: usize = shards.iter().map(|s| s.rows()).sum();
-        p.validate(total_n, d)?;
-        let up0 = net.stats().total_uplink_bits();
-        let down0 = net.stats().total_downlink_bits();
 
-        // Optional shared-seed JL projection at every source (Alg 4).
-        let mut jl_seconds = 0.0f64;
-        let (working, pi1): (Vec<Matrix>, Option<MaybeProjection>) =
-            if placement == JlPlacement::Before {
-                let d1 = p.effective_jl_before(d);
-                let pi = MaybeProjection::generate(
-                    p.jl_kind,
-                    d,
-                    d1,
-                    derive_seed(p.seed, seeds::JL_BEFORE),
-                );
-                let mut projected = Vec::with_capacity(shards.len());
-                for s in shards {
-                    let t0 = Instant::now();
-                    projected.push(pi.project(s)?);
-                    jl_seconds = jl_seconds.max(t0.elapsed().as_secs_f64());
-                }
-                (projected, Some(pi))
-            } else {
-                (shards.to_vec(), None)
-            };
-
-        // disPCA at t1 = t2 = t.
-        let work_dim = working[0].cols();
-        let t = p.effective_pca_dim(work_dim);
-        let pca = dispca(&working, t, net)?;
-
-        // For the §5.2 "JL after BKLW" variant, sources express their
-        // projected data in the original space and apply a shared-seed JL
-        // there before sampling/transmitting. The disPCA summaries above
-        // already paid the O(mkd/ε²) cost, so this cannot improve the
-        // communication order — which is the paper's point.
-        let (sample_spaces, pi2): (Vec<Matrix>, Option<MaybeProjection>) =
-            if placement == JlPlacement::After {
-                let d2 = p.effective_jl_after(d);
-                let pi = MaybeProjection::generate(
-                    p.jl_kind,
-                    d,
-                    d2,
-                    derive_seed(p.seed, seeds::JL_AFTER),
-                );
-                let mut projected = Vec::with_capacity(pca.coords.len());
-                for c in &pca.coords {
-                    let t0 = Instant::now();
-                    let ambient = ops::matmul_transb(c, &pca.basis)?;
-                    projected.push(pi.project(&ambient)?);
-                    jl_seconds = jl_seconds.max(t0.elapsed().as_secs_f64());
-                }
-                (projected, Some(pi))
-            } else {
-                (pca.coords.clone(), None)
-            };
-
-        // disSS over the chosen sample space.
-        let ss = disss(
-            &sample_spaces,
-            p.k,
-            p.coreset_size,
-            derive_seed(p.seed, seeds::FSS),
-            p.quantizer.as_ref(),
-            net,
-        )?;
-
-        // Server: weighted k-means on the union coreset, then map the
-        // centers back to the original space.
-        let t1 = Instant::now();
-        let centers_sample_space = solve_weighted_kmeans(
-            ss.coreset.points(),
-            ss.coreset.weights(),
-            p.k,
-            p.kmeans_restarts,
-            derive_seed(p.seed, seeds::SERVER),
-        )?;
-        let centers = match (&pi1, &pi2) {
-            // JL after: samples live in π2-space; lift straight to R^d.
-            (None, Some(pi)) => pi.lift(&centers_sample_space)?,
-            // Plain / JL before: samples live in disPCA coordinates; lift
-            // through the basis, then through π1⁺ if one was applied.
-            (maybe_pi1, None) => {
-                let in_work =
-                    lift_centers_through_basis(&centers_sample_space, &pca.basis)?;
-                match maybe_pi1 {
-                    Some(pi) => pi.lift(&in_work)?,
-                    None => in_work,
+        impl $name {
+            /// Creates the pipeline with the given parameters (a
+            /// quantizer in `params` quantizes the disSS sample
+            /// transmissions, the `+QT` variants of §6).
+            pub fn new(params: SummaryParams) -> Self {
+                let mut stages: Vec<Stage> = vec![$($pre),*];
+                $(stages.push($post);)*
+                stages.push(Stage::disss());
+                // One shared rule (stage::with_default_qt) arms the QT
+                // stage before disSS, where the wire quantization lands.
+                let stages = crate::stage::with_default_qt(stages, &params);
+                let display = if params.quantizer.is_some() {
+                    concat!($display, "+QT").to_string()
+                } else {
+                    $display.to_string()
+                };
+                $name {
+                    inner: StagePipeline::new(stages, params).with_name(display),
                 }
             }
-            (Some(_), Some(_)) => {
-                return Err(CoreError::InvalidConfig {
-                    reason: "JL before and after BKLW simultaneously is unsupported",
-                })
+
+            /// The canned stage list as a reusable engine pipeline.
+            pub fn into_stage_pipeline(self) -> StagePipeline {
+                self.inner
             }
-        };
-        let server_kmeans_seconds = t1.elapsed().as_secs_f64();
-
-        Ok(RunOutput {
-            centers,
-            uplink_bits: net.stats().total_uplink_bits() - up0,
-            downlink_bits: net.stats().total_downlink_bits() - down0,
-            source_seconds: jl_seconds + pca.source_seconds + ss.source_seconds,
-            server_seconds: pca.server_seconds + ss.server_seconds + server_kmeans_seconds,
-            summary_points: ss.coreset.len(),
-        })
-    }
-}
-
-impl DistributedPipeline for Bklw {
-    fn name(&self) -> String {
-        match self.params.quantizer {
-            Some(_) => "BKLW+QT".into(),
-            None => "BKLW".into(),
         }
-    }
 
-    fn run(&self, shards: &[Matrix], net: &mut Network) -> Result<RunOutput> {
-        self.run_inner(shards, net, JlPlacement::None)
-    }
-}
+        impl DistributedPipeline for $name {
+            fn name(&self) -> String {
+                self.inner.name()
+            }
 
-/// **Algorithm 4** (JL+BKLW): shared-seed JL projection at every source,
-/// then BKLW in the projected space (Theorem 5.4).
-#[derive(Debug, Clone)]
-pub struct JlBklw {
-    inner: Bklw,
-}
-
-impl JlBklw {
-    /// Creates Algorithm 4.
-    pub fn new(params: SummaryParams) -> Self {
-        JlBklw {
-            inner: Bklw::new(params),
+            fn run(&self, shards: &[Matrix], net: &mut Network) -> Result<RunOutput> {
+                self.inner.run_shards(shards, net)
+            }
         }
-    }
+    };
 }
 
-impl DistributedPipeline for JlBklw {
-    fn name(&self) -> String {
-        match self.inner.params.quantizer {
-            Some(_) => "JL+BKLW+QT".into(),
-            None => "JL+BKLW".into(),
-        }
-    }
+declare_distributed_pipeline!(
+    /// The BKLW baseline \[27\]: disPCA followed by disSS, k-means at the
+    /// server on the union coreset, centers lifted through the global
+    /// basis.
+    Bklw,
+    "BKLW",
+    [Stage::dispca()],
+    []
+);
 
-    fn run(&self, shards: &[Matrix], net: &mut Network) -> Result<RunOutput> {
-        self.inner.run_inner(shards, net, JlPlacement::Before)
-    }
-}
+declare_distributed_pipeline!(
+    /// **Algorithm 4** (JL+BKLW): shared-seed JL projection at every
+    /// source, then BKLW in the projected space (Theorem 5.4).
+    JlBklw,
+    "JL+BKLW",
+    [Stage::jl(), Stage::dispca()],
+    []
+);
 
-/// The §5.2 thought-experiment: JL applied *after* BKLW (the distributed
-/// counterpart of Algorithm 2). The paper argues — and this implementation
-/// verifies empirically (see the ablation bench) — that it is **not
-/// competitive**: the disPCA summaries already cost `O(mkd/ε²)`, so the
-/// late projection cannot improve the communication order, while its
-/// distortion adds to the approximation error.
-#[derive(Debug, Clone)]
-pub struct BklwJl {
-    inner: Bklw,
-}
-
-impl BklwJl {
-    /// Creates the BKLW+JL variant.
-    pub fn new(params: SummaryParams) -> Self {
-        BklwJl {
-            inner: Bklw::new(params),
-        }
-    }
-}
-
-impl DistributedPipeline for BklwJl {
-    fn name(&self) -> String {
-        match self.inner.params.quantizer {
-            Some(_) => "BKLW+JL+QT".into(),
-            None => "BKLW+JL".into(),
-        }
-    }
-
-    fn run(&self, shards: &[Matrix], net: &mut Network) -> Result<RunOutput> {
-        self.inner.run_inner(shards, net, JlPlacement::After)
-    }
-}
+declare_distributed_pipeline!(
+    /// The §5.2 thought-experiment: JL applied *after* BKLW (the
+    /// distributed counterpart of Algorithm 2). The paper argues — and
+    /// this implementation verifies empirically (see the ablation bench)
+    /// — that it is **not competitive**: the disPCA summaries already
+    /// cost `O(mkd/ε²)`, so the late projection cannot improve the
+    /// communication order, while its distortion adds to the
+    /// approximation error.
+    BklwJl,
+    "BKLW+JL",
+    [Stage::dispca()],
+    [Stage::jl()]
+);
 
 #[cfg(test)]
 mod tests {
@@ -589,10 +538,43 @@ mod tests {
         // Projection captures most energy of well-clustered data.
         let coords_energy: f64 = out.coords.iter().map(|c| c.frobenius_norm_sq()).sum();
         let total: f64 = parts.iter().map(|s| s.frobenius_norm_sq()).sum();
-        assert!(coords_energy / total > 0.8, "captured {}", coords_energy / total);
+        assert!(
+            coords_energy / total > 0.8,
+            "captured {}",
+            coords_energy / total
+        );
         // Uplink includes m SVD summaries; downlink the broadcast basis.
         assert!(net.stats().total_uplink_bits() > 0);
         assert!(net.stats().total_downlink_bits() > 0);
+    }
+
+    #[test]
+    fn dispca_parallel_matches_sequential() {
+        let data = workload(400, 25, 12);
+        let parts = shards(&data, 5);
+        let mut net_a = Network::new(5);
+        let a = dispca_opts(&parts, 5, &mut net_a, true).unwrap();
+        let mut net_b = Network::new(5);
+        let b = dispca_opts(&parts, 5, &mut net_b, false).unwrap();
+        assert!(a.basis.approx_eq(&b.basis, 0.0));
+        assert_eq!(a.coords.len(), b.coords.len());
+        for (ca, cb) in a.coords.iter().zip(&b.coords) {
+            assert!(ca.approx_eq(cb, 0.0));
+        }
+        assert_eq!(net_a.stats(), net_b.stats());
+    }
+
+    #[test]
+    fn disss_parallel_matches_sequential() {
+        let data = workload(600, 10, 13);
+        let parts = shards(&data, 6);
+        let mut net_a = Network::new(6);
+        let a = disss_opts(&parts, 2, 80, 7, None, &mut net_a, true).unwrap();
+        let mut net_b = Network::new(6);
+        let b = disss_opts(&parts, 2, 80, 7, None, &mut net_b, false).unwrap();
+        assert!(a.coreset.points().approx_eq(b.coreset.points(), 0.0));
+        assert_eq!(a.coreset.weights(), b.coreset.weights());
+        assert_eq!(net_a.stats(), net_b.stats());
     }
 
     #[test]
@@ -645,7 +627,11 @@ mod tests {
     fn bklw_and_jlbklw_produce_good_centers() {
         let data = workload(900, 60, 5);
         let parts = shards(&data, 10);
-        let reference = KMeans::new(2).with_seed(1).with_n_init(5).fit(&data).unwrap();
+        let reference = KMeans::new(2)
+            .with_seed(1)
+            .with_n_init(5)
+            .fit(&data)
+            .unwrap();
         for (name, out) in [
             (
                 "BKLW",
@@ -693,7 +679,9 @@ mod tests {
         let mut net1 = Network::new(5);
         let plain = Bklw::new(base.clone()).run(&parts, &mut net1).unwrap();
         let mut net2 = Network::new(5);
-        let quant = Bklw::new(base.with_quantizer(q)).run(&parts, &mut net2).unwrap();
+        let quant = Bklw::new(base.with_quantizer(q))
+            .run(&parts, &mut net2)
+            .unwrap();
         assert!(quant.uplink_bits < plain.uplink_bits);
         let c_plain = cost(&data, &plain.centers).unwrap();
         let c_quant = cost(&data, &quant.centers).unwrap();
@@ -743,7 +731,9 @@ mod tests {
         let a = JlBklw::new(params.clone())
             .run(&parts, &mut Network::new(3))
             .unwrap();
-        let b = JlBklw::new(params).run(&parts, &mut Network::new(3)).unwrap();
+        let b = JlBklw::new(params)
+            .run(&parts, &mut Network::new(3))
+            .unwrap();
         assert!(a.centers.approx_eq(&b.centers, 0.0));
         assert_eq!(a.uplink_bits, b.uplink_bits);
     }
@@ -772,8 +762,16 @@ mod tests {
             plain.uplink_bits
         );
         let c = cost(&data, &after.centers).unwrap();
-        let reference = KMeans::new(2).with_seed(1).with_n_init(5).fit(&data).unwrap();
-        assert!(c / reference.inertia < 1.5, "BKLW+JL cost ratio {}", c / reference.inertia);
+        let reference = KMeans::new(2)
+            .with_seed(1)
+            .with_n_init(5)
+            .fit(&data)
+            .unwrap();
+        assert!(
+            c / reference.inertia < 1.5,
+            "BKLW+JL cost ratio {}",
+            c / reference.inertia
+        );
     }
 
     #[test]

@@ -1,0 +1,816 @@
+//! The generic stage engine: one executor for every summary pipeline.
+//!
+//! A [`StagePipeline`] runs an ordered [`Stage`] list over a
+//! [`Network`], threading a summary state through the stages and
+//! finishing with the server solve + center lift that every paper
+//! pipeline shares. The seven paper pipelines are canned stage lists
+//! (see [`crate::pipelines`] and [`crate::distributed`]); arbitrary
+//! compositions — including ones the paper never evaluated — are just
+//! other lists:
+//!
+//! ```
+//! use ekm_core::engine::StagePipeline;
+//! use ekm_core::params::SummaryParams;
+//! use ekm_net::Network;
+//! use ekm_linalg::Matrix;
+//!
+//! let data = Matrix::from_fn(400, 24, |i, j| {
+//!     ((i % 2) as f64) * 4.0 + ((i * 31 + j * 17) % 11) as f64 * 0.05
+//! });
+//! let params = SummaryParams::practical(2, 400, 24).with_seed(7);
+//! // A composition the paper never ran: JL, then FSS, then quantize.
+//! let pipe = StagePipeline::from_names("jl,fss,qt", params).unwrap();
+//! let mut net = Network::new(1);
+//! let out = pipe.run(&data, &mut net).unwrap();
+//! assert_eq!(out.centers.shape(), (2, 24));
+//! assert!(out.uplink_bits > 0);
+//! ```
+//!
+//! Multi-source execution is concurrent: per-source stage work (local
+//! SVDs, bicriteria, projections, sampling, transmission) runs on
+//! `std::thread::scope` workers, each owning an independent
+//! [`ekm_net::network::SourceLink`] whose lock-free counters are merged
+//! at the barrier — so bit accounting stays exact and results are
+//! bit-identical to sequential execution (every source's randomness is
+//! derived from its own seed stream).
+
+use crate::params::SummaryParams;
+use crate::pipelines::{expect_basis, expect_coreset, quantize_for_wire, seeds};
+use crate::projection::MaybeProjection;
+use crate::server::{lift_centers_through_basis, solve_weighted_kmeans};
+use crate::stage::{display_name, resolve_quantizer, FssStage, JlStage, Stage};
+use crate::{distributed, CoreError, Result, RunOutput};
+use ekm_coreset::FssBuilder;
+use ekm_linalg::random::derive_seed;
+use ekm_linalg::{ops, Matrix};
+use ekm_net::messages::Message;
+use ekm_net::network::SourceLink;
+use ekm_net::Network;
+use ekm_quant::RoundingQuantizer;
+use std::borrow::Cow;
+use std::time::Instant;
+
+/// The state a stage list transforms: per-source working points, the
+/// summary triple once a CR stage has run, the pending basis, and the
+/// projection chain the server will invert. (The bit ledger lives in the
+/// [`Network`] counters / [`SourceLink`]s.)
+///
+/// Crate-private: stages are the only writers, and the engine's public
+/// surface is the stage list itself.
+#[derive(Debug, Clone)]
+pub(crate) struct SummaryState<'a> {
+    /// Per-source working point sets, in the current working space
+    /// (borrowed until the first stage that replaces them).
+    pub parts: Vec<Cow<'a, Matrix>>,
+    /// Coreset weights, parallel to `parts[0]`'s rows (set by a CR
+    /// stage; CR stages require a single part).
+    pub weights: Option<Vec<f64>>,
+    /// Additive coreset constant Δ.
+    pub delta: f64,
+    /// Basis of the working space inside its parent space, when `parts`
+    /// hold coordinates (FSS basis or disPCA global basis).
+    pub basis: Option<Matrix>,
+    /// Whether the basis is already known to the server (disPCA
+    /// broadcasts it; an FSS basis must be uplinked at transmission).
+    pub basis_shared: bool,
+    /// JL projections applied so far, in application order; the server
+    /// lifts through their pseudo-inverses in reverse.
+    pub projections: Vec<MaybeProjection>,
+    /// Wire quantizer armed by a QT stage, applied to subsequent
+    /// coreset-point transmissions.
+    pub quantizer: Option<RoundingQuantizer>,
+    /// The merged summary once it lives at the server (set by disSS).
+    pub server_summary: Option<(Matrix, Vec<f64>)>,
+    /// Number of JL stages applied so far.
+    jl_count: usize,
+    /// Whether the `JL_AFTER` seed stream has been consumed.
+    jl_after_used: bool,
+    /// Whether any reduction stage (DR/CR/disPCA/disSS) has run.
+    any_reduction: bool,
+    /// Accumulated per-source compute seconds (max over sources per
+    /// phase, summed over phases).
+    source_seconds: f64,
+    /// Accumulated server compute seconds.
+    server_seconds: f64,
+}
+
+impl<'a> SummaryState<'a> {
+    fn new(parts: Vec<Cow<'a, Matrix>>) -> Self {
+        SummaryState {
+            parts,
+            weights: None,
+            delta: 0.0,
+            basis: None,
+            basis_shared: false,
+            projections: Vec::new(),
+            quantizer: None,
+            server_summary: None,
+            jl_count: 0,
+            jl_after_used: false,
+            any_reduction: false,
+            source_seconds: 0.0,
+            server_seconds: 0.0,
+        }
+    }
+
+    /// Dimensionality of the current working space.
+    fn dim(&self) -> usize {
+        self.parts.first().map_or(0, |p| p.cols())
+    }
+
+    fn require_source_side(&self) -> Result<()> {
+        if self.server_summary.is_some() {
+            return Err(CoreError::InvalidConfig {
+                reason: "no stage may follow disss: the summary already lives at the server",
+            });
+        }
+        Ok(())
+    }
+
+    /// Re-expresses coordinate parts in their parent space and drops the
+    /// basis (what a stage that needs plain points does first).
+    fn lift_out_of_basis(&mut self) -> Result<()> {
+        if let Some(basis) = self.basis.take() {
+            for part in &mut self.parts {
+                *part = Cow::Owned(ops::matmul_transb(part.as_ref(), &basis)?);
+            }
+            self.basis_shared = false;
+        }
+        Ok(())
+    }
+
+    /// Allocates the seed stream and positional role for the next JL
+    /// stage: a leading projection plays the paper's "before-CR" role
+    /// (`JL_BEFORE` stream, Lemma 4.1 dimension), later ones the
+    /// "after" role (`JL_AFTER` stream, Lemma 4.2 dimension), and any
+    /// further projections get fresh derived streams.
+    fn next_jl_stream(&mut self) -> (u64, bool) {
+        let (stream, before_role) = if !self.any_reduction && self.jl_count == 0 {
+            (seeds::JL_BEFORE, true)
+        } else if !self.jl_after_used {
+            self.jl_after_used = true;
+            (seeds::JL_AFTER, false)
+        } else {
+            (seeds::JL_EXTRA_BASE + self.jl_count as u64, false)
+        };
+        self.jl_count += 1;
+        (stream, before_role)
+    }
+}
+
+/// A summary pipeline as an ordered stage list, executed by the one
+/// generic engine (the unification of the former hand-written
+/// `CentralizedPipeline`/`DistributedPipeline` implementations).
+#[derive(Debug, Clone)]
+pub struct StagePipeline {
+    stages: Vec<Stage>,
+    params: SummaryParams,
+    name: Option<String>,
+    parallel: bool,
+}
+
+impl StagePipeline {
+    /// Builds a pipeline from an explicit stage list.
+    pub fn new(stages: Vec<Stage>, params: SummaryParams) -> Self {
+        StagePipeline {
+            stages,
+            params,
+            name: None,
+            parallel: true,
+        }
+    }
+
+    /// Builds a pipeline from a comma-separated stage list
+    /// (`"jl,fss,qt"`).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidStageName`] for unknown tokens.
+    pub fn from_names(list: &str, params: SummaryParams) -> Result<Self> {
+        Ok(StagePipeline::new(Stage::parse_list(list)?, params))
+    }
+
+    /// Overrides the display name (the canned paper pipelines use their
+    /// legend names, e.g. "BKLW" instead of "disPCA+disSS").
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Enables or disables concurrent per-source execution (on by
+    /// default; results are bit-identical either way).
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// The stage list.
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// The shared parameters.
+    pub fn params(&self) -> &SummaryParams {
+        &self.params
+    }
+
+    /// `true` if any stage runs an interactive multi-source protocol.
+    pub fn is_distributed(&self) -> bool {
+        self.stages.iter().any(Stage::is_distributed)
+    }
+
+    /// Display name: the override if set, else the stage tokens joined
+    /// paper-legend style (`"JL+FSS+QT"`, empty list → `"NR"`).
+    pub fn name(&self) -> String {
+        match &self.name {
+            Some(n) => n.clone(),
+            None => display_name(&self.stages),
+        }
+    }
+
+    /// Runs the pipeline on a single data source, charging all traffic
+    /// to source 0 of `net`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, numeric, and protocol failures.
+    pub fn run(&self, data: &Matrix, net: &mut Network) -> Result<RunOutput> {
+        self.run_parts(vec![Cow::Borrowed(data)], net)
+    }
+
+    /// Runs the pipeline over per-source shards (one per data source;
+    /// all shards share a dimensionality).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, numeric, and protocol failures.
+    pub fn run_shards(&self, shards: &[Matrix], net: &mut Network) -> Result<RunOutput> {
+        self.run_parts(shards.iter().map(Cow::Borrowed).collect(), net)
+    }
+
+    fn run_parts(&self, parts: Vec<Cow<'_, Matrix>>, net: &mut Network) -> Result<RunOutput> {
+        if parts.is_empty() {
+            return Err(CoreError::InvalidConfig {
+                reason: "no shards",
+            });
+        }
+        let d = parts[0].cols();
+        if parts.iter().any(|p| p.cols() != d) {
+            return Err(CoreError::InvalidConfig {
+                reason: "shards disagree on dimensionality",
+            });
+        }
+        let total_n: usize = parts.iter().map(|p| p.rows()).sum();
+        self.params.validate(total_n, d)?;
+
+        let up0 = net.stats().total_uplink_bits();
+        let down0 = net.stats().total_downlink_bits();
+
+        let mut state = SummaryState::new(parts);
+        for stage in &self.stages {
+            match stage {
+                Stage::Dr(cfg) => self.apply_jl(cfg, &mut state)?,
+                Stage::Cr(cfg) => self.apply_fss(cfg, &mut state)?,
+                Stage::Qt(cfg) => {
+                    state.require_source_side()?;
+                    state.quantizer = Some(resolve_quantizer(cfg, &self.params)?);
+                }
+                Stage::DisPca(cfg) => {
+                    state.require_source_side()?;
+                    if state.weights.is_some() {
+                        return Err(CoreError::InvalidConfig {
+                            reason: "dispca after a coreset stage is unsupported",
+                        });
+                    }
+                    state.lift_out_of_basis()?;
+                    let t = cfg
+                        .rank
+                        .map(|t| t.clamp(1, state.dim()))
+                        .unwrap_or_else(|| self.params.effective_pca_dim(state.dim()));
+                    let out = distributed::dispca_opts(&state.parts, t, net, self.parallel)?;
+                    state.parts = out.coords.into_iter().map(Cow::Owned).collect();
+                    state.basis = Some(out.basis);
+                    state.basis_shared = true;
+                    state.any_reduction = true;
+                    state.source_seconds += out.source_seconds;
+                    state.server_seconds += out.server_seconds;
+                }
+                Stage::DisSs(cfg) => {
+                    state.require_source_side()?;
+                    if state.weights.is_some() {
+                        return Err(CoreError::InvalidConfig {
+                            reason: "disss after a coreset stage is unsupported",
+                        });
+                    }
+                    let budget = cfg.sample_size.unwrap_or(self.params.coreset_size);
+                    let out = distributed::disss_opts(
+                        &state.parts,
+                        self.params.k,
+                        budget,
+                        derive_seed(self.params.seed, seeds::FSS),
+                        state.quantizer.as_ref(),
+                        net,
+                        self.parallel,
+                    )?;
+                    state.server_summary =
+                        Some((out.coreset.points().clone(), out.coreset.weights().to_vec()));
+                    state.parts.clear();
+                    state.any_reduction = true;
+                    state.source_seconds += out.source_seconds;
+                    state.server_seconds += out.server_seconds;
+                }
+            }
+        }
+
+        self.finalize(state, net, up0, down0)
+    }
+
+    /// DR stage: seeded JL projection of every part (zero communication;
+    /// source and server regenerate the matrix from the shared seed).
+    fn apply_jl(&self, cfg: &JlStage, state: &mut SummaryState<'_>) -> Result<()> {
+        state.require_source_side()?;
+        state.lift_out_of_basis()?;
+        let cur = state.dim();
+        let (stream, before_role) = state.next_jl_stream();
+        let target = match cfg.dim {
+            Some(dim) => dim.clamp(1, cur),
+            None if before_role => self.params.effective_jl_before(cur),
+            None => self.params.effective_jl_after(cur),
+        };
+        let pi = MaybeProjection::generate(
+            self.params.jl_kind,
+            cur,
+            target,
+            derive_seed(self.params.seed, stream),
+        );
+        let projected = par_map(&state.parts, self.parallel, |_i, part| {
+            let t0 = Instant::now();
+            let p = pi.project(part.as_ref())?;
+            Ok((p, t0.elapsed().as_secs_f64()))
+        })?;
+        let mut phase = 0.0f64;
+        state.parts = projected
+            .into_iter()
+            .map(|(p, secs)| {
+                phase = phase.max(secs);
+                Cow::Owned(p)
+            })
+            .collect();
+        state.projections.push(pi);
+        state.any_reduction = true;
+        state.source_seconds += phase;
+        Ok(())
+    }
+
+    /// CR stage: FSS coreset of the (single) source's working points.
+    fn apply_fss(&self, cfg: &FssStage, state: &mut SummaryState<'_>) -> Result<()> {
+        state.require_source_side()?;
+        if state.parts.len() != 1 {
+            return Err(CoreError::InvalidConfig {
+                reason: "fss is a single-source stage (multi-source pipelines use dispca/disss)",
+            });
+        }
+        if state.weights.is_some() {
+            return Err(CoreError::InvalidConfig {
+                reason: "multiple coreset stages in one pipeline",
+            });
+        }
+        let t0 = Instant::now();
+        state.lift_out_of_basis()?;
+        let cur = state.dim();
+        let t = cfg
+            .pca_dim
+            .map(|t| t.clamp(1, cur))
+            .unwrap_or_else(|| self.params.effective_pca_dim(cur));
+        let size = cfg.sample_size.unwrap_or(self.params.coreset_size);
+        let fss = FssBuilder::new(self.params.k)
+            .with_pca_dim(t)
+            .with_sample_size(size)
+            .with_seed(derive_seed(self.params.seed, seeds::FSS))
+            .build(state.parts[0].as_ref())?;
+        state.parts[0] = Cow::Owned(fss.coordinates().clone());
+        state.weights = Some(fss.weights().to_vec());
+        state.delta = fss.delta();
+        state.basis = Some(fss.basis().clone());
+        state.basis_shared = false;
+        state.any_reduction = true;
+        state.source_seconds += t0.elapsed().as_secs_f64();
+        Ok(())
+    }
+
+    /// Ships whatever the sources still hold to the server and returns
+    /// the (decoded) points and weights the server will cluster.
+    fn transmit(&self, state: &mut SummaryState, net: &mut Network) -> Result<(Matrix, Vec<f64>)> {
+        let mut links = net.links();
+        links.truncate(state.parts.len());
+        if links.len() < state.parts.len() {
+            return Err(CoreError::InvalidConfig {
+                reason: "more shards than network sources",
+            });
+        }
+
+        // An FSS basis travels first (disPCA's was already broadcast).
+        if let Some(basis) = &state.basis {
+            if !state.basis_shared {
+                let msg = Message::Basis {
+                    basis: basis.clone(),
+                };
+                let decoded = expect_basis(links[0].send_to_server(&msg)?)?;
+                state.basis = Some(decoded);
+                state.basis_shared = true;
+            }
+        }
+
+        // Only summary *construction* (quantization, payload assembly)
+        // counts as source compute; the encode/decode round and the
+        // server-side stacking below do not.
+        let result = match &state.weights {
+            // A coreset summary: single source by construction.
+            Some(weights) => {
+                let t0 = Instant::now();
+                let (wire, precision) =
+                    quantize_for_wire(state.parts[0].as_ref(), state.quantizer.as_ref());
+                let msg = Message::Coreset {
+                    points: wire,
+                    weights: weights.clone(),
+                    delta: state.delta,
+                    precision,
+                };
+                state.source_seconds += t0.elapsed().as_secs_f64();
+                let (points, w, _delta) = expect_coreset(links[0].send_to_server(&msg)?)?;
+                (points, w)
+            }
+            // No CR ran: every source ships its working points raw (or
+            // grid-aligned, when a QT stage armed the quantizer), and the
+            // server stacks them with unit weights. The parts are *moved*
+            // into their messages — transmission is their last use.
+            None => {
+                let quantizer = state.quantizer;
+                let parts = std::mem::take(&mut state.parts);
+                let decoded = par_map_owned(
+                    parts.into_iter().zip(links.iter_mut()).collect(),
+                    self.parallel,
+                    |_i, (part, link): (Cow<'_, Matrix>, &mut SourceLink)| {
+                        let t0 = Instant::now();
+                        let msg = match &quantizer {
+                            Some(q) => {
+                                let (wire, precision) = quantize_for_wire(part.as_ref(), Some(q));
+                                Message::Coreset {
+                                    points: wire,
+                                    weights: vec![1.0; part.rows()],
+                                    delta: 0.0,
+                                    precision,
+                                }
+                            }
+                            // An owned part moves into its message; only
+                            // still-borrowed inputs (NR) pay the one clone
+                            // the wire inherently needs.
+                            None => Message::RawData {
+                                points: part.into_owned(),
+                            },
+                        };
+                        let secs = t0.elapsed().as_secs_f64();
+                        match link.send_to_server(&msg)? {
+                            Message::RawData { points } => Ok(((points, None), secs)),
+                            Message::Coreset {
+                                points, weights, ..
+                            } => Ok(((points, Some(weights)), secs)),
+                            _ => Err(CoreError::Protocol {
+                                reason: "expected raw data or a coreset",
+                            }),
+                        }
+                    },
+                )?;
+                let mut phase = 0.0f64;
+                let mut weights = Vec::new();
+                let mut blocks = Vec::with_capacity(decoded.len());
+                for ((points, w), secs) in decoded {
+                    phase = phase.max(secs);
+                    weights.extend(w.unwrap_or_else(|| vec![1.0; points.rows()]));
+                    blocks.push(points);
+                }
+                state.source_seconds += phase;
+                let t1 = Instant::now();
+                let stacked = Matrix::vstack_all(blocks.iter())?;
+                state.server_seconds += t1.elapsed().as_secs_f64();
+                (stacked, weights)
+            }
+        };
+        net.absorb(links);
+        Ok(result)
+    }
+
+    /// The shared tail of every pipeline: weighted k-means at the
+    /// server, then the lift back through basis and projection chain.
+    fn finalize(
+        &self,
+        mut state: SummaryState<'_>,
+        net: &mut Network,
+        up0: u64,
+        down0: u64,
+    ) -> Result<RunOutput> {
+        let (points, weights) = match state.server_summary.take() {
+            Some(summary) => summary,
+            None => self.transmit(&mut state, net)?,
+        };
+
+        let t1 = Instant::now();
+        let centers_summary = solve_weighted_kmeans(
+            &points,
+            &weights,
+            self.params.k,
+            self.params.kmeans_restarts,
+            derive_seed(self.params.seed, seeds::SERVER),
+        )?;
+        let mut centers = match &state.basis {
+            Some(basis) => lift_centers_through_basis(&centers_summary, basis)?,
+            None => centers_summary,
+        };
+        for pi in state.projections.iter().rev() {
+            centers = pi.lift(&centers)?;
+        }
+        state.server_seconds += t1.elapsed().as_secs_f64();
+
+        Ok(RunOutput {
+            centers,
+            uplink_bits: net.stats().total_uplink_bits() - up0,
+            downlink_bits: net.stats().total_downlink_bits() - down0,
+            source_seconds: state.source_seconds,
+            server_seconds: state.server_seconds,
+            summary_points: points.rows(),
+        })
+    }
+}
+
+/// The one chunked scoped-thread mapper every parallel phase goes
+/// through: consumes the items (ownership subsumes the by-ref and
+/// by-mut cases — see [`par_map`] / [`par_map_sources`]), runs one
+/// worker per chunk when `parallel` holds, preserves item order, and
+/// surfaces errors deterministically (the lowest-index failure wins).
+pub(crate) fn par_map_owned<I, T, F>(items: Vec<I>, parallel: bool, f: F) -> Result<Vec<T>>
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> Result<T> + Sync,
+{
+    let m = items.len();
+    if !parallel || m <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, it)| f(i, it))
+            .collect();
+    }
+    let chunk = m.div_ceil(ekm_linalg::parallel::worker_count().min(m));
+    let mut slots: Vec<Option<Result<T>>> = (0..m).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let fref = &f;
+        let mut rest_items = items;
+        let mut rest_slots: &mut [Option<Result<T>>] = &mut slots;
+        let mut base = 0;
+        while !rest_items.is_empty() {
+            let take = chunk.min(rest_items.len());
+            let tail = rest_items.split_off(take);
+            let chunk_items = std::mem::replace(&mut rest_items, tail);
+            let (chunk_slots, slot_tail) = std::mem::take(&mut rest_slots).split_at_mut(take);
+            rest_slots = slot_tail;
+            let start = base;
+            base += take;
+            scope.spawn(move || {
+                for (j, (item, slot)) in chunk_items.into_iter().zip(chunk_slots).enumerate() {
+                    *slot = Some(fref(start + j, item));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("worker filled every slot"))
+        .collect()
+}
+
+/// [`par_map_owned`] over borrowed items.
+pub(crate) fn par_map<I, T, F>(items: &[I], parallel: bool, f: F) -> Result<Vec<T>>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> Result<T> + Sync,
+{
+    par_map_owned(items.iter().collect(), parallel, f)
+}
+
+/// [`par_map`] pairing each source's item with its [`SourceLink`], so
+/// protocol phases can transmit concurrently with exact per-source
+/// accounting (merged by the caller via [`Network::absorb`]).
+pub(crate) fn par_map_sources<I, T, F>(
+    parts: &[I],
+    links: &mut [SourceLink],
+    parallel: bool,
+    f: F,
+) -> Result<Vec<T>>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I, &mut SourceLink) -> Result<T> + Sync,
+{
+    assert_eq!(parts.len(), links.len(), "one link per source");
+    par_map_owned(
+        parts.iter().zip(links.iter_mut()).collect(),
+        parallel,
+        |i, (part, link)| f(i, part, link),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ekm_data::partition::partition_uniform;
+    use ekm_data::synth::GaussianMixture;
+
+    fn workload(n: usize, d: usize, seed: u64) -> Matrix {
+        let raw = GaussianMixture::new(n, d, 2)
+            .with_separation(4.0)
+            .with_cluster_std(1.0)
+            .with_seed(seed)
+            .generate()
+            .unwrap()
+            .points;
+        ekm_data::normalize::normalize_paper(&raw).0
+    }
+
+    fn params(n: usize, d: usize) -> SummaryParams {
+        SummaryParams::practical(2, n, d).with_seed(11)
+    }
+
+    #[test]
+    fn empty_stage_list_is_no_reduction() {
+        let data = workload(300, 12, 1);
+        let p = params(300, 12);
+        let pipe = StagePipeline::new(vec![], p);
+        assert_eq!(pipe.name(), "NR");
+        let mut net = Network::new(1);
+        let out = pipe.run(&data, &mut net).unwrap();
+        assert_eq!(out.centers.shape(), (2, 12));
+        assert_eq!(out.summary_points, 300);
+        // Raw upload: about n·d doubles plus framing.
+        assert!(out.uplink_bits as usize > 300 * 12 * 64);
+    }
+
+    #[test]
+    fn novel_composition_runs_end_to_end() {
+        // jl,fss,qt,jl — a point in the composition space the paper
+        // never evaluated (quantize, then project again).
+        let data = workload(500, 40, 2);
+        let p = params(500, 40);
+        let pipe = StagePipeline::from_names("jl,fss,qt,jl", p).unwrap();
+        assert_eq!(pipe.name(), "JL+FSS+QT+JL");
+        let mut net = Network::new(1);
+        let out = pipe.run(&data, &mut net).unwrap();
+        assert_eq!(out.centers.shape(), (2, 40));
+        assert!(out.centers.as_slice().iter().all(|v| v.is_finite()));
+        assert!(out.summary_points < 500);
+    }
+
+    #[test]
+    fn qt_only_pipeline_quantizes_raw_upload() {
+        let data = workload(200, 10, 3);
+        let p = params(200, 10);
+        let mut net = Network::new(1);
+        let nr = StagePipeline::new(vec![], p.clone())
+            .run(&data, &mut net)
+            .unwrap();
+        let qt = StagePipeline::from_names("qt:8", p).unwrap();
+        let out = qt.run(&data, &mut net).unwrap();
+        assert_eq!(out.summary_points, 200);
+        assert!(
+            out.uplink_bits < nr.uplink_bits / 2,
+            "qt-only {} vs raw {}",
+            out.uplink_bits,
+            nr.uplink_bits
+        );
+    }
+
+    #[test]
+    fn parallel_and_sequential_are_bit_identical() {
+        let data = workload(600, 30, 4);
+        let shards = partition_uniform(&data, 6, 9).unwrap();
+        let p = params(600, 30);
+        let stages = Stage::parse_list("jl,dispca,disss").unwrap();
+        let par = StagePipeline::new(stages.clone(), p.clone());
+        let seq = StagePipeline::new(stages, p).with_parallel(false);
+        let mut net_a = Network::new(6);
+        let a = par.run_shards(&shards, &mut net_a).unwrap();
+        let mut net_b = Network::new(6);
+        let b = seq.run_shards(&shards, &mut net_b).unwrap();
+        assert!(a.centers.approx_eq(&b.centers, 0.0));
+        assert_eq!(a.uplink_bits, b.uplink_bits);
+        assert_eq!(a.downlink_bits, b.downlink_bits);
+        assert_eq!(net_a.stats(), net_b.stats());
+    }
+
+    #[test]
+    fn per_source_accounting_is_exact_under_parallelism() {
+        let data = workload(800, 16, 5);
+        let shards = partition_uniform(&data, 8, 10).unwrap();
+        let p = params(800, 16);
+        let pipe = StagePipeline::from_names("dispca,disss", p).unwrap();
+        let mut net = Network::new(8);
+        let out = pipe.run_shards(&shards, &mut net).unwrap();
+        let per_source: u64 = (0..8).map(|i| net.stats().uplink_bits(i)).sum();
+        assert_eq!(out.uplink_bits, per_source);
+        assert!((0..8).all(|i| net.stats().uplink_bits(i) > 0));
+        let by_kind_total: u64 = net.stats().uplink_bits_by_kind().values().sum();
+        assert_eq!(by_kind_total, out.uplink_bits);
+    }
+
+    #[test]
+    fn fss_rejects_multiple_sources() {
+        let data = workload(200, 8, 6);
+        let shards = partition_uniform(&data, 2, 3).unwrap();
+        let pipe = StagePipeline::from_names("fss", params(200, 8)).unwrap();
+        let mut net = Network::new(2);
+        assert!(matches!(
+            pipe.run_shards(&shards, &mut net),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn stages_after_disss_are_rejected() {
+        let data = workload(200, 8, 7);
+        let shards = partition_uniform(&data, 2, 3).unwrap();
+        for list in ["disss,jl", "disss,qt", "disss,fss", "dispca,disss,dispca"] {
+            let pipe = StagePipeline::from_names(list, params(200, 8)).unwrap();
+            let mut net = Network::new(2);
+            assert!(
+                matches!(
+                    pipe.run_shards(&shards, &mut net),
+                    Err(CoreError::InvalidConfig { .. })
+                ),
+                "{list} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn double_coreset_is_rejected() {
+        let data = workload(200, 8, 8);
+        let pipe = StagePipeline::from_names("fss,fss", params(200, 8)).unwrap();
+        let mut net = Network::new(1);
+        assert!(matches!(
+            pipe.run(&data, &mut net),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn dispca_alone_ships_coordinates() {
+        let data = workload(400, 20, 9);
+        let shards = partition_uniform(&data, 4, 5).unwrap();
+        let p = params(400, 20).with_pca_dim(4);
+        let pipe = StagePipeline::from_names("dispca", p).unwrap();
+        let mut net = Network::new(4);
+        let out = pipe.run_shards(&shards, &mut net).unwrap();
+        assert_eq!(out.centers.shape(), (2, 20));
+        assert_eq!(out.summary_points, 400);
+        // Coordinates are t-dimensional, so cheaper than the raw upload.
+        let raw_bits = 400 * 20 * 64;
+        assert!(out.uplink_bits < raw_bits as u64);
+    }
+
+    #[test]
+    fn name_override_and_derivation() {
+        let p = params(100, 10);
+        let pipe = StagePipeline::from_names("dispca,disss", p.clone()).unwrap();
+        assert_eq!(pipe.name(), "disPCA+disSS");
+        assert_eq!(pipe.with_name("BKLW").name(), "BKLW");
+        assert!(
+            StagePipeline::from_names("jl,fss", p)
+                .unwrap()
+                .stages()
+                .len()
+                == 2
+        );
+    }
+
+    #[test]
+    fn par_map_matches_sequential_and_orders_errors() {
+        let items: Vec<Matrix> = (0..7).map(|i| Matrix::zeros(i + 1, 2)).collect();
+        let seq = par_map(&items, false, |i, m| Ok(i + m.rows())).unwrap();
+        let par = par_map(&items, true, |i, m| Ok(i + m.rows())).unwrap();
+        assert_eq!(seq, par);
+        assert_eq!(seq, vec![1, 3, 5, 7, 9, 11, 13]);
+
+        let err = par_map(&items, true, |i, _| {
+            if i >= 3 {
+                Err(CoreError::InvalidConfig { reason: "boom" })
+            } else {
+                Ok(i)
+            }
+        });
+        assert!(matches!(
+            err,
+            Err(CoreError::InvalidConfig { reason: "boom" })
+        ));
+    }
+}

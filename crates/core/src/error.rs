@@ -25,6 +25,11 @@ pub enum CoreError {
         /// Explanation.
         reason: &'static str,
     },
+    /// A stage list contained an unknown stage token.
+    InvalidStageName {
+        /// The offending token.
+        token: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -37,6 +42,11 @@ impl fmt::Display for CoreError {
             CoreError::Quant(e) => write!(f, "quantization failure: {e}"),
             CoreError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             CoreError::Protocol { reason } => write!(f, "protocol violation: {reason}"),
+            CoreError::InvalidStageName { token } => write!(
+                f,
+                "unknown stage '{token}' (valid stages: {})",
+                crate::stage::Stage::vocabulary()
+            ),
         }
     }
 }

@@ -27,6 +27,13 @@
 //! a seed shared between sources and server — never transmitted — exactly
 //! as the paper prescribes (§3.2 Remark).
 //!
+//! Every named pipeline above is a *canned stage list* over the generic
+//! [`engine::StagePipeline`]; arbitrary DR/CR/QT compositions — points in
+//! the §4 "order matters" space the paper never evaluated — run through
+//! the same engine (`StagePipeline::from_names("jl,fss,qt,jl", params)`).
+//! Multi-source stage work executes concurrently with exact per-source
+//! bit accounting.
+//!
 //! # Example
 //!
 //! ```
@@ -54,6 +61,7 @@
 #![forbid(unsafe_code)]
 
 pub mod distributed;
+pub mod engine;
 mod error;
 pub mod evaluation;
 pub mod output;
@@ -61,10 +69,13 @@ pub mod params;
 pub mod pipelines;
 pub mod projection;
 pub mod server;
+pub mod stage;
 
+pub use engine::StagePipeline;
 pub use error::CoreError;
 pub use output::RunOutput;
 pub use params::SummaryParams;
+pub use stage::Stage;
 
 /// Convenience result alias used across the crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -151,7 +151,9 @@ impl SummaryParams {
     /// Returns [`crate::CoreError::InvalidConfig`] describing the problem.
     pub fn validate(&self, n: usize, d: usize) -> crate::Result<()> {
         if self.k == 0 {
-            return Err(crate::CoreError::InvalidConfig { reason: "k is zero" });
+            return Err(crate::CoreError::InvalidConfig {
+                reason: "k is zero",
+            });
         }
         if n == 0 || d == 0 {
             return Err(crate::CoreError::InvalidConfig {
@@ -201,7 +203,11 @@ mod tests {
     fn practical_defaults_reasonable() {
         let p = SummaryParams::practical(2, 60_000, 784);
         assert_eq!(p.k, 2);
-        assert!(p.coreset_size >= 100 && p.coreset_size <= 2000, "{}", p.coreset_size);
+        assert!(
+            p.coreset_size >= 100 && p.coreset_size <= 2000,
+            "{}",
+            p.coreset_size
+        );
         assert!(p.pca_dim >= 2 && p.pca_dim <= 784);
         assert!(p.jl_dim_before >= 2 && p.jl_dim_before <= 784);
         assert!(p.jl_dim_after <= p.jl_dim_before);

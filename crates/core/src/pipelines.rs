@@ -1,4 +1,5 @@
-//! Single-data-source pipelines (paper §4 and the §6 quantized variants).
+//! Single-data-source pipelines (paper §4 and the §6 quantized variants),
+//! as canned stage lists over the generic [`StagePipeline`] engine.
 //!
 //! Every pipeline plays both roles of the protocol: the *data source* part
 //! builds a summary and sends it over the [`Network`] (whose counters
@@ -6,19 +7,23 @@
 //! k-means on what arrives and maps the centers back to the original
 //! space. JL projection matrices are regenerated from the shared seed on
 //! the server side — they are never transmitted.
+//!
+//! The named types here are thin constructors kept for the paper-legend
+//! names and for API stability; they all delegate to
+//! [`crate::engine::StagePipeline`], so `JlFssJl::new(p)` and
+//! `StagePipeline::from_names("jl,fss,jl", p)` are the same pipeline —
+//! bit-identical uplink and identical centers (asserted by the
+//! `stage_equivalence` integration tests).
 
+use crate::engine::StagePipeline;
 use crate::params::SummaryParams;
-use crate::projection::MaybeProjection;
-use crate::server::{lift_centers_through_basis, solve_weighted_kmeans};
+use crate::stage::Stage;
 use crate::{CoreError, Result, RunOutput};
-use ekm_coreset::FssBuilder;
-use ekm_linalg::random::derive_seed;
-use ekm_linalg::{ops, Matrix};
+use ekm_linalg::Matrix;
 use ekm_net::messages::Message;
 use ekm_net::wire::Precision;
 use ekm_net::Network;
 use ekm_quant::RoundingQuantizer;
-use std::time::Instant;
 
 /// Seed streams derived from the shared seed (source and server derive
 /// identical values).
@@ -31,6 +36,10 @@ pub(crate) mod seeds {
     pub const FSS: u64 = 3;
     /// Server-side k-means solver.
     pub const SERVER: u64 = 4;
+    /// Base stream for JL stages beyond the paper's two (arbitrary
+    /// compositions may stack more projections; each needs fresh
+    /// randomness).
+    pub const JL_EXTRA_BASE: u64 = 32;
 }
 
 /// A pipeline in the single-data-source (centralized) setting.
@@ -45,6 +54,16 @@ pub trait CentralizedPipeline {
     ///
     /// Propagates configuration, numeric, and protocol failures.
     fn run(&self, data: &Matrix, net: &mut Network) -> Result<RunOutput>;
+}
+
+impl CentralizedPipeline for StagePipeline {
+    fn name(&self) -> String {
+        StagePipeline::name(self)
+    }
+
+    fn run(&self, data: &Matrix, net: &mut Network) -> Result<RunOutput> {
+        StagePipeline::run(self, data, net)
+    }
 }
 
 /// Quantizes points for the wire if a quantizer is configured; returns the
@@ -89,401 +108,106 @@ pub(crate) fn expect_basis(msg: Message) -> Result<Matrix> {
     }
 }
 
-/// The "no reduction" baseline: ship the raw dataset, solve at the server.
+macro_rules! declare_centralized_pipeline {
+    ($(#[$meta:meta])* $name:ident, [$($stage:expr),*]) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            inner: StagePipeline,
+        }
+
+        impl $name {
+            /// Creates the pipeline with the given parameters (a
+            /// quantizer in `params` adds the `+QT` wire stage).
+            pub fn new(params: SummaryParams) -> Self {
+                let stages = crate::stage::with_default_qt(vec![$($stage),*], &params);
+                $name {
+                    inner: StagePipeline::new(stages, params),
+                }
+            }
+
+            /// The canned stage list as a reusable engine pipeline.
+            pub fn into_stage_pipeline(self) -> StagePipeline {
+                self.inner
+            }
+        }
+
+        impl CentralizedPipeline for $name {
+            fn name(&self) -> String {
+                self.inner.name()
+            }
+
+            fn run(&self, data: &Matrix, net: &mut Network) -> Result<RunOutput> {
+                self.inner.run(data, net)
+            }
+        }
+    };
+}
+
+/// The "no reduction" baseline: ship the raw dataset, solve at the
+/// server. (Ignores any configured quantizer, like the paper's NR —
+/// only `k`, `kmeans_restarts`, and `seed` matter.)
 #[derive(Debug, Clone)]
 pub struct NoReduction {
-    params: SummaryParams,
+    inner: StagePipeline,
 }
 
 impl NoReduction {
-    /// Creates the baseline with the given parameters (only `k`,
-    /// `kmeans_restarts`, and `seed` are used).
+    /// Creates the baseline with the given parameters.
     pub fn new(params: SummaryParams) -> Self {
-        NoReduction { params }
+        NoReduction {
+            inner: StagePipeline::new(Vec::new(), params),
+        }
+    }
+
+    /// The (empty) stage list as a reusable engine pipeline.
+    pub fn into_stage_pipeline(self) -> StagePipeline {
+        self.inner
     }
 }
 
 impl CentralizedPipeline for NoReduction {
     fn name(&self) -> String {
-        "NR".into()
+        self.inner.name()
     }
 
     fn run(&self, data: &Matrix, net: &mut Network) -> Result<RunOutput> {
-        self.params.validate(data.rows(), data.cols())?;
-        let up0 = net.stats().total_uplink_bits();
-        let down0 = net.stats().total_downlink_bits();
-
-        let t0 = Instant::now();
-        let msg = Message::RawData {
-            points: data.clone(),
-        };
-        let source_seconds = t0.elapsed().as_secs_f64();
-        let received = net.send_to_server(0, &msg)?;
-        let points = match received {
-            Message::RawData { points } => points,
-            _ => {
-                return Err(CoreError::Protocol {
-                    reason: "expected raw data",
-                })
-            }
-        };
-
-        let t1 = Instant::now();
-        let weights = vec![1.0; points.rows()];
-        let centers = solve_weighted_kmeans(
-            &points,
-            &weights,
-            self.params.k,
-            self.params.kmeans_restarts,
-            derive_seed(self.params.seed, seeds::SERVER),
-        )?;
-        let server_seconds = t1.elapsed().as_secs_f64();
-
-        Ok(RunOutput {
-            centers,
-            uplink_bits: net.stats().total_uplink_bits() - up0,
-            downlink_bits: net.stats().total_downlink_bits() - down0,
-            source_seconds,
-            server_seconds,
-            summary_points: points.rows(),
-        })
+        self.inner.run(data, net)
     }
 }
 
-/// The FSS baseline \[11\]: PCA-subspace coreset, transmitted as
-/// coordinates **plus the subspace basis** (the `O(kd/ε²)` communication
-/// cost of Theorem 4.1).
-#[derive(Debug, Clone)]
-pub struct Fss {
-    params: SummaryParams,
-}
+declare_centralized_pipeline!(
+    /// The FSS baseline \[11\]: PCA-subspace coreset, transmitted as
+    /// coordinates **plus the subspace basis** (the `O(kd/ε²)`
+    /// communication cost of Theorem 4.1).
+    Fss,
+    [Stage::fss()]
+);
 
-impl Fss {
-    /// Creates the FSS baseline.
-    pub fn new(params: SummaryParams) -> Self {
-        Fss { params }
-    }
-}
+declare_centralized_pipeline!(
+    /// **Algorithm 1** (JL+FSS): JL projection first, then FSS in the
+    /// projected space. Communication `O(k·log n/ε⁴)`, source complexity
+    /// `Õ(nd/ε²)` (Theorem 4.2).
+    JlFss,
+    [Stage::jl(), Stage::fss()]
+);
 
-impl CentralizedPipeline for Fss {
-    fn name(&self) -> String {
-        match self.params.quantizer {
-            Some(_) => "FSS+QT".into(),
-            None => "FSS".into(),
-        }
-    }
+declare_centralized_pipeline!(
+    /// **Algorithm 2** (FSS+JL): FSS in the original space, then JL
+    /// projection of the coreset points. Communication `Õ(k³/ε⁶)` (no
+    /// basis, no `log n`), source complexity `O(nd·min(n,d))`
+    /// (Theorem 4.3).
+    FssJl,
+    [Stage::fss(), Stage::jl()]
+);
 
-    fn run(&self, data: &Matrix, net: &mut Network) -> Result<RunOutput> {
-        let p = &self.params;
-        p.validate(data.rows(), data.cols())?;
-        let up0 = net.stats().total_uplink_bits();
-        let down0 = net.stats().total_downlink_bits();
-
-        // --- data source ---
-        let t0 = Instant::now();
-        let t = p.effective_pca_dim(data.cols());
-        let fss = FssBuilder::new(p.k)
-            .with_pca_dim(t)
-            .with_sample_size(p.coreset_size)
-            .with_seed(derive_seed(p.seed, seeds::FSS))
-            .build(data)?;
-        let (coords_wire, precision) =
-            quantize_for_wire(fss.coordinates(), p.quantizer.as_ref());
-        let basis_msg = Message::Basis {
-            basis: fss.basis().clone(),
-        };
-        let coreset_msg = Message::Coreset {
-            points: coords_wire,
-            weights: fss.weights().to_vec(),
-            delta: fss.delta(),
-            precision,
-        };
-        let source_seconds = t0.elapsed().as_secs_f64();
-
-        let basis = expect_basis(net.send_to_server(0, &basis_msg)?)?;
-        let (coords, weights, _delta) = expect_coreset(net.send_to_server(0, &coreset_msg)?)?;
-
-        // --- server ---
-        let t1 = Instant::now();
-        let centers_coord = solve_weighted_kmeans(
-            &coords,
-            &weights,
-            p.k,
-            p.kmeans_restarts,
-            derive_seed(p.seed, seeds::SERVER),
-        )?;
-        let centers = lift_centers_through_basis(&centers_coord, &basis)?;
-        let server_seconds = t1.elapsed().as_secs_f64();
-
-        Ok(RunOutput {
-            centers,
-            uplink_bits: net.stats().total_uplink_bits() - up0,
-            downlink_bits: net.stats().total_downlink_bits() - down0,
-            source_seconds,
-            server_seconds,
-            summary_points: coords.rows(),
-        })
-    }
-}
-
-/// **Algorithm 1** (JL+FSS): JL projection first, then FSS in the
-/// projected space. Communication `O(k·log n/ε⁴)`, source complexity
-/// `Õ(nd/ε²)` (Theorem 4.2).
-#[derive(Debug, Clone)]
-pub struct JlFss {
-    params: SummaryParams,
-}
-
-impl JlFss {
-    /// Creates Algorithm 1.
-    pub fn new(params: SummaryParams) -> Self {
-        JlFss { params }
-    }
-}
-
-impl CentralizedPipeline for JlFss {
-    fn name(&self) -> String {
-        match self.params.quantizer {
-            Some(_) => "JL+FSS+QT".into(),
-            None => "JL+FSS".into(),
-        }
-    }
-
-    fn run(&self, data: &Matrix, net: &mut Network) -> Result<RunOutput> {
-        let p = &self.params;
-        p.validate(data.rows(), data.cols())?;
-        let up0 = net.stats().total_uplink_bits();
-        let down0 = net.stats().total_downlink_bits();
-        let d = data.cols();
-
-        // --- data source ---
-        let t0 = Instant::now();
-        let d1 = p.effective_jl_before(d);
-        let pi1 =
-            MaybeProjection::generate(p.jl_kind, d, d1, derive_seed(p.seed, seeds::JL_BEFORE));
-        let projected = pi1.project(data)?;
-        let t = p.effective_pca_dim(pi1.target_dim());
-        let fss = FssBuilder::new(p.k)
-            .with_pca_dim(t)
-            .with_sample_size(p.coreset_size)
-            .with_seed(derive_seed(p.seed, seeds::FSS))
-            .build(&projected)?;
-        let (coords_wire, precision) =
-            quantize_for_wire(fss.coordinates(), p.quantizer.as_ref());
-        let basis_msg = Message::Basis {
-            basis: fss.basis().clone(), // d1 × t — small, no O(d) term
-        };
-        let coreset_msg = Message::Coreset {
-            points: coords_wire,
-            weights: fss.weights().to_vec(),
-            delta: fss.delta(),
-            precision,
-        };
-        let source_seconds = t0.elapsed().as_secs_f64();
-
-        let basis = expect_basis(net.send_to_server(0, &basis_msg)?)?;
-        let (coords, weights, _delta) = expect_coreset(net.send_to_server(0, &coreset_msg)?)?;
-
-        // --- server ---
-        let t1 = Instant::now();
-        let centers_coord = solve_weighted_kmeans(
-            &coords,
-            &weights,
-            p.k,
-            p.kmeans_restarts,
-            derive_seed(p.seed, seeds::SERVER),
-        )?;
-        // Lift: coordinates → R^{d1} (basis), then R^{d1} → R^d (π1⁺,
-        // regenerated from the shared seed).
-        let in_proj = lift_centers_through_basis(&centers_coord, &basis)?;
-        let pi1_server =
-            MaybeProjection::generate(p.jl_kind, d, d1, derive_seed(p.seed, seeds::JL_BEFORE));
-        let centers = pi1_server.lift(&in_proj)?;
-        let server_seconds = t1.elapsed().as_secs_f64();
-
-        Ok(RunOutput {
-            centers,
-            uplink_bits: net.stats().total_uplink_bits() - up0,
-            downlink_bits: net.stats().total_downlink_bits() - down0,
-            source_seconds,
-            server_seconds,
-            summary_points: coords.rows(),
-        })
-    }
-}
-
-/// **Algorithm 2** (FSS+JL): FSS in the original space, then JL projection
-/// of the coreset points. Communication `Õ(k³/ε⁶)` (no basis, no `log n`),
-/// source complexity `O(nd·min(n,d))` (Theorem 4.3).
-#[derive(Debug, Clone)]
-pub struct FssJl {
-    params: SummaryParams,
-}
-
-impl FssJl {
-    /// Creates Algorithm 2.
-    pub fn new(params: SummaryParams) -> Self {
-        FssJl { params }
-    }
-}
-
-impl CentralizedPipeline for FssJl {
-    fn name(&self) -> String {
-        match self.params.quantizer {
-            Some(_) => "FSS+JL+QT".into(),
-            None => "FSS+JL".into(),
-        }
-    }
-
-    fn run(&self, data: &Matrix, net: &mut Network) -> Result<RunOutput> {
-        let p = &self.params;
-        p.validate(data.rows(), data.cols())?;
-        let up0 = net.stats().total_uplink_bits();
-        let down0 = net.stats().total_downlink_bits();
-        let d = data.cols();
-
-        // --- data source ---
-        let t0 = Instant::now();
-        let t = p.effective_pca_dim(d);
-        let fss = FssBuilder::new(p.k)
-            .with_pca_dim(t)
-            .with_sample_size(p.coreset_size)
-            .with_seed(derive_seed(p.seed, seeds::FSS))
-            .build(data)?;
-        // Coreset points back in ambient space, then JL (Lemma 4.2 dims).
-        let ambient = ops::matmul_transb(fss.coordinates(), fss.basis())?;
-        let d2 = p.effective_jl_after(d);
-        let pi2 =
-            MaybeProjection::generate(p.jl_kind, d, d2, derive_seed(p.seed, seeds::JL_AFTER));
-        let projected = pi2.project(&ambient)?;
-        let (points_wire, precision) = quantize_for_wire(&projected, p.quantizer.as_ref());
-        let coreset_msg = Message::Coreset {
-            points: points_wire,
-            weights: fss.weights().to_vec(),
-            delta: fss.delta(),
-            precision,
-        };
-        let source_seconds = t0.elapsed().as_secs_f64();
-
-        let (points, weights, _delta) = expect_coreset(net.send_to_server(0, &coreset_msg)?)?;
-
-        // --- server ---
-        let t1 = Instant::now();
-        let centers_proj = solve_weighted_kmeans(
-            &points,
-            &weights,
-            p.k,
-            p.kmeans_restarts,
-            derive_seed(p.seed, seeds::SERVER),
-        )?;
-        let pi2_server =
-            MaybeProjection::generate(p.jl_kind, d, d2, derive_seed(p.seed, seeds::JL_AFTER));
-        let centers = pi2_server.lift(&centers_proj)?;
-        let server_seconds = t1.elapsed().as_secs_f64();
-
-        Ok(RunOutput {
-            centers,
-            uplink_bits: net.stats().total_uplink_bits() - up0,
-            downlink_bits: net.stats().total_downlink_bits() - down0,
-            source_seconds,
-            server_seconds,
-            summary_points: points.rows(),
-        })
-    }
-}
-
-/// **Algorithm 3** (JL+FSS+JL): JL before *and* after FSS — the
-/// communication of Algorithm 2 at the complexity of Algorithm 1
-/// (Theorem 4.4).
-#[derive(Debug, Clone)]
-pub struct JlFssJl {
-    params: SummaryParams,
-}
-
-impl JlFssJl {
-    /// Creates Algorithm 3.
-    pub fn new(params: SummaryParams) -> Self {
-        JlFssJl { params }
-    }
-}
-
-impl CentralizedPipeline for JlFssJl {
-    fn name(&self) -> String {
-        match self.params.quantizer {
-            Some(_) => "JL+FSS+JL+QT".into(),
-            None => "JL+FSS+JL".into(),
-        }
-    }
-
-    fn run(&self, data: &Matrix, net: &mut Network) -> Result<RunOutput> {
-        let p = &self.params;
-        p.validate(data.rows(), data.cols())?;
-        let up0 = net.stats().total_uplink_bits();
-        let down0 = net.stats().total_downlink_bits();
-        let d = data.cols();
-
-        // --- data source ---
-        let t0 = Instant::now();
-        let d1 = p.effective_jl_before(d);
-        let pi1 =
-            MaybeProjection::generate(p.jl_kind, d, d1, derive_seed(p.seed, seeds::JL_BEFORE));
-        let projected = pi1.project(data)?;
-        let t = p.effective_pca_dim(pi1.target_dim());
-        let fss = FssBuilder::new(p.k)
-            .with_pca_dim(t)
-            .with_sample_size(p.coreset_size)
-            .with_seed(derive_seed(p.seed, seeds::FSS))
-            .build(&projected)?;
-        let ambient = ops::matmul_transb(fss.coordinates(), fss.basis())?; // in R^{d1}
-        let d2 = p.effective_jl_after(pi1.target_dim());
-        let pi2 = MaybeProjection::generate(
-            p.jl_kind,
-            pi1.target_dim(),
-            d2,
-            derive_seed(p.seed, seeds::JL_AFTER),
-        );
-        let twice = pi2.project(&ambient)?;
-        let (points_wire, precision) = quantize_for_wire(&twice, p.quantizer.as_ref());
-        let coreset_msg = Message::Coreset {
-            points: points_wire,
-            weights: fss.weights().to_vec(),
-            delta: fss.delta(),
-            precision,
-        };
-        let source_seconds = t0.elapsed().as_secs_f64();
-
-        let (points, weights, _delta) = expect_coreset(net.send_to_server(0, &coreset_msg)?)?;
-
-        // --- server ---
-        let t1 = Instant::now();
-        let centers_proj = solve_weighted_kmeans(
-            &points,
-            &weights,
-            p.k,
-            p.kmeans_restarts,
-            derive_seed(p.seed, seeds::SERVER),
-        )?;
-        let pi1_server =
-            MaybeProjection::generate(p.jl_kind, d, d1, derive_seed(p.seed, seeds::JL_BEFORE));
-        let pi2_server = MaybeProjection::generate(
-            p.jl_kind,
-            pi1_server.target_dim(),
-            d2,
-            derive_seed(p.seed, seeds::JL_AFTER),
-        );
-        let centers = pi1_server.lift(&pi2_server.lift(&centers_proj)?)?;
-        let server_seconds = t1.elapsed().as_secs_f64();
-
-        Ok(RunOutput {
-            centers,
-            uplink_bits: net.stats().total_uplink_bits() - up0,
-            downlink_bits: net.stats().total_downlink_bits() - down0,
-            source_seconds,
-            server_seconds,
-            summary_points: points.rows(),
-        })
-    }
-}
+declare_centralized_pipeline!(
+    /// **Algorithm 3** (JL+FSS+JL): JL before *and* after FSS — the
+    /// communication of Algorithm 2 at the complexity of Algorithm 1
+    /// (Theorem 4.4).
+    JlFssJl,
+    [Stage::jl(), Stage::fss(), Stage::jl()]
+);
 
 #[cfg(test)]
 mod tests {
@@ -525,20 +249,14 @@ mod tests {
         let data = workload(600, 40, 1);
         let p = params(600, 40);
         let mut net = Network::new(1);
-        let reference = NoReduction::new(p.clone())
-            .run(&data, &mut net)
-            .unwrap();
+        let reference = NoReduction::new(p.clone()).run(&data, &mut net).unwrap();
         let ref_cost = cost(&data, &reference.centers).unwrap();
         for pipe in all_pipelines(&p) {
             let out = pipe.run(&data, &mut net).unwrap();
             assert_eq!(out.centers.shape(), (2, 40), "{}", pipe.name());
             let c = cost(&data, &out.centers).unwrap();
             let ratio = c / ref_cost;
-            assert!(
-                ratio < 1.35,
-                "{}: normalized cost {ratio}",
-                pipe.name()
-            );
+            assert!(ratio < 1.35, "{}: normalized cost {ratio}", pipe.name());
         }
     }
 
@@ -554,8 +272,18 @@ mod tests {
         let jlfss = JlFss::new(p.clone()).run(&data, &mut net).unwrap();
         let fssjl = FssJl::new(p.clone()).run(&data, &mut net).unwrap();
         let jlfssjl = JlFssJl::new(p.clone()).run(&data, &mut net).unwrap();
-        assert!(fss.uplink_bits < nr.uplink_bits / 2, "FSS {} vs NR {}", fss.uplink_bits, nr.uplink_bits);
-        assert!(jlfss.uplink_bits < fss.uplink_bits, "JL+FSS {} vs FSS {}", jlfss.uplink_bits, fss.uplink_bits);
+        assert!(
+            fss.uplink_bits < nr.uplink_bits / 2,
+            "FSS {} vs NR {}",
+            fss.uplink_bits,
+            nr.uplink_bits
+        );
+        assert!(
+            jlfss.uplink_bits < fss.uplink_bits,
+            "JL+FSS {} vs FSS {}",
+            jlfss.uplink_bits,
+            fss.uplink_bits
+        );
         assert!(fssjl.uplink_bits < fss.uplink_bits);
         assert!(jlfssjl.uplink_bits < fss.uplink_bits);
     }
@@ -643,5 +371,17 @@ mod tests {
         let out = JlFssJl::new(p).run(&data, &mut net).unwrap();
         assert!(out.summary_points < 2000 / 2, "{}", out.summary_points);
         assert!(out.summary_points > 0);
+    }
+
+    #[test]
+    fn named_constructors_expose_their_stage_lists() {
+        let p = params(100, 10);
+        let sp = JlFssJl::new(p.clone()).into_stage_pipeline();
+        assert_eq!(sp.stages().len(), 3);
+        assert_eq!(sp.name(), "JL+FSS+JL");
+        let q = RoundingQuantizer::new(8).unwrap();
+        let sp = FssJl::new(p.with_quantizer(q)).into_stage_pipeline();
+        assert_eq!(sp.stages().len(), 3, "QT stage appended");
+        assert_eq!(sp.name(), "FSS+JL+QT");
     }
 }

@@ -109,6 +109,9 @@ mod tests {
         let a = MaybeProjection::generate(JlKind::Achlioptas, 30, 8, 7);
         let b = MaybeProjection::generate(JlKind::Achlioptas, 30, 8, 7);
         let m = Matrix::from_fn(2, 30, |i, j| (i * 30 + j) as f64 * 0.1);
-        assert!(a.project(&m).unwrap().approx_eq(&b.project(&m).unwrap(), 0.0));
+        assert!(a
+            .project(&m)
+            .unwrap()
+            .approx_eq(&b.project(&m).unwrap(), 0.0));
     }
 }

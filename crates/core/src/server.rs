@@ -68,8 +68,7 @@ mod tests {
             vec![8.0, 8.0],
             vec![8.2, 8.0],
         ]);
-        let centers =
-            solve_weighted_kmeans(&points, &[1.0, 1.0, 1.0, 1.0], 2, 3, 1).unwrap();
+        let centers = solve_weighted_kmeans(&points, &[1.0, 1.0, 1.0, 1.0], 2, 3, 1).unwrap();
         assert_eq!(centers.shape(), (2, 2));
         let mut xs: Vec<f64> = (0..2).map(|i| centers[(i, 0)]).collect();
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -109,11 +108,7 @@ mod tests {
 
     #[test]
     fn lift_through_basis() {
-        let basis = Matrix::from_rows(&[
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-            vec![0.0, 0.0],
-        ]); // 3×2: embeds R² into first two coords of R³
+        let basis = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![0.0, 0.0]]); // 3×2: embeds R² into first two coords of R³
         let coords = Matrix::from_rows(&[vec![2.0, 3.0]]);
         let lifted = lift_centers_through_basis(&coords, &basis).unwrap();
         assert_eq!(lifted.shape(), (1, 3));

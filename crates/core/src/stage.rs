@@ -1,0 +1,315 @@
+//! The composable stage vocabulary of the summary engine.
+//!
+//! The paper's central observation is that a summary is a *composition*:
+//! dimensionality reduction (DR), cardinality reduction (CR), and
+//! quantization (QT) can be stacked in any order, and the order
+//! determines both communication cost and accuracy (§4 "order matters").
+//! Algorithms 1–4 are four points in that composition space; a [`Stage`]
+//! list names an arbitrary point, and
+//! [`StagePipeline`](crate::engine::StagePipeline) executes it.
+//!
+//! | Token | Stage | Effect on the summary state |
+//! |---|---|---|
+//! | `jl` | [`Stage::Dr`] | seeded JL projection of the working points (zero communication) |
+//! | `fss` | [`Stage::Cr`] | FSS coreset: points → (coordinates, weights, Δ) + a basis to transmit |
+//! | `qt` | [`Stage::Qt`] | arms the rounding quantizer for subsequent coreset-point transmissions |
+//! | `dispca` | [`Stage::DisPca`] | distributed PCA round: local SVD summaries up, global basis down |
+//! | `disss` | [`Stage::DisSs`] | distributed sensitivity sampling: the summary moves to the server |
+
+use crate::params::SummaryParams;
+use crate::{CoreError, Result};
+use ekm_quant::RoundingQuantizer;
+
+/// Default significand bits when a `qt` stage is requested without an
+/// explicit width (`qt:<s>`) and the parameters carry no quantizer.
+pub const DEFAULT_QT_BITS: u32 = 10;
+
+/// Configuration of a JL (DR) stage.
+///
+/// The target dimension defaults to the parameters' pre-CR formula for a
+/// leading projection and the post-CR formula otherwise (matching
+/// Algorithms 1–3); `dim` pins it explicitly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JlStage {
+    /// Explicit target dimension (overrides the positional default).
+    pub dim: Option<usize>,
+}
+
+/// Configuration of an FSS (CR) stage.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FssStage {
+    /// Explicit coreset size (defaults to `SummaryParams::coreset_size`).
+    pub sample_size: Option<usize>,
+    /// Explicit PCA/intrinsic dimension (defaults to the clamped
+    /// `SummaryParams::pca_dim`).
+    pub pca_dim: Option<usize>,
+}
+
+/// Configuration of a QT stage.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QuantStage {
+    /// Explicit quantizer (defaults to the parameters' quantizer, then to
+    /// [`DEFAULT_QT_BITS`]).
+    pub quantizer: Option<RoundingQuantizer>,
+}
+
+/// Configuration of a disPCA stage.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DisPcaStage {
+    /// Explicit summary rank `t1 = t2` (defaults to the clamped
+    /// `SummaryParams::pca_dim`).
+    pub rank: Option<usize>,
+}
+
+/// Configuration of a disSS stage.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DisSsStage {
+    /// Explicit global sample budget (defaults to
+    /// `SummaryParams::coreset_size`).
+    pub sample_size: Option<usize>,
+}
+
+/// One step of a summary pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Stage {
+    /// Dimensionality reduction: a seeded, data-oblivious JL projection.
+    Dr(JlStage),
+    /// Cardinality reduction: an FSS coreset (single data source).
+    Cr(FssStage),
+    /// Quantization: arm the rounding quantizer Γ for subsequent
+    /// coreset-point transmissions.
+    Qt(QuantStage),
+    /// Distributed PCA (\[11\]/\[35\]): one interactive round over all
+    /// data sources.
+    DisPca(DisPcaStage),
+    /// Distributed sensitivity sampling (\[4\]): after this stage the
+    /// summary lives at the server.
+    DisSs(DisSsStage),
+}
+
+impl Stage {
+    /// A JL stage with positional-default dimensions.
+    pub fn jl() -> Stage {
+        Stage::Dr(JlStage::default())
+    }
+
+    /// An FSS stage with parameter-default sizes.
+    pub fn fss() -> Stage {
+        Stage::Cr(FssStage::default())
+    }
+
+    /// A QT stage using the parameters' quantizer (or the default width).
+    pub fn qt() -> Stage {
+        Stage::Qt(QuantStage::default())
+    }
+
+    /// A QT stage with an explicit significand width.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid widths from [`RoundingQuantizer::new`].
+    pub fn qt_bits(s: u32) -> Result<Stage> {
+        Ok(Stage::Qt(QuantStage {
+            quantizer: Some(RoundingQuantizer::new(s).map_err(CoreError::Quant)?),
+        }))
+    }
+
+    /// A disPCA stage with parameter-default rank.
+    pub fn dispca() -> Stage {
+        Stage::DisPca(DisPcaStage::default())
+    }
+
+    /// A disSS stage with parameter-default budget.
+    pub fn disss() -> Stage {
+        Stage::DisSs(DisSsStage::default())
+    }
+
+    /// The display token used in pipeline names ("JL+FSS+QT").
+    pub fn token(&self) -> &'static str {
+        match self {
+            Stage::Dr(_) => "JL",
+            Stage::Cr(_) => "FSS",
+            Stage::Qt(_) => "QT",
+            Stage::DisPca(_) => "disPCA",
+            Stage::DisSs(_) => "disSS",
+        }
+    }
+
+    /// `true` for stages that run the interactive multi-source protocols.
+    pub fn is_distributed(&self) -> bool {
+        matches!(self, Stage::DisPca(_) | Stage::DisSs(_))
+    }
+
+    /// Parses one CLI token (`jl`, `fss`, `qt`, `qt:<s>`, `dispca`,
+    /// `disss`).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidStageName`] for unknown tokens, carrying the
+    /// valid vocabulary for the CLI's error message.
+    pub fn parse(token: &str) -> Result<Stage> {
+        let t = token.trim().to_ascii_lowercase();
+        match t.as_str() {
+            "jl" => Ok(Stage::jl()),
+            "fss" => Ok(Stage::fss()),
+            "qt" => Ok(Stage::qt()),
+            "dispca" => Ok(Stage::dispca()),
+            "disss" => Ok(Stage::disss()),
+            _ => {
+                if let Some(bits) = t.strip_prefix("qt:") {
+                    let s: u32 = bits.parse().map_err(|_| CoreError::InvalidStageName {
+                        token: token.to_string(),
+                    })?;
+                    return Stage::qt_bits(s);
+                }
+                Err(CoreError::InvalidStageName {
+                    token: token.to_string(),
+                })
+            }
+        }
+    }
+
+    /// Parses a comma-separated stage list (`"jl,fss,qt,jl"`).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidStageName`] on the first unknown token;
+    /// [`CoreError::InvalidConfig`] for an empty list.
+    pub fn parse_list(list: &str) -> Result<Vec<Stage>> {
+        let stages: Vec<Stage> = list
+            .split(',')
+            .filter(|t| !t.trim().is_empty())
+            .map(Stage::parse)
+            .collect::<Result<_>>()?;
+        if stages.is_empty() {
+            return Err(CoreError::InvalidConfig {
+                reason: "empty stage list",
+            });
+        }
+        Ok(stages)
+    }
+
+    /// The valid `--stages` vocabulary, for error messages and `--help`.
+    pub fn vocabulary() -> &'static str {
+        "jl, fss, qt, qt:<bits>, dispca, disss"
+    }
+}
+
+/// The one QT-arming rule shared by the named `+QT` constructors and the
+/// CLI's `--quantize` flag: when `params` carry a quantizer and the list
+/// has no explicit QT stage, insert one before the first disSS stage
+/// (quantization applies to the wire, so it must precede that
+/// transmission round) or append it for source-side lists.
+pub fn with_default_qt(mut stages: Vec<Stage>, params: &SummaryParams) -> Vec<Stage> {
+    if params.quantizer.is_some() && !stages.iter().any(|s| matches!(s, Stage::Qt(_))) {
+        let pos = stages
+            .iter()
+            .position(|s| matches!(s, Stage::DisSs(_)))
+            .unwrap_or(stages.len());
+        stages.insert(pos, Stage::qt());
+    }
+    stages
+}
+
+/// Joins stage tokens into the paper-legend style display name
+/// (`"JL+FSS+QT"`); an empty list is the no-reduction baseline `"NR"`.
+pub fn display_name(stages: &[Stage]) -> String {
+    if stages.is_empty() {
+        return "NR".to_string();
+    }
+    stages
+        .iter()
+        .map(Stage::token)
+        .collect::<Vec<_>>()
+        .join("+")
+}
+
+/// Resolves the effective quantizer of a QT stage against the shared
+/// parameters (stage override → params → default width).
+pub(crate) fn resolve_quantizer(
+    stage: &QuantStage,
+    params: &SummaryParams,
+) -> Result<RoundingQuantizer> {
+    if let Some(q) = &stage.quantizer {
+        return Ok(*q);
+    }
+    if let Some(q) = &params.quantizer {
+        return Ok(*q);
+    }
+    RoundingQuantizer::new(DEFAULT_QT_BITS).map_err(CoreError::Quant)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_tokens() {
+        assert_eq!(Stage::parse("jl").unwrap(), Stage::jl());
+        assert_eq!(Stage::parse(" FSS ").unwrap(), Stage::fss());
+        assert_eq!(Stage::parse("qt").unwrap(), Stage::qt());
+        assert_eq!(Stage::parse("dispca").unwrap(), Stage::dispca());
+        assert_eq!(Stage::parse("disss").unwrap(), Stage::disss());
+        match Stage::parse("qt:6").unwrap() {
+            Stage::Qt(QuantStage { quantizer: Some(q) }) => {
+                assert_eq!(q.significant_bits(), 6);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        for bad in ["pca", "jlx", "qt:", "qt:abc", "qt:99", ""] {
+            assert!(Stage::parse(bad).is_err(), "{bad:?} accepted");
+        }
+        let err = Stage::parse("frobnicate").unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+        assert!(err.to_string().contains("jl"));
+    }
+
+    #[test]
+    fn parse_list_and_names() {
+        let stages = Stage::parse_list("jl,fss,qt,jl").unwrap();
+        assert_eq!(stages.len(), 4);
+        assert_eq!(display_name(&stages), "JL+FSS+QT+JL");
+        assert_eq!(display_name(&[]), "NR");
+        assert_eq!(
+            display_name(&Stage::parse_list("dispca,disss").unwrap()),
+            "disPCA+disSS"
+        );
+        assert!(Stage::parse_list("").is_err());
+        assert!(Stage::parse_list("jl,,fss").is_ok(), "empty tokens skipped");
+        assert!(Stage::parse_list("jl,nope").is_err());
+    }
+
+    #[test]
+    fn default_qt_placement() {
+        let plain = SummaryParams::practical(2, 100, 10);
+        let quant = plain
+            .clone()
+            .with_quantizer(ekm_quant::RoundingQuantizer::new(8).unwrap());
+        // No quantizer: untouched.
+        let s = with_default_qt(Stage::parse_list("jl,fss").unwrap(), &plain);
+        assert_eq!(display_name(&s), "JL+FSS");
+        // Centralized: appended.
+        let s = with_default_qt(Stage::parse_list("jl,fss").unwrap(), &quant);
+        assert_eq!(display_name(&s), "JL+FSS+QT");
+        // Distributed: inserted before disss.
+        let s = with_default_qt(Stage::parse_list("dispca,jl,disss").unwrap(), &quant);
+        assert_eq!(display_name(&s), "disPCA+JL+QT+disSS");
+        // Explicit qt: not duplicated.
+        let s = with_default_qt(Stage::parse_list("qt:4,fss").unwrap(), &quant);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn distributed_flag() {
+        assert!(Stage::dispca().is_distributed());
+        assert!(Stage::disss().is_distributed());
+        assert!(!Stage::jl().is_distributed());
+        assert!(!Stage::fss().is_distributed());
+        assert!(!Stage::qt().is_distributed());
+    }
+}

@@ -70,7 +70,9 @@ mod tests {
         assert!(Error::source(&e).is_some());
         let e: CoresetError = LinalgError::EmptyMatrix { op: "svd" }.into();
         assert!(e.to_string().contains("svd"));
-        assert!(CoresetError::Malformed { reason: "x" }.to_string().contains('x'));
+        assert!(CoresetError::Malformed { reason: "x" }
+            .to_string()
+            .contains('x'));
     }
 
     #[test]

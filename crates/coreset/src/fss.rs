@@ -295,10 +295,7 @@ mod tests {
             .build(&data)
             .unwrap();
         let m = fss.len();
-        assert_eq!(
-            fss.transmitted_scalars(),
-            m * 4 + 30 * 4 + m + 1
-        );
+        assert_eq!(fss.transmitted_scalars(), m * 4 + 30 * 4 + m + 1);
     }
 
     #[test]
@@ -319,7 +316,10 @@ mod tests {
         let xa = ops::matmul_transb(&xc, fss.basis()).unwrap();
         let ca = ambient.cost(&xa).unwrap();
         let cc = coords.cost(&xc).unwrap();
-        assert!((ca - cc).abs() < 1e-6 * (1.0 + ca), "ambient {ca} vs coord {cc}");
+        assert!(
+            (ca - cc).abs() < 1e-6 * (1.0 + ca),
+            "ambient {ca} vs coord {cc}"
+        );
     }
 
     #[test]
@@ -359,7 +359,11 @@ mod tests {
     #[test]
     fn total_weight_is_n_in_deterministic_mode() {
         let data = structured(100, 8, 8);
-        let fss = FssBuilder::new(2).with_sample_size(30).with_seed(3).build(&data).unwrap();
+        let fss = FssBuilder::new(2)
+            .with_sample_size(30)
+            .with_seed(3)
+            .build(&data)
+            .unwrap();
         let total: f64 = fss.weights().iter().sum();
         assert!((total - 300.0).abs() < 1e-6, "Σw = {total}");
     }

@@ -153,12 +153,7 @@ impl SensitivitySampler {
         let a = assign(points, &bic.centers)?;
         let n_clusters = bic.centers.rows();
         let cluster_w = a.cluster_weights(n_clusters, weights);
-        let total_cost: f64 = a
-            .distances_sq
-            .iter()
-            .zip(weights)
-            .map(|(d, w)| d * w)
-            .sum();
+        let total_cost: f64 = a.distances_sq.iter().zip(weights).map(|(d, w)| d * w).sum();
 
         // Sensitivity upper bounds.
         let sens: Vec<f64> = (0..n)
@@ -355,8 +350,14 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let p = blobs(100, 6);
-        let a = SensitivitySampler::new(2, 30).with_seed(42).sample(&p, None).unwrap();
-        let b = SensitivitySampler::new(2, 30).with_seed(42).sample(&p, None).unwrap();
+        let a = SensitivitySampler::new(2, 30)
+            .with_seed(42)
+            .sample(&p, None)
+            .unwrap();
+        let b = SensitivitySampler::new(2, 30)
+            .with_seed(42)
+            .sample(&p, None)
+            .unwrap();
         assert_eq!(a, b);
     }
 
@@ -365,7 +366,10 @@ mod tests {
         // All points identical: cost term vanishes, cluster term drives
         // uniform sampling; weights must still sum to n.
         let p = Matrix::from_fn(50, 2, |_, _| 3.0);
-        let c = SensitivitySampler::new(2, 10).with_seed(1).sample(&p, None).unwrap();
+        let c = SensitivitySampler::new(2, 10)
+            .with_seed(1)
+            .sample(&p, None)
+            .unwrap();
         assert!((c.total_weight() - 50.0).abs() < 1e-9);
     }
 

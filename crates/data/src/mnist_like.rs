@@ -159,10 +159,10 @@ impl MnistLike {
             let centers: Vec<(f64, f64, f64, f64)> = (0..bumps)
                 .map(|_| {
                     (
-                        rng.gen::<f64>() * self.side as f64, // cx
-                        rng.gen::<f64>() * self.side as f64, // cy
+                        rng.gen::<f64>() * self.side as f64,                 // cx
+                        rng.gen::<f64>() * self.side as f64,                 // cy
                         self.side as f64 * (0.08 + 0.12 * rng.gen::<f64>()), // radius
-                        0.5 + 0.5 * rng.gen::<f64>(),        // intensity
+                        0.5 + 0.5 * rng.gen::<f64>(),                        // intensity
                     )
                 })
                 .collect();
@@ -192,11 +192,7 @@ mod tests {
     fn shapes_range_and_labels() {
         let ds = MnistLike::new(150, 12).with_seed(1).generate().unwrap();
         assert_eq!(ds.points.shape(), (150, 144));
-        assert!(ds
-            .points
-            .as_slice()
-            .iter()
-            .all(|v| (0.0..=1.0).contains(v)));
+        assert!(ds.points.as_slice().iter().all(|v| (0.0..=1.0).contains(v)));
         assert!(ds.labels.iter().all(|&l| l < N_CLASSES));
     }
 
@@ -237,7 +233,11 @@ mod tests {
     #[test]
     fn classes_are_separable_by_kmeans_cost() {
         // k-means with 10 centers should do far better than 1 center.
-        let ds = MnistLike::new(300, 10).with_noise(0.02).with_seed(5).generate().unwrap();
+        let ds = MnistLike::new(300, 10)
+            .with_noise(0.02)
+            .with_seed(5)
+            .generate()
+            .unwrap();
         let k10 = ekm_clustering::kmeans::KMeans::new(10)
             .with_seed(1)
             .fit(&ds.points)

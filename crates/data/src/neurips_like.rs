@@ -160,7 +160,9 @@ mod tests {
     fn zipf_head_words_heavier() {
         let ds = NeurIpsLike::new(1000, 100).with_seed(3).generate().unwrap();
         let head: f64 = (0..50).map(|i| ds.points.row(i).iter().sum::<f64>()).sum();
-        let tail: f64 = (950..1000).map(|i| ds.points.row(i).iter().sum::<f64>()).sum();
+        let tail: f64 = (950..1000)
+            .map(|i| ds.points.row(i).iter().sum::<f64>())
+            .sum();
         assert!(head > 5.0 * tail, "head {head} vs tail {tail}");
     }
 

@@ -41,12 +41,7 @@ pub fn partition_uniform(data: &Matrix, parts: usize, seed: u64) -> Result<Vec<M
 ///
 /// Returns [`DataError::InvalidParameter`] for invalid `parts` or
 /// non-positive `skew`.
-pub fn partition_skewed(
-    data: &Matrix,
-    parts: usize,
-    skew: f64,
-    seed: u64,
-) -> Result<Vec<Matrix>> {
+pub fn partition_skewed(data: &Matrix, parts: usize, skew: f64, seed: u64) -> Result<Vec<Matrix>> {
     if skew <= 0.0 {
         return Err(DataError::InvalidParameter {
             name: "skew",
@@ -139,10 +134,7 @@ mod tests {
         let data = Matrix::from_fn(103, 2, |i, _| i as f64);
         let parts = partition_uniform(&data, 10, 7).unwrap();
         assert_eq!(parts.len(), 10);
-        let mut seen: Vec<f64> = parts
-            .iter()
-            .flat_map(|p| p.col(0).into_iter())
-            .collect();
+        let mut seen: Vec<f64> = parts.iter().flat_map(|p| p.col(0).into_iter()).collect();
         seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let expect: Vec<f64> = (0..103).map(|i| i as f64).collect();
         assert_eq!(seen, expect);

@@ -124,7 +124,10 @@ mod tests {
 
     #[test]
     fn shape_and_labels() {
-        let ds = GaussianMixture::new(100, 5, 4).with_seed(1).generate().unwrap();
+        let ds = GaussianMixture::new(100, 5, 4)
+            .with_seed(1)
+            .generate()
+            .unwrap();
         assert_eq!(ds.points.shape(), (100, 5));
         assert_eq!(ds.labels.len(), 100);
         assert!(ds.labels.iter().all(|&l| l < 4));
@@ -138,11 +141,20 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = GaussianMixture::new(50, 3, 2).with_seed(9).generate().unwrap();
-        let b = GaussianMixture::new(50, 3, 2).with_seed(9).generate().unwrap();
+        let a = GaussianMixture::new(50, 3, 2)
+            .with_seed(9)
+            .generate()
+            .unwrap();
+        let b = GaussianMixture::new(50, 3, 2)
+            .with_seed(9)
+            .generate()
+            .unwrap();
         assert!(a.points.approx_eq(&b.points, 0.0));
         assert_eq!(a.labels, b.labels);
-        let c = GaussianMixture::new(50, 3, 2).with_seed(10).generate().unwrap();
+        let c = GaussianMixture::new(50, 3, 2)
+            .with_seed(10)
+            .generate()
+            .unwrap();
         assert!(!a.points.approx_eq(&c.points, 1e-9));
     }
 
@@ -154,7 +166,11 @@ mod tests {
             .with_seed(3)
             .generate()
             .unwrap();
-        let model = KMeans::new(3).with_seed(1).with_n_init(5).fit(&ds.points).unwrap();
+        let model = KMeans::new(3)
+            .with_seed(1)
+            .with_n_init(5)
+            .fit(&ds.points)
+            .unwrap();
         // k-means labels must refine the ground truth: points sharing a
         // ground-truth label share a k-means label.
         let mut map = [usize::MAX; 3];

@@ -87,8 +87,8 @@ impl Cholesky {
         let mut y = vec![0.0; n];
         for i in 0..n {
             let mut v = b[i];
-            for k in 0..i {
-                v -= self.l[(i, k)] * y[k];
+            for (k, &yk) in y.iter().enumerate().take(i) {
+                v -= self.l[(i, k)] * yk;
             }
             y[i] = v / self.l[(i, i)];
         }
@@ -96,8 +96,8 @@ impl Cholesky {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut v = y[i];
-            for k in (i + 1)..n {
-                v -= self.l[(k, i)] * x[k];
+            for (k, &xk) in x.iter().enumerate().skip(i + 1) {
+                v -= self.l[(k, i)] * xk;
             }
             x[i] = v / self.l[(i, i)];
         }

@@ -45,7 +45,9 @@ const MAX_SWEEPS: usize = 64;
 /// ```
 pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen> {
     if a.is_empty() {
-        return Err(LinalgError::EmptyMatrix { op: "symmetric_eigen" });
+        return Err(LinalgError::EmptyMatrix {
+            op: "symmetric_eigen",
+        });
     }
     if a.rows() != a.cols() {
         return Err(LinalgError::DimensionMismatch {

@@ -105,7 +105,9 @@ mod tests {
 
     #[test]
     fn display_empty_and_rank() {
-        assert!(LinalgError::EmptyMatrix { op: "qr" }.to_string().contains("qr"));
+        assert!(LinalgError::EmptyMatrix { op: "qr" }
+            .to_string()
+            .contains("qr"));
         let e = LinalgError::RankOutOfRange {
             requested: 9,
             available: 4,

@@ -31,7 +31,11 @@ where
     }
     assert!(row_width > 0, "for_each_row_chunk: zero row width");
     let n_rows = data.len() / row_width;
-    let workers = if parallel { worker_count().min(n_rows) } else { 1 };
+    let workers = if parallel {
+        worker_count().min(n_rows)
+    } else {
+        1
+    };
     if workers <= 1 {
         f(0, data);
         return;
@@ -65,7 +69,11 @@ where
     if n == 0 {
         return out;
     }
-    let workers = if n >= min_parallel { worker_count().min(n) } else { 1 };
+    let workers = if n >= min_parallel {
+        worker_count().min(n)
+    } else {
+        1
+    };
     if workers <= 1 {
         for (i, slot) in out.iter_mut().enumerate() {
             *slot = f(i);

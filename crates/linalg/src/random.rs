@@ -28,8 +28,7 @@ use rand::{Rng, SeedableRng};
 /// assert_eq!(a, derive_seed(42, 0));
 /// ```
 pub fn derive_seed(parent: u64, stream: u64) -> u64 {
-    let mut z = parent
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+    let mut z = parent.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -93,13 +92,17 @@ pub fn gaussian_matrix(seed: u64, rows: usize, cols: usize, sigma: f64) -> Matri
 /// Samples a `rows × cols` matrix with i.i.d. Rademacher (`±scale`) entries.
 pub fn rademacher_matrix(seed: u64, rows: usize, cols: usize, scale: f64) -> Matrix {
     let mut rng = rng_from_seed(seed);
-    Matrix::from_fn(rows, cols, |_, _| {
-        if rng.gen::<bool>() {
-            scale
-        } else {
-            -scale
-        }
-    })
+    Matrix::from_fn(
+        rows,
+        cols,
+        |_, _| {
+            if rng.gen::<bool>() {
+                scale
+            } else {
+                -scale
+            }
+        },
+    )
 }
 
 /// Samples a sparse Achlioptas matrix with entries
@@ -140,9 +143,9 @@ pub fn sample_weighted_indices<R: Rng + ?Sized>(
         .map(|_| {
             let target: f64 = rng.gen::<f64>() * total;
             // First index whose cumulative weight exceeds target.
-            match cumulative.binary_search_by(|c| {
-                c.partial_cmp(&target).expect("finite cumulative weight")
-            }) {
+            match cumulative
+                .binary_search_by(|c| c.partial_cmp(&target).expect("finite cumulative weight"))
+            {
                 Ok(i) | Err(i) => i.min(weights.len() - 1),
             }
         })
@@ -150,7 +153,10 @@ pub fn sample_weighted_indices<R: Rng + ?Sized>(
 }
 
 fn cumulative_weights(weights: &[f64]) -> Vec<f64> {
-    assert!(!weights.is_empty(), "sample_weighted_indices: empty weights");
+    assert!(
+        !weights.is_empty(),
+        "sample_weighted_indices: empty weights"
+    );
     let mut acc = 0.0;
     let cumulative: Vec<f64> = weights
         .iter()

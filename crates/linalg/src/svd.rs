@@ -170,7 +170,9 @@ impl Default for TruncatedSvdOptions {
 /// ```
 pub fn truncated_svd(a: &Matrix, t: usize, opts: &TruncatedSvdOptions) -> Result<Svd> {
     if a.is_empty() {
-        return Err(LinalgError::EmptyMatrix { op: "truncated_svd" });
+        return Err(LinalgError::EmptyMatrix {
+            op: "truncated_svd",
+        });
     }
     let (n, d) = a.shape();
     let max_rank = n.min(d);
@@ -299,7 +301,10 @@ mod tests {
         for &sv in &s.singular_values[3..] {
             assert!(sv < 1e-6 * s.singular_values[0], "trailing σ = {sv}");
         }
-        assert!(s.reconstruct().unwrap().approx_eq(&a, 1e-7 * a.frobenius_norm()));
+        assert!(s
+            .reconstruct()
+            .unwrap()
+            .approx_eq(&a, 1e-7 * a.frobenius_norm()));
     }
 
     #[test]

@@ -50,7 +50,11 @@ impl BitWriter {
         if n == 0 {
             return;
         }
-        let masked = if n == 64 { value } else { value & ((1u64 << n) - 1) };
+        let masked = if n == 64 {
+            value
+        } else {
+            value & ((1u64 << n) - 1)
+        };
         // Write bit by bit group: fill the current partial byte, then whole
         // bytes.
         let mut remaining = n;

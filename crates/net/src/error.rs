@@ -72,15 +72,21 @@ mod tests {
         }
         .to_string()
         .contains("8 bits"));
-        assert!(NetError::UnknownMessageTag { tag: 9 }.to_string().contains('9'));
-        assert!(NetError::MalformedMessage { reason: "x" }.to_string().contains('x'));
+        assert!(NetError::UnknownMessageTag { tag: 9 }
+            .to_string()
+            .contains('9'));
+        assert!(NetError::MalformedMessage { reason: "x" }
+            .to_string()
+            .contains('x'));
         assert!(NetError::UnknownSource {
             source: 5,
             sources: 2
         }
         .to_string()
         .contains('5'));
-        assert!(NetError::InvalidPrecision { s: 60 }.to_string().contains("60"));
+        assert!(NetError::InvalidPrecision { s: 60 }
+            .to_string()
+            .contains("60"));
     }
 
     #[test]

@@ -343,11 +343,20 @@ mod tests {
     #[test]
     fn kinds_are_distinct() {
         let kinds = [
-            Message::RawData { points: Matrix::zeros(1, 1) }.kind(),
+            Message::RawData {
+                points: Matrix::zeros(1, 1),
+            }
+            .kind(),
             Message::CostReport { cost: 0.0 }.kind(),
             Message::SampleAllocation { size: 0 }.kind(),
-            Message::Centers { centers: Matrix::zeros(1, 1) }.kind(),
-            Message::Basis { basis: Matrix::zeros(1, 1) }.kind(),
+            Message::Centers {
+                centers: Matrix::zeros(1, 1),
+            }
+            .kind(),
+            Message::Basis {
+                basis: Matrix::zeros(1, 1),
+            }
+            .kind(),
         ];
         let mut sorted = kinds.to_vec();
         sorted.sort_unstable();

@@ -82,6 +82,96 @@ impl NetworkStats {
     }
 }
 
+/// An independent, thread-safe handle for one data source's traffic.
+///
+/// Obtained from [`Network::links`]. Each link owns private counters —
+/// no locks or atomics are needed because every worker thread owns its
+/// source's link exclusively — and the owner merges them back into the
+/// [`Network`] with [`Network::absorb`] at the thread-scope barrier.
+/// Encoding/decoding is pure, so links can run concurrently on
+/// `std::thread::scope` workers while accounting stays *exact*: after
+/// `absorb`, totals are identical to what the same sends through
+/// [`Network::send_to_server`] / [`Network::send_to_source`] would have
+/// produced.
+///
+/// ```
+/// use ekm_net::{messages::Message, Network};
+///
+/// let mut net = Network::new(3);
+/// let mut links = net.links();
+/// std::thread::scope(|scope| {
+///     for link in &mut links {
+///         scope.spawn(move || {
+///             link.send_to_server(&Message::CostReport { cost: 1.0 }).unwrap();
+///         });
+///     }
+/// });
+/// net.absorb(links);
+/// assert_eq!(net.stats().total_uplink_messages(), 3);
+/// ```
+#[derive(Debug)]
+pub struct SourceLink {
+    source: usize,
+    uplink_bits: u64,
+    downlink_bits: u64,
+    uplink_msgs: u64,
+    downlink_msgs: u64,
+    uplink_by_kind: BTreeMap<&'static str, u64>,
+}
+
+impl SourceLink {
+    fn new(source: usize) -> Self {
+        SourceLink {
+            source,
+            uplink_bits: 0,
+            downlink_bits: 0,
+            uplink_msgs: 0,
+            downlink_msgs: 0,
+            uplink_by_kind: BTreeMap::new(),
+        }
+    }
+
+    /// The source index this link belongs to.
+    pub fn source(&self) -> usize {
+        self.source
+    }
+
+    /// Uplink bits charged to this link so far (not yet absorbed).
+    pub fn pending_uplink_bits(&self) -> u64 {
+        self.uplink_bits
+    }
+
+    /// Sends `msg` from this source to the server: encodes, charges the
+    /// link's private uplink counters, and returns what the server
+    /// decodes.
+    ///
+    /// # Errors
+    ///
+    /// Decode errors if the message round-trip fails (a bug in the wire
+    /// format — surfaced rather than swallowed).
+    pub fn send_to_server(&mut self, msg: &Message) -> Result<Message> {
+        let (buf, bits) = msg.encode();
+        self.uplink_bits += bits as u64;
+        self.uplink_msgs += 1;
+        *self.uplink_by_kind.entry(msg.kind()).or_insert(0) += bits as u64;
+        Message::decode(&buf, bits)
+    }
+
+    /// Delivers `msg` from the server to this source, charging the
+    /// link's private downlink counters, and returns what the source
+    /// decodes.
+    ///
+    /// # Errors
+    ///
+    /// See [`SourceLink::send_to_server`].
+    pub fn recv_from_server(&mut self, msg: &Message) -> Result<Message> {
+        let (buf, bits) = msg.encode();
+        self.downlink_bits += bits as u64;
+        self.downlink_msgs += 1;
+        Message::decode(&buf, bits)
+    }
+}
+
 /// An in-process star network with exact bit accounting.
 #[derive(Debug, Clone)]
 pub struct Network {
@@ -148,6 +238,39 @@ impl Network {
         (0..self.sources)
             .map(|i| self.send_to_source(i, msg))
             .collect()
+    }
+
+    /// Hands out one independent [`SourceLink`] per source, for
+    /// concurrent per-source protocol phases. Links start with zeroed
+    /// counters; merge them back with [`Network::absorb`].
+    pub fn links(&self) -> Vec<SourceLink> {
+        (0..self.sources).map(SourceLink::new).collect()
+    }
+
+    /// Merges the counters accumulated on `links` into this network's
+    /// statistics (the "barrier" side of [`Network::links`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a link belongs to a source index outside this network —
+    /// links are only ever minted by [`Network::links`], so this
+    /// indicates links crossed between different networks.
+    pub fn absorb(&mut self, links: impl IntoIterator<Item = SourceLink>) {
+        for link in links {
+            assert!(
+                link.source < self.sources,
+                "absorbed a link for source {} but the network has {}",
+                link.source,
+                self.sources
+            );
+            self.stats.uplink_bits[link.source] += link.uplink_bits;
+            self.stats.downlink_bits[link.source] += link.downlink_bits;
+            self.stats.uplink_msgs[link.source] += link.uplink_msgs;
+            self.stats.downlink_msgs[link.source] += link.downlink_msgs;
+            for (kind, bits) in link.uplink_by_kind {
+                *self.stats.uplink_by_kind.entry(kind).or_insert(0) += bits;
+            }
+        }
     }
 
     /// Read access to the accumulated statistics.
@@ -222,7 +345,10 @@ mod tests {
         let msg = Message::CostReport { cost: 0.0 };
         assert!(matches!(
             net.send_to_server(2, &msg),
-            Err(NetError::UnknownSource { source: 2, sources: 2 })
+            Err(NetError::UnknownSource {
+                source: 2,
+                sources: 2
+            })
         ));
         assert!(net.send_to_source(5, &msg).is_err());
     }
@@ -241,7 +367,8 @@ mod tests {
     #[test]
     fn reset_clears_counters() {
         let mut net = Network::new(2);
-        net.send_to_server(0, &Message::CostReport { cost: 1.0 }).unwrap();
+        net.send_to_server(0, &Message::CostReport { cost: 1.0 })
+            .unwrap();
         net.reset_stats();
         assert_eq!(net.stats().total_uplink_bits(), 0);
         assert_eq!(net.stats().sources(), 2);
@@ -270,5 +397,82 @@ mod tests {
     #[should_panic(expected = "at least one source")]
     fn zero_sources_panics() {
         let _ = Network::new(0);
+    }
+
+    #[test]
+    fn links_match_sequential_accounting_exactly() {
+        let msgs: Vec<Message> = (0..4)
+            .map(|i| Message::Coreset {
+                points: Matrix::from_fn(3 + i, 2, |r, c| (r * 2 + c + i) as f64 * 0.5),
+                weights: vec![1.0; 3 + i],
+                delta: i as f64,
+                precision: Precision::Full,
+            })
+            .collect();
+
+        // Sequential reference.
+        let mut seq = Network::new(4);
+        for (i, msg) in msgs.iter().enumerate() {
+            seq.send_to_server(i, msg).unwrap();
+            seq.send_to_source(i, &Message::SampleAllocation { size: i as u64 })
+                .unwrap();
+        }
+
+        // Concurrent links merged at the barrier.
+        let mut par = Network::new(4);
+        let mut links = par.links();
+        std::thread::scope(|scope| {
+            for (link, msg) in links.iter_mut().zip(&msgs) {
+                scope.spawn(move || {
+                    let i = link.source();
+                    let received = link.send_to_server(msg).unwrap();
+                    assert_eq!(&received, msg);
+                    link.recv_from_server(&Message::SampleAllocation { size: i as u64 })
+                        .unwrap();
+                });
+            }
+        });
+        par.absorb(links);
+
+        assert_eq!(par.stats(), seq.stats());
+    }
+
+    #[test]
+    fn link_counters_are_private_until_absorbed() {
+        let mut net = Network::new(2);
+        let mut links = net.links();
+        links[1]
+            .send_to_server(&Message::CostReport { cost: 2.0 })
+            .unwrap();
+        assert_eq!(net.stats().total_uplink_bits(), 0);
+        assert!(links[1].pending_uplink_bits() > 0);
+        assert_eq!(links[0].pending_uplink_bits(), 0);
+        net.absorb(links);
+        assert_eq!(net.stats().uplink_bits(0), 0);
+        assert!(net.stats().uplink_bits(1) > 0);
+        assert_eq!(net.stats().total_uplink_messages(), 1);
+    }
+
+    #[test]
+    fn absorb_accumulates_by_kind() {
+        let mut net = Network::new(1);
+        let report = Message::CostReport { cost: 1.0 };
+        net.send_to_server(0, &report).unwrap();
+        let mut links = net.links();
+        links[0].send_to_server(&report).unwrap();
+        net.absorb(links);
+        let (_, bits) = report.encode();
+        assert_eq!(
+            net.stats().uplink_bits_by_kind()["cost-report"],
+            2 * bits as u64
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "absorbed a link")]
+    fn absorbing_foreign_links_panics() {
+        let big = Network::new(5);
+        let mut small = Network::new(2);
+        small.absorb(big.links());
     }
 }

@@ -86,8 +86,8 @@ pub fn encode_f64(w: &mut BitWriter, x: f64, precision: Precision) {
             let bits = x.to_bits();
             let sign = bits >> 63;
             let exponent = (bits >> STORED_SIGNIFICAND_BITS) & ((1u64 << EXPONENT_BITS) - 1);
-            let mantissa_top = (bits & ((1u64 << STORED_SIGNIFICAND_BITS) - 1))
-                >> (STORED_SIGNIFICAND_BITS - s);
+            let mantissa_top =
+                (bits & ((1u64 << STORED_SIGNIFICAND_BITS) - 1)) >> (STORED_SIGNIFICAND_BITS - s);
             w.write_bits(sign, 1);
             w.write_bits(exponent, EXPONENT_BITS);
             w.write_bits(mantissa_top, s);
@@ -285,7 +285,9 @@ mod tests {
         encode_matrix(&mut w, &m, Precision::Full);
         let (buf, bits) = w.finish();
         let mut r = BitReader::new(&buf, bits);
-        assert!(decode_matrix(&mut r, Precision::Full).unwrap().approx_eq(&m, 0.0));
+        assert!(decode_matrix(&mut r, Precision::Full)
+            .unwrap()
+            .approx_eq(&m, 0.0));
         // Quantized: exact after quantization.
         let q = RoundingQuantizer::new(10).unwrap();
         let qm = q.quantize_matrix(&m);

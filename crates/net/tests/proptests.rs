@@ -3,7 +3,10 @@
 use ekm_linalg::Matrix;
 use ekm_net::bitstream::{BitReader, BitWriter};
 use ekm_net::messages::Message;
-use ekm_net::wire::{decode_f64, encode_f64, Precision};
+use ekm_net::wire::{
+    decode_f64, decode_f64_slice, decode_matrix, encode_f64, encode_f64_slice, encode_matrix,
+    Precision,
+};
 use ekm_net::Network;
 use ekm_quant::RoundingQuantizer;
 use proptest::prelude::*;
@@ -95,6 +98,100 @@ proptest! {
         prop_assert_eq!(received, msg);
         prop_assert_eq!(net.stats().uplink_bits(src), bits as u64);
         prop_assert_eq!(net.stats().total_uplink_bits(), bits as u64);
+    }
+
+    /// Quantized *vectors* round-trip losslessly at every mantissa width
+    /// `s ∈ [1, 52]` — including the widths where `12 + s` is not a
+    /// multiple of 8, so consecutive scalars straddle byte boundaries.
+    #[test]
+    fn quantized_vector_roundtrip(
+        xs in proptest::collection::vec(-1.0e9f64..1.0e9, 1..40),
+        s in 1u32..=52,
+    ) {
+        let q = RoundingQuantizer::new(s).unwrap();
+        let qxs: Vec<f64> = xs.iter().map(|&x| q.quantize(x)).collect();
+        let precision = Precision::Quantized { s };
+        let mut w = BitWriter::new();
+        encode_f64_slice(&mut w, &qxs, precision);
+        let (buf, bits) = w.finish();
+        // Exact payload size: 32-bit length prefix + (12+s) bits/scalar.
+        prop_assert_eq!(bits as u32, 32 + (12 + s) * qxs.len() as u32);
+        let mut r = BitReader::new(&buf, bits);
+        let back = decode_f64_slice(&mut r, precision).unwrap();
+        prop_assert_eq!(back.len(), qxs.len());
+        for (a, b) in qxs.iter().zip(&back) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(r.remaining(), 0);
+    }
+
+    /// Quantized *matrices* round-trip losslessly at every mantissa
+    /// width, with the exact advertised bit size.
+    #[test]
+    fn quantized_matrix_roundtrip(m in small_matrix(), s in 1u32..=52) {
+        let q = RoundingQuantizer::new(s).unwrap();
+        let qm = q.quantize_matrix(&m);
+        let precision = Precision::Quantized { s };
+        let mut w = BitWriter::new();
+        encode_matrix(&mut w, &qm, precision);
+        let (buf, bits) = w.finish();
+        // Shape header (2 × 32 bits) + (12+s) bits per entry.
+        let entries = (qm.rows() * qm.cols()) as u32;
+        prop_assert_eq!(bits as u32, 64 + (12 + s) * entries);
+        let mut r = BitReader::new(&buf, bits);
+        let back = decode_matrix(&mut r, precision).unwrap();
+        prop_assert_eq!(back.shape(), qm.shape());
+        for (a, b) in qm.as_slice().iter().zip(back.as_slice()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(r.remaining(), 0);
+    }
+
+    /// A quantized payload written after a deliberately misaligning
+    /// prefix (1–7 junk bits) still round-trips: the wire format never
+    /// relies on byte alignment.
+    #[test]
+    fn quantized_scalar_roundtrip_misaligned(
+        x in -1.0e9f64..1.0e9,
+        s in 1u32..=52,
+        skew in 1u32..8,
+    ) {
+        let q = RoundingQuantizer::new(s).unwrap();
+        let qx = q.quantize(x);
+        let mut w = BitWriter::new();
+        w.write_bits(0x55, skew);
+        encode_f64(&mut w, qx, Precision::Quantized { s });
+        let (buf, bits) = w.finish();
+        prop_assert_eq!(bits as u32, skew + 12 + s);
+        let mut r = BitReader::new(&buf, bits);
+        r.read_bits(skew).unwrap();
+        let y = decode_f64(&mut r, Precision::Quantized { s }).unwrap();
+        prop_assert_eq!(qx.to_bits(), y.to_bits());
+    }
+
+    /// Mixed-precision streams (full-precision scalar, quantized vector,
+    /// full matrix) decode in order with nothing left over.
+    #[test]
+    fn mixed_precision_stream_roundtrip(
+        x in proptest::num::f64::ANY,
+        m in small_matrix(),
+        s in 1u32..=52,
+    ) {
+        let q = RoundingQuantizer::new(s).unwrap();
+        let qm = q.quantize_matrix(&m);
+        let quantized = Precision::Quantized { s };
+        let mut w = BitWriter::new();
+        encode_f64(&mut w, x, Precision::Full);
+        encode_matrix(&mut w, &qm, quantized);
+        encode_matrix(&mut w, &m, Precision::Full);
+        let (buf, bits) = w.finish();
+        let mut r = BitReader::new(&buf, bits);
+        prop_assert_eq!(decode_f64(&mut r, Precision::Full).unwrap().to_bits(), x.to_bits());
+        let back_q = decode_matrix(&mut r, quantized).unwrap();
+        prop_assert!(back_q.approx_eq(&qm, 0.0));
+        let back_full = decode_matrix(&mut r, Precision::Full).unwrap();
+        prop_assert!(back_full.approx_eq(&m, 0.0));
+        prop_assert_eq!(r.remaining(), 0);
     }
 
     /// Truncating any message payload produces an error, never a panic or

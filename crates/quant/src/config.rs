@@ -187,8 +187,7 @@ impl QtOptimizer {
         for s in 1..=STORED_SIGNIFICAND_BITS {
             let q = RoundingQuantizer::new(s).expect("s in range");
             let delta_qt = q.max_error_bound(self.max_norm);
-            let epsilon_qt =
-                4.0 * (self.n as f64) * self.diameter * delta_qt / self.lower_bound_e;
+            let epsilon_qt = 4.0 * (self.n as f64) * self.diameter * delta_qt / self.lower_bound_e;
             min_y = min_y.min(Self::error_bound(0.0, epsilon_qt));
             let epsilon = self.max_feasible_epsilon(epsilon_qt);
             let comm_cost = epsilon.map(|e| self.comm_cost_model(e, epsilon_qt, delta));
@@ -315,10 +314,7 @@ mod tests {
         opt.y0 = 1.0 + 1e-12;
         // Even ε = 0 with the smallest ε_QT cannot get below ~1 + ε_QT.
         opt.lower_bound_e = 1e-9;
-        assert!(matches!(
-            opt.optimize(),
-            Err(QuantError::Infeasible { .. })
-        ));
+        assert!(matches!(opt.optimize(), Err(QuantError::Infeasible { .. })));
     }
 
     #[test]

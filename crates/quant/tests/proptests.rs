@@ -5,11 +5,7 @@ use ekm_quant::rounding::{RoundingQuantizer, STORED_SIGNIFICAND_BITS};
 use proptest::prelude::*;
 
 fn finite_f64() -> impl Strategy<Value = f64> {
-    prop_oneof![
-        -1.0e12f64..1.0e12,
-        -1.0f64..1.0,
-        -1.0e-12f64..1.0e-12,
-    ]
+    prop_oneof![-1.0e12f64..1.0e12, -1.0f64..1.0, -1.0e-12f64..1.0e-12,]
 }
 
 proptest! {

@@ -72,7 +72,10 @@ pub fn theorem51_pca_dim(k: usize, epsilon: f64) -> usize {
 ///
 /// Panics if `epsilon <= 0` or inputs are zero.
 pub fn practical_jl_dim(n: usize, k: usize, epsilon: f64, c: f64, original_dim: usize) -> usize {
-    assert!(n > 0 && k > 0 && original_dim > 0, "inputs must be positive");
+    assert!(
+        n > 0 && k > 0 && original_dim > 0,
+        "inputs must be positive"
+    );
     assert!(epsilon > 0.0, "epsilon must be positive");
     let d = (c * ((n * k) as f64).ln() / (epsilon * epsilon)).ceil() as usize;
     d.clamp(2, original_dim)
@@ -134,7 +137,10 @@ mod tests {
     fn theorem51_formula() {
         // k + ⌈4k/ε²⌉ − 1
         assert_eq!(theorem51_pca_dim(2, 0.5), 2 + 32 - 1);
-        assert_eq!(theorem51_pca_dim(3, 0.99), 3 + (12.0f64 / 0.9801).ceil() as usize - 1);
+        assert_eq!(
+            theorem51_pca_dim(3, 0.99),
+            3 + (12.0f64 / 0.9801).ceil() as usize - 1
+        );
     }
 
     #[test]

@@ -244,10 +244,7 @@ mod tests {
         let lifted = pi.lift(&x_prime).unwrap();
         assert_eq!(lifted.shape(), (3, 40));
         let reprojected = pi.project(&lifted).unwrap();
-        assert!(
-            reprojected.approx_eq(&x_prime, 1e-8),
-            "π(π⁻¹(X')) != X'"
-        );
+        assert!(reprojected.approx_eq(&x_prime, 1e-8), "π(π⁻¹(X')) != X'");
     }
 
     #[test]

@@ -46,10 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  union coreset size       : {} points", out.summary_points);
         println!("  per-source uplink bits   :");
         for i in 0..m {
-            println!(
-                "    device {i:>2}: {:>10} bits",
-                net.stats().uplink_bits(i)
-            );
+            println!("    device {i:>2}: {:>10} bits", net.stats().uplink_bits(i));
         }
         println!("  uplink by protocol phase :");
         for (kind, bits) in net.stats().uplink_bits_by_kind() {

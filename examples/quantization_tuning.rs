@@ -15,7 +15,10 @@ use edge_kmeans::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (n_words, n_papers, k) = (2_000, 600, 2);
 
-    let raw = NeurIpsLike::new(n_words, n_papers).with_seed(5).generate()?.points;
+    let raw = NeurIpsLike::new(n_words, n_papers)
+        .with_seed(5)
+        .generate()?
+        .points;
     let (dataset, _) = normalize_paper(&raw);
     let (n, d) = dataset.shape();
     println!("dataset: {n} words x {d} papers (NeurIPS-like), k = {k}\n");
@@ -57,14 +60,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let report = optimizer.optimize()?;
     let best = report.best();
-    println!("\nSection 6.3 optimizer (Y0 = {}, delta0 = {}):", optimizer.y0, optimizer.delta0);
+    println!(
+        "\nSection 6.3 optimizer (Y0 = {}, delta0 = {}):",
+        optimizer.y0, optimizer.delta0
+    );
     println!(
         "  chose s* = {} significant bits (epsilon = {:.4}, modeled comm {:.3e})",
         best.s,
         best.epsilon.unwrap_or(f64::NAN),
         best.comm_cost.unwrap_or(f64::NAN),
     );
-    let feasible = report.candidates.iter().filter(|c| c.epsilon.is_some()).count();
+    let feasible = report
+        .candidates
+        .iter()
+        .filter(|c| c.epsilon.is_some())
+        .count();
     println!("  {feasible}/52 bit-widths feasible under the error bound");
     println!("\nVery small s blows up the k-means cost; very large s wastes bits —");
     println!("the optimizer lands in between, matching the U-shape in the sweep above.");

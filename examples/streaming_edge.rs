@@ -43,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let model = KMeans::new(k)
             .with_seed(2)
             .fit_weighted(coreset.points(), coreset.weights())?;
-        let cost = edge_kmeans::clustering::cost::cost(&data.select_rows(&(0..collected).collect::<Vec<_>>()), &model.centers)?;
+        let cost = edge_kmeans::clustering::cost::cost(
+            &data.select_rows(&(0..collected).collect::<Vec<_>>()),
+            &model.centers,
+        )?;
         let ref_cost = edge_kmeans::clustering::cost::cost(
             &data.select_rows(&(0..collected).collect::<Vec<_>>()),
             &reference.centers,

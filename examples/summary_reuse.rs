@@ -36,14 +36,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // The server reuses it for every k — zero extra uplink.
-    println!("{:>3} {:>16} {:>16} {:>10}", "k", "coreset kmeans", "true kmeans", "ratio");
+    println!(
+        "{:>3} {:>16} {:>16} {:>10}",
+        "k", "coreset kmeans", "true kmeans", "ratio"
+    );
     for k in 1..=4 {
         let model = KMeans::new(k)
             .with_n_init(4)
             .with_seed(1)
             .fit_weighted(coreset.points(), coreset.weights())?;
-        let summary_cost =
-            edge_kmeans::clustering::cost::cost(&dataset, &model.centers)?;
+        let summary_cost = edge_kmeans::clustering::cost::cost(&dataset, &model.centers)?;
         let direct = KMeans::new(k).with_n_init(4).with_seed(1).fit(&dataset)?;
         println!(
             "{k:>3} {summary_cost:>16.2} {:>16.2} {:>10.4}",

@@ -1,0 +1,342 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the *API subset it actually uses* — `Rng::gen`,
+//! `Rng::gen_range`, `rngs::StdRng`, `SeedableRng::seed_from_u64`, and
+//! `seq::SliceRandom::shuffle` — behind the same paths as `rand` 0.8.
+//!
+//! The generator is xoshiro256++ seeded through the SplitMix64 expander:
+//! deterministic across platforms, statistically solid for the simulation
+//! and test workloads here (its streams differ from `rand`'s ChaCha-based
+//! `StdRng`, which only matters if bit-identical streams against real
+//! `rand` were required — they are not; all reproducibility guarantees in
+//! this workspace are *within* the workspace).
+
+#![forbid(unsafe_code)]
+
+/// Low-level generator interface: everything derives from `next_u64`.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing sampling interface (blanket-implemented for every
+/// [`RngCore`], mirroring `rand`).
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the standard distribution
+    /// (`[0, 1)` for floats, uniform over all values for integers/bool).
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        distributions::Distribution::sample(&distributions::Standard, self)
+    }
+
+    /// Samples uniformly from a range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Distributions (the subset backing [`Rng::gen`]).
+pub mod distributions {
+    use crate::RngCore;
+
+    /// A sampleable distribution over `T`.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The standard distribution: `[0, 1)` for floats, uniform for
+    /// integers, fair coin for `bool`.
+    pub struct Standard;
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 high bits → uniform on [0, 1), like rand 0.8.
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_standard_int {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Uniform range sampling (the subset backing [`crate::Rng::gen_range`]).
+    pub mod uniform {
+        use crate::RngCore;
+        use std::ops::{Range, RangeInclusive};
+
+        /// A range that can produce uniform samples of `T`.
+        pub trait SampleRange<T> {
+            /// Draws one value from the range.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        /// Unbiased-enough draw in `0..span` (`span == 0` means the full
+        /// 64-bit range) via the widening-multiply trick.
+        pub(crate) fn draw_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+            let x = rng.next_u64();
+            if span == 0 {
+                x
+            } else {
+                ((x as u128 * span as u128) >> 64) as u64
+            }
+        }
+
+        macro_rules! impl_int_range {
+            ($($t:ty),*) => {$(
+                impl SampleRange<$t> for Range<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "gen_range: empty range");
+                        let span = (self.end as i128 - self.start as i128) as u64;
+                        self.start.wrapping_add(draw_below(rng, span) as $t)
+                    }
+                }
+                impl SampleRange<$t> for RangeInclusive<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let (lo, hi) = self.into_inner();
+                        assert!(lo <= hi, "gen_range: empty range");
+                        let span = (hi as i128 - lo as i128 + 1) as u128;
+                        // span == 2^64 (the full domain) maps to 0 = "all bits".
+                        lo.wrapping_add(draw_below(rng, span as u64) as $t)
+                    }
+                }
+            )*};
+        }
+        impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        // Floats draw a type-matched fraction in [0, 1) (53 bits for
+        // f64, 24 for f32 — casting the f64 fraction to f32 could round
+        // to 1.0); the final guard keeps the half-open contract even
+        // when `start + u·(end−start)` rounds up to `end`.
+        macro_rules! impl_float_range {
+            ($($t:ty, $shift:expr, $denom:expr);*) => {$(
+                impl SampleRange<$t> for Range<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "gen_range: empty range");
+                        let u = (rng.next_u64() >> $shift) as $t / $denom;
+                        let v = self.start + u * (self.end - self.start);
+                        if v < self.end {
+                            v
+                        } else {
+                            self.start
+                        }
+                    }
+                }
+            )*};
+        }
+        impl_float_range!(f64, 11, (1u64 << 53) as f64; f32, 40, (1u64 << 24) as f32);
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use crate::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ (Blackman–Vigna),
+    /// seeded through SplitMix64.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Slice extensions (the subset backing `partition_uniform`).
+pub mod seq {
+    use crate::RngCore;
+
+    /// In-place random reordering.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle driven by `rng`.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = crate::distributions::uniform::draw_below(rng, i as u64 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let v: u32 = rng.gen_range(1..=64);
+            assert!((1..=64).contains(&v));
+            let w = rng.gen_range(-20..20);
+            assert!((-20..20).contains(&w));
+            let u = rng.gen_range(3usize..7);
+            assert!((3..7).contains(&u));
+            let x = rng.gen_range(-5.0f64..5.0);
+            assert!((-5.0..5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_domain() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn full_u64_range_works() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut high = false;
+        for _ in 0..100 {
+            let v: u64 = rng.gen_range(0u64..u64::MAX);
+            high |= v > u64::MAX / 2;
+        }
+        assert!(high, "upper half of the u64 range never drawn");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            v, sorted,
+            "shuffle left the slice in order (astronomically unlikely)"
+        );
+    }
+
+    #[test]
+    fn bool_is_fair() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let heads = (0..10_000).filter(|_| rng.gen::<bool>()).count();
+        assert!((4_700..5_300).contains(&heads), "{heads}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let _: u32 = rng.gen_range(5..5);
+    }
+}

@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! ekm run   --pipeline jl-fss-jl --dataset mnist-like --n 2000 --k 2
+//! ekm run   --stages jl,fss,qt,jl --quantize 8
 //! ekm sweep --dataset neurips-like --n 1500 --d 500
+//! ekm sweep --stages "jl,fss,qt;dispca,jl,disss"
 //! ekm qtopt --dataset mnist-like --y0 2.0
 //! ekm --help
 //! ```
@@ -35,7 +37,12 @@ COMMANDS:
 
 FLAGS (with defaults):
     --pipeline <name>   nr | fss | jl-fss | fss-jl | jl-fss-jl |
-                        bklw | jl-bklw              [jl-fss-jl]
+                        bklw | jl-bklw | bklw-jl    [jl-fss-jl]
+    --stages <list>     run an arbitrary DR/CR/QT composition instead of
+                        a named pipeline: comma-separated stages from
+                        jl, fss, qt, qt:<bits>, dispca, disss
+                        (e.g. --stages jl,fss,qt,jl); for sweep, several
+                        compositions may be joined with ';'
     --dataset <name>    mnist-like | neurips-like | mixture   [mnist-like]
     --n <int>           dataset cardinality                    [2000]
     --d <int>           dataset dimensionality (mixture/neurips) [196]
@@ -43,13 +50,28 @@ FLAGS (with defaults):
     --sources <int>     data sources (distributed pipelines)   [10]
     --seed <int>        RNG seed                               [42]
     --quantize <bits>   add the +QT variant with s significant bits
+    --parallel <on|off> concurrent per-source execution        [on]
     --y0 <float>        qtopt error budget                     [2.0]
 
 EXAMPLES:
     ekm run --pipeline jl-bklw --sources 10
-    ekm run --pipeline jl-fss --dataset neurips-like --n 1500 --d 500
+    ekm run --stages jl,fss,qt,jl --quantize 8
+    ekm run --stages dispca,jl,disss --sources 5
     ekm sweep --dataset mnist-like --quantize 10
+    ekm sweep --stages \"jl,fss;fss,jl,qt:6\"
 ";
+
+/// Valid `--pipeline` names, for dispatch and error messages.
+const PIPELINES: &[&str] = &[
+    "nr",
+    "fss",
+    "jl-fss",
+    "fss-jl",
+    "jl-fss-jl",
+    "bklw",
+    "jl-bklw",
+    "bklw-jl",
+];
 
 #[derive(Debug)]
 struct Args {
@@ -137,11 +159,13 @@ fn build_dataset(args: &Args) -> Result<Matrix, String> {
                 .map_err(|e| e.to_string())?
                 .points
         }
-        "neurips-like" => NeurIpsLike::new(n, d)
-            .with_seed(seed)
-            .generate()
-            .map_err(|e| e.to_string())?
-            .points,
+        "neurips-like" => {
+            NeurIpsLike::new(n, d)
+                .with_seed(seed)
+                .generate()
+                .map_err(|e| e.to_string())?
+                .points
+        }
         "mixture" => {
             let k = args.get_usize("k", 2)?;
             GaussianMixture::new(n, d, k)
@@ -169,39 +193,105 @@ fn build_params(args: &Args, n: usize, d: usize) -> Result<SummaryParams, String
     Ok(params)
 }
 
-fn run_one(
-    name: &str,
+/// Resolves a `--pipeline` name to its canned stage list.
+fn resolve_named(name: &str, params: &SummaryParams) -> Result<StagePipeline, String> {
+    let p = params.clone();
+    Ok(match name {
+        "nr" => NoReduction::new(p).into_stage_pipeline(),
+        "fss" => Fss::new(p).into_stage_pipeline(),
+        "jl-fss" => JlFss::new(p).into_stage_pipeline(),
+        "fss-jl" => FssJl::new(p).into_stage_pipeline(),
+        "jl-fss-jl" => JlFssJl::new(p).into_stage_pipeline(),
+        "bklw" => Bklw::new(p).into_stage_pipeline(),
+        "jl-bklw" => JlBklw::new(p).into_stage_pipeline(),
+        "bklw-jl" => BklwJl::new(p).into_stage_pipeline(),
+        other => {
+            return Err(format!(
+                "unknown pipeline '{other}' (valid pipelines: {}; or use --stages with: {})",
+                PIPELINES.join(", "),
+                Stage::vocabulary()
+            ))
+        }
+    })
+}
+
+/// The pipelines `ekm run`/`ekm sweep` will execute: either one named
+/// pipeline / `--stages` composition (run) or the default seven plus any
+/// `--stages` extras (sweep).
+fn select_pipelines(
+    args: &Args,
     params: &SummaryParams,
+    sweep: bool,
+) -> Result<Vec<StagePipeline>, String> {
+    let parallel = match args.get_str("parallel", "on").as_str() {
+        "on" | "true" | "1" => true,
+        "off" | "false" | "0" => false,
+        other => return Err(format!("--parallel expects on|off, got '{other}'")),
+    };
+    let stages_flag = args.flags.get("stages");
+    if args.flags.contains_key("pipeline") && stages_flag.is_some() {
+        return Err("--pipeline and --stages are mutually exclusive".into());
+    }
+    let mut pipelines = Vec::new();
+    if sweep {
+        for name in [
+            "nr",
+            "fss",
+            "jl-fss",
+            "fss-jl",
+            "jl-fss-jl",
+            "bklw",
+            "jl-bklw",
+        ] {
+            pipelines.push(resolve_named(name, params)?);
+        }
+        if let Some(lists) = stages_flag {
+            for list in lists.split(';').filter(|l| !l.trim().is_empty()) {
+                pipelines.push(composition_from(list, params)?);
+            }
+        }
+    } else if let Some(list) = stages_flag {
+        pipelines.push(composition_from(list, params)?);
+    } else {
+        pipelines.push(resolve_named(
+            &args.get_str("pipeline", "jl-fss-jl"),
+            params,
+        )?);
+    }
+    Ok(pipelines
+        .into_iter()
+        .map(|p| p.with_parallel(parallel))
+        .collect())
+}
+
+/// Builds a `--stages` composition, honoring `--quantize` the way the
+/// named `+QT` variants do: if the list has no explicit `qt` stage, one
+/// is armed before the summary is transmitted (before `disss` in
+/// distributed lists, since quantization applies to the wire).
+fn composition_from(list: &str, params: &SummaryParams) -> Result<StagePipeline, String> {
+    let stages = Stage::parse_list(list).map_err(|e| e.to_string())?;
+    let stages = edge_kmeans::core::stage::with_default_qt(stages, params);
+    Ok(StagePipeline::new(stages, params.clone()))
+}
+
+fn run_one(
+    pipe: &StagePipeline,
     data: &Matrix,
     sources: usize,
     reference_cost: f64,
 ) -> Result<(), String> {
     let (n, d) = data.shape();
-    let centralized: Option<Box<dyn CentralizedPipeline>> = match name {
-        "nr" => Some(Box::new(NoReduction::new(params.clone()))),
-        "fss" => Some(Box::new(Fss::new(params.clone()))),
-        "jl-fss" => Some(Box::new(JlFss::new(params.clone()))),
-        "fss-jl" => Some(Box::new(FssJl::new(params.clone()))),
-        "jl-fss-jl" => Some(Box::new(JlFssJl::new(params.clone()))),
-        _ => None,
-    };
-    let out = if let Some(pipe) = centralized {
-        let mut net = Network::new(1);
-        let out = pipe.run(data, &mut net).map_err(|e| e.to_string())?;
-        (pipe.name(), out)
-    } else {
-        let pipe: Box<dyn DistributedPipeline> = match name {
-            "bklw" => Box::new(Bklw::new(params.clone())),
-            "jl-bklw" => Box::new(JlBklw::new(params.clone())),
-            "bklw-jl" => Box::new(BklwJl::new(params.clone())),
-            other => return Err(format!("unknown pipeline '{other}'")),
-        };
-        let shards = partition_uniform(data, sources, params.seed).map_err(|e| e.to_string())?;
+    let out = if pipe.is_distributed() {
+        let shards =
+            partition_uniform(data, sources, pipe.params().seed).map_err(|e| e.to_string())?;
         let mut net = Network::new(sources);
-        let out = pipe.run(&shards, &mut net).map_err(|e| e.to_string())?;
-        (pipe.name(), out)
+        pipe.run_shards(&shards, &mut net)
+            .map_err(|e| e.to_string())?
+    } else {
+        let mut net = Network::new(1);
+        pipe.run(data, &mut net).map_err(|e| e.to_string())?
     };
-    let (display, out) = out;
+    let display = pipe.name();
     let nc = evaluation::normalized_cost(data, &out.centers, reference_cost)
         .map_err(|e| e.to_string())?;
     println!(
@@ -218,16 +308,11 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let (n, d) = data.shape();
     let params = build_params(args, n, d)?;
     let sources = args.get_usize("sources", 10)?;
+    let pipelines = select_pipelines(args, &params, false)?;
     println!("dataset {n} x {d}, k = {}", params.k);
     let reference = evaluation::reference(&data, params.k, 5, 1).map_err(|e| e.to_string())?;
     println!("reference cost: {:.4}\n", reference.cost);
-    run_one(
-        &args.get_str("pipeline", "jl-fss-jl"),
-        &params,
-        &data,
-        sources,
-        reference.cost,
-    )
+    run_one(&pipelines[0], &data, sources, reference.cost)
 }
 
 fn cmd_sweep(args: &Args) -> Result<(), String> {
@@ -235,13 +320,29 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     let (n, d) = data.shape();
     let params = build_params(args, n, d)?;
     let sources = args.get_usize("sources", 10)?;
+    let pipelines = select_pipelines(args, &params, true)?;
     println!("dataset {n} x {d}, k = {}", params.k);
     let reference = evaluation::reference(&data, params.k, 5, 1).map_err(|e| e.to_string())?;
     println!("reference cost: {:.4}\n", reference.cost);
-    for name in ["nr", "fss", "jl-fss", "fss-jl", "jl-fss-jl", "bklw", "jl-bklw"] {
-        run_one(name, &params, &data, sources, reference.cost)?;
+    // Keep sweeping after a failure so the table stays comparable, but
+    // report every failure and exit nonzero if any pipeline failed.
+    let mut failures = Vec::new();
+    for pipe in &pipelines {
+        if let Err(e) = run_one(pipe, &data, sources, reference.cost) {
+            eprintln!("{:<14} error: {e}", pipe.name());
+            failures.push(pipe.name());
+        }
     }
-    Ok(())
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} of {} pipelines failed: {}",
+            failures.len(),
+            pipelines.len(),
+            failures.join(", ")
+        ))
+    }
 }
 
 fn cmd_qtopt(args: &Args) -> Result<(), String> {
@@ -353,5 +454,93 @@ mod tests {
     fn default_command_is_help() {
         let a = args(&[]).unwrap();
         assert_eq!(a.command, "help");
+    }
+
+    fn test_params() -> SummaryParams {
+        SummaryParams::practical(2, 100, 10)
+    }
+
+    #[test]
+    fn every_named_pipeline_resolves() {
+        for name in PIPELINES {
+            let pipe = resolve_named(name, &test_params()).unwrap();
+            assert!(!pipe.name().is_empty(), "{name}");
+        }
+    }
+
+    #[test]
+    fn unknown_pipeline_lists_valid_names() {
+        let err = resolve_named("jlfss", &test_params()).unwrap_err();
+        assert!(err.contains("jlfss"));
+        assert!(err.contains("jl-fss-jl"), "{err}");
+        assert!(err.contains("--stages"), "{err}");
+    }
+
+    #[test]
+    fn stages_flag_builds_composition() {
+        let a = args(&["run", "--stages", "jl,fss,qt,jl"]).unwrap();
+        let pipes = select_pipelines(&a, &test_params(), false).unwrap();
+        assert_eq!(pipes.len(), 1);
+        assert_eq!(pipes[0].name(), "JL+FSS+QT+JL");
+        assert!(!pipes[0].is_distributed());
+        let a = args(&["run", "--stages", "dispca,jl,disss"]).unwrap();
+        let pipes = select_pipelines(&a, &test_params(), false).unwrap();
+        assert!(pipes[0].is_distributed());
+    }
+
+    #[test]
+    fn bad_stage_lists_are_rejected_with_vocabulary() {
+        let a = args(&["run", "--stages", "jl,warp"]).unwrap();
+        let err = select_pipelines(&a, &test_params(), false).unwrap_err();
+        assert!(err.contains("warp"), "{err}");
+        assert!(err.contains("dispca"), "{err}");
+    }
+
+    #[test]
+    fn pipeline_and_stages_are_exclusive() {
+        let a = args(&["run", "--pipeline", "fss", "--stages", "jl"]).unwrap();
+        assert!(select_pipelines(&a, &test_params(), false)
+            .unwrap_err()
+            .contains("mutually exclusive"));
+    }
+
+    #[test]
+    fn sweep_appends_extra_compositions() {
+        let a = args(&["sweep", "--stages", "jl,fss;fss,jl,qt:6"]).unwrap();
+        let pipes = select_pipelines(&a, &test_params(), true).unwrap();
+        assert_eq!(pipes.len(), 9, "seven defaults + two extras");
+        assert_eq!(pipes[7].name(), "JL+FSS");
+        assert_eq!(pipes[8].name(), "FSS+JL+QT");
+    }
+
+    #[test]
+    fn quantize_flag_reaches_stage_compositions() {
+        // --quantize with --stages must arm a QT stage (before disss in
+        // distributed lists), exactly like the named +QT variants.
+        let q = RoundingQuantizer::new(8).unwrap();
+        let p = test_params().with_quantizer(q);
+        let pipe = composition_from("jl,fss", &p).unwrap();
+        assert_eq!(pipe.name(), "JL+FSS+QT");
+        let pipe = composition_from("dispca,disss", &p).unwrap();
+        assert_eq!(pipe.name(), "disPCA+QT+disSS");
+        // An explicit qt stage is not duplicated.
+        let pipe = composition_from("jl,fss,qt:4", &p).unwrap();
+        assert_eq!(pipe.name(), "JL+FSS+QT");
+        assert_eq!(pipe.stages().len(), 3);
+        // Without a quantizer nothing is inserted.
+        let pipe = composition_from("jl,fss", &test_params()).unwrap();
+        assert_eq!(pipe.stages().len(), 2);
+    }
+
+    #[test]
+    fn parallel_flag_parses() {
+        for (v, ok) in [("on", true), ("off", true), ("1", true), ("maybe", false)] {
+            let a = args(&["run", "--parallel", v]).unwrap();
+            assert_eq!(
+                select_pipelines(&a, &test_params(), false).is_ok(),
+                ok,
+                "{v}"
+            );
+        }
     }
 }

@@ -45,7 +45,11 @@ fn figure1_regime_mnist_like_costs_near_one() {
             "{}: normalized cost {nc} too far from 1",
             pipe.name()
         );
-        assert!(nc > 0.95, "{}: normalized cost {nc} suspiciously low", pipe.name());
+        assert!(
+            nc > 0.95,
+            "{}: normalized cost {nc} suspiciously low",
+            pipe.name()
+        );
     }
 }
 
@@ -81,7 +85,10 @@ fn table3_shape_all_reductions_below_percent_of_raw() {
         comm.insert(pipe.name(), out.normalized_comm(n, d));
     }
     for (name, c) in &comm {
-        assert!(*c < 0.1, "{name}: normalized comm {c} not a drastic reduction");
+        assert!(
+            *c < 0.1,
+            "{name}: normalized comm {c} not a drastic reduction"
+        );
     }
     assert!(comm["JL+FSS"] < comm["FSS"], "JL+FSS must beat FSS on comm");
     assert!(comm["FSS+JL"] < comm["FSS"], "FSS+JL must beat FSS on comm");

@@ -60,10 +60,7 @@ fn every_source_participates_in_uplink() {
     let mut net = Network::new(10);
     let _ = JlBklw::new(params).run(&shards, &mut net).unwrap();
     for i in 0..10 {
-        assert!(
-            net.stats().uplink_bits(i) > 0,
-            "source {i} sent nothing"
-        );
+        assert!(net.stats().uplink_bits(i) > 0, "source {i} sent nothing");
         assert!(
             net.stats().downlink_bits(i) > 0,
             "source {i} received nothing (basis broadcast missing?)"
@@ -100,8 +97,7 @@ fn distributed_matches_centralized_quality() {
 
     let mut net1 = Network::new(1);
     let central = JlFss::new(params.clone()).run(&data, &mut net1).unwrap();
-    let nc_central =
-        evaluation::normalized_cost(&data, &central.centers, reference.cost).unwrap();
+    let nc_central = evaluation::normalized_cost(&data, &central.centers, reference.cost).unwrap();
 
     let shards = partition_uniform(&data, 10, 12).unwrap();
     let mut net10 = Network::new(10);
@@ -126,7 +122,9 @@ fn quantized_distributed_pipelines() {
     let mut net1 = Network::new(10);
     let plain = JlBklw::new(base.clone()).run(&shards, &mut net1).unwrap();
     let mut net2 = Network::new(10);
-    let quant = JlBklw::new(base.with_quantizer(q)).run(&shards, &mut net2).unwrap();
+    let quant = JlBklw::new(base.with_quantizer(q))
+        .run(&shards, &mut net2)
+        .unwrap();
 
     assert!(
         quant.uplink_bits < plain.uplink_bits,

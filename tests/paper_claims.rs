@@ -19,6 +19,17 @@ fn workload(seed: u64) -> Matrix {
     normalize_paper(&ds.points).0
 }
 
+/// Best-of-3 source time. The pipelines are deterministic given their
+/// seed, so repeated runs produce identical outputs and the minimum
+/// isolates intrinsic compute from scheduler noise — the test binary
+/// runs suites in parallel, and a preempted single run can otherwise
+/// flip the complexity comparisons below.
+fn best_source_seconds(mut run: impl FnMut() -> RunOutput) -> f64 {
+    (0..3)
+        .map(|_| run().source_seconds)
+        .fold(f64::INFINITY, f64::min)
+}
+
 #[test]
 fn observation_1_summaries_give_good_cheap_solutions() {
     let data = workload(1);
@@ -27,8 +38,10 @@ fn observation_1_summaries_give_good_cheap_solutions() {
     let params = SummaryParams::practical(2, n, d).with_seed(2);
 
     let mut net = Network::new(1);
-    let nr = NoReduction::new(params.clone()).run(&data, &mut net).unwrap();
-    let summary = JlFssJl::new(params).run(&data, &mut net).unwrap();
+    let nr = NoReduction::new(params.clone())
+        .run(&data, &mut net)
+        .unwrap();
+    let summary = JlFssJl::new(params.clone()).run(&data, &mut net).unwrap();
 
     // "reasonably good solution"
     let nc = evaluation::normalized_cost(&data, &summary.centers, reference.cost).unwrap();
@@ -42,7 +55,12 @@ fn observation_1_summaries_give_good_cheap_solutions() {
     );
     // "without incurring a high complexity at data sources" — well under
     // a second at this scale.
-    assert!(summary.source_seconds < 1.0);
+    let best = best_source_seconds(|| {
+        JlFssJl::new(params.clone())
+            .run(&data, &mut Network::new(1))
+            .unwrap()
+    });
+    assert!(best < 1.0, "device time {best}s");
 }
 
 #[test]
@@ -58,12 +76,28 @@ fn observation_2_proposed_beat_baselines() {
     let alg1 = JlFss::new(params.clone()).run(&data, &mut net).unwrap();
     let nc_fss = evaluation::normalized_cost(&data, &fss.centers, reference.cost).unwrap();
     let nc_alg1 = evaluation::normalized_cost(&data, &alg1.centers, reference.cost).unwrap();
-    assert!(alg1.uplink_bits < fss.uplink_bits, "Alg 1 must cut bits vs FSS");
     assert!(
-        alg1.source_seconds < fss.source_seconds,
-        "Alg 1 must cut device time vs FSS"
+        alg1.uplink_bits < fss.uplink_bits,
+        "Alg 1 must cut bits vs FSS"
     );
-    assert!(nc_alg1 < nc_fss + 0.35, "similar quality: {nc_alg1} vs {nc_fss}");
+    let fss_secs = best_source_seconds(|| {
+        Fss::new(params.clone())
+            .run(&data, &mut Network::new(1))
+            .unwrap()
+    });
+    let alg1_secs = best_source_seconds(|| {
+        JlFss::new(params.clone())
+            .run(&data, &mut Network::new(1))
+            .unwrap()
+    });
+    assert!(
+        alg1_secs < fss_secs,
+        "Alg 1 must cut device time vs FSS ({alg1_secs}s vs {fss_secs}s)"
+    );
+    assert!(
+        nc_alg1 < nc_fss + 0.35,
+        "similar quality: {nc_alg1} vs {nc_fss}"
+    );
 
     // Distributed: Algorithm 4 vs the BKLW baseline.
     let shards = partition_uniform(&data, 10, 5).unwrap();
@@ -73,8 +107,14 @@ fn observation_2_proposed_beat_baselines() {
     let alg4 = JlBklw::new(params).run(&shards, &mut net_b).unwrap();
     let nc_bklw = evaluation::normalized_cost(&data, &bklw.centers, reference.cost).unwrap();
     let nc_alg4 = evaluation::normalized_cost(&data, &alg4.centers, reference.cost).unwrap();
-    assert!(alg4.uplink_bits < bklw.uplink_bits, "Alg 4 must cut bits vs BKLW");
-    assert!(nc_alg4 < nc_bklw + 0.35, "similar quality: {nc_alg4} vs {nc_bklw}");
+    assert!(
+        alg4.uplink_bits < bklw.uplink_bits,
+        "Alg 4 must cut bits vs BKLW"
+    );
+    assert!(
+        nc_alg4 < nc_bklw + 0.35,
+        "similar quality: {nc_alg4} vs {nc_bklw}"
+    );
 }
 
 #[test]
@@ -84,10 +124,11 @@ fn observation_3_quantization_is_free_bits() {
     let reference = evaluation::reference(&data, 2, 5, 3).unwrap();
     let base = SummaryParams::practical(2, n, d).with_seed(7);
 
+    let q = RoundingQuantizer::new(10).unwrap();
+    let base_q = base.clone().with_quantizer(q);
     let mut net = Network::new(1);
     let plain = JlFssJl::new(base.clone()).run(&data, &mut net).unwrap();
-    let q = RoundingQuantizer::new(10).unwrap();
-    let quant = JlFssJl::new(base.with_quantizer(q)).run(&data, &mut net).unwrap();
+    let quant = JlFssJl::new(base_q.clone()).run(&data, &mut net).unwrap();
 
     // "further reduce the communication cost by 2/3" (paper §7.3.2 (i)).
     assert!(
@@ -104,7 +145,17 @@ fn observation_3_quantization_is_free_bits() {
         "quantized cost {nc_quant} vs plain {nc_plain}"
     );
     // "or the running time"
-    assert!(quant.source_seconds < plain.source_seconds * 3.0 + 0.05);
+    let plain_secs = best_source_seconds(|| {
+        JlFssJl::new(base.clone())
+            .run(&data, &mut Network::new(1))
+            .unwrap()
+    });
+    let quant_secs = best_source_seconds(|| {
+        JlFssJl::new(base_q.clone())
+            .run(&data, &mut Network::new(1))
+            .unwrap()
+    });
+    assert!(quant_secs < plain_secs * 3.0 + 0.05);
 }
 
 #[test]
@@ -117,11 +168,24 @@ fn headline_order_matters_tradeoff() {
     let mut net = Network::new(1);
     let alg1 = JlFss::new(params.clone()).run(&data, &mut net).unwrap();
     let alg2 = FssJl::new(params.clone()).run(&data, &mut net).unwrap();
-    let alg3 = JlFssJl::new(params).run(&data, &mut net).unwrap();
+    let alg3 = JlFssJl::new(params.clone()).run(&data, &mut net).unwrap();
 
     // Alg 3 matches Alg 2's bits…
     assert!(alg3.uplink_bits <= alg2.uplink_bits + alg2.uplink_bits / 100);
     assert!(alg3.uplink_bits < alg1.uplink_bits);
     // …and Alg 1's device speed (Alg 2 pays the exact-SVD price).
-    assert!(alg3.source_seconds < alg2.source_seconds / 2.0);
+    let alg2_secs = best_source_seconds(|| {
+        FssJl::new(params.clone())
+            .run(&data, &mut Network::new(1))
+            .unwrap()
+    });
+    let alg3_secs = best_source_seconds(|| {
+        JlFssJl::new(params.clone())
+            .run(&data, &mut Network::new(1))
+            .unwrap()
+    });
+    assert!(
+        alg3_secs < alg2_secs / 2.0,
+        "Alg 3 device time {alg3_secs}s vs Alg 2 {alg2_secs}s"
+    );
 }

@@ -104,7 +104,10 @@ fn rerunning_same_pipeline_same_bits() {
     let params = SummaryParams::practical(2, n, d).with_seed(10);
     let run = || {
         let mut net = Network::new(1);
-        FssJl::new(params.clone()).run(&data, &mut net).unwrap().uplink_bits
+        FssJl::new(params.clone())
+            .run(&data, &mut net)
+            .unwrap()
+            .uplink_bits
     };
     assert_eq!(run(), run());
 }

@@ -61,7 +61,9 @@ fn all_quantized_pipeline_variants_run() {
     let data = workload(800, 10, 5);
     let (n, d) = data.shape();
     let q = RoundingQuantizer::new(16).unwrap();
-    let params = SummaryParams::practical(2, n, d).with_seed(6).with_quantizer(q);
+    let params = SummaryParams::practical(2, n, d)
+        .with_seed(6)
+        .with_quantizer(q);
     let variants: Vec<Box<dyn CentralizedPipeline>> = vec![
         Box::new(Fss::new(params.clone())),
         Box::new(JlFss::new(params.clone())),
@@ -102,13 +104,18 @@ fn section63_optimizer_on_real_lower_bound() {
 
     // The chosen s must be *feasible* and runnable end to end.
     let q = report.best_quantizer();
-    let params = SummaryParams::practical(2, n, d).with_seed(9).with_quantizer(q);
+    let params = SummaryParams::practical(2, n, d)
+        .with_seed(9)
+        .with_quantizer(q);
     let mut net = Network::new(1);
     let out = JlFssJl::new(params).run(&data, &mut net).unwrap();
     let reference = evaluation::reference(&data, 2, 5, 2).unwrap();
     let nc = evaluation::normalized_cost(&data, &out.centers, reference.cost).unwrap();
     // The optimizer's bound Y0 = 2.5 is loose; empirically we stay near 1.
-    assert!(nc < 2.5, "normalized cost {nc} violates the optimizer bound");
+    assert!(
+        nc < 2.5,
+        "normalized cost {nc} violates the optimizer bound"
+    );
 }
 
 #[test]
@@ -120,7 +127,10 @@ fn eq14_error_bound_holds_on_pipeline_payloads() {
         let q = RoundingQuantizer::new(s).unwrap();
         let measured = q.measured_max_error(&data);
         let bound = q.max_error_bound(data.max_row_norm());
-        assert!(measured <= bound * (1.0 + 1e-12), "s={s}: {measured} > {bound}");
+        assert!(
+            measured <= bound * (1.0 + 1e-12),
+            "s={s}: {measured} > {bound}"
+        );
     }
 }
 

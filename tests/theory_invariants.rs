@@ -146,7 +146,10 @@ fn epsilon_tightening_grows_every_derived_size() {
         let coreset = edge_kmeans::coreset::size::theorem32_fss_size(2, eps, 0.1);
         assert!(jl > last_jl, "JL dim not growing at ε={eps}");
         assert!(pca > last_pca, "PCA dim not growing at ε={eps}");
-        assert!(coreset > last_coreset, "coreset size not growing at ε={eps}");
+        assert!(
+            coreset > last_coreset,
+            "coreset size not growing at ε={eps}"
+        );
         last_jl = jl;
         last_pca = pca;
         last_coreset = coreset;
@@ -167,5 +170,8 @@ fn approximation_chain_theorem42_shape() {
     let nc = evaluation::normalized_cost(&data, &out.centers, reference.cost).unwrap();
     let eps = 0.25f64; // practical dims correspond to a much smaller eff. ε
     let bound = (1.0 + eps).powi(5) / (1.0 - eps);
-    assert!(nc <= bound, "normalized cost {nc} above Theorem 4.2 bound {bound}");
+    assert!(
+        nc <= bound,
+        "normalized cost {nc} above Theorem 4.2 bound {bound}"
+    );
 }
