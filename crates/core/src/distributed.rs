@@ -21,6 +21,7 @@
 //! The named pipelines are canned stage lists over the generic
 //! [`StagePipeline`] engine, exactly like their centralized siblings.
 
+use crate::complexity;
 use crate::engine::{par_map, par_map_sources, StagePipeline};
 use crate::params::SummaryParams;
 use crate::pipelines::{expect_coreset, quantize_for_wire};
@@ -32,7 +33,7 @@ use ekm_coreset::Coreset;
 use ekm_linalg::random::{derive_seed, rng_from_seed, sample_weighted_indices};
 use ekm_linalg::{ops, svd, Matrix};
 use ekm_net::messages::Message;
-use ekm_net::Network;
+use ekm_net::{Network, Transport, TransportLink};
 use std::borrow::Borrow;
 use std::time::Instant;
 
@@ -72,6 +73,9 @@ pub struct DisPcaOutput {
     pub source_seconds: f64,
     /// Server compute seconds.
     pub server_seconds: f64,
+    /// Deterministic per-source operation count (max over sources per
+    /// phase, summed over phases).
+    pub source_ops: u64,
 }
 
 /// Computes the top-`t` local SVD summary `(σ, V)` of one shard.
@@ -94,7 +98,7 @@ fn local_svd_summary(data: &Matrix, t: usize) -> Result<(Vec<f64>, Matrix)> {
 /// # Errors
 ///
 /// Propagates SVD and protocol failures; rejects empty shard lists.
-pub fn dispca(shards: &[Matrix], t: usize, net: &mut Network) -> Result<DisPcaOutput> {
+pub fn dispca<T: Transport>(shards: &[Matrix], t: usize, net: &mut T) -> Result<DisPcaOutput> {
     dispca_opts(shards, t, net, true)
 }
 
@@ -105,10 +109,10 @@ pub fn dispca(shards: &[Matrix], t: usize, net: &mut Network) -> Result<DisPcaOu
 /// # Errors
 ///
 /// See [`dispca`].
-pub fn dispca_opts<S: Borrow<Matrix> + Sync>(
+pub fn dispca_opts<S: Borrow<Matrix> + Sync, T: Transport>(
     shards: &[S],
     t: usize,
-    net: &mut Network,
+    net: &mut T,
     parallel: bool,
 ) -> Result<DisPcaOutput> {
     if shards.is_empty() {
@@ -128,8 +132,7 @@ pub fn dispca_opts<S: Borrow<Matrix> + Sync>(
         });
     }
 
-    let mut links = net.links();
-    links.truncate(shards.len());
+    let mut links = net.take_links(shards.len())?;
 
     // Step 1: local SVDs on concurrent workers, summaries uplinked
     // through each source's own link.
@@ -200,13 +203,26 @@ pub fn dispca_opts<S: Borrow<Matrix> + Sync>(
         })
         .collect();
 
-    net.absorb(links);
+    net.absorb_links(links);
+
+    // Local SVD phase + projection phase, each the max over sources.
+    let source_ops = shards
+        .iter()
+        .map(|s| complexity::svd(s.borrow().rows(), d))
+        .max()
+        .unwrap_or(0)
+        + shards
+            .iter()
+            .map(|s| complexity::matmul(s.borrow().rows(), d, basis.cols()))
+            .max()
+            .unwrap_or(0);
 
     Ok(DisPcaOutput {
         basis,
         coords,
         source_seconds: source_seconds + post_seconds,
         server_seconds,
+        source_ops,
     })
 }
 
@@ -219,6 +235,9 @@ pub struct DisSsOutput {
     pub source_seconds: f64,
     /// Server compute seconds.
     pub server_seconds: f64,
+    /// Deterministic per-source operation count (max over sources per
+    /// phase, summed over phases).
+    pub source_ops: u64,
 }
 
 /// Runs the disSS protocol (paper §5.1, Theorem 5.2) over per-source
@@ -230,13 +249,13 @@ pub struct DisSsOutput {
 /// # Errors
 ///
 /// Propagates clustering and protocol failures.
-pub fn disss(
+pub fn disss<T: Transport>(
     shard_points: &[Matrix],
     k: usize,
     sample_size: usize,
     seed: u64,
     quantizer: Option<&ekm_quant::RoundingQuantizer>,
-    net: &mut Network,
+    net: &mut T,
 ) -> Result<DisSsOutput> {
     disss_opts(shard_points, k, sample_size, seed, quantizer, net, true)
 }
@@ -247,13 +266,13 @@ pub fn disss(
 /// # Errors
 ///
 /// See [`disss`].
-pub fn disss_opts<S: Borrow<Matrix> + Sync>(
+pub fn disss_opts<S: Borrow<Matrix> + Sync, T: Transport>(
     shard_points: &[S],
     k: usize,
     sample_size: usize,
     seed: u64,
     quantizer: Option<&ekm_quant::RoundingQuantizer>,
-    net: &mut Network,
+    net: &mut T,
     parallel: bool,
 ) -> Result<DisSsOutput> {
     if shard_points.is_empty() {
@@ -272,8 +291,7 @@ pub fn disss_opts<S: Borrow<Matrix> + Sync>(
             reason: "more shards than network sources",
         });
     }
-    let mut links = net.links();
-    links.truncate(m);
+    let mut links = net.take_links(m)?;
 
     // Step 1: local bicriteria solutions + cost reports, concurrently.
     let step1 = par_map_sources(shard_points, &mut links, parallel, |i, shard, link| {
@@ -399,17 +417,41 @@ pub fn disss_opts<S: Borrow<Matrix> + Sync>(
         source_seconds = source_seconds.max(secs);
         parts.push(part);
     }
-    net.absorb(links);
+    net.absorb_links(links);
 
     // Step 4: server merges.
     let t1 = Instant::now();
     let coreset = Coreset::merge(parts.iter()).map_err(CoreError::Coreset)?;
     let server_seconds = t1.elapsed().as_secs_f64();
 
+    // Bicriteria phase + sample/assign phase, each the max over sources
+    // (a source only quantizes its own allocated samples + centers).
+    let d = shard_points[0].borrow().cols();
+    let bicriteria_phase = shard_points
+        .iter()
+        .map(|s| complexity::bicriteria(s.borrow().rows(), d, k))
+        .max()
+        .unwrap_or(0);
+    let sample_phase = shard_points
+        .iter()
+        .zip(&allocations)
+        .map(|(s, &s_i)| {
+            let quant = if quantizer.is_some() {
+                complexity::quantize(s_i + k, d)
+            } else {
+                0
+            };
+            complexity::assign(s.borrow().rows(), d, k) + quant
+        })
+        .max()
+        .unwrap_or(0);
+    let source_ops = bicriteria_phase + sample_phase;
+
     Ok(DisSsOutput {
         coreset,
         source_seconds,
         server_seconds,
+        source_ops,
     })
 }
 

@@ -29,11 +29,17 @@
 //! Multi-source execution is concurrent: per-source stage work (local
 //! SVDs, bicriteria, projections, sampling, transmission) runs on
 //! `std::thread::scope` workers, each owning an independent
-//! [`ekm_net::network::SourceLink`] whose lock-free counters are merged
+//! [`ekm_net::TransportLink`] whose lock-free counters are merged
 //! at the barrier — so bit accounting stays exact and results are
 //! bit-identical to sequential execution (every source's randomness is
 //! derived from its own seed stream).
+//!
+//! The engine is generic over [`ekm_net::Transport`]: the example above
+//! runs the in-process [`Network`] simulation, and the same pipeline —
+//! same stages, same seeds, bit-identical counters and centers — runs
+//! over the TCP backend ([`ekm_net::tcp`]) across real processes.
 
+use crate::complexity;
 use crate::params::SummaryParams;
 use crate::pipelines::{expect_basis, expect_coreset, quantize_for_wire, seeds};
 use crate::projection::MaybeProjection;
@@ -44,8 +50,7 @@ use ekm_coreset::FssBuilder;
 use ekm_linalg::random::derive_seed;
 use ekm_linalg::{ops, Matrix};
 use ekm_net::messages::Message;
-use ekm_net::network::SourceLink;
-use ekm_net::Network;
+use ekm_net::{Transport, TransportLink};
 use ekm_quant::RoundingQuantizer;
 use std::borrow::Cow;
 use std::time::Instant;
@@ -53,7 +58,7 @@ use std::time::Instant;
 /// The state a stage list transforms: per-source working points, the
 /// summary triple once a CR stage has run, the pending basis, and the
 /// projection chain the server will invert. (The bit ledger lives in the
-/// [`Network`] counters / [`SourceLink`]s.)
+/// [`Transport`]'s counters and links.)
 ///
 /// Crate-private: stages are the only writers, and the engine's public
 /// surface is the stage list itself.
@@ -92,6 +97,9 @@ pub(crate) struct SummaryState<'a> {
     source_seconds: f64,
     /// Accumulated server compute seconds.
     server_seconds: f64,
+    /// Accumulated deterministic per-source operation count (max over
+    /// sources per phase, summed over phases — see [`complexity`]).
+    source_ops: u64,
 }
 
 impl<'a> SummaryState<'a> {
@@ -110,6 +118,7 @@ impl<'a> SummaryState<'a> {
             any_reduction: false,
             source_seconds: 0.0,
             server_seconds: 0.0,
+            source_ops: 0,
         }
     }
 
@@ -229,12 +238,13 @@ impl StagePipeline {
     }
 
     /// Runs the pipeline on a single data source, charging all traffic
-    /// to source 0 of `net`.
+    /// to source 0 of `net` (any [`Transport`]: the in-process
+    /// simulation or a socket backend).
     ///
     /// # Errors
     ///
     /// Propagates configuration, numeric, and protocol failures.
-    pub fn run(&self, data: &Matrix, net: &mut Network) -> Result<RunOutput> {
+    pub fn run<T: Transport>(&self, data: &Matrix, net: &mut T) -> Result<RunOutput> {
         self.run_parts(vec![Cow::Borrowed(data)], net)
     }
 
@@ -244,11 +254,15 @@ impl StagePipeline {
     /// # Errors
     ///
     /// Propagates configuration, numeric, and protocol failures.
-    pub fn run_shards(&self, shards: &[Matrix], net: &mut Network) -> Result<RunOutput> {
+    pub fn run_shards<T: Transport>(&self, shards: &[Matrix], net: &mut T) -> Result<RunOutput> {
         self.run_parts(shards.iter().map(Cow::Borrowed).collect(), net)
     }
 
-    fn run_parts(&self, parts: Vec<Cow<'_, Matrix>>, net: &mut Network) -> Result<RunOutput> {
+    fn run_parts<T: Transport>(
+        &self,
+        parts: Vec<Cow<'_, Matrix>>,
+        net: &mut T,
+    ) -> Result<RunOutput> {
         if parts.is_empty() {
             return Err(CoreError::InvalidConfig {
                 reason: "no shards",
@@ -294,6 +308,7 @@ impl StagePipeline {
                     state.any_reduction = true;
                     state.source_seconds += out.source_seconds;
                     state.server_seconds += out.server_seconds;
+                    state.source_ops += out.source_ops;
                 }
                 Stage::DisSs(cfg) => {
                     state.require_source_side()?;
@@ -318,6 +333,7 @@ impl StagePipeline {
                     state.any_reduction = true;
                     state.source_seconds += out.source_seconds;
                     state.server_seconds += out.server_seconds;
+                    state.source_ops += out.source_ops;
                 }
             }
         }
@@ -348,6 +364,12 @@ impl StagePipeline {
             let p = pi.project(part.as_ref())?;
             Ok((p, t0.elapsed().as_secs_f64()))
         })?;
+        state.source_ops += state
+            .parts
+            .iter()
+            .map(|p| complexity::matmul(p.rows(), cur, target))
+            .max()
+            .unwrap_or(0);
         let mut phase = 0.0f64;
         state.parts = projected
             .into_iter()
@@ -383,6 +405,7 @@ impl StagePipeline {
             .map(|t| t.clamp(1, cur))
             .unwrap_or_else(|| self.params.effective_pca_dim(cur));
         let size = cfg.sample_size.unwrap_or(self.params.coreset_size);
+        state.source_ops += complexity::fss(state.parts[0].rows(), cur, self.params.k);
         let fss = FssBuilder::new(self.params.k)
             .with_pca_dim(t)
             .with_sample_size(size)
@@ -400,14 +423,12 @@ impl StagePipeline {
 
     /// Ships whatever the sources still hold to the server and returns
     /// the (decoded) points and weights the server will cluster.
-    fn transmit(&self, state: &mut SummaryState, net: &mut Network) -> Result<(Matrix, Vec<f64>)> {
-        let mut links = net.links();
-        links.truncate(state.parts.len());
-        if links.len() < state.parts.len() {
-            return Err(CoreError::InvalidConfig {
-                reason: "more shards than network sources",
-            });
-        }
+    fn transmit<T: Transport>(
+        &self,
+        state: &mut SummaryState,
+        net: &mut T,
+    ) -> Result<(Matrix, Vec<f64>)> {
+        let mut links = net.take_links(state.parts.len())?;
 
         // An FSS basis travels first (disPCA's was already broadcast).
         if let Some(basis) = &state.basis {
@@ -428,6 +449,10 @@ impl StagePipeline {
             // A coreset summary: single source by construction.
             Some(weights) => {
                 let t0 = Instant::now();
+                if state.quantizer.is_some() {
+                    state.source_ops +=
+                        complexity::quantize(state.parts[0].rows(), state.parts[0].cols());
+                }
                 let (wire, precision) =
                     quantize_for_wire(state.parts[0].as_ref(), state.quantizer.as_ref());
                 let msg = Message::Coreset {
@@ -446,11 +471,19 @@ impl StagePipeline {
             // into their messages — transmission is their last use.
             None => {
                 let quantizer = state.quantizer;
+                if quantizer.is_some() {
+                    state.source_ops += state
+                        .parts
+                        .iter()
+                        .map(|p| complexity::quantize(p.rows(), p.cols()))
+                        .max()
+                        .unwrap_or(0);
+                }
                 let parts = std::mem::take(&mut state.parts);
                 let decoded = par_map_owned(
                     parts.into_iter().zip(links.iter_mut()).collect(),
                     self.parallel,
-                    |_i, (part, link): (Cow<'_, Matrix>, &mut SourceLink)| {
+                    |_i, (part, link): (Cow<'_, Matrix>, &mut T::Link)| {
                         let t0 = Instant::now();
                         let msg = match &quantizer {
                             Some(q) => {
@@ -496,16 +529,16 @@ impl StagePipeline {
                 (stacked, weights)
             }
         };
-        net.absorb(links);
+        net.absorb_links(links);
         Ok(result)
     }
 
     /// The shared tail of every pipeline: weighted k-means at the
     /// server, then the lift back through basis and projection chain.
-    fn finalize(
+    fn finalize<T: Transport>(
         &self,
         mut state: SummaryState<'_>,
-        net: &mut Network,
+        net: &mut T,
         up0: u64,
         down0: u64,
     ) -> Result<RunOutput> {
@@ -537,6 +570,7 @@ impl StagePipeline {
             downlink_bits: net.stats().total_downlink_bits() - down0,
             source_seconds: state.source_seconds,
             server_seconds: state.server_seconds,
+            source_ops: state.source_ops,
             summary_points: points.rows(),
         })
     }
@@ -599,19 +633,20 @@ where
     par_map_owned(items.iter().collect(), parallel, f)
 }
 
-/// [`par_map`] pairing each source's item with its [`SourceLink`], so
+/// [`par_map`] pairing each source's item with its [`TransportLink`], so
 /// protocol phases can transmit concurrently with exact per-source
-/// accounting (merged by the caller via [`Network::absorb`]).
-pub(crate) fn par_map_sources<I, T, F>(
+/// accounting (merged by the caller via [`Transport::absorb_links`]).
+pub(crate) fn par_map_sources<I, L, T, F>(
     parts: &[I],
-    links: &mut [SourceLink],
+    links: &mut [L],
     parallel: bool,
     f: F,
 ) -> Result<Vec<T>>
 where
     I: Sync,
+    L: TransportLink + Send,
     T: Send,
-    F: Fn(usize, &I, &mut SourceLink) -> Result<T> + Sync,
+    F: Fn(usize, &I, &mut L) -> Result<T> + Sync,
 {
     assert_eq!(parts.len(), links.len(), "one link per source");
     par_map_owned(
@@ -626,6 +661,7 @@ mod tests {
     use super::*;
     use ekm_data::partition::partition_uniform;
     use ekm_data::synth::GaussianMixture;
+    use ekm_net::Network;
 
     fn workload(n: usize, d: usize, seed: u64) -> Matrix {
         let raw = GaussianMixture::new(n, d, 2)

@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod complexity;
 pub mod distributed;
 pub mod engine;
 mod error;

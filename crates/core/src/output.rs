@@ -16,6 +16,12 @@ pub struct RunOutput {
     pub source_seconds: f64,
     /// Wall-clock seconds of server-side computation.
     pub server_seconds: f64,
+    /// Deterministic count of the dominant source-side floating-point
+    /// operations (max over sources per phase, summed over phases) — the
+    /// complexity metric the wall-clock fields proxy, but exact across
+    /// runs, machines, and thread counts. Use this for Table 2-style
+    /// ordering comparisons; use `source_seconds` for reporting.
+    pub source_ops: u64,
     /// Number of summary points the server clustered.
     pub summary_points: usize,
 }
@@ -40,6 +46,7 @@ mod tests {
             downlink_bits: 0,
             source_seconds: 0.0,
             server_seconds: 0.0,
+            source_ops: 0,
             summary_points: 5,
         };
         // 64 bits over 10×10×64 = 6400 raw bits = 0.01.

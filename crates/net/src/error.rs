@@ -34,6 +34,26 @@ pub enum NetError {
         /// The offending bit count.
         s: u32,
     },
+    /// A socket or framing operation failed.
+    Transport {
+        /// Which operation failed.
+        context: &'static str,
+        /// Underlying failure, stringified.
+        detail: String,
+    },
+    /// The bytes that crossed a socket differ from the locally computed
+    /// encoding — the two sides of a replicated run diverged.
+    Divergence {
+        /// The source whose traffic diverged.
+        source: usize,
+        /// Which direction ("uplink", "downlink", or "digest").
+        direction: &'static str,
+    },
+    /// A TCP handshake carried inconsistent parameters.
+    Handshake {
+        /// Explanation.
+        reason: String,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -54,6 +74,15 @@ impl fmt::Display for NetError {
             NetError::InvalidPrecision { s } => {
                 write!(f, "invalid precision: {s} significand bits")
             }
+            NetError::Transport { context, detail } => {
+                write!(f, "transport failure during {context}: {detail}")
+            }
+            NetError::Divergence { source, direction } => write!(
+                f,
+                "transport divergence on source {source} ({direction}): \
+                 socket bytes differ from the locally computed encoding"
+            ),
+            NetError::Handshake { reason } => write!(f, "handshake rejected: {reason}"),
         }
     }
 }
@@ -87,6 +116,21 @@ mod tests {
         assert!(NetError::InvalidPrecision { s: 60 }
             .to_string()
             .contains("60"));
+        assert!(NetError::Transport {
+            context: "frame header",
+            detail: "eof".into()
+        }
+        .to_string()
+        .contains("frame header"));
+        assert!(NetError::Divergence {
+            source: 3,
+            direction: "uplink"
+        }
+        .to_string()
+        .contains("source 3"));
+        assert!(NetError::Handshake { reason: "v".into() }
+            .to_string()
+            .contains('v'));
     }
 
     #[test]

@@ -1,0 +1,210 @@
+//! Length-prefixed framing for socket transports.
+//!
+//! A frame is `[kind: u8][bit_len: u64 BE][payload: ⌈bit_len/8⌉ bytes]`.
+//! The header carries the payload's *bit* length — not its byte length —
+//! because the wire encoding ([`crate::wire`]) is bit-granular and the
+//! paper's communication metric counts bits; a socket transport charges
+//! exactly the `bit_len` it framed, so its accounting is bit-identical to
+//! the in-process simulation by construction.
+//!
+//! Framing is written against `std::io::{Read, Write}` so the hardening
+//! tests (partial reads, truncation, oversized headers) run against
+//! in-memory streams; the TCP backend ([`crate::tcp`]) reuses it verbatim
+//! over `TcpStream`s.
+
+use crate::{NetError, Result};
+use std::io::{Read, Write};
+
+/// Frame kind: one encoded protocol [`crate::messages::Message`].
+pub const FRAME_MSG: u8 = 1;
+/// Frame kind: connection handshake (see [`crate::tcp`]).
+pub const FRAME_HELLO: u8 = 2;
+/// Frame kind: end-of-run digest exchange (see [`crate::tcp::RunDigest`]).
+pub const FRAME_FIN: u8 = 3;
+
+/// Upper bound on a frame's payload bit length (8 GiB of payload). A
+/// header claiming more is rejected *before* any allocation — garbage or
+/// a malicious peer cannot make the receiver reserve absurd buffers.
+pub const MAX_FRAME_BITS: u64 = 1 << 36;
+
+fn io_err(context: &'static str, e: std::io::Error) -> NetError {
+    NetError::Transport {
+        context,
+        detail: e.to_string(),
+    }
+}
+
+/// Writes one frame and flushes the stream.
+///
+/// # Errors
+///
+/// * [`NetError::Transport`] if `bit_len` exceeds [`MAX_FRAME_BITS`], if
+///   `payload` is not exactly `⌈bit_len/8⌉` bytes, or on I/O failure.
+pub fn write_frame<W: Write>(w: &mut W, kind: u8, payload: &[u8], bit_len: usize) -> Result<()> {
+    if bit_len as u64 > MAX_FRAME_BITS {
+        return Err(NetError::Transport {
+            context: "frame write",
+            detail: format!("payload of {bit_len} bits exceeds the {MAX_FRAME_BITS}-bit cap"),
+        });
+    }
+    if payload.len() != bit_len.div_ceil(8) {
+        return Err(NetError::Transport {
+            context: "frame write",
+            detail: format!(
+                "payload of {} bytes inconsistent with bit length {bit_len}",
+                payload.len()
+            ),
+        });
+    }
+    let mut header = [0u8; 9];
+    header[0] = kind;
+    header[1..].copy_from_slice(&(bit_len as u64).to_be_bytes());
+    w.write_all(&header)
+        .map_err(|e| io_err("frame header write", e))?;
+    w.write_all(payload)
+        .map_err(|e| io_err("frame payload write", e))?;
+    w.flush().map_err(|e| io_err("frame flush", e))?;
+    Ok(())
+}
+
+/// Reads one frame, returning `(kind, payload, bit_len)`.
+///
+/// Uses `read_exact`, so partial reads (a slow socket delivering one byte
+/// at a time) are handled; a stream that ends mid-header or mid-payload
+/// surfaces as a truncation error rather than a short buffer.
+///
+/// # Errors
+///
+/// [`NetError::Transport`] on truncation, I/O failure, or a header
+/// claiming more than [`MAX_FRAME_BITS`].
+pub fn read_frame<R: Read>(r: &mut R) -> Result<(u8, Vec<u8>, usize)> {
+    let mut header = [0u8; 9];
+    r.read_exact(&mut header)
+        .map_err(|e| io_err("frame header read", e))?;
+    let kind = header[0];
+    let bit_len = u64::from_be_bytes(header[1..].try_into().expect("8-byte slice"));
+    if bit_len > MAX_FRAME_BITS {
+        return Err(NetError::Transport {
+            context: "frame header read",
+            detail: format!("oversized frame: {bit_len} bits exceeds the {MAX_FRAME_BITS}-bit cap"),
+        });
+    }
+    let mut payload = vec![0u8; (bit_len as usize).div_ceil(8)];
+    r.read_exact(&mut payload)
+        .map_err(|e| io_err("frame payload read (truncated frame?)", e))?;
+    Ok((kind, payload, bit_len as usize))
+}
+
+/// Reads one frame and checks its kind.
+///
+/// # Errors
+///
+/// See [`read_frame`]; additionally [`NetError::Transport`] if the frame
+/// kind differs from `expected`.
+pub fn expect_frame<R: Read>(r: &mut R, expected: u8) -> Result<(Vec<u8>, usize)> {
+    let (kind, payload, bits) = read_frame(r)?;
+    if kind != expected {
+        return Err(NetError::Transport {
+            context: "frame kind check",
+            detail: format!("expected frame kind {expected}, got {kind}"),
+        });
+    }
+    Ok((payload, bits))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    /// A reader that delivers at most one byte per `read` call — the
+    /// worst-case partial-read behavior a socket can exhibit.
+    struct Trickle<R>(R);
+
+    impl<R: Read> Read for Trickle<R> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = buf.len().min(1);
+            self.0.read(&mut buf[..n])
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FRAME_MSG, &[0xAB, 0xC0], 11).unwrap();
+        let (kind, payload, bits) = read_frame(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(kind, FRAME_MSG);
+        assert_eq!(payload, vec![0xAB, 0xC0]);
+        assert_eq!(bits, 11);
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FRAME_FIN, &[], 0).unwrap();
+        let (kind, payload, bits) = read_frame(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!((kind, bits), (FRAME_FIN, 0));
+        assert!(payload.is_empty());
+    }
+
+    #[test]
+    fn partial_reads_are_reassembled() {
+        let mut buf = Vec::new();
+        let payload: Vec<u8> = (0..=255).collect();
+        write_frame(&mut buf, FRAME_MSG, &payload, 256 * 8).unwrap();
+        let mut r = Trickle(Cursor::new(&buf));
+        let (kind, got, bits) = read_frame(&mut r).unwrap();
+        assert_eq!(kind, FRAME_MSG);
+        assert_eq!(got, payload);
+        assert_eq!(bits, 256 * 8);
+    }
+
+    #[test]
+    fn truncated_header_errors() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FRAME_MSG, &[1, 2, 3], 24).unwrap();
+        for cut in [0, 1, 8] {
+            let err = read_frame(&mut Cursor::new(&buf[..cut])).unwrap_err();
+            assert!(matches!(err, NetError::Transport { .. }), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn truncated_payload_errors() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FRAME_MSG, &[1, 2, 3, 4], 32).unwrap();
+        let err = read_frame(&mut Cursor::new(&buf[..buf.len() - 2])).unwrap_err();
+        assert!(matches!(err, NetError::Transport { .. }));
+        // Truncation through a trickling reader is detected too.
+        let err = read_frame(&mut Trickle(Cursor::new(&buf[..buf.len() - 1]))).unwrap_err();
+        assert!(matches!(err, NetError::Transport { .. }));
+    }
+
+    #[test]
+    fn oversized_header_rejected_without_allocating() {
+        let mut buf = vec![FRAME_MSG];
+        buf.extend_from_slice(&u64::MAX.to_be_bytes());
+        let err = read_frame(&mut Cursor::new(&buf)).unwrap_err();
+        match err {
+            NetError::Transport { detail, .. } => assert!(detail.contains("oversized")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_rejects_inconsistent_lengths() {
+        let mut buf = Vec::new();
+        assert!(write_frame(&mut buf, FRAME_MSG, &[1, 2], 24).is_err());
+        assert!(write_frame(&mut buf, FRAME_MSG, &[1], (MAX_FRAME_BITS + 1) as usize).is_err());
+        assert!(buf.is_empty(), "nothing written on rejection");
+    }
+
+    #[test]
+    fn expect_frame_checks_kind() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FRAME_HELLO, &[7], 8).unwrap();
+        assert!(expect_frame(&mut Cursor::new(&buf), FRAME_MSG).is_err());
+        let (payload, bits) = expect_frame(&mut Cursor::new(&buf), FRAME_HELLO).unwrap();
+        assert_eq!((payload, bits), (vec![7], 8));
+    }
+}

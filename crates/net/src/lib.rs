@@ -15,7 +15,15 @@
 //!   server; every send actually encodes the message, counts its bits, and
 //!   hands the *decoded* message to the receiver, so anything lossy about
 //!   the wire format (quantization) is faithfully reflected in what the
-//!   server computes on.
+//!   server computes on;
+//! * [`transport`] — the [`Transport`]/[`TransportLink`] abstraction the
+//!   pipelines run against, implemented by both the in-process [`Network`]
+//!   and the socket backend;
+//! * [`frame`] — length-prefixed framing (bit-exact lengths) for socket
+//!   transports;
+//! * [`tcp`] — the TCP backend: the same protocol bytes over real
+//!   connections, with byte-equality divergence checks proving a socket
+//!   run bit-identical to the simulation.
 //!
 //! # Example
 //!
@@ -36,12 +44,17 @@
 
 pub mod bitstream;
 mod error;
+pub mod frame;
 pub mod messages;
 pub mod network;
+pub mod tcp;
+pub mod transport;
 pub mod wire;
 
 pub use error::NetError;
 pub use network::{Network, NetworkStats};
+pub use tcp::{RunDigest, TcpServer, TcpServerBinding, TcpSource};
+pub use transport::{Transport, TransportLink};
 
 /// Convenience result alias used across the crate.
 pub type Result<T> = std::result::Result<T, NetError>;

@@ -20,7 +20,7 @@ pub struct NetworkStats {
 }
 
 impl NetworkStats {
-    fn new(sources: usize) -> Self {
+    pub(crate) fn new(sources: usize) -> Self {
         NetworkStats {
             uplink_bits: vec![0; sources],
             downlink_bits: vec![0; sources],
@@ -80,25 +80,50 @@ impl NetworkStats {
     pub fn uplink_bits_by_kind(&self) -> &BTreeMap<&'static str, u64> {
         &self.uplink_by_kind
     }
+
+    /// Charges one uplink message of `bits` to `source` (shared by every
+    /// transport backend, so accounting is identical by construction).
+    pub(crate) fn charge_uplink(&mut self, source: usize, bits: usize, kind: &'static str) {
+        self.uplink_bits[source] += bits as u64;
+        self.uplink_msgs[source] += 1;
+        *self.uplink_by_kind.entry(kind).or_insert(0) += bits as u64;
+    }
+
+    /// Charges one downlink message of `bits` to `source`.
+    pub(crate) fn charge_downlink(&mut self, source: usize, bits: usize) {
+        self.downlink_bits[source] += bits as u64;
+        self.downlink_msgs[source] += 1;
+    }
+
+    /// Folds a link's private counters into these statistics.
+    pub(crate) fn merge_link(&mut self, link: SourceLink) {
+        self.uplink_bits[link.source] += link.uplink_bits;
+        self.downlink_bits[link.source] += link.downlink_bits;
+        self.uplink_msgs[link.source] += link.uplink_msgs;
+        self.downlink_msgs[link.source] += link.downlink_msgs;
+        for (kind, bits) in link.uplink_by_kind {
+            *self.uplink_by_kind.entry(kind).or_insert(0) += bits;
+        }
+    }
 }
 
 /// An independent, thread-safe handle for one data source's traffic.
 ///
-/// Obtained from [`Network::links`]. Each link owns private counters —
-/// no locks or atomics are needed because every worker thread owns its
-/// source's link exclusively — and the owner merges them back into the
-/// [`Network`] with [`Network::absorb`] at the thread-scope barrier.
-/// Encoding/decoding is pure, so links can run concurrently on
-/// `std::thread::scope` workers while accounting stays *exact*: after
-/// `absorb`, totals are identical to what the same sends through
-/// [`Network::send_to_server`] / [`Network::send_to_source`] would have
-/// produced.
+/// Obtained from [`Transport::take_links`](crate::Transport::take_links).
+/// Each link owns private counters — no locks or atomics are needed
+/// because every worker thread owns its source's link exclusively — and
+/// the owner merges them back into the [`Network`] with
+/// [`Network::absorb`] at the thread-scope barrier. Encoding/decoding is
+/// pure, so links can run concurrently on `std::thread::scope` workers
+/// while accounting stays *exact*: after `absorb`, totals are identical
+/// to what the same sends through [`Network::send_to_server`] /
+/// [`Network::send_to_source`] would have produced.
 ///
 /// ```
-/// use ekm_net::{messages::Message, Network};
+/// use ekm_net::{messages::Message, Network, Transport};
 ///
 /// let mut net = Network::new(3);
-/// let mut links = net.links();
+/// let mut links = net.take_links(3).unwrap();
 /// std::thread::scope(|scope| {
 ///     for link in &mut links {
 ///         scope.spawn(move || {
@@ -120,7 +145,7 @@ pub struct SourceLink {
 }
 
 impl SourceLink {
-    fn new(source: usize) -> Self {
+    pub(crate) fn new(source: usize) -> Self {
         SourceLink {
             source,
             uplink_bits: 0,
@@ -151,10 +176,23 @@ impl SourceLink {
     /// format — surfaced rather than swallowed).
     pub fn send_to_server(&mut self, msg: &Message) -> Result<Message> {
         let (buf, bits) = msg.encode();
+        self.charge_uplink(bits, msg.kind());
+        Message::decode(&buf, bits)
+    }
+
+    /// Charges one uplink message of `bits` to this link's counters
+    /// (shared with the socket-backed links, which charge the bytes that
+    /// actually crossed the wire).
+    pub(crate) fn charge_uplink(&mut self, bits: usize, kind: &'static str) {
         self.uplink_bits += bits as u64;
         self.uplink_msgs += 1;
-        *self.uplink_by_kind.entry(msg.kind()).or_insert(0) += bits as u64;
-        Message::decode(&buf, bits)
+        *self.uplink_by_kind.entry(kind).or_insert(0) += bits as u64;
+    }
+
+    /// Charges one downlink message of `bits` to this link's counters.
+    pub(crate) fn charge_downlink(&mut self, bits: usize) {
+        self.downlink_bits += bits as u64;
+        self.downlink_msgs += 1;
     }
 
     /// Delivers `msg` from the server to this source, charging the
@@ -166,8 +204,7 @@ impl SourceLink {
     /// See [`SourceLink::send_to_server`].
     pub fn recv_from_server(&mut self, msg: &Message) -> Result<Message> {
         let (buf, bits) = msg.encode();
-        self.downlink_bits += bits as u64;
-        self.downlink_msgs += 1;
+        self.charge_downlink(bits);
         Message::decode(&buf, bits)
     }
 }
@@ -209,9 +246,7 @@ impl Network {
     pub fn send_to_server(&mut self, source: usize, msg: &Message) -> Result<Message> {
         self.check(source)?;
         let (buf, bits) = msg.encode();
-        self.stats.uplink_bits[source] += bits as u64;
-        self.stats.uplink_msgs[source] += 1;
-        *self.stats.uplink_by_kind.entry(msg.kind()).or_insert(0) += bits as u64;
+        self.stats.charge_uplink(source, bits, msg.kind());
         Message::decode(&buf, bits)
     }
 
@@ -223,8 +258,7 @@ impl Network {
     pub fn send_to_source(&mut self, source: usize, msg: &Message) -> Result<Message> {
         self.check(source)?;
         let (buf, bits) = msg.encode();
-        self.stats.downlink_bits[source] += bits as u64;
-        self.stats.downlink_msgs[source] += 1;
+        self.stats.charge_downlink(source, bits);
         Message::decode(&buf, bits)
     }
 
@@ -240,15 +274,9 @@ impl Network {
             .collect()
     }
 
-    /// Hands out one independent [`SourceLink`] per source, for
-    /// concurrent per-source protocol phases. Links start with zeroed
-    /// counters; merge them back with [`Network::absorb`].
-    pub fn links(&self) -> Vec<SourceLink> {
-        (0..self.sources).map(SourceLink::new).collect()
-    }
-
     /// Merges the counters accumulated on `links` into this network's
-    /// statistics (the "barrier" side of [`Network::links`]).
+    /// statistics (the "barrier" side of
+    /// [`Transport::take_links`](crate::Transport::take_links)).
     ///
     /// # Panics
     ///
@@ -263,13 +291,7 @@ impl Network {
                 link.source,
                 self.sources
             );
-            self.stats.uplink_bits[link.source] += link.uplink_bits;
-            self.stats.downlink_bits[link.source] += link.downlink_bits;
-            self.stats.uplink_msgs[link.source] += link.uplink_msgs;
-            self.stats.downlink_msgs[link.source] += link.downlink_msgs;
-            for (kind, bits) in link.uplink_by_kind {
-                *self.stats.uplink_by_kind.entry(kind).or_insert(0) += bits;
-            }
+            self.stats.merge_link(link);
         }
     }
 
@@ -297,6 +319,7 @@ impl Network {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::Transport;
     use crate::wire::Precision;
     use ekm_linalg::Matrix;
 
@@ -420,7 +443,7 @@ mod tests {
 
         // Concurrent links merged at the barrier.
         let mut par = Network::new(4);
-        let mut links = par.links();
+        let mut links = par.take_links(4).unwrap();
         std::thread::scope(|scope| {
             for (link, msg) in links.iter_mut().zip(&msgs) {
                 scope.spawn(move || {
@@ -440,7 +463,7 @@ mod tests {
     #[test]
     fn link_counters_are_private_until_absorbed() {
         let mut net = Network::new(2);
-        let mut links = net.links();
+        let mut links = net.take_links(2).unwrap();
         links[1]
             .send_to_server(&Message::CostReport { cost: 2.0 })
             .unwrap();
@@ -458,7 +481,7 @@ mod tests {
         let mut net = Network::new(1);
         let report = Message::CostReport { cost: 1.0 };
         net.send_to_server(0, &report).unwrap();
-        let mut links = net.links();
+        let mut links = net.take_links(1).unwrap();
         links[0].send_to_server(&report).unwrap();
         net.absorb(links);
         let (_, bits) = report.encode();
@@ -471,8 +494,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "absorbed a link")]
     fn absorbing_foreign_links_panics() {
-        let big = Network::new(5);
+        let mut big = Network::new(5);
         let mut small = Network::new(2);
-        small.absorb(big.links());
+        small.absorb(big.take_links(5).unwrap());
     }
 }

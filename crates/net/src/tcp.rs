@@ -1,0 +1,853 @@
+//! TCP socket backend: the same protocol bytes over real connections.
+//!
+//! # Execution model: replicated determinism, physically routed traffic
+//!
+//! Every pipeline in this workspace is deterministic given its seed, so a
+//! distributed run uses the SPMD ("same program, multiple data") shape:
+//! the server process (`ekm serve`) and each source process
+//! (`ekm source --source-id I`) all execute the *same* stage list over
+//! the *same* deterministic inputs, and the transport routes each
+//! source's traffic over its real TCP connection:
+//!
+//! * a [`TcpSource`] writes its own source's uplink messages to the
+//!   socket as length-prefixed frames carrying the exact
+//!   [`crate::wire`] encoding, and *reads* its downlink messages from
+//!   the socket (verifying them against the locally computed copy);
+//!   other sources' traffic is echoed locally, exactly like the
+//!   in-process [`Network`](crate::Network);
+//! * a [`TcpServer`] *reads* every source's uplink frames from the
+//!   sockets and writes every downlink frame, verifying each received
+//!   payload against the locally computed encoding byte for byte — any
+//!   difference surfaces as [`NetError::Divergence`] instead of a
+//!   silently wrong run.
+//!
+//! Counters are charged on the bits that actually crossed (or, for local
+//! echoes, would have crossed) the wire, so a socket run's
+//! [`NetworkStats`] — total and per-source, bits and message kinds — is
+//! bit-identical to the in-process simulation by construction, and the
+//! divergence checks plus the end-of-run [`RunDigest`] exchange *prove*
+//! it at runtime. Per-connection frame order follows program order on
+//! both ends, so the exchange is deadlock-free regardless of how worker
+//! threads interleave across connections.
+//!
+//! This is the seam the roadmap's async backend builds on: a tokio
+//! implementation replaces the blocking frame I/O and drops the
+//! replicated compute, keeping the same frames and counters.
+
+use crate::frame::{expect_frame, write_frame, FRAME_FIN, FRAME_HELLO, FRAME_MSG};
+use crate::messages::Message;
+use crate::network::{NetworkStats, SourceLink};
+use crate::transport::{Transport, TransportLink};
+use crate::{NetError, Result};
+use ekm_linalg::Matrix;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+const MAGIC: u32 = 0x454B_4D31; // "EKM1"
+const VERSION: u16 = 1;
+const ROLE_SOURCE: u8 = 0;
+const ROLE_SERVER: u8 = 1;
+
+/// Per-read/write socket timeout. Generous because legitimate gaps are
+/// compute (a source may run a local SVD between frames), but bounded so
+/// a hung peer fails a CI run instead of wedging it.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(120);
+
+fn transport_err(context: &'static str, e: std::io::Error) -> NetError {
+    NetError::Transport {
+        context,
+        detail: e.to_string(),
+    }
+}
+
+fn configure(stream: &TcpStream) -> Result<()> {
+    stream
+        .set_nodelay(true)
+        .and_then(|()| stream.set_read_timeout(Some(IO_TIMEOUT)))
+        .and_then(|()| stream.set_write_timeout(Some(IO_TIMEOUT)))
+        .map_err(|e| transport_err("socket configuration", e))
+}
+
+/// Hashes a canonical run-configuration string into the fingerprint both
+/// ends present during the handshake (FNV-1a 64). Server and sources must
+/// be launched with equivalent configurations — the fingerprint turns a
+/// mismatch into an immediate handshake error instead of a divergence
+/// mid-run.
+pub fn fingerprint(config: &str) -> u64 {
+    fnv1a(config.as_bytes())
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn encode_hello(role: u8, source_id: u32, sources: u32, fp: u64) -> Vec<u8> {
+    let mut p = Vec::with_capacity(23);
+    p.extend_from_slice(&MAGIC.to_be_bytes());
+    p.extend_from_slice(&VERSION.to_be_bytes());
+    p.push(role);
+    p.extend_from_slice(&source_id.to_be_bytes());
+    p.extend_from_slice(&sources.to_be_bytes());
+    p.extend_from_slice(&fp.to_be_bytes());
+    p
+}
+
+fn decode_hello(payload: &[u8]) -> Result<(u8, u32, u32, u64)> {
+    if payload.len() != 23 {
+        return Err(NetError::Handshake {
+            reason: format!("hello frame of {} bytes (expected 23)", payload.len()),
+        });
+    }
+    let magic = u32::from_be_bytes(payload[0..4].try_into().expect("4 bytes"));
+    let version = u16::from_be_bytes(payload[4..6].try_into().expect("2 bytes"));
+    if magic != MAGIC {
+        return Err(NetError::Handshake {
+            reason: format!("bad magic {magic:#x}"),
+        });
+    }
+    if version != VERSION {
+        return Err(NetError::Handshake {
+            reason: format!("protocol version {version} (expected {VERSION})"),
+        });
+    }
+    let role = payload[6];
+    let source_id = u32::from_be_bytes(payload[7..11].try_into().expect("4 bytes"));
+    let sources = u32::from_be_bytes(payload[11..15].try_into().expect("4 bytes"));
+    let fp = u64::from_be_bytes(payload[15..23].try_into().expect("8 bytes"));
+    Ok((role, source_id, sources, fp))
+}
+
+/// Summary of a completed run, exchanged at shutdown so both ends verify
+/// they observed the *same* run: total bits each way plus a hash of the
+/// final centers' exact bit patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunDigest {
+    /// Total uplink bits over all sources.
+    pub uplink_bits: u64,
+    /// Total downlink bits over all sources.
+    pub downlink_bits: u64,
+    /// FNV-1a hash of the result matrix's shape and `f64` bit patterns.
+    pub centers_hash: u64,
+}
+
+impl RunDigest {
+    /// Builds the digest of a finished run from its final statistics and
+    /// centers.
+    pub fn new(stats: &NetworkStats, centers: &Matrix) -> RunDigest {
+        RunDigest {
+            uplink_bits: stats.total_uplink_bits(),
+            downlink_bits: stats.total_downlink_bits(),
+            centers_hash: hash_matrix(centers),
+        }
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut p = Vec::with_capacity(24);
+        p.extend_from_slice(&self.uplink_bits.to_be_bytes());
+        p.extend_from_slice(&self.downlink_bits.to_be_bytes());
+        p.extend_from_slice(&self.centers_hash.to_be_bytes());
+        p
+    }
+
+    fn decode(payload: &[u8]) -> Result<RunDigest> {
+        if payload.len() != 24 {
+            return Err(NetError::Transport {
+                context: "digest frame",
+                detail: format!("{} bytes (expected 24)", payload.len()),
+            });
+        }
+        Ok(RunDigest {
+            uplink_bits: u64::from_be_bytes(payload[0..8].try_into().expect("8 bytes")),
+            downlink_bits: u64::from_be_bytes(payload[8..16].try_into().expect("8 bytes")),
+            centers_hash: u64::from_be_bytes(payload[16..24].try_into().expect("8 bytes")),
+        })
+    }
+}
+
+/// FNV-1a over a matrix's shape and raw `f64` bit patterns — equal iff
+/// the matrices are bit-identical (NaN payloads included).
+fn hash_matrix(m: &Matrix) -> u64 {
+    let mut bytes = Vec::with_capacity(16 + m.as_slice().len() * 8);
+    bytes.extend_from_slice(&(m.rows() as u64).to_be_bytes());
+    bytes.extend_from_slice(&(m.cols() as u64).to_be_bytes());
+    for &x in m.as_slice() {
+        bytes.extend_from_slice(&x.to_bits().to_be_bytes());
+    }
+    fnv1a(&bytes)
+}
+
+/// Reads one message frame and verifies it is byte-identical to the
+/// locally computed encoding.
+fn recv_verified(
+    stream: &mut TcpStream,
+    source: usize,
+    direction: &'static str,
+    expected: &[u8],
+    expected_bits: usize,
+) -> Result<()> {
+    let (payload, bits) = expect_frame(stream, FRAME_MSG)?;
+    if bits != expected_bits || payload != expected {
+        return Err(NetError::Divergence { source, direction });
+    }
+    Ok(())
+}
+
+fn stream_or_taken<'a>(
+    slot: &'a mut Option<TcpStream>,
+    context: &'static str,
+) -> Result<&'a mut TcpStream> {
+    slot.as_mut().ok_or_else(|| NetError::Transport {
+        context,
+        detail: "connection currently checked out as a link".to_string(),
+    })
+}
+
+/// A bound listener that has not yet completed the source handshakes —
+/// the two-step construction lets a CLI print "listening on …" before
+/// blocking in [`TcpServerBinding::accept`].
+#[derive(Debug)]
+pub struct TcpServerBinding {
+    listener: TcpListener,
+}
+
+impl TcpServerBinding {
+    /// Binds the listening socket (`"127.0.0.1:0"` picks a free port).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Transport`] on bind failure.
+    pub fn bind<A: ToSocketAddrs>(addr: A) -> Result<TcpServerBinding> {
+        let listener = TcpListener::bind(addr).map_err(|e| transport_err("bind", e))?;
+        Ok(TcpServerBinding { listener })
+    }
+
+    /// The bound address (useful with port 0).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Transport`] if the socket address cannot be read.
+    pub fn local_addr(&self) -> Result<SocketAddr> {
+        self.listener
+            .local_addr()
+            .map_err(|e| transport_err("local_addr", e))
+    }
+
+    /// Accepts and handshakes exactly `sources` source connections,
+    /// consuming the listener.
+    ///
+    /// Each source must present the protocol magic/version, the same
+    /// source count, the same configuration `fp`, and a unique
+    /// `source_id < sources`; any violation aborts the accept with a
+    /// [`NetError::Handshake`].
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Transport`] on socket failures, [`NetError::Handshake`]
+    /// on protocol violations.
+    pub fn accept(self, sources: usize, fp: u64) -> Result<TcpServer> {
+        assert!(sources > 0, "server needs at least one source");
+        let mut streams: Vec<Option<TcpStream>> = (0..sources).map(|_| None).collect();
+        let mut connected = 0;
+        while connected < sources {
+            let (mut stream, _) = self
+                .listener
+                .accept()
+                .map_err(|e| transport_err("accept", e))?;
+            configure(&stream)?;
+            let (payload, _) = expect_frame(&mut stream, FRAME_HELLO)?;
+            let (role, source_id, m, got_fp) = decode_hello(&payload)?;
+            if role != ROLE_SOURCE {
+                return Err(NetError::Handshake {
+                    reason: format!("unexpected role {role} in source hello"),
+                });
+            }
+            if m as usize != sources {
+                return Err(NetError::Handshake {
+                    reason: format!("source expects {m} sources, server has {sources}"),
+                });
+            }
+            if got_fp != fp {
+                return Err(NetError::Handshake {
+                    reason: format!(
+                        "configuration fingerprint mismatch \
+                         (server {fp:#018x}, source {got_fp:#018x})"
+                    ),
+                });
+            }
+            let id = source_id as usize;
+            if id >= sources {
+                return Err(NetError::Handshake {
+                    reason: format!("source id {id} out of range (sources: {sources})"),
+                });
+            }
+            if streams[id].is_some() {
+                return Err(NetError::Handshake {
+                    reason: format!("duplicate source id {id}"),
+                });
+            }
+            let ack = encode_hello(ROLE_SERVER, source_id, sources as u32, fp);
+            write_frame(&mut stream, FRAME_HELLO, &ack, ack.len() * 8)?;
+            streams[id] = Some(stream);
+            connected += 1;
+        }
+        Ok(TcpServer {
+            streams,
+            stats: NetworkStats::new(sources),
+        })
+    }
+}
+
+/// The server end of a socket run: one accepted connection per source,
+/// implementing [`Transport`] so any pipeline runs over it unchanged.
+#[derive(Debug)]
+pub struct TcpServer {
+    streams: Vec<Option<TcpStream>>,
+    stats: NetworkStats,
+}
+
+impl TcpServer {
+    /// Ends the run: sends `digest` to every source, reads each source's
+    /// digest back, and verifies they all match.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Divergence`] if any source observed a different run;
+    /// [`NetError::Transport`] on socket failures.
+    pub fn finish(&mut self, digest: RunDigest) -> Result<()> {
+        let payload = digest.encode();
+        for source in 0..self.streams.len() {
+            let stream = stream_or_taken(&mut self.streams[source], "finish")?;
+            write_frame(stream, FRAME_FIN, &payload, payload.len() * 8)?;
+            let (reply, _) = expect_frame(stream, FRAME_FIN)?;
+            if RunDigest::decode(&reply)? != digest {
+                return Err(NetError::Divergence {
+                    source,
+                    direction: "digest",
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A server-side per-source link: reads the source's uplink frames from
+/// its connection (verifying them against the replicated local
+/// encoding) and writes its downlink frames.
+#[derive(Debug)]
+pub struct TcpServerLink {
+    counters: SourceLink,
+    stream: TcpStream,
+}
+
+impl TransportLink for TcpServerLink {
+    fn source(&self) -> usize {
+        self.counters.source()
+    }
+
+    fn send_to_server(&mut self, msg: &Message) -> Result<Message> {
+        let (buf, bits) = msg.encode();
+        recv_verified(
+            &mut self.stream,
+            self.counters.source(),
+            "uplink",
+            &buf,
+            bits,
+        )?;
+        self.counters.charge_uplink(bits, msg.kind());
+        Message::decode(&buf, bits)
+    }
+
+    fn recv_from_server(&mut self, msg: &Message) -> Result<Message> {
+        let (buf, bits) = msg.encode();
+        write_frame(&mut self.stream, FRAME_MSG, &buf, bits)?;
+        self.counters.charge_downlink(bits);
+        Message::decode(&buf, bits)
+    }
+}
+
+impl Transport for TcpServer {
+    type Link = TcpServerLink;
+
+    fn sources(&self) -> usize {
+        self.streams.len()
+    }
+
+    fn send_to_server(&mut self, source: usize, msg: &Message) -> Result<Message> {
+        self.check(source)?;
+        let (buf, bits) = msg.encode();
+        let stream = stream_or_taken(&mut self.streams[source], "send_to_server")?;
+        recv_verified(stream, source, "uplink", &buf, bits)?;
+        self.stats.charge_uplink(source, bits, msg.kind());
+        Message::decode(&buf, bits)
+    }
+
+    fn send_to_source(&mut self, source: usize, msg: &Message) -> Result<Message> {
+        self.check(source)?;
+        let (buf, bits) = msg.encode();
+        let stream = stream_or_taken(&mut self.streams[source], "send_to_source")?;
+        write_frame(stream, FRAME_MSG, &buf, bits)?;
+        self.stats.charge_downlink(source, bits);
+        Message::decode(&buf, bits)
+    }
+
+    fn take_links(&mut self, count: usize) -> Result<Vec<Self::Link>> {
+        if count != self.streams.len() {
+            return Err(NetError::Transport {
+                context: "take_links",
+                detail: format!(
+                    "socket transport requires one shard per connected source \
+                     (requested {count}, connected {})",
+                    self.streams.len()
+                ),
+            });
+        }
+        let mut links = Vec::with_capacity(count);
+        for source in 0..count {
+            let stream = self.streams[source]
+                .take()
+                .ok_or_else(|| NetError::Transport {
+                    context: "take_links",
+                    detail: "connection already checked out".to_string(),
+                })?;
+            links.push(TcpServerLink {
+                counters: SourceLink::new(source),
+                stream,
+            });
+        }
+        Ok(links)
+    }
+
+    fn absorb_links(&mut self, links: Vec<Self::Link>) {
+        for link in links {
+            let source = link.counters.source();
+            assert!(source < self.streams.len(), "foreign link absorbed");
+            self.streams[source] = Some(link.stream);
+            self.stats.merge_link(link.counters);
+        }
+    }
+
+    fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+}
+
+impl TcpServer {
+    fn check(&self, source: usize) -> Result<()> {
+        if source >= self.streams.len() {
+            return Err(NetError::UnknownSource {
+                source,
+                sources: self.streams.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The source end of a socket run for one `source_id`: its own traffic
+/// crosses the connection; every other source's traffic is echoed
+/// locally (the process replicates the full deterministic run, so its
+/// statistics equal the server's).
+#[derive(Debug)]
+pub struct TcpSource {
+    me: usize,
+    sources: usize,
+    stream: Option<TcpStream>,
+    stats: NetworkStats,
+}
+
+impl TcpSource {
+    /// Connects to `ekm serve` at `addr` and handshakes as `source_id`
+    /// of `sources`, retrying the connection for up to `retry_for` (the
+    /// server may not be listening yet when the source process starts).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Transport`] if no connection succeeds within
+    /// `retry_for`; [`NetError::Handshake`] if the server rejects or
+    /// mismatches the parameters.
+    pub fn connect<A: ToSocketAddrs>(
+        addr: A,
+        source_id: usize,
+        sources: usize,
+        fp: u64,
+        retry_for: Duration,
+    ) -> Result<TcpSource> {
+        assert!(source_id < sources, "source id out of range");
+        let deadline = Instant::now() + retry_for;
+        let mut stream = loop {
+            match TcpStream::connect(&addr) {
+                Ok(s) => break s,
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(transport_err("connect", e));
+                    }
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            }
+        };
+        configure(&stream)?;
+        let hello = encode_hello(ROLE_SOURCE, source_id as u32, sources as u32, fp);
+        write_frame(&mut stream, FRAME_HELLO, &hello, hello.len() * 8)?;
+        let (ack, _) = expect_frame(&mut stream, FRAME_HELLO)?;
+        let (role, echoed_id, m, got_fp) = decode_hello(&ack)?;
+        if role != ROLE_SERVER || echoed_id as usize != source_id || m as usize != sources {
+            return Err(NetError::Handshake {
+                reason: "server ack disagrees with the source parameters".to_string(),
+            });
+        }
+        if got_fp != fp {
+            return Err(NetError::Handshake {
+                reason: format!(
+                    "configuration fingerprint mismatch \
+                     (source {fp:#018x}, server {got_fp:#018x})"
+                ),
+            });
+        }
+        Ok(TcpSource {
+            me: source_id,
+            sources,
+            stream: Some(stream),
+            stats: NetworkStats::new(sources),
+        })
+    }
+
+    /// The source id this process owns.
+    pub fn source_id(&self) -> usize {
+        self.me
+    }
+
+    /// Ends the run: reads the server's digest, replies with this
+    /// process's `digest`, and verifies they match. Returns the server's
+    /// digest.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Divergence`] if the two runs differ;
+    /// [`NetError::Transport`] on socket failures.
+    pub fn finish(&mut self, digest: RunDigest) -> Result<RunDigest> {
+        let me = self.me;
+        let stream = stream_or_taken(&mut self.stream, "finish")?;
+        let (payload, _) = expect_frame(stream, FRAME_FIN)?;
+        let server = RunDigest::decode(&payload)?;
+        let mine = digest.encode();
+        write_frame(stream, FRAME_FIN, &mine, mine.len() * 8)?;
+        if server != digest {
+            return Err(NetError::Divergence {
+                source: me,
+                direction: "digest",
+            });
+        }
+        Ok(server)
+    }
+
+    fn check(&self, source: usize) -> Result<()> {
+        if source >= self.sources {
+            return Err(NetError::UnknownSource {
+                source,
+                sources: self.sources,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A source-side per-source link: the owned source's traffic crosses the
+/// socket, every other source's is a charged local echo.
+#[derive(Debug)]
+pub struct TcpSourceLink {
+    counters: SourceLink,
+    stream: Option<TcpStream>,
+}
+
+impl TransportLink for TcpSourceLink {
+    fn source(&self) -> usize {
+        self.counters.source()
+    }
+
+    fn send_to_server(&mut self, msg: &Message) -> Result<Message> {
+        let (buf, bits) = msg.encode();
+        if let Some(stream) = &mut self.stream {
+            write_frame(stream, FRAME_MSG, &buf, bits)?;
+        }
+        self.counters.charge_uplink(bits, msg.kind());
+        Message::decode(&buf, bits)
+    }
+
+    fn recv_from_server(&mut self, msg: &Message) -> Result<Message> {
+        let (buf, bits) = msg.encode();
+        if let Some(stream) = &mut self.stream {
+            recv_verified(stream, self.counters.source(), "downlink", &buf, bits)?;
+        }
+        self.counters.charge_downlink(bits);
+        Message::decode(&buf, bits)
+    }
+}
+
+impl Transport for TcpSource {
+    type Link = TcpSourceLink;
+
+    fn sources(&self) -> usize {
+        self.sources
+    }
+
+    fn send_to_server(&mut self, source: usize, msg: &Message) -> Result<Message> {
+        self.check(source)?;
+        let (buf, bits) = msg.encode();
+        if source == self.me {
+            let stream = stream_or_taken(&mut self.stream, "send_to_server")?;
+            write_frame(stream, FRAME_MSG, &buf, bits)?;
+        }
+        self.stats.charge_uplink(source, bits, msg.kind());
+        Message::decode(&buf, bits)
+    }
+
+    fn send_to_source(&mut self, source: usize, msg: &Message) -> Result<Message> {
+        self.check(source)?;
+        let (buf, bits) = msg.encode();
+        if source == self.me {
+            let stream = stream_or_taken(&mut self.stream, "send_to_source")?;
+            recv_verified(stream, source, "downlink", &buf, bits)?;
+        }
+        self.stats.charge_downlink(source, bits);
+        Message::decode(&buf, bits)
+    }
+
+    fn take_links(&mut self, count: usize) -> Result<Vec<Self::Link>> {
+        if count != self.sources {
+            return Err(NetError::Transport {
+                context: "take_links",
+                detail: format!(
+                    "socket transport requires one shard per source \
+                     (requested {count}, sources {})",
+                    self.sources
+                ),
+            });
+        }
+        let mut links = Vec::with_capacity(count);
+        for source in 0..count {
+            let stream = if source == self.me {
+                Some(self.stream.take().ok_or_else(|| NetError::Transport {
+                    context: "take_links",
+                    detail: "connection already checked out".to_string(),
+                })?)
+            } else {
+                None
+            };
+            links.push(TcpSourceLink {
+                counters: SourceLink::new(source),
+                stream,
+            });
+        }
+        Ok(links)
+    }
+
+    fn absorb_links(&mut self, links: Vec<Self::Link>) {
+        for link in links {
+            let source = link.counters.source();
+            assert!(source < self.sources, "foreign link absorbed");
+            if let Some(stream) = link.stream {
+                assert_eq!(source, self.me, "socket on a foreign link");
+                self.stream = Some(stream);
+            }
+            self.stats.merge_link(link.counters);
+        }
+    }
+
+    fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Network;
+    use std::thread;
+
+    const FP: u64 = 0xFEED_F00D;
+
+    fn pair(sources: usize, me: usize) -> (TcpServer, TcpSource) {
+        let binding = TcpServerBinding::bind("127.0.0.1:0").unwrap();
+        let addr = binding.local_addr().unwrap();
+        let src = thread::spawn(move || {
+            TcpSource::connect(addr, me, sources, FP, Duration::from_secs(5)).unwrap()
+        });
+        let server = binding.accept_one_for_tests(sources, me);
+        (server, src.join().unwrap())
+    }
+
+    impl TcpServerBinding {
+        /// Test helper: accept with only source `me` physically
+        /// connected (the other slots hold dummy loopback streams so the
+        /// transport can be constructed; tests only exercise `me`).
+        fn accept_one_for_tests(self, sources: usize, me: usize) -> TcpServer {
+            let (mut stream, _) = self.listener.accept().unwrap();
+            configure(&stream).unwrap();
+            let (payload, _) = expect_frame(&mut stream, FRAME_HELLO).unwrap();
+            let (role, id, m, fp) = decode_hello(&payload).unwrap();
+            assert_eq!(
+                (role, id as usize, m as usize, fp),
+                (ROLE_SOURCE, me, sources, FP)
+            );
+            let ack = encode_hello(ROLE_SERVER, id, m, fp);
+            write_frame(&mut stream, FRAME_HELLO, &ack, ack.len() * 8).unwrap();
+            let mut streams: Vec<Option<TcpStream>> = (0..sources).map(|_| None).collect();
+            streams[me] = Some(stream);
+            // Dummy self-connected sockets for the untested slots.
+            let dummy = TcpListener::bind("127.0.0.1:0").unwrap();
+            let daddr = dummy.local_addr().unwrap();
+            for slot in streams.iter_mut().filter(|s| s.is_none()) {
+                let c = TcpStream::connect(daddr).unwrap();
+                let _ = dummy.accept().unwrap();
+                *slot = Some(c);
+            }
+            TcpServer {
+                streams,
+                stats: NetworkStats::new(sources),
+            }
+        }
+    }
+
+    #[test]
+    fn single_source_roundtrip_matches_simulation() {
+        let (mut server, mut source) = pair(1, 0);
+        let up = Message::CostReport { cost: 4.25 };
+        let down = Message::SampleAllocation { size: 17 };
+
+        let (up2, down2) = (up.clone(), down.clone());
+        let handle = thread::spawn(move || {
+            let got = Transport::send_to_server(&mut source, 0, &up2).unwrap();
+            assert_eq!(got, up2);
+            let got = Transport::send_to_source(&mut source, 0, &down2).unwrap();
+            assert_eq!(got, down2);
+            source
+        });
+        let got = Transport::send_to_server(&mut server, 0, &up).unwrap();
+        assert_eq!(got, up);
+        Transport::send_to_source(&mut server, 0, &down).unwrap();
+        let source = handle.join().unwrap();
+
+        // Both ends' statistics equal the in-process simulation's.
+        let mut sim = Network::new(1);
+        sim.send_to_server(0, &up).unwrap();
+        sim.send_to_source(0, &down).unwrap();
+        assert_eq!(server.stats(), sim.stats());
+        assert_eq!(Transport::stats(&source), sim.stats());
+    }
+
+    #[test]
+    fn links_route_and_merge() {
+        let (mut server, mut source) = pair(2, 1);
+        let msg = Message::CostReport { cost: 1.5 };
+        let (_, bits) = msg.encode();
+
+        let msg2 = msg.clone();
+        let handle = thread::spawn(move || {
+            let mut links = source.take_links(2).unwrap();
+            for link in &mut links {
+                link.send_to_server(&msg2).unwrap();
+            }
+            source.absorb_links(links);
+            source
+        });
+        let mut links = server.take_links(2).unwrap();
+        // Only source 1 is physically connected in this test fixture.
+        links[1].send_to_server(&msg).unwrap();
+        links[0].counters.charge_uplink(bits, msg.kind());
+        server.absorb_links(links);
+        let source = handle.join().unwrap();
+
+        assert_eq!(server.stats().uplink_bits(1), bits as u64);
+        assert_eq!(
+            Transport::stats(&source).total_uplink_bits(),
+            2 * bits as u64
+        );
+    }
+
+    #[test]
+    fn uplink_divergence_detected() {
+        let (mut server, mut source) = pair(1, 0);
+        let handle = thread::spawn(move || {
+            Transport::send_to_server(&mut source, 0, &Message::CostReport { cost: 1.0 }).unwrap();
+        });
+        // The server's replica computed a *different* message.
+        let err = Transport::send_to_server(&mut server, 0, &Message::CostReport { cost: 2.0 })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            NetError::Divergence {
+                source: 0,
+                direction: "uplink"
+            }
+        ));
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn digest_exchange_detects_mismatch() {
+        let centers = Matrix::from_fn(2, 3, |i, j| (i * 3 + j) as f64);
+        let (mut server, mut source) = pair(1, 0);
+        let good = RunDigest::new(server.stats(), &centers);
+        let mut bad = good;
+        bad.centers_hash ^= 1;
+        let handle = thread::spawn(move || source.finish(bad).unwrap_err());
+        let server_err = server.finish(good).unwrap_err();
+        assert!(matches!(server_err, NetError::Divergence { .. }));
+        assert!(matches!(
+            handle.join().unwrap(),
+            NetError::Divergence { .. }
+        ));
+    }
+
+    #[test]
+    fn fingerprint_mismatch_rejected_at_handshake() {
+        let binding = TcpServerBinding::bind("127.0.0.1:0").unwrap();
+        let addr = binding.local_addr().unwrap();
+        let src = thread::spawn(move || {
+            TcpSource::connect(addr, 0, 1, FP ^ 0xFF, Duration::from_secs(5))
+        });
+        let err = binding.accept(1, FP).unwrap_err();
+        assert!(matches!(err, NetError::Handshake { .. }));
+        // The source sees either a handshake rejection or a dropped
+        // connection, depending on shutdown timing.
+        assert!(src.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn connect_times_out_when_nobody_listens() {
+        // Bind-then-drop guarantees the port is closed.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let err = TcpSource::connect(addr, 0, 1, FP, Duration::from_millis(200)).unwrap_err();
+        assert!(matches!(err, NetError::Transport { .. }));
+    }
+
+    #[test]
+    fn digest_reflects_bit_identity() {
+        let a = Matrix::from_fn(2, 2, |i, j| (i + j) as f64);
+        let mut b = a.clone();
+        let stats = NetworkStats::new(1);
+        assert_eq!(RunDigest::new(&stats, &a), RunDigest::new(&stats, &b));
+        b.as_mut_slice()[0] += 1e-12;
+        assert_ne!(
+            RunDigest::new(&stats, &a).centers_hash,
+            RunDigest::new(&stats, &b).centers_hash
+        );
+    }
+
+    #[test]
+    fn hello_validation() {
+        assert!(decode_hello(&[0; 5]).is_err());
+        let mut ok = encode_hello(ROLE_SOURCE, 1, 4, 9);
+        assert_eq!(decode_hello(&ok).unwrap(), (ROLE_SOURCE, 1, 4, 9));
+        ok[0] ^= 0xFF; // corrupt magic
+        assert!(matches!(decode_hello(&ok), Err(NetError::Handshake { .. })));
+    }
+}

@@ -1,0 +1,201 @@
+//! The transport abstraction: one interface over the in-process
+//! simulation and real socket backends.
+//!
+//! Every summary pipeline runs against a [`Transport`]: it hands out one
+//! [`TransportLink`] per data source (so per-source protocol phases can
+//! run on concurrent workers), routes messages between the sources and
+//! the server, and accounts every transmitted bit in a [`NetworkStats`].
+//! Two implementations exist today:
+//!
+//! * [`Network`] — the original in-process star network: a send encodes
+//!   the message, charges the exact bit length, and hands the decoded
+//!   message straight to the receiver;
+//! * [`crate::tcp`] — the same protocol bytes framed over real TCP
+//!   connections ([`crate::tcp::TcpServer`] / [`crate::tcp::TcpSource`]),
+//!   with byte-equality divergence checks so a socket run is *provably*
+//!   bit-identical to the simulation.
+//!
+//! The trait is the seam the roadmap's async backend will plug into: a
+//! tokio implementation only has to route frames and charge the same
+//! counters.
+
+use crate::messages::Message;
+use crate::network::{Network, NetworkStats, SourceLink};
+use crate::{NetError, Result};
+
+/// An independent handle for one data source's traffic, usable from a
+/// worker thread that owns it exclusively. Counters accumulate privately
+/// and are merged back via [`Transport::absorb_links`].
+pub trait TransportLink {
+    /// The source index this link belongs to.
+    fn source(&self) -> usize;
+
+    /// Sends `msg` from this source to the server and returns what the
+    /// server decodes.
+    ///
+    /// # Errors
+    ///
+    /// Wire-format round-trip failures, plus transport-specific socket
+    /// and divergence errors.
+    fn send_to_server(&mut self, msg: &Message) -> Result<Message>;
+
+    /// Delivers `msg` from the server to this source and returns what
+    /// the source decodes.
+    ///
+    /// # Errors
+    ///
+    /// See [`TransportLink::send_to_server`].
+    fn recv_from_server(&mut self, msg: &Message) -> Result<Message>;
+}
+
+/// A star network of `m` data sources and one server, with exact
+/// transmitted-bit accounting.
+pub trait Transport {
+    /// The per-source link type handed out by [`Transport::take_links`].
+    type Link: TransportLink + Send;
+
+    /// Number of data sources.
+    fn sources(&self) -> usize;
+
+    /// Sends `msg` from source `source` to the server.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownSource`] for out-of-range sources, plus the
+    /// failures of [`TransportLink::send_to_server`].
+    fn send_to_server(&mut self, source: usize, msg: &Message) -> Result<Message>;
+
+    /// Sends `msg` from the server to source `source`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Transport::send_to_server`].
+    fn send_to_source(&mut self, source: usize, msg: &Message) -> Result<Message>;
+
+    /// Broadcasts `msg` from the server to every source, returning the
+    /// decoded copy each receives.
+    ///
+    /// # Errors
+    ///
+    /// See [`Transport::send_to_server`].
+    fn broadcast_to_sources(&mut self, msg: &Message) -> Result<Vec<Message>> {
+        (0..self.sources())
+            .map(|i| self.send_to_source(i, msg))
+            .collect()
+    }
+
+    /// Hands out one independent link per source for sources
+    /// `0..count`, for concurrent per-source protocol phases; merge them
+    /// back with [`Transport::absorb_links`].
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownSource`] if `count` exceeds the source count;
+    /// socket backends additionally reject `count != sources()` (every
+    /// connected source process participates in every phase).
+    fn take_links(&mut self, count: usize) -> Result<Vec<Self::Link>>;
+
+    /// Merges the counters accumulated on `links` back into this
+    /// transport's statistics (and, for socket backends, returns the
+    /// connections).
+    fn absorb_links(&mut self, links: Vec<Self::Link>);
+
+    /// Read access to the accumulated statistics.
+    fn stats(&self) -> &NetworkStats;
+}
+
+impl TransportLink for SourceLink {
+    fn source(&self) -> usize {
+        SourceLink::source(self)
+    }
+
+    fn send_to_server(&mut self, msg: &Message) -> Result<Message> {
+        SourceLink::send_to_server(self, msg)
+    }
+
+    fn recv_from_server(&mut self, msg: &Message) -> Result<Message> {
+        SourceLink::recv_from_server(self, msg)
+    }
+}
+
+impl Transport for Network {
+    type Link = SourceLink;
+
+    fn sources(&self) -> usize {
+        Network::sources(self)
+    }
+
+    fn send_to_server(&mut self, source: usize, msg: &Message) -> Result<Message> {
+        Network::send_to_server(self, source, msg)
+    }
+
+    fn send_to_source(&mut self, source: usize, msg: &Message) -> Result<Message> {
+        Network::send_to_source(self, source, msg)
+    }
+
+    fn broadcast_to_sources(&mut self, msg: &Message) -> Result<Vec<Message>> {
+        Network::broadcast_to_sources(self, msg)
+    }
+
+    fn take_links(&mut self, count: usize) -> Result<Vec<Self::Link>> {
+        if count > Network::sources(self) {
+            return Err(NetError::UnknownSource {
+                source: count.saturating_sub(1),
+                sources: Network::sources(self),
+            });
+        }
+        Ok((0..count).map(SourceLink::new).collect())
+    }
+
+    fn absorb_links(&mut self, links: Vec<Self::Link>) {
+        Network::absorb(self, links);
+    }
+
+    fn stats(&self) -> &NetworkStats {
+        Network::stats(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_via_trait<T: Transport>(net: &mut T) {
+        let msg = Message::CostReport { cost: 2.5 };
+        let (_, bits) = msg.encode();
+        let mut links = net.take_links(net.sources()).unwrap();
+        for link in &mut links {
+            let got = TransportLink::send_to_server(link, &msg).unwrap();
+            assert_eq!(got, msg);
+            TransportLink::recv_from_server(link, &Message::SampleAllocation { size: 1 }).unwrap();
+        }
+        let m = links.len() as u64;
+        net.absorb_links(links);
+        assert_eq!(net.stats().total_uplink_bits(), m * bits as u64);
+        assert_eq!(net.stats().total_uplink_messages(), m);
+        assert_eq!(net.stats().total_downlink_messages(), m);
+    }
+
+    #[test]
+    fn network_implements_transport() {
+        let mut net = Network::new(3);
+        roundtrip_via_trait(&mut net);
+        // Direct sends and broadcast go through the trait too.
+        let msg = Message::CostReport { cost: 1.0 };
+        Transport::send_to_server(&mut net, 0, &msg).unwrap();
+        Transport::send_to_source(&mut net, 2, &msg).unwrap();
+        let all = Transport::broadcast_to_sources(&mut net, &msg).unwrap();
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn take_links_bounds_checked() {
+        let mut net = Network::new(2);
+        assert_eq!(net.take_links(1).unwrap().len(), 1);
+        assert_eq!(net.take_links(2).unwrap().len(), 2);
+        assert!(matches!(
+            net.take_links(3),
+            Err(NetError::UnknownSource { .. })
+        ));
+    }
+}

@@ -16,6 +16,10 @@ use ekm_quant::rounding::{EXPONENT_BITS, STORED_SIGNIFICAND_BITS};
 pub enum Precision {
     /// Full 64-bit IEEE-754 doubles.
     Full,
+    /// 32-bit IEEE-754 singles (1 + 8 + 23): the scalar is rounded to the
+    /// nearest `f32` and its bits travel verbatim — a free 2× on every
+    /// full-precision payload whenever single precision suffices.
+    F32,
     /// `1 + 11 + s` bits per scalar (the paper's quantized format).
     Quantized {
         /// Stored significand bits `s ∈ 1..=52`.
@@ -28,6 +32,7 @@ impl Precision {
     pub fn bits_per_scalar(&self) -> u32 {
         match self {
             Precision::Full => 64,
+            Precision::F32 => 32,
             Precision::Quantized { s } => 1 + EXPONENT_BITS + s,
         }
     }
@@ -39,7 +44,7 @@ impl Precision {
     /// Returns [`NetError::InvalidPrecision`] if `s ∉ 1..=52`.
     pub fn validate(&self) -> Result<()> {
         match *self {
-            Precision::Full => Ok(()),
+            Precision::Full | Precision::F32 => Ok(()),
             Precision::Quantized { s } => {
                 if s == 0 || s > STORED_SIGNIFICAND_BITS {
                     Err(NetError::InvalidPrecision { s })
@@ -50,12 +55,18 @@ impl Precision {
         }
     }
 
-    /// Encodes the precision itself (1 + 6 bits).
+    /// Encodes the precision itself (1 + 6 bits): the leading bit selects
+    /// quantized, and for unquantized payloads the width field picks the
+    /// IEEE-754 size (0 → 64-bit, 32 → 32-bit).
     pub(crate) fn encode(&self, w: &mut BitWriter) {
         match *self {
             Precision::Full => {
                 w.write_bits(0, 1);
                 w.write_bits(0, 6);
+            }
+            Precision::F32 => {
+                w.write_bits(0, 1);
+                w.write_bits(32, 6);
             }
             Precision::Quantized { s } => {
                 w.write_bits(1, 1);
@@ -68,10 +79,15 @@ impl Precision {
     pub(crate) fn decode(r: &mut BitReader<'_>) -> Result<Precision> {
         let quantized = r.read_bits(1)? == 1;
         let s = r.read_bits(6)? as u32;
-        let p = if quantized {
-            Precision::Quantized { s }
-        } else {
-            Precision::Full
+        let p = match (quantized, s) {
+            (false, 0) => Precision::Full,
+            (false, 32) => Precision::F32,
+            (false, _) => {
+                return Err(NetError::MalformedMessage {
+                    reason: "unknown unquantized precision width",
+                })
+            }
+            (true, s) => Precision::Quantized { s },
         };
         p.validate()?;
         Ok(p)
@@ -82,6 +98,7 @@ impl Precision {
 pub fn encode_f64(w: &mut BitWriter, x: f64, precision: Precision) {
     match precision {
         Precision::Full => w.write_bits(x.to_bits(), 64),
+        Precision::F32 => w.write_bits((x as f32).to_bits() as u64, 32),
         Precision::Quantized { s } => {
             let bits = x.to_bits();
             let sign = bits >> 63;
@@ -103,6 +120,7 @@ pub fn encode_f64(w: &mut BitWriter, x: f64, precision: Precision) {
 pub fn decode_f64(r: &mut BitReader<'_>, precision: Precision) -> Result<f64> {
     match precision {
         Precision::Full => Ok(f64::from_bits(r.read_bits(64)?)),
+        Precision::F32 => Ok(f32::from_bits(r.read_bits(32)? as u32) as f64),
         Precision::Quantized { s } => {
             let sign = r.read_bits(1)?;
             let exponent = r.read_bits(EXPONENT_BITS)?;
@@ -239,14 +257,40 @@ mod tests {
     #[test]
     fn bits_per_scalar() {
         assert_eq!(Precision::Full.bits_per_scalar(), 64);
+        assert_eq!(Precision::F32.bits_per_scalar(), 32);
         assert_eq!(Precision::Quantized { s: 8 }.bits_per_scalar(), 20);
         assert_eq!(Precision::Quantized { s: 52 }.bits_per_scalar(), 64);
+    }
+
+    #[test]
+    fn f32_roundtrip_is_the_nearest_single() {
+        // Exact for f32-representable values (sign, zero, subnormal, inf).
+        for &x in &[
+            0.0,
+            -0.0,
+            1.5,
+            -3.25,
+            f32::MIN_POSITIVE as f64,
+            2f64.powi(90),
+        ] {
+            let y = roundtrip_f64(x, Precision::F32);
+            assert_eq!(y.to_bits(), x.to_bits(), "{x}");
+        }
+        assert!(roundtrip_f64(f64::NAN, Precision::F32).is_nan());
+        // Values outside f32 range saturate to ±inf, like the cast.
+        assert_eq!(roundtrip_f64(1e300, Precision::F32), f64::INFINITY);
+        // Otherwise the decode is exactly (x as f32) as f64 — idempotent.
+        let x = std::f64::consts::PI;
+        let y = roundtrip_f64(x, Precision::F32);
+        assert_eq!(y, (x as f32) as f64);
+        assert_eq!(roundtrip_f64(y, Precision::F32), y);
     }
 
     #[test]
     fn precision_descriptor_roundtrip() {
         for p in [
             Precision::Full,
+            Precision::F32,
             Precision::Quantized { s: 1 },
             Precision::Quantized { s: 52 },
         ] {
@@ -261,9 +305,23 @@ mod tests {
     #[test]
     fn precision_validation() {
         assert!(Precision::Full.validate().is_ok());
+        assert!(Precision::F32.validate().is_ok());
         assert!(Precision::Quantized { s: 52 }.validate().is_ok());
         assert!(Precision::Quantized { s: 0 }.validate().is_err());
         assert!(Precision::Quantized { s: 53 }.validate().is_err());
+    }
+
+    #[test]
+    fn unknown_unquantized_width_rejected() {
+        let mut w = BitWriter::new();
+        w.write_bits(0, 1);
+        w.write_bits(7, 6); // neither 0 (Full) nor 32 (F32)
+        let (buf, bits) = w.finish();
+        let mut r = BitReader::new(&buf, bits);
+        assert!(matches!(
+            Precision::decode(&mut r),
+            Err(NetError::MalformedMessage { .. })
+        ));
     }
 
     #[test]

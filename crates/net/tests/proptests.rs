@@ -48,6 +48,69 @@ proptest! {
         prop_assert_eq!(x.to_bits(), y.to_bits());
     }
 
+    /// F32 encoding decodes to exactly `(x as f32) as f64` — the nearest
+    /// single — in exactly 32 bits, and is idempotent: re-encoding a
+    /// decoded value is lossless.
+    #[test]
+    fn f32_roundtrip(x in proptest::num::f64::ANY) {
+        let mut w = BitWriter::new();
+        encode_f64(&mut w, x, Precision::F32);
+        let (buf, bits) = w.finish();
+        prop_assert_eq!(bits, 32);
+        let mut r = BitReader::new(&buf, bits);
+        let y = decode_f64(&mut r, Precision::F32).unwrap();
+        prop_assert_eq!(y.to_bits(), ((x as f32) as f64).to_bits());
+        // Idempotence: a second trip through the wire is exact.
+        let mut w = BitWriter::new();
+        encode_f64(&mut w, y, Precision::F32);
+        let (buf, bits) = w.finish();
+        let mut r = BitReader::new(&buf, bits);
+        prop_assert_eq!(decode_f64(&mut r, Precision::F32).unwrap().to_bits(), y.to_bits());
+    }
+
+    /// F32 matrices round-trip at exactly half the full-precision size,
+    /// and losslessly once the entries are f32-representable.
+    #[test]
+    fn f32_matrix_roundtrip(m in small_matrix()) {
+        let single = Matrix::from_vec(
+            m.rows(),
+            m.cols(),
+            m.as_slice().iter().map(|&x| (x as f32) as f64).collect(),
+        );
+        let mut w = BitWriter::new();
+        encode_matrix(&mut w, &single, Precision::F32);
+        let (buf, bits) = w.finish();
+        let entries = (m.rows() * m.cols()) as u32;
+        prop_assert_eq!(bits as u32, 64 + 32 * entries);
+        let mut r = BitReader::new(&buf, bits);
+        let back = decode_matrix(&mut r, Precision::F32).unwrap();
+        prop_assert_eq!(back.shape(), single.shape());
+        for (a, b) in single.as_slice().iter().zip(back.as_slice()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(r.remaining(), 0);
+    }
+
+    /// Coreset messages carrying an F32 payload round-trip (the
+    /// precision descriptor distinguishes all three variants).
+    #[test]
+    fn f32_coreset_message_roundtrip(points in small_matrix(), delta in 0.0f64..10.0) {
+        let single = Matrix::from_vec(
+            points.rows(),
+            points.cols(),
+            points.as_slice().iter().map(|&x| (x as f32) as f64).collect(),
+        );
+        let msg = Message::Coreset {
+            points: single,
+            weights: vec![1.0; points.rows()],
+            delta,
+            precision: Precision::F32,
+        };
+        let (buf, bits) = msg.encode();
+        let back = Message::decode(&buf, bits).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
     /// Quantize-then-encode is lossless at the matching precision.
     #[test]
     fn quantized_roundtrip(x in -1.0e9f64..1.0e9, s in 1u32..=52) {

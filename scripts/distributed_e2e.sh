@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# End-to-end distributed smoke test: launches `ekm serve` plus N real
+# `ekm source` processes over loopback TCP and asserts that every
+# process exits cleanly, that the server measured nonzero uplink bits,
+# and that the digest line confirms the run was bit-identical across
+# all processes. Run locally or from the CI `distributed-e2e` job:
+#
+#   cargo build --release && scripts/distributed_e2e.sh
+set -euo pipefail
+
+BIN=${EKM_BIN:-target/release/ekm}
+PORT=${EKM_E2E_PORT:-17071}
+ADDR="127.0.0.1:${PORT}"
+# Hard per-process deadline: `ekm serve` blocks in accept() with no
+# timeout until every source has handshaked, so a source that dies
+# before connecting would otherwise hang the round (and the CI job).
+ROUND_TIMEOUT=${EKM_E2E_TIMEOUT:-180}
+LOGDIR=$(mktemp -d)
+trap 'rm -rf "$LOGDIR"' EXIT
+
+run_round() {
+    local label=$1
+    shift
+    local sources=$1
+    shift
+    local common=("$@")
+
+    echo "=== ${label}: ${common[*]} (${sources} sources) ==="
+    timeout --kill-after=10 "$ROUND_TIMEOUT" \
+        "$BIN" serve --listen "$ADDR" --sources "$sources" "${common[@]}" \
+        >"$LOGDIR/serve.log" 2>&1 &
+    local serve_pid=$!
+
+    local src_pids=()
+    for ((i = 0; i < sources; i++)); do
+        timeout --kill-after=10 "$ROUND_TIMEOUT" \
+            "$BIN" source --connect "$ADDR" --source-id "$i" --sources "$sources" \
+            "${common[@]}" >"$LOGDIR/source-$i.log" 2>&1 &
+        src_pids+=($!)
+    done
+
+    local failed=0
+    for ((i = 0; i < sources; i++)); do
+        if ! wait "${src_pids[$i]}"; then
+            echo "FAIL: source $i exited nonzero"
+            failed=1
+        fi
+    done
+    # A dead source leaves serve blocked in accept(); don't wait for it.
+    if [[ $failed -ne 0 ]]; then
+        kill "$serve_pid" 2>/dev/null || true
+    fi
+    if ! wait "$serve_pid"; then
+        echo "FAIL: serve exited nonzero"
+        failed=1
+    fi
+
+    sed 's/^/  serve  | /' "$LOGDIR/serve.log"
+    for ((i = 0; i < sources; i++)); do
+        sed "s/^/  src $i  | /" "$LOGDIR/source-$i.log"
+    done
+    if [[ $failed -ne 0 ]]; then
+        exit 1
+    fi
+
+    # The run must have transmitted real bits…
+    local bits
+    bits=$(sed -n 's/^total uplink-bits \([0-9]*\)$/\1/p' "$LOGDIR/serve.log")
+    if [[ -z "$bits" || "$bits" -eq 0 ]]; then
+        echo "FAIL: server reported no uplink bits"
+        exit 1
+    fi
+    # …and every process must have verified the shared digest.
+    if ! grep -q "verified bit-identical" "$LOGDIR/serve.log"; then
+        echo "FAIL: server did not verify the run digest"
+        exit 1
+    fi
+    for ((i = 0; i < sources; i++)); do
+        if ! grep -q "verified bit-identical" "$LOGDIR/source-$i.log"; then
+            echo "FAIL: source $i did not verify the run digest"
+            exit 1
+        fi
+    done
+    echo "OK: ${label} transmitted ${bits} uplink bits, digests verified"
+}
+
+# A named distributed pipeline (Algorithm 4), a quantized arbitrary
+# --stages composition, and a centralized pipeline over a single remote
+# source.
+run_round "jl-bklw" 3 \
+    --pipeline jl-bklw --dataset mixture --n 600 --d 40 --k 2 --seed 7
+run_round "stages" 2 \
+    --stages dispca,jl,qt:8,disss --dataset mixture --n 400 --d 30 --k 2 --seed 11
+run_round "centralized" 1 \
+    --pipeline jl-fss-jl --dataset mnist-like --n 500 --d 196 --k 2 --seed 5
+
+echo "distributed e2e: all rounds passed"

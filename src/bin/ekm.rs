@@ -1,11 +1,13 @@
 //! `ekm` — command-line driver for the edge-kmeans pipelines.
 //!
 //! ```text
-//! ekm run   --pipeline jl-fss-jl --dataset mnist-like --n 2000 --k 2
-//! ekm run   --stages jl,fss,qt,jl --quantize 8
-//! ekm sweep --dataset neurips-like --n 1500 --d 500
-//! ekm sweep --stages "jl,fss,qt;dispca,jl,disss"
-//! ekm qtopt --dataset mnist-like --y0 2.0
+//! ekm run    --pipeline jl-fss-jl --dataset mnist-like --n 2000 --k 2
+//! ekm run    --stages jl,fss,qt,jl --quantize 8
+//! ekm sweep  --dataset neurips-like --n 1500 --d 500
+//! ekm sweep  --stages "jl,fss,qt;dispca,jl,disss"
+//! ekm qtopt  --dataset mnist-like --y0 2.0
+//! ekm serve  --listen 127.0.0.1:7000 --pipeline jl-bklw --sources 3
+//! ekm source --connect 127.0.0.1:7000 --source-id 0 --pipeline jl-bklw --sources 3
 //! ekm --help
 //! ```
 //!
@@ -19,9 +21,12 @@ use edge_kmeans::data::neurips_like::NeurIpsLike;
 use edge_kmeans::data::normalize::normalize_paper;
 use edge_kmeans::data::partition::partition_uniform;
 use edge_kmeans::data::synth::GaussianMixture;
+use edge_kmeans::net::tcp::{self, RunDigest, TcpServerBinding, TcpSource};
+use edge_kmeans::net::Transport;
 use edge_kmeans::prelude::*;
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::time::Duration;
 
 const HELP: &str = "\
 ekm — communication-efficient k-means for edge-based machine learning
@@ -33,9 +38,17 @@ COMMANDS:
     run      run one pipeline end to end and print the three paper metrics
     sweep    run every pipeline on one dataset (the Figure 1 comparison)
     qtopt    run the Section 6.3 quantizer-configuration optimizer
+    serve    run the server of a distributed deployment over real TCP:
+             listens for the data-source processes, runs the pipeline,
+             and verifies the run is bit-identical across all processes
+    source   run one data-source process of a distributed deployment
+             (launch with the same dataset/pipeline flags as the server)
     help     show this message
 
 FLAGS (with defaults):
+    --listen <addr>     serve: listen address, e.g. 127.0.0.1:7000
+    --connect <addr>    source: the server's address
+    --source-id <int>   source: which source this process plays
     --pipeline <name>   nr | fss | jl-fss | fss-jl | jl-fss-jl |
                         bklw | jl-bklw | bklw-jl    [jl-fss-jl]
     --stages <list>     run an arbitrary DR/CR/QT composition instead of
@@ -59,6 +72,9 @@ EXAMPLES:
     ekm run --stages dispca,jl,disss --sources 5
     ekm sweep --dataset mnist-like --quantize 10
     ekm sweep --stages \"jl,fss;fss,jl,qt:6\"
+    ekm serve --listen 127.0.0.1:7000 --pipeline bklw --sources 2 &
+    ekm source --connect 127.0.0.1:7000 --source-id 0 --pipeline bklw --sources 2 &
+    ekm source --connect 127.0.0.1:7000 --source-id 1 --pipeline bklw --sources 2
 ";
 
 /// Valid `--pipeline` names, for dispatch and error messages.
@@ -295,9 +311,10 @@ fn run_one(
     let nc = evaluation::normalized_cost(data, &out.centers, reference_cost)
         .map_err(|e| e.to_string())?;
     println!(
-        "{display:<14} cost {nc:>8.4}   comm {:>10.3e}   source {:>8.4}s   summary {:>6} pts",
+        "{display:<14} cost {nc:>8.4}   comm {:>10.3e}   source {:>8.4}s ({:>9.3e} ops)   summary {:>6} pts",
         out.normalized_comm(n, d),
         out.source_seconds,
+        out.source_ops as f64,
         out.summary_points
     );
     Ok(())
@@ -343,6 +360,152 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
             failures.join(", ")
         ))
     }
+}
+
+/// Everything both ends of a distributed deployment derive from the
+/// shared CLI flags: the pipeline, the per-source shards, and the
+/// configuration fingerprint presented during the TCP handshake.
+struct DistRun {
+    pipe: StagePipeline,
+    parts: Vec<Matrix>,
+    m: usize,
+    fingerprint: u64,
+    n: usize,
+    d: usize,
+}
+
+/// The canonical configuration string hashed into the handshake
+/// fingerprint. Covers every flag that affects the run's bits;
+/// `--parallel` is deliberately excluded (results are bit-identical
+/// either way, so the two ends may schedule differently).
+fn canonical_config(args: &Args, m: usize) -> Result<String, String> {
+    Ok(format!(
+        "dataset={};n={};d={};k={};seed={};pipeline={};stages={};quantize={};sources={m}",
+        args.get_str("dataset", "mnist-like"),
+        args.get_usize("n", 2000)?,
+        args.get_usize("d", 196)?,
+        args.get_usize("k", 2)?,
+        args.get_u64("seed", 42)?,
+        args.get_str("pipeline", "jl-fss-jl"),
+        args.get_str("stages", "-"),
+        args.get_str("quantize", "-"),
+    ))
+}
+
+/// Builds the deterministic run both `ekm serve` and `ekm source`
+/// replicate: same dataset, same shards, same pipeline, same seeds.
+fn prepare_dist_run(args: &Args) -> Result<DistRun, String> {
+    let data = build_dataset(args)?;
+    let (n, d) = data.shape();
+    let params = build_params(args, n, d)?;
+    let sources = args.get_usize("sources", 10)?;
+    let pipe = select_pipelines(args, &params, false)?
+        .into_iter()
+        .next()
+        .expect("one pipeline selected");
+    let (parts, m) = if pipe.is_distributed() {
+        let shards =
+            partition_uniform(&data, sources, pipe.params().seed).map_err(|e| e.to_string())?;
+        (shards, sources)
+    } else {
+        // Centralized pipelines have a single data source holding the
+        // whole dataset.
+        (vec![data], 1)
+    };
+    let fingerprint = tcp::fingerprint(&canonical_config(args, m)?);
+    Ok(DistRun {
+        pipe,
+        parts,
+        m,
+        fingerprint,
+        n,
+        d,
+    })
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let addr = args
+        .flags
+        .get("listen")
+        .ok_or("serve needs --listen <addr>")?
+        .clone();
+    let run = prepare_dist_run(args)?;
+    let binding = TcpServerBinding::bind(addr.as_str()).map_err(|e| e.to_string())?;
+    println!(
+        "listening on {} for {} source(s), pipeline {} [config {:#018x}]",
+        binding.local_addr().map_err(|e| e.to_string())?,
+        run.m,
+        run.pipe.name(),
+        run.fingerprint
+    );
+    let mut net = binding
+        .accept(run.m, run.fingerprint)
+        .map_err(|e| e.to_string())?;
+    println!("all {} source(s) connected; running", run.m);
+    let out = run
+        .pipe
+        .run_shards(&run.parts, &mut net)
+        .map_err(|e| e.to_string())?;
+    let digest = RunDigest::new(net.stats(), &out.centers);
+    net.finish(digest).map_err(|e| e.to_string())?;
+    println!(
+        "{} complete: centers {}x{}, comm {:.3e}, summary {} pts",
+        run.pipe.name(),
+        out.centers.rows(),
+        out.centers.cols(),
+        out.normalized_comm(run.n, run.d),
+        out.summary_points
+    );
+    for i in 0..run.m {
+        println!("source {i} uplink-bits {}", net.stats().uplink_bits(i));
+    }
+    println!("total uplink-bits {}", out.uplink_bits);
+    println!(
+        "digest {:#018x}: verified bit-identical across all {} process(es)",
+        digest.centers_hash, run.m
+    );
+    Ok(())
+}
+
+fn cmd_source(args: &Args) -> Result<(), String> {
+    let addr = args
+        .flags
+        .get("connect")
+        .ok_or("source needs --connect <addr>")?
+        .clone();
+    args.flags
+        .get("source-id")
+        .ok_or("source needs --source-id <int>")?;
+    let id = args.get_usize("source-id", 0)?;
+    let run = prepare_dist_run(args)?;
+    if id >= run.m {
+        return Err(format!(
+            "--source-id {id} out of range for {} source(s)",
+            run.m
+        ));
+    }
+    let mut net = TcpSource::connect(
+        addr.as_str(),
+        id,
+        run.m,
+        run.fingerprint,
+        Duration::from_secs(30),
+    )
+    .map_err(|e| e.to_string())?;
+    let out = run
+        .pipe
+        .run_shards(&run.parts, &mut net)
+        .map_err(|e| e.to_string())?;
+    let digest = RunDigest::new(net.stats(), &out.centers);
+    net.finish(digest).map_err(|e| e.to_string())?;
+    println!(
+        "source {id}: {} verified bit-identical with server \
+         (own uplink-bits {}, digest {:#018x})",
+        run.pipe.name(),
+        net.stats().uplink_bits(id),
+        digest.centers_hash
+    );
+    Ok(())
 }
 
 fn cmd_qtopt(args: &Args) -> Result<(), String> {
@@ -394,6 +557,8 @@ fn main() -> ExitCode {
         "run" => cmd_run(&args),
         "sweep" => cmd_sweep(&args),
         "qtopt" => cmd_qtopt(&args),
+        "serve" => cmd_serve(&args),
+        "source" => cmd_source(&args),
         "help" => {
             println!("{HELP}");
             Ok(())
@@ -530,6 +695,64 @@ mod tests {
         // Without a quantizer nothing is inserted.
         let pipe = composition_from("jl,fss", &test_params()).unwrap();
         assert_eq!(pipe.stages().len(), 2);
+    }
+
+    #[test]
+    fn serve_and_source_require_their_flags() {
+        assert!(cmd_serve(&args(&["serve"]).unwrap())
+            .unwrap_err()
+            .contains("--listen"));
+        assert!(cmd_source(&args(&["source"]).unwrap())
+            .unwrap_err()
+            .contains("--connect"));
+        let a = args(&["source", "--connect", "127.0.0.1:1"]).unwrap();
+        assert!(cmd_source(&a).unwrap_err().contains("--source-id"));
+    }
+
+    #[test]
+    fn fingerprint_covers_run_shaping_flags_only() {
+        let base = args(&["serve", "--n", "500", "--seed", "7"]).unwrap();
+        let fp = |a: &Args| tcp::fingerprint(&canonical_config(a, 3).unwrap());
+        // A different seed changes the fingerprint…
+        let other = args(&["serve", "--n", "500", "--seed", "8"]).unwrap();
+        assert_ne!(fp(&base), fp(&other));
+        // …but --parallel does not (results are bit-identical either way).
+        let par = args(&["serve", "--n", "500", "--seed", "7", "--parallel", "off"]).unwrap();
+        assert_eq!(fp(&base), fp(&par));
+    }
+
+    #[test]
+    fn dist_run_shards_follow_pipeline_kind() {
+        let a = args(&[
+            "serve",
+            "--pipeline",
+            "bklw",
+            "--sources",
+            "3",
+            "--n",
+            "90",
+            "--d",
+            "16",
+        ])
+        .unwrap();
+        let run = prepare_dist_run(&a).unwrap();
+        assert_eq!(run.m, 3);
+        assert_eq!(run.parts.len(), 3);
+        let a = args(&[
+            "serve",
+            "--pipeline",
+            "fss",
+            "--sources",
+            "3",
+            "--n",
+            "90",
+            "--d",
+            "16",
+        ])
+        .unwrap();
+        let run = prepare_dist_run(&a).unwrap();
+        assert_eq!((run.m, run.parts.len()), (1, 1));
+        assert_eq!(run.parts[0].rows(), 90);
     }
 
     #[test]

@@ -19,11 +19,13 @@ fn workload(seed: u64) -> Matrix {
     normalize_paper(&ds.points).0
 }
 
-/// Best-of-3 source time. The pipelines are deterministic given their
-/// seed, so repeated runs produce identical outputs and the minimum
-/// isolates intrinsic compute from scheduler noise — the test binary
-/// runs suites in parallel, and a preempted single run can otherwise
-/// flip the complexity comparisons below.
+/// Best-of-3 source time, for the one *absolute* wall-clock bound below.
+/// The pipelines are deterministic given their seed, so repeated runs
+/// produce identical outputs and the minimum isolates intrinsic compute
+/// from scheduler noise. All *relative* complexity comparisons use
+/// `RunOutput::source_ops` instead — deterministic operation counts that
+/// cannot flake under parallel test load (the ~1-in-5 CI flake the
+/// wall-clock 2× ratios used to cause).
 fn best_source_seconds(mut run: impl FnMut() -> RunOutput) -> f64 {
     (0..3)
         .map(|_| run().source_seconds)
@@ -53,14 +55,15 @@ fn observation_1_summaries_give_good_cheap_solutions() {
         summary.uplink_bits,
         nr.uplink_bits
     );
-    // "without incurring a high complexity at data sources" — well under
-    // a second at this scale.
+    // "without incurring a high complexity at data sources" — an
+    // absolute sanity bound (no count to compare against), with a wide
+    // margin so a loaded CI machine cannot flake it.
     let best = best_source_seconds(|| {
         JlFssJl::new(params.clone())
             .run(&data, &mut Network::new(1))
             .unwrap()
     });
-    assert!(best < 1.0, "device time {best}s");
+    assert!(best < 2.0, "device time {best}s");
 }
 
 #[test]
@@ -80,19 +83,13 @@ fn observation_2_proposed_beat_baselines() {
         alg1.uplink_bits < fss.uplink_bits,
         "Alg 1 must cut bits vs FSS"
     );
-    let fss_secs = best_source_seconds(|| {
-        Fss::new(params.clone())
-            .run(&data, &mut Network::new(1))
-            .unwrap()
-    });
-    let alg1_secs = best_source_seconds(|| {
-        JlFss::new(params.clone())
-            .run(&data, &mut Network::new(1))
-            .unwrap()
-    });
+    // Deterministic complexity comparison: JL-first avoids the exact SVD
+    // in the full d-dimensional space.
     assert!(
-        alg1_secs < fss_secs,
-        "Alg 1 must cut device time vs FSS ({alg1_secs}s vs {fss_secs}s)"
+        alg1.source_ops < fss.source_ops,
+        "Alg 1 must cut device complexity vs FSS ({} vs {} ops)",
+        alg1.source_ops,
+        fss.source_ops
     );
     assert!(
         nc_alg1 < nc_fss + 0.35,
@@ -144,18 +141,15 @@ fn observation_3_quantization_is_free_bits() {
         nc_quant < nc_plain + 0.05,
         "quantized cost {nc_quant} vs plain {nc_plain}"
     );
-    // "or the running time"
-    let plain_secs = best_source_seconds(|| {
-        JlFssJl::new(base.clone())
-            .run(&data, &mut Network::new(1))
-            .unwrap()
-    });
-    let quant_secs = best_source_seconds(|| {
-        JlFssJl::new(base_q.clone())
-            .run(&data, &mut Network::new(1))
-            .unwrap()
-    });
-    assert!(quant_secs < plain_secs * 3.0 + 0.05);
+    // "or the running time": quantization adds only an O(n·d) rounding
+    // pass on the summary — negligible next to the summary construction
+    // (deterministic operation counts, so this cannot flake).
+    assert!(
+        quant.source_ops < plain.source_ops + plain.source_ops / 2,
+        "QT ops {} vs plain {}",
+        quant.source_ops,
+        plain.source_ops
+    );
 }
 
 #[test]
@@ -173,19 +167,12 @@ fn headline_order_matters_tradeoff() {
     // Alg 3 matches Alg 2's bits…
     assert!(alg3.uplink_bits <= alg2.uplink_bits + alg2.uplink_bits / 100);
     assert!(alg3.uplink_bits < alg1.uplink_bits);
-    // …and Alg 1's device speed (Alg 2 pays the exact-SVD price).
-    let alg2_secs = best_source_seconds(|| {
-        FssJl::new(params.clone())
-            .run(&data, &mut Network::new(1))
-            .unwrap()
-    });
-    let alg3_secs = best_source_seconds(|| {
-        JlFssJl::new(params.clone())
-            .run(&data, &mut Network::new(1))
-            .unwrap()
-    });
+    // …and Alg 1's device complexity (Alg 2 pays the exact-SVD price in
+    // the full d-dimensional space) — deterministic operation counts.
     assert!(
-        alg3_secs < alg2_secs / 2.0,
-        "Alg 3 device time {alg3_secs}s vs Alg 2 {alg2_secs}s"
+        alg3.source_ops * 2 < alg2.source_ops,
+        "Alg 3 device ops {} vs Alg 2 {}",
+        alg3.source_ops,
+        alg2.source_ops
     );
 }

@@ -1,0 +1,233 @@
+//! Transport-equivalence tests: a pipeline run over real loopback-TCP
+//! processes (threads here; the `distributed_e2e` CI job uses actual
+//! processes) must be indistinguishable from the in-process `Network`
+//! simulation — the same `NetworkStats` to the bit (total, per-source,
+//! per message kind) and bit-identical centers — for every named paper
+//! pipeline and for arbitrary `--stages` compositions.
+//!
+//! The TCP backend additionally *verifies* equivalence at runtime: the
+//! server checks every received frame byte-for-byte against its
+//! replicated local encoding, and both ends exchange a run digest at
+//! shutdown, so a passing run is a proof, not a coincidence.
+
+use edge_kmeans::data::mnist_like::MnistLike;
+use edge_kmeans::data::normalize::normalize_paper;
+use edge_kmeans::data::partition::partition_uniform;
+use edge_kmeans::net::tcp::{RunDigest, TcpServerBinding, TcpSource};
+use edge_kmeans::net::{NetworkStats, Transport};
+use edge_kmeans::prelude::*;
+use std::time::Duration;
+
+const SOURCES: usize = 4;
+const FP: u64 = 0x7E57_C0DE;
+
+fn workload(seed: u64) -> Matrix {
+    let ds = MnistLike::new(360, 8).with_seed(seed).generate().unwrap();
+    normalize_paper(&ds.points).0
+}
+
+fn params(data: &Matrix) -> SummaryParams {
+    let (n, d) = data.shape();
+    SummaryParams::practical(2, n, d).with_seed(23)
+}
+
+/// The per-source shards a pipeline runs over: the whole dataset for a
+/// single-source pipeline, a uniform partition otherwise.
+fn shards(pipe: &StagePipeline, data: &Matrix) -> (Vec<Matrix>, usize) {
+    if pipe.is_distributed() {
+        let parts = partition_uniform(data, SOURCES, pipe.params().seed).unwrap();
+        (parts, SOURCES)
+    } else {
+        (vec![data.clone()], 1)
+    }
+}
+
+/// Runs `pipe` over the in-process simulation.
+fn run_simulated(pipe: &StagePipeline, parts: &[Matrix], m: usize) -> (RunOutput, NetworkStats) {
+    let mut net = Network::new(m);
+    let out = pipe.run_shards(parts, &mut net).unwrap();
+    (out, net.stats().clone())
+}
+
+/// Runs `pipe` over loopback TCP: one server transport plus `m` source
+/// transports, each on its own thread with its own connection, all
+/// finishing with the digest exchange. Returns the server's view and
+/// every source process's statistics.
+fn run_tcp(
+    pipe: &StagePipeline,
+    parts: &[Matrix],
+    m: usize,
+) -> (RunOutput, NetworkStats, Vec<NetworkStats>) {
+    let binding = TcpServerBinding::bind("127.0.0.1:0").unwrap();
+    let addr = binding.local_addr().unwrap();
+    std::thread::scope(|scope| {
+        let server = scope.spawn(|| {
+            let mut net = binding.accept(m, FP).unwrap();
+            let out = pipe.run_shards(parts, &mut net).unwrap();
+            let digest = RunDigest::new(net.stats(), &out.centers);
+            net.finish(digest).unwrap();
+            (out, net.stats().clone())
+        });
+        let sources: Vec<_> = (0..m)
+            .map(|i| {
+                scope.spawn(move || {
+                    let mut net =
+                        TcpSource::connect(addr, i, m, FP, Duration::from_secs(20)).unwrap();
+                    let out = pipe.run_shards(parts, &mut net).unwrap();
+                    let digest = RunDigest::new(net.stats(), &out.centers);
+                    net.finish(digest).unwrap();
+                    net.stats().clone()
+                })
+            })
+            .collect();
+        let (out, stats) = server.join().unwrap();
+        let source_stats = sources.into_iter().map(|s| s.join().unwrap()).collect();
+        (out, stats, source_stats)
+    })
+}
+
+/// The core assertion: TCP and simulation agree exactly.
+fn assert_transport_equivalent(label: &str, pipe: &StagePipeline, data: &Matrix) {
+    let (parts, m) = shards(pipe, data);
+    let (sim_out, sim_stats) = run_simulated(pipe, &parts, m);
+    let (tcp_out, tcp_stats, source_stats) = run_tcp(pipe, &parts, m);
+
+    assert_eq!(
+        tcp_stats, sim_stats,
+        "{label}: server NetworkStats differ from the simulation"
+    );
+    assert_eq!(tcp_out.uplink_bits, sim_out.uplink_bits, "{label}: uplink");
+    assert_eq!(
+        tcp_out.downlink_bits, sim_out.downlink_bits,
+        "{label}: downlink"
+    );
+    assert_eq!(
+        tcp_out.summary_points, sim_out.summary_points,
+        "{label}: summary size"
+    );
+    assert_eq!(
+        tcp_out.source_ops, sim_out.source_ops,
+        "{label}: operation counts"
+    );
+    for i in 0..m {
+        assert_eq!(
+            tcp_stats.uplink_bits(i),
+            sim_stats.uplink_bits(i),
+            "{label}: per-source bits, source {i}"
+        );
+    }
+    assert_eq!(
+        tcp_stats.uplink_bits_by_kind(),
+        sim_stats.uplink_bits_by_kind(),
+        "{label}: by-kind breakdown"
+    );
+    // Centers bit-identical, not approximately equal.
+    assert_eq!(tcp_out.centers.shape(), sim_out.centers.shape(), "{label}");
+    for (a, b) in tcp_out
+        .centers
+        .as_slice()
+        .iter()
+        .zip(sim_out.centers.as_slice())
+    {
+        assert_eq!(a.to_bits(), b.to_bits(), "{label}: centers diverge");
+    }
+    // Every source process observed the same totals as the server (its
+    // local echoes replicate the other sources exactly).
+    for (i, s) in source_stats.iter().enumerate() {
+        assert_eq!(
+            s, &sim_stats,
+            "{label}: source process {i} stats differ from the simulation"
+        );
+    }
+}
+
+fn named(name: &str, p: &SummaryParams) -> StagePipeline {
+    let p = p.clone();
+    match name {
+        "NR" => NoReduction::new(p).into_stage_pipeline(),
+        "FSS" => Fss::new(p).into_stage_pipeline(),
+        "JL+FSS" => JlFss::new(p).into_stage_pipeline(),
+        "FSS+JL" => FssJl::new(p).into_stage_pipeline(),
+        "JL+FSS+JL" => JlFssJl::new(p).into_stage_pipeline(),
+        "BKLW" => Bklw::new(p).into_stage_pipeline(),
+        "JL+BKLW" => JlBklw::new(p).into_stage_pipeline(),
+        "BKLW+JL" => BklwJl::new(p).into_stage_pipeline(),
+        other => panic!("unknown pipeline {other}"),
+    }
+}
+
+#[test]
+fn centralized_named_pipelines_are_transport_equivalent() {
+    let data = workload(1);
+    let p = params(&data);
+    for name in ["NR", "FSS", "JL+FSS", "FSS+JL", "JL+FSS+JL"] {
+        assert_transport_equivalent(name, &named(name, &p), &data);
+    }
+}
+
+#[test]
+fn distributed_named_pipelines_are_transport_equivalent() {
+    let data = workload(2);
+    let p = params(&data);
+    for name in ["BKLW", "JL+BKLW", "BKLW+JL"] {
+        assert_transport_equivalent(name, &named(name, &p), &data);
+    }
+}
+
+#[test]
+fn quantized_pipelines_are_transport_equivalent() {
+    let data = workload(3);
+    let q = RoundingQuantizer::new(8).unwrap();
+    let p = params(&data).with_quantizer(q);
+    for name in ["JL+FSS+JL", "BKLW"] {
+        assert_transport_equivalent(&format!("{name}+QT"), &named(name, &p), &data);
+    }
+}
+
+#[test]
+fn arbitrary_stage_compositions_are_transport_equivalent() {
+    let data = workload(4);
+    let p = params(&data);
+    // One centralized and one distributed composition the paper never
+    // evaluated, exactly as `--stages` would build them.
+    for list in ["jl,fss,qt:6,jl", "jl,dispca,qt:9,disss"] {
+        let pipe = StagePipeline::from_names(list, p.clone()).unwrap();
+        assert_transport_equivalent(list, &pipe, &data);
+    }
+}
+
+#[test]
+fn sequential_and_parallel_tcp_runs_are_equivalent_too() {
+    // The divergence checks must hold regardless of worker scheduling on
+    // either end: run the server parallel and the sources sequential.
+    let data = workload(5);
+    let pipe = StagePipeline::from_names("dispca,disss", params(&data)).unwrap();
+    let (parts, m) = shards(&pipe, &data);
+    let sequential = pipe.clone().with_parallel(false);
+
+    let binding = TcpServerBinding::bind("127.0.0.1:0").unwrap();
+    let addr = binding.local_addr().unwrap();
+    let (out, stats) = std::thread::scope(|scope| {
+        let server = scope.spawn(|| {
+            let mut net = binding.accept(m, FP).unwrap();
+            let out = pipe.run_shards(&parts, &mut net).unwrap();
+            let digest = RunDigest::new(net.stats(), &out.centers);
+            net.finish(digest).unwrap();
+            (out, net.stats().clone())
+        });
+        for i in 0..m {
+            let seq = &sequential;
+            let parts = &parts;
+            scope.spawn(move || {
+                let mut net = TcpSource::connect(addr, i, m, FP, Duration::from_secs(20)).unwrap();
+                let out = seq.run_shards(parts, &mut net).unwrap();
+                let digest = RunDigest::new(net.stats(), &out.centers);
+                net.finish(digest).unwrap();
+            });
+        }
+        server.join().unwrap()
+    });
+    let (sim_out, sim_stats) = run_simulated(&pipe, &parts, m);
+    assert_eq!(stats, sim_stats);
+    assert_eq!(out.uplink_bits, sim_out.uplink_bits);
+}
