@@ -1,8 +1,24 @@
 //! Weighted Lloyd iteration with empty-cluster repair.
+//!
+//! The centroid-update step is *sharded*: the points are cut into
+//! fixed-size row chunks, every chunk's partial sums are computed
+//! independently (on up to [`LloydConfig::shards`] scoped worker
+//! threads), and the partials are folded into the global sums in chunk
+//! order. Because the chunk boundaries and the fold order depend only on
+//! the number of points — never on the shard count or the thread
+//! schedule — the result is **bit-identical** at every shard count,
+//! including the sequential `shards = 1` solve (asserted by the
+//! `sharded_lloyd_*` proptests).
 
 use crate::cost::{assign, validate_weights, Assignment};
 use crate::{ClusteringError, Result};
-use ekm_linalg::Matrix;
+use ekm_linalg::{parallel, Matrix};
+
+/// Fixed row-chunk granularity of the deterministic accumulation tree.
+/// A constant (rather than `n / shards`) is what makes the fold graph —
+/// and therefore the floating-point rounding — independent of the shard
+/// count.
+const ACCUM_CHUNK: usize = 1024;
 
 /// Outcome of running Lloyd's algorithm from a fixed initialization.
 #[derive(Debug, Clone)]
@@ -28,6 +44,11 @@ pub struct LloydConfig {
     /// Relative improvement threshold for convergence (default `1e-7`):
     /// stop when `(prev − cur) ≤ tol · prev`.
     pub tol: f64,
+    /// Worker threads for the sharded centroid update: `1` runs on the
+    /// calling thread (the default), `0` follows the hardware via
+    /// [`ekm_linalg::parallel::worker_count`]. Centers are bit-identical
+    /// at every setting.
+    pub shards: usize,
 }
 
 impl Default for LloydConfig {
@@ -35,8 +56,80 @@ impl Default for LloydConfig {
         LloydConfig {
             max_iter: 100,
             tol: 1e-7,
+            shards: 1,
         }
     }
+}
+
+/// Resolves the shard knob: 0 = hardware parallelism.
+fn effective_shards(shards: usize) -> usize {
+    if shards == 0 {
+        parallel::worker_count()
+    } else {
+        shards
+    }
+}
+
+/// Per-chunk partial of the weighted centroid update: `k × d` sums
+/// (row-major) and `k` weight totals, accumulated in row order within
+/// the chunk.
+fn chunk_partial(
+    points: &Matrix,
+    weights: &[f64],
+    labels: &[usize],
+    k: usize,
+    chunk: usize,
+) -> (Vec<f64>, Vec<f64>) {
+    let d = points.cols();
+    let n = points.rows();
+    let start = chunk * ACCUM_CHUNK;
+    let end = (start + ACCUM_CHUNK).min(n);
+    let mut sums = vec![0.0f64; k * d];
+    let mut totals = vec![0.0f64; k];
+    for i in start..end {
+        let w = weights[i];
+        if w == 0.0 {
+            continue;
+        }
+        let c = labels[i];
+        totals[c] += w;
+        let srow = &mut sums[c * d..(c + 1) * d];
+        for (s, &v) in srow.iter_mut().zip(points.row(i)) {
+            *s += w * v;
+        }
+    }
+    (sums, totals)
+}
+
+/// The sharded centroid-update accumulation: per-chunk partials (chunk
+/// boundaries fixed by `n` alone) computed on up to `shards` workers,
+/// folded into the global sums in chunk order. The computation graph is
+/// identical for every `shards` value, so the result is bit-identical to
+/// the sequential fold by construction.
+fn accumulate_sums(
+    points: &Matrix,
+    weights: &[f64],
+    labels: &[usize],
+    k: usize,
+    shards: usize,
+) -> (Vec<f64>, Vec<f64>) {
+    let d = points.cols();
+    let n_chunks = points.rows().div_ceil(ACCUM_CHUNK).max(1);
+    let workers = effective_shards(shards).min(n_chunks);
+    let partials = parallel::par_map_indices_in(n_chunks, workers, |c| {
+        chunk_partial(points, weights, labels, k, c)
+    });
+    let mut sums = vec![0.0f64; k * d];
+    let mut totals = vec![0.0f64; k];
+    for (psums, ptotals) in partials {
+        for (s, p) in sums.iter_mut().zip(&psums) {
+            *s += p;
+        }
+        for (t, p) in totals.iter_mut().zip(&ptotals) {
+            *t += p;
+        }
+    }
+    (sums, totals)
 }
 
 /// Runs weighted Lloyd iteration from the given initial centers.
@@ -76,26 +169,13 @@ pub fn lloyd(
     let mut converged = false;
 
     for _ in 0..config.max_iter {
-        // Update step: weighted centroid per cluster.
-        let mut sums = Matrix::zeros(k, d);
-        let mut totals = vec![0.0f64; k];
-        for (i, row) in points.iter_rows().enumerate() {
-            let w = weights[i];
-            if w == 0.0 {
-                continue;
-            }
-            let c = assignment.labels[i];
-            totals[c] += w;
-            let srow = sums.row_mut(c);
-            for (s, &v) in srow.iter_mut().zip(row) {
-                *s += w * v;
-            }
-        }
+        // Update step: weighted centroid per cluster, via the sharded
+        // chunk-partial accumulation (bit-identical at any shard count).
+        let (sums, totals) = accumulate_sums(points, weights, &assignment.labels, k, config.shards);
         for c in 0..k {
             if totals[c] > 0.0 {
                 let inv = 1.0 / totals[c];
-                let srow = sums.row(c).to_vec();
-                for (j, v) in srow.iter().enumerate() {
+                for (j, v) in sums[c * d..(c + 1) * d].iter().enumerate() {
                     centers[(c, j)] = v * inv;
                 }
             }
@@ -204,6 +284,7 @@ mod tests {
                 &LloydConfig {
                     max_iter: iters,
                     tol: 0.0,
+                    ..LloydConfig::default()
                 },
             )
             .unwrap();
@@ -270,6 +351,7 @@ mod tests {
         let cfg = LloydConfig {
             max_iter: 0,
             tol: 1e-7,
+            ..LloydConfig::default()
         };
         let out = lloyd(&p, &w, &init, &cfg).unwrap();
         assert_eq!(out.iterations, 0);

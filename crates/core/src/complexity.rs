@@ -40,6 +40,14 @@ pub(crate) fn fss(n: usize, d: usize, k: usize) -> u64 {
     svd(n, d) + bicriteria(n, d.min(n), k) + matmul(n, d, 1)
 }
 
+/// Streaming merge-and-reduce summarization of an `n × d` shard with
+/// leaf size `b`: every point participates in `O(log(n/b))` reduce
+/// steps, each a D²-sampling (bicriteria-style) pass over its level.
+pub(crate) fn stream(n: usize, d: usize, k: usize, leaf: usize) -> u64 {
+    let levels = n.div_ceil(leaf.max(1)).max(1).ilog2() as u64 + 1;
+    bicriteria(n, d, k) * levels
+}
+
 /// Rounding quantization of an `n × d` block for the wire.
 pub(crate) fn quantize(n: usize, d: usize) -> u64 {
     (n as u64) * (d as u64)

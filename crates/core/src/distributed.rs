@@ -33,6 +33,7 @@ use ekm_coreset::Coreset;
 use ekm_linalg::random::{derive_seed, rng_from_seed, sample_weighted_indices};
 use ekm_linalg::{ops, svd, Matrix};
 use ekm_net::messages::Message;
+use ekm_net::wire::Precision;
 use ekm_net::{Network, Transport, TransportLink};
 use std::borrow::Borrow;
 use std::time::Instant;
@@ -99,12 +100,14 @@ fn local_svd_summary(data: &Matrix, t: usize) -> Result<(Vec<f64>, Matrix)> {
 ///
 /// Propagates SVD and protocol failures; rejects empty shard lists.
 pub fn dispca<T: Transport>(shards: &[Matrix], t: usize, net: &mut T) -> Result<DisPcaOutput> {
-    dispca_opts(shards, t, net, true)
+    dispca_opts(shards, t, net, true, Precision::Full)
 }
 
 /// [`dispca`] with explicit control over concurrent per-source execution
 /// (results are bit-identical either way; sequential mode exists for
-/// equivalence tests and debugging).
+/// equivalence tests and debugging) and over the wire precision of the
+/// SVD summaries and the broadcast basis ([`Precision::F32`] halves
+/// them; the sources then project onto the basis exactly as decoded).
 ///
 /// # Errors
 ///
@@ -114,6 +117,7 @@ pub fn dispca_opts<S: Borrow<Matrix> + Sync, T: Transport>(
     t: usize,
     net: &mut T,
     parallel: bool,
+    precision: Precision,
 ) -> Result<DisPcaOutput> {
     if shards.is_empty() {
         return Err(CoreError::InvalidConfig {
@@ -143,11 +147,13 @@ pub fn dispca_opts<S: Borrow<Matrix> + Sync, T: Transport>(
         let msg = Message::SvdSummary {
             singular_values: sv,
             basis: v,
+            precision,
         };
         match link.send_to_server(&msg)? {
             Message::SvdSummary {
                 singular_values,
                 basis,
+                ..
             } => Ok(((singular_values, basis), secs)),
             _ => Err(CoreError::Protocol {
                 reason: "expected svd summary",
@@ -183,15 +189,23 @@ pub fn dispca_opts<S: Borrow<Matrix> + Sync, T: Transport>(
     let server_seconds = t1.elapsed().as_secs_f64();
 
     // Step 3: broadcast the basis; each source computes its coordinates
-    // (concurrently — this is the `O(n_i·d·t)` projection).
+    // (concurrently — this is the `O(n_i·d·t)` projection). The sources
+    // project onto the basis *as decoded from the wire* — at F32
+    // precision that is the rounded basis, exactly what a real edge
+    // device would hold.
+    let mut decoded_basis = basis.clone();
     for link in &mut links {
-        link.recv_from_server(&Message::Basis {
+        let received = link.recv_from_server(&Message::Basis {
             basis: basis.clone(),
+            precision,
         })?;
+        if let Message::Basis { basis: b, .. } = received {
+            decoded_basis = b;
+        }
     }
     let coords_timed = par_map(shards, parallel, |_i, shard| {
         let t2 = Instant::now();
-        let c = ops::matmul(shard.borrow(), &basis)?;
+        let c = ops::matmul(shard.borrow(), &decoded_basis)?;
         Ok((c, t2.elapsed().as_secs_f64()))
     })?;
     let mut post_seconds = 0.0f64;
@@ -257,15 +271,26 @@ pub fn disss<T: Transport>(
     quantizer: Option<&ekm_quant::RoundingQuantizer>,
     net: &mut T,
 ) -> Result<DisSsOutput> {
-    disss_opts(shard_points, k, sample_size, seed, quantizer, net, true)
+    disss_opts(
+        shard_points,
+        k,
+        sample_size,
+        seed,
+        quantizer,
+        net,
+        true,
+        Precision::Full,
+    )
 }
 
 /// [`disss`] with explicit control over concurrent per-source execution
-/// (results are bit-identical either way).
+/// (results are bit-identical either way) and over the wire precision of
+/// the sample weights ([`Precision::F32`] halves that payload).
 ///
 /// # Errors
 ///
 /// See [`disss`].
+#[allow(clippy::too_many_arguments)]
 pub fn disss_opts<S: Borrow<Matrix> + Sync, T: Transport>(
     shard_points: &[S],
     k: usize,
@@ -274,6 +299,7 @@ pub fn disss_opts<S: Borrow<Matrix> + Sync, T: Transport>(
     quantizer: Option<&ekm_quant::RoundingQuantizer>,
     net: &mut T,
     parallel: bool,
+    precision: Precision,
 ) -> Result<DisSsOutput> {
     if shard_points.is_empty() {
         return Err(CoreError::InvalidConfig {
@@ -398,13 +424,14 @@ pub fn disss_opts<S: Borrow<Matrix> + Sync, T: Transport>(
         points = points.vstack(&bic.centers)?;
         weights.extend(center_weights);
 
-        let (wire_points, precision) = quantize_for_wire(&points, quantizer);
+        let (wire_points, points_precision) = quantize_for_wire(&points, quantizer);
         let secs = t0.elapsed().as_secs_f64();
         let received = link.send_to_server(&Message::Coreset {
             points: wire_points,
             weights,
             delta: 0.0,
-            precision,
+            precision: points_precision,
+            weights_precision: precision,
         })?;
         let (pts, w, delta) = expect_coreset(received)?;
         Ok((
@@ -595,9 +622,9 @@ mod tests {
         let data = workload(400, 25, 12);
         let parts = shards(&data, 5);
         let mut net_a = Network::new(5);
-        let a = dispca_opts(&parts, 5, &mut net_a, true).unwrap();
+        let a = dispca_opts(&parts, 5, &mut net_a, true, Precision::Full).unwrap();
         let mut net_b = Network::new(5);
-        let b = dispca_opts(&parts, 5, &mut net_b, false).unwrap();
+        let b = dispca_opts(&parts, 5, &mut net_b, false, Precision::Full).unwrap();
         assert!(a.basis.approx_eq(&b.basis, 0.0));
         assert_eq!(a.coords.len(), b.coords.len());
         for (ca, cb) in a.coords.iter().zip(&b.coords) {
@@ -611,9 +638,9 @@ mod tests {
         let data = workload(600, 10, 13);
         let parts = shards(&data, 6);
         let mut net_a = Network::new(6);
-        let a = disss_opts(&parts, 2, 80, 7, None, &mut net_a, true).unwrap();
+        let a = disss_opts(&parts, 2, 80, 7, None, &mut net_a, true, Precision::Full).unwrap();
         let mut net_b = Network::new(6);
-        let b = disss_opts(&parts, 2, 80, 7, None, &mut net_b, false).unwrap();
+        let b = disss_opts(&parts, 2, 80, 7, None, &mut net_b, false, Precision::Full).unwrap();
         assert!(a.coreset.points().approx_eq(b.coreset.points(), 0.0));
         assert_eq!(a.coreset.weights(), b.coreset.weights());
         assert_eq!(net_a.stats(), net_b.stats());

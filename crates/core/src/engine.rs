@@ -44,9 +44,9 @@ use crate::params::SummaryParams;
 use crate::pipelines::{expect_basis, expect_coreset, quantize_for_wire, seeds};
 use crate::projection::MaybeProjection;
 use crate::server::{lift_centers_through_basis, solve_weighted_kmeans};
-use crate::stage::{display_name, resolve_quantizer, FssStage, JlStage, Stage};
+use crate::stage::{display_name, resolve_quantizer, FssStage, JlStage, Stage, StreamStage};
 use crate::{distributed, CoreError, Result, RunOutput};
-use ekm_coreset::FssBuilder;
+use ekm_coreset::{FssBuilder, StreamingCoreset};
 use ekm_linalg::random::derive_seed;
 use ekm_linalg::{ops, Matrix};
 use ekm_net::messages::Message;
@@ -67,11 +67,12 @@ pub(crate) struct SummaryState<'a> {
     /// Per-source working point sets, in the current working space
     /// (borrowed until the first stage that replaces them).
     pub parts: Vec<Cow<'a, Matrix>>,
-    /// Coreset weights, parallel to `parts[0]`'s rows (set by a CR
-    /// stage; CR stages require a single part).
-    pub weights: Option<Vec<f64>>,
-    /// Additive coreset constant Δ.
-    pub delta: f64,
+    /// Per-source coreset weights, parallel to `parts` (set by a CR
+    /// stage: FSS fills one entry, `stream` one per source).
+    pub weights: Option<Vec<Vec<f64>>>,
+    /// Per-source additive coreset constants Δ (parallel to `parts`
+    /// whenever `weights` is set).
+    pub deltas: Vec<f64>,
     /// Basis of the working space inside its parent space, when `parts`
     /// hold coordinates (FSS basis or disPCA global basis).
     pub basis: Option<Matrix>,
@@ -107,7 +108,7 @@ impl<'a> SummaryState<'a> {
         SummaryState {
             parts,
             weights: None,
-            delta: 0.0,
+            deltas: Vec::new(),
             basis: None,
             basis_shared: false,
             projections: Vec::new(),
@@ -285,6 +286,7 @@ impl StagePipeline {
             match stage {
                 Stage::Dr(cfg) => self.apply_jl(cfg, &mut state)?,
                 Stage::Cr(cfg) => self.apply_fss(cfg, &mut state)?,
+                Stage::Stream(cfg) => self.apply_stream(cfg, &mut state)?,
                 Stage::Qt(cfg) => {
                     state.require_source_side()?;
                     state.quantizer = Some(resolve_quantizer(cfg, &self.params)?);
@@ -301,7 +303,13 @@ impl StagePipeline {
                         .rank
                         .map(|t| t.clamp(1, state.dim()))
                         .unwrap_or_else(|| self.params.effective_pca_dim(state.dim()));
-                    let out = distributed::dispca_opts(&state.parts, t, net, self.parallel)?;
+                    let out = distributed::dispca_opts(
+                        &state.parts,
+                        t,
+                        net,
+                        self.parallel,
+                        self.params.precision,
+                    )?;
                     state.parts = out.coords.into_iter().map(Cow::Owned).collect();
                     state.basis = Some(out.basis);
                     state.basis_shared = true;
@@ -326,6 +334,7 @@ impl StagePipeline {
                         state.quantizer.as_ref(),
                         net,
                         self.parallel,
+                        self.params.precision,
                     )?;
                     state.server_summary =
                         Some((out.coreset.points().clone(), out.coreset.weights().to_vec()));
@@ -412,12 +421,69 @@ impl StagePipeline {
             .with_seed(derive_seed(self.params.seed, seeds::FSS))
             .build(state.parts[0].as_ref())?;
         state.parts[0] = Cow::Owned(fss.coordinates().clone());
-        state.weights = Some(fss.weights().to_vec());
-        state.delta = fss.delta();
+        state.weights = Some(vec![fss.weights().to_vec()]);
+        state.deltas = vec![fss.delta()];
         state.basis = Some(fss.basis().clone());
         state.basis_shared = false;
         state.any_reduction = true;
         state.source_seconds += t0.elapsed().as_secs_f64();
+        Ok(())
+    }
+
+    /// Streaming CR stage: every source feeds its shard through a
+    /// merge-and-reduce [`StreamingCoreset`] on the scoped-thread fan-out
+    /// and finalizes a bounded weighted summary. The global sample budget
+    /// is split evenly across the sources (disSS-style), and each
+    /// source's randomness comes from its own derived seed stream, so
+    /// results are bit-identical under any scheduling.
+    fn apply_stream(&self, cfg: &StreamStage, state: &mut SummaryState<'_>) -> Result<()> {
+        state.require_source_side()?;
+        if state.weights.is_some() {
+            return Err(CoreError::InvalidConfig {
+                reason: "multiple coreset stages in one pipeline",
+            });
+        }
+        let m = state.parts.len();
+        let k = self.params.k;
+        let leaf = cfg.leaf_size.unwrap_or(self.params.stream_leaf_size).max(1);
+        let budget = cfg.sample_size.unwrap_or(self.params.coreset_size);
+        let per_source = budget.div_ceil(m).max(k).max(1);
+        let stream_seed = derive_seed(self.params.seed, seeds::STREAM);
+        let streamed = par_map(&state.parts, self.parallel, |i, part| {
+            let t0 = Instant::now();
+            let mut stream = StreamingCoreset::new(k, leaf, per_source)
+                .with_seed(derive_seed(stream_seed, i as u64));
+            // push_batch buffers row by row and flushes a leaf whenever
+            // the buffer fills, so one call is bit-identical to feeding
+            // leaf-sized bursts.
+            stream
+                .push_batch(part.as_ref())
+                .map_err(CoreError::Coreset)?;
+            let coreset = stream.finalize_reduced().map_err(CoreError::Coreset)?;
+            Ok((coreset, t0.elapsed().as_secs_f64()))
+        })?;
+        state.source_ops += state
+            .parts
+            .iter()
+            .map(|p| complexity::stream(p.rows(), p.cols(), k, leaf))
+            .max()
+            .unwrap_or(0);
+        let mut phase = 0.0f64;
+        let mut parts = Vec::with_capacity(m);
+        let mut weights = Vec::with_capacity(m);
+        let mut deltas = Vec::with_capacity(m);
+        for (coreset, secs) in streamed {
+            phase = phase.max(secs);
+            let (points, w, delta) = coreset.into_parts();
+            parts.push(Cow::Owned(points));
+            weights.push(w);
+            deltas.push(delta);
+        }
+        state.parts = parts;
+        state.weights = Some(weights);
+        state.deltas = deltas;
+        state.any_reduction = true;
+        state.source_seconds += phase;
         Ok(())
     }
 
@@ -435,6 +501,7 @@ impl StagePipeline {
             if !state.basis_shared {
                 let msg = Message::Basis {
                     basis: basis.clone(),
+                    precision: self.params.precision,
                 };
                 let decoded = expect_basis(links[0].send_to_server(&msg)?)?;
                 state.basis = Some(decoded);
@@ -445,25 +512,60 @@ impl StagePipeline {
         // Only summary *construction* (quantization, payload assembly)
         // counts as source compute; the encode/decode round and the
         // server-side stacking below do not.
-        let result = match &state.weights {
-            // A coreset summary: single source by construction.
-            Some(weights) => {
-                let t0 = Instant::now();
-                if state.quantizer.is_some() {
-                    state.source_ops +=
-                        complexity::quantize(state.parts[0].rows(), state.parts[0].cols());
+        let result = match state.weights.take() {
+            // Per-source weighted coresets (FSS's single source, or one
+            // streamed summary per source): each source ships its
+            // `(S_i, w_i, Δ_i)` concurrently, and the server stacks the
+            // decoded blocks in source order.
+            Some(all_weights) => {
+                let quantizer = state.quantizer;
+                if quantizer.is_some() {
+                    state.source_ops += state
+                        .parts
+                        .iter()
+                        .map(|p| complexity::quantize(p.rows(), p.cols()))
+                        .max()
+                        .unwrap_or(0);
                 }
-                let (wire, precision) =
-                    quantize_for_wire(state.parts[0].as_ref(), state.quantizer.as_ref());
-                let msg = Message::Coreset {
-                    points: wire,
-                    weights: weights.clone(),
-                    delta: state.delta,
-                    precision,
-                };
-                state.source_seconds += t0.elapsed().as_secs_f64();
-                let (points, w, _delta) = expect_coreset(links[0].send_to_server(&msg)?)?;
-                (points, w)
+                let deltas = std::mem::take(&mut state.deltas);
+                let aux = self.params.precision;
+                let parts = std::mem::take(&mut state.parts);
+                let decoded = par_map_owned(
+                    parts
+                        .into_iter()
+                        .zip(all_weights)
+                        .zip(links.iter_mut())
+                        .collect(),
+                    self.parallel,
+                    |i, ((part, w), link): ((Cow<'_, Matrix>, Vec<f64>), &mut T::Link)| {
+                        let t0 = Instant::now();
+                        let (wire, precision) =
+                            quantize_for_wire(part.as_ref(), quantizer.as_ref());
+                        let msg = Message::Coreset {
+                            points: wire,
+                            weights: w,
+                            delta: deltas[i],
+                            precision,
+                            weights_precision: aux,
+                        };
+                        let secs = t0.elapsed().as_secs_f64();
+                        let (points, w, _delta) = expect_coreset(link.send_to_server(&msg)?)?;
+                        Ok(((points, w), secs))
+                    },
+                )?;
+                let mut phase = 0.0f64;
+                let mut weights = Vec::new();
+                let mut blocks = Vec::with_capacity(decoded.len());
+                for ((points, w), secs) in decoded {
+                    phase = phase.max(secs);
+                    weights.extend(w);
+                    blocks.push(points);
+                }
+                state.source_seconds += phase;
+                let t1 = Instant::now();
+                let stacked = Matrix::vstack_all(blocks.iter())?;
+                state.server_seconds += t1.elapsed().as_secs_f64();
+                (stacked, weights)
             }
             // No CR ran: every source ships its working points raw (or
             // grid-aligned, when a QT stage armed the quantizer), and the
@@ -471,6 +573,7 @@ impl StagePipeline {
             // into their messages — transmission is their last use.
             None => {
                 let quantizer = state.quantizer;
+                let aux = self.params.precision;
                 if quantizer.is_some() {
                     state.source_ops += state
                         .parts
@@ -493,6 +596,7 @@ impl StagePipeline {
                                     weights: vec![1.0; part.rows()],
                                     delta: 0.0,
                                     precision,
+                                    weights_precision: aux,
                                 }
                             }
                             // An owned part moves into its message; only
@@ -554,6 +658,7 @@ impl StagePipeline {
             self.params.k,
             self.params.kmeans_restarts,
             derive_seed(self.params.seed, seeds::SERVER),
+            self.params.solver_shards,
         )?;
         let mut centers = match &state.basis {
             Some(basis) => lift_centers_through_basis(&centers_summary, basis)?,
@@ -757,6 +862,74 @@ mod tests {
         assert!((0..8).all(|i| net.stats().uplink_bits(i) > 0));
         let by_kind_total: u64 = net.stats().uplink_bits_by_kind().values().sum();
         assert_eq!(by_kind_total, out.uplink_bits);
+    }
+
+    #[test]
+    fn stream_stage_summarizes_every_source() {
+        let data = workload(1200, 18, 12);
+        let shards = partition_uniform(&data, 4, 7).unwrap();
+        let p = params(1200, 18).with_coreset_size(120);
+        let pipe = StagePipeline::from_names("jl,stream,qt", p).unwrap();
+        assert!(pipe.is_distributed(), "stream shards like disPCA/disSS");
+        let mut net = Network::new(4);
+        let out = pipe.run_shards(&shards, &mut net).unwrap();
+        assert_eq!(out.centers.shape(), (2, 18));
+        assert!(out.centers.as_slice().iter().all(|v| v.is_finite()));
+        // Each source shipped a bounded summary, not its shard.
+        assert!(out.summary_points < 1200 / 2, "{}", out.summary_points);
+        assert!((0..4).all(|i| net.stats().uplink_bits(i) > 0));
+        assert!(out.source_ops > 0);
+    }
+
+    #[test]
+    fn stream_parallel_and_sequential_bit_identical() {
+        let data = workload(900, 14, 13);
+        let shards = partition_uniform(&data, 3, 5).unwrap();
+        let p = params(900, 14);
+        let stages = Stage::parse_list("stream,jl").unwrap();
+        let par = StagePipeline::new(stages.clone(), p.clone());
+        let seq = StagePipeline::new(stages, p).with_parallel(false);
+        let mut net_a = Network::new(3);
+        let a = par.run_shards(&shards, &mut net_a).unwrap();
+        let mut net_b = Network::new(3);
+        let b = seq.run_shards(&shards, &mut net_b).unwrap();
+        assert!(a.centers.approx_eq(&b.centers, 0.0));
+        assert_eq!(a.uplink_bits, b.uplink_bits);
+        assert_eq!(a.source_ops, b.source_ops);
+        assert_eq!(net_a.stats(), net_b.stats());
+    }
+
+    #[test]
+    fn stream_composes_only_with_stages_that_accept_weights() {
+        let data = workload(400, 10, 14);
+        let shards = partition_uniform(&data, 2, 3).unwrap();
+        // Accepted downstream: jl, qt (and both together).
+        for list in ["stream", "stream,jl", "stream,qt", "jl,stream,jl,qt"] {
+            let pipe = StagePipeline::from_names(list, params(400, 10)).unwrap();
+            let mut net = Network::new(2);
+            let out = pipe.run_shards(&shards, &mut net).unwrap();
+            assert_eq!(out.centers.shape(), (2, 10), "{list}");
+        }
+        // Rejected: a second CR stage or an interactive protocol after
+        // the per-source summaries exist (and stream after fss).
+        for list in [
+            "stream,fss",
+            "fss,stream",
+            "stream,stream",
+            "stream,dispca",
+            "stream,disss",
+            "disss,stream",
+        ] {
+            let pipe = StagePipeline::from_names(list, params(400, 10)).unwrap();
+            let mut net = Network::new(2);
+            assert!(
+                matches!(
+                    pipe.run_shards(&shards, &mut net),
+                    Err(CoreError::InvalidConfig { .. })
+                ),
+                "{list} accepted"
+            );
+        }
     }
 
     #[test]

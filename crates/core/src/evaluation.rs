@@ -29,7 +29,7 @@ pub struct Reference {
 /// Propagates clustering failures.
 pub fn reference(data: &Matrix, k: usize, restarts: usize, seed: u64) -> Result<Reference> {
     let weights = vec![1.0; data.rows()];
-    let centers = solve_weighted_kmeans(data, &weights, k, restarts.max(1), seed)?;
+    let centers = solve_weighted_kmeans(data, &weights, k, restarts.max(1), seed, 0)?;
     let cost = ekm_clustering::cost::cost(data, &centers)?;
     Ok(Reference { centers, cost })
 }

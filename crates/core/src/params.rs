@@ -11,6 +11,7 @@
 //! * first JL dimension `⌈ln(nk)/ε²⌉` (Lemma 4.1 shape, unit constant),
 //! * second JL dimension `⌈ln(n'k)/ε²⌉` (Lemma 4.2 shape).
 
+use ekm_net::wire::Precision;
 use ekm_quant::RoundingQuantizer;
 use ekm_sketch::JlKind;
 
@@ -40,6 +41,15 @@ pub struct SummaryParams {
     pub seed: u64,
     /// k-means++ restarts of the server-side solver.
     pub kmeans_restarts: usize,
+    /// Leaf-buffer size of the `stream` stage's merge-and-reduce tree.
+    pub stream_leaf_size: usize,
+    /// Worker threads of the sharded server-side Lloyd solve (`0`
+    /// follows the hardware). Centers are bit-identical at every value.
+    pub solver_shards: usize,
+    /// Wire precision of the auxiliary float payloads — bases, coreset
+    /// weights, SVD summaries ([`Precision::Full`] by default;
+    /// [`Precision::F32`] halves them at a bounded accuracy cost).
+    pub precision: Precision,
 }
 
 impl SummaryParams {
@@ -81,6 +91,11 @@ impl SummaryParams {
             quantizer: None,
             seed: 0,
             kmeans_restarts: 3,
+            // Leaves of a few coresets' worth keep the merge-and-reduce
+            // tree shallow without hurting the per-leaf sample quality.
+            stream_leaf_size: (2 * coreset_size).max(64),
+            solver_shards: 0,
+            precision: Precision::Full,
         }
     }
 
@@ -144,6 +159,25 @@ impl SummaryParams {
         self
     }
 
+    /// Sets the `stream` stage's leaf-buffer size.
+    pub fn with_stream_leaf_size(mut self, leaf: usize) -> Self {
+        self.stream_leaf_size = leaf.max(1);
+        self
+    }
+
+    /// Sets the sharded server solve's worker count (`0` = hardware).
+    pub fn with_solver_shards(mut self, shards: usize) -> Self {
+        self.solver_shards = shards;
+        self
+    }
+
+    /// Sets the wire precision of the auxiliary payloads (bases, coreset
+    /// weights, SVD summaries).
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
     /// Validates the configuration against a dataset shape.
     ///
     /// # Errors
@@ -173,6 +207,16 @@ impl SummaryParams {
         if !(self.delta > 0.0 && self.delta < 1.0) {
             return Err(crate::CoreError::InvalidConfig {
                 reason: "delta outside (0,1)",
+            });
+        }
+        if self.stream_leaf_size == 0 {
+            return Err(crate::CoreError::InvalidConfig {
+                reason: "stream leaf size is zero",
+            });
+        }
+        if self.precision.validate().is_err() {
+            return Err(crate::CoreError::InvalidConfig {
+                reason: "invalid wire precision",
             });
         }
         Ok(())
@@ -233,6 +277,25 @@ mod tests {
         assert_eq!(p.jl_dim_after, 10);
         assert_eq!(p.jl_kind, JlKind::Achlioptas);
         assert_eq!(p.kmeans_restarts, 1); // clamped
+    }
+
+    #[test]
+    fn stream_solver_and_precision_knobs() {
+        let p = SummaryParams::practical(2, 1000, 50);
+        assert!(p.stream_leaf_size >= p.coreset_size);
+        assert_eq!(p.solver_shards, 0);
+        assert_eq!(p.precision, Precision::Full);
+        let p = p
+            .with_stream_leaf_size(0)
+            .with_solver_shards(4)
+            .with_precision(Precision::F32);
+        assert_eq!(p.stream_leaf_size, 1); // clamped
+        assert_eq!(p.solver_shards, 4);
+        assert_eq!(p.precision, Precision::F32);
+        assert!(p.validate(1000, 50).is_ok());
+        let mut bad = p;
+        bad.stream_leaf_size = 0;
+        assert!(bad.validate(1000, 50).is_err());
     }
 
     #[test]

@@ -36,6 +36,9 @@ pub(crate) mod seeds {
     pub const FSS: u64 = 3;
     /// Server-side k-means solver.
     pub const SERVER: u64 = 4;
+    /// Streaming merge-and-reduce randomness (each source derives its
+    /// own stream from this one by source index).
+    pub const STREAM: u64 = 5;
     /// Base stream for JL stages beyond the paper's two (arbitrary
     /// compositions may stack more projections; each needs fresh
     /// randomness).
@@ -101,7 +104,7 @@ pub(crate) fn expect_coreset(msg: Message) -> Result<(Matrix, Vec<f64>, f64)> {
 /// Destructures a decoded basis message.
 pub(crate) fn expect_basis(msg: Message) -> Result<Matrix> {
     match msg {
-        Message::Basis { basis } => Ok(basis),
+        Message::Basis { basis, .. } => Ok(basis),
         _ => Err(CoreError::Protocol {
             reason: "expected a basis message",
         }),

@@ -8,7 +8,10 @@ use ekm_linalg::{ops, Matrix};
 use ekm_sketch::JlProjection;
 
 /// Runs the server's `kmeans(S', w, k)` step: multi-restart weighted
-/// k-means++ / Lloyd on the summary points.
+/// k-means++ / Lloyd on the summary points, with the centroid updates
+/// sharded over `shards` worker threads (`0` follows the hardware; the
+/// centers are bit-identical at every setting, so the knob only trades
+/// wall-clock time — the summary can reach ~10⁵ points at full scale).
 ///
 /// # Errors
 ///
@@ -20,10 +23,12 @@ pub fn solve_weighted_kmeans(
     k: usize,
     restarts: usize,
     seed: u64,
+    shards: usize,
 ) -> Result<Matrix> {
     let model = KMeans::new(k)
         .with_n_init(restarts.max(1))
         .with_seed(derive_seed(seed, 0x5EB))
+        .with_shards(shards)
         .fit_weighted(points, weights)?;
     Ok(model.centers)
 }
@@ -68,7 +73,7 @@ mod tests {
             vec![8.0, 8.0],
             vec![8.2, 8.0],
         ]);
-        let centers = solve_weighted_kmeans(&points, &[1.0, 1.0, 1.0, 1.0], 2, 3, 1).unwrap();
+        let centers = solve_weighted_kmeans(&points, &[1.0, 1.0, 1.0, 1.0], 2, 3, 1, 1).unwrap();
         assert_eq!(centers.shape(), (2, 2));
         let mut xs: Vec<f64> = (0..2).map(|i| centers[(i, 0)]).collect();
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -79,7 +84,7 @@ mod tests {
     #[test]
     fn weights_pull_centers() {
         let points = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
-        let centers = solve_weighted_kmeans(&points, &[3.0, 1.0], 1, 1, 0).unwrap();
+        let centers = solve_weighted_kmeans(&points, &[3.0, 1.0], 1, 1, 0, 0).unwrap();
         assert!((centers[(0, 0)] - 0.25).abs() < 1e-9);
     }
 
@@ -117,7 +122,7 @@ mod tests {
 
     #[test]
     fn errors_propagate() {
-        assert!(solve_weighted_kmeans(&Matrix::zeros(0, 2), &[], 1, 1, 0).is_err());
+        assert!(solve_weighted_kmeans(&Matrix::zeros(0, 2), &[], 1, 1, 0, 1).is_err());
         let pi = JlProjection::generate(JlKind::Gaussian, 10, 4, 1);
         // Wrong center dimension for lift.
         assert!(lift_centers(&Matrix::zeros(2, 5), &[&pi]).is_err());

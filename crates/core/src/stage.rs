@@ -12,6 +12,7 @@
 //! |---|---|---|
 //! | `jl` | [`Stage::Dr`] | seeded JL projection of the working points (zero communication) |
 //! | `fss` | [`Stage::Cr`] | FSS coreset: points → (coordinates, weights, Δ) + a basis to transmit |
+//! | `stream` | [`Stage::Stream`] | merge-and-reduce streaming coreset per source (each source summarizes while collecting) |
 //! | `qt` | [`Stage::Qt`] | arms the rounding quantizer for subsequent coreset-point transmissions |
 //! | `dispca` | [`Stage::DisPca`] | distributed PCA round: local SVD summaries up, global basis down |
 //! | `disss` | [`Stage::DisSs`] | distributed sensitivity sampling: the summary moves to the server |
@@ -43,6 +44,17 @@ pub struct FssStage {
     /// Explicit PCA/intrinsic dimension (defaults to the clamped
     /// `SummaryParams::pca_dim`).
     pub pca_dim: Option<usize>,
+}
+
+/// Configuration of a streaming (merge-and-reduce) CR stage.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StreamStage {
+    /// Explicit leaf-buffer size (defaults to
+    /// `SummaryParams::stream_leaf_size`).
+    pub leaf_size: Option<usize>,
+    /// Explicit *global* sample budget, split evenly across the data
+    /// sources (defaults to `SummaryParams::coreset_size`).
+    pub sample_size: Option<usize>,
 }
 
 /// Configuration of a QT stage.
@@ -77,6 +89,11 @@ pub enum Stage {
     Dr(JlStage),
     /// Cardinality reduction: an FSS coreset (single data source).
     Cr(FssStage),
+    /// Streaming cardinality reduction: every data source feeds its shard
+    /// through a merge-and-reduce [`ekm_coreset::StreamingCoreset`] and
+    /// finalizes a bounded weighted summary — the edge device summarizes
+    /// *while collecting* instead of materializing the full shard.
+    Stream(StreamStage),
     /// Quantization: arm the rounding quantizer Γ for subsequent
     /// coreset-point transmissions.
     Qt(QuantStage),
@@ -97,6 +114,19 @@ impl Stage {
     /// An FSS stage with parameter-default sizes.
     pub fn fss() -> Stage {
         Stage::Cr(FssStage::default())
+    }
+
+    /// A streaming merge-and-reduce stage with parameter-default sizes.
+    pub fn stream() -> Stage {
+        Stage::Stream(StreamStage::default())
+    }
+
+    /// A streaming stage with an explicit leaf-buffer size.
+    pub fn stream_leaf(leaf_size: usize) -> Stage {
+        Stage::Stream(StreamStage {
+            leaf_size: Some(leaf_size.max(1)),
+            sample_size: None,
+        })
     }
 
     /// A QT stage using the parameters' quantizer (or the default width).
@@ -130,19 +160,23 @@ impl Stage {
         match self {
             Stage::Dr(_) => "JL",
             Stage::Cr(_) => "FSS",
+            Stage::Stream(_) => "STREAM",
             Stage::Qt(_) => "QT",
             Stage::DisPca(_) => "disPCA",
             Stage::DisSs(_) => "disSS",
         }
     }
 
-    /// `true` for stages that run the interactive multi-source protocols.
+    /// `true` for stages that operate per-source over multiple data
+    /// sources — the interactive protocols (disPCA/disSS) and the
+    /// streaming stage (every source maintains its own summary), which
+    /// the CLI therefore shards like the distributed pipelines.
     pub fn is_distributed(&self) -> bool {
-        matches!(self, Stage::DisPca(_) | Stage::DisSs(_))
+        matches!(self, Stage::DisPca(_) | Stage::DisSs(_) | Stage::Stream(_))
     }
 
-    /// Parses one CLI token (`jl`, `fss`, `qt`, `qt:<s>`, `dispca`,
-    /// `disss`).
+    /// Parses one CLI token (`jl`, `fss`, `stream`, `stream:<leaf>`,
+    /// `qt`, `qt:<s>`, `dispca`, `disss`).
     ///
     /// # Errors
     ///
@@ -153,6 +187,7 @@ impl Stage {
         match t.as_str() {
             "jl" => Ok(Stage::jl()),
             "fss" => Ok(Stage::fss()),
+            "stream" => Ok(Stage::stream()),
             "qt" => Ok(Stage::qt()),
             "dispca" => Ok(Stage::dispca()),
             "disss" => Ok(Stage::disss()),
@@ -162,6 +197,14 @@ impl Stage {
                         token: token.to_string(),
                     })?;
                     return Stage::qt_bits(s);
+                }
+                if let Some(leaf) = t.strip_prefix("stream:") {
+                    let leaf: usize = leaf.parse().ok().filter(|&l| l > 0).ok_or(
+                        CoreError::InvalidStageName {
+                            token: token.to_string(),
+                        },
+                    )?;
+                    return Ok(Stage::stream_leaf(leaf));
                 }
                 Err(CoreError::InvalidStageName {
                     token: token.to_string(),
@@ -192,7 +235,7 @@ impl Stage {
 
     /// The valid `--stages` vocabulary, for error messages and `--help`.
     pub fn vocabulary() -> &'static str {
-        "jl, fss, qt, qt:<bits>, dispca, disss"
+        "jl, fss, stream, stream:<leaf>, qt, qt:<bits>, dispca, disss"
     }
 }
 
@@ -257,11 +300,21 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+        assert_eq!(Stage::parse("stream").unwrap(), Stage::stream());
+        match Stage::parse("STREAM:128").unwrap() {
+            Stage::Stream(StreamStage {
+                leaf_size: Some(leaf),
+                sample_size: None,
+            }) => assert_eq!(leaf, 128),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]
     fn parse_rejects_unknown() {
-        for bad in ["pca", "jlx", "qt:", "qt:abc", "qt:99", ""] {
+        for bad in [
+            "pca", "jlx", "qt:", "qt:abc", "qt:99", "", "stream:", "stream:0", "stream:x",
+        ] {
             assert!(Stage::parse(bad).is_err(), "{bad:?} accepted");
         }
         let err = Stage::parse("frobnicate").unwrap_err();
@@ -308,8 +361,21 @@ mod tests {
     fn distributed_flag() {
         assert!(Stage::dispca().is_distributed());
         assert!(Stage::disss().is_distributed());
+        assert!(Stage::stream().is_distributed());
         assert!(!Stage::jl().is_distributed());
         assert!(!Stage::fss().is_distributed());
         assert!(!Stage::qt().is_distributed());
+    }
+
+    #[test]
+    fn stream_compositions_parse_and_display() {
+        let stages = Stage::parse_list("jl,stream,qt").unwrap();
+        assert_eq!(display_name(&stages), "JL+STREAM+QT");
+        // The default-QT rule appends after the streaming summary, where
+        // the wire quantization lands.
+        let quant = SummaryParams::practical(2, 100, 10)
+            .with_quantizer(ekm_quant::RoundingQuantizer::new(8).unwrap());
+        let s = with_default_qt(Stage::parse_list("jl,stream").unwrap(), &quant);
+        assert_eq!(display_name(&s), "JL+STREAM+QT");
     }
 }

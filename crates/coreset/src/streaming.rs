@@ -158,6 +158,32 @@ impl StreamingCoreset {
         Coreset::merge(parts.iter())
     }
 
+    /// Like [`StreamingCoreset::finalize`], but with one final weighted
+    /// reduce when the merged summary exceeds `sample_size` — the form a
+    /// pipeline stage ships, so the transmitted summary is bounded by the
+    /// sample budget no matter how the stream length compares to the
+    /// leaf size.
+    ///
+    /// # Errors
+    ///
+    /// See [`StreamingCoreset::finalize`].
+    pub fn finalize_reduced(&self) -> Result<Coreset> {
+        let merged = self.finalize()?;
+        if merged.len() <= self.sample_size {
+            return Ok(merged);
+        }
+        let delta = merged.delta();
+        let reduced = SensitivitySampler::new(self.k, self.sample_size)
+            .with_seed(derive_seed(self.seed, 0xF17A7))
+            .with_weight_mode(WeightMode::DeterministicTotal)
+            .sample(merged.points(), Some(merged.weights()))?;
+        if delta > 0.0 {
+            reduced.with_delta(reduced.delta() + delta)
+        } else {
+            Ok(reduced)
+        }
+    }
+
     fn flush_leaf(&mut self) -> Result<()> {
         let d = self.dim.expect("dim known");
         let m = Matrix::from_vec(self.buffered_rows, d, std::mem::take(&mut self.buffer));
@@ -300,6 +326,30 @@ mod tests {
             stream.push_batch(&gaussian_matrix(2, 5, 4, 1.0)),
             Err(CoresetError::Malformed { .. })
         ));
+    }
+
+    #[test]
+    fn finalize_reduced_bounds_the_summary() {
+        // Stream shorter than one leaf: plain finalize keeps every point,
+        // the reduced form enforces the sample budget and conserves the
+        // total weight.
+        let data = blobs(200, 13); // 400 points
+        let mut stream = StreamingCoreset::new(2, 1024, 48).with_seed(5);
+        stream.push_batch(&data).unwrap();
+        assert_eq!(stream.finalize().unwrap().len(), 400);
+        let reduced = stream.finalize_reduced().unwrap();
+        assert!(reduced.len() < 400, "len {}", reduced.len());
+        assert!((reduced.total_weight() - 400.0).abs() < 1e-6);
+        // Already-small summaries pass through untouched.
+        let small = StreamingCoreset::new(2, 1024, 1024);
+        let mut small = small.with_seed(5);
+        small.push_batch(&data).unwrap();
+        assert_eq!(small.finalize_reduced().unwrap(), small.finalize().unwrap());
+        // Deterministic.
+        assert_eq!(
+            stream.finalize_reduced().unwrap(),
+            stream.finalize_reduced().unwrap()
+        );
     }
 
     #[test]

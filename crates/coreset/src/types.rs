@@ -137,6 +137,13 @@ impl Coreset {
         Coreset::new(self.points.clone(), self.weights.clone(), delta)
     }
 
+    /// Decomposes the coreset into its `(S, w, Δ)` parts without copying
+    /// — how a pipeline stage hands a finalized streaming summary to the
+    /// transmission machinery.
+    pub fn into_parts(self) -> (Matrix, Vec<f64>, f64) {
+        (self.points, self.weights, self.delta)
+    }
+
     /// Merges several coresets into one (union of points, sum of Δ's) —
     /// how the server combines per-source coresets in the distributed
     /// setting.

@@ -5,12 +5,28 @@
 //! the k-means assignment loops.
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Returns the number of worker threads to use for parallel sections.
+/// Process-wide worker-count override (0 = follow the hardware).
+static WORKER_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Returns the number of worker threads to use for parallel sections:
+/// the override installed by [`set_worker_count`] when present, else the
+/// hardware parallelism.
 pub fn worker_count() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    match WORKER_OVERRIDE.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Caps every parallel section in the process at `n` worker threads
+/// (the CLI's `--threads` knob); `0` restores the hardware default.
+/// Results are bit-identical at any setting — only scheduling changes.
+pub fn set_worker_count(n: usize) {
+    WORKER_OVERRIDE.store(n, Ordering::Relaxed);
 }
 
 /// Splits the row-major buffer `data` (rows of width `row_width`) into
@@ -65,15 +81,23 @@ where
     T: Send + Default + Clone,
     F: Fn(usize) -> T + Sync,
 {
+    let workers = if n >= min_parallel { worker_count() } else { 1 };
+    par_map_indices_in(n, workers, f)
+}
+
+/// [`par_map_indices`] with an explicit worker count (the sharded-solve
+/// path passes its shard knob here). Results are identical at any count —
+/// each index's computation is independent and lands in its own slot.
+pub fn par_map_indices_in<T, F>(n: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send + Default + Clone,
+    F: Fn(usize) -> T + Sync,
+{
     let mut out = vec![T::default(); n];
     if n == 0 {
         return out;
     }
-    let workers = if n >= min_parallel {
-        worker_count().min(n)
-    } else {
-        1
-    };
+    let workers = workers.min(n).max(1);
     if workers <= 1 {
         for (i, slot) in out.iter_mut().enumerate() {
             *slot = f(i);
@@ -141,6 +165,14 @@ mod tests {
         let par = par_map_indices(1000, 1, |i| i * i);
         assert_eq!(seq, par);
         assert_eq!(seq[31], 961);
+    }
+
+    #[test]
+    fn par_map_indices_in_identical_at_every_worker_count() {
+        let reference = par_map_indices_in(257, 1, |i| i * 3 + 1);
+        for workers in [2, 4, 8, 300] {
+            assert_eq!(par_map_indices_in(257, workers, |i| i * 3 + 1), reference);
+        }
     }
 
     #[test]

@@ -10,10 +10,13 @@
 //! | [`Message::SampleAllocation`] | disSS step 2 (`s_i`) | server → source |
 //! | [`Message::Centers`] | final result delivery | server → source |
 //!
-//! Coreset point payloads honor a [`Precision`]; everything else (weights,
-//! Δ, singular values, bases) is full precision, matching the paper's
-//! choice to quantize only the coreset points (§6.2 footnote 6: "their
-//! transfer dominates the communication cost").
+//! Coreset point payloads honor a [`Precision`]; the remaining float
+//! payloads (weights, singular values, bases) default to full precision,
+//! matching the paper's choice to quantize only the coreset points (§6.2
+//! footnote 6: "their transfer dominates the communication cost"), but
+//! carry their own [`Precision`] descriptor so a deployment can downshift
+//! them to [`Precision::F32`] — a free 2× on every full-precision payload.
+//! Δ and the scalar protocol rounds always travel at full width.
 
 use crate::bitstream::{BitReader, BitWriter};
 use crate::wire::{
@@ -43,6 +46,8 @@ pub enum Message {
         delta: f64,
         /// Precision of the `points` payload.
         precision: Precision,
+        /// Precision of the `weights` payload (Δ stays full width).
+        weights_precision: Precision,
     },
     /// Local SVD summary for disPCA: top singular values and right
     /// singular vectors.
@@ -51,11 +56,15 @@ pub enum Message {
         singular_values: Vec<f64>,
         /// Top-`t1` right singular vectors `V_i^{(t1)}` (`d × t1`).
         basis: Matrix,
+        /// Precision of the singular values and basis payloads.
+        precision: Precision,
     },
     /// A shared basis (disPCA's global `V^{(t2)}`), server → sources.
     Basis {
         /// The basis matrix (`d × t2`).
         basis: Matrix,
+        /// Precision of the basis payload.
+        precision: Precision,
     },
     /// A local clustering cost report (disSS step 1).
     CostReport {
@@ -96,24 +105,29 @@ impl Message {
                 weights,
                 delta,
                 precision,
+                weights_precision,
             } => {
                 w.write_bits(TAG_CORESET as u64, 8);
                 precision.encode(&mut w);
+                weights_precision.encode(&mut w);
                 encode_matrix(&mut w, points, *precision);
-                encode_f64_slice(&mut w, weights, Precision::Full);
+                encode_f64_slice(&mut w, weights, *weights_precision);
                 encode_f64(&mut w, *delta, Precision::Full);
             }
             Message::SvdSummary {
                 singular_values,
                 basis,
+                precision,
             } => {
                 w.write_bits(TAG_SVD as u64, 8);
-                encode_f64_slice(&mut w, singular_values, Precision::Full);
-                encode_matrix(&mut w, basis, Precision::Full);
+                precision.encode(&mut w);
+                encode_f64_slice(&mut w, singular_values, *precision);
+                encode_matrix(&mut w, basis, *precision);
             }
-            Message::Basis { basis } => {
+            Message::Basis { basis, precision } => {
                 w.write_bits(TAG_BASIS as u64, 8);
-                encode_matrix(&mut w, basis, Precision::Full);
+                precision.encode(&mut w);
+                encode_matrix(&mut w, basis, *precision);
             }
             Message::CostReport { cost } => {
                 w.write_bits(TAG_COST as u64, 8);
@@ -147,8 +161,9 @@ impl Message {
             }),
             TAG_CORESET => {
                 let precision = Precision::decode(&mut r)?;
+                let weights_precision = Precision::decode(&mut r)?;
                 let points = decode_matrix(&mut r, precision)?;
-                let weights = decode_f64_slice(&mut r, Precision::Full)?;
+                let weights = decode_f64_slice(&mut r, weights_precision)?;
                 if weights.len() != points.rows() {
                     return Err(NetError::MalformedMessage {
                         reason: "coreset weight count mismatch",
@@ -160,11 +175,13 @@ impl Message {
                     weights,
                     delta,
                     precision,
+                    weights_precision,
                 })
             }
             TAG_SVD => {
-                let singular_values = decode_f64_slice(&mut r, Precision::Full)?;
-                let basis = decode_matrix(&mut r, Precision::Full)?;
+                let precision = Precision::decode(&mut r)?;
+                let singular_values = decode_f64_slice(&mut r, precision)?;
+                let basis = decode_matrix(&mut r, precision)?;
                 if singular_values.len() != basis.cols() {
                     return Err(NetError::MalformedMessage {
                         reason: "svd summary rank mismatch",
@@ -173,11 +190,16 @@ impl Message {
                 Ok(Message::SvdSummary {
                     singular_values,
                     basis,
+                    precision,
                 })
             }
-            TAG_BASIS => Ok(Message::Basis {
-                basis: decode_matrix(&mut r, Precision::Full)?,
-            }),
+            TAG_BASIS => {
+                let precision = Precision::decode(&mut r)?;
+                Ok(Message::Basis {
+                    basis: decode_matrix(&mut r, precision)?,
+                    precision,
+                })
+            }
             TAG_COST => Ok(Message::CostReport {
                 cost: decode_f64(&mut r, Precision::Full)?,
             }),
@@ -231,6 +253,7 @@ mod tests {
             weights: vec![1.0, 2.0, 3.0, 4.0, 5.0],
             delta: 0.75,
             precision: Precision::Full,
+            weights_precision: Precision::Full,
         };
         assert_eq!(roundtrip(&msg), msg);
     }
@@ -244,6 +267,7 @@ mod tests {
             weights: vec![1.5; 6],
             delta: 2.0,
             precision: Precision::Quantized { s: 9 },
+            weights_precision: Precision::Full,
         };
         assert_eq!(roundtrip(&msg), msg);
     }
@@ -256,6 +280,7 @@ mod tests {
             weights: vec![1.0; 50],
             delta: 0.0,
             precision: Precision::Full,
+            weights_precision: Precision::Full,
         };
         let q = RoundingQuantizer::new(6).unwrap();
         let quant = Message::Coreset {
@@ -263,6 +288,7 @@ mod tests {
             weights: vec![1.0; 50],
             delta: 0.0,
             precision: Precision::Quantized { s: 6 },
+            weights_precision: Precision::Full,
         };
         let (_, full_bits) = full.encode();
         let (_, quant_bits) = quant.encode();
@@ -277,12 +303,14 @@ mod tests {
         let msg = Message::SvdSummary {
             singular_values: vec![3.0, 1.0],
             basis: Matrix::from_fn(6, 2, |i, j| (i + j) as f64 * 0.1),
+            precision: Precision::Full,
         };
         assert_eq!(roundtrip(&msg), msg);
         // Rank mismatch is rejected at decode time.
         let bad = Message::SvdSummary {
             singular_values: vec![3.0, 1.0, 0.5],
             basis: Matrix::from_fn(6, 2, |i, j| (i + j) as f64),
+            precision: Precision::Full,
         };
         let (buf, bits) = bad.encode();
         assert!(matches!(
@@ -298,12 +326,75 @@ mod tests {
             Message::SampleAllocation { size: 12345 },
             Message::Basis {
                 basis: Matrix::identity(3),
+                precision: Precision::Full,
             },
             Message::Centers {
                 centers: Matrix::from_fn(2, 5, |i, j| (i * 5 + j) as f64),
             },
         ] {
             assert_eq!(roundtrip(&msg), msg);
+        }
+    }
+
+    #[test]
+    fn f32_aux_payloads_halve_their_bits_and_roundtrip() {
+        // f32-representable payloads round-trip exactly at half the width.
+        let basis = Matrix::from_fn(16, 4, |i, j| (i as f64) * 0.5 - (j as f64) * 0.25);
+        let full = Message::Basis {
+            basis: basis.clone(),
+            precision: Precision::Full,
+        };
+        let single = Message::Basis {
+            basis: basis.clone(),
+            precision: Precision::F32,
+        };
+        assert_eq!(roundtrip(&single), single);
+        let (_, full_bits) = full.encode();
+        let (_, single_bits) = single.encode();
+        let payload = 16 * 4 * 64;
+        assert_eq!(full_bits - single_bits, payload / 2);
+
+        let svd = Message::SvdSummary {
+            singular_values: vec![4.0, 2.0, 1.0, 0.5],
+            basis,
+            precision: Precision::F32,
+        };
+        assert_eq!(roundtrip(&svd), svd);
+
+        // A coreset whose weights travel at f32 while the points stay
+        // quantized: each descriptor decodes independently.
+        let q = RoundingQuantizer::new(8).unwrap();
+        let pts = q.quantize_matrix(&Matrix::from_fn(10, 3, |i, j| (i * 3 + j) as f64 * 0.37));
+        let msg = Message::Coreset {
+            points: pts,
+            weights: vec![2.5; 10],
+            delta: 0.125,
+            precision: Precision::Quantized { s: 8 },
+            weights_precision: Precision::F32,
+        };
+        assert_eq!(roundtrip(&msg), msg);
+    }
+
+    #[test]
+    fn f32_weights_decode_to_nearest_single() {
+        // Non-representable weights come back as (w as f32) as f64 — the
+        // lossy-but-deterministic contract shared with the F32 scalar.
+        let weights = vec![std::f64::consts::PI, 1.0 / 3.0];
+        let msg = Message::Coreset {
+            points: Matrix::zeros(2, 1),
+            weights: weights.clone(),
+            delta: 0.0,
+            precision: Precision::Full,
+            weights_precision: Precision::F32,
+        };
+        let (buf, bits) = msg.encode();
+        match Message::decode(&buf, bits).unwrap() {
+            Message::Coreset { weights: got, .. } => {
+                for (w, g) in weights.iter().zip(&got) {
+                    assert_eq!(*g, (*w as f32) as f64);
+                }
+            }
+            other => panic!("unexpected {other:?}"),
         }
     }
 
@@ -355,6 +446,7 @@ mod tests {
             .kind(),
             Message::Basis {
                 basis: Matrix::zeros(1, 1),
+                precision: Precision::Full,
             }
             .kind(),
         ];

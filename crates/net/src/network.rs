@@ -357,6 +357,7 @@ mod tests {
             weights: vec![1.0, 2.0, 3.0],
             delta: 0.5,
             precision: Precision::Full,
+            weights_precision: Precision::Full,
         };
         let received = net.send_to_server(0, &msg).unwrap();
         assert_eq!(received, msg);
@@ -430,6 +431,7 @@ mod tests {
                 weights: vec![1.0; 3 + i],
                 delta: i as f64,
                 precision: Precision::Full,
+                weights_precision: Precision::Full,
             })
             .collect();
 

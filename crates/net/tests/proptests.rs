@@ -105,10 +105,37 @@ proptest! {
             weights: vec![1.0; points.rows()],
             delta,
             precision: Precision::F32,
+            weights_precision: Precision::F32,
         };
         let (buf, bits) = msg.encode();
         let back = Message::decode(&buf, bits).unwrap();
         prop_assert_eq!(back, msg);
+    }
+
+    /// Basis and SVD-summary messages carrying their payloads at F32
+    /// round-trip exactly once the entries are f32-representable, and
+    /// the aux payload travels at exactly half the full-precision width.
+    #[test]
+    fn f32_aux_payload_messages_roundtrip(m in small_matrix()) {
+        let single = Matrix::from_vec(
+            m.rows(),
+            m.cols(),
+            m.as_slice().iter().map(|&x| (x as f32) as f64).collect(),
+        );
+        let basis_full = Message::Basis { basis: single.clone(), precision: Precision::Full };
+        let basis_f32 = Message::Basis { basis: single.clone(), precision: Precision::F32 };
+        let (buf, bits) = basis_f32.encode();
+        prop_assert_eq!(Message::decode(&buf, bits).unwrap(), basis_f32.clone());
+        let entries = (m.rows() * m.cols()) as u32;
+        prop_assert_eq!(basis_full.encode().1 as u32 - bits as u32, 32 * entries);
+
+        let svd = Message::SvdSummary {
+            singular_values: vec![1.5; single.cols()],
+            basis: single,
+            precision: Precision::F32,
+        };
+        let (buf, bits) = svd.encode();
+        prop_assert_eq!(Message::decode(&buf, bits).unwrap(), svd);
     }
 
     /// Quantize-then-encode is lossless at the matching precision.
@@ -136,11 +163,17 @@ proptest! {
                 weights,
                 delta,
                 precision: Precision::Full,
+                weights_precision: Precision::Full,
             },
             Message::CostReport { cost },
             Message::SampleAllocation { size: points.rows() as u64 },
             Message::Centers { centers: points.clone() },
-            Message::Basis { basis: points.clone() },
+            Message::Basis { basis: points.clone(), precision: Precision::Full },
+            Message::SvdSummary {
+                singular_values: vec![1.0; points.cols()],
+                basis: points.clone(),
+                precision: Precision::Full,
+            },
         ];
         for msg in messages {
             let (buf, bits) = msg.encode();
@@ -266,6 +299,7 @@ proptest! {
             weights: vec![1.0; points.rows()],
             delta: 0.0,
             precision: Precision::Full,
+            weights_precision: Precision::Full,
         };
         let (buf, bits) = msg.encode();
         if bits > cut {

@@ -3,11 +3,16 @@
 # `ekm source` processes over loopback TCP and asserts that every
 # process exits cleanly, that the server measured nonzero uplink bits,
 # and that the digest line confirms the run was bit-identical across
-# all processes. Run locally or from the CI `distributed-e2e` job:
+# all processes. Run locally or from the CI `distributed-e2e` matrix:
 #
-#   cargo build --release && scripts/distributed_e2e.sh
+#   cargo build --release && scripts/distributed_e2e.sh [core|streaming|all]
+#
+# `core` runs the named/arbitrary/centralized rounds, `streaming` the
+# per-source merge-and-reduce pipelines (including --precision f32 and
+# --leaf-size); the default `all` runs both.
 set -euo pipefail
 
+SUITE=${1:-all}
 BIN=${EKM_BIN:-target/release/ekm}
 PORT=${EKM_E2E_PORT:-17071}
 ADDR="127.0.0.1:${PORT}"
@@ -84,14 +89,28 @@ run_round() {
     echo "OK: ${label} transmitted ${bits} uplink bits, digests verified"
 }
 
-# A named distributed pipeline (Algorithm 4), a quantized arbitrary
-# --stages composition, and a centralized pipeline over a single remote
-# source.
-run_round "jl-bklw" 3 \
-    --pipeline jl-bklw --dataset mixture --n 600 --d 40 --k 2 --seed 7
-run_round "stages" 2 \
-    --stages dispca,jl,qt:8,disss --dataset mixture --n 400 --d 30 --k 2 --seed 11
-run_round "centralized" 1 \
-    --pipeline jl-fss-jl --dataset mnist-like --n 500 --d 196 --k 2 --seed 5
+# core: a named distributed pipeline (Algorithm 4), a quantized
+# arbitrary --stages composition, and a centralized pipeline over a
+# single remote source.
+if [[ "$SUITE" == "core" || "$SUITE" == "all" ]]; then
+    run_round "jl-bklw" 3 \
+        --pipeline jl-bklw --dataset mixture --n 600 --d 40 --k 2 --seed 7
+    run_round "stages" 2 \
+        --stages dispca,jl,qt:8,disss --dataset mixture --n 400 --d 30 --k 2 --seed 11
+    run_round "centralized" 1 \
+        --pipeline jl-fss-jl --dataset mnist-like --n 500 --d 196 --k 2 --seed 5
+fi
 
-echo "distributed e2e: all rounds passed"
+# streaming: per-source merge-and-reduce summaries across real
+# processes — composed with DR/QT, with an explicit leaf size, and with
+# the F32 auxiliary-payload precision.
+if [[ "$SUITE" == "streaming" || "$SUITE" == "all" ]]; then
+    run_round "stream" 3 \
+        --stages jl,stream,qt:8 --dataset mixture --n 900 --d 40 --k 2 --seed 13
+    run_round "stream-leaf" 2 \
+        --stages stream,jl --leaf-size 128 --dataset mnist-like --n 600 --d 196 --k 2 --seed 17
+    run_round "stream-f32" 2 \
+        --stages jl,stream --precision f32 --dataset mixture --n 500 --d 30 --k 2 --seed 19
+fi
+
+echo "distributed e2e: all rounds passed (suite: ${SUITE})"

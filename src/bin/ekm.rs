@@ -22,6 +22,7 @@ use edge_kmeans::data::normalize::normalize_paper;
 use edge_kmeans::data::partition::partition_uniform;
 use edge_kmeans::data::synth::GaussianMixture;
 use edge_kmeans::net::tcp::{self, RunDigest, TcpServerBinding, TcpSource};
+use edge_kmeans::net::wire::Precision;
 use edge_kmeans::net::Transport;
 use edge_kmeans::prelude::*;
 use std::collections::HashMap;
@@ -53,9 +54,9 @@ FLAGS (with defaults):
                         bklw | jl-bklw | bklw-jl    [jl-fss-jl]
     --stages <list>     run an arbitrary DR/CR/QT composition instead of
                         a named pipeline: comma-separated stages from
-                        jl, fss, qt, qt:<bits>, dispca, disss
-                        (e.g. --stages jl,fss,qt,jl); for sweep, several
-                        compositions may be joined with ';'
+                        jl, fss, stream, stream:<leaf>, qt, qt:<bits>,
+                        dispca, disss (e.g. --stages jl,stream,qt); for
+                        sweep, several compositions joined with ';'
     --dataset <name>    mnist-like | neurips-like | mixture   [mnist-like]
     --n <int>           dataset cardinality                    [2000]
     --d <int>           dataset dimensionality (mixture/neurips) [196]
@@ -63,15 +64,23 @@ FLAGS (with defaults):
     --sources <int>     data sources (distributed pipelines)   [10]
     --seed <int>        RNG seed                               [42]
     --quantize <bits>   add the +QT variant with s significant bits
+    --precision <p>     f64 | f32: wire precision of the auxiliary
+                        payloads (bases, coreset weights, SVD
+                        summaries); f32 halves them             [f64]
+    --leaf-size <int>   stream stage leaf-buffer size [2x coreset size]
+    --threads <int>     cap worker threads (sharded solve, per-source
+                        fan-out); 0 follows the hardware        [0]
     --parallel <on|off> concurrent per-source execution        [on]
     --y0 <float>        qtopt error budget                     [2.0]
 
 EXAMPLES:
     ekm run --pipeline jl-bklw --sources 10
     ekm run --stages jl,fss,qt,jl --quantize 8
+    ekm run --stages jl,stream,qt --sources 8 --leaf-size 256
     ekm run --stages dispca,jl,disss --sources 5
+    ekm run --pipeline jl-fss --precision f32
     ekm sweep --dataset mnist-like --quantize 10
-    ekm sweep --stages \"jl,fss;fss,jl,qt:6\"
+    ekm sweep --stages \"jl,fss;fss,jl,qt:6;jl,stream,qt\"
     ekm serve --listen 127.0.0.1:7000 --pipeline bklw --sources 2 &
     ekm source --connect 127.0.0.1:7000 --source-id 0 --pipeline bklw --sources 2 &
     ekm source --connect 127.0.0.1:7000 --source-id 1 --pipeline bklw --sources 2
@@ -205,6 +214,25 @@ fn build_params(args: &Args, n: usize, d: usize) -> Result<SummaryParams, String
             .parse()
             .map_err(|_| format!("--quantize expects bits, got '{bits}'"))?;
         params = params.with_quantizer(RoundingQuantizer::new(s).map_err(|e| e.to_string())?);
+    }
+    match args.get_str("precision", "f64").as_str() {
+        "f64" => {}
+        "f32" => params = params.with_precision(Precision::F32),
+        other => return Err(format!("--precision expects f64|f32, got '{other}'")),
+    }
+    if args.flags.contains_key("leaf-size") {
+        let leaf = args.get_usize("leaf-size", 0)?;
+        if leaf == 0 {
+            return Err("--leaf-size expects a positive integer".into());
+        }
+        params = params.with_stream_leaf_size(leaf);
+    }
+    let threads = args.get_usize("threads", 0)?;
+    if threads > 0 {
+        // Caps the sharded server solve and every per-source fan-out;
+        // results are bit-identical at any setting.
+        edge_kmeans::linalg::parallel::set_worker_count(threads);
+        params = params.with_solver_shards(threads);
     }
     Ok(params)
 }
@@ -380,7 +408,8 @@ struct DistRun {
 /// either way, so the two ends may schedule differently).
 fn canonical_config(args: &Args, m: usize) -> Result<String, String> {
     Ok(format!(
-        "dataset={};n={};d={};k={};seed={};pipeline={};stages={};quantize={};sources={m}",
+        "dataset={};n={};d={};k={};seed={};pipeline={};stages={};quantize={};\
+         precision={};leaf-size={};sources={m}",
         args.get_str("dataset", "mnist-like"),
         args.get_usize("n", 2000)?,
         args.get_usize("d", 196)?,
@@ -389,6 +418,8 @@ fn canonical_config(args: &Args, m: usize) -> Result<String, String> {
         args.get_str("pipeline", "jl-fss-jl"),
         args.get_str("stages", "-"),
         args.get_str("quantize", "-"),
+        args.get_str("precision", "f64"),
+        args.get_str("leaf-size", "-"),
     ))
 }
 
@@ -695,6 +726,68 @@ mod tests {
         // Without a quantizer nothing is inserted.
         let pipe = composition_from("jl,fss", &test_params()).unwrap();
         assert_eq!(pipe.stages().len(), 2);
+    }
+
+    #[test]
+    fn stream_stages_flag_builds_sharded_composition() {
+        let a = args(&["run", "--stages", "jl,stream,qt"]).unwrap();
+        let pipes = select_pipelines(&a, &test_params(), false).unwrap();
+        assert_eq!(pipes[0].name(), "JL+STREAM+QT");
+        assert!(
+            pipes[0].is_distributed(),
+            "stream pipelines shard over --sources"
+        );
+        let a = args(&["run", "--stages", "stream:128,jl"]).unwrap();
+        let pipes = select_pipelines(&a, &test_params(), false).unwrap();
+        assert_eq!(pipes[0].name(), "STREAM+JL");
+    }
+
+    #[test]
+    fn precision_leaf_and_thread_flags_reach_params() {
+        let a = args(&[
+            "run",
+            "--precision",
+            "f32",
+            "--leaf-size",
+            "300",
+            "--n",
+            "100",
+            "--d",
+            "10",
+        ])
+        .unwrap();
+        let p = build_params(&a, 100, 10).unwrap();
+        assert_eq!(p.precision, Precision::F32);
+        assert_eq!(p.stream_leaf_size, 300);
+        let a = args(&["run", "--precision", "f16"]).unwrap();
+        assert!(build_params(&a, 100, 10).unwrap_err().contains("f16"));
+        // 'full' is not an alias — it would fingerprint differently from
+        // 'f64' while producing identical bits.
+        let a = args(&["run", "--precision", "full"]).unwrap();
+        assert!(build_params(&a, 100, 10).is_err());
+        // --leaf-size must be positive, like the stream:<leaf> token.
+        let a = args(&["run", "--leaf-size", "0"]).unwrap();
+        assert!(build_params(&a, 100, 10)
+            .unwrap_err()
+            .contains("--leaf-size"));
+        // Default: full precision, derived leaf size.
+        let a = args(&["run"]).unwrap();
+        let p = build_params(&a, 100, 10).unwrap();
+        assert_eq!(p.precision, Precision::Full);
+        assert!(p.stream_leaf_size > 0);
+    }
+
+    #[test]
+    fn fingerprint_covers_precision_and_leaf_size() {
+        let base = args(&["serve", "--n", "500"]).unwrap();
+        let fp = |a: &Args| tcp::fingerprint(&canonical_config(a, 2).unwrap());
+        let f32p = args(&["serve", "--n", "500", "--precision", "f32"]).unwrap();
+        assert_ne!(fp(&base), fp(&f32p));
+        let leaf = args(&["serve", "--n", "500", "--leaf-size", "64"]).unwrap();
+        assert_ne!(fp(&base), fp(&leaf));
+        // --threads does not shape the bits, so it stays out.
+        let threads = args(&["serve", "--n", "500", "--threads", "2"]).unwrap();
+        assert_eq!(fp(&base), fp(&threads));
     }
 
     #[test]

@@ -74,6 +74,7 @@ pub mod prelude {
     pub use ekm_core::{RunOutput, Stage, StagePipeline};
     pub use ekm_coreset::{Coreset, FssBuilder};
     pub use ekm_linalg::Matrix;
+    pub use ekm_net::wire::Precision;
     pub use ekm_net::{Network, Transport, TransportLink};
     pub use ekm_quant::{QtOptimizer, RoundingQuantizer};
     pub use ekm_sketch::{JlKind, JlProjection, Pca};

@@ -43,6 +43,7 @@ fn fss_uplink_decomposes_into_basis_plus_coreset() {
         .unwrap();
     let basis_bits = Message::Basis {
         basis: fss.basis().clone(),
+        precision: Precision::Full,
     }
     .encode()
     .1;
@@ -51,6 +52,7 @@ fn fss_uplink_decomposes_into_basis_plus_coreset() {
         weights: fss.weights().to_vec(),
         delta: fss.delta(),
         precision: Precision::Full,
+        weights_precision: Precision::Full,
     }
     .encode()
     .1;

@@ -1,8 +1,10 @@
-//! Integration tests for the joint DR/CR/QT extension (paper §6).
+//! Integration tests for the joint DR/CR/QT extension (paper §6), plus
+//! the F32 auxiliary-payload precision (`ekm run --precision f32`).
 
 use edge_kmeans::clustering::lower_bound::cost_lower_bound;
 use edge_kmeans::data::mnist_like::MnistLike;
 use edge_kmeans::data::normalize::normalize_paper;
+use edge_kmeans::net::wire::Precision;
 use edge_kmeans::prelude::*;
 
 fn workload(n: usize, side: usize, seed: u64) -> Matrix {
@@ -118,6 +120,95 @@ fn section63_optimizer_on_real_lower_bound() {
     );
 }
 
+/// Relative Frobenius distance between two center sets — the "center
+/// perturbation" metric of the F32 accuracy contract.
+fn relative_center_perturbation(a: &Matrix, b: &Matrix) -> f64 {
+    assert_eq!(a.shape(), b.shape());
+    let mut diff = 0.0f64;
+    let mut norm = 0.0f64;
+    for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+        diff += (x - y) * (x - y);
+        norm += x * x;
+    }
+    (diff / norm.max(f64::MIN_POSITIVE)).sqrt()
+}
+
+#[test]
+fn f32_aux_precision_cuts_bits_with_bounded_perturbation() {
+    // `--precision f32` halves the basis + weight payloads. That is NOT
+    // a bit-identity contract (the basis really is rounded): the
+    // assertions are a relative center perturbation and a cost-ratio
+    // bound, the accuracy analogue of the §6 quantization plateau.
+    let data = workload(900, 12, 13);
+    let (n, d) = data.shape();
+    let reference = evaluation::reference(&data, 2, 5, 1).unwrap();
+    let base = SummaryParams::practical(2, n, d).with_seed(14);
+    // FSS ships the basis (the payload f32 shrinks) plus the weights.
+    let run_at = |p: SummaryParams| {
+        let mut net = Network::new(1);
+        let out = JlFss::new(p).run(&data, &mut net).unwrap();
+        (out, net.stats().clone())
+    };
+    let (full, _) = run_at(base.clone());
+    let (single, _) = run_at(base.clone().with_precision(Precision::F32));
+
+    assert!(
+        single.uplink_bits < full.uplink_bits,
+        "f32 {} vs full {}",
+        single.uplink_bits,
+        full.uplink_bits
+    );
+    let rel = relative_center_perturbation(&full.centers, &single.centers);
+    assert!(rel < 1e-2, "relative center perturbation {rel}");
+    let nc_full = evaluation::normalized_cost(&data, &full.centers, reference.cost).unwrap();
+    let nc_single = evaluation::normalized_cost(&data, &single.centers, reference.cost).unwrap();
+    assert!(
+        nc_single < nc_full * 1.05 + 0.01,
+        "f32 cost {nc_single} vs full {nc_full}"
+    );
+    // Reruns at f32 are still fully deterministic.
+    let (again, _) = run_at(base.with_precision(Precision::F32));
+    assert_eq!(again.uplink_bits, single.uplink_bits);
+    assert!(again.centers.approx_eq(&single.centers, 0.0));
+}
+
+#[test]
+fn f32_aux_precision_shrinks_distributed_svd_summaries() {
+    // In BKLW the disPCA SVD summaries dominate the uplink; f32 halves
+    // exactly that term, and the sources project onto the rounded basis
+    // with a bounded accuracy cost.
+    let data = workload(800, 14, 15);
+    let (n, d) = data.shape();
+    let shards = edge_kmeans::data::partition::partition_uniform(&data, 5, 16).unwrap();
+    let params = SummaryParams::practical(2, n, d).with_seed(17);
+    let reference = evaluation::reference(&data, 2, 5, 2).unwrap();
+
+    let mut net_full = Network::new(5);
+    let full = Bklw::new(params.clone())
+        .run(&shards, &mut net_full)
+        .unwrap();
+    let mut net_single = Network::new(5);
+    let single = Bklw::new(params.with_precision(Precision::F32))
+        .run(&shards, &mut net_single)
+        .unwrap();
+
+    let svd_full = net_full.stats().uplink_bits_by_kind()["svd-summary"];
+    let svd_single = net_single.stats().uplink_bits_by_kind()["svd-summary"];
+    // The matrix payload halves; only the shape/tag overhead survives.
+    assert!(
+        (svd_single as f64) < 0.6 * svd_full as f64,
+        "f32 svd bits {svd_single} vs full {svd_full}"
+    );
+    assert!(single.downlink_bits < full.downlink_bits, "basis broadcast");
+
+    let nc_full = evaluation::normalized_cost(&data, &full.centers, reference.cost).unwrap();
+    let nc_single = evaluation::normalized_cost(&data, &single.centers, reference.cost).unwrap();
+    assert!(
+        nc_single < nc_full * 1.1 + 0.02,
+        "f32 cost {nc_single} vs full {nc_full}"
+    );
+}
+
 #[test]
 fn eq14_error_bound_holds_on_pipeline_payloads() {
     // The quantization error of the actual transmitted coreset points
@@ -145,6 +236,7 @@ fn wire_payload_is_exactly_representable() {
         weights: vec![1.0; quantized.rows()],
         delta: 0.0,
         precision: edge_kmeans::net::wire::Precision::Quantized { s: 7 },
+        weights_precision: edge_kmeans::net::wire::Precision::Full,
     };
     let mut net = Network::new(1);
     let received = net.send_to_server(0, &msg).unwrap();

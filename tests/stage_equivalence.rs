@@ -166,6 +166,59 @@ fn parallel_execution_matches_sequential_for_every_pipeline() {
     }
 }
 
+/// The streaming compositions this suite locks down: per-source
+/// merge-and-reduce summaries composed with DR before and DR/QT after.
+const STREAM_LISTS: [&str; 4] = ["stream", "jl,stream,qt", "stream,jl", "jl,stream,jl,qt:8"];
+
+#[test]
+fn stream_compositions_are_seed_deterministic() {
+    let data = workload(6);
+    let p = params(&data, false);
+    for list in STREAM_LISTS {
+        let pipe = StagePipeline::from_names(list, p.clone()).unwrap();
+        assert!(pipe.is_distributed(), "{list} shards per source");
+        assert_identical(list, run(&pipe, &data), run(&pipe, &data));
+    }
+}
+
+#[test]
+fn stream_parallel_execution_matches_sequential() {
+    let data = workload(7);
+    let p = params(&data, false);
+    for list in STREAM_LISTS {
+        let pipe = StagePipeline::from_names(list, p.clone()).unwrap();
+        let seq = pipe.clone().with_parallel(false);
+        assert_identical(list, run(&pipe, &data), run(&seq, &data));
+    }
+}
+
+#[test]
+fn stream_composes_with_every_downstream_stage_the_engine_accepts() {
+    // Downstream of `stream` the engine accepts exactly the stages that
+    // operate on weighted per-source summaries: jl and qt. A second CR
+    // stage or an interactive protocol is a configuration error.
+    let data = workload(8);
+    let p = params(&data, false);
+    for (list, ok) in [
+        ("stream,jl", true),
+        ("stream,qt", true),
+        ("stream,jl,qt:6", true),
+        ("stream,fss", false),
+        ("stream,stream", false),
+        ("stream,dispca", false),
+        ("stream,disss", false),
+    ] {
+        let pipe = StagePipeline::from_names(list, p.clone()).unwrap();
+        let shards = partition_uniform(&data, SOURCES, pipe.params().seed).unwrap();
+        let mut net = Network::new(SOURCES);
+        assert_eq!(
+            pipe.run_shards(&shards, &mut net).is_ok(),
+            ok,
+            "{list}: acceptance changed"
+        );
+    }
+}
+
 #[test]
 fn engine_names_match_paper_legends() {
     let data = workload(5);

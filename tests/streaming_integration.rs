@@ -18,6 +18,96 @@ fn workload(n: usize, d: usize, seed: u64) -> Matrix {
     normalize_paper(&raw).0
 }
 
+/// `true` when the CI matrix (or a local run) asks for the full-scale
+/// axis: `EKM_SCALE=full` grows the streamed workloads by an order of
+/// magnitude, so the sharded server solve and the merge-and-reduce tree
+/// run at depth.
+fn full_scale() -> bool {
+    std::env::var("EKM_SCALE").is_ok_and(|v| v.eq_ignore_ascii_case("full"))
+}
+
+/// Smoke-vs-full cardinality for the stream-stage tests.
+fn scaled(n_smoke: usize) -> usize {
+    if full_scale() {
+        n_smoke * 10
+    } else {
+        n_smoke
+    }
+}
+
+#[test]
+fn stream_stage_pipeline_is_seed_deterministic() {
+    let data = workload(scaled(3_000), 20, 21);
+    let (n, d) = data.shape();
+    let p = SummaryParams::practical(2, n, d).with_seed(9);
+    let pipe = StagePipeline::from_names("jl,stream,qt", p).unwrap();
+    let run = || {
+        let mut net = Network::new(1);
+        let out = pipe.run(&data, &mut net).unwrap();
+        (out, net.stats().clone())
+    };
+    let (a, stats_a) = run();
+    let (b, stats_b) = run();
+    assert_eq!(a.uplink_bits, b.uplink_bits);
+    assert_eq!(a.summary_points, b.summary_points);
+    assert_eq!(stats_a, stats_b);
+    for (x, y) in a.centers.as_slice().iter().zip(b.centers.as_slice()) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+}
+
+#[test]
+fn stream_stage_cost_within_fss_bound_factor_of_batch() {
+    // Both the streamed and the batch FSS summaries are (1±ε)-coresets,
+    // so the centers they induce can differ in data cost by at most the
+    // bound factor (1+ε)/(1−ε) — empirically they sit within a few
+    // percent of each other.
+    let data = workload(scaled(3_000), 16, 22);
+    let (n, d) = data.shape();
+    let p = SummaryParams::practical(2, n, d).with_seed(4);
+    let bound_factor = (1.0 + p.epsilon) / (1.0 - p.epsilon);
+
+    let cost_of = |list: &str| {
+        let pipe = StagePipeline::from_names(list, p.clone()).unwrap();
+        let mut net = Network::new(1);
+        let out = pipe.run(&data, &mut net).unwrap();
+        ekm_clustering::cost::cost(&data, &out.centers).unwrap()
+    };
+    let streamed = cost_of("jl,stream,qt");
+    let batch = cost_of("jl,fss,qt");
+    let ratio = streamed / batch;
+    assert!(
+        ratio <= bound_factor && ratio >= 1.0 / bound_factor,
+        "stream/batch cost ratio {ratio} outside the FSS bound factor {bound_factor}"
+    );
+    // And far inside it in practice.
+    assert!(ratio < 1.3, "stream/batch cost ratio {ratio}");
+}
+
+#[test]
+fn stream_stage_bounds_summary_and_uplink() {
+    let data = workload(scaled(4_000), 24, 23);
+    let (n, d) = data.shape();
+    let p = SummaryParams::practical(2, n, d)
+        .with_seed(5)
+        .with_coreset_size(160);
+    let shards = edge_kmeans::data::partition::partition_uniform(&data, 4, 6).unwrap();
+    let pipe = StagePipeline::from_names("jl,stream,qt", p).unwrap();
+    let mut net = Network::new(4);
+    let out = pipe.run_shards(&shards, &mut net).unwrap();
+    // Four bounded summaries, not four shards.
+    assert!(out.summary_points < n / 4, "{} points", out.summary_points);
+    assert!(
+        net.stats().normalized_uplink(n, d) < 0.1,
+        "normalized comm {}",
+        net.stats().normalized_uplink(n, d)
+    );
+    // The whole stream's weight reaches the server.
+    let reference = evaluation::reference(&data, 2, 5, 1).unwrap();
+    let nc = evaluation::normalized_cost(&data, &out.centers, reference.cost).unwrap();
+    assert!(nc < 1.5, "streamed pipeline cost {nc}");
+}
+
 #[test]
 fn stream_then_ship_then_solve() {
     let data = workload(4_000, 24, 1);
@@ -42,6 +132,7 @@ fn stream_then_ship_then_solve() {
         weights: coreset.weights().to_vec(),
         delta: coreset.delta(),
         precision: Precision::Quantized { s: 12 },
+        weights_precision: Precision::Full,
     };
     let mut net = Network::new(1);
     let received = net.send_to_server(0, &msg).unwrap();

@@ -197,6 +197,31 @@ fn arbitrary_stage_compositions_are_transport_equivalent() {
 }
 
 #[test]
+fn streaming_compositions_are_transport_equivalent() {
+    // Per-source merge-and-reduce summaries over loopback TCP are
+    // byte-identical to the in-process runs, composed with DR before and
+    // DR/QT after, with and without quantization.
+    let data = workload(6);
+    let p = params(&data);
+    for list in ["jl,stream,qt:8", "stream,jl", "stream"] {
+        let pipe = StagePipeline::from_names(list, p.clone()).unwrap();
+        assert!(pipe.is_distributed(), "{list} shards per source");
+        assert_transport_equivalent(list, &pipe, &data);
+    }
+}
+
+#[test]
+fn f32_aux_precision_is_transport_equivalent() {
+    // The F32 wire variant changes the payloads (and the bits), so it
+    // must survive the byte-equality divergence checks too.
+    let data = workload(7);
+    let p = params(&data).with_precision(edge_kmeans::net::wire::Precision::F32);
+    for name in ["FSS", "JL+FSS", "BKLW"] {
+        assert_transport_equivalent(&format!("{name}/f32"), &named(name, &p), &data);
+    }
+}
+
+#[test]
 fn sequential_and_parallel_tcp_runs_are_equivalent_too() {
     // The divergence checks must hold regardless of worker scheduling on
     // either end: run the server parallel and the sources sequential.
