@@ -1,4 +1,5 @@
-//! Table and CDF printing + CSV output under `target/ekm-exp/`.
+//! Table and CDF printing, CSV output under `target/ekm-exp/`, and the
+//! machine-readable JSON emitter behind `BENCH_micro.json`.
 
 use crate::runner::MonteCarlo;
 use std::fs;
@@ -149,6 +150,108 @@ pub fn print_series_table(
     }
 }
 
+/// A minimal JSON value — the workspace carries no serde, and the perf
+/// trajectory only needs objects, arrays, strings, and numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// A floating-point number (non-finite values serialize as `null`).
+    Num(f64),
+    /// An unsigned integer (bit counts, op counts — exact, no f64 trip).
+    Int(u64),
+    /// A string.
+    Str(String),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Serializes with two-space indentation (stable key order).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent + 1);
+        let close = "  ".repeat(indent);
+        match self {
+            Json::Num(v) if v.is_finite() => out.push_str(&format!("{v}")),
+            Json::Num(_) => out.push_str("null"),
+            Json::Int(v) => out.push_str(&format!("{v}")),
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad);
+                    item.write(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&close);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    out.push_str(&pad);
+                    Json::Str(key.clone()).write(out, indent + 1);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&close);
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Where `BENCH_micro.json` lands: `EKM_BENCH_JSON` when set (the CI
+/// smoke job points it into the workspace), else `BENCH_micro.json` at
+/// the workspace root (two levels above `crates/bench`).
+pub fn bench_json_path() -> PathBuf {
+    if let Ok(p) = std::env::var("EKM_BENCH_JSON") {
+        return PathBuf::from(p);
+    }
+    let root = std::env::var("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .map(|m| m.ancestors().nth(2).map(|p| p.to_path_buf()).unwrap_or(m))
+        .unwrap_or_else(|_| PathBuf::from("."));
+    root.join("BENCH_micro.json")
+}
+
+/// Writes a JSON document (plus trailing newline) to `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_json(path: &PathBuf, doc: &Json) -> std::io::Result<()> {
+    let mut f = fs::File::create(path)?;
+    writeln!(f, "{}", doc.render())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +288,38 @@ mod tests {
         let content =
             std::fs::read_to_string(output_dir("selftest").join("table_test.csv")).unwrap();
         assert!(content.contains("A,1.1"));
+    }
+
+    #[test]
+    fn json_renders_and_round_trips_structure() {
+        let doc = Json::Obj(vec![
+            ("schema".into(), Json::Str("test/v1".into())),
+            ("bits".into(), Json::Int(u64::MAX)),
+            ("rate".into(), Json::Num(0.5)),
+            ("bad".into(), Json::Num(f64::NAN)),
+            (
+                "rows".into(),
+                Json::Arr(vec![Json::Num(1.0), Json::Str("a\"b\n".into())]),
+            ),
+            ("empty".into(), Json::Arr(vec![])),
+        ]);
+        let s = doc.render();
+        assert!(s.contains("\"schema\": \"test/v1\""));
+        assert!(s.contains(&format!("\"bits\": {}", u64::MAX)));
+        assert!(s.contains("\"bad\": null"));
+        assert!(s.contains("\"a\\\"b\\n\""));
+        assert!(s.contains("\"empty\": []"));
+        let path = output_dir("selftest").join("json_test.json");
+        write_json(&path, &doc).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.ends_with("}\n"));
+    }
+
+    #[test]
+    fn bench_json_path_honors_env_override() {
+        // Note: avoid set_var races by only reading the default here.
+        let p = bench_json_path();
+        assert!(p.to_string_lossy().ends_with("BENCH_micro.json"));
     }
 
     #[test]

@@ -5,10 +5,7 @@
 //! type).
 
 use crate::{ClusteringError, Result};
-use ekm_linalg::{ops, parallel, Matrix};
-
-/// Points-per-call threshold above which assignment parallelizes.
-const PAR_POINTS: usize = 4096;
+use ekm_linalg::{distance, ops, Matrix};
 
 /// A nearest-center assignment of every point.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,6 +62,12 @@ impl Assignment {
 
 /// Assigns every row of `points` to its nearest row of `centers`.
 ///
+/// Runs the blocked norm-expansion kernel
+/// ([`ekm_linalg::distance::assign_blocked`]): the labels and distances
+/// are written directly into their vectors — no intermediate pair list —
+/// and results are bit-identical at every worker count. Ties break
+/// toward the lower center index, like [`nearest_center`].
+///
 /// # Errors
 ///
 /// * [`ClusteringError::EmptyInput`] if either matrix is empty.
@@ -82,22 +85,17 @@ pub fn assign(points: &Matrix, centers: &Matrix) -> Result<Assignment> {
             },
         ));
     }
-    let n = points.rows();
-    let pairs =
-        parallel::par_map_indices(n, PAR_POINTS, |i| nearest_center(points.row(i), centers));
-    let mut labels = Vec::with_capacity(n);
-    let mut distances_sq = Vec::with_capacity(n);
-    for (l, d) in pairs {
-        labels.push(l);
-        distances_sq.push(d);
-    }
+    let (labels, distances_sq) =
+        distance::assign_blocked(points, centers).map_err(ClusteringError::Linalg)?;
     Ok(Assignment {
         labels,
         distances_sq,
     })
 }
 
-/// Returns `(index, squared distance)` of the center nearest to `point`.
+/// Returns `(index, squared distance)` of the center nearest to `point`
+/// — the scalar reference path (one point, subtract-square distances).
+/// Batch call sites go through [`assign`]'s blocked kernel instead.
 ///
 /// # Panics
 ///
@@ -269,9 +267,11 @@ mod tests {
     }
 
     #[test]
-    fn parallel_assignment_matches_sequential() {
-        // Force the parallel path with > PAR_POINTS points.
-        let n = PAR_POINTS + 100;
+    fn blocked_assignment_matches_scalar_reference() {
+        // Large enough to cross the blocked kernel's parallel threshold.
+        // Integer-valued data keeps both distance forms exact, so the
+        // blocked kernel must agree with the scalar path bit for bit.
+        let n = 5000;
         let p = Matrix::from_fn(n, 3, |i, j| ((i * 31 + j * 17) % 101) as f64);
         let c = Matrix::from_fn(5, 3, |i, j| ((i * 13 + j * 7) % 23) as f64);
         let a = assign(&p, &c).unwrap();

@@ -6,9 +6,9 @@
 //! ADK bicriteria approximation, and (via sensitivities) in coreset
 //! sampling.
 
-use crate::cost::{nearest_center, validate_weights};
+use crate::cost::validate_weights;
 use crate::{ClusteringError, Result};
-use ekm_linalg::Matrix;
+use ekm_linalg::{distance, Matrix};
 use rand::Rng;
 
 /// Selects `k` initial center indices by weighted k-means++.
@@ -44,10 +44,11 @@ pub fn kmeanspp_indices<R: Rng + ?Sized>(
     // First center: ∝ w.
     chosen.push(draw_index(rng, weights)?);
 
-    // Maintain D² to the chosen set incrementally.
-    let mut d2: Vec<f64> = (0..n)
-        .map(|i| ekm_linalg::ops::sq_dist(points.row(i), points.row(chosen[0])))
-        .collect();
+    // Maintain D² to the chosen set incrementally via the blocked
+    // norm-expansion kernel: the point norms are paid once, and every
+    // round's refresh against the new center is pure dot products.
+    let norms = distance::row_norms_sq(points);
+    let mut d2 = distance::sq_dists_to_row(points, &norms, points.row(chosen[0]));
 
     while chosen.len() < k {
         let probs: Vec<f64> = d2.iter().zip(weights).map(|(&d, &w)| d * w).collect();
@@ -68,9 +69,8 @@ pub fn kmeanspp_indices<R: Rng + ?Sized>(
             draw_index(rng, &fallback)?
         };
         chosen.push(next);
-        let new_row = points.row(next);
-        for (i, d) in d2.iter_mut().enumerate() {
-            let nd = ekm_linalg::ops::sq_dist(points.row(i), new_row);
+        let nd = distance::sq_dists_to_row(points, &norms, points.row(next));
+        for (d, nd) in d2.iter_mut().zip(nd) {
             if nd < *d {
                 *d = nd;
             }
@@ -116,9 +116,10 @@ pub fn d2_sample_batch<R: Rng + ?Sized>(
     }
     validate_weights(weights, points.rows())?;
     let probs: Vec<f64> = match centers {
-        Some(c) if !c.is_empty() => (0..points.rows())
-            .map(|i| weights[i] * nearest_center(points.row(i), c).1)
-            .collect(),
+        Some(c) if !c.is_empty() => {
+            let (_, d2) = distance::assign_blocked(points, c).map_err(ClusteringError::Linalg)?;
+            d2.iter().zip(weights).map(|(&d, &w)| d * w).collect()
+        }
         _ => weights.to_vec(),
     };
     let total: f64 = probs.iter().sum();

@@ -53,13 +53,19 @@ proptest! {
         let k = 3.min(p.rows());
         let c = ekm_linalg::random::gaussian_matrix(seed, k, p.cols(), 10.0);
         let a = assign(&p, &c).unwrap();
+        // The blocked kernel's norm-expansion distances agree with the
+        // scalar subtract-square form to relative precision (the
+        // expansion rounds in the norms' magnitude, not the gap's).
         for i in 0..p.rows() {
+            let x2 = ekm_linalg::ops::dot(p.row(i), p.row(i));
             for j in 0..k {
                 let d = ekm_linalg::ops::sq_dist(p.row(i), c.row(j));
-                prop_assert!(a.distances_sq[i] <= d + 1e-12);
+                let c2 = ekm_linalg::ops::dot(c.row(j), c.row(j));
+                prop_assert!(a.distances_sq[i] <= d + 1e-11 * (1.0 + x2 + c2));
             }
             let chosen = ekm_linalg::ops::sq_dist(p.row(i), c.row(a.labels[i]));
-            prop_assert!((chosen - a.distances_sq[i]).abs() < 1e-12);
+            let c2 = ekm_linalg::ops::dot(c.row(a.labels[i]), c.row(a.labels[i]));
+            prop_assert!((chosen - a.distances_sq[i]).abs() <= 1e-11 * (1.0 + x2 + c2));
         }
     }
 

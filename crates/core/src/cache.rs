@@ -1,0 +1,261 @@
+//! Stage-output memoization for pipeline sweeps.
+//!
+//! `ekm sweep` runs many stage compositions over the *same* dataset, and
+//! compositions routinely share a prefix — e.g. `jl,fss` under every QT
+//! width. The engine's source-side stages (`jl`, `fss`, `stream`) are
+//! pure, seed-deterministic functions of (stage config, shared
+//! parameters, upstream summary state), so their outputs can be memoized
+//! across pipelines: a [`StageCache`] maps a 64-bit key — stage config ⊕
+//! parameter knobs ⊕ a fingerprint of every upstream bit the stage can
+//! observe — to the snapshot of the state the stage produced.
+//!
+//! Cache hits are **bit-identical to a cold run by construction**: the
+//! key covers all inputs of the stage's computation, the snapshot stores
+//! the complete post-stage state delta (including the deterministic
+//! operation count), and the interactive stages (`dispca`, `disss`) and
+//! the transmission phase are never cached — their traffic must flow
+//! through the live [`ekm_net::Transport`], which keeps the bit ledger
+//! of a cached sweep identical to an uncached one.
+
+use crate::projection::MaybeProjection;
+use ekm_linalg::Matrix;
+use std::collections::HashMap;
+
+/// Incremental FNV-1a 64-bit hasher — deterministic across runs and
+/// platforms, used for both stage keys and data fingerprints.
+#[derive(Debug, Clone)]
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    pub fn new() -> Fnv {
+        Fnv(Self::OFFSET)
+    }
+
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_bytes(&[v as u8]);
+    }
+
+    pub fn write_f64s(&mut self, vs: &[f64]) {
+        self.write_usize(vs.len());
+        for v in vs {
+            self.write_u64(v.to_bits());
+        }
+    }
+
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
+    pub fn write_matrix(&mut self, m: &Matrix) {
+        self.write_usize(m.rows());
+        self.write_usize(m.cols());
+        self.write_f64s(m.as_slice());
+    }
+
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// The complete state delta a cached stage replays on a hit: the fields
+/// the source-side stages overwrite wholesale, the projection a DR stage
+/// appends, the positional JL bookkeeping, and the deterministic
+/// operation count the stage would have charged.
+#[derive(Debug, Clone)]
+pub(crate) struct StageSnapshot {
+    pub parts: Vec<Matrix>,
+    pub weights: Option<Vec<Vec<f64>>>,
+    pub deltas: Vec<f64>,
+    pub basis: Option<Matrix>,
+    pub basis_shared: bool,
+    pub appended_projections: Vec<MaybeProjection>,
+    pub jl_count: usize,
+    pub jl_after_used: bool,
+    pub any_reduction: bool,
+    pub ops_delta: u64,
+    /// Per-source compute seconds the cold run charged for this stage,
+    /// replayed on a hit so cached sweeps report comparable source
+    /// timings (the deterministic `ops_delta` is the exact counterpart).
+    pub seconds_delta: f64,
+}
+
+/// Memoized per-stage outputs, shared across the pipelines of a sweep.
+///
+/// Create one cache, pass it to every
+/// [`StagePipeline::run_cached`](crate::engine::StagePipeline::run_cached) /
+/// [`run_shards_cached`](crate::engine::StagePipeline::run_shards_cached)
+/// call of the sweep, and shared prefixes are computed once; outputs and
+/// bit accounting are bit-identical to uncached runs.
+///
+/// # Example
+///
+/// ```
+/// use ekm_core::cache::StageCache;
+/// use ekm_core::engine::StagePipeline;
+/// use ekm_core::params::SummaryParams;
+/// use ekm_net::Network;
+/// use ekm_linalg::Matrix;
+///
+/// let data = Matrix::from_fn(300, 16, |i, j| ((i * 31 + j * 17) % 13) as f64 * 0.2);
+/// let params = SummaryParams::practical(2, 300, 16).with_seed(7);
+/// let mut cache = StageCache::new();
+/// for stages in ["jl,fss,qt:6", "jl,fss,qt:10"] {
+///     let pipe = StagePipeline::from_names(stages, params.clone()).unwrap();
+///     let mut net = Network::new(1);
+///     pipe.run_cached(&data, &mut net, &mut cache).unwrap();
+/// }
+/// // The second pipeline replayed the shared jl,fss prefix.
+/// assert_eq!(cache.hits(), 2);
+/// assert_eq!(cache.misses(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct StageCache {
+    entries: HashMap<u64, StageSnapshot>,
+    hits: u64,
+    misses: u64,
+}
+
+impl StageCache {
+    /// An empty cache.
+    pub fn new() -> StageCache {
+        StageCache::default()
+    }
+
+    /// Number of stage executions answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of cacheable stage executions that ran cold (and were
+    /// stored).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Fraction of cacheable stage executions answered from the cache
+    /// (0 when nothing ran).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Number of distinct stage outputs held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no stage output is held.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops all entries (the counters persist).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    pub(crate) fn lookup(&mut self, key: u64) -> Option<StageSnapshot> {
+        match self.entries.get(&key) {
+            Some(snap) => {
+                self.hits += 1;
+                Some(snap.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    pub(crate) fn store(&mut self, key: u64, snapshot: StageSnapshot) {
+        self.entries.insert(key, snapshot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_distinguishes_inputs_and_is_stable() {
+        let mut a = Fnv::new();
+        a.write_f64s(&[1.0, 2.0]);
+        let mut b = Fnv::new();
+        b.write_f64s(&[1.0, 2.0]);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = Fnv::new();
+        c.write_f64s(&[2.0, 1.0]);
+        assert_ne!(a.finish(), c.finish());
+        // 0.0 and -0.0 hash differently (bit fingerprint, not value).
+        let mut z = Fnv::new();
+        z.write_f64s(&[0.0]);
+        let mut nz = Fnv::new();
+        nz.write_f64s(&[-0.0]);
+        assert_ne!(z.finish(), nz.finish());
+    }
+
+    #[test]
+    fn fnv_length_prefixing_avoids_concat_collisions() {
+        let mut a = Fnv::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Fnv::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn cache_counters_and_inventory() {
+        let mut cache = StageCache::new();
+        assert!(cache.is_empty());
+        assert_eq!(cache.hit_rate(), 0.0);
+        assert!(cache.lookup(7).is_none());
+        cache.store(
+            7,
+            StageSnapshot {
+                parts: vec![Matrix::zeros(1, 1)],
+                weights: None,
+                deltas: vec![],
+                basis: None,
+                basis_shared: false,
+                appended_projections: vec![],
+                jl_count: 0,
+                jl_after_used: false,
+                any_reduction: true,
+                ops_delta: 3,
+                seconds_delta: 0.0,
+            },
+        );
+        assert!(cache.lookup(7).is_some());
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.hits(), 1, "counters persist across clear");
+    }
+}

@@ -39,6 +39,7 @@
 //! same stages, same seeds, bit-identical counters and centers — runs
 //! over the TCP backend ([`ekm_net::tcp`]) across real processes.
 
+use crate::cache::{Fnv, StageCache, StageSnapshot};
 use crate::complexity;
 use crate::params::SummaryParams;
 use crate::pipelines::{expect_basis, expect_coreset, quantize_for_wire, seeds};
@@ -166,6 +167,84 @@ impl<'a> SummaryState<'a> {
         self.jl_count += 1;
         (stream, before_role)
     }
+
+    /// Fingerprint of every upstream bit a source-side stage can
+    /// observe: the working parts, coreset weights/Δs, basis, and the
+    /// positional JL bookkeeping. The armed quantizer and the projection
+    /// chain are deliberately excluded — neither feeds the cacheable
+    /// stages' computation, which is exactly what lets compositions that
+    /// differ only in QT width share a cached prefix.
+    fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.write_usize(self.parts.len());
+        for part in &self.parts {
+            h.write_matrix(part.as_ref());
+        }
+        match &self.weights {
+            None => h.write_bool(false),
+            Some(all) => {
+                h.write_bool(true);
+                h.write_usize(all.len());
+                for w in all {
+                    h.write_f64s(w);
+                }
+            }
+        }
+        h.write_f64s(&self.deltas);
+        match &self.basis {
+            None => h.write_bool(false),
+            Some(b) => {
+                h.write_bool(true);
+                h.write_matrix(b);
+            }
+        }
+        h.write_bool(self.basis_shared);
+        h.write_usize(self.jl_count);
+        h.write_bool(self.jl_after_used);
+        h.write_bool(self.any_reduction);
+        h.finish()
+    }
+
+    /// Replaces the stage-owned state with a cached snapshot (the
+    /// lookup key guarantees the upstream state matches bit for bit).
+    /// The cold run's recorded compute charges — the deterministic op
+    /// count and the wall-clock seconds — are replayed too, so cached
+    /// sweeps report source timings comparable to uncached ones.
+    fn apply_snapshot(&mut self, snap: StageSnapshot) {
+        self.parts = snap.parts.into_iter().map(Cow::Owned).collect();
+        self.weights = snap.weights;
+        self.deltas = snap.deltas;
+        self.basis = snap.basis;
+        self.basis_shared = snap.basis_shared;
+        self.projections.extend(snap.appended_projections);
+        self.jl_count = snap.jl_count;
+        self.jl_after_used = snap.jl_after_used;
+        self.any_reduction = snap.any_reduction;
+        self.source_ops += snap.ops_delta;
+        self.source_seconds += snap.seconds_delta;
+    }
+
+    /// Captures the state delta the stage just produced, for storage.
+    fn snapshot(
+        &self,
+        projections_before: usize,
+        ops_before: u64,
+        seconds_before: f64,
+    ) -> StageSnapshot {
+        StageSnapshot {
+            parts: self.parts.iter().map(|p| p.as_ref().clone()).collect(),
+            weights: self.weights.clone(),
+            deltas: self.deltas.clone(),
+            basis: self.basis.clone(),
+            basis_shared: self.basis_shared,
+            appended_projections: self.projections[projections_before..].to_vec(),
+            jl_count: self.jl_count,
+            jl_after_used: self.jl_after_used,
+            any_reduction: self.any_reduction,
+            ops_delta: self.source_ops - ops_before,
+            seconds_delta: self.source_seconds - seconds_before,
+        }
+    }
 }
 
 /// A summary pipeline as an ordered stage list, executed by the one
@@ -246,7 +325,7 @@ impl StagePipeline {
     ///
     /// Propagates configuration, numeric, and protocol failures.
     pub fn run<T: Transport>(&self, data: &Matrix, net: &mut T) -> Result<RunOutput> {
-        self.run_parts(vec![Cow::Borrowed(data)], net)
+        self.run_parts(vec![Cow::Borrowed(data)], net, None)
     }
 
     /// Runs the pipeline over per-source shards (one per data source;
@@ -256,13 +335,46 @@ impl StagePipeline {
     ///
     /// Propagates configuration, numeric, and protocol failures.
     pub fn run_shards<T: Transport>(&self, shards: &[Matrix], net: &mut T) -> Result<RunOutput> {
-        self.run_parts(shards.iter().map(Cow::Borrowed).collect(), net)
+        self.run_parts(shards.iter().map(Cow::Borrowed).collect(), net, None)
+    }
+
+    /// [`StagePipeline::run`] with stage-output memoization: source-side
+    /// stage outputs are looked up in (and stored into) `cache`, so
+    /// sweeps whose compositions share a prefix compute it once. Outputs
+    /// and bit accounting are bit-identical to an uncached run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, numeric, and protocol failures.
+    pub fn run_cached<T: Transport>(
+        &self,
+        data: &Matrix,
+        net: &mut T,
+        cache: &mut StageCache,
+    ) -> Result<RunOutput> {
+        self.run_parts(vec![Cow::Borrowed(data)], net, Some(cache))
+    }
+
+    /// [`StagePipeline::run_shards`] with stage-output memoization (see
+    /// [`StagePipeline::run_cached`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, numeric, and protocol failures.
+    pub fn run_shards_cached<T: Transport>(
+        &self,
+        shards: &[Matrix],
+        net: &mut T,
+        cache: &mut StageCache,
+    ) -> Result<RunOutput> {
+        self.run_parts(shards.iter().map(Cow::Borrowed).collect(), net, Some(cache))
     }
 
     fn run_parts<T: Transport>(
         &self,
         parts: Vec<Cow<'_, Matrix>>,
         net: &mut T,
+        mut cache: Option<&mut StageCache>,
     ) -> Result<RunOutput> {
         if parts.is_empty() {
             return Err(CoreError::InvalidConfig {
@@ -283,71 +395,125 @@ impl StagePipeline {
 
         let mut state = SummaryState::new(parts);
         for stage in &self.stages {
-            match stage {
-                Stage::Dr(cfg) => self.apply_jl(cfg, &mut state)?,
-                Stage::Cr(cfg) => self.apply_fss(cfg, &mut state)?,
-                Stage::Stream(cfg) => self.apply_stream(cfg, &mut state)?,
-                Stage::Qt(cfg) => {
-                    state.require_source_side()?;
-                    state.quantizer = Some(resolve_quantizer(cfg, &self.params)?);
+            // Source-side stages (`jl`, `fss`, `stream`) are pure,
+            // seed-deterministic functions of (config, params, upstream
+            // state) that never touch the transport — exactly the stages
+            // a cache may replay. Interactive stages and everything
+            // after a disSS handoff always run live.
+            let cacheable = matches!(stage, Stage::Dr(_) | Stage::Cr(_) | Stage::Stream(_))
+                && state.server_summary.is_none();
+            if let (true, Some(cache)) = (cacheable, cache.as_deref_mut()) {
+                let key = self.stage_key(stage, state.fingerprint());
+                if let Some(snap) = cache.lookup(key) {
+                    state.apply_snapshot(snap);
+                    continue;
                 }
-                Stage::DisPca(cfg) => {
-                    state.require_source_side()?;
-                    if state.weights.is_some() {
-                        return Err(CoreError::InvalidConfig {
-                            reason: "dispca after a coreset stage is unsupported",
-                        });
-                    }
-                    state.lift_out_of_basis()?;
-                    let t = cfg
-                        .rank
-                        .map(|t| t.clamp(1, state.dim()))
-                        .unwrap_or_else(|| self.params.effective_pca_dim(state.dim()));
-                    let out = distributed::dispca_opts(
-                        &state.parts,
-                        t,
-                        net,
-                        self.parallel,
-                        self.params.precision,
-                    )?;
-                    state.parts = out.coords.into_iter().map(Cow::Owned).collect();
-                    state.basis = Some(out.basis);
-                    state.basis_shared = true;
-                    state.any_reduction = true;
-                    state.source_seconds += out.source_seconds;
-                    state.server_seconds += out.server_seconds;
-                    state.source_ops += out.source_ops;
-                }
-                Stage::DisSs(cfg) => {
-                    state.require_source_side()?;
-                    if state.weights.is_some() {
-                        return Err(CoreError::InvalidConfig {
-                            reason: "disss after a coreset stage is unsupported",
-                        });
-                    }
-                    let budget = cfg.sample_size.unwrap_or(self.params.coreset_size);
-                    let out = distributed::disss_opts(
-                        &state.parts,
-                        self.params.k,
-                        budget,
-                        derive_seed(self.params.seed, seeds::FSS),
-                        state.quantizer.as_ref(),
-                        net,
-                        self.parallel,
-                        self.params.precision,
-                    )?;
-                    state.server_summary =
-                        Some((out.coreset.points().clone(), out.coreset.weights().to_vec()));
-                    state.parts.clear();
-                    state.any_reduction = true;
-                    state.source_seconds += out.source_seconds;
-                    state.server_seconds += out.server_seconds;
-                    state.source_ops += out.source_ops;
-                }
+                let projections_before = state.projections.len();
+                let ops_before = state.source_ops;
+                let seconds_before = state.source_seconds;
+                self.apply_stage(stage, &mut state, net)?;
+                cache.store(
+                    key,
+                    state.snapshot(projections_before, ops_before, seconds_before),
+                );
+                continue;
             }
+            self.apply_stage(stage, &mut state, net)?;
         }
 
         self.finalize(state, net, up0, down0)
+    }
+
+    /// Key of one cacheable stage execution: the stage configuration,
+    /// every parameter knob its computation reads, and the upstream
+    /// state fingerprint.
+    fn stage_key(&self, stage: &Stage, state_fp: u64) -> u64 {
+        let p = &self.params;
+        let mut h = Fnv::new();
+        h.write_str(&format!("{stage:?}"));
+        h.write_usize(p.k);
+        h.write_u64(p.epsilon.to_bits());
+        h.write_usize(p.coreset_size);
+        h.write_usize(p.pca_dim);
+        h.write_usize(p.jl_dim_before);
+        h.write_usize(p.jl_dim_after);
+        h.write_str(&format!("{:?}", p.jl_kind));
+        h.write_u64(p.seed);
+        h.write_usize(p.stream_leaf_size);
+        h.write_u64(state_fp);
+        h.finish()
+    }
+
+    /// Executes one stage against the summary state.
+    fn apply_stage<T: Transport>(
+        &self,
+        stage: &Stage,
+        state: &mut SummaryState<'_>,
+        net: &mut T,
+    ) -> Result<()> {
+        match stage {
+            Stage::Dr(cfg) => self.apply_jl(cfg, state)?,
+            Stage::Cr(cfg) => self.apply_fss(cfg, state)?,
+            Stage::Stream(cfg) => self.apply_stream(cfg, state)?,
+            Stage::Qt(cfg) => {
+                state.require_source_side()?;
+                state.quantizer = Some(resolve_quantizer(cfg, &self.params)?);
+            }
+            Stage::DisPca(cfg) => {
+                state.require_source_side()?;
+                if state.weights.is_some() {
+                    return Err(CoreError::InvalidConfig {
+                        reason: "dispca after a coreset stage is unsupported",
+                    });
+                }
+                state.lift_out_of_basis()?;
+                let t = cfg
+                    .rank
+                    .map(|t| t.clamp(1, state.dim()))
+                    .unwrap_or_else(|| self.params.effective_pca_dim(state.dim()));
+                let out = distributed::dispca_opts(
+                    &state.parts,
+                    t,
+                    net,
+                    self.parallel,
+                    self.params.precision,
+                )?;
+                state.parts = out.coords.into_iter().map(Cow::Owned).collect();
+                state.basis = Some(out.basis);
+                state.basis_shared = true;
+                state.any_reduction = true;
+                state.source_seconds += out.source_seconds;
+                state.server_seconds += out.server_seconds;
+                state.source_ops += out.source_ops;
+            }
+            Stage::DisSs(cfg) => {
+                state.require_source_side()?;
+                if state.weights.is_some() {
+                    return Err(CoreError::InvalidConfig {
+                        reason: "disss after a coreset stage is unsupported",
+                    });
+                }
+                let budget = cfg.sample_size.unwrap_or(self.params.coreset_size);
+                let out = distributed::disss_opts(
+                    &state.parts,
+                    self.params.k,
+                    budget,
+                    derive_seed(self.params.seed, seeds::FSS),
+                    state.quantizer.as_ref(),
+                    net,
+                    self.parallel,
+                    self.params.precision,
+                )?;
+                state.server_summary =
+                    Some((out.coreset.points().clone(), out.coreset.weights().to_vec()));
+                state.parts.clear();
+                state.any_reduction = true;
+                state.source_seconds += out.source_seconds;
+                state.server_seconds += out.server_seconds;
+                state.source_ops += out.source_ops;
+            }
+        }
+        Ok(())
     }
 
     /// DR stage: seeded JL projection of every part (zero communication;
@@ -829,6 +995,90 @@ mod tests {
             out.uplink_bits,
             nr.uplink_bits
         );
+    }
+
+    #[test]
+    fn cached_runs_are_bit_identical_and_reuse_shared_prefixes() {
+        let data = workload(500, 24, 21);
+        let p = params(500, 24);
+        let mut cache = StageCache::new();
+        for list in ["jl,fss,qt:4", "jl,fss,qt:8", "jl,fss,qt:8,jl"] {
+            let pipe = StagePipeline::from_names(list, p.clone()).unwrap();
+            let mut net_cold = Network::new(1);
+            let cold = pipe.run(&data, &mut net_cold).unwrap();
+            let mut net_hot = Network::new(1);
+            let hot = pipe.run_cached(&data, &mut net_hot, &mut cache).unwrap();
+            assert!(cold.centers.approx_eq(&hot.centers, 0.0), "{list}");
+            assert_eq!(cold.uplink_bits, hot.uplink_bits, "{list}");
+            assert_eq!(cold.downlink_bits, hot.downlink_bits, "{list}");
+            assert_eq!(cold.source_ops, hot.source_ops, "{list}");
+            assert_eq!(cold.summary_points, hot.summary_points, "{list}");
+            assert_eq!(net_cold.stats(), net_hot.stats(), "{list}");
+        }
+        // The jl,fss prefix ran once; the second and third compositions
+        // replayed it, and only the third's trailing jl ran cold.
+        assert_eq!(cache.misses(), 3, "jl, fss, trailing jl");
+        assert_eq!(cache.hits(), 4);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn upstream_quantizer_does_not_split_cache_entries() {
+        // QT only arms the wire quantizer, which the cacheable stages
+        // never read — so fss after qt:4 and after qt:8 share one entry.
+        let data = workload(300, 14, 22);
+        let p = params(300, 14);
+        let mut cache = StageCache::new();
+        for list in ["qt:4,fss", "qt:8,fss"] {
+            let pipe = StagePipeline::from_names(list, p.clone()).unwrap();
+            let mut net = Network::new(1);
+            pipe.run_cached(&data, &mut net, &mut cache).unwrap();
+        }
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn cached_stream_shards_match_uncached() {
+        let data = workload(1000, 16, 23);
+        let shards = partition_uniform(&data, 4, 6).unwrap();
+        let p = params(1000, 16).with_coreset_size(90);
+        let pipe = StagePipeline::from_names("jl,stream,qt", p).unwrap();
+        let mut net_cold = Network::new(4);
+        let cold = pipe.run_shards(&shards, &mut net_cold).unwrap();
+        let mut cache = StageCache::new();
+        let mut net_hot = Network::new(4);
+        let hot = pipe
+            .run_shards_cached(&shards, &mut net_hot, &mut cache)
+            .unwrap();
+        assert!(cold.centers.approx_eq(&hot.centers, 0.0));
+        assert_eq!(cold.uplink_bits, hot.uplink_bits);
+        assert_eq!(net_cold.stats(), net_hot.stats());
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+        // A second cached run replays both cacheable stages.
+        let mut net_again = Network::new(4);
+        let again = pipe
+            .run_shards_cached(&shards, &mut net_again, &mut cache)
+            .unwrap();
+        assert!(cold.centers.approx_eq(&again.centers, 0.0));
+        assert_eq!(cold.source_ops, again.source_ops);
+        assert_eq!((cache.hits(), cache.misses()), (2, 2));
+    }
+
+    #[test]
+    fn cache_misses_on_different_seed_or_data() {
+        let data = workload(250, 10, 24);
+        let pipe = |seed: u64| {
+            StagePipeline::from_names("jl,fss", params(250, 10).with_seed(seed)).unwrap()
+        };
+        let mut cache = StageCache::new();
+        let mut net = Network::new(1);
+        pipe(1).run_cached(&data, &mut net, &mut cache).unwrap();
+        pipe(2).run_cached(&data, &mut net, &mut cache).unwrap();
+        assert_eq!(cache.hits(), 0, "different seed must not hit");
+        let other = workload(250, 10, 25);
+        pipe(1).run_cached(&other, &mut net, &mut cache).unwrap();
+        assert_eq!(cache.hits(), 0, "different data must not hit");
+        assert_eq!(cache.misses(), 6);
     }
 
     #[test]

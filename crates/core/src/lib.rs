@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cache;
 mod complexity;
 pub mod distributed;
 pub mod engine;
@@ -72,6 +73,7 @@ pub mod projection;
 pub mod server;
 pub mod stage;
 
+pub use cache::StageCache;
 pub use engine::StagePipeline;
 pub use error::CoreError;
 pub use output::RunOutput;

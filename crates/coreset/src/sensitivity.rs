@@ -150,10 +150,12 @@ impl SensitivitySampler {
         let n = points.rows();
         validate_weights(weights, n).map_err(CoresetError::Clustering)?;
 
+        // One blocked-kernel assignment serves the cluster weights, the
+        // total cost, and the per-point sensitivity terms below.
         let a = assign(points, &bic.centers)?;
         let n_clusters = bic.centers.rows();
         let cluster_w = a.cluster_weights(n_clusters, weights);
-        let total_cost: f64 = a.distances_sq.iter().zip(weights).map(|(d, w)| d * w).sum();
+        let total_cost = a.weighted_cost(weights);
 
         // Sensitivity upper bounds.
         let sens: Vec<f64> = (0..n)

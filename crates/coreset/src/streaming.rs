@@ -222,7 +222,7 @@ impl StreamingCoreset {
                 }
                 Some(existing) => {
                     let merged = Coreset::merge([&existing, &coreset])?;
-                    coreset = self.reduce(&merged.points().clone(), Some(merged.weights()))?;
+                    coreset = self.reduce(merged.points(), Some(merged.weights()))?;
                     // Δ's add under merge; our reduces carry Δ = 0, so the
                     // merged Δ stays 0 — assert the invariant in debug.
                     debug_assert_eq!(merged.delta(), 0.0);

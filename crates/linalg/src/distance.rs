@@ -1,0 +1,550 @@
+//! Blocked pairwise squared-distance kernels.
+//!
+//! Every assignment loop in the workspace — Lloyd iterations, k-means++
+//! D² seeding, sensitivity sampling, streaming reduces — bottoms out in
+//! "squared distance from each point to each center". The scalar
+//! per-pair loop (`ops::sq_dist`) carries a serial dependency chain the
+//! compiler cannot vectorize under strict IEEE semantics; this module
+//! replaces it with a blocked kernel built on the norm-expansion form
+//!
+//! ```text
+//! ‖x − c‖² = ‖x‖² + ‖c‖² − 2·⟨x, c⟩
+//! ```
+//!
+//! with row norms precomputed once and cache-blocked tiles over
+//! (points × centers). The inner loop runs in `i-k-j` order against a
+//! transposed center tile, so every center in the tile owns an
+//! independent accumulator — there is no per-pair reduction chain, and
+//! the compiler vectorizes the `j` loop exactly like the dense
+//! [`ops::matmul`] kernel.
+//!
+//! # Determinism
+//!
+//! Results are **bit-identical at every worker count** (the same
+//! invariance discipline as the sharded Lloyd fold): each point's result
+//! is computed by an identical sequence of floating-point operations —
+//! the center-tile walk is fixed by the center count alone, and the
+//! parallel split only partitions *which thread* computes which point,
+//! never the per-point operation order. `*_in` variants take an explicit
+//! worker count so tests can assert the invariance without touching the
+//! process-wide override.
+//!
+//! # Accuracy domain
+//!
+//! The expansion form rounds differently from the subtract-square form:
+//! its absolute error scales with `ulp(‖x‖² + ‖c‖²)`, not with the gap
+//! itself, so the *relative* error of a distance grows as
+//! `(‖x‖² + ‖c‖²) / ‖x − c‖²` — catastrophic cancellation when the data
+//! sit far from the origin relative to their spread (e.g. two points
+//! near 1e8 separated by 1, where the expansion returns 0). This is the
+//! standard trade-off of norm-expansion distance kernels; every
+//! pipeline in this workspace operates on `normalize_paper`-scaled data
+//! (unit max norm), where the forms agree to a relative `1e-12`
+//! tolerance (proptested). Callers with un-centered, large-offset data
+//! should translate it toward the origin first (k-means distances are
+//! translation invariant) or use the scalar `ops::sq_dist` path.
+//!
+//! Exact self-distance is preserved at any magnitude
+//! (`‖x‖² + ‖x‖² − 2⟨x,x⟩ = 0` exactly because norms and inner products
+//! share one accumulation order — see [`serial_dot`]), and tiny negative
+//! rounding residues are clamped to zero so D² sampling weights stay
+//! valid.
+
+use crate::parallel;
+use crate::{LinalgError, Matrix, Result};
+
+/// Center rows per cache tile: the tile (`CENTER_TILE × d` doubles) stays
+/// resident in L1/L2 while a block of points streams against it.
+const CENTER_TILE: usize = 32;
+
+/// Point rows per inner block (bounds the working set of point rows that
+/// revisit a center tile; has no effect on results).
+const POINT_BLOCK: usize = 256;
+
+/// Minimum number of point×center pairs before the kernels spawn threads.
+const PAR_PAIRS: usize = 1 << 13;
+
+/// Plain left-to-right dot product — the exact accumulation order of
+/// [`tile_dots`]'s per-center accumulators, so norms computed here are
+/// bitwise consistent with the kernel's inner products (which is what
+/// makes `‖x − x‖²` collapse to exactly zero after expansion).
+#[inline]
+fn serial_dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "serial_dot: length mismatch");
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// `‖row‖²` for every row, in the kernel's accumulation order (see
+/// [`serial_dot`]).
+pub fn row_norms_sq(m: &Matrix) -> Vec<f64> {
+    m.iter_rows().map(|r| serial_dot(r, r)).collect()
+}
+
+/// Validates that `points` and `centers` are non-empty and agree on
+/// dimensionality.
+fn check_shapes(op: &'static str, points: &Matrix, centers: &Matrix) -> Result<()> {
+    if points.cols() != centers.cols() {
+        return Err(LinalgError::DimensionMismatch {
+            op,
+            lhs: points.shape(),
+            rhs: centers.shape(),
+        });
+    }
+    Ok(())
+}
+
+/// Worker count the auto-parallel entry points use for an `n × k` pair
+/// grid: the process default above the pair threshold, else 1.
+fn auto_workers(n: usize, k: usize) -> usize {
+    if n.saturating_mul(k) >= PAR_PAIRS {
+        parallel::worker_count()
+    } else {
+        1
+    }
+}
+
+/// The full `n × k` matrix of squared distances from every row of
+/// `points` to every row of `centers`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] unless the operands agree
+/// on dimensionality.
+pub fn sq_dists_block(points: &Matrix, centers: &Matrix) -> Result<Matrix> {
+    sq_dists_block_in(points, centers, auto_workers(points.rows(), centers.rows()))
+}
+
+/// [`sq_dists_block`] with an explicit worker count (results are
+/// bit-identical at every count).
+///
+/// # Errors
+///
+/// See [`sq_dists_block`].
+pub fn sq_dists_block_in(points: &Matrix, centers: &Matrix, workers: usize) -> Result<Matrix> {
+    check_shapes("sq_dists_block", points, centers)?;
+    let (n, k) = (points.rows(), centers.rows());
+    let mut out = Matrix::zeros(n, k);
+    if n == 0 || k == 0 {
+        return Ok(out);
+    }
+    let layout = CenterLayout::new(centers);
+    run_point_ranges(n, workers, out.as_mut_slice(), k, |row_start, rows| {
+        dists_range(points, &layout, row_start, rows);
+    });
+    Ok(out)
+}
+
+/// Nearest-center assignment of every row of `points`: `(labels,
+/// squared distances)`, ties broken toward the lower center index.
+///
+/// This is the fused form of [`sq_dists_block`] — the `n × k` distance
+/// matrix is never materialized; each point's row of distances is
+/// reduced to its argmin on the fly.
+///
+/// # Errors
+///
+/// * [`LinalgError::DimensionMismatch`] unless the operands agree on
+///   dimensionality.
+/// * [`LinalgError::EmptyMatrix`] if `centers` has no rows (there is no
+///   nearest center to assign).
+pub fn assign_blocked(points: &Matrix, centers: &Matrix) -> Result<(Vec<usize>, Vec<f64>)> {
+    assign_blocked_in(points, centers, auto_workers(points.rows(), centers.rows()))
+}
+
+/// [`assign_blocked`] with an explicit worker count (results are
+/// bit-identical at every count).
+///
+/// # Errors
+///
+/// See [`assign_blocked`].
+pub fn assign_blocked_in(
+    points: &Matrix,
+    centers: &Matrix,
+    workers: usize,
+) -> Result<(Vec<usize>, Vec<f64>)> {
+    check_shapes("assign_blocked", points, centers)?;
+    if centers.rows() == 0 {
+        return Err(LinalgError::EmptyMatrix {
+            op: "assign_blocked",
+        });
+    }
+    let n = points.rows();
+    let mut labels = vec![0usize; n];
+    let mut dists = vec![0.0f64; n];
+    if n == 0 {
+        return Ok((labels, dists));
+    }
+    let layout = CenterLayout::new(centers);
+    // Both output vectors are split at the same fixed boundaries so each
+    // worker owns a contiguous (labels, dists) range of the same points.
+    let workers = workers.clamp(1, n);
+    if workers == 1 {
+        assign_range(points, &layout, 0, &mut labels, &mut dists);
+    } else {
+        let per = n.div_ceil(workers);
+        std::thread::scope(|scope| {
+            let mut lrest: &mut [usize] = &mut labels;
+            let mut drest: &mut [f64] = &mut dists;
+            let mut start = 0;
+            let layout = &layout;
+            while !lrest.is_empty() {
+                let take = per.min(lrest.len());
+                let (lchunk, ltail) = lrest.split_at_mut(take);
+                let (dchunk, dtail) = drest.split_at_mut(take);
+                lrest = ltail;
+                drest = dtail;
+                let row_start = start;
+                start += take;
+                scope.spawn(move || {
+                    assign_range(points, layout, row_start, lchunk, dchunk);
+                });
+            }
+        });
+    }
+    Ok((labels, dists))
+}
+
+/// Squared distance from every row of `points` to the single `center`
+/// row, given precomputed point norms (`‖x_i‖²` from [`row_norms_sq`]) —
+/// the kernel behind k-means++'s incremental D² update, where the point
+/// norms are paid once and every subsequent round is pure dot products.
+///
+/// # Panics
+///
+/// Panics if `point_norms_sq.len() != points.rows()` or the center
+/// dimensionality disagrees (callers hold both invariants).
+pub fn sq_dists_to_row(points: &Matrix, point_norms_sq: &[f64], center: &[f64]) -> Vec<f64> {
+    assert_eq!(
+        point_norms_sq.len(),
+        points.rows(),
+        "sq_dists_to_row: norm count"
+    );
+    assert_eq!(
+        points.cols(),
+        center.len(),
+        "sq_dists_to_row: dimensionality"
+    );
+    let c2 = serial_dot(center, center);
+    parallel::par_map_indices(points.rows(), PAR_PAIRS, |i| {
+        (point_norms_sq[i] + c2 - 2.0 * serial_dot(points.row(i), center)).max(0.0)
+    })
+}
+
+/// Splits `out` (rows of width `row_width`) into `workers` near-equal
+/// contiguous row ranges and runs `f(first_row, chunk)` on each via
+/// scoped threads. Per-row results are independent, so any split is
+/// bit-identical.
+fn run_point_ranges<F>(n: usize, workers: usize, out: &mut [f64], row_width: usize, f: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    let workers = workers.clamp(1, n);
+    if workers == 1 {
+        f(0, out);
+        return;
+    }
+    let per = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        let mut start = 0;
+        while !rest.is_empty() {
+            let take = per.min(rest.len() / row_width);
+            let (chunk, tail) = rest.split_at_mut(take * row_width);
+            rest = tail;
+            let fref = &f;
+            let row_start = start;
+            scope.spawn(move || fref(row_start, chunk));
+            start += take;
+        }
+    });
+}
+
+/// The centers in `d × k` transposed layout (row `kk` holds every
+/// center's coordinate `kk`), plus their norms — precomputed once per
+/// kernel call and shared read-only by all workers.
+struct CenterLayout {
+    /// Transposed center coordinates, row-major `d × k`.
+    t: Vec<f64>,
+    /// `‖c_j‖²` per center.
+    c2: Vec<f64>,
+    k: usize,
+}
+
+impl CenterLayout {
+    fn new(centers: &Matrix) -> CenterLayout {
+        let (k, d) = centers.shape();
+        let mut t = vec![0.0f64; d * k];
+        for (j, row) in centers.iter_rows().enumerate() {
+            for (kk, &v) in row.iter().enumerate() {
+                t[kk * k + j] = v;
+            }
+        }
+        CenterLayout {
+            t,
+            c2: row_norms_sq(centers),
+            k,
+        }
+    }
+}
+
+/// Computes `⟨x, c_j⟩` for every center `j` in
+/// `tile_start..tile_start + acc.len()`, accumulating in `i-k-j` order:
+/// the `j` loop runs over contiguous transposed-center rows with one
+/// independent accumulator per center, which vectorizes without any
+/// reduction chain, and the dimension loop is 4-way unrolled to amortize
+/// its overhead. Every accumulator still receives its products strictly
+/// left to right over the dimensions — the same association as
+/// [`serial_dot`] — and the order is fixed by the layout alone, so
+/// results are identical no matter how points are partitioned.
+#[inline]
+fn tile_dots(x: &[f64], layout: &CenterLayout, tile_start: usize, acc: &mut [f64]) {
+    acc.fill(0.0);
+    let k = layout.k;
+    let tw = acc.len();
+    let t = &layout.t;
+    let quads = x.len() / 4;
+    for q in 0..quads {
+        let kk = q * 4;
+        let (x0, x1, x2, x3) = (x[kk], x[kk + 1], x[kk + 2], x[kk + 3]);
+        let r0 = &t[kk * k + tile_start..kk * k + tile_start + tw];
+        let r1 = &t[(kk + 1) * k + tile_start..(kk + 1) * k + tile_start + tw];
+        let r2 = &t[(kk + 2) * k + tile_start..(kk + 2) * k + tile_start + tw];
+        let r3 = &t[(kk + 3) * k + tile_start..(kk + 3) * k + tile_start + tw];
+        for j in 0..tw {
+            let mut a = acc[j];
+            a += x0 * r0[j];
+            a += x1 * r1[j];
+            a += x2 * r2[j];
+            a += x3 * r3[j];
+            acc[j] = a;
+        }
+    }
+    for (kk, &xk) in x.iter().enumerate().skip(quads * 4) {
+        let trow = &t[kk * k + tile_start..kk * k + tile_start + tw];
+        for (a, &tv) in acc.iter_mut().zip(trow) {
+            *a += xk * tv;
+        }
+    }
+}
+
+/// Fills `rows` (a contiguous `len × k` block of the output starting at
+/// point `row_start`) with squared distances to every center.
+fn dists_range(points: &Matrix, layout: &CenterLayout, row_start: usize, rows: &mut [f64]) {
+    let k = layout.k;
+    let len = rows.len() / k;
+    let mut acc = vec![0.0f64; CENTER_TILE.min(k)];
+    let mut block_start = 0;
+    while block_start < len {
+        // The center tile stays hot in cache across the point block.
+        let block_end = (block_start + POINT_BLOCK).min(len);
+        let mut tile_start = 0;
+        while tile_start < k {
+            let tile_end = (tile_start + CENTER_TILE).min(k);
+            let acc = &mut acc[..tile_end - tile_start];
+            for local in block_start..block_end {
+                let x = points.row(row_start + local);
+                let x2 = serial_dot(x, x);
+                tile_dots(x, layout, tile_start, acc);
+                let orow = &mut rows[local * k + tile_start..local * k + tile_end];
+                for ((o, &dot_j), &c2j) in orow
+                    .iter_mut()
+                    .zip(acc.iter())
+                    .zip(&layout.c2[tile_start..tile_end])
+                {
+                    *o = (x2 + c2j - 2.0 * dot_j).max(0.0);
+                }
+            }
+            tile_start = tile_end;
+        }
+        block_start = block_end;
+    }
+}
+
+/// Fused argmin over the same tile walk as [`dists_range`]: fills the
+/// `labels`/`dists` ranges for points `row_start..row_start + len`.
+///
+/// The center tiles are visited in increasing index order and the best
+/// distance is carried across tiles with a strict `<`, so ties break to
+/// the lowest center index exactly like the scalar `nearest_center`.
+fn assign_range(
+    points: &Matrix,
+    layout: &CenterLayout,
+    row_start: usize,
+    labels: &mut [usize],
+    dists: &mut [f64],
+) {
+    let k = layout.k;
+    let len = labels.len();
+    let mut acc = vec![0.0f64; CENTER_TILE.min(k)];
+    let mut block_start = 0;
+    while block_start < len {
+        let block_end = (block_start + POINT_BLOCK).min(len);
+        // Per-point running best, carried across center tiles.
+        for d in &mut dists[block_start..block_end] {
+            *d = f64::INFINITY;
+        }
+        let mut tile_start = 0;
+        while tile_start < k {
+            let tile_end = (tile_start + CENTER_TILE).min(k);
+            let acc = &mut acc[..tile_end - tile_start];
+            for local in block_start..block_end {
+                let x = points.row(row_start + local);
+                let x2 = serial_dot(x, x);
+                tile_dots(x, layout, tile_start, acc);
+                let mut best = labels[local];
+                let mut best_d = dists[local];
+                for (off, (&dot_j, &c2j)) in
+                    acc.iter().zip(&layout.c2[tile_start..tile_end]).enumerate()
+                {
+                    let d = (x2 + c2j - 2.0 * dot_j).max(0.0);
+                    if d < best_d {
+                        best_d = d;
+                        best = tile_start + off;
+                    }
+                }
+                labels[local] = best;
+                dists[local] = best_d;
+            }
+            tile_start = tile_end;
+        }
+        block_start = block_end;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    fn workload(n: usize, d: usize) -> Matrix {
+        Matrix::from_fn(n, d, |i, j| {
+            (((i * 31 + j * 17) % 101) as f64 - 50.0) * 0.125
+        })
+    }
+
+    /// Reference: the scalar subtract-square loop.
+    fn naive(points: &Matrix, centers: &Matrix) -> Matrix {
+        Matrix::from_fn(points.rows(), centers.rows(), |i, j| {
+            ops::sq_dist(points.row(i), centers.row(j))
+        })
+    }
+
+    #[test]
+    fn matches_naive_within_tolerance() {
+        let p = workload(137, 9);
+        let c = workload(21, 9);
+        let blocked = sq_dists_block(&p, &c).unwrap();
+        let reference = naive(&p, &c);
+        for i in 0..p.rows() {
+            for j in 0..c.rows() {
+                let (a, b) = (blocked[(i, j)], reference[(i, j)]);
+                assert!(
+                    (a - b).abs() <= 1e-9 * (1.0 + b.abs()),
+                    "({i},{j}): {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn self_distance_is_exactly_zero() {
+        let p = workload(40, 7);
+        let d = sq_dists_block(&p, &p).unwrap();
+        for i in 0..p.rows() {
+            assert_eq!(d[(i, i)], 0.0, "row {i}");
+        }
+    }
+
+    #[test]
+    fn bit_identical_across_worker_counts() {
+        let p = workload(700, 13);
+        let c = workload(67, 13);
+        let reference = sq_dists_block_in(&p, &c, 1).unwrap();
+        let (rl, rd) = assign_blocked_in(&p, &c, 1).unwrap();
+        for workers in [2, 3, 4, 8, 300] {
+            assert!(
+                sq_dists_block_in(&p, &c, workers).unwrap() == reference,
+                "{workers} workers"
+            );
+            let (l, d) = assign_blocked_in(&p, &c, workers).unwrap();
+            assert_eq!(l, rl, "{workers} workers");
+            assert_eq!(d, rd, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn assign_matches_full_matrix_argmin() {
+        let p = workload(300, 6);
+        let c = workload(70, 6); // > 2 center tiles
+        let full = sq_dists_block(&p, &c).unwrap();
+        let (labels, dists) = assign_blocked(&p, &c).unwrap();
+        for i in 0..p.rows() {
+            let row = full.row(i);
+            let (mut best, mut best_d) = (0usize, f64::INFINITY);
+            for (j, &d) in row.iter().enumerate() {
+                if d < best_d {
+                    best_d = d;
+                    best = j;
+                }
+            }
+            assert_eq!(labels[i], best, "row {i}");
+            assert_eq!(dists[i], best_d, "row {i}");
+        }
+    }
+
+    #[test]
+    fn ties_break_to_first_center() {
+        let p = Matrix::from_rows(&[vec![0.0, 0.0]]);
+        let c = Matrix::from_rows(&[vec![1.0, 0.0], vec![-1.0, 0.0], vec![0.0, 1.0]]);
+        let (labels, dists) = assign_blocked(&p, &c).unwrap();
+        assert_eq!(labels, vec![0]);
+        assert!((dists[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sq_dists_to_row_matches_block_column() {
+        let p = workload(90, 11);
+        let c = workload(4, 11);
+        let norms = row_norms_sq(&p);
+        let full = sq_dists_block(&p, &c).unwrap();
+        for j in 0..c.rows() {
+            let col = sq_dists_to_row(&p, &norms, c.row(j));
+            for i in 0..p.rows() {
+                assert_eq!(col[i], full[(i, j)], "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_errors() {
+        let p = Matrix::zeros(3, 4);
+        let c = Matrix::zeros(2, 5);
+        assert!(sq_dists_block(&p, &c).is_err());
+        assert!(assign_blocked(&p, &c).is_err());
+    }
+
+    #[test]
+    fn empty_points_ok() {
+        let p = Matrix::zeros(0, 3);
+        let c = Matrix::from_rows(&[vec![0.0, 0.0, 0.0]]);
+        assert_eq!(sq_dists_block(&p, &c).unwrap().shape(), (0, 1));
+        let (l, d) = assign_blocked(&p, &c).unwrap();
+        assert!(l.is_empty() && d.is_empty());
+    }
+
+    #[test]
+    fn empty_centers_error_not_panic() {
+        let p = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        let none = Matrix::zeros(0, 2);
+        assert!(matches!(
+            assign_blocked(&p, &none),
+            Err(LinalgError::EmptyMatrix { .. })
+        ));
+        // The full-matrix form has a natural n × 0 answer instead.
+        assert_eq!(sq_dists_block(&p, &none).unwrap().shape(), (1, 0));
+    }
+}

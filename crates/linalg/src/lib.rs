@@ -4,6 +4,7 @@
 //! algebra, implemented from scratch on a row-major dense [`Matrix`]:
 //!
 //! * basic operations: products, Gram matrices, transposes ([`ops`]),
+//! * blocked pairwise-distance / nearest-center kernels ([`distance`]),
 //! * Householder QR ([`qr`]),
 //! * a cyclic Jacobi eigensolver for symmetric matrices ([`eig`]),
 //! * thin and randomized truncated SVD ([`svd`]),
@@ -31,6 +32,7 @@
 #![forbid(unsafe_code)]
 
 pub mod cholesky;
+pub mod distance;
 pub mod eig;
 mod error;
 pub mod matrix;

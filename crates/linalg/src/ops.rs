@@ -10,6 +10,12 @@ use crate::{LinalgError, Matrix, Result};
 /// Minimum number of multiply-adds before a kernel bothers spawning threads.
 const PAR_FLOPS_THRESHOLD: usize = 1 << 22;
 
+/// Fixed row-chunk granularity of the [`matmul_transa`] accumulation
+/// fold. A constant (rather than `n / workers`) keeps the fold graph —
+/// and therefore the floating-point rounding — independent of the
+/// worker count, the same discipline as the sharded Lloyd update.
+const ACCUM_CHUNK: usize = 1024;
+
 /// Computes the product `A · B`.
 ///
 /// # Errors
@@ -93,6 +99,12 @@ pub fn matmul_transb(a: &Matrix, b: &Matrix) -> Result<Matrix> {
 
 /// Computes `Aᵀ · B`.
 ///
+/// The rank-1 accumulation over rows is sharded into fixed
+/// [`ACCUM_CHUNK`]-row chunks whose partial products are computed on up
+/// to [`parallel::worker_count`] scoped workers and folded in chunk
+/// order — chunk boundaries and fold order depend only on `n`, so the
+/// result is **bitwise invariant across worker counts**.
+///
 /// # Errors
 ///
 /// Returns [`LinalgError::DimensionMismatch`] unless `A.rows() == B.rows()`.
@@ -105,25 +117,46 @@ pub fn matmul_transa(a: &Matrix, b: &Matrix) -> Result<Matrix> {
         });
     }
     let (n, da, db) = (a.rows(), a.cols(), b.cols());
-    // Accumulate rank-1 contributions row by row: cache friendly for both.
+    let n_chunks = n.div_ceil(ACCUM_CHUNK).max(1);
+    let workers = if n * da * db >= PAR_FLOPS_THRESHOLD {
+        parallel::worker_count().min(n_chunks)
+    } else {
+        1
+    };
+    // Per-chunk rank-1 partials, accumulated in row order within the
+    // chunk: cache friendly for both operands.
+    let partials = parallel::par_map_indices_in(n_chunks, workers, |chunk| {
+        let start = chunk * ACCUM_CHUNK;
+        let end = (start + ACCUM_CHUNK).min(n);
+        let mut p = vec![0.0f64; da * db];
+        for i in start..end {
+            let arow = a.row(i);
+            let brow = b.row(i);
+            for (j, &aij) in arow.iter().enumerate() {
+                if aij == 0.0 {
+                    continue;
+                }
+                let prow = &mut p[j * db..(j + 1) * db];
+                for (pv, &bv) in prow.iter_mut().zip(brow) {
+                    *pv += aij * bv;
+                }
+            }
+        }
+        p
+    });
     let mut c = Matrix::zeros(da, db);
-    for i in 0..n {
-        let arow = a.row(i);
-        let brow = b.row(i);
-        for (j, &aij) in arow.iter().enumerate() {
-            if aij == 0.0 {
-                continue;
-            }
-            let crow = c.row_mut(j);
-            for (cv, &bv) in crow.iter_mut().zip(brow) {
-                *cv += aij * bv;
-            }
+    let cs = c.as_mut_slice();
+    for p in partials {
+        for (cv, pv) in cs.iter_mut().zip(&p) {
+            *cv += pv;
         }
     }
     Ok(c)
 }
 
-/// Computes the Gram matrix `Aᵀ · A` (symmetric `d × d`).
+/// Computes the Gram matrix `Aᵀ · A` (symmetric `d × d`) via the
+/// sharded [`matmul_transa`] fold (bitwise invariant across worker
+/// counts).
 pub fn gram(a: &Matrix) -> Matrix {
     // Unwrap is fine: shapes always agree with themselves.
     matmul_transa(a, a).expect("gram: self shapes agree")
@@ -298,6 +331,30 @@ mod tests {
         let b = Matrix::identity(n);
         let c = matmul(&a, &b).unwrap();
         assert!(c.approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn matmul_transa_bitwise_invariant_across_worker_counts() {
+        // Big enough for several ACCUM_CHUNK chunks *and* the parallel
+        // threshold: 5000 · 30 · 30 = 4.5M ≥ 2^22.
+        let a = Matrix::from_fn(5000, 30, |i, j| {
+            (((i * 13 + j * 7) % 97) as f64 - 48.0) * 0.07
+        });
+        let b = Matrix::from_fn(5000, 30, |i, j| {
+            (((i * 5 + j * 11) % 89) as f64 - 44.0) * 0.05
+        });
+        parallel::set_worker_count(1);
+        let reference = matmul_transa(&a, &b).unwrap();
+        let gram_ref = gram(&a);
+        for workers in [2, 4, 8] {
+            parallel::set_worker_count(workers);
+            assert!(
+                matmul_transa(&a, &b).unwrap() == reference,
+                "{workers} workers"
+            );
+            assert!(gram(&a) == gram_ref, "{workers} workers");
+        }
+        parallel::set_worker_count(0);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Property-based tests for the linear-algebra substrate.
 
-use ekm_linalg::{cholesky::Cholesky, eig, ops, pinv, qr, svd, Matrix};
+use ekm_linalg::{cholesky::Cholesky, distance, eig, ops, pinv, qr, svd, Matrix};
 use proptest::prelude::*;
 
 /// Strategy: a matrix with dimensions in [1, max_dim] and entries in [-10, 10].
@@ -118,6 +118,58 @@ proptest! {
     fn row_norms_consistent_with_frobenius(m in matrix_strategy(10, 10)) {
         let total: f64 = m.row_norms_sq().iter().sum();
         prop_assert!((total - m.frobenius_norm_sq()).abs() < 1e-9 * (1.0 + total));
+    }
+
+    /// The blocked norm-expansion distances agree with the naive
+    /// subtract-square loop to tight relative precision.
+    #[test]
+    fn sq_dists_block_matches_naive(
+        p in matrix_strategy(40, 12),
+        seed in 0u64..1000,
+        k in 1usize..70,
+    ) {
+        let c = ekm_linalg::random::gaussian_matrix(seed, k, p.cols(), 5.0);
+        let blocked = distance::sq_dists_block(&p, &c).unwrap();
+        for i in 0..p.rows() {
+            let x2 = ops::dot(p.row(i), p.row(i));
+            for j in 0..k {
+                let naive = ops::sq_dist(p.row(i), c.row(j));
+                let c2 = ops::dot(c.row(j), c.row(j));
+                let tol = 1e-12 * (1.0 + x2 + c2);
+                prop_assert!(
+                    (blocked[(i, j)] - naive).abs() <= tol,
+                    "({}, {}): {} vs {}", i, j, blocked[(i, j)], naive
+                );
+            }
+        }
+    }
+
+    /// Distance and fused-assignment kernels are bit-identical at every
+    /// worker count (the same invariance contract as the sharded Lloyd
+    /// fold), and the fused argmin agrees with the full matrix.
+    #[test]
+    fn distance_kernels_bit_identical_across_workers(
+        p in matrix_strategy(600, 10),
+        seed in 0u64..1000,
+        k in 1usize..50,
+    ) {
+        let c = ekm_linalg::random::gaussian_matrix(seed, k, p.cols(), 5.0);
+        let full = distance::sq_dists_block_in(&p, &c, 1).unwrap();
+        let (labels, dists) = distance::assign_blocked_in(&p, &c, 1).unwrap();
+        for workers in [2usize, 4, 8] {
+            let m = distance::sq_dists_block_in(&p, &c, workers).unwrap();
+            prop_assert!(m == full, "{} workers", workers);
+            let (l, d) = distance::assign_blocked_in(&p, &c, workers).unwrap();
+            prop_assert!(l == labels, "{} workers", workers);
+            prop_assert!(d == dists, "{} workers", workers);
+        }
+        for i in 0..p.rows() {
+            let row = full.row(i);
+            prop_assert!(row[labels[i]].to_bits() == dists[i].to_bits());
+            for &v in row {
+                prop_assert!(dists[i] <= v);
+            }
+        }
     }
 
     #[test]

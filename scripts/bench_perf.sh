@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Perf-trajectory entry point: runs the bench_micro harness and leaves
+# the machine-readable BENCH_micro.json at the workspace root.
+#
+#   scripts/bench_perf.sh          # full scale (paper-shape assignment sizes)
+#   scripts/bench_perf.sh smoke    # smallest sizes (CI smoke; ~seconds)
+#
+# Env:
+#   EKM_BENCH_JSON  override the output path (default <repo>/BENCH_micro.json)
+set -euo pipefail
+
+scale="${1:-full}"
+case "$scale" in
+    smoke|full) ;;
+    *) echo "usage: $0 [smoke|full]" >&2; exit 2 ;;
+esac
+
+cd "$(dirname "$0")/.."
+EKM_PERF_SCALE="$scale" cargo bench -p ekm-bench --bench bench_micro
+
+out="${EKM_BENCH_JSON:-BENCH_micro.json}"
+test -s "$out" || { echo "error: $out was not written" >&2; exit 1; }
+echo "bench_perf: $out ($scale scale)"

@@ -9,7 +9,27 @@
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Timings collected by every benchmark run in this process, in
+/// execution order — the machine-readable counterpart of the printed
+/// lines, consumed by harnesses that emit JSON perf reports.
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// One benchmark's recorded timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// `group/label` (or the bare label outside a named group).
+    pub name: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+}
+
+/// Drains and returns every timing recorded so far in this process.
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut RESULTS.lock().expect("results lock"))
+}
 
 /// Top-level benchmark driver.
 #[derive(Debug, Default)]
@@ -21,7 +41,10 @@ impl Criterion {
     /// Starts a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
         println!("group {name}");
-        BenchmarkGroup { sample_size: 50 }
+        BenchmarkGroup {
+            sample_size: 50,
+            group: name.to_string(),
+        }
     }
 }
 
@@ -42,6 +65,7 @@ impl BenchmarkId {
 /// A group of benchmarks sharing configuration.
 pub struct BenchmarkGroup {
     sample_size: usize,
+    group: String,
 }
 
 impl BenchmarkGroup {
@@ -51,12 +75,16 @@ impl BenchmarkGroup {
         self
     }
 
+    fn qualified(&self, label: &str) -> String {
+        format!("{}/{label}", self.group)
+    }
+
     /// Runs one benchmark.
     pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(&name.to_string(), self.sample_size, &mut f);
+        run_one(&self.qualified(&name.to_string()), self.sample_size, &mut f);
         self
     }
 
@@ -65,9 +93,11 @@ impl BenchmarkGroup {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        run_one(&id.label, self.sample_size, &mut |b: &mut Bencher| {
-            f(b, input)
-        });
+        run_one(
+            &self.qualified(&id.label),
+            self.sample_size,
+            &mut |b: &mut Bencher| f(b, input),
+        );
         self
     }
 
@@ -117,6 +147,12 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
     } else {
         println!("  {label:<40} {:>12.1} ns/iter", b.median_ns);
     }
+    if b.median_ns.is_finite() {
+        RESULTS.lock().expect("results lock").push(BenchResult {
+            name: label.to_string(),
+            median_ns: b.median_ns,
+        });
+    }
 }
 
 /// Re-export so `use criterion::black_box` keeps working.
@@ -155,6 +191,21 @@ mod tests {
         };
         b.iter(|| std::hint::black_box(2u64 + 2));
         assert!(b.median_ns.is_finite() && b.median_ns >= 0.0);
+    }
+
+    #[test]
+    fn results_are_recorded_and_drained() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("registry");
+        g.sample_size(3);
+        g.bench_function("recorded_case", |b| b.iter(|| 41u32 + 1));
+        g.finish();
+        let results = take_results();
+        let mine = results
+            .iter()
+            .find(|r| r.name == "registry/recorded_case")
+            .expect("benchmark recorded");
+        assert!(mine.median_ns.is_finite() && mine.median_ns >= 0.0);
     }
 
     #[test]

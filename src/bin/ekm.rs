@@ -37,7 +37,10 @@ USAGE:
 
 COMMANDS:
     run      run one pipeline end to end and print the three paper metrics
-    sweep    run every pipeline on one dataset (the Figure 1 comparison)
+    sweep    run every pipeline on one dataset (the Figure 1 comparison);
+             stage outputs are memoized across pipelines, so compositions
+             sharing a prefix (e.g. jl,fss under several QT widths)
+             compute it once — outputs are bit-identical either way
     qtopt    run the Section 6.3 quantizer-configuration optimizer
     serve    run the server of a distributed deployment over real TCP:
              listens for the data-source processes, runs the pipeline,
@@ -71,6 +74,7 @@ FLAGS (with defaults):
     --threads <int>     cap worker threads (sharded solve, per-source
                         fan-out); 0 follows the hardware        [0]
     --parallel <on|off> concurrent per-source execution        [on]
+    --no-cache          sweep: disable the stage-output cache
     --y0 <float>        qtopt error budget                     [2.0]
 
 EXAMPLES:
@@ -85,6 +89,9 @@ EXAMPLES:
     ekm source --connect 127.0.0.1:7000 --source-id 0 --pipeline bklw --sources 2 &
     ekm source --connect 127.0.0.1:7000 --source-id 1 --pipeline bklw --sources 2
 ";
+
+/// Flags that take no value.
+const BOOLEAN_FLAGS: &[&str] = &["no-cache"];
 
 /// Valid `--pipeline` names, for dispatch and error messages.
 const PIPELINES: &[&str] = &[
@@ -118,6 +125,11 @@ impl Args {
                         command: "help".into(),
                         flags,
                     });
+                }
+                if BOOLEAN_FLAGS.contains(&name) {
+                    flags.insert(name.to_string(), "true".into());
+                    i += 1;
+                    continue;
                 }
                 let value = argv
                     .get(i + 1)
@@ -323,17 +335,25 @@ fn run_one(
     data: &Matrix,
     sources: usize,
     reference_cost: f64,
+    cache: Option<&mut StageCache>,
 ) -> Result<(), String> {
     let (n, d) = data.shape();
     let out = if pipe.is_distributed() {
         let shards =
             partition_uniform(data, sources, pipe.params().seed).map_err(|e| e.to_string())?;
         let mut net = Network::new(sources);
-        pipe.run_shards(&shards, &mut net)
-            .map_err(|e| e.to_string())?
+        match cache {
+            Some(cache) => pipe.run_shards_cached(&shards, &mut net, cache),
+            None => pipe.run_shards(&shards, &mut net),
+        }
+        .map_err(|e| e.to_string())?
     } else {
         let mut net = Network::new(1);
-        pipe.run(data, &mut net).map_err(|e| e.to_string())?
+        match cache {
+            Some(cache) => pipe.run_cached(data, &mut net, cache),
+            None => pipe.run(data, &mut net),
+        }
+        .map_err(|e| e.to_string())?
     };
     let display = pipe.name();
     let nc = evaluation::normalized_cost(data, &out.centers, reference_cost)
@@ -357,7 +377,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     println!("dataset {n} x {d}, k = {}", params.k);
     let reference = evaluation::reference(&data, params.k, 5, 1).map_err(|e| e.to_string())?;
     println!("reference cost: {:.4}\n", reference.cost);
-    run_one(&pipelines[0], &data, sources, reference.cost)
+    run_one(&pipelines[0], &data, sources, reference.cost, None)
 }
 
 fn cmd_sweep(args: &Args) -> Result<(), String> {
@@ -369,14 +389,31 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     println!("dataset {n} x {d}, k = {}", params.k);
     let reference = evaluation::reference(&data, params.k, 5, 1).map_err(|e| e.to_string())?;
     println!("reference cost: {:.4}\n", reference.cost);
+    // Stage outputs are memoized across the sweep's pipelines (shared
+    // prefixes like `jl,fss` under several QT widths run once, with
+    // bit-identical outputs and accounting); --no-cache turns it off.
+    let mut cache = if args.flags.contains_key("no-cache") {
+        None
+    } else {
+        Some(StageCache::new())
+    };
     // Keep sweeping after a failure so the table stays comparable, but
     // report every failure and exit nonzero if any pipeline failed.
     let mut failures = Vec::new();
     for pipe in &pipelines {
-        if let Err(e) = run_one(pipe, &data, sources, reference.cost) {
+        if let Err(e) = run_one(pipe, &data, sources, reference.cost, cache.as_mut()) {
             eprintln!("{:<14} error: {e}", pipe.name());
             failures.push(pipe.name());
         }
+    }
+    if let Some(cache) = &cache {
+        println!(
+            "\nstage cache: {} hits, {} misses over {} entries (hit rate {:.2})",
+            cache.hits(),
+            cache.misses(),
+            cache.len(),
+            cache.hit_rate()
+        );
     }
     if failures.is_empty() {
         Ok(())
@@ -625,6 +662,16 @@ mod tests {
     #[test]
     fn missing_value_is_an_error() {
         assert!(args(&["run", "--n"]).is_err());
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        let a = args(&["sweep", "--no-cache", "--n", "500"]).unwrap();
+        assert_eq!(a.get_str("no-cache", "false"), "true");
+        assert_eq!(a.get_usize("n", 0).unwrap(), 500);
+        // Trailing boolean flag is fine too.
+        let a = args(&["sweep", "--no-cache"]).unwrap();
+        assert!(a.flags.contains_key("no-cache"));
     }
 
     #[test]
