@@ -86,16 +86,39 @@ pub(crate) struct StageSnapshot {
     pub weights: Option<Vec<Vec<f64>>>,
     pub deltas: Vec<f64>,
     pub basis: Option<Matrix>,
+    pub source_basis: Option<Matrix>,
     pub basis_shared: bool,
     pub appended_projections: Vec<MaybeProjection>,
-    pub jl_count: usize,
-    pub jl_after_used: bool,
-    pub any_reduction: bool,
+    pub jl: crate::engine::JlBook,
     pub ops_delta: u64,
     /// Per-source compute seconds the cold run charged for this stage,
     /// replayed on a hit so cached sweeps report comparable source
     /// timings (the deterministic `ops_delta` is the exact counterpart).
     pub seconds_delta: f64,
+}
+
+impl StageSnapshot {
+    /// Approximate heap footprint of the snapshot, for the LRU budget.
+    /// Matrices and weight vectors dominate; per-entry bookkeeping is
+    /// charged a small flat overhead.
+    fn approx_bytes(&self) -> usize {
+        let matrix_bytes = |m: &Matrix| m.rows() * m.cols() * 8 + 64;
+        let mut bytes = 128;
+        bytes += self.parts.iter().map(&matrix_bytes).sum::<usize>();
+        if let Some(all) = &self.weights {
+            bytes += all.iter().map(|w| w.len() * 8 + 24).sum::<usize>();
+        }
+        bytes += self.deltas.len() * 8;
+        for b in [&self.basis, &self.source_basis].into_iter().flatten() {
+            bytes += matrix_bytes(b);
+        }
+        for pi in &self.appended_projections {
+            if let MaybeProjection::Jl(p) = pi {
+                bytes += p.source_dim() * p.target_dim() * 8 + 64;
+            }
+        }
+        bytes
+    }
 }
 
 /// Memoized per-stage outputs, shared across the pipelines of a sweep.
@@ -129,15 +152,40 @@ pub(crate) struct StageSnapshot {
 /// ```
 #[derive(Debug, Default)]
 pub struct StageCache {
-    entries: HashMap<u64, StageSnapshot>,
+    entries: HashMap<u64, CacheEntry>,
+    /// Optional byte budget; `None` caches without bound.
+    budget: Option<usize>,
+    /// Approximate bytes currently held.
+    held_bytes: usize,
+    /// Monotonic recency clock (bumped on every lookup hit and store).
+    tick: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    snapshot: StageSnapshot,
+    bytes: usize,
+    last_used: u64,
 }
 
 impl StageCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> StageCache {
         StageCache::default()
+    }
+
+    /// An empty cache that evicts least-recently-used entries whenever
+    /// the held snapshots exceed `budget` bytes (approximate footprint;
+    /// a single snapshot larger than the budget is still admitted alone,
+    /// so sweeps degrade to cold behavior rather than failing).
+    pub fn with_budget(budget: usize) -> StageCache {
+        StageCache {
+            budget: Some(budget),
+            ..StageCache::default()
+        }
     }
 
     /// Number of stage executions answered from the cache.
@@ -149,6 +197,16 @@ impl StageCache {
     /// stored).
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Number of entries evicted to stay under the byte budget.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Approximate bytes of snapshot data currently held.
+    pub fn held_bytes(&self) -> usize {
+        self.held_bytes
     }
 
     /// Fraction of cacheable stage executions answered from the cache
@@ -175,13 +233,21 @@ impl StageCache {
     /// Drops all entries (the counters persist).
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.held_bytes = 0;
+    }
+
+    fn touch(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
     }
 
     pub(crate) fn lookup(&mut self, key: u64) -> Option<StageSnapshot> {
-        match self.entries.get(&key) {
-            Some(snap) => {
+        let tick = self.touch();
+        match self.entries.get_mut(&key) {
+            Some(entry) => {
+                entry.last_used = tick;
                 self.hits += 1;
-                Some(snap.clone())
+                Some(entry.snapshot.clone())
             }
             None => {
                 self.misses += 1;
@@ -191,7 +257,40 @@ impl StageCache {
     }
 
     pub(crate) fn store(&mut self, key: u64, snapshot: StageSnapshot) {
-        self.entries.insert(key, snapshot);
+        let tick = self.touch();
+        let bytes = snapshot.approx_bytes();
+        if let Some(old) = self.entries.insert(
+            key,
+            CacheEntry {
+                snapshot,
+                bytes,
+                last_used: tick,
+            },
+        ) {
+            self.held_bytes -= old.bytes;
+        }
+        self.held_bytes += bytes;
+        self.enforce_budget(key);
+    }
+
+    /// Evicts least-recently-used entries until the budget holds.
+    /// `just_stored` is never evicted in its own store (otherwise a
+    /// snapshot above the budget would thrash forever).
+    fn enforce_budget(&mut self, just_stored: u64) {
+        let Some(budget) = self.budget else { return };
+        while self.held_bytes > budget && self.entries.len() > 1 {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(k, _)| **k != just_stored)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            let Some(victim) = victim else { return };
+            if let Some(entry) = self.entries.remove(&victim) {
+                self.held_bytes -= entry.bytes;
+                self.evictions += 1;
+            }
+        }
     }
 }
 
@@ -228,34 +327,75 @@ mod tests {
         assert_ne!(a.finish(), b.finish());
     }
 
+    fn snapshot(rows: usize) -> StageSnapshot {
+        StageSnapshot {
+            parts: vec![Matrix::zeros(rows, 8)],
+            weights: None,
+            deltas: vec![],
+            basis: None,
+            source_basis: None,
+            basis_shared: false,
+            appended_projections: vec![],
+            jl: crate::engine::JlBook::default(),
+            ops_delta: 3,
+            seconds_delta: 0.0,
+        }
+    }
+
     #[test]
     fn cache_counters_and_inventory() {
         let mut cache = StageCache::new();
         assert!(cache.is_empty());
         assert_eq!(cache.hit_rate(), 0.0);
         assert!(cache.lookup(7).is_none());
-        cache.store(
-            7,
-            StageSnapshot {
-                parts: vec![Matrix::zeros(1, 1)],
-                weights: None,
-                deltas: vec![],
-                basis: None,
-                basis_shared: false,
-                appended_projections: vec![],
-                jl_count: 0,
-                jl_after_used: false,
-                any_reduction: true,
-                ops_delta: 3,
-                seconds_delta: 0.0,
-            },
-        );
+        cache.store(7, snapshot(1));
         assert!(cache.lookup(7).is_some());
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
         assert_eq!(cache.len(), 1);
         assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+        assert!(cache.held_bytes() > 0);
         cache.clear();
         assert!(cache.is_empty());
+        assert_eq!(cache.held_bytes(), 0);
         assert_eq!(cache.hits(), 1, "counters persist across clear");
+    }
+
+    #[test]
+    fn budget_evicts_least_recently_used() {
+        let one = snapshot(100).approx_bytes();
+        // Room for two snapshots, not three.
+        let mut cache = StageCache::with_budget(2 * one + one / 2);
+        cache.store(1, snapshot(100));
+        cache.store(2, snapshot(100));
+        assert_eq!(cache.evictions(), 0);
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(cache.lookup(1).is_some());
+        cache.store(3, snapshot(100));
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.lookup(2).is_none(), "LRU entry evicted");
+        assert!(cache.lookup(1).is_some());
+        assert!(cache.lookup(3).is_some());
+        assert!(cache.held_bytes() <= 2 * one + one / 2);
+    }
+
+    #[test]
+    fn oversized_snapshot_is_admitted_alone() {
+        let mut cache = StageCache::with_budget(8);
+        cache.store(1, snapshot(1000));
+        assert_eq!(cache.len(), 1, "a single oversized entry is kept");
+        cache.store(2, snapshot(1000));
+        assert_eq!(cache.len(), 1, "storing another evicts the previous");
+        assert!(cache.lookup(2).is_some());
+        assert!(cache.lookup(1).is_none());
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let mut cache = StageCache::new();
+        for key in 0..64 {
+            cache.store(key, snapshot(50));
+        }
+        assert_eq!(cache.len(), 64);
+        assert_eq!(cache.evictions(), 0);
     }
 }

@@ -68,6 +68,10 @@ pub struct DisPcaOutput {
     /// The global top-`t2` right singular vectors (`d × t2`), held by the
     /// server and broadcast to the sources.
     pub basis: Matrix,
+    /// The basis as the sources decoded it from the wire (identical to
+    /// `basis` at full precision; the rounded copy at F32) — what the
+    /// data holders actually possess after the broadcast.
+    pub decoded_basis: Matrix,
     /// Per-source coordinates of the projected data (`n_i × t2`).
     pub coords: Vec<Matrix>,
     /// Max per-source compute seconds.
@@ -86,11 +90,142 @@ pub struct DisPcaOutput {
 /// `O(nd·min(n,d))` complexity (Theorem 5.3) comes precisely from this
 /// step — swapping in a randomized SVD would erase the complexity
 /// separation from Algorithm 4 that the paper measures.
-fn local_svd_summary(data: &Matrix, t: usize) -> Result<(Vec<f64>, Matrix)> {
+pub(crate) fn local_svd_summary(data: &Matrix, t: usize) -> Result<(Vec<f64>, Matrix)> {
     let max_rank = data.rows().min(data.cols());
     let t = t.min(max_rank);
     let s = svd::thin_svd(data)?.truncate(t)?;
     Ok((s.singular_values, s.v))
+}
+
+/// disPCA step 2, the server-side fold: stacks `Y = [Σ_1V_1ᵀ; …]` in
+/// source order and takes the global top-`t` right singular vectors.
+/// One function, shared by the in-process engine and the server driver,
+/// so the two execution models are bit-identical by construction.
+pub(crate) fn dispca_global_basis(summaries: &[(Vec<f64>, Matrix)], t: usize) -> Result<Matrix> {
+    let mut blocks = Vec::with_capacity(summaries.len());
+    for (sv, v) in summaries {
+        // Σ_i V_iᵀ is (rank × d): scale the columns of V by σ then
+        // transpose.
+        let mut scaled = v.clone();
+        for r in 0..scaled.rows() {
+            let row = scaled.row_mut(r);
+            for (x, s) in row.iter_mut().zip(sv) {
+                *x *= s;
+            }
+        }
+        blocks.push(scaled.transpose());
+    }
+    let y = Matrix::vstack_all(blocks.iter())?;
+    let global_rank = t.min(y.rows().min(y.cols()));
+    Ok(svd::thin_svd(&y)?.truncate(global_rank)?.v)
+}
+
+/// disSS step 1, the source-local bicriteria solution for source `i`
+/// (seed stream `100 + i` of the protocol seed).
+pub(crate) fn disss_local_bicriteria(
+    shard: &Matrix,
+    k: usize,
+    seed: u64,
+    i: usize,
+) -> Result<ekm_clustering::bicriteria::BicriteriaSolution> {
+    let w = vec![1.0; shard.rows()];
+    bicriteria(
+        shard,
+        &w,
+        k,
+        &BicriteriaConfig {
+            seed: derive_seed(seed, 100 + i as u64),
+            ..BicriteriaConfig::default()
+        },
+    )
+    .map_err(CoreError::Clustering)
+}
+
+/// disSS step 2, the server-side budget allocation: proportional to the
+/// reported costs, rounded per source.
+pub(crate) fn disss_allocations(costs: &[f64], sample_size: usize) -> Vec<usize> {
+    let total_cost: f64 = costs.iter().sum();
+    if total_cost > 0.0 {
+        costs
+            .iter()
+            .map(|c| ((sample_size as f64) * c / total_cost).round() as usize)
+            .collect()
+    } else {
+        vec![0; costs.len()]
+    }
+}
+
+/// disSS step 3, the source-local sample construction for source `i`:
+/// D²-samples `s_i` points against the bicriteria solution, weights them
+/// (with the overshoot-safe per-cluster scheme), appends the bicriteria
+/// centers, and builds the (possibly quantized) coreset message exactly
+/// as it goes on the wire.
+pub(crate) fn disss_local_sample(
+    shard: &Matrix,
+    bic: &ekm_clustering::bicriteria::BicriteriaSolution,
+    s_i: usize,
+    seed: u64,
+    i: usize,
+    quantizer: Option<&ekm_quant::RoundingQuantizer>,
+    precision: Precision,
+) -> Result<Message> {
+    let a = assign(shard, &bic.centers)?;
+    let n_clusters = bic.centers.rows();
+    let cluster_sizes: Vec<f64> = {
+        let sizes = a.cluster_sizes(n_clusters);
+        sizes.iter().map(|&s| s as f64).collect()
+    };
+
+    // D² sampling ∝ cost({p}, X_i); weight cost_i/(s_i·q(p)) =
+    // (cost_total/s)·1/cost(p) by proportional allocation.
+    let (mut points, mut weights) = if s_i > 0 && bic.cost > 0.0 {
+        let mut rng = rng_from_seed(derive_seed(seed, 200 + i as u64));
+        let drawn = sample_weighted_indices(&mut rng, &a.distances_sq, s_i);
+        let pts = shard.select_rows(&drawn);
+        let w: Vec<f64> = drawn
+            .iter()
+            .map(|&p| bic.cost / (s_i as f64 * a.distances_sq[p]))
+            .collect();
+        (pts, w)
+    } else {
+        (Matrix::zeros(0, shard.cols()), Vec::new())
+    };
+
+    // Bicriteria centers weighted to match per-cluster point counts
+    // (with the same overshoot-safe scheme as the [4] sampler).
+    let mut absorbed = vec![0.0f64; n_clusters];
+    let labels_of_drawn: Vec<usize> = (0..points.rows())
+        .map(|r| {
+            // The sample's cluster is its nearest bicriteria center.
+            ekm_clustering::cost::nearest_center(points.row(r), &bic.centers).0
+        })
+        .collect();
+    for (r, &c) in labels_of_drawn.iter().enumerate() {
+        absorbed[c] += weights[r];
+    }
+    let mut center_weights = vec![0.0f64; n_clusters];
+    let mut scale = vec![1.0f64; n_clusters];
+    for c in 0..n_clusters {
+        if absorbed[c] > cluster_sizes[c] {
+            scale[c] = cluster_sizes[c] / absorbed[c];
+        } else {
+            center_weights[c] = cluster_sizes[c] - absorbed[c];
+        }
+    }
+    for (r, &c) in labels_of_drawn.iter().enumerate() {
+        weights[r] *= scale[c];
+    }
+    points = points.vstack(&bic.centers)?;
+    weights.extend(center_weights);
+
+    let (wire_points, points_precision) = quantize_for_wire(&points, quantizer);
+    Ok(Message::Coreset {
+        points: wire_points,
+        weights,
+        delta: 0.0,
+        precision: points_precision,
+        weights_precision: precision,
+    })
 }
 
 /// Runs the disPCA protocol (paper §5.1, Theorem 5.1) with `t1 = t2 = t`,
@@ -169,23 +304,7 @@ pub fn dispca_opts<S: Borrow<Matrix> + Sync, T: Transport>(
 
     // Step 2: server stacks Y = [Σ_i V_iᵀ] and takes the global SVD.
     let t1 = Instant::now();
-    let mut blocks = Vec::with_capacity(summaries.len());
-    for (sv, v) in &summaries {
-        // Σ_i V_iᵀ is (rank × d): scale the columns of V by σ then
-        // transpose.
-        let mut scaled = v.clone();
-        for r in 0..scaled.rows() {
-            let row = scaled.row_mut(r);
-            for (x, s) in row.iter_mut().zip(sv) {
-                *x *= s;
-            }
-        }
-        blocks.push(scaled.transpose());
-    }
-    let y = Matrix::vstack_all(blocks.iter())?;
-    let global_rank = t.min(y.rows().min(y.cols()));
-    let global = svd::thin_svd(&y)?.truncate(global_rank)?;
-    let basis = global.v; // d × t2
+    let basis = dispca_global_basis(&summaries, t)?; // d × t2
     let server_seconds = t1.elapsed().as_secs_f64();
 
     // Step 3: broadcast the basis; each source computes its coordinates
@@ -233,6 +352,7 @@ pub fn dispca_opts<S: Borrow<Matrix> + Sync, T: Transport>(
 
     Ok(DisPcaOutput {
         basis,
+        decoded_basis,
         coords,
         source_seconds: source_seconds + post_seconds,
         server_seconds,
@@ -323,16 +443,7 @@ pub fn disss_opts<S: Borrow<Matrix> + Sync, T: Transport>(
     let step1 = par_map_sources(shard_points, &mut links, parallel, |i, shard, link| {
         let shard = shard.borrow();
         let t0 = Instant::now();
-        let w = vec![1.0; shard.rows()];
-        let bic = bicriteria(
-            shard,
-            &w,
-            k,
-            &BicriteriaConfig {
-                seed: derive_seed(seed, 100 + i as u64),
-                ..BicriteriaConfig::default()
-            },
-        )?;
+        let bic = disss_local_bicriteria(shard, k, seed, i)?;
         let secs = t0.elapsed().as_secs_f64();
         let received = link.send_to_server(&Message::CostReport { cost: bic.cost })?;
         let cost = match received {
@@ -355,15 +466,7 @@ pub fn disss_opts<S: Borrow<Matrix> + Sync, T: Transport>(
     }
 
     // Step 2: server allocates the budget proportionally to cost.
-    let total_cost: f64 = reported_costs.iter().sum();
-    let allocations: Vec<usize> = if total_cost > 0.0 {
-        reported_costs
-            .iter()
-            .map(|c| ((sample_size as f64) * c / total_cost).round() as usize)
-            .collect()
-    } else {
-        vec![0; m]
-    };
+    let allocations = disss_allocations(&reported_costs, sample_size);
     for (link, &s_i) in links.iter_mut().zip(&allocations) {
         link.recv_from_server(&Message::SampleAllocation { size: s_i as u64 })?;
     }
@@ -373,66 +476,17 @@ pub fn disss_opts<S: Borrow<Matrix> + Sync, T: Transport>(
     let step3 = par_map_sources(shard_points, &mut links, parallel, |i, shard, link| {
         let shard = shard.borrow();
         let t0 = Instant::now();
-        let bic = &local[i];
-        let s_i = allocations[i];
-        let a = assign(shard, &bic.centers)?;
-        let n_clusters = bic.centers.rows();
-        let cluster_sizes: Vec<f64> = {
-            let sizes = a.cluster_sizes(n_clusters);
-            sizes.iter().map(|&s| s as f64).collect()
-        };
-
-        // D² sampling ∝ cost({p}, X_i); weight cost_i/(s_i·q(p)) =
-        // (cost_total/s)·1/cost(p) by proportional allocation.
-        let (mut points, mut weights) = if s_i > 0 && bic.cost > 0.0 {
-            let mut rng = rng_from_seed(derive_seed(seed, 200 + i as u64));
-            let drawn = sample_weighted_indices(&mut rng, &a.distances_sq, s_i);
-            let pts = shard.select_rows(&drawn);
-            let w: Vec<f64> = drawn
-                .iter()
-                .map(|&p| bic.cost / (s_i as f64 * a.distances_sq[p]))
-                .collect();
-            (pts, w)
-        } else {
-            (Matrix::zeros(0, shard.cols()), Vec::new())
-        };
-
-        // Bicriteria centers weighted to match per-cluster point counts
-        // (with the same overshoot-safe scheme as the [4] sampler).
-        let mut absorbed = vec![0.0f64; n_clusters];
-        let labels_of_drawn: Vec<usize> = (0..points.rows())
-            .map(|r| {
-                // The sample's cluster is its nearest bicriteria center.
-                ekm_clustering::cost::nearest_center(points.row(r), &bic.centers).0
-            })
-            .collect();
-        for (r, &c) in labels_of_drawn.iter().enumerate() {
-            absorbed[c] += weights[r];
-        }
-        let mut center_weights = vec![0.0f64; n_clusters];
-        let mut scale = vec![1.0f64; n_clusters];
-        for c in 0..n_clusters {
-            if absorbed[c] > cluster_sizes[c] {
-                scale[c] = cluster_sizes[c] / absorbed[c];
-            } else {
-                center_weights[c] = cluster_sizes[c] - absorbed[c];
-            }
-        }
-        for (r, &c) in labels_of_drawn.iter().enumerate() {
-            weights[r] *= scale[c];
-        }
-        points = points.vstack(&bic.centers)?;
-        weights.extend(center_weights);
-
-        let (wire_points, points_precision) = quantize_for_wire(&points, quantizer);
+        let msg = disss_local_sample(
+            shard,
+            &local[i],
+            allocations[i],
+            seed,
+            i,
+            quantizer,
+            precision,
+        )?;
         let secs = t0.elapsed().as_secs_f64();
-        let received = link.send_to_server(&Message::Coreset {
-            points: wire_points,
-            weights,
-            delta: 0.0,
-            precision: points_precision,
-            weights_precision: precision,
-        })?;
+        let received = link.send_to_server(&msg)?;
         let (pts, w, delta) = expect_coreset(received)?;
         Ok((
             Coreset::new(pts, w, delta).map_err(CoreError::Coreset)?,

@@ -1,0 +1,754 @@
+//! The server-side driver of the server-driven protocol.
+//!
+//! [`run_driver`] executes a [`StagePipeline`] plan against remote
+//! sources over any [`ekm_net::CommandTransport`]: it emits one command
+//! round per protocol phase, folds the responses in **fixed source-id
+//! order**, and performs every server-side computation (the disPCA
+//! global SVD, the disSS budget allocation and merge, the final solve
+//! and center lift) with the same shared functions the in-process
+//! engine uses — so its outputs (centers, digests, [`NetworkStats`],
+//! deterministic op counts) are bit-identical to the simulation.
+//!
+//! The driver holds **no shard data**. Its knowledge of the sources is
+//! the control-plane metadata they report (shard shapes, per-phase op
+//! counts) plus the decoded data-plane payloads the paper's protocols
+//! legitimately give the server. JL projections are regenerated from
+//! the shared seed — the driver replicates the same [`JlBook`]
+//! seed-stream bookkeeping as the executors, exactly like the paper's
+//! "shared randomness" remark prescribes.
+//!
+//! [`StagePipeline::run_channel`] wires the driver to in-process
+//! executor threads (one per shard, each owning only its shard); the
+//! event-driven TCP backend ([`ekm_net::event`]) runs the same driver
+//! across real processes.
+
+use crate::engine::JlBook;
+use crate::executor::{SourceExecutor, SourceRunReport};
+use crate::pipelines::seeds;
+use crate::projection::MaybeProjection;
+use crate::server::{lift_centers_through_basis, solve_weighted_kmeans};
+use crate::stage::{dispca_rank, disss_budget, jl_target_dim, resolve_quantizer, Stage};
+use crate::{distributed, CoreError, Result, RunOutput, StagePipeline};
+use ekm_coreset::Coreset;
+use ekm_linalg::random::derive_seed;
+use ekm_linalg::Matrix;
+use ekm_net::messages::Message;
+use ekm_net::protocol::{channel_pairs, Command, CommandTransport, Payload, Response};
+use ekm_net::{NetError, NetworkStats, RunDigest};
+use std::time::Instant;
+
+/// Destructures a `Done` response; maps executor errors and type
+/// mismatches to typed failures.
+fn expect_done(resp: Response, context: &'static str) -> Result<(u64, u64, u64, f64)> {
+    match resp {
+        Response::Done {
+            rows,
+            cols,
+            ops,
+            seconds,
+        } => Ok((rows, cols, ops, seconds)),
+        Response::Err { reason } => Err(CoreError::Net(NetError::RemoteAbort { reason })),
+        other => Err(CoreError::Net(NetError::ProtocolViolation {
+            context,
+            expected: "a done response",
+            got: other.name().to_string(),
+        })),
+    }
+}
+
+/// Destructures an `Up` response.
+fn expect_up(resp: Response, context: &'static str) -> Result<(Payload, u64, f64)> {
+    match resp {
+        Response::Up {
+            payload,
+            ops,
+            seconds,
+        } => Ok((payload, ops, seconds)),
+        Response::Err { reason } => Err(CoreError::Net(NetError::RemoteAbort { reason })),
+        other => Err(CoreError::Net(NetError::ProtocolViolation {
+            context,
+            expected: "an uplink response",
+            got: other.name().to_string(),
+        })),
+    }
+}
+
+/// The driver's plan-derived shadow of the distributed state: everything
+/// the engine's `SummaryState` tracks *except* the data.
+struct DriverState {
+    /// Working-space dimensionality (updated from verified responses).
+    cur: usize,
+    /// Whether the sources hold coordinates inside a basis.
+    has_basis: bool,
+    /// Whether the server already holds that basis.
+    basis_shared: bool,
+    /// Dimensionality of the basis' parent space.
+    basis_parent: usize,
+    /// The server's copy of the basis (disPCA: the full-precision
+    /// global basis; FSS: the decoded uplink), for the final lift.
+    server_basis: Option<Matrix>,
+    /// Whether a CR stage has produced per-source weighted summaries.
+    weights_mode: bool,
+    /// Whether disSS moved the summary to the server.
+    handed_off: bool,
+    /// The merged summary once disSS ran.
+    server_summary: Option<(Matrix, Vec<f64>)>,
+    /// Positional JL bookkeeping (identical to every executor's).
+    jl: JlBook,
+    /// JL projections in application order, for the final lift.
+    projections: Vec<MaybeProjection>,
+    source_seconds: f64,
+    server_seconds: f64,
+    source_ops: u64,
+}
+
+/// Runs the pipeline plan as the protocol server over `net`.
+///
+/// On any driver-side failure every source receives a best-effort
+/// [`Command::Abort`] carrying the reason, so executors terminate with
+/// a typed error instead of waiting out their timeout.
+///
+/// # Errors
+///
+/// Propagates configuration, numeric, transport, and protocol failures.
+pub fn run_driver<T: CommandTransport>(pipe: &StagePipeline, net: &mut T) -> Result<RunOutput> {
+    match drive(pipe, net) {
+        Ok(out) => Ok(out),
+        Err(e) => {
+            let reason = e.to_string();
+            for i in 0..net.sources() {
+                let _ = net.send(
+                    i,
+                    &Command::Abort {
+                        reason: reason.clone(),
+                    },
+                );
+            }
+            Err(e)
+        }
+    }
+}
+
+fn drive<T: CommandTransport>(pipe: &StagePipeline, net: &mut T) -> Result<RunOutput> {
+    let params = pipe.params();
+    let m = net.sources();
+    let up0 = net.stats().total_uplink_bits();
+    let down0 = net.stats().total_downlink_bits();
+
+    // Round 0: every source describes its shard; the driver performs the
+    // same validation the engine runs on the materialized shards.
+    for i in 0..m {
+        net.send(i, &Command::Describe)?;
+    }
+    let mut rows = vec![0u64; m];
+    let mut d = 0usize;
+    for (i, row) in rows.iter_mut().enumerate() {
+        let (r, c, _, _) = expect_done(net.recv(i)?, "describe round")?;
+        *row = r;
+        if i == 0 {
+            d = c as usize;
+        } else if c as usize != d {
+            return Err(CoreError::InvalidConfig {
+                reason: "shards disagree on dimensionality",
+            });
+        }
+    }
+    let total_n: usize = rows.iter().map(|&r| r as usize).sum();
+    params.validate(total_n, d)?;
+
+    let mut st = DriverState {
+        cur: d,
+        has_basis: false,
+        basis_shared: false,
+        basis_parent: d,
+        server_basis: None,
+        weights_mode: false,
+        handed_off: false,
+        server_summary: None,
+        jl: JlBook::default(),
+        projections: Vec::new(),
+        source_seconds: 0.0,
+        server_seconds: 0.0,
+        source_ops: 0,
+    };
+
+    for (idx, stage) in pipe.stages().iter().enumerate() {
+        if st.handed_off {
+            return Err(CoreError::InvalidConfig {
+                reason: "no stage may follow disss: the summary already lives at the server",
+            });
+        }
+        run_stage(pipe, net, &mut st, idx as u32, stage, m)?;
+    }
+
+    finalize(pipe, net, st, m, up0, down0)
+}
+
+/// Drops the driver's basis bookkeeping, mirroring the executors'
+/// `lift_out_of_basis` (the sources re-expand into the parent space).
+fn drop_basis(st: &mut DriverState) {
+    if st.has_basis {
+        st.cur = st.basis_parent;
+        st.has_basis = false;
+        st.basis_shared = false;
+        st.server_basis = None;
+    }
+}
+
+/// One `Stage` command to every source, responses folded as `Done`s.
+/// Returns `(max ops, max seconds, cols)` with the column count
+/// verified identical across sources.
+fn local_round<T: CommandTransport>(
+    net: &mut T,
+    idx: u32,
+    m: usize,
+    context: &'static str,
+) -> Result<(u64, f64, usize)> {
+    for i in 0..m {
+        net.send(i, &Command::Stage { index: idx })?;
+    }
+    let mut ops = 0u64;
+    let mut secs = 0.0f64;
+    let mut cols = 0usize;
+    for i in 0..m {
+        let (_, c, o, s) = expect_done(net.recv(i)?, context)?;
+        if i == 0 {
+            cols = c as usize;
+        } else if c as usize != cols {
+            return Err(CoreError::Net(NetError::ProtocolViolation {
+                context,
+                expected: "every source in the same working dimension",
+                got: format!("source {i} reports {c} columns, source 0 reports {cols}"),
+            }));
+        }
+        ops = ops.max(o);
+        secs = secs.max(s);
+    }
+    Ok((ops, secs, cols))
+}
+
+fn run_stage<T: CommandTransport>(
+    pipe: &StagePipeline,
+    net: &mut T,
+    st: &mut DriverState,
+    idx: u32,
+    stage: &Stage,
+    m: usize,
+) -> Result<()> {
+    let params = pipe.params();
+    match stage {
+        Stage::Dr(cfg) => {
+            drop_basis(st);
+            let (stream, before_role) = st.jl.next_stream();
+            let target = jl_target_dim(cfg, params, st.cur, before_role);
+            let pi = MaybeProjection::generate(
+                params.jl_kind,
+                st.cur,
+                target,
+                derive_seed(params.seed, stream),
+            );
+            st.cur = pi.target_dim();
+            st.projections.push(pi);
+            st.jl.any_reduction = true;
+            let (ops, secs, cols) = local_round(net, idx, m, "jl round")?;
+            verify_cols(cols, st.cur, "jl round")?;
+            st.source_ops += ops;
+            st.source_seconds += secs;
+        }
+        Stage::Cr(_) => {
+            if m != 1 {
+                return Err(CoreError::InvalidConfig {
+                    reason:
+                        "fss is a single-source stage (multi-source pipelines use dispca/disss)",
+                });
+            }
+            if st.weights_mode {
+                return Err(CoreError::InvalidConfig {
+                    reason: "multiple coreset stages in one pipeline",
+                });
+            }
+            drop_basis(st);
+            // The resolved dims are the executor's business; the driver
+            // only records the space change the response reports.
+            st.basis_parent = st.cur;
+            let (ops, secs, cols) = local_round(net, idx, m, "fss round")?;
+            st.cur = cols;
+            st.has_basis = true;
+            st.basis_shared = false;
+            st.weights_mode = true;
+            st.jl.any_reduction = true;
+            st.source_ops += ops;
+            st.source_seconds += secs;
+        }
+        Stage::Stream(_cfg) => {
+            if st.weights_mode {
+                return Err(CoreError::InvalidConfig {
+                    reason: "multiple coreset stages in one pipeline",
+                });
+            }
+            let (ops, secs, cols) = local_round(net, idx, m, "stream round")?;
+            verify_cols(cols, st.cur, "stream round")?;
+            st.weights_mode = true;
+            st.jl.any_reduction = true;
+            st.source_ops += ops;
+            st.source_seconds += secs;
+        }
+        Stage::Qt(cfg) => {
+            // Resolve driver-side too, so a bad width fails the run
+            // before any source is commanded.
+            resolve_quantizer(cfg, params)?;
+            let (ops, secs, _) = local_round(net, idx, m, "qt round")?;
+            st.source_ops += ops;
+            st.source_seconds += secs;
+        }
+        Stage::DisPca(cfg) => {
+            if st.weights_mode {
+                return Err(CoreError::InvalidConfig {
+                    reason: "dispca after a coreset stage is unsupported",
+                });
+            }
+            drop_basis(st);
+            let t = dispca_rank(cfg, params, st.cur);
+            // Step 1: local SVD summaries, folded in source order.
+            for i in 0..m {
+                net.send(i, &Command::Stage { index: idx })?;
+            }
+            let mut summaries = Vec::with_capacity(m);
+            let mut ops1 = 0u64;
+            let mut secs1 = 0.0f64;
+            for i in 0..m {
+                let (payload, o, s) = expect_up(net.recv(i)?, "dispca summary")?;
+                ops1 = ops1.max(o);
+                secs1 = secs1.max(s);
+                match payload.decode().map_err(CoreError::Net)? {
+                    Message::SvdSummary {
+                        singular_values,
+                        basis,
+                        ..
+                    } => summaries.push((singular_values, basis)),
+                    _ => {
+                        return Err(CoreError::Protocol {
+                            reason: "expected svd summary",
+                        })
+                    }
+                }
+            }
+            // Step 2: the global SVD — the same server fold as the
+            // engine's dispca.
+            let t1 = Instant::now();
+            let basis = distributed::dispca_global_basis(&summaries, t)?;
+            st.server_seconds += t1.elapsed().as_secs_f64();
+            // Step 3: broadcast; each source projects onto its decoded
+            // copy and reports the new shape.
+            let payload = Payload::of(&Message::Basis {
+                basis: basis.clone(),
+                precision: params.precision,
+            });
+            for i in 0..m {
+                net.send(
+                    i,
+                    &Command::Deliver {
+                        payload: payload.clone(),
+                    },
+                )?;
+            }
+            let mut ops2 = 0u64;
+            let mut secs2 = 0.0f64;
+            for i in 0..m {
+                let (_, c, o, s) = expect_done(net.recv(i)?, "dispca projection")?;
+                verify_cols(c as usize, basis.cols(), "dispca projection")?;
+                ops2 = ops2.max(o);
+                secs2 = secs2.max(s);
+            }
+            st.basis_parent = st.cur;
+            st.cur = basis.cols();
+            st.server_basis = Some(basis);
+            st.has_basis = true;
+            st.basis_shared = true;
+            st.jl.any_reduction = true;
+            st.source_ops += ops1 + ops2;
+            st.source_seconds += secs1 + secs2;
+        }
+        Stage::DisSs(cfg) => {
+            if st.weights_mode {
+                return Err(CoreError::InvalidConfig {
+                    reason: "disss after a coreset stage is unsupported",
+                });
+            }
+            let budget = disss_budget(cfg, params);
+            if budget == 0 {
+                return Err(CoreError::InvalidConfig {
+                    reason: "zero disSS sample budget",
+                });
+            }
+            // Step 1: bicriteria cost reports.
+            for i in 0..m {
+                net.send(i, &Command::Stage { index: idx })?;
+            }
+            let mut costs = Vec::with_capacity(m);
+            let mut ops1 = 0u64;
+            let mut secs1 = 0.0f64;
+            for i in 0..m {
+                let (payload, o, s) = expect_up(net.recv(i)?, "disss cost report")?;
+                ops1 = ops1.max(o);
+                secs1 = secs1.max(s);
+                match payload.decode().map_err(CoreError::Net)? {
+                    Message::CostReport { cost } => costs.push(cost),
+                    _ => {
+                        return Err(CoreError::Protocol {
+                            reason: "expected cost report",
+                        })
+                    }
+                }
+            }
+            // Step 2: proportional allocation (shared fold).
+            let allocations = distributed::disss_allocations(&costs, budget);
+            for (i, &s_i) in allocations.iter().enumerate() {
+                net.send(
+                    i,
+                    &Command::Deliver {
+                        payload: Payload::of(&Message::SampleAllocation { size: s_i as u64 }),
+                    },
+                )?;
+            }
+            // Step 3: weighted samples, merged in source order.
+            let mut parts = Vec::with_capacity(m);
+            let mut ops2 = 0u64;
+            let mut secs2 = 0.0f64;
+            for i in 0..m {
+                let (payload, o, s) = expect_up(net.recv(i)?, "disss sample")?;
+                ops2 = ops2.max(o);
+                secs2 = secs2.max(s);
+                match payload.decode().map_err(CoreError::Net)? {
+                    Message::Coreset {
+                        points,
+                        weights,
+                        delta,
+                        ..
+                    } => parts
+                        .push(Coreset::new(points, weights, delta).map_err(CoreError::Coreset)?),
+                    _ => {
+                        return Err(CoreError::Protocol {
+                            reason: "expected a coreset message",
+                        })
+                    }
+                }
+            }
+            let t1 = Instant::now();
+            let merged = Coreset::merge(parts.iter()).map_err(CoreError::Coreset)?;
+            st.server_seconds += t1.elapsed().as_secs_f64();
+            st.server_summary = Some((merged.points().clone(), merged.weights().to_vec()));
+            st.handed_off = true;
+            st.jl.any_reduction = true;
+            st.source_ops += ops1 + ops2;
+            st.source_seconds += secs1 + secs2;
+        }
+    }
+    Ok(())
+}
+
+fn verify_cols(got: usize, expected: usize, context: &'static str) -> Result<()> {
+    if got != expected {
+        return Err(CoreError::Net(NetError::ProtocolViolation {
+            context,
+            expected: "the plan-derived working dimension",
+            got: format!("{got} columns (expected {expected})"),
+        }));
+    }
+    Ok(())
+}
+
+fn finalize<T: CommandTransport>(
+    pipe: &StagePipeline,
+    net: &mut T,
+    mut st: DriverState,
+    m: usize,
+    up0: u64,
+    down0: u64,
+) -> Result<RunOutput> {
+    let params = pipe.params();
+    let (points, weights) = match st.server_summary.take() {
+        Some(summary) => summary,
+        None => {
+            // An FSS basis travels first; the server keeps the decoded
+            // copy for the final lift.
+            if st.has_basis && !st.basis_shared {
+                net.send(0, &Command::TransmitBasis)?;
+                let (payload, _, _) = expect_up(net.recv(0)?, "basis transmit")?;
+                match payload.decode().map_err(CoreError::Net)? {
+                    Message::Basis { basis, .. } => st.server_basis = Some(basis),
+                    _ => {
+                        return Err(CoreError::Protocol {
+                            reason: "expected a basis message",
+                        })
+                    }
+                }
+                st.basis_shared = true;
+            }
+            for i in 0..m {
+                net.send(i, &Command::Transmit)?;
+            }
+            let mut blocks = Vec::with_capacity(m);
+            let mut weights = Vec::new();
+            let mut ops = 0u64;
+            let mut secs = 0.0f64;
+            for i in 0..m {
+                let (payload, o, s) = expect_up(net.recv(i)?, "summary transmit")?;
+                ops = ops.max(o);
+                secs = secs.max(s);
+                match payload.decode().map_err(CoreError::Net)? {
+                    Message::RawData { points } => {
+                        weights.extend(vec![1.0; points.rows()]);
+                        blocks.push(points);
+                    }
+                    Message::Coreset {
+                        points, weights: w, ..
+                    } => {
+                        weights.extend(w);
+                        blocks.push(points);
+                    }
+                    _ => {
+                        return Err(CoreError::Protocol {
+                            reason: "expected raw data or a coreset",
+                        })
+                    }
+                }
+            }
+            st.source_ops += ops;
+            st.source_seconds += secs;
+            let t1 = Instant::now();
+            let stacked = Matrix::vstack_all(blocks.iter())?;
+            st.server_seconds += t1.elapsed().as_secs_f64();
+            (stacked, weights)
+        }
+    };
+
+    let t1 = Instant::now();
+    let centers_summary = solve_weighted_kmeans(
+        &points,
+        &weights,
+        params.k,
+        params.kmeans_restarts,
+        derive_seed(params.seed, seeds::SERVER),
+        params.solver_shards,
+    )?;
+    let mut centers = match &st.server_basis {
+        Some(basis) => lift_centers_through_basis(&centers_summary, basis)?,
+        None => centers_summary,
+    };
+    for pi in st.projections.iter().rev() {
+        centers = pi.lift(&centers)?;
+    }
+    st.server_seconds += t1.elapsed().as_secs_f64();
+
+    // Shutdown: announce the digest; every source answers with the
+    // traffic it observed itself, which must equal the server's
+    // per-source ledger — the non-replicated integrity check.
+    let digest = RunDigest::new(net.stats(), &centers);
+    for i in 0..m {
+        net.send(
+            i,
+            &Command::Finish {
+                uplink_bits: digest.uplink_bits,
+                downlink_bits: digest.downlink_bits,
+                centers_hash: digest.centers_hash,
+            },
+        )?;
+    }
+    for i in 0..m {
+        match net.recv(i)? {
+            Response::Fin {
+                uplink_bits,
+                downlink_bits,
+            } => {
+                if uplink_bits != net.stats().uplink_bits(i)
+                    || downlink_bits != net.stats().downlink_bits(i)
+                {
+                    return Err(CoreError::Net(NetError::Divergence {
+                        source: i,
+                        direction: "counter report",
+                    }));
+                }
+            }
+            Response::Err { reason } => {
+                return Err(CoreError::Net(NetError::RemoteAbort { reason }))
+            }
+            other => {
+                return Err(CoreError::Net(NetError::ProtocolViolation {
+                    context: "finish round",
+                    expected: "a fin response",
+                    got: other.name().to_string(),
+                }))
+            }
+        }
+    }
+
+    Ok(RunOutput {
+        centers,
+        uplink_bits: net.stats().total_uplink_bits() - up0,
+        downlink_bits: net.stats().total_downlink_bits() - down0,
+        source_seconds: st.source_seconds,
+        server_seconds: st.server_seconds,
+        source_ops: st.source_ops,
+        summary_points: points.rows(),
+    })
+}
+
+impl StagePipeline {
+    /// Runs the pipeline as the protocol server over any
+    /// [`CommandTransport`] — the sources hold the data, this end holds
+    /// the plan.
+    ///
+    /// # Errors
+    ///
+    /// See [`run_driver`].
+    pub fn run_driver<T: CommandTransport>(&self, net: &mut T) -> Result<RunOutput> {
+        run_driver(self, net)
+    }
+
+    /// Runs the pipeline over the in-process channel backend: one
+    /// executor thread per shard — each holding **only its shard** —
+    /// and the driver in the calling thread. Results are bit-identical
+    /// to [`StagePipeline::run_shards`] over the simulation.
+    ///
+    /// # Errors
+    ///
+    /// See [`run_driver`]; executor failures surface as
+    /// [`NetError::RemoteAbort`] with the source's reason.
+    pub fn run_channel(&self, shards: Vec<Matrix>) -> Result<RunOutput> {
+        self.run_channel_detailed(shards).map(|(out, _, _)| out)
+    }
+
+    /// [`StagePipeline::run_channel`] returning the driver's
+    /// [`NetworkStats`] and every executor's [`SourceRunReport`] for
+    /// inspection (equivalence tests, the CLI's accounting lines).
+    ///
+    /// # Errors
+    ///
+    /// See [`StagePipeline::run_channel`].
+    pub fn run_channel_detailed(
+        &self,
+        shards: Vec<Matrix>,
+    ) -> Result<(RunOutput, NetworkStats, Vec<SourceRunReport>)> {
+        if shards.is_empty() {
+            return Err(CoreError::InvalidConfig {
+                reason: "no shards",
+            });
+        }
+        let m = shards.len();
+        let (mut hub, endpoints) = channel_pairs(m);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = endpoints
+                .into_iter()
+                .zip(shards)
+                .enumerate()
+                .map(|(i, (mut endpoint, shard))| {
+                    let stages = self.stages();
+                    let params = self.params();
+                    scope.spawn(move || {
+                        SourceExecutor::new(stages, params, i, m, shard).serve(&mut endpoint)
+                    })
+                })
+                .collect();
+            let out = run_driver(self, &mut hub);
+            let reports: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+            let out = out?;
+            let mut source_reports = Vec::with_capacity(m);
+            for report in reports {
+                match report {
+                    Ok(Ok(r)) => source_reports.push(r),
+                    Ok(Err(e)) => return Err(e),
+                    Err(_) => {
+                        return Err(CoreError::Protocol {
+                            reason: "executor thread panicked",
+                        })
+                    }
+                }
+            }
+            Ok((out, hub.stats().clone(), source_reports))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ekm_data::partition::partition_uniform;
+    use ekm_data::synth::GaussianMixture;
+    use ekm_net::Network;
+
+    fn workload(n: usize, d: usize, seed: u64) -> Matrix {
+        let raw = GaussianMixture::new(n, d, 2)
+            .with_separation(4.0)
+            .with_cluster_std(1.0)
+            .with_seed(seed)
+            .generate()
+            .unwrap()
+            .points;
+        ekm_data::normalize::normalize_paper(&raw).0
+    }
+
+    fn assert_equivalent(list: &str, data: &Matrix, m: usize, seed: u64) {
+        let (n, d) = data.shape();
+        let params = crate::SummaryParams::practical(2, n, d).with_seed(seed);
+        let pipe = StagePipeline::from_names(list, params).unwrap();
+        let shards = if m == 1 {
+            vec![data.clone()]
+        } else {
+            partition_uniform(data, m, pipe.params().seed).unwrap()
+        };
+        let mut net = Network::new(m);
+        let sim = pipe.run_shards(&shards, &mut net).unwrap();
+        let (proto, stats, reports) = pipe.run_channel_detailed(shards).unwrap();
+        assert_eq!(net.stats(), &stats, "{list}: NetworkStats");
+        assert_eq!(sim.uplink_bits, proto.uplink_bits, "{list}: uplink");
+        assert_eq!(sim.downlink_bits, proto.downlink_bits, "{list}: downlink");
+        assert_eq!(sim.source_ops, proto.source_ops, "{list}: ops");
+        assert_eq!(sim.summary_points, proto.summary_points, "{list}");
+        for (a, b) in sim.centers.as_slice().iter().zip(proto.centers.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{list}: centers diverge");
+        }
+        assert_eq!(reports.len(), m);
+        for (i, report) in reports.iter().enumerate() {
+            assert_eq!(
+                report.uplink_bits,
+                stats.uplink_bits(i),
+                "{list}: source {i} uplink report"
+            );
+        }
+    }
+
+    #[test]
+    fn channel_protocol_matches_simulation_centralized() {
+        let data = workload(300, 16, 3);
+        for list in ["jl,fss,qt:6", "fss,jl", "qt:8"] {
+            assert_equivalent(list, &data, 1, 11);
+        }
+    }
+
+    #[test]
+    fn channel_protocol_matches_simulation_distributed() {
+        let data = workload(480, 20, 4);
+        for list in ["dispca,disss", "jl,dispca,qt:8,disss", "jl,stream,qt"] {
+            assert_equivalent(list, &data, 4, 13);
+        }
+    }
+
+    #[test]
+    fn driver_validation_matches_engine_errors() {
+        let data = workload(200, 8, 5);
+        let params = crate::SummaryParams::practical(2, 200, 8).with_seed(7);
+        for list in ["fss,fss", "disss,jl", "stream,stream", "fss"] {
+            let pipe = StagePipeline::from_names(list, params.clone()).unwrap();
+            let shards = partition_uniform(&data, 2, 3).unwrap();
+            let mut net = Network::new(2);
+            let sim = pipe.run_shards(&shards, &mut net);
+            let proto = pipe.run_channel(shards);
+            assert!(sim.is_err(), "{list}: engine accepted");
+            assert!(
+                matches!(proto, Err(CoreError::InvalidConfig { .. })),
+                "{list}: driver returned {proto:?}"
+            );
+        }
+    }
+}

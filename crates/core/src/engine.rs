@@ -45,7 +45,10 @@ use crate::params::SummaryParams;
 use crate::pipelines::{expect_basis, expect_coreset, quantize_for_wire, seeds};
 use crate::projection::MaybeProjection;
 use crate::server::{lift_centers_through_basis, solve_weighted_kmeans};
-use crate::stage::{display_name, resolve_quantizer, FssStage, JlStage, Stage, StreamStage};
+use crate::stage::{
+    dispca_rank, display_name, disss_budget, fss_dims, jl_target_dim, resolve_quantizer,
+    stream_plan, FssStage, JlStage, Stage, StreamStage,
+};
 use crate::{distributed, CoreError, Result, RunOutput};
 use ekm_coreset::{FssBuilder, StreamingCoreset};
 use ekm_linalg::random::derive_seed;
@@ -55,6 +58,40 @@ use ekm_net::{Transport, TransportLink};
 use ekm_quant::RoundingQuantizer;
 use std::borrow::Cow;
 use std::time::Instant;
+
+/// Positional JL bookkeeping shared by every execution model: the
+/// in-process engine, the server-side driver, and the source-side
+/// executors all evolve an identical copy, so they derive the same seed
+/// streams and positional roles without communicating.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct JlBook {
+    /// Number of JL stages applied so far.
+    pub jl_count: usize,
+    /// Whether the `JL_AFTER` seed stream has been consumed.
+    pub jl_after_used: bool,
+    /// Whether any reduction stage (DR/CR/disPCA/disSS) has run.
+    pub any_reduction: bool,
+}
+
+impl JlBook {
+    /// Allocates the seed stream and positional role for the next JL
+    /// stage: a leading projection plays the paper's "before-CR" role
+    /// (`JL_BEFORE` stream, Lemma 4.1 dimension), later ones the
+    /// "after" role (`JL_AFTER` stream, Lemma 4.2 dimension), and any
+    /// further projections get fresh derived streams.
+    pub fn next_stream(&mut self) -> (u64, bool) {
+        let (stream, before_role) = if !self.any_reduction && self.jl_count == 0 {
+            (seeds::JL_BEFORE, true)
+        } else if !self.jl_after_used {
+            self.jl_after_used = true;
+            (seeds::JL_AFTER, false)
+        } else {
+            (seeds::JL_EXTRA_BASE + self.jl_count as u64, false)
+        };
+        self.jl_count += 1;
+        (stream, before_role)
+    }
+}
 
 /// The state a stage list transforms: per-source working points, the
 /// summary triple once a CR stage has run, the pending basis, and the
@@ -74,9 +111,16 @@ pub(crate) struct SummaryState<'a> {
     /// Per-source additive coreset constants Δ (parallel to `parts`
     /// whenever `weights` is set).
     pub deltas: Vec<f64>,
-    /// Basis of the working space inside its parent space, when `parts`
-    /// hold coordinates (FSS basis or disPCA global basis).
+    /// The *server's* copy of the working-space basis (FSS basis after
+    /// transmission, disPCA global basis at full precision) — what the
+    /// final center lift goes through.
     pub basis: Option<Matrix>,
+    /// The *sources'* copy of the same basis — what `lift_out_of_basis`
+    /// re-expands coordinates through. For FSS the two copies are the
+    /// same matrix; after disPCA the sources hold the basis exactly as
+    /// decoded from the wire (at F32 precision, the rounded one — what a
+    /// real edge device would have).
+    pub source_basis: Option<Matrix>,
     /// Whether the basis is already known to the server (disPCA
     /// broadcasts it; an FSS basis must be uplinked at transmission).
     pub basis_shared: bool,
@@ -88,12 +132,8 @@ pub(crate) struct SummaryState<'a> {
     pub quantizer: Option<RoundingQuantizer>,
     /// The merged summary once it lives at the server (set by disSS).
     pub server_summary: Option<(Matrix, Vec<f64>)>,
-    /// Number of JL stages applied so far.
-    jl_count: usize,
-    /// Whether the `JL_AFTER` seed stream has been consumed.
-    jl_after_used: bool,
-    /// Whether any reduction stage (DR/CR/disPCA/disSS) has run.
-    any_reduction: bool,
+    /// Positional JL bookkeeping.
+    jl: JlBook,
     /// Accumulated per-source compute seconds (max over sources per
     /// phase, summed over phases).
     source_seconds: f64,
@@ -111,13 +151,12 @@ impl<'a> SummaryState<'a> {
             weights: None,
             deltas: Vec::new(),
             basis: None,
+            source_basis: None,
             basis_shared: false,
             projections: Vec::new(),
             quantizer: None,
             server_summary: None,
-            jl_count: 0,
-            jl_after_used: false,
-            any_reduction: false,
+            jl: JlBook::default(),
             source_seconds: 0.0,
             server_seconds: 0.0,
             source_ops: 0,
@@ -139,33 +178,18 @@ impl<'a> SummaryState<'a> {
     }
 
     /// Re-expresses coordinate parts in their parent space and drops the
-    /// basis (what a stage that needs plain points does first).
+    /// basis (what a stage that needs plain points does first). The
+    /// expansion uses the *sources'* copy of the basis — that is the one
+    /// the data holders actually possess.
     fn lift_out_of_basis(&mut self) -> Result<()> {
-        if let Some(basis) = self.basis.take() {
+        if let Some(basis) = self.source_basis.take() {
             for part in &mut self.parts {
                 *part = Cow::Owned(ops::matmul_transb(part.as_ref(), &basis)?);
             }
+            self.basis = None;
             self.basis_shared = false;
         }
         Ok(())
-    }
-
-    /// Allocates the seed stream and positional role for the next JL
-    /// stage: a leading projection plays the paper's "before-CR" role
-    /// (`JL_BEFORE` stream, Lemma 4.1 dimension), later ones the
-    /// "after" role (`JL_AFTER` stream, Lemma 4.2 dimension), and any
-    /// further projections get fresh derived streams.
-    fn next_jl_stream(&mut self) -> (u64, bool) {
-        let (stream, before_role) = if !self.any_reduction && self.jl_count == 0 {
-            (seeds::JL_BEFORE, true)
-        } else if !self.jl_after_used {
-            self.jl_after_used = true;
-            (seeds::JL_AFTER, false)
-        } else {
-            (seeds::JL_EXTRA_BASE + self.jl_count as u64, false)
-        };
-        self.jl_count += 1;
-        (stream, before_role)
     }
 
     /// Fingerprint of every upstream bit a source-side stage can
@@ -191,17 +215,19 @@ impl<'a> SummaryState<'a> {
             }
         }
         h.write_f64s(&self.deltas);
-        match &self.basis {
-            None => h.write_bool(false),
-            Some(b) => {
-                h.write_bool(true);
-                h.write_matrix(b);
+        for basis in [&self.basis, &self.source_basis] {
+            match basis {
+                None => h.write_bool(false),
+                Some(b) => {
+                    h.write_bool(true);
+                    h.write_matrix(b);
+                }
             }
         }
         h.write_bool(self.basis_shared);
-        h.write_usize(self.jl_count);
-        h.write_bool(self.jl_after_used);
-        h.write_bool(self.any_reduction);
+        h.write_usize(self.jl.jl_count);
+        h.write_bool(self.jl.jl_after_used);
+        h.write_bool(self.jl.any_reduction);
         h.finish()
     }
 
@@ -215,11 +241,10 @@ impl<'a> SummaryState<'a> {
         self.weights = snap.weights;
         self.deltas = snap.deltas;
         self.basis = snap.basis;
+        self.source_basis = snap.source_basis;
         self.basis_shared = snap.basis_shared;
         self.projections.extend(snap.appended_projections);
-        self.jl_count = snap.jl_count;
-        self.jl_after_used = snap.jl_after_used;
-        self.any_reduction = snap.any_reduction;
+        self.jl = snap.jl;
         self.source_ops += snap.ops_delta;
         self.source_seconds += snap.seconds_delta;
     }
@@ -236,11 +261,10 @@ impl<'a> SummaryState<'a> {
             weights: self.weights.clone(),
             deltas: self.deltas.clone(),
             basis: self.basis.clone(),
+            source_basis: self.source_basis.clone(),
             basis_shared: self.basis_shared,
             appended_projections: self.projections[projections_before..].to_vec(),
-            jl_count: self.jl_count,
-            jl_after_used: self.jl_after_used,
-            any_reduction: self.any_reduction,
+            jl: self.jl.clone(),
             ops_delta: self.source_ops - ops_before,
             seconds_delta: self.source_seconds - seconds_before,
         }
@@ -467,10 +491,7 @@ impl StagePipeline {
                     });
                 }
                 state.lift_out_of_basis()?;
-                let t = cfg
-                    .rank
-                    .map(|t| t.clamp(1, state.dim()))
-                    .unwrap_or_else(|| self.params.effective_pca_dim(state.dim()));
+                let t = dispca_rank(cfg, &self.params, state.dim());
                 let out = distributed::dispca_opts(
                     &state.parts,
                     t,
@@ -480,8 +501,9 @@ impl StagePipeline {
                 )?;
                 state.parts = out.coords.into_iter().map(Cow::Owned).collect();
                 state.basis = Some(out.basis);
+                state.source_basis = Some(out.decoded_basis);
                 state.basis_shared = true;
-                state.any_reduction = true;
+                state.jl.any_reduction = true;
                 state.source_seconds += out.source_seconds;
                 state.server_seconds += out.server_seconds;
                 state.source_ops += out.source_ops;
@@ -493,7 +515,7 @@ impl StagePipeline {
                         reason: "disss after a coreset stage is unsupported",
                     });
                 }
-                let budget = cfg.sample_size.unwrap_or(self.params.coreset_size);
+                let budget = disss_budget(cfg, &self.params);
                 let out = distributed::disss_opts(
                     &state.parts,
                     self.params.k,
@@ -507,7 +529,7 @@ impl StagePipeline {
                 state.server_summary =
                     Some((out.coreset.points().clone(), out.coreset.weights().to_vec()));
                 state.parts.clear();
-                state.any_reduction = true;
+                state.jl.any_reduction = true;
                 state.source_seconds += out.source_seconds;
                 state.server_seconds += out.server_seconds;
                 state.source_ops += out.source_ops;
@@ -522,12 +544,8 @@ impl StagePipeline {
         state.require_source_side()?;
         state.lift_out_of_basis()?;
         let cur = state.dim();
-        let (stream, before_role) = state.next_jl_stream();
-        let target = match cfg.dim {
-            Some(dim) => dim.clamp(1, cur),
-            None if before_role => self.params.effective_jl_before(cur),
-            None => self.params.effective_jl_after(cur),
-        };
+        let (stream, before_role) = state.jl.next_stream();
+        let target = jl_target_dim(cfg, &self.params, cur, before_role);
         let pi = MaybeProjection::generate(
             self.params.jl_kind,
             cur,
@@ -554,7 +572,7 @@ impl StagePipeline {
             })
             .collect();
         state.projections.push(pi);
-        state.any_reduction = true;
+        state.jl.any_reduction = true;
         state.source_seconds += phase;
         Ok(())
     }
@@ -575,11 +593,7 @@ impl StagePipeline {
         let t0 = Instant::now();
         state.lift_out_of_basis()?;
         let cur = state.dim();
-        let t = cfg
-            .pca_dim
-            .map(|t| t.clamp(1, cur))
-            .unwrap_or_else(|| self.params.effective_pca_dim(cur));
-        let size = cfg.sample_size.unwrap_or(self.params.coreset_size);
+        let (t, size) = fss_dims(cfg, &self.params, cur);
         state.source_ops += complexity::fss(state.parts[0].rows(), cur, self.params.k);
         let fss = FssBuilder::new(self.params.k)
             .with_pca_dim(t)
@@ -589,9 +603,11 @@ impl StagePipeline {
         state.parts[0] = Cow::Owned(fss.coordinates().clone());
         state.weights = Some(vec![fss.weights().to_vec()]);
         state.deltas = vec![fss.delta()];
-        state.basis = Some(fss.basis().clone());
+        let basis = fss.basis().clone();
+        state.basis = Some(basis.clone());
+        state.source_basis = Some(basis);
         state.basis_shared = false;
-        state.any_reduction = true;
+        state.jl.any_reduction = true;
         state.source_seconds += t0.elapsed().as_secs_f64();
         Ok(())
     }
@@ -611,9 +627,7 @@ impl StagePipeline {
         }
         let m = state.parts.len();
         let k = self.params.k;
-        let leaf = cfg.leaf_size.unwrap_or(self.params.stream_leaf_size).max(1);
-        let budget = cfg.sample_size.unwrap_or(self.params.coreset_size);
-        let per_source = budget.div_ceil(m).max(k).max(1);
+        let (leaf, per_source) = stream_plan(cfg, &self.params, m);
         let stream_seed = derive_seed(self.params.seed, seeds::STREAM);
         let streamed = par_map(&state.parts, self.parallel, |i, part| {
             let t0 = Instant::now();
@@ -648,7 +662,7 @@ impl StagePipeline {
         state.parts = parts;
         state.weights = Some(weights);
         state.deltas = deltas;
-        state.any_reduction = true;
+        state.jl.any_reduction = true;
         state.source_seconds += phase;
         Ok(())
     }
@@ -663,7 +677,9 @@ impl StagePipeline {
         let mut links = net.take_links(state.parts.len())?;
 
         // An FSS basis travels first (disPCA's was already broadcast).
-        if let Some(basis) = &state.basis {
+        // The source uplinks *its* copy; the server's copy becomes the
+        // decoded one — exactly what it will lift the centers through.
+        if let Some(basis) = &state.source_basis {
             if !state.basis_shared {
                 let msg = Message::Basis {
                     basis: basis.clone(),

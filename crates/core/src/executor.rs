@@ -1,0 +1,502 @@
+//! The source-side executor of the server-driven protocol.
+//!
+//! A [`SourceExecutor`] is one data source: it holds **only its own
+//! shard** plus the shared plan (stage list + parameters), and answers
+//! the server driver's commands over an [`ekm_net::SourceEndpoint`]. It
+//! never sees another source's points — the only downlink payloads it
+//! accepts are the disPCA basis broadcast and the disSS sample
+//! allocation, exactly the messages the paper's protocols send to the
+//! sources.
+//!
+//! Every computation here is the same function the in-process engine
+//! runs for that source (the stage resolution helpers in
+//! [`crate::stage`], the disSS/disPCA local steps in
+//! [`crate::distributed`], the shared [`JlBook`] seed-stream
+//! bookkeeping), so an executor's responses are bit-identical to the
+//! engine's per-source closures by construction — proven end to end by
+//! `tests/transport_equivalence.rs`.
+
+use crate::complexity;
+use crate::distributed::{disss_local_bicriteria, disss_local_sample, local_svd_summary};
+use crate::engine::JlBook;
+use crate::params::SummaryParams;
+use crate::pipelines::{quantize_for_wire, seeds};
+use crate::projection::MaybeProjection;
+use crate::stage::{
+    dispca_rank, disss_budget, fss_dims, jl_target_dim, resolve_quantizer, stream_plan, Stage,
+};
+use crate::{CoreError, Result};
+use ekm_clustering::bicriteria::BicriteriaSolution;
+use ekm_coreset::{FssBuilder, StreamingCoreset};
+use ekm_linalg::random::derive_seed;
+use ekm_linalg::{ops, Matrix};
+use ekm_net::messages::Message;
+use ekm_net::protocol::{Command, Payload, Response, SourceEndpoint};
+use ekm_net::NetError;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// What one executor observed over a completed run — its own traffic
+/// only. The driver cross-checks the bit counts against its per-source
+/// counters at shutdown, and the isolation tests assert that the
+/// downlink kinds never include another source's data.
+#[derive(Debug, Clone, Default)]
+pub struct SourceRunReport {
+    /// Data-plane bits this source sent.
+    pub uplink_bits: u64,
+    /// Data-plane bits this source received.
+    pub downlink_bits: u64,
+    /// Uplink bits by message kind.
+    pub uplink_kinds: BTreeMap<&'static str, u64>,
+    /// Downlink bits by message kind (a source only ever receives
+    /// `basis` and `sample-allocation` payloads).
+    pub downlink_kinds: BTreeMap<&'static str, u64>,
+    /// The centers hash the server announced at shutdown.
+    pub centers_hash: u64,
+    /// The run-total uplink bits the server announced.
+    pub server_uplink_bits: u64,
+    /// The run-total downlink bits the server announced.
+    pub server_downlink_bits: u64,
+}
+
+/// A phase started by a `Stage` command that awaits a `Deliver` payload
+/// to finish (the interactive protocols' second halves).
+#[derive(Debug)]
+enum PendingDeliver {
+    /// disPCA: the basis broadcast is next.
+    DispcaBasis,
+    /// disSS: the sample allocation is next; the bicriteria solution
+    /// carries over from step 1.
+    DisssAllocation { bic: BicriteriaSolution },
+}
+
+enum StepOutcome {
+    Reply(Response),
+    Finished(Response, SourceRunReport),
+    Aborted(String),
+}
+
+/// One data source of a server-driven protocol run.
+#[derive(Debug)]
+pub struct SourceExecutor<'a> {
+    stages: &'a [Stage],
+    params: &'a SummaryParams,
+    id: usize,
+    m: usize,
+    part: Matrix,
+    weights: Option<Vec<f64>>,
+    delta: f64,
+    basis: Option<Matrix>,
+    basis_shared: bool,
+    quantizer: Option<ekm_quant::RoundingQuantizer>,
+    jl: JlBook,
+    handed_off: bool,
+    pending: Option<PendingDeliver>,
+    report: SourceRunReport,
+}
+
+impl<'a> SourceExecutor<'a> {
+    /// Creates the executor for source `id` of `m`, owning `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= m` or `m == 0`.
+    pub fn new(
+        stages: &'a [Stage],
+        params: &'a SummaryParams,
+        id: usize,
+        m: usize,
+        shard: Matrix,
+    ) -> SourceExecutor<'a> {
+        assert!(m > 0 && id < m, "source id out of range");
+        SourceExecutor {
+            stages,
+            params,
+            id,
+            m,
+            part: shard,
+            weights: None,
+            delta: 0.0,
+            basis: None,
+            basis_shared: false,
+            quantizer: None,
+            jl: JlBook::default(),
+            handed_off: false,
+            pending: None,
+            report: SourceRunReport::default(),
+        }
+    }
+
+    /// Serves commands until the run finishes or fails.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, [`NetError::RemoteAbort`] when the driver
+    /// aborts, and local compute/validation failures (which are also
+    /// reported back to the driver as an `Err` response before
+    /// returning).
+    pub fn serve<E: SourceEndpoint>(mut self, endpoint: &mut E) -> Result<SourceRunReport> {
+        loop {
+            let cmd = endpoint.recv_command().map_err(CoreError::Net)?;
+            match self.step(cmd) {
+                Ok(StepOutcome::Reply(resp)) => {
+                    endpoint.send_response(resp).map_err(CoreError::Net)?;
+                }
+                Ok(StepOutcome::Finished(resp, report)) => {
+                    endpoint.send_response(resp).map_err(CoreError::Net)?;
+                    return Ok(report);
+                }
+                Ok(StepOutcome::Aborted(reason)) => {
+                    return Err(CoreError::Net(NetError::RemoteAbort { reason }));
+                }
+                Err(e) => {
+                    // Best-effort: tell the driver why before bailing.
+                    let _ = endpoint.send_response(Response::Err {
+                        reason: e.to_string(),
+                    });
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    fn done(&self, ops: u64, seconds: f64) -> Response {
+        Response::Done {
+            rows: self.part.rows() as u64,
+            cols: self.part.cols() as u64,
+            ops,
+            seconds,
+        }
+    }
+
+    /// Builds a charged uplink response and books its bits.
+    fn up(&mut self, msg: &Message, ops: u64, seconds: f64) -> Response {
+        let payload = Payload::of(msg);
+        self.report.uplink_bits += payload.bits();
+        *self.report.uplink_kinds.entry(msg.kind()).or_insert(0) += payload.bits();
+        Response::Up {
+            payload,
+            ops,
+            seconds,
+        }
+    }
+
+    fn require_source_side(&self) -> Result<()> {
+        if self.handed_off {
+            return Err(CoreError::InvalidConfig {
+                reason: "no stage may follow disss: the summary already lives at the server",
+            });
+        }
+        Ok(())
+    }
+
+    fn require_no_pending(&self) -> Result<()> {
+        if self.pending.is_some() {
+            return Err(CoreError::Net(NetError::ProtocolViolation {
+                context: "executor step",
+                expected: "a deliver payload for the pending phase",
+                got: "a different command".to_string(),
+            }));
+        }
+        Ok(())
+    }
+
+    /// Re-expresses the shard in the basis' parent space and drops the
+    /// basis (identical to the engine's `lift_out_of_basis`, on this
+    /// source's copy of the basis).
+    fn lift_out_of_basis(&mut self) -> Result<()> {
+        if let Some(basis) = self.basis.take() {
+            self.part = ops::matmul_transb(&self.part, &basis)?;
+            self.basis_shared = false;
+        }
+        Ok(())
+    }
+
+    fn step(&mut self, cmd: Command) -> Result<StepOutcome> {
+        match cmd {
+            Command::Describe => Ok(StepOutcome::Reply(self.done(0, 0.0))),
+            Command::Stage { index } => {
+                self.require_no_pending()?;
+                self.require_source_side()?;
+                let stage = self.stages.get(index as usize).ok_or(CoreError::Net(
+                    NetError::ProtocolViolation {
+                        context: "stage command",
+                        expected: "an index into the shared stage list",
+                        got: format!("stage index {index}"),
+                    },
+                ))?;
+                self.run_stage(stage)
+            }
+            Command::Deliver { payload } => {
+                let msg = payload.decode().map_err(CoreError::Net)?;
+                self.report.downlink_bits += payload.bits();
+                *self.report.downlink_kinds.entry(msg.kind()).or_insert(0) += payload.bits();
+                self.deliver(msg)
+            }
+            Command::TransmitBasis => {
+                self.require_no_pending()?;
+                self.require_source_side()?;
+                let basis = self.basis.clone().ok_or(CoreError::Protocol {
+                    reason: "transmit-basis on a source holding no basis",
+                })?;
+                let msg = Message::Basis {
+                    basis,
+                    precision: self.params.precision,
+                };
+                self.basis_shared = true;
+                Ok(StepOutcome::Reply(self.up(&msg, 0, 0.0)))
+            }
+            Command::Transmit => {
+                self.require_no_pending()?;
+                self.require_source_side()?;
+                self.transmit()
+            }
+            Command::Finish {
+                uplink_bits,
+                downlink_bits,
+                centers_hash,
+            } => {
+                self.report.centers_hash = centers_hash;
+                self.report.server_uplink_bits = uplink_bits;
+                self.report.server_downlink_bits = downlink_bits;
+                let resp = Response::Fin {
+                    uplink_bits: self.report.uplink_bits,
+                    downlink_bits: self.report.downlink_bits,
+                };
+                Ok(StepOutcome::Finished(resp, self.report.clone()))
+            }
+            Command::Abort { reason } => Ok(StepOutcome::Aborted(reason)),
+            other => Err(CoreError::Net(NetError::ProtocolViolation {
+                context: "executor step",
+                expected: "a known command",
+                got: other.name().to_string(),
+            })),
+        }
+    }
+
+    fn run_stage(&mut self, stage: &Stage) -> Result<StepOutcome> {
+        let k = self.params.k;
+        match stage {
+            Stage::Dr(cfg) => {
+                let t0 = Instant::now();
+                self.lift_out_of_basis()?;
+                let cur = self.part.cols();
+                let (stream, before_role) = self.jl.next_stream();
+                let target = jl_target_dim(cfg, self.params, cur, before_role);
+                let pi = MaybeProjection::generate(
+                    self.params.jl_kind,
+                    cur,
+                    target,
+                    derive_seed(self.params.seed, stream),
+                );
+                let ops = complexity::matmul(self.part.rows(), cur, target);
+                self.part = pi.project(&self.part)?;
+                self.jl.any_reduction = true;
+                Ok(StepOutcome::Reply(
+                    self.done(ops, t0.elapsed().as_secs_f64()),
+                ))
+            }
+            Stage::Cr(cfg) => {
+                if self.m != 1 {
+                    return Err(CoreError::InvalidConfig {
+                        reason:
+                            "fss is a single-source stage (multi-source pipelines use dispca/disss)",
+                    });
+                }
+                if self.weights.is_some() {
+                    return Err(CoreError::InvalidConfig {
+                        reason: "multiple coreset stages in one pipeline",
+                    });
+                }
+                let t0 = Instant::now();
+                self.lift_out_of_basis()?;
+                let cur = self.part.cols();
+                let (t, size) = fss_dims(cfg, self.params, cur);
+                let ops = complexity::fss(self.part.rows(), cur, k);
+                let fss = FssBuilder::new(k)
+                    .with_pca_dim(t)
+                    .with_sample_size(size)
+                    .with_seed(derive_seed(self.params.seed, seeds::FSS))
+                    .build(&self.part)?;
+                self.part = fss.coordinates().clone();
+                self.weights = Some(fss.weights().to_vec());
+                self.delta = fss.delta();
+                self.basis = Some(fss.basis().clone());
+                self.basis_shared = false;
+                self.jl.any_reduction = true;
+                Ok(StepOutcome::Reply(
+                    self.done(ops, t0.elapsed().as_secs_f64()),
+                ))
+            }
+            Stage::Stream(cfg) => {
+                if self.weights.is_some() {
+                    return Err(CoreError::InvalidConfig {
+                        reason: "multiple coreset stages in one pipeline",
+                    });
+                }
+                let t0 = Instant::now();
+                let (leaf, per_source) = stream_plan(cfg, self.params, self.m);
+                let ops = complexity::stream(self.part.rows(), self.part.cols(), k, leaf);
+                let stream_seed = derive_seed(self.params.seed, seeds::STREAM);
+                let mut stream = StreamingCoreset::new(k, leaf, per_source)
+                    .with_seed(derive_seed(stream_seed, self.id as u64));
+                stream.push_batch(&self.part).map_err(CoreError::Coreset)?;
+                let coreset = stream.finalize_reduced().map_err(CoreError::Coreset)?;
+                let (points, w, delta) = coreset.into_parts();
+                self.part = points;
+                self.weights = Some(w);
+                self.delta = delta;
+                self.jl.any_reduction = true;
+                Ok(StepOutcome::Reply(
+                    self.done(ops, t0.elapsed().as_secs_f64()),
+                ))
+            }
+            Stage::Qt(cfg) => {
+                self.quantizer = Some(resolve_quantizer(cfg, self.params)?);
+                Ok(StepOutcome::Reply(self.done(0, 0.0)))
+            }
+            Stage::DisPca(cfg) => {
+                if self.weights.is_some() {
+                    return Err(CoreError::InvalidConfig {
+                        reason: "dispca after a coreset stage is unsupported",
+                    });
+                }
+                self.lift_out_of_basis()?;
+                let cur = self.part.cols();
+                let t = dispca_rank(cfg, self.params, cur);
+                let t0 = Instant::now();
+                let (singular_values, v) = local_svd_summary(&self.part, t)?;
+                let ops = complexity::svd(self.part.rows(), cur);
+                let secs = t0.elapsed().as_secs_f64();
+                let msg = Message::SvdSummary {
+                    singular_values,
+                    basis: v,
+                    precision: self.params.precision,
+                };
+                self.pending = Some(PendingDeliver::DispcaBasis);
+                Ok(StepOutcome::Reply(self.up(&msg, ops, secs)))
+            }
+            Stage::DisSs(cfg) => {
+                if self.weights.is_some() {
+                    return Err(CoreError::InvalidConfig {
+                        reason: "disss after a coreset stage is unsupported",
+                    });
+                }
+                if disss_budget(cfg, self.params) == 0 {
+                    return Err(CoreError::InvalidConfig {
+                        reason: "zero disSS sample budget",
+                    });
+                }
+                let seed = derive_seed(self.params.seed, seeds::FSS);
+                let t0 = Instant::now();
+                let bic = disss_local_bicriteria(&self.part, k, seed, self.id)?;
+                let ops = complexity::bicriteria(self.part.rows(), self.part.cols(), k);
+                let secs = t0.elapsed().as_secs_f64();
+                let cost = bic.cost;
+                self.pending = Some(PendingDeliver::DisssAllocation { bic });
+                Ok(StepOutcome::Reply(self.up(
+                    &Message::CostReport { cost },
+                    ops,
+                    secs,
+                )))
+            }
+        }
+    }
+
+    fn deliver(&mut self, msg: Message) -> Result<StepOutcome> {
+        match (self.pending.take(), msg) {
+            (Some(PendingDeliver::DispcaBasis), Message::Basis { basis, .. }) => {
+                // disPCA step 3: project onto the basis *as decoded from
+                // the wire* — at F32 precision the rounded one, exactly
+                // what a real edge device holds.
+                let t0 = Instant::now();
+                let d = self.part.cols();
+                let ops = complexity::matmul(self.part.rows(), d, basis.cols());
+                self.part = ops::matmul(&self.part, &basis)?;
+                self.basis = Some(basis);
+                self.basis_shared = true;
+                self.jl.any_reduction = true;
+                Ok(StepOutcome::Reply(
+                    self.done(ops, t0.elapsed().as_secs_f64()),
+                ))
+            }
+            (Some(PendingDeliver::DisssAllocation { bic }), Message::SampleAllocation { size }) => {
+                let s_i = size as usize;
+                let seed = derive_seed(self.params.seed, seeds::FSS);
+                let t0 = Instant::now();
+                let msg = disss_local_sample(
+                    &self.part,
+                    &bic,
+                    s_i,
+                    seed,
+                    self.id,
+                    self.quantizer.as_ref(),
+                    self.params.precision,
+                )?;
+                let mut ops = complexity::assign(self.part.rows(), self.part.cols(), self.params.k);
+                if self.quantizer.is_some() {
+                    ops += complexity::quantize(s_i + self.params.k, self.part.cols());
+                }
+                let secs = t0.elapsed().as_secs_f64();
+                // The summary now lives at the server.
+                self.part = Matrix::zeros(0, 0);
+                self.handed_off = true;
+                Ok(StepOutcome::Reply(self.up(&msg, ops, secs)))
+            }
+            (pending, msg) => Err(CoreError::Net(NetError::ProtocolViolation {
+                context: "deliver payload",
+                expected: match pending {
+                    Some(PendingDeliver::DispcaBasis) => "a basis broadcast",
+                    Some(PendingDeliver::DisssAllocation { .. }) => "a sample allocation",
+                    None => "no downlink payload",
+                },
+                got: msg.kind().to_string(),
+            })),
+        }
+    }
+
+    /// The final summary uplink: the same message the engine's transmit
+    /// phase builds for this source.
+    fn transmit(&mut self) -> Result<StepOutcome> {
+        let quantizer = self.quantizer;
+        let aux = self.params.precision;
+        let ops = if quantizer.is_some() {
+            complexity::quantize(self.part.rows(), self.part.cols())
+        } else {
+            0
+        };
+        let t0 = Instant::now();
+        let msg = match self.weights.take() {
+            Some(weights) => {
+                let (wire, precision) = quantize_for_wire(&self.part, quantizer.as_ref());
+                Message::Coreset {
+                    points: wire,
+                    weights,
+                    delta: self.delta,
+                    precision,
+                    weights_precision: aux,
+                }
+            }
+            None => match &quantizer {
+                Some(q) => {
+                    let (wire, precision) = quantize_for_wire(&self.part, Some(q));
+                    Message::Coreset {
+                        points: wire,
+                        weights: vec![1.0; self.part.rows()],
+                        delta: 0.0,
+                        precision,
+                        weights_precision: aux,
+                    }
+                }
+                None => Message::RawData {
+                    points: std::mem::replace(&mut self.part, Matrix::zeros(0, 0)),
+                },
+            },
+        };
+        let secs = t0.elapsed().as_secs_f64();
+        let resp = self.up(&msg, ops, secs);
+        // Transmission is the shard's last use.
+        self.part = Matrix::zeros(0, 0);
+        Ok(StepOutcome::Reply(resp))
+    }
+}

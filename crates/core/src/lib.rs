@@ -63,9 +63,11 @@
 pub mod cache;
 mod complexity;
 pub mod distributed;
+pub mod driver;
 pub mod engine;
 mod error;
 pub mod evaluation;
+pub mod executor;
 pub mod output;
 pub mod params;
 pub mod pipelines;
@@ -74,8 +76,10 @@ pub mod server;
 pub mod stage;
 
 pub use cache::StageCache;
+pub use driver::run_driver;
 pub use engine::StagePipeline;
 pub use error::CoreError;
+pub use executor::{SourceExecutor, SourceRunReport};
 pub use output::RunOutput;
 pub use params::SummaryParams;
 pub use stage::Stage;

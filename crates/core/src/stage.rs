@@ -268,6 +268,51 @@ pub fn display_name(stages: &[Stage]) -> String {
         .join("+")
 }
 
+/// Resolves a JL stage's target dimension (the one formula the engine,
+/// the server driver, and the source executors must agree on).
+pub(crate) fn jl_target_dim(
+    cfg: &JlStage,
+    params: &SummaryParams,
+    cur: usize,
+    before_role: bool,
+) -> usize {
+    match cfg.dim {
+        Some(dim) => dim.clamp(1, cur),
+        None if before_role => params.effective_jl_before(cur),
+        None => params.effective_jl_after(cur),
+    }
+}
+
+/// Resolves an FSS stage's `(pca_dim, sample_size)`.
+pub(crate) fn fss_dims(cfg: &FssStage, params: &SummaryParams, cur: usize) -> (usize, usize) {
+    (
+        cfg.pca_dim
+            .map(|t| t.clamp(1, cur))
+            .unwrap_or_else(|| params.effective_pca_dim(cur)),
+        cfg.sample_size.unwrap_or(params.coreset_size),
+    )
+}
+
+/// Resolves a disPCA stage's summary rank `t1 = t2`.
+pub(crate) fn dispca_rank(cfg: &DisPcaStage, params: &SummaryParams, cur: usize) -> usize {
+    cfg.rank
+        .map(|t| t.clamp(1, cur))
+        .unwrap_or_else(|| params.effective_pca_dim(cur))
+}
+
+/// Resolves a streaming stage's `(leaf_size, per-source budget)` for `m`
+/// data sources (the global budget splits evenly, disSS-style).
+pub(crate) fn stream_plan(cfg: &StreamStage, params: &SummaryParams, m: usize) -> (usize, usize) {
+    let leaf = cfg.leaf_size.unwrap_or(params.stream_leaf_size).max(1);
+    let budget = cfg.sample_size.unwrap_or(params.coreset_size);
+    (leaf, budget.div_ceil(m).max(params.k).max(1))
+}
+
+/// Resolves a disSS stage's global sample budget.
+pub(crate) fn disss_budget(cfg: &DisSsStage, params: &SummaryParams) -> usize {
+    cfg.sample_size.unwrap_or(params.coreset_size)
+}
+
 /// Resolves the effective quantizer of a QT stage against the shared
 /// parameters (stage override → params → default width).
 pub(crate) fn resolve_quantizer(

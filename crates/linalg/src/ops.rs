@@ -65,7 +65,26 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Result<Matrix> {
     Ok(c)
 }
 
-/// Computes `A · Bᵀ` without materializing the transpose.
+/// Rows of `B` per transposed tile in [`matmul_transb`]: the tile
+/// (`TRANSB_TILE × k` doubles) stays cache-resident while the rows of
+/// `A` stream against it — the same discipline as the blocked distance
+/// kernel's center tiles.
+const TRANSB_TILE: usize = 32;
+
+/// Computes `A · Bᵀ` without materializing the full transpose.
+///
+/// The kernel tiles the rows of `B`, transposes each tile once into a
+/// contiguous `k × tile` buffer, and runs the inner loop in `i-k-j`
+/// order against it: every output column in the tile owns an
+/// independent accumulator, so there is no per-element reduction chain
+/// and the `j` loop vectorizes like the dense [`matmul`] kernel. This
+/// is the product behind every center lift (`X = X'·Vᵀ`, the
+/// `lift_out_of_basis` re-expansions, the pseudo-inverse lifts), which
+/// previously ran the reduction-form [`dot`].
+///
+/// Each output element is accumulated over `k` in a fixed order that
+/// depends only on the shapes, and parallelism only partitions rows of
+/// `A` — results are **bitwise invariant across worker counts**.
 ///
 /// # Errors
 ///
@@ -80,6 +99,22 @@ pub fn matmul_transb(a: &Matrix, b: &Matrix) -> Result<Matrix> {
     }
     let (n, k, m) = (a.rows(), a.cols(), b.rows());
     let mut c = Matrix::zeros(n, m);
+    // Transpose B tile by tile: tile t holds B's rows [t·T, t·T+width)
+    // as `width` contiguous columns per dimension, so the inner j loop
+    // below is unit-stride.
+    let tiles: Vec<Vec<f64>> = (0..m.div_ceil(TRANSB_TILE))
+        .map(|t| {
+            let start = t * TRANSB_TILE;
+            let width = TRANSB_TILE.min(m - start);
+            let mut buf = vec![0.0f64; k * width];
+            for (jj, j) in (start..start + width).enumerate() {
+                for (kk, &bv) in b.row(j).iter().enumerate() {
+                    buf[kk * width + jj] = bv;
+                }
+            }
+            buf
+        })
+        .collect();
     let flops = n * k * m;
     parallel::for_each_row_chunk(
         c.as_mut_slice(),
@@ -88,8 +123,19 @@ pub fn matmul_transb(a: &Matrix, b: &Matrix) -> Result<Matrix> {
         |row_start, rows_chunk| {
             for (local_i, crow) in rows_chunk.chunks_exact_mut(m).enumerate() {
                 let arow = a.row(row_start + local_i);
-                for (j, cv) in crow.iter_mut().enumerate() {
-                    *cv = dot(arow, b.row(j));
+                for (t, tile) in tiles.iter().enumerate() {
+                    let start = t * TRANSB_TILE;
+                    let width = TRANSB_TILE.min(m - start);
+                    let cslice = &mut crow[start..start + width];
+                    for (kk, &aik) in arow.iter().enumerate() {
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        let trow = &tile[kk * width..(kk + 1) * width];
+                        for (cv, &bv) in cslice.iter_mut().zip(trow) {
+                            *cv += aik * bv;
+                        }
+                    }
                 }
             }
         },
@@ -331,6 +377,41 @@ mod tests {
         let b = Matrix::identity(n);
         let c = matmul(&a, &b).unwrap();
         assert!(c.approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn matmul_transb_bitwise_invariant_across_worker_counts() {
+        // Several tiles wide and past the parallel threshold:
+        // 2000 · 40 · 96 ≈ 7.7M ≥ 2^22, 96 columns = 3 tiles.
+        let a = Matrix::from_fn(2000, 40, |i, j| {
+            (((i * 17 + j * 5) % 101) as f64 - 50.0) * 0.03
+        });
+        let b = Matrix::from_fn(96, 40, |i, j| {
+            (((i * 7 + j * 13) % 83) as f64 - 41.0) * 0.04
+        });
+        parallel::set_worker_count(1);
+        let reference = matmul_transb(&a, &b).unwrap();
+        for workers in [2, 4, 8] {
+            parallel::set_worker_count(workers);
+            assert!(
+                matmul_transb(&a, &b).unwrap() == reference,
+                "{workers} workers"
+            );
+        }
+        parallel::set_worker_count(0);
+    }
+
+    #[test]
+    fn matmul_transb_ragged_tile_widths() {
+        // Column counts straddling the tile width, including the ragged
+        // last tile.
+        for m in [1usize, 31, 32, 33, 63, 65] {
+            let a = Matrix::from_fn(7, 19, |i, j| (i as f64 - j as f64) * 0.5);
+            let b = Matrix::from_fn(m, 19, |i, j| ((i + 2 * j) % 11) as f64 * 0.25);
+            let got = matmul_transb(&a, &b).unwrap();
+            let expected = matmul(&a, &b.transpose()).unwrap();
+            assert!(got.approx_eq(&expected, 1e-12), "m={m}");
+        }
     }
 
     #[test]

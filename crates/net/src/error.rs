@@ -54,6 +54,21 @@ pub enum NetError {
         /// Explanation.
         reason: String,
     },
+    /// A protocol peer answered with the wrong command/response type.
+    ProtocolViolation {
+        /// Which exchange was in flight.
+        context: &'static str,
+        /// The frame type the receiver expected.
+        expected: &'static str,
+        /// What actually arrived.
+        got: String,
+    },
+    /// The remote end of a protocol run reported a failure or was told
+    /// to abort.
+    RemoteAbort {
+        /// The failure as reported by (or sent to) the peer.
+        reason: String,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -83,6 +98,17 @@ impl fmt::Display for NetError {
                  socket bytes differ from the locally computed encoding"
             ),
             NetError::Handshake { reason } => write!(f, "handshake rejected: {reason}"),
+            NetError::ProtocolViolation {
+                context,
+                expected,
+                got,
+            } => write!(
+                f,
+                "protocol violation during {context}: expected {expected}, got {got}"
+            ),
+            NetError::RemoteAbort { reason } => {
+                write!(f, "remote end aborted the run: {reason}")
+            }
         }
     }
 }

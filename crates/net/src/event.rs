@@ -1,0 +1,554 @@
+//! Event-driven `std::net` backend for the server-driven protocol.
+//!
+//! The replicated backend ([`crate::tcp`]) needs one blocking read per
+//! source *in program order*. The server-driven protocol has no such
+//! order: after a command fan-out, responses arrive whenever each source
+//! finishes its local compute. This backend therefore runs the whole
+//! server side in **one thread** with non-blocking sockets: a poll loop
+//! reads whatever bytes any connection has ready, reassembles complete
+//! frames into per-source inboxes, and [`EventTcpServer::recv`] drains
+//! the inbox it was asked for — so a slow source never blocks the
+//! harvest of the others, without a thread per connection.
+//!
+//! Sources stay blocking ([`EventTcpSource`]): each one strictly
+//! alternates "read a command, compute, write the response", so there is
+//! nothing for it to multiplex.
+//!
+//! The handshake reuses the replicated backend's hello frame with
+//! distinct role bytes, so a replicated peer connecting to a protocol
+//! server (or vice versa) fails the handshake with a typed error instead
+//! of deadlocking mid-run.
+
+use crate::frame::{expect_frame, write_frame, FRAME_CMD, FRAME_HELLO, FRAME_RESP, MAX_FRAME_BITS};
+use crate::network::NetworkStats;
+use crate::protocol::{
+    charge_command, charge_response, Command, CommandTransport, Response, SourceEndpoint,
+};
+use crate::tcp::{configure, decode_hello, encode_hello, transport_err, IO_TIMEOUT};
+use crate::{NetError, Result};
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Hello role byte of a protocol (non-replicated) source.
+pub(crate) const ROLE_PROTO_SOURCE: u8 = 2;
+/// Hello role byte of a protocol (non-replicated) server.
+pub(crate) const ROLE_PROTO_SERVER: u8 = 3;
+
+/// Sleep between empty poll sweeps (keeps the idle loop off the CPU
+/// without adding meaningful latency to a compute-bound protocol).
+const POLL_BACKOFF: Duration = Duration::from_micros(200);
+
+fn frame_bytes(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(9 + payload.len());
+    buf.push(kind);
+    buf.extend_from_slice(&((payload.len() * 8) as u64).to_be_bytes());
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// A bound listener for the protocol backend (two-step construction,
+/// like [`crate::tcp::TcpServerBinding`]).
+#[derive(Debug)]
+pub struct EventServerBinding {
+    listener: TcpListener,
+}
+
+impl EventServerBinding {
+    /// Binds the listening socket (`"127.0.0.1:0"` picks a free port).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Transport`] on bind failure.
+    pub fn bind<A: ToSocketAddrs>(addr: A) -> Result<EventServerBinding> {
+        let listener = TcpListener::bind(addr).map_err(|e| transport_err("bind", e))?;
+        Ok(EventServerBinding { listener })
+    }
+
+    /// The bound address (useful with port 0).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Transport`] if the socket address cannot be read.
+    pub fn local_addr(&self) -> Result<SocketAddr> {
+        self.listener
+            .local_addr()
+            .map_err(|e| transport_err("local_addr", e))
+    }
+
+    /// Accepts and handshakes exactly `sources` protocol sources,
+    /// consuming the listener. Validation matches the replicated
+    /// backend: magic/version, matching source count and configuration
+    /// fingerprint, unique in-range source ids — plus the protocol role
+    /// byte, so a replicated `ekm source` cannot join a protocol run.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Transport`] on socket failures, [`NetError::Handshake`]
+    /// on protocol violations.
+    pub fn accept(self, sources: usize, fp: u64) -> Result<EventTcpServer> {
+        assert!(sources > 0, "server needs at least one source");
+        let mut conns: Vec<Option<Conn>> = (0..sources).map(|_| None).collect();
+        let mut connected = 0;
+        while connected < sources {
+            let (mut stream, _) = self
+                .listener
+                .accept()
+                .map_err(|e| transport_err("accept", e))?;
+            configure(&stream)?;
+            let (payload, _) = expect_frame(&mut stream, FRAME_HELLO)?;
+            let (role, source_id, m, got_fp) = decode_hello(&payload)?;
+            if role != ROLE_PROTO_SOURCE {
+                return Err(NetError::Handshake {
+                    reason: format!(
+                        "unexpected role {role} in source hello \
+                         (a replicated source cannot join a protocol run)"
+                    ),
+                });
+            }
+            if m as usize != sources {
+                return Err(NetError::Handshake {
+                    reason: format!("source expects {m} sources, server has {sources}"),
+                });
+            }
+            if got_fp != fp {
+                return Err(NetError::Handshake {
+                    reason: format!(
+                        "configuration fingerprint mismatch \
+                         (server {fp:#018x}, source {got_fp:#018x})"
+                    ),
+                });
+            }
+            let id = source_id as usize;
+            if id >= sources {
+                return Err(NetError::Handshake {
+                    reason: format!("source id {id} out of range (sources: {sources})"),
+                });
+            }
+            if conns[id].is_some() {
+                return Err(NetError::Handshake {
+                    reason: format!("duplicate source id {id}"),
+                });
+            }
+            let ack = encode_hello(ROLE_PROTO_SERVER, source_id, sources as u32, fp);
+            write_frame(&mut stream, FRAME_HELLO, &ack, ack.len() * 8)?;
+            stream
+                .set_nonblocking(true)
+                .map_err(|e| transport_err("set_nonblocking", e))?;
+            conns[id] = Some(Conn::new(stream));
+            connected += 1;
+        }
+        Ok(EventTcpServer {
+            conns: conns
+                .into_iter()
+                .map(|c| c.expect("all connected"))
+                .collect(),
+            stats: NetworkStats::new(sources),
+        })
+    }
+}
+
+/// One non-blocking source connection: partial-frame reassembly buffer
+/// plus an inbox of complete, decoded responses.
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    inbuf: Vec<u8>,
+    inbox: VecDeque<Response>,
+    closed: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            inbuf: Vec::new(),
+            inbox: VecDeque::new(),
+            closed: false,
+        }
+    }
+
+    /// Reads whatever bytes are ready and parses complete frames into
+    /// the inbox. Returns `true` if any byte arrived.
+    fn pump(&mut self, source: usize) -> Result<bool> {
+        if self.closed {
+            return Ok(false);
+        }
+        let mut progress = false;
+        let mut chunk = [0u8; 64 * 1024];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.inbuf.extend_from_slice(&chunk[..n]);
+                    progress = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(transport_err("protocol read", e)),
+            }
+        }
+        self.parse_frames(source)?;
+        Ok(progress)
+    }
+
+    /// Drains every complete frame currently in the buffer.
+    fn parse_frames(&mut self, source: usize) -> Result<()> {
+        loop {
+            if self.inbuf.len() < 9 {
+                return Ok(());
+            }
+            let kind = self.inbuf[0];
+            let bits = u64::from_be_bytes(self.inbuf[1..9].try_into().expect("8 bytes"));
+            if bits > MAX_FRAME_BITS {
+                return Err(NetError::Transport {
+                    context: "protocol frame header",
+                    detail: format!("oversized frame from source {source}: {bits} bits"),
+                });
+            }
+            let payload_len = (bits as usize).div_ceil(8);
+            if self.inbuf.len() < 9 + payload_len {
+                return Ok(());
+            }
+            let payload: Vec<u8> = self.inbuf[9..9 + payload_len].to_vec();
+            self.inbuf.drain(..9 + payload_len);
+            if kind != FRAME_RESP {
+                return Err(NetError::ProtocolViolation {
+                    context: "protocol server read",
+                    expected: "a response frame",
+                    got: format!("frame kind {kind} from source {source}"),
+                });
+            }
+            self.inbox.push_back(Response::decode(&payload)?);
+        }
+    }
+
+    /// Writes `buf` fully despite the non-blocking socket, bounded by
+    /// `deadline`.
+    fn write_all_nb(&mut self, buf: &[u8], deadline: Instant) -> Result<()> {
+        let mut written = 0;
+        while written < buf.len() {
+            match self.stream.write(&buf[written..]) {
+                Ok(0) => {
+                    return Err(NetError::Transport {
+                        context: "protocol write",
+                        detail: "connection closed mid-frame".to_string(),
+                    })
+                }
+                Ok(n) => written += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(NetError::Transport {
+                            context: "protocol write",
+                            detail: "write timed out".to_string(),
+                        });
+                    }
+                    std::thread::sleep(POLL_BACKOFF);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(transport_err("protocol write", e)),
+            }
+        }
+        self.stream
+            .flush()
+            .map_err(|e| transport_err("protocol flush", e))
+    }
+}
+
+/// The server end of an event-driven protocol run: every source
+/// connection multiplexed in the calling thread, responses harvested in
+/// arrival order into per-source inboxes.
+#[derive(Debug)]
+pub struct EventTcpServer {
+    conns: Vec<Conn>,
+    stats: NetworkStats,
+}
+
+impl EventTcpServer {
+    fn check(&self, source: usize) -> Result<()> {
+        if source >= self.conns.len() {
+            return Err(NetError::UnknownSource {
+                source,
+                sources: self.conns.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// One sweep over every connection; `true` if any byte arrived.
+    fn poll_once(&mut self) -> Result<bool> {
+        let mut progress = false;
+        for source in 0..self.conns.len() {
+            progress |= self.conns[source].pump(source)?;
+        }
+        Ok(progress)
+    }
+}
+
+impl CommandTransport for EventTcpServer {
+    fn sources(&self) -> usize {
+        self.conns.len()
+    }
+
+    fn send(&mut self, source: usize, cmd: &Command) -> Result<()> {
+        self.check(source)?;
+        charge_command(&mut self.stats, source, cmd)?;
+        let frame = frame_bytes(FRAME_CMD, &cmd.encode());
+        let deadline = Instant::now() + IO_TIMEOUT;
+        self.conns[source].write_all_nb(&frame, deadline)
+    }
+
+    fn recv(&mut self, source: usize) -> Result<Response> {
+        self.check(source)?;
+        let deadline = Instant::now() + IO_TIMEOUT;
+        loop {
+            if let Some(resp) = self.conns[source].inbox.pop_front() {
+                charge_response(&mut self.stats, source, &resp)?;
+                return Ok(resp);
+            }
+            if self.conns[source].closed {
+                return Err(NetError::Transport {
+                    context: "protocol recv",
+                    detail: format!("source {source} disconnected mid-run"),
+                });
+            }
+            let progress = self.poll_once()?;
+            if !progress {
+                if Instant::now() >= deadline {
+                    return Err(NetError::Transport {
+                        context: "protocol recv",
+                        detail: format!("timed out waiting for source {source}"),
+                    });
+                }
+                std::thread::sleep(POLL_BACKOFF);
+            }
+        }
+    }
+
+    fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+}
+
+/// The source end of an event-driven protocol run: a blocking
+/// connection that strictly alternates command reads and response
+/// writes.
+#[derive(Debug)]
+pub struct EventTcpSource {
+    me: usize,
+    stream: TcpStream,
+}
+
+impl EventTcpSource {
+    /// Connects to a protocol server at `addr` and handshakes as
+    /// `source_id` of `sources`, retrying for up to `retry_for`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Transport`] if no connection succeeds within
+    /// `retry_for`; [`NetError::Handshake`] on parameter or fingerprint
+    /// mismatches (a stale source fails here, before any data moves).
+    pub fn connect<A: ToSocketAddrs>(
+        addr: A,
+        source_id: usize,
+        sources: usize,
+        fp: u64,
+        retry_for: Duration,
+    ) -> Result<EventTcpSource> {
+        assert!(source_id < sources, "source id out of range");
+        let deadline = Instant::now() + retry_for;
+        let mut stream = loop {
+            match TcpStream::connect(&addr) {
+                Ok(s) => break s,
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(transport_err("connect", e));
+                    }
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            }
+        };
+        configure(&stream)?;
+        let hello = encode_hello(ROLE_PROTO_SOURCE, source_id as u32, sources as u32, fp);
+        write_frame(&mut stream, FRAME_HELLO, &hello, hello.len() * 8)?;
+        let (ack, _) = expect_frame(&mut stream, FRAME_HELLO)?;
+        let (role, echoed_id, m, got_fp) = decode_hello(&ack)?;
+        if role != ROLE_PROTO_SERVER || echoed_id as usize != source_id || m as usize != sources {
+            return Err(NetError::Handshake {
+                reason: "server ack disagrees with the source parameters".to_string(),
+            });
+        }
+        if got_fp != fp {
+            return Err(NetError::Handshake {
+                reason: format!(
+                    "configuration fingerprint mismatch \
+                     (source {fp:#018x}, server {got_fp:#018x})"
+                ),
+            });
+        }
+        Ok(EventTcpSource {
+            me: source_id,
+            stream,
+        })
+    }
+
+    /// The source id this endpoint handshook as.
+    pub fn source_id(&self) -> usize {
+        self.me
+    }
+}
+
+impl SourceEndpoint for EventTcpSource {
+    fn recv_command(&mut self) -> Result<Command> {
+        let (payload, _) = expect_frame(&mut self.stream, FRAME_CMD)?;
+        Command::decode(&payload)
+    }
+
+    fn send_response(&mut self, resp: Response) -> Result<()> {
+        let buf = resp.encode();
+        write_frame(&mut self.stream, FRAME_RESP, &buf, buf.len() * 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::Message;
+    use crate::protocol::Payload;
+    use std::thread;
+
+    const FP: u64 = 0xBEEF_CAFE;
+
+    fn pair(sources: usize) -> (EventTcpServer, Vec<EventTcpSource>) {
+        let binding = EventServerBinding::bind("127.0.0.1:0").unwrap();
+        let addr = binding.local_addr().unwrap();
+        thread::scope(|scope| {
+            let handles: Vec<_> = (0..sources)
+                .map(|i| {
+                    scope.spawn(move || {
+                        EventTcpSource::connect(addr, i, sources, FP, Duration::from_secs(5))
+                            .unwrap()
+                    })
+                })
+                .collect();
+            let server = binding.accept(sources, FP).unwrap();
+            (
+                server,
+                handles.into_iter().map(|h| h.join().unwrap()).collect(),
+            )
+        })
+    }
+
+    #[test]
+    fn command_response_roundtrip_with_charging() {
+        let (mut server, mut sources) = pair(2);
+        let msg = Message::CostReport { cost: 2.5 };
+        let payload = Payload::of(&msg);
+        let bits = payload.bits();
+
+        let handle = thread::spawn(move || {
+            for src in &mut sources {
+                let cmd = src.recv_command().unwrap();
+                assert_eq!(cmd, Command::Stage { index: 1 });
+                src.send_response(Response::Up {
+                    payload: Payload::of(&Message::CostReport { cost: 2.5 }),
+                    ops: 7,
+                    seconds: 0.0,
+                })
+                .unwrap();
+            }
+            sources
+        });
+
+        for i in 0..2 {
+            server.send(i, &Command::Stage { index: 1 }).unwrap();
+        }
+        // Harvest in reverse order: the poll loop buffers out-of-order
+        // arrivals per source.
+        for i in [1usize, 0] {
+            match server.recv(i).unwrap() {
+                Response::Up { payload, ops, .. } => {
+                    assert_eq!(ops, 7);
+                    assert_eq!(payload.decode().unwrap(), msg);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        handle.join().unwrap();
+        assert_eq!(server.stats().total_uplink_bits(), 2 * bits);
+        assert_eq!(
+            server.stats().uplink_bits_by_kind()["cost-report"],
+            2 * bits
+        );
+        assert_eq!(
+            server.stats().total_downlink_bits(),
+            0,
+            "Stage is control-plane"
+        );
+    }
+
+    #[test]
+    fn deliver_charges_downlink() {
+        let (mut server, mut sources) = pair(1);
+        let payload = Payload::of(&Message::SampleAllocation { size: 5 });
+        let bits = payload.bits();
+        let handle = thread::spawn(move || {
+            let cmd = sources[0].recv_command().unwrap();
+            assert!(matches!(cmd, Command::Deliver { .. }));
+            sources[0]
+                .send_response(Response::Done {
+                    rows: 0,
+                    cols: 0,
+                    ops: 0,
+                    seconds: 0.0,
+                })
+                .unwrap();
+        });
+        server.send(0, &Command::Deliver { payload }).unwrap();
+        server.recv(0).unwrap();
+        handle.join().unwrap();
+        assert_eq!(server.stats().total_downlink_bits(), bits);
+    }
+
+    #[test]
+    fn disconnect_mid_stage_is_a_typed_error() {
+        let (mut server, sources) = pair(1);
+        drop(sources); // the source vanishes before answering
+        server.send(0, &Command::Describe).ok();
+        let err = server.recv(0).unwrap_err();
+        assert!(
+            matches!(err, NetError::Transport { ref detail, .. } if detail.contains("disconnected")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn stale_fingerprint_rejected_at_handshake() {
+        let binding = EventServerBinding::bind("127.0.0.1:0").unwrap();
+        let addr = binding.local_addr().unwrap();
+        let src = thread::spawn(move || {
+            EventTcpSource::connect(addr, 0, 1, FP ^ 1, Duration::from_secs(5))
+        });
+        let err = binding.accept(1, FP).unwrap_err();
+        assert!(matches!(err, NetError::Handshake { .. }));
+        assert!(src.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn replicated_source_cannot_join_a_protocol_run() {
+        use crate::tcp::TcpSource;
+        let binding = EventServerBinding::bind("127.0.0.1:0").unwrap();
+        let addr = binding.local_addr().unwrap();
+        let src = thread::spawn(move || TcpSource::connect(addr, 0, 1, FP, Duration::from_secs(5)));
+        let err = binding.accept(1, FP).unwrap_err();
+        assert!(
+            matches!(err, NetError::Handshake { ref reason } if reason.contains("replicated")),
+            "{err:?}"
+        );
+        assert!(src.join().unwrap().is_err());
+    }
+}

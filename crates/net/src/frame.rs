@@ -21,6 +21,12 @@ pub const FRAME_MSG: u8 = 1;
 pub const FRAME_HELLO: u8 = 2;
 /// Frame kind: end-of-run digest exchange (see [`crate::tcp::RunDigest`]).
 pub const FRAME_FIN: u8 = 3;
+/// Frame kind: one encoded protocol [`crate::protocol::Command`]
+/// (server → source, server-driven protocol).
+pub const FRAME_CMD: u8 = 4;
+/// Frame kind: one encoded protocol [`crate::protocol::Response`]
+/// (source → server, server-driven protocol).
+pub const FRAME_RESP: u8 = 5;
 
 /// Upper bound on a frame's payload bit length (8 GiB of payload). A
 /// header claiming more is rejected *before* any allocation — garbage or

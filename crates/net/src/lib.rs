@@ -44,15 +44,19 @@
 
 pub mod bitstream;
 mod error;
+pub mod event;
 pub mod frame;
 pub mod messages;
 pub mod network;
+pub mod protocol;
 pub mod tcp;
 pub mod transport;
 pub mod wire;
 
 pub use error::NetError;
+pub use event::{EventServerBinding, EventTcpServer, EventTcpSource};
 pub use network::{Network, NetworkStats};
+pub use protocol::{Command, CommandTransport, Payload, Response, SourceEndpoint};
 pub use tcp::{RunDigest, TcpServer, TcpServerBinding, TcpSource};
 pub use transport::{Transport, TransportLink};
 

@@ -213,17 +213,40 @@ impl Message {
         }
     }
 
+    /// The wire tag byte of this message (the first 8 bits of its
+    /// encoding).
+    fn tag(&self) -> u8 {
+        match self {
+            Message::RawData { .. } => TAG_RAW,
+            Message::Coreset { .. } => TAG_CORESET,
+            Message::SvdSummary { .. } => TAG_SVD,
+            Message::Basis { .. } => TAG_BASIS,
+            Message::CostReport { .. } => TAG_COST,
+            Message::SampleAllocation { .. } => TAG_ALLOC,
+            Message::Centers { .. } => TAG_CENTERS,
+        }
+    }
+
+    /// Maps an encoded payload's leading tag byte to its kind string —
+    /// what a transport that holds only the encoded bytes charges to
+    /// the by-kind counters. [`Message::kind`] routes through this
+    /// table, so the two can never drift apart.
+    pub(crate) fn kind_of_tag(tag: u8) -> Result<&'static str> {
+        match tag {
+            TAG_RAW => Ok("raw-data"),
+            TAG_CORESET => Ok("coreset"),
+            TAG_SVD => Ok("svd-summary"),
+            TAG_BASIS => Ok("basis"),
+            TAG_COST => Ok("cost-report"),
+            TAG_ALLOC => Ok("sample-allocation"),
+            TAG_CENTERS => Ok("centers"),
+            other => Err(NetError::UnknownMessageTag { tag: other }),
+        }
+    }
+
     /// Short human-readable kind (for logs and stats).
     pub fn kind(&self) -> &'static str {
-        match self {
-            Message::RawData { .. } => "raw-data",
-            Message::Coreset { .. } => "coreset",
-            Message::SvdSummary { .. } => "svd-summary",
-            Message::Basis { .. } => "basis",
-            Message::CostReport { .. } => "cost-report",
-            Message::SampleAllocation { .. } => "sample-allocation",
-            Message::Centers { .. } => "centers",
-        }
+        Message::kind_of_tag(self.tag()).expect("every variant has a kind")
     }
 }
 

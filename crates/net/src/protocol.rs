@@ -1,0 +1,803 @@
+//! The server-driven protocol: command/response frames for the
+//! non-replicated execution model.
+//!
+//! The replicated SPMD backend ([`crate::tcp`]) runs the *whole*
+//! deterministic pipeline in every process and verifies byte equality.
+//! This module defines the vocabulary of the paper's actual deployment
+//! model instead: one **server driver** owns the stage plan and emits
+//! [`Command`]s; each **source executor** holds *only its own shard*,
+//! answers with [`Response`]s, and never observes another source's data.
+//!
+//! Two planes travel over one connection:
+//!
+//! * the **control plane** — stage advancement, shard-shape descriptions,
+//!   per-phase op counts and timings, the final counter report. Control
+//!   frames are *not* charged to the [`NetworkStats`]: they carry plan
+//!   coordination the paper's model treats as shared configuration.
+//! * the **data plane** — the exact [`Message`] encodings of the
+//!   in-process simulation, wrapped as [`Payload`]s inside
+//!   [`Command::Deliver`] (downlink) and [`Response::Up`] (uplink).
+//!   Every payload is charged its exact encoded bit length under its
+//!   message kind, so a protocol run's `NetworkStats` is bit-identical
+//!   to the simulation by construction.
+//!
+//! Payloads stay *encoded* end to end — even the in-process channel
+//! backend hands the receiver the encoded bytes to decode — so anything
+//! lossy about the wire format (quantization, f32 auxiliaries) shapes
+//! the computation identically on every backend.
+//!
+//! Backends:
+//!
+//! * [`channel_pairs`] — in-process mpsc channels, one executor thread
+//!   per source (what `ekm run` uses);
+//! * [`crate::event`] — a non-blocking `std::net` backend whose server
+//!   multiplexes every source connection in one poll loop.
+
+use crate::messages::Message;
+use crate::network::NetworkStats;
+use crate::{NetError, Result};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::time::Duration;
+
+/// One data-plane message, kept in its exact wire encoding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Payload {
+    bytes: Vec<u8>,
+    bits: u64,
+}
+
+impl Payload {
+    /// Encodes a message into a payload.
+    pub fn of(msg: &Message) -> Payload {
+        let (bytes, bits) = msg.encode();
+        Payload {
+            bytes,
+            bits: bits as u64,
+        }
+    }
+
+    /// Wraps already-encoded bytes (used by the frame decoders).
+    pub(crate) fn from_encoded(bytes: Vec<u8>, bits: u64) -> Payload {
+        Payload { bytes, bits }
+    }
+
+    /// Decodes the carried message.
+    ///
+    /// # Errors
+    ///
+    /// Wire-format decode failures.
+    pub fn decode(&self) -> Result<Message> {
+        Message::decode(&self.bytes, self.bits as usize)
+    }
+
+    /// Exact encoded bit length — what the transport charges.
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// The message kind, read from the leading tag byte without
+    /// decoding the payload.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownMessageTag`] for unrecognized or empty
+    /// payloads.
+    pub fn kind(&self) -> Result<&'static str> {
+        let tag = self
+            .bytes
+            .first()
+            .copied()
+            .ok_or(NetError::UnknownMessageTag { tag: 0 })?;
+        Message::kind_of_tag(tag)
+    }
+
+    fn encoded(&self) -> (&[u8], u64) {
+        (&self.bytes, self.bits)
+    }
+}
+
+/// A server → source protocol command.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Command {
+    /// Report the shard's current shape (the first round of every run;
+    /// the driver validates dimensional agreement from the answers).
+    Describe,
+    /// Run the source-local part of stage `index` of the shared plan.
+    Stage {
+        /// Index into the agreed stage list.
+        index: u32,
+    },
+    /// A charged data-plane downlink payload (disPCA basis broadcast,
+    /// disSS sample allocation).
+    Deliver {
+        /// The encoded message.
+        payload: Payload,
+    },
+    /// Uplink the FSS basis (sent to the single source that owns one).
+    TransmitBasis,
+    /// Uplink the final summary (coreset or raw points).
+    Transmit,
+    /// End of run: the driver's totals, answered by a [`Response::Fin`]
+    /// counter report.
+    Finish {
+        /// Total uplink bits the server charged.
+        uplink_bits: u64,
+        /// Total downlink bits the server charged.
+        downlink_bits: u64,
+        /// FNV-1a hash of the final centers' bit patterns.
+        centers_hash: u64,
+    },
+    /// The driver failed; the executor should stop with an error.
+    Abort {
+        /// The driver-side failure.
+        reason: String,
+    },
+}
+
+/// A source → server protocol response.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Response {
+    /// A local phase finished; control-plane metadata only.
+    Done {
+        /// Shard rows after the phase.
+        rows: u64,
+        /// Shard columns after the phase.
+        cols: u64,
+        /// Deterministic operation count of the phase.
+        ops: u64,
+        /// Wall-clock seconds of the phase.
+        seconds: f64,
+    },
+    /// A charged data-plane uplink payload plus the phase metadata.
+    Up {
+        /// The encoded message.
+        payload: Payload,
+        /// Deterministic operation count of the phase.
+        ops: u64,
+        /// Wall-clock seconds of the phase.
+        seconds: f64,
+    },
+    /// Counter report answering [`Command::Finish`].
+    Fin {
+        /// Uplink bits this source observed itself sending.
+        uplink_bits: u64,
+        /// Downlink bits this source observed itself receiving.
+        downlink_bits: u64,
+    },
+    /// The executor failed; carries the failure for the driver.
+    Err {
+        /// The executor-side failure.
+        reason: String,
+    },
+}
+
+const CMD_DESCRIBE: u8 = 1;
+const CMD_STAGE: u8 = 2;
+const CMD_DELIVER: u8 = 3;
+const CMD_TRANSMIT_BASIS: u8 = 4;
+const CMD_TRANSMIT: u8 = 5;
+const CMD_FINISH: u8 = 6;
+const CMD_ABORT: u8 = 7;
+
+const RESP_DONE: u8 = 1;
+const RESP_UP: u8 = 2;
+const RESP_FIN: u8 = 3;
+const RESP_ERR: u8 = 4;
+
+fn push_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn push_payload(buf: &mut Vec<u8>, payload: &Payload) {
+    let (bytes, bits) = payload.encoded();
+    push_u64(buf, bits);
+    buf.extend_from_slice(bytes);
+}
+
+fn push_str(buf: &mut Vec<u8>, s: &str) {
+    push_u64(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    context: &'static str,
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(buf: &'a [u8], context: &'static str) -> Self {
+        ByteReader {
+            buf,
+            pos: 0,
+            context,
+        }
+    }
+
+    fn short(&self) -> NetError {
+        NetError::Transport {
+            context: self.context,
+            detail: format!("truncated frame ({} bytes)", self.buf.len()),
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        let v = *self.buf.get(self.pos).ok_or_else(|| self.short())?;
+        self.pos += 1;
+        Ok(v)
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        let end = self.pos + 8;
+        let slice = self.buf.get(self.pos..end).ok_or_else(|| self.short())?;
+        self.pos = end;
+        Ok(u64::from_be_bytes(slice.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn bytes(&mut self, len: usize) -> Result<Vec<u8>> {
+        let end = self.pos + len;
+        let slice = self.buf.get(self.pos..end).ok_or_else(|| self.short())?;
+        self.pos = end;
+        Ok(slice.to_vec())
+    }
+
+    fn payload(&mut self) -> Result<Payload> {
+        let bits = self.u64()?;
+        let bytes = self.bytes((bits as usize).div_ceil(8))?;
+        Ok(Payload::from_encoded(bytes, bits))
+    }
+
+    fn string(&mut self) -> Result<String> {
+        let len = self.u64()? as usize;
+        String::from_utf8(self.bytes(len)?).map_err(|_| NetError::Transport {
+            context: self.context,
+            detail: "non-utf8 reason string".to_string(),
+        })
+    }
+
+    fn finish(&self) -> Result<()> {
+        if self.pos != self.buf.len() {
+            return Err(NetError::Transport {
+                context: self.context,
+                detail: format!(
+                    "{} trailing bytes after a complete frame",
+                    self.buf.len() - self.pos
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Command {
+    /// The frame name, for error messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Command::Describe => "describe",
+            Command::Stage { .. } => "stage",
+            Command::Deliver { .. } => "deliver",
+            Command::TransmitBasis => "transmit-basis",
+            Command::Transmit => "transmit",
+            Command::Finish { .. } => "finish",
+            Command::Abort { .. } => "abort",
+        }
+    }
+
+    /// Encodes the command for a socket frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Command::Describe => buf.push(CMD_DESCRIBE),
+            Command::Stage { index } => {
+                buf.push(CMD_STAGE);
+                push_u64(&mut buf, *index as u64);
+            }
+            Command::Deliver { payload } => {
+                buf.push(CMD_DELIVER);
+                push_payload(&mut buf, payload);
+            }
+            Command::TransmitBasis => buf.push(CMD_TRANSMIT_BASIS),
+            Command::Transmit => buf.push(CMD_TRANSMIT),
+            Command::Finish {
+                uplink_bits,
+                downlink_bits,
+                centers_hash,
+            } => {
+                buf.push(CMD_FINISH);
+                push_u64(&mut buf, *uplink_bits);
+                push_u64(&mut buf, *downlink_bits);
+                push_u64(&mut buf, *centers_hash);
+            }
+            Command::Abort { reason } => {
+                buf.push(CMD_ABORT);
+                push_str(&mut buf, reason);
+            }
+        }
+        buf
+    }
+
+    /// Decodes a command frame.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Transport`] on truncated or trailing bytes,
+    /// [`NetError::ProtocolViolation`] on an unknown tag.
+    pub fn decode(buf: &[u8]) -> Result<Command> {
+        let mut r = ByteReader::new(buf, "command decode");
+        let cmd = match r.u8()? {
+            CMD_DESCRIBE => Command::Describe,
+            CMD_STAGE => Command::Stage {
+                index: r.u64()? as u32,
+            },
+            CMD_DELIVER => Command::Deliver {
+                payload: r.payload()?,
+            },
+            CMD_TRANSMIT_BASIS => Command::TransmitBasis,
+            CMD_TRANSMIT => Command::Transmit,
+            CMD_FINISH => Command::Finish {
+                uplink_bits: r.u64()?,
+                downlink_bits: r.u64()?,
+                centers_hash: r.u64()?,
+            },
+            CMD_ABORT => Command::Abort {
+                reason: r.string()?,
+            },
+            other => {
+                return Err(NetError::ProtocolViolation {
+                    context: "command decode",
+                    expected: "a command tag",
+                    got: format!("tag {other}"),
+                })
+            }
+        };
+        r.finish()?;
+        Ok(cmd)
+    }
+}
+
+impl Response {
+    /// The frame name, for error messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Response::Done { .. } => "done",
+            Response::Up { .. } => "up",
+            Response::Fin { .. } => "fin",
+            Response::Err { .. } => "err",
+        }
+    }
+
+    /// Encodes the response for a socket frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Response::Done {
+                rows,
+                cols,
+                ops,
+                seconds,
+            } => {
+                buf.push(RESP_DONE);
+                push_u64(&mut buf, *rows);
+                push_u64(&mut buf, *cols);
+                push_u64(&mut buf, *ops);
+                push_u64(&mut buf, seconds.to_bits());
+            }
+            Response::Up {
+                payload,
+                ops,
+                seconds,
+            } => {
+                buf.push(RESP_UP);
+                push_u64(&mut buf, *ops);
+                push_u64(&mut buf, seconds.to_bits());
+                push_payload(&mut buf, payload);
+            }
+            Response::Fin {
+                uplink_bits,
+                downlink_bits,
+            } => {
+                buf.push(RESP_FIN);
+                push_u64(&mut buf, *uplink_bits);
+                push_u64(&mut buf, *downlink_bits);
+            }
+            Response::Err { reason } => {
+                buf.push(RESP_ERR);
+                push_str(&mut buf, reason);
+            }
+        }
+        buf
+    }
+
+    /// Decodes a response frame.
+    ///
+    /// # Errors
+    ///
+    /// See [`Command::decode`].
+    pub fn decode(buf: &[u8]) -> Result<Response> {
+        let mut r = ByteReader::new(buf, "response decode");
+        let resp = match r.u8()? {
+            RESP_DONE => Response::Done {
+                rows: r.u64()?,
+                cols: r.u64()?,
+                ops: r.u64()?,
+                seconds: r.f64()?,
+            },
+            RESP_UP => Response::Up {
+                ops: r.u64()?,
+                seconds: r.f64()?,
+                payload: r.payload()?,
+            },
+            RESP_FIN => Response::Fin {
+                uplink_bits: r.u64()?,
+                downlink_bits: r.u64()?,
+            },
+            RESP_ERR => Response::Err {
+                reason: r.string()?,
+            },
+            other => {
+                return Err(NetError::ProtocolViolation {
+                    context: "response decode",
+                    expected: "a response tag",
+                    got: format!("tag {other}"),
+                })
+            }
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+/// The server side of a protocol run: one connection (or channel) per
+/// source, exact [`NetworkStats`] accounting of the data plane.
+///
+/// Implementations must charge [`Command::Deliver`] payloads to the
+/// downlink and [`Response::Up`] payloads to the uplink as the frames
+/// pass through ([`charge_command`] / [`charge_response`] do exactly
+/// that), so the driver never touches the counters itself.
+pub trait CommandTransport {
+    /// Number of sources.
+    fn sources(&self) -> usize;
+
+    /// Sends `cmd` to source `source`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures (a disconnected source surfaces here as a
+    /// typed [`NetError::Transport`], never a hang).
+    fn send(&mut self, source: usize, cmd: &Command) -> Result<()>;
+
+    /// Receives the next response from source `source`. Backends may
+    /// harvest other sources' responses in arrival order while waiting.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and decode failures.
+    fn recv(&mut self, source: usize) -> Result<Response>;
+
+    /// Read access to the accumulated data-plane statistics.
+    fn stats(&self) -> &NetworkStats;
+}
+
+/// The source side of a protocol run.
+pub trait SourceEndpoint {
+    /// Blocks for the next command from the server.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures (a vanished server surfaces as a typed
+    /// [`NetError::Transport`]).
+    fn recv_command(&mut self) -> Result<Command>;
+
+    /// Sends a response to the server.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    fn send_response(&mut self, resp: Response) -> Result<()>;
+}
+
+/// Charges a command's data-plane payload (if any) to the downlink.
+///
+/// # Errors
+///
+/// [`NetError::UnknownMessageTag`] for a malformed payload.
+pub fn charge_command(stats: &mut NetworkStats, source: usize, cmd: &Command) -> Result<()> {
+    if let Command::Deliver { payload } = cmd {
+        payload.kind()?; // malformed payloads are rejected before charging
+        stats.charge_downlink(source, payload.bits() as usize);
+    }
+    Ok(())
+}
+
+/// Charges a response's data-plane payload (if any) to the uplink.
+///
+/// # Errors
+///
+/// [`NetError::UnknownMessageTag`] for a malformed payload.
+pub fn charge_response(stats: &mut NetworkStats, source: usize, resp: &Response) -> Result<()> {
+    if let Response::Up { payload, .. } = resp {
+        let kind = payload.kind()?;
+        stats.charge_uplink(source, payload.bits() as usize, kind);
+    }
+    Ok(())
+}
+
+/// How long a channel-backend receive waits before declaring the peer
+/// gone (an executor thread that panicked drops its endpoint, which
+/// surfaces immediately; the timeout only guards genuine wedges).
+pub const CHANNEL_TIMEOUT: Duration = Duration::from_secs(600);
+
+/// The server half of the in-process channel backend.
+#[derive(Debug)]
+pub struct ChannelHub {
+    to_sources: Vec<Sender<Command>>,
+    from_sources: Vec<Receiver<Response>>,
+    stats: NetworkStats,
+}
+
+/// The source half of the in-process channel backend.
+#[derive(Debug)]
+pub struct ChannelEndpoint {
+    commands: Receiver<Command>,
+    responses: Sender<Response>,
+}
+
+/// Builds the in-process channel backend for `m` sources: one
+/// [`ChannelHub`] for the driver thread and one [`ChannelEndpoint`] per
+/// executor thread.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+pub fn channel_pairs(m: usize) -> (ChannelHub, Vec<ChannelEndpoint>) {
+    assert!(m > 0, "protocol needs at least one source");
+    let mut to_sources = Vec::with_capacity(m);
+    let mut from_sources = Vec::with_capacity(m);
+    let mut endpoints = Vec::with_capacity(m);
+    for _ in 0..m {
+        let (cmd_tx, cmd_rx) = channel();
+        let (resp_tx, resp_rx) = channel();
+        to_sources.push(cmd_tx);
+        from_sources.push(resp_rx);
+        endpoints.push(ChannelEndpoint {
+            commands: cmd_rx,
+            responses: resp_tx,
+        });
+    }
+    (
+        ChannelHub {
+            to_sources,
+            from_sources,
+            stats: NetworkStats::new(m),
+        },
+        endpoints,
+    )
+}
+
+impl ChannelHub {
+    fn check(&self, source: usize) -> Result<()> {
+        if source >= self.to_sources.len() {
+            return Err(NetError::UnknownSource {
+                source,
+                sources: self.to_sources.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl CommandTransport for ChannelHub {
+    fn sources(&self) -> usize {
+        self.to_sources.len()
+    }
+
+    fn send(&mut self, source: usize, cmd: &Command) -> Result<()> {
+        self.check(source)?;
+        charge_command(&mut self.stats, source, cmd)?;
+        self.to_sources[source]
+            .send(cmd.clone())
+            .map_err(|_| NetError::Transport {
+                context: "channel send",
+                detail: format!("source {source} hung up"),
+            })
+    }
+
+    fn recv(&mut self, source: usize) -> Result<Response> {
+        self.check(source)?;
+        let resp = self.from_sources[source]
+            .recv_timeout(CHANNEL_TIMEOUT)
+            .map_err(|e| NetError::Transport {
+                context: "channel recv",
+                detail: format!("source {source}: {e}"),
+            })?;
+        charge_response(&mut self.stats, source, &resp)?;
+        Ok(resp)
+    }
+
+    fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+}
+
+impl SourceEndpoint for ChannelEndpoint {
+    fn recv_command(&mut self) -> Result<Command> {
+        self.commands
+            .recv_timeout(CHANNEL_TIMEOUT)
+            .map_err(|e| NetError::Transport {
+                context: "channel recv_command",
+                detail: format!("server: {e}"),
+            })
+    }
+
+    fn send_response(&mut self, resp: Response) -> Result<()> {
+        self.responses.send(resp).map_err(|_| NetError::Transport {
+            context: "channel send_response",
+            detail: "server hung up".to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ekm_linalg::Matrix;
+
+    fn payload() -> Payload {
+        Payload::of(&Message::Coreset {
+            points: Matrix::from_fn(3, 2, |i, j| (i * 2 + j) as f64 * 0.5),
+            weights: vec![1.0, 2.0, 3.0],
+            delta: 0.25,
+            precision: crate::wire::Precision::Full,
+            weights_precision: crate::wire::Precision::Full,
+        })
+    }
+
+    #[test]
+    fn payload_preserves_exact_encoding() {
+        let msg = Message::CostReport { cost: 1.5 };
+        let p = Payload::of(&msg);
+        let (_, bits) = msg.encode();
+        assert_eq!(p.bits(), bits as u64);
+        assert_eq!(p.kind().unwrap(), "cost-report");
+        assert_eq!(p.decode().unwrap(), msg);
+    }
+
+    #[test]
+    fn commands_roundtrip() {
+        for cmd in [
+            Command::Describe,
+            Command::Stage { index: 3 },
+            Command::Deliver { payload: payload() },
+            Command::TransmitBasis,
+            Command::Transmit,
+            Command::Finish {
+                uplink_bits: 10,
+                downlink_bits: 20,
+                centers_hash: 0xFEED,
+            },
+            Command::Abort {
+                reason: "boom".to_string(),
+            },
+        ] {
+            assert_eq!(
+                Command::decode(&cmd.encode()).unwrap(),
+                cmd,
+                "{}",
+                cmd.name()
+            );
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for resp in [
+            Response::Done {
+                rows: 5,
+                cols: 7,
+                ops: 11,
+                seconds: 0.25,
+            },
+            Response::Up {
+                payload: payload(),
+                ops: 3,
+                seconds: 0.5,
+            },
+            Response::Fin {
+                uplink_bits: 1,
+                downlink_bits: 2,
+            },
+            Response::Err {
+                reason: "bad".to_string(),
+            },
+        ] {
+            assert_eq!(
+                Response::decode(&resp.encode()).unwrap(),
+                resp,
+                "{}",
+                resp.name()
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_frames_are_typed_errors() {
+        assert!(matches!(
+            Command::decode(&[99]),
+            Err(NetError::ProtocolViolation { .. })
+        ));
+        assert!(matches!(
+            Response::decode(&[99]),
+            Err(NetError::ProtocolViolation { .. })
+        ));
+        // Truncated stage index.
+        assert!(matches!(
+            Command::decode(&[CMD_STAGE, 0, 0]),
+            Err(NetError::Transport { .. })
+        ));
+        // Trailing garbage.
+        let mut buf = Command::Describe.encode();
+        buf.push(0);
+        assert!(matches!(
+            Command::decode(&buf),
+            Err(NetError::Transport { .. })
+        ));
+    }
+
+    #[test]
+    fn channel_backend_routes_and_charges() {
+        let (mut hub, mut eps) = channel_pairs(2);
+        let p = payload();
+        let bits = p.bits();
+
+        // Downlink: Deliver is charged, Stage is not.
+        hub.send(0, &Command::Stage { index: 0 }).unwrap();
+        hub.send(1, &Command::Deliver { payload: p.clone() })
+            .unwrap();
+        assert_eq!(hub.stats().total_downlink_bits(), bits);
+        assert_eq!(hub.stats().downlink_bits(1), bits);
+        assert_eq!(eps[0].recv_command().unwrap(), Command::Stage { index: 0 });
+        assert!(matches!(
+            eps[1].recv_command().unwrap(),
+            Command::Deliver { .. }
+        ));
+
+        // Uplink: Up is charged under its message kind, Done is not.
+        eps[0]
+            .send_response(Response::Done {
+                rows: 1,
+                cols: 1,
+                ops: 0,
+                seconds: 0.0,
+            })
+            .unwrap();
+        eps[1]
+            .send_response(Response::Up {
+                payload: p,
+                ops: 0,
+                seconds: 0.0,
+            })
+            .unwrap();
+        hub.recv(0).unwrap();
+        hub.recv(1).unwrap();
+        assert_eq!(hub.stats().total_uplink_bits(), bits);
+        assert_eq!(hub.stats().uplink_bits_by_kind()["coreset"], bits);
+        assert_eq!(hub.stats().total_uplink_messages(), 1);
+    }
+
+    #[test]
+    fn dropped_endpoint_is_a_typed_error() {
+        let (mut hub, eps) = channel_pairs(1);
+        drop(eps);
+        assert!(matches!(
+            hub.send(0, &Command::Describe),
+            Err(NetError::Transport { .. })
+        ));
+        assert!(matches!(hub.recv(0), Err(NetError::Transport { .. })));
+    }
+}

@@ -43,24 +43,24 @@ use ekm_linalg::Matrix;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
-const MAGIC: u32 = 0x454B_4D31; // "EKM1"
-const VERSION: u16 = 1;
-const ROLE_SOURCE: u8 = 0;
-const ROLE_SERVER: u8 = 1;
+pub(crate) const MAGIC: u32 = 0x454B_4D31; // "EKM1"
+pub(crate) const VERSION: u16 = 1;
+pub(crate) const ROLE_SOURCE: u8 = 0;
+pub(crate) const ROLE_SERVER: u8 = 1;
 
 /// Per-read/write socket timeout. Generous because legitimate gaps are
 /// compute (a source may run a local SVD between frames), but bounded so
 /// a hung peer fails a CI run instead of wedging it.
 pub const IO_TIMEOUT: Duration = Duration::from_secs(120);
 
-fn transport_err(context: &'static str, e: std::io::Error) -> NetError {
+pub(crate) fn transport_err(context: &'static str, e: std::io::Error) -> NetError {
     NetError::Transport {
         context,
         detail: e.to_string(),
     }
 }
 
-fn configure(stream: &TcpStream) -> Result<()> {
+pub(crate) fn configure(stream: &TcpStream) -> Result<()> {
     stream
         .set_nodelay(true)
         .and_then(|()| stream.set_read_timeout(Some(IO_TIMEOUT)))
@@ -86,7 +86,7 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-fn encode_hello(role: u8, source_id: u32, sources: u32, fp: u64) -> Vec<u8> {
+pub(crate) fn encode_hello(role: u8, source_id: u32, sources: u32, fp: u64) -> Vec<u8> {
     let mut p = Vec::with_capacity(23);
     p.extend_from_slice(&MAGIC.to_be_bytes());
     p.extend_from_slice(&VERSION.to_be_bytes());
@@ -97,7 +97,7 @@ fn encode_hello(role: u8, source_id: u32, sources: u32, fp: u64) -> Vec<u8> {
     p
 }
 
-fn decode_hello(payload: &[u8]) -> Result<(u8, u32, u32, u64)> {
+pub(crate) fn decode_hello(payload: &[u8]) -> Result<(u8, u32, u32, u64)> {
     if payload.len() != 23 {
         return Err(NetError::Handshake {
             reason: format!("hello frame of {} bytes (expected 23)", payload.len()),
@@ -171,7 +171,7 @@ impl RunDigest {
 
 /// FNV-1a over a matrix's shape and raw `f64` bit patterns — equal iff
 /// the matrices are bit-identical (NaN payloads included).
-fn hash_matrix(m: &Matrix) -> u64 {
+pub(crate) fn hash_matrix(m: &Matrix) -> u64 {
     let mut bytes = Vec::with_capacity(16 + m.as_slice().len() * 8);
     bytes.extend_from_slice(&(m.rows() as u64).to_be_bytes());
     bytes.extend_from_slice(&(m.cols() as u64).to_be_bytes());

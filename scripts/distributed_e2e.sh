@@ -1,15 +1,19 @@
 #!/usr/bin/env bash
 # End-to-end distributed smoke test: launches `ekm serve` plus N real
 # `ekm source` processes over loopback TCP and asserts that every
-# process exits cleanly, that the server measured nonzero uplink bits,
-# and that the digest line confirms the run was bit-identical across
-# all processes. Run locally or from the CI `distributed-e2e` matrix:
+# process exits cleanly and that the run's accounting holds. Run
+# locally or from the CI `distributed-e2e` matrix:
 #
-#   cargo build --release && scripts/distributed_e2e.sh [core|streaming|all]
+#   cargo build --release && scripts/distributed_e2e.sh [core|streaming|non-replicated|all]
 #
-# `core` runs the named/arbitrary/centralized rounds, `streaming` the
-# per-source merge-and-reduce pipelines (including --precision f32 and
-# --leaf-size); the default `all` runs both.
+# `core` and `streaming` run in the replicated SPMD debug mode
+# (`--replicated-check`): every process recomputes the full run and the
+# transport verifies byte equality frame by frame — the strongest
+# equivalence proof. `non-replicated` runs the default server-driven
+# protocol — sources hold only their shard, the server drives the plan
+# over one event-driven thread — and asserts the uplink bits equal the
+# in-process simulation's (`ekm run`) while no divergence-check
+# machinery ran. The default `all` runs everything.
 set -euo pipefail
 
 SUITE=${1:-all}
@@ -23,24 +27,34 @@ ROUND_TIMEOUT=${EKM_E2E_TIMEOUT:-180}
 LOGDIR=$(mktemp -d)
 trap 'rm -rf "$LOGDIR"' EXIT
 
+# run_round <label> <mode> <sources> <flags...>
+#   mode: "replicated" adds --replicated-check and asserts the digest
+#   verification lines; "protocol" runs the server-driven default and
+#   asserts the accounting lines plus bit-equality with `ekm run`.
 run_round() {
     local label=$1
+    shift
+    local mode=$1
     shift
     local sources=$1
     shift
     local common=("$@")
+    local mode_flags=()
+    if [[ "$mode" == "replicated" ]]; then
+        mode_flags=(--replicated-check)
+    fi
 
-    echo "=== ${label}: ${common[*]} (${sources} sources) ==="
+    echo "=== ${label} [${mode}]: ${common[*]} (${sources} sources) ==="
     timeout --kill-after=10 "$ROUND_TIMEOUT" \
-        "$BIN" serve --listen "$ADDR" --sources "$sources" "${common[@]}" \
-        >"$LOGDIR/serve.log" 2>&1 &
+        "$BIN" serve --listen "$ADDR" --sources "$sources" "${mode_flags[@]}" \
+        "${common[@]}" >"$LOGDIR/serve.log" 2>&1 &
     local serve_pid=$!
 
     local src_pids=()
     for ((i = 0; i < sources; i++)); do
         timeout --kill-after=10 "$ROUND_TIMEOUT" \
             "$BIN" source --connect "$ADDR" --source-id "$i" --sources "$sources" \
-            "${common[@]}" >"$LOGDIR/source-$i.log" 2>&1 &
+            "${mode_flags[@]}" "${common[@]}" >"$LOGDIR/source-$i.log" 2>&1 &
         src_pids+=($!)
     done
 
@@ -75,29 +89,66 @@ run_round() {
         echo "FAIL: server reported no uplink bits"
         exit 1
     fi
-    # …and every process must have verified the shared digest.
-    if ! grep -q "verified bit-identical" "$LOGDIR/serve.log"; then
-        echo "FAIL: server did not verify the run digest"
-        exit 1
-    fi
-    for ((i = 0; i < sources; i++)); do
-        if ! grep -q "verified bit-identical" "$LOGDIR/source-$i.log"; then
-            echo "FAIL: source $i did not verify the run digest"
+
+    if [[ "$mode" == "replicated" ]]; then
+        # …and every process must have verified the shared digest.
+        if ! grep -q "verified bit-identical" "$LOGDIR/serve.log"; then
+            echo "FAIL: server did not verify the run digest"
             exit 1
         fi
-    done
-    echo "OK: ${label} transmitted ${bits} uplink bits, digests verified"
+        for ((i = 0; i < sources; i++)); do
+            if ! grep -q "verified bit-identical" "$LOGDIR/source-$i.log"; then
+                echo "FAIL: source $i did not verify the run digest"
+                exit 1
+            fi
+        done
+    else
+        # …the server must have driven the protocol without any
+        # replication or divergence-check machinery…
+        if ! grep -q "server-driven protocol" "$LOGDIR/serve.log"; then
+            echo "FAIL: server did not run the server-driven protocol"
+            exit 1
+        fi
+        if grep -qi "replicated\|bit-identical across" "$LOGDIR/serve.log"; then
+            echo "FAIL: divergence-check machinery ran in protocol mode"
+            exit 1
+        fi
+        if ! grep -q "per-source counters verified" "$LOGDIR/serve.log"; then
+            echo "FAIL: server did not verify the per-source counters"
+            exit 1
+        fi
+        for ((i = 0; i < sources; i++)); do
+            if ! grep -q "counters verified by the server" "$LOGDIR/source-$i.log"; then
+                echo "FAIL: source $i did not complete the protocol"
+                exit 1
+            fi
+        done
+        # …and the bits on the wire must equal the in-process
+        # simulation's for the same configuration.
+        timeout --kill-after=10 "$ROUND_TIMEOUT" \
+            "$BIN" run --sources "$sources" "${common[@]}" \
+            >"$LOGDIR/run.log" 2>&1
+        local sim_bits
+        sim_bits=$(sed -n 's/^total uplink-bits \([0-9]*\)$/\1/p' "$LOGDIR/run.log")
+        if [[ "$bits" != "$sim_bits" ]]; then
+            echo "FAIL: protocol uplink ${bits} bits != simulation ${sim_bits} bits"
+            exit 1
+        fi
+        echo "OK: protocol uplink matches the simulation (${bits} bits)"
+    fi
+    echo "OK: ${label} transmitted ${bits} uplink bits"
 }
 
 # core: a named distributed pipeline (Algorithm 4), a quantized
 # arbitrary --stages composition, and a centralized pipeline over a
-# single remote source.
+# single remote source — all in the replicated debug mode, which proves
+# byte equality frame by frame.
 if [[ "$SUITE" == "core" || "$SUITE" == "all" ]]; then
-    run_round "jl-bklw" 3 \
+    run_round "jl-bklw" replicated 3 \
         --pipeline jl-bklw --dataset mixture --n 600 --d 40 --k 2 --seed 7
-    run_round "stages" 2 \
+    run_round "stages" replicated 2 \
         --stages dispca,jl,qt:8,disss --dataset mixture --n 400 --d 30 --k 2 --seed 11
-    run_round "centralized" 1 \
+    run_round "centralized" replicated 1 \
         --pipeline jl-fss-jl --dataset mnist-like --n 500 --d 196 --k 2 --seed 5
 fi
 
@@ -105,12 +156,26 @@ fi
 # processes — composed with DR/QT, with an explicit leaf size, and with
 # the F32 auxiliary-payload precision.
 if [[ "$SUITE" == "streaming" || "$SUITE" == "all" ]]; then
-    run_round "stream" 3 \
+    run_round "stream" replicated 3 \
         --stages jl,stream,qt:8 --dataset mixture --n 900 --d 40 --k 2 --seed 13
-    run_round "stream-leaf" 2 \
+    run_round "stream-leaf" replicated 2 \
         --stages stream,jl --leaf-size 128 --dataset mnist-like --n 600 --d 196 --k 2 --seed 17
-    run_round "stream-f32" 2 \
+    run_round "stream-f32" replicated 2 \
         --stages jl,stream --precision f32 --dataset mixture --n 500 --d 30 --k 2 --seed 19
+fi
+
+# non-replicated: the server-driven protocol across real processes.
+# Sources hold only their shard; the round asserts the uplink bits
+# match the in-process simulation and that no divergence checks ran.
+if [[ "$SUITE" == "non-replicated" || "$SUITE" == "all" ]]; then
+    run_round "proto-jl-bklw" protocol 3 \
+        --pipeline jl-bklw --dataset mixture --n 600 --d 40 --k 2 --seed 7
+    run_round "proto-stages" protocol 2 \
+        --stages dispca,jl,qt:8,disss --dataset mixture --n 400 --d 30 --k 2 --seed 11
+    run_round "proto-stream" protocol 3 \
+        --stages jl,stream,qt:8 --dataset mixture --n 900 --d 40 --k 2 --seed 13
+    run_round "proto-centralized" protocol 1 \
+        --pipeline jl-fss-jl --dataset mnist-like --n 500 --d 196 --k 2 --seed 5
 fi
 
 echo "distributed e2e: all rounds passed (suite: ${SUITE})"

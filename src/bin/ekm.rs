@@ -16,14 +16,16 @@
 //! does something useful.
 
 use edge_kmeans::clustering::lower_bound::cost_lower_bound;
+use edge_kmeans::core::executor::SourceExecutor;
 use edge_kmeans::data::mnist_like::MnistLike;
 use edge_kmeans::data::neurips_like::NeurIpsLike;
 use edge_kmeans::data::normalize::normalize_paper;
 use edge_kmeans::data::partition::partition_uniform;
 use edge_kmeans::data::synth::GaussianMixture;
+use edge_kmeans::net::event::{EventServerBinding, EventTcpSource};
 use edge_kmeans::net::tcp::{self, RunDigest, TcpServerBinding, TcpSource};
 use edge_kmeans::net::wire::Precision;
-use edge_kmeans::net::Transport;
+use edge_kmeans::net::{CommandTransport, Transport};
 use edge_kmeans::prelude::*;
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -43,10 +45,15 @@ COMMANDS:
              compute it once — outputs are bit-identical either way
     qtopt    run the Section 6.3 quantizer-configuration optimizer
     serve    run the server of a distributed deployment over real TCP:
-             listens for the data-source processes, runs the pipeline,
-             and verifies the run is bit-identical across all processes
+             drives the server-side protocol over every connected source
+             process (event-driven, one thread) — the sources hold the
+             data, the server holds the plan; with --replicated-check it
+             instead runs the replicated SPMD debug mode with per-frame
+             byte-equality divergence checks
     source   run one data-source process of a distributed deployment
-             (launch with the same dataset/pipeline flags as the server)
+             (launch with the same dataset/pipeline flags as the server);
+             in the default protocol mode the process keeps only its own
+             shard and answers the server's commands
     help     show this message
 
 FLAGS (with defaults):
@@ -73,8 +80,15 @@ FLAGS (with defaults):
     --leaf-size <int>   stream stage leaf-buffer size [2x coreset size]
     --threads <int>     cap worker threads (sharded solve, per-source
                         fan-out); 0 follows the hardware        [0]
-    --parallel <on|off> concurrent per-source execution        [on]
+    --parallel <on|off> run: the server-driven channel backend (one
+                        executor thread per source) vs the sequential
+                        in-process simulation — bit-identical   [on]
     --no-cache          sweep: disable the stage-output cache
+    --cache-budget <b>  sweep: bound the stage cache to ~b bytes with
+                        least-recently-used eviction
+    --replicated-check  serve/source: replicated SPMD debug mode (every
+                        process recomputes the full run; per-frame
+                        byte-equality divergence checks)
     --y0 <float>        qtopt error budget                     [2.0]
 
 EXAMPLES:
@@ -91,7 +105,7 @@ EXAMPLES:
 ";
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: &[&str] = &["no-cache"];
+const BOOLEAN_FLAGS: &[&str] = &["no-cache", "replicated-check"];
 
 /// Valid `--pipeline` names, for dispatch and error messages.
 const PIPELINES: &[&str] = &[
@@ -183,14 +197,21 @@ impl Args {
     }
 }
 
+/// The mnist-like pixel-grid side for a requested dimensionality — one
+/// derivation shared by `build_dataset` (sources) and `dataset_shape`
+/// (the data-less protocol server), so the two ends can never disagree
+/// on the effective `d`.
+fn mnist_side(d: usize) -> usize {
+    ((d as f64).sqrt().round() as usize).max(4)
+}
+
 fn build_dataset(args: &Args) -> Result<Matrix, String> {
     let n = args.get_usize("n", 2000)?;
     let d = args.get_usize("d", 196)?;
     let seed = args.get_u64("seed", 42)?;
     let raw = match args.get_str("dataset", "mnist-like").as_str() {
         "mnist-like" => {
-            let side = (d as f64).sqrt().round() as usize;
-            MnistLike::new(n, side.max(4))
+            MnistLike::new(n, mnist_side(d))
                 .with_seed(seed)
                 .generate()
                 .map_err(|e| e.to_string())?
@@ -330,6 +351,35 @@ fn composition_from(list: &str, params: &SummaryParams) -> Result<StagePipeline,
     Ok(StagePipeline::new(stages, params.clone()))
 }
 
+fn report_line(
+    pipe: &StagePipeline,
+    data: &Matrix,
+    out: &RunOutput,
+    reference_cost: f64,
+) -> Result<(), String> {
+    let (n, d) = data.shape();
+    let display = pipe.name();
+    let nc = evaluation::normalized_cost(data, &out.centers, reference_cost)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "{display:<14} cost {nc:>8.4}   comm {:>10.3e}   source {:>8.4}s ({:>9.3e} ops)   summary {:>6} pts",
+        out.normalized_comm(n, d),
+        out.source_seconds,
+        out.source_ops as f64,
+        out.summary_points
+    );
+    Ok(())
+}
+
+/// The per-source shards a pipeline runs over.
+fn shard_data(pipe: &StagePipeline, data: &Matrix, sources: usize) -> Result<Vec<Matrix>, String> {
+    if pipe.is_distributed() {
+        partition_uniform(data, sources, pipe.params().seed).map_err(|e| e.to_string())
+    } else {
+        Ok(vec![data.clone()])
+    }
+}
+
 fn run_one(
     pipe: &StagePipeline,
     data: &Matrix,
@@ -337,10 +387,8 @@ fn run_one(
     reference_cost: f64,
     cache: Option<&mut StageCache>,
 ) -> Result<(), String> {
-    let (n, d) = data.shape();
     let out = if pipe.is_distributed() {
-        let shards =
-            partition_uniform(data, sources, pipe.params().seed).map_err(|e| e.to_string())?;
+        let shards = shard_data(pipe, data, sources)?;
         let mut net = Network::new(sources);
         match cache {
             Some(cache) => pipe.run_shards_cached(&shards, &mut net, cache),
@@ -355,17 +403,7 @@ fn run_one(
         }
         .map_err(|e| e.to_string())?
     };
-    let display = pipe.name();
-    let nc = evaluation::normalized_cost(data, &out.centers, reference_cost)
-        .map_err(|e| e.to_string())?;
-    println!(
-        "{display:<14} cost {nc:>8.4}   comm {:>10.3e}   source {:>8.4}s ({:>9.3e} ops)   summary {:>6} pts",
-        out.normalized_comm(n, d),
-        out.source_seconds,
-        out.source_ops as f64,
-        out.summary_points
-    );
-    Ok(())
+    report_line(pipe, data, &out, reference_cost)
 }
 
 fn cmd_run(args: &Args) -> Result<(), String> {
@@ -374,10 +412,27 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let params = build_params(args, n, d)?;
     let sources = args.get_usize("sources", 10)?;
     let pipelines = select_pipelines(args, &params, false)?;
+    let pipe = &pipelines[0];
     println!("dataset {n} x {d}, k = {}", params.k);
     let reference = evaluation::reference(&data, params.k, 5, 1).map_err(|e| e.to_string())?;
     println!("reference cost: {:.4}\n", reference.cost);
-    run_one(&pipelines[0], &data, sources, reference.cost, None)
+    let parallel = args.get_str("parallel", "on") != "off";
+    let out = if parallel {
+        // The server-driven channel backend: one executor thread per
+        // source, each holding only its shard; the driver folds their
+        // responses — bit-identical to the in-process simulation.
+        let shards = shard_data(pipe, &data, sources)?;
+        pipe.run_channel(shards).map_err(|e| e.to_string())?
+    } else {
+        // Sequential in-process simulation (the debugging reference).
+        let shards = shard_data(pipe, &data, sources)?;
+        let mut net = Network::new(shards.len());
+        pipe.run_shards(&shards, &mut net)
+            .map_err(|e| e.to_string())?
+    };
+    report_line(pipe, &data, &out, reference.cost)?;
+    println!("total uplink-bits {}", out.uplink_bits);
+    Ok(())
 }
 
 fn cmd_sweep(args: &Args) -> Result<(), String> {
@@ -394,6 +449,12 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     // bit-identical outputs and accounting); --no-cache turns it off.
     let mut cache = if args.flags.contains_key("no-cache") {
         None
+    } else if args.flags.contains_key("cache-budget") {
+        let budget = args.get_usize("cache-budget", 0)?;
+        if budget == 0 {
+            return Err("--cache-budget expects a positive byte count".into());
+        }
+        Some(StageCache::with_budget(budget))
     } else {
         Some(StageCache::new())
     };
@@ -408,10 +469,13 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     }
     if let Some(cache) = &cache {
         println!(
-            "\nstage cache: {} hits, {} misses over {} entries (hit rate {:.2})",
+            "\nstage cache: {} hits, {} misses, {} evictions over {} entries \
+             (~{} bytes held, hit rate {:.2})",
             cache.hits(),
             cache.misses(),
+            cache.evictions(),
             cache.len(),
+            cache.held_bytes(),
             cache.hit_rate()
         );
     }
@@ -491,16 +555,105 @@ fn prepare_dist_run(args: &Args) -> Result<DistRun, String> {
     })
 }
 
+/// What the *server* of a non-replicated deployment derives from the
+/// shared CLI flags: the plan, the source count, and the handshake
+/// fingerprint — never the data.
+struct DistPlan {
+    pipe: StagePipeline,
+    m: usize,
+    fingerprint: u64,
+    n: usize,
+    d: usize,
+}
+
+/// The dataset shape the flags describe, without generating the data
+/// (the protocol server holds no shard; it only needs `n × d` for the
+/// normalized-communication metric and the parameter derivations).
+fn dataset_shape(args: &Args) -> Result<(usize, usize), String> {
+    let n = args.get_usize("n", 2000)?;
+    let d = args.get_usize("d", 196)?;
+    match args.get_str("dataset", "mnist-like").as_str() {
+        "mnist-like" => {
+            let side = mnist_side(d);
+            Ok((n, side * side))
+        }
+        "neurips-like" | "mixture" => Ok((n, d)),
+        other => Err(format!("unknown dataset '{other}'")),
+    }
+}
+
+fn prepare_dist_plan(args: &Args) -> Result<DistPlan, String> {
+    let (n, d) = dataset_shape(args)?;
+    let params = build_params(args, n, d)?;
+    let sources = args.get_usize("sources", 10)?;
+    let pipe = select_pipelines(args, &params, false)?
+        .into_iter()
+        .next()
+        .expect("one pipeline selected");
+    let m = if pipe.is_distributed() { sources } else { 1 };
+    let fingerprint = tcp::fingerprint(&canonical_config(args, m)?);
+    Ok(DistPlan {
+        pipe,
+        m,
+        fingerprint,
+        n,
+        d,
+    })
+}
+
 fn cmd_serve(args: &Args) -> Result<(), String> {
     let addr = args
         .flags
         .get("listen")
         .ok_or("serve needs --listen <addr>")?
         .clone();
-    let run = prepare_dist_run(args)?;
-    let binding = TcpServerBinding::bind(addr.as_str()).map_err(|e| e.to_string())?;
+    if args.flags.contains_key("replicated-check") {
+        return cmd_serve_replicated(args, &addr);
+    }
+    // Default: the server-driven protocol. This process never builds
+    // the dataset — it owns the plan, the sources own their shards.
+    let plan = prepare_dist_plan(args)?;
+    let binding = EventServerBinding::bind(addr.as_str()).map_err(|e| e.to_string())?;
     println!(
-        "listening on {} for {} source(s), pipeline {} [config {:#018x}]",
+        "listening on {} for {} source(s), pipeline {} [config {:#018x}, server-driven protocol]",
+        binding.local_addr().map_err(|e| e.to_string())?,
+        plan.m,
+        plan.pipe.name(),
+        plan.fingerprint
+    );
+    let mut net = binding
+        .accept(plan.m, plan.fingerprint)
+        .map_err(|e| e.to_string())?;
+    println!("all {} source(s) connected; driving the protocol", plan.m);
+    let out = plan.pipe.run_driver(&mut net).map_err(|e| e.to_string())?;
+    let digest = RunDigest::new(net.stats(), &out.centers);
+    println!(
+        "{} complete: centers {}x{}, comm {:.3e}, summary {} pts",
+        plan.pipe.name(),
+        out.centers.rows(),
+        out.centers.cols(),
+        out.normalized_comm(plan.n, plan.d),
+        out.summary_points
+    );
+    for i in 0..plan.m {
+        println!("source {i} uplink-bits {}", net.stats().uplink_bits(i));
+    }
+    println!("total uplink-bits {}", out.uplink_bits);
+    println!(
+        "digest {:#018x}: per-source counters verified across {} source(s), no replication",
+        digest.centers_hash, plan.m
+    );
+    Ok(())
+}
+
+/// The replicated SPMD debug fallback: every process recomputes the
+/// full deterministic run and the transport verifies byte equality
+/// frame by frame.
+fn cmd_serve_replicated(args: &Args, addr: &str) -> Result<(), String> {
+    let run = prepare_dist_run(args)?;
+    let binding = TcpServerBinding::bind(addr).map_err(|e| e.to_string())?;
+    println!(
+        "listening on {} for {} source(s), pipeline {} [config {:#018x}, replicated check]",
         binding.local_addr().map_err(|e| e.to_string())?,
         run.m,
         run.pipe.name(),
@@ -552,7 +705,38 @@ fn cmd_source(args: &Args) -> Result<(), String> {
             run.m
         ));
     }
-    let mut net = TcpSource::connect(
+    if args.flags.contains_key("replicated-check") {
+        let mut net = TcpSource::connect(
+            addr.as_str(),
+            id,
+            run.m,
+            run.fingerprint,
+            Duration::from_secs(30),
+        )
+        .map_err(|e| e.to_string())?;
+        let out = run
+            .pipe
+            .run_shards(&run.parts, &mut net)
+            .map_err(|e| e.to_string())?;
+        let digest = RunDigest::new(net.stats(), &out.centers);
+        net.finish(digest).map_err(|e| e.to_string())?;
+        println!(
+            "source {id}: {} verified bit-identical with server \
+             (own uplink-bits {}, digest {:#018x})",
+            run.pipe.name(),
+            net.stats().uplink_bits(id),
+            digest.centers_hash
+        );
+        return Ok(());
+    }
+    // Default: protocol mode — keep only this source's shard and answer
+    // the server's commands.
+    let shard = run
+        .parts
+        .into_iter()
+        .nth(id)
+        .expect("source id within shard range");
+    let mut endpoint = EventTcpSource::connect(
         addr.as_str(),
         id,
         run.m,
@@ -560,18 +744,16 @@ fn cmd_source(args: &Args) -> Result<(), String> {
         Duration::from_secs(30),
     )
     .map_err(|e| e.to_string())?;
-    let out = run
-        .pipe
-        .run_shards(&run.parts, &mut net)
+    let report = SourceExecutor::new(run.pipe.stages(), run.pipe.params(), id, run.m, shard)
+        .serve(&mut endpoint)
         .map_err(|e| e.to_string())?;
-    let digest = RunDigest::new(net.stats(), &out.centers);
-    net.finish(digest).map_err(|e| e.to_string())?;
     println!(
-        "source {id}: {} verified bit-identical with server \
-         (own uplink-bits {}, digest {:#018x})",
+        "source {id}: {} done — sent {} uplink-bits, received {} downlink-bits \
+         (digest {:#018x}, counters verified by the server)",
         run.pipe.name(),
-        net.stats().uplink_bits(id),
-        digest.centers_hash
+        report.uplink_bits,
+        report.downlink_bits,
+        report.centers_hash
     );
     Ok(())
 }

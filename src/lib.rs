@@ -71,7 +71,9 @@ pub mod prelude {
     pub use ekm_core::evaluation;
     pub use ekm_core::params::SummaryParams;
     pub use ekm_core::pipelines::{CentralizedPipeline, Fss, FssJl, JlFss, JlFssJl, NoReduction};
-    pub use ekm_core::{RunOutput, Stage, StageCache, StagePipeline};
+    pub use ekm_core::{
+        RunOutput, SourceExecutor, SourceRunReport, Stage, StageCache, StagePipeline,
+    };
     pub use ekm_coreset::{Coreset, FssBuilder};
     pub use ekm_linalg::Matrix;
     pub use ekm_net::wire::Precision;

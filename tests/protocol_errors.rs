@@ -1,0 +1,230 @@
+//! Protocol error paths must surface as *typed errors*, never hangs:
+//! a source that disconnects mid-stage, a peer that answers with the
+//! wrong frame type, and a stale configuration fingerprint at the
+//! handshake — on both the in-process channel backend and the
+//! event-driven TCP backend.
+
+use edge_kmeans::core::executor::SourceExecutor;
+use edge_kmeans::core::CoreError;
+use edge_kmeans::data::partition::partition_uniform;
+use edge_kmeans::data::synth::GaussianMixture;
+use edge_kmeans::net::event::{EventServerBinding, EventTcpSource};
+use edge_kmeans::net::protocol::{
+    channel_pairs, Command, CommandTransport, Response, SourceEndpoint,
+};
+use edge_kmeans::net::NetError;
+use edge_kmeans::prelude::*;
+use std::time::Duration;
+
+const FP: u64 = 0x0DD5_EED5;
+
+fn workload(n: usize, d: usize, seed: u64) -> Matrix {
+    let raw = GaussianMixture::new(n, d, 2)
+        .with_separation(4.0)
+        .with_seed(seed)
+        .generate()
+        .unwrap()
+        .points;
+    edge_kmeans::data::normalize::normalize_paper(&raw).0
+}
+
+fn pipeline(list: &str, n: usize, d: usize) -> StagePipeline {
+    StagePipeline::from_names(list, SummaryParams::practical(2, n, d).with_seed(5)).unwrap()
+}
+
+#[test]
+fn channel_source_disconnect_mid_stage_is_typed() {
+    let pipe = pipeline("dispca,disss", 200, 12);
+    let (mut hub, mut endpoints) = channel_pairs(2);
+    let data = workload(200, 12, 1);
+    let shards = partition_uniform(&data, 2, 3).unwrap();
+    std::thread::scope(|scope| {
+        // Source 0 runs honestly; source 1 answers the describe round,
+        // then vanishes mid-stage.
+        let (e1, e0) = (endpoints.pop().unwrap(), endpoints.pop().unwrap());
+        let s0 = shards[0].clone();
+        let stages = pipe.stages();
+        let params = pipe.params();
+        scope.spawn(move || {
+            let mut e0 = e0;
+            let _ = SourceExecutor::new(stages, params, 0, 2, s0).serve(&mut e0);
+        });
+        scope.spawn(move || {
+            let mut e1 = e1;
+            let cmd = e1.recv_command().unwrap();
+            assert_eq!(cmd, Command::Describe);
+            e1.send_response(Response::Done {
+                rows: 100,
+                cols: 12,
+                ops: 0,
+                seconds: 0.0,
+            })
+            .unwrap();
+            // Dropped here: the driver's next recv must fail, not hang.
+        });
+        let err = pipe.run_driver(&mut hub).unwrap_err();
+        assert!(
+            matches!(err, CoreError::Net(NetError::Transport { .. })),
+            "expected a typed transport error, got {err:?}"
+        );
+    });
+}
+
+#[test]
+fn channel_response_type_mismatch_is_typed() {
+    let pipe = pipeline("jl,fss", 200, 12);
+    let (mut hub, mut endpoints) = channel_pairs(1);
+    std::thread::scope(|scope| {
+        let mut ep = endpoints.pop().unwrap();
+        scope.spawn(move || {
+            // Answer the describe round with a Fin — the wrong type.
+            let _ = ep.recv_command().unwrap();
+            ep.send_response(Response::Fin {
+                uplink_bits: 0,
+                downlink_bits: 0,
+            })
+            .unwrap();
+            // The driver aborts; drain the abort so the send doesn't
+            // linger.
+            let _ = ep.recv_command();
+        });
+        let err = pipe.run_driver(&mut hub).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CoreError::Net(NetError::ProtocolViolation {
+                    expected: "a done response",
+                    ..
+                })
+            ),
+            "expected a protocol violation, got {err:?}"
+        );
+    });
+}
+
+#[test]
+fn executor_rejects_mismatched_deliver_payload() {
+    // A Deliver with no pending interactive phase must be refused.
+    let (mut hub, mut endpoints) = channel_pairs(1);
+    let pipe = pipeline("jl,fss", 100, 8);
+    std::thread::scope(|scope| {
+        let shard = workload(100, 8, 2);
+        let stages = pipe.stages();
+        let params = pipe.params();
+        let handle = scope.spawn(move || {
+            let mut ep = endpoints.pop().unwrap();
+            SourceExecutor::new(stages, params, 0, 1, shard).serve(&mut ep)
+        });
+        hub.send(
+            0,
+            &Command::Deliver {
+                payload: edge_kmeans::net::Payload::of(
+                    &edge_kmeans::net::messages::Message::SampleAllocation { size: 3 },
+                ),
+            },
+        )
+        .unwrap();
+        match hub.recv(0).unwrap() {
+            Response::Err { reason } => {
+                assert!(reason.contains("no downlink payload"), "{reason}");
+            }
+            other => panic!("expected an err response, got {other:?}"),
+        }
+        let err = handle.join().unwrap().unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::Net(NetError::ProtocolViolation { .. })
+        ));
+    });
+}
+
+#[test]
+fn event_tcp_source_disconnect_mid_stage_is_typed() {
+    let pipe = pipeline("dispca,disss", 240, 10);
+    let data = workload(240, 10, 3);
+    let shards = partition_uniform(&data, 2, 4).unwrap();
+    let binding = EventServerBinding::bind("127.0.0.1:0").unwrap();
+    let addr = binding.local_addr().unwrap();
+    std::thread::scope(|scope| {
+        let s0 = shards[0].clone();
+        let stages = pipe.stages();
+        let params = pipe.params();
+        scope.spawn(move || {
+            let mut ep = EventTcpSource::connect(addr, 0, 2, FP, Duration::from_secs(10)).unwrap();
+            let _ = SourceExecutor::new(stages, params, 0, 2, s0).serve(&mut ep);
+        });
+        scope.spawn(move || {
+            let mut ep = EventTcpSource::connect(addr, 1, 2, FP, Duration::from_secs(10)).unwrap();
+            // Answer the describe round, then drop the socket.
+            match ep.recv_command().unwrap() {
+                Command::Describe => ep
+                    .send_response(Response::Done {
+                        rows: 120,
+                        cols: 10,
+                        ops: 0,
+                        seconds: 0.0,
+                    })
+                    .unwrap(),
+                other => panic!("unexpected {other:?}"),
+            }
+        });
+        let mut net = binding.accept(2, FP).unwrap();
+        let err = pipe.run_driver(&mut net).unwrap_err();
+        assert!(
+            matches!(err, CoreError::Net(NetError::Transport { .. })),
+            "expected a typed transport error, got {err:?}"
+        );
+    });
+}
+
+#[test]
+fn event_tcp_stale_fingerprint_fails_handshake() {
+    let binding = EventServerBinding::bind("127.0.0.1:0").unwrap();
+    let addr = binding.local_addr().unwrap();
+    let src = std::thread::spawn(move || {
+        EventTcpSource::connect(addr, 0, 1, FP ^ 0xF00, Duration::from_secs(10))
+    });
+    let err = binding.accept(1, FP).unwrap_err();
+    assert!(
+        matches!(err, NetError::Handshake { ref reason } if reason.contains("fingerprint")),
+        "{err:?}"
+    );
+    assert!(src.join().unwrap().is_err());
+}
+
+#[test]
+fn driver_validation_aborts_sources_with_the_reason() {
+    // `fss` over two sources is invalid; the driver must fail with the
+    // engine's error and the executors must be told to abort (typed
+    // RemoteAbort), not left waiting.
+    let pipe = pipeline("fss", 200, 8);
+    let data = workload(200, 8, 6);
+    let shards = partition_uniform(&data, 2, 5).unwrap();
+    let (mut hub, endpoints) = channel_pairs(2);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = endpoints
+            .into_iter()
+            .zip(shards)
+            .enumerate()
+            .map(|(i, (mut ep, shard))| {
+                let stages = pipe.stages();
+                let params = pipe.params();
+                scope.spawn(move || SourceExecutor::new(stages, params, i, 2, shard).serve(&mut ep))
+            })
+            .collect();
+        let err = pipe.run_driver(&mut hub).unwrap_err();
+        assert!(
+            matches!(err, CoreError::InvalidConfig { .. }),
+            "driver error: {err:?}"
+        );
+        for handle in handles {
+            let err = handle.join().unwrap().unwrap_err();
+            match err {
+                CoreError::Net(NetError::RemoteAbort { reason }) => {
+                    assert!(reason.contains("single-source"), "{reason}");
+                }
+                other => panic!("expected a remote abort, got {other:?}"),
+            }
+        }
+    });
+}

@@ -1,20 +1,32 @@
-//! Transport-equivalence tests: a pipeline run over real loopback-TCP
-//! processes (threads here; the `distributed_e2e` CI job uses actual
-//! processes) must be indistinguishable from the in-process `Network`
-//! simulation — the same `NetworkStats` to the bit (total, per-source,
-//! per message kind) and bit-identical centers — for every named paper
-//! pipeline and for arbitrary `--stages` compositions.
+//! Transport-equivalence tests: every execution model of a pipeline
+//! must be indistinguishable from the in-process `Network` simulation —
+//! the same `NetworkStats` to the bit (total, per-source, per message
+//! kind), bit-identical centers, and equal deterministic op counts —
+//! for every named paper pipeline and for arbitrary `--stages`
+//! compositions. Three models are proven here:
 //!
-//! The TCP backend additionally *verifies* equivalence at runtime: the
-//! server checks every received frame byte-for-byte against its
-//! replicated local encoding, and both ends exchange a run digest at
-//! shutdown, so a passing run is a proof, not a coincidence.
+//! * the replicated loopback-TCP backend (`tcp::TcpServer`/`TcpSource`,
+//!   the `--replicated-check` debug mode), which additionally verifies
+//!   byte equality frame by frame at runtime;
+//! * the **server-driven channel backend** (`run_channel`): a driver
+//!   thread plus one executor thread per source, each holding only its
+//!   shard;
+//! * the **event-driven TCP protocol backend** (`ekm_net::event`): the
+//!   same driver/executors over real non-blocking sockets, the server
+//!   multiplexing every connection in one thread.
+//!
+//! The non-replicated models also prove *isolation*: a source's entire
+//! downlink is the basis broadcast and the sample allocation — it never
+//! receives any other source's shard (asserted on the bytes and message
+//! kinds each executor observed).
 
+use edge_kmeans::core::executor::SourceExecutor;
 use edge_kmeans::data::mnist_like::MnistLike;
 use edge_kmeans::data::normalize::normalize_paper;
 use edge_kmeans::data::partition::partition_uniform;
+use edge_kmeans::net::event::{EventServerBinding, EventTcpSource};
 use edge_kmeans::net::tcp::{RunDigest, TcpServerBinding, TcpSource};
-use edge_kmeans::net::{NetworkStats, Transport};
+use edge_kmeans::net::{CommandTransport, NetworkStats, Transport};
 use edge_kmeans::prelude::*;
 use std::time::Duration;
 
@@ -141,6 +153,115 @@ fn assert_transport_equivalent(label: &str, pipe: &StagePipeline, data: &Matrix)
     }
 }
 
+/// Runs `pipe` over the event-driven TCP protocol backend: the driver
+/// in the calling thread over real loopback sockets, one executor
+/// thread per source — each constructed with **only its own shard**.
+fn run_event_tcp(
+    pipe: &StagePipeline,
+    parts: Vec<Matrix>,
+) -> (RunOutput, NetworkStats, Vec<SourceRunReport>) {
+    let m = parts.len();
+    let binding = EventServerBinding::bind("127.0.0.1:0").unwrap();
+    let addr = binding.local_addr().unwrap();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = parts
+            .into_iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                scope.spawn(move || {
+                    let mut endpoint =
+                        EventTcpSource::connect(addr, i, m, FP, Duration::from_secs(20)).unwrap();
+                    SourceExecutor::new(pipe.stages(), pipe.params(), i, m, shard)
+                        .serve(&mut endpoint)
+                        .unwrap()
+                })
+            })
+            .collect();
+        let mut net = binding.accept(m, FP).unwrap();
+        let out = pipe.run_driver(&mut net).unwrap();
+        let reports = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        (out, net.stats().clone(), reports)
+    })
+}
+
+/// The non-replicated assertion: protocol outputs equal the simulation
+/// bit for bit, and every source saw only control traffic plus the two
+/// legitimate downlink payloads.
+fn assert_protocol_equivalent(
+    label: &str,
+    pipe: &StagePipeline,
+    data: &Matrix,
+    run: impl FnOnce(Vec<Matrix>) -> (RunOutput, NetworkStats, Vec<SourceRunReport>),
+) {
+    let (parts, m) = shards(pipe, data);
+    let (sim_out, sim_stats) = run_simulated(pipe, &parts, m);
+    let shard_bits: Vec<u64> = parts
+        .iter()
+        .map(|p| (p.rows() * p.cols() * 64) as u64)
+        .collect();
+    let (out, stats, reports) = run(parts);
+
+    assert_eq!(
+        stats, sim_stats,
+        "{label}: driver NetworkStats differ from the simulation"
+    );
+    assert_eq!(out.uplink_bits, sim_out.uplink_bits, "{label}: uplink");
+    assert_eq!(
+        out.downlink_bits, sim_out.downlink_bits,
+        "{label}: downlink"
+    );
+    assert_eq!(out.source_ops, sim_out.source_ops, "{label}: op counts");
+    assert_eq!(
+        out.summary_points, sim_out.summary_points,
+        "{label}: summary size"
+    );
+    for (a, b) in out
+        .centers
+        .as_slice()
+        .iter()
+        .zip(sim_out.centers.as_slice())
+    {
+        assert_eq!(a.to_bits(), b.to_bits(), "{label}: centers diverge");
+    }
+
+    assert_eq!(reports.len(), m);
+    for (i, report) in reports.iter().enumerate() {
+        // Per-source accounting: what the executor observed equals the
+        // driver's ledger and the simulation's.
+        assert_eq!(
+            report.uplink_bits,
+            sim_stats.uplink_bits(i),
+            "{label}: source {i} uplink"
+        );
+        assert_eq!(
+            report.downlink_bits,
+            sim_stats.downlink_bits(i),
+            "{label}: source {i} downlink"
+        );
+        // Isolation: the only data-plane payloads a source ever
+        // receives are the disPCA basis and the disSS allocation —
+        // never raw data or another source's coreset.
+        for kind in report.downlink_kinds.keys() {
+            assert!(
+                matches!(*kind, "basis" | "sample-allocation"),
+                "{label}: source {i} received a {kind} payload"
+            );
+        }
+        // And in bytes: every other source's shard is bigger than this
+        // source's entire downlink, so no shard can have crossed.
+        for (j, &bits) in shard_bits.iter().enumerate() {
+            if j != i {
+                assert!(
+                    report.downlink_bits < bits,
+                    "{label}: source {i} received {} bits, source {j}'s shard is {} bits",
+                    report.downlink_bits,
+                    bits
+                );
+            }
+        }
+    }
+}
+
 fn named(name: &str, p: &SummaryParams) -> StagePipeline {
     let p = p.clone();
     match name {
@@ -218,6 +339,79 @@ fn f32_aux_precision_is_transport_equivalent() {
     let p = params(&data).with_precision(edge_kmeans::net::wire::Precision::F32);
     for name in ["FSS", "JL+FSS", "BKLW"] {
         assert_transport_equivalent(&format!("{name}/f32"), &named(name, &p), &data);
+    }
+}
+
+#[test]
+fn channel_protocol_matches_simulation_for_named_pipelines() {
+    let data = workload(8);
+    let p = params(&data);
+    for name in [
+        "NR",
+        "FSS",
+        "JL+FSS",
+        "FSS+JL",
+        "JL+FSS+JL",
+        "BKLW",
+        "JL+BKLW",
+        "BKLW+JL",
+    ] {
+        let pipe = named(name, &p);
+        assert_protocol_equivalent(&format!("channel/{name}"), &pipe, &data, |parts| {
+            let (out, stats, reports) = pipe.run_channel_detailed(parts).unwrap();
+            (out, stats, reports)
+        });
+    }
+}
+
+#[test]
+fn channel_protocol_matches_simulation_for_stage_compositions() {
+    // Sampled points of the composition space, mirroring what
+    // `--stages` builds: quantized, doubly-projected, streaming, and
+    // f32-auxiliary variants.
+    let data = workload(9);
+    let p = params(&data);
+    let f32p = p
+        .clone()
+        .with_precision(edge_kmeans::net::wire::Precision::F32);
+    for (list, p) in [
+        ("jl,fss,qt:6,jl", &p),
+        ("jl,dispca,qt:9,disss", &p),
+        ("jl,stream,qt:8", &p),
+        ("stream,jl", &p),
+        ("dispca,disss", &f32p),
+        ("jl,stream", &f32p),
+    ] {
+        let pipe = StagePipeline::from_names(list, (*p).clone()).unwrap();
+        assert_protocol_equivalent(&format!("channel/{list}"), &pipe, &data, |parts| {
+            let (out, stats, reports) = pipe.run_channel_detailed(parts).unwrap();
+            (out, stats, reports)
+        });
+    }
+}
+
+#[test]
+fn event_tcp_protocol_matches_simulation_for_named_pipelines() {
+    let data = workload(10);
+    let p = params(&data);
+    for name in ["NR", "JL+FSS+JL", "BKLW", "JL+BKLW"] {
+        let pipe = named(name, &p);
+        assert_protocol_equivalent(&format!("event-tcp/{name}"), &pipe, &data, |parts| {
+            run_event_tcp(&pipe, parts)
+        });
+    }
+}
+
+#[test]
+fn event_tcp_protocol_matches_simulation_for_stage_compositions() {
+    let data = workload(11);
+    let q = RoundingQuantizer::new(8).unwrap();
+    let p = params(&data).with_quantizer(q);
+    for list in ["jl,dispca,disss", "jl,stream,qt:8", "jl,fss,qt:6,jl"] {
+        let pipe = StagePipeline::from_names(list, p.clone()).unwrap();
+        assert_protocol_equivalent(&format!("event-tcp/{list}"), &pipe, &data, |parts| {
+            run_event_tcp(&pipe, parts)
+        });
     }
 }
 
