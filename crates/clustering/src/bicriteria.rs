@@ -7,9 +7,10 @@
 //! solution using more than `k` centers — which is what sensitivity
 //! sampling (disSS step 1) and the §6.3.1 lower bound need.
 
-use crate::cost::{assign, validate_weights};
-use crate::init::d2_sample_batch;
+use crate::cost::{assign_engine, validate_weights};
+use crate::init::d2_sample_batch_from;
 use crate::{ClusteringError, Result};
+use ekm_linalg::distance::{Compute, DistanceEngine};
 use ekm_linalg::random::{derive_seed, rng_from_seed};
 use ekm_linalg::Matrix;
 
@@ -25,6 +26,9 @@ pub struct BicriteriaConfig {
     pub trials: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Scalar precision of the D² maintenance and final cost (default
+    /// [`Compute::F64`], the bit-reproducibility reference).
+    pub compute: Compute,
 }
 
 impl Default for BicriteriaConfig {
@@ -34,6 +38,7 @@ impl Default for BicriteriaConfig {
             rounds: 5,
             trials: 1,
             seed: 0,
+            compute: Compute::F64,
         }
     }
 }
@@ -89,20 +94,34 @@ pub fn bicriteria(
     let per_round = (config.per_round_factor.max(1) * k).min(points.rows());
     let trials = config.trials.max(1);
 
+    // One engine across all trials and rounds: point norms are paid once,
+    // and each round's D² refresh is a batched min-update against just the
+    // newly drawn rows — no full reassignment per round. Because the
+    // per-candidate distance values are identical and a min-fold is
+    // order-independent, the maintained D² (and hence the RNG stream) is
+    // bit-identical to recomputing a fresh assignment each round.
+    let engine = DistanceEngine::new(points, config.compute);
     let mut best: Option<BicriteriaSolution> = None;
     for trial in 0..trials {
         let mut rng = rng_from_seed(derive_seed(config.seed, trial as u64));
         let mut indices: Vec<usize> = Vec::new();
-        let mut centers = Matrix::zeros(0, 0);
+        let mut d2 = vec![f64::INFINITY; points.rows()];
         for round in 0..config.rounds.max(1) {
-            let current = if round == 0 { None } else { Some(&centers) };
-            let batch = d2_sample_batch(&mut rng, points, weights, current, per_round)?;
+            let current = if round == 0 {
+                None
+            } else {
+                Some(d2.as_slice())
+            };
+            let batch = d2_sample_batch_from(&mut rng, weights, current, per_round)?;
+            engine
+                .min_update(&points.select_rows(&batch), &mut d2)
+                .map_err(ClusteringError::Linalg)?;
             indices.extend(batch);
-            indices.sort_unstable();
-            indices.dedup();
-            centers = points.select_rows(&indices);
         }
-        let cost = assign(points, &centers)?.weighted_cost(weights);
+        indices.sort_unstable();
+        indices.dedup();
+        let centers = points.select_rows(&indices);
+        let cost = assign_engine(&engine, &centers)?.weighted_cost(weights);
         let better = best.as_ref().map(|b| cost < b.cost).unwrap_or(true);
         if better {
             best = Some(BicriteriaSolution {
@@ -154,6 +173,56 @@ mod tests {
         for (pos, &i) in sol.indices.iter().enumerate() {
             assert_eq!(sol.centers.row(pos), p.row(i));
         }
+    }
+
+    #[test]
+    fn incremental_d2_preserves_the_sampling_stream() {
+        // The incremental min-update formulation must consume the RNG
+        // exactly like the original "fresh assignment per round" one:
+        // same probabilities, same draws, same selected indices.
+        let p = blobs(12, &[(0.0, 0.0), (8.0, 8.0), (-5.0, 3.0)]);
+        let w = vec![1.0; p.rows()];
+        let cfg = BicriteriaConfig {
+            seed: 21,
+            ..BicriteriaConfig::default()
+        };
+        let sol = bicriteria(&p, &w, 2, &cfg).unwrap();
+
+        let per_round = (cfg.per_round_factor * 2).min(p.rows());
+        let mut rng = rng_from_seed(derive_seed(cfg.seed, 0));
+        let mut indices: Vec<usize> = Vec::new();
+        let mut centers = Matrix::zeros(0, 0);
+        for round in 0..cfg.rounds {
+            let current = if round == 0 { None } else { Some(&centers) };
+            let batch = crate::init::d2_sample_batch(&mut rng, &p, &w, current, per_round).unwrap();
+            indices.extend(batch);
+            indices.sort_unstable();
+            indices.dedup();
+            centers = p.select_rows(&indices);
+        }
+        assert_eq!(sol.indices, indices);
+        let reference = crate::cost::assign(&p, &centers).unwrap().weighted_cost(&w);
+        assert_eq!(sol.cost, reference);
+    }
+
+    #[test]
+    fn f32_compute_stays_within_constant_factor() {
+        let p = blobs(30, &[(0.0, 0.0), (20.0, 0.0), (0.0, 20.0)]);
+        let w = vec![1.0; p.rows()];
+        let cfg = BicriteriaConfig {
+            compute: Compute::F32,
+            seed: 2,
+            ..BicriteriaConfig::default()
+        };
+        let sol = bicriteria(&p, &w, 3, &cfg).unwrap();
+        let opt = KMeans::new(3).with_seed(3).fit(&p).unwrap().inertia;
+        assert!(
+            sol.cost <= 20.0 * opt.max(1e-9) + 1e-9,
+            "f32 bicriteria cost {} vs opt {opt}",
+            sol.cost
+        );
+        let again = bicriteria(&p, &w, 3, &cfg).unwrap();
+        assert_eq!(sol.indices, again.indices);
     }
 
     #[test]

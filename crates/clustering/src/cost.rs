@@ -5,6 +5,7 @@
 //! type).
 
 use crate::{ClusteringError, Result};
+use ekm_linalg::distance::{Compute, DistanceEngine};
 use ekm_linalg::{distance, ops, Matrix};
 
 /// A nearest-center assignment of every point.
@@ -93,6 +94,52 @@ pub fn assign(points: &Matrix, centers: &Matrix) -> Result<Assignment> {
     })
 }
 
+/// [`assign`] with an explicit compute precision.
+///
+/// `Compute::F64` is bit-identical to [`assign`]. `Compute::F32` runs the
+/// distance kernel in single precision (distances widened back to `f64`);
+/// labels may differ near exact ties. Repeated assignments against the same
+/// points should build one [`DistanceEngine`] and call [`assign_engine`].
+///
+/// # Errors
+///
+/// See [`assign`].
+pub fn assign_with(points: &Matrix, centers: &Matrix, compute: Compute) -> Result<Assignment> {
+    match compute {
+        Compute::F64 => assign(points, centers),
+        Compute::F32 => assign_engine(&DistanceEngine::new(points, compute), centers),
+    }
+}
+
+/// Assigns the engine's points to their nearest rows of `centers`, in the
+/// engine's compute precision. This is the iteration-friendly form of
+/// [`assign_with`]: the point norms (and the f32 mirror of the points, if
+/// any) are paid once at engine construction instead of per call.
+///
+/// # Errors
+///
+/// * [`ClusteringError::EmptyInput`] if either matrix is empty.
+/// * [`ClusteringError::Linalg`] on dimension mismatch.
+pub fn assign_engine(engine: &DistanceEngine<'_>, centers: &Matrix) -> Result<Assignment> {
+    if engine.points().is_empty() || centers.is_empty() {
+        return Err(ClusteringError::EmptyInput);
+    }
+    if engine.points().cols() != centers.cols() {
+        return Err(ClusteringError::Linalg(
+            ekm_linalg::LinalgError::DimensionMismatch {
+                op: "assign",
+                lhs: engine.points().shape(),
+                rhs: centers.shape(),
+            },
+        ));
+    }
+    let (labels, distances_sq) = engine.assign(centers).map_err(ClusteringError::Linalg)?;
+    Ok(Assignment {
+        labels,
+        distances_sq,
+    })
+}
+
 /// Returns `(index, squared distance)` of the center nearest to `point`
 /// — the scalar reference path (one point, subtract-square distances).
 /// Batch call sites go through [`assign`]'s blocked kernel instead.
@@ -136,6 +183,25 @@ pub fn weighted_cost(points: &Matrix, weights: &[f64], centers: &Matrix) -> Resu
         });
     }
     Ok(assign(points, centers)?.weighted_cost(weights))
+}
+
+/// [`weighted_cost`] with an explicit compute precision.
+///
+/// # Errors
+///
+/// See [`weighted_cost`].
+pub fn weighted_cost_with(
+    points: &Matrix,
+    weights: &[f64],
+    centers: &Matrix,
+    compute: Compute,
+) -> Result<f64> {
+    if weights.len() != points.rows() {
+        return Err(ClusteringError::InvalidWeights {
+            reason: "length differs from point count",
+        });
+    }
+    Ok(assign_with(points, centers, compute)?.weighted_cost(weights))
 }
 
 /// Squared distance from every point to its nearest center (the D² vector
@@ -264,6 +330,42 @@ mod tests {
         let (l, d) = nearest_center(&[0.0], &c);
         assert_eq!(l, 0);
         assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assign_with_f64_is_bitwise_assign() {
+        let (p, c) = simple();
+        let a = assign(&p, &c).unwrap();
+        let b = assign_with(&p, &c, Compute::F64).unwrap();
+        assert_eq!(a, b);
+        let engine = DistanceEngine::new(&p, Compute::F64);
+        assert_eq!(a, assign_engine(&engine, &c).unwrap());
+    }
+
+    #[test]
+    fn assign_with_f32_close_to_f64() {
+        let (p, c) = simple();
+        let a64 = assign(&p, &c).unwrap();
+        let a32 = assign_with(&p, &c, Compute::F32).unwrap();
+        assert_eq!(a64.labels, a32.labels);
+        for (x, y) in a64.distances_sq.iter().zip(&a32.distances_sq) {
+            assert!((x - y).abs() <= 1e-5 * (1.0 + x.abs()));
+        }
+    }
+
+    #[test]
+    fn assign_engine_rejects_bad_inputs() {
+        let (p, c) = simple();
+        let engine = DistanceEngine::new(&p, Compute::F32);
+        assert!(matches!(
+            assign_engine(&engine, &Matrix::zeros(0, 2)),
+            Err(ClusteringError::EmptyInput)
+        ));
+        assert!(matches!(
+            assign_engine(&engine, &Matrix::zeros(1, 3)),
+            Err(ClusteringError::Linalg(_))
+        ));
+        assert!((weighted_cost_with(&p, &[1.0; 4], &c, Compute::F32).unwrap() - 1.0).abs() < 1e-5);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use crate::cost::validate_weights;
 use crate::{ClusteringError, Result};
+use ekm_linalg::distance::{Compute, DistanceEngine};
 use ekm_linalg::{distance, Matrix};
 use rand::Rng;
 
@@ -30,6 +31,26 @@ pub fn kmeanspp_indices<R: Rng + ?Sized>(
     weights: &[f64],
     k: usize,
 ) -> Result<Vec<usize>> {
+    kmeanspp_indices_with(rng, points, weights, k, Compute::F64)
+}
+
+/// [`kmeanspp_indices`] with an explicit compute precision.
+///
+/// `Compute::F64` reproduces [`kmeanspp_indices`] bit for bit (including
+/// the RNG stream). `Compute::F32` runs the D² refresh in single
+/// precision; the selected indices may differ from the f64 path, but the
+/// procedure is still deterministic for a fixed seed.
+///
+/// # Errors
+///
+/// See [`kmeanspp_indices`].
+pub fn kmeanspp_indices_with<R: Rng + ?Sized>(
+    rng: &mut R,
+    points: &Matrix,
+    weights: &[f64],
+    k: usize,
+    compute: Compute,
+) -> Result<Vec<usize>> {
     if points.is_empty() {
         return Err(ClusteringError::EmptyInput);
     }
@@ -44,11 +65,17 @@ pub fn kmeanspp_indices<R: Rng + ?Sized>(
     // First center: ∝ w.
     chosen.push(draw_index(rng, weights)?);
 
-    // Maintain D² to the chosen set incrementally via the blocked
-    // norm-expansion kernel: the point norms are paid once, and every
-    // round's refresh against the new center is pure dot products.
-    let norms = distance::row_norms_sq(points);
-    let mut d2 = distance::sq_dists_to_row(points, &norms, points.row(chosen[0]));
+    // Maintain D² to the chosen set incrementally through the engine's
+    // batched min-update: the point norms are paid once when the engine
+    // is built, and every round's refresh against the new center runs the
+    // blocked lane kernel instead of a serial per-point loop. Starting
+    // from +∞ and min-updating with the first center yields exactly the
+    // distances-to-first-center vector.
+    let engine = DistanceEngine::new(points, compute);
+    let mut d2 = vec![f64::INFINITY; n];
+    engine
+        .min_update(&points.select_rows(&[chosen[0]]), &mut d2)
+        .map_err(ClusteringError::Linalg)?;
 
     while chosen.len() < k {
         let probs: Vec<f64> = d2.iter().zip(weights).map(|(&d, &w)| d * w).collect();
@@ -69,12 +96,9 @@ pub fn kmeanspp_indices<R: Rng + ?Sized>(
             draw_index(rng, &fallback)?
         };
         chosen.push(next);
-        let nd = distance::sq_dists_to_row(points, &norms, points.row(next));
-        for (d, nd) in d2.iter_mut().zip(nd) {
-            if nd < *d {
-                *d = nd;
-            }
-        }
+        engine
+            .min_update(&points.select_rows(&[next]), &mut d2)
+            .map_err(ClusteringError::Linalg)?;
     }
     Ok(chosen)
 }
@@ -90,7 +114,22 @@ pub fn kmeanspp_centers<R: Rng + ?Sized>(
     weights: &[f64],
     k: usize,
 ) -> Result<Matrix> {
-    let idx = kmeanspp_indices(rng, points, weights, k)?;
+    kmeanspp_centers_with(rng, points, weights, k, Compute::F64)
+}
+
+/// [`kmeanspp_centers`] with an explicit compute precision.
+///
+/// # Errors
+///
+/// See [`kmeanspp_indices`].
+pub fn kmeanspp_centers_with<R: Rng + ?Sized>(
+    rng: &mut R,
+    points: &Matrix,
+    weights: &[f64],
+    k: usize,
+    compute: Compute,
+) -> Result<Matrix> {
+    let idx = kmeanspp_indices_with(rng, points, weights, k, compute)?;
     Ok(points.select_rows(&idx))
 }
 
@@ -115,12 +154,46 @@ pub fn d2_sample_batch<R: Rng + ?Sized>(
         return Err(ClusteringError::EmptyInput);
     }
     validate_weights(weights, points.rows())?;
-    let probs: Vec<f64> = match centers {
+    let d2 = match centers {
         Some(c) if !c.is_empty() => {
             let (_, d2) = distance::assign_blocked(points, c).map_err(ClusteringError::Linalg)?;
+            Some(d2)
+        }
+        _ => None,
+    };
+    d2_sample_batch_from(rng, weights, d2.as_deref(), count)
+}
+
+/// Draws a batch of `count` indices i.i.d. from the D² distribution induced
+/// by an externally maintained squared-distance vector.
+///
+/// This is the sampling tail of [`d2_sample_batch`] (which delegates here),
+/// split out so callers that keep `D²` incrementally up to date — the
+/// adaptive rounds of `bicriteria` — can draw without recomputing a full
+/// assignment. `d2 = None` means "no centers yet": the draw is
+/// weight-proportional. When the total `w · D²` mass vanishes (every point
+/// sits on a center), sampling falls back to the raw weights.
+///
+/// # Errors
+///
+/// * [`ClusteringError::InvalidWeights`] for malformed weights.
+///
+/// # Panics
+///
+/// Panics if `d2` is `Some` with a length different from `weights`.
+pub fn d2_sample_batch_from<R: Rng + ?Sized>(
+    rng: &mut R,
+    weights: &[f64],
+    d2: Option<&[f64]>,
+    count: usize,
+) -> Result<Vec<usize>> {
+    validate_weights(weights, weights.len())?;
+    let probs: Vec<f64> = match d2 {
+        Some(d2) => {
+            assert_eq!(d2.len(), weights.len(), "d2 length");
             d2.iter().zip(weights).map(|(&d, &w)| d * w).collect()
         }
-        _ => weights.to_vec(),
+        None => weights.to_vec(),
     };
     let total: f64 = probs.iter().sum();
     let effective = if total > 0.0 { probs } else { weights.to_vec() };
@@ -273,5 +346,50 @@ mod tests {
     fn draw_index_no_mass_errors() {
         let mut rng = rng_from_seed(10);
         assert!(draw_index(&mut rng, &[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn compute_f64_variant_is_the_default_path() {
+        let p = two_blob_points();
+        let w = vec![1.0; 100];
+        for seed in 0..10 {
+            let mut a = rng_from_seed(seed);
+            let mut b = rng_from_seed(seed);
+            let idx = kmeanspp_indices(&mut a, &p, &w, 5).unwrap();
+            let idx64 = kmeanspp_indices_with(&mut b, &p, &w, 5, Compute::F64).unwrap();
+            assert_eq!(idx, idx64, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn compute_f32_variant_is_deterministic_and_valid() {
+        let p = two_blob_points();
+        let w = vec![1.0; 100];
+        let mut a = rng_from_seed(17);
+        let mut b = rng_from_seed(17);
+        let x = kmeanspp_indices_with(&mut a, &p, &w, 4, Compute::F32).unwrap();
+        let y = kmeanspp_indices_with(&mut b, &p, &w, 4, Compute::F32).unwrap();
+        assert_eq!(x, y);
+        assert_eq!(x.len(), 4);
+        let mut sorted = x.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4, "duplicate picks: {x:?}");
+        // On well-separated blobs the f32 seeding still spreads.
+        let blob = |i: usize| usize::from(i >= 50);
+        assert!(x.iter().any(|&i| blob(i) == 0) && x.iter().any(|&i| blob(i) == 1));
+    }
+
+    #[test]
+    fn d2_sample_batch_from_matches_assign_based_batch() {
+        let p = two_blob_points();
+        let w = vec![1.0; 100];
+        let c = Matrix::from_rows(&[vec![0.02, 0.0]]);
+        let d2 = ekm_linalg::distance::assign_blocked(&p, &c).unwrap().1;
+        let mut a = rng_from_seed(12);
+        let mut b = rng_from_seed(12);
+        let via_centers = d2_sample_batch(&mut a, &p, &w, Some(&c), 25).unwrap();
+        let via_d2 = d2_sample_batch_from(&mut b, &w, Some(&d2), 25).unwrap();
+        assert_eq!(via_centers, via_d2);
     }
 }

@@ -2,9 +2,10 @@
 //! primitive of Algorithms 1–4.
 
 use crate::cost::validate_weights;
-use crate::init::kmeanspp_centers;
+use crate::init::kmeanspp_centers_with;
 use crate::lloyd::{lloyd, LloydConfig};
 use crate::{ClusteringError, Result};
+use ekm_linalg::distance::Compute;
 use ekm_linalg::random::{derive_seed, rng_from_seed};
 use ekm_linalg::Matrix;
 
@@ -63,12 +64,13 @@ pub struct KMeans {
     n_init: usize,
     seed: u64,
     shards: usize,
+    compute: Compute,
 }
 
 impl KMeans {
     /// Creates a configuration for `k` clusters with the defaults
     /// `max_iter = 100`, `tol = 1e-7`, `n_init = 3`, `seed = 0`,
-    /// `shards = 1` (sequential centroid updates).
+    /// `shards = 1` (sequential centroid updates), `compute = F64`.
     pub fn new(k: usize) -> Self {
         KMeans {
             k,
@@ -77,6 +79,7 @@ impl KMeans {
             n_init: 3,
             seed: 0,
             shards: 1,
+            compute: Compute::F64,
         }
     }
 
@@ -109,6 +112,15 @@ impl KMeans {
     /// setting — sharding only changes wall-clock time.
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Sets the scalar precision of the distance kernels
+    /// ([`Compute::F64`] by default). `F64` is the bit-reproducibility
+    /// reference; `F32` runs seeding and assignment in single precision
+    /// for speed, with centroid accumulation still in f64.
+    pub fn with_compute(mut self, compute: Compute) -> Self {
+        self.compute = compute;
         self
     }
 
@@ -154,11 +166,12 @@ impl KMeans {
             max_iter: self.max_iter,
             tol: self.tol,
             shards: self.shards,
+            compute: self.compute,
         };
         let mut best: Option<KMeansModel> = None;
         for restart in 0..self.n_init {
             let mut rng = rng_from_seed(derive_seed(self.seed, restart as u64));
-            let init = kmeanspp_centers(&mut rng, points, weights, self.k)?;
+            let init = kmeanspp_centers_with(&mut rng, points, weights, self.k, self.compute)?;
             let out = lloyd(points, weights, &init, &config)?;
             let better = best
                 .as_ref()
@@ -216,6 +229,32 @@ mod tests {
         let m2 = KMeans::new(3).with_seed(9).fit(&p).unwrap();
         assert!(m1.centers.approx_eq(&m2.centers, 0.0));
         assert_eq!(m1.inertia, m2.inertia);
+    }
+
+    #[test]
+    fn f32_compute_fits_comparably() {
+        let p = three_blobs(20);
+        let m64 = KMeans::new(3).with_seed(4).fit(&p).unwrap();
+        let m32 = KMeans::new(3)
+            .with_seed(4)
+            .with_compute(Compute::F32)
+            .fit(&p)
+            .unwrap();
+        // Same blobs, so the achievable inertia is essentially identical.
+        assert!(
+            (m32.inertia - m64.inertia).abs() <= 1e-3 * (1.0 + m64.inertia),
+            "f32 {} vs f64 {}",
+            m32.inertia,
+            m64.inertia
+        );
+        // Deterministic at its own precision.
+        let again = KMeans::new(3)
+            .with_seed(4)
+            .with_compute(Compute::F32)
+            .fit(&p)
+            .unwrap();
+        assert_eq!(m32.inertia, again.inertia);
+        assert_eq!(m32.labels, again.labels);
     }
 
     #[test]

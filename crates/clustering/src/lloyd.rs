@@ -10,8 +10,9 @@
 //! including the sequential `shards = 1` solve (asserted by the
 //! `sharded_lloyd_*` proptests).
 
-use crate::cost::{assign, validate_weights, Assignment};
+use crate::cost::{assign_engine, validate_weights, Assignment};
 use crate::{ClusteringError, Result};
+use ekm_linalg::distance::{Compute, DistanceEngine};
 use ekm_linalg::{parallel, Matrix};
 
 /// Fixed row-chunk granularity of the deterministic accumulation tree.
@@ -49,6 +50,11 @@ pub struct LloydConfig {
     /// [`ekm_linalg::parallel::worker_count`]. Centers are bit-identical
     /// at every setting.
     pub shards: usize,
+    /// Scalar precision of the assignment kernel (default
+    /// [`Compute::F64`]). [`Compute::F32`] trades the f64 bit-for-bit
+    /// guarantee for roughly halved memory traffic in the distance step;
+    /// the centroid accumulation itself always runs in f64.
+    pub compute: Compute,
 }
 
 impl Default for LloydConfig {
@@ -57,6 +63,7 @@ impl Default for LloydConfig {
             max_iter: 100,
             tol: 1e-7,
             shards: 1,
+            compute: Compute::F64,
         }
     }
 }
@@ -163,7 +170,10 @@ pub fn lloyd(
     let k = initial_centers.rows();
     let d = points.cols();
     let mut centers = initial_centers.clone();
-    let mut assignment = assign(points, &centers)?;
+    // One engine for the whole solve: point norms (and the f32 mirror,
+    // when `compute = F32`) are prepared once, not per iteration.
+    let engine = DistanceEngine::new(points, config.compute);
+    let mut assignment = assign_engine(&engine, &centers)?;
     let mut inertia = assignment.weighted_cost(weights);
     let mut iterations = 0;
     let mut converged = false;
@@ -182,7 +192,7 @@ pub fn lloyd(
             // Empty clusters repaired below after distances refresh.
         }
 
-        let mut new_assignment = assign(points, &centers)?;
+        let mut new_assignment = assign_engine(&engine, &centers)?;
 
         // Repair empty clusters: move each to the worst-served point.
         let mut sizes = new_assignment.cluster_weights(k, weights);
@@ -198,7 +208,7 @@ pub fn lloyd(
             }
         }
         if repaired {
-            new_assignment = assign(points, &centers)?;
+            new_assignment = assign_engine(&engine, &centers)?;
             sizes = new_assignment.cluster_weights(k, weights);
             let _ = sizes;
         }
@@ -341,6 +351,26 @@ mod tests {
         let p = Matrix::from_rows(&[vec![0.0]]);
         assert!(lloyd(&p, &[1.0], &Matrix::zeros(0, 1), &LloydConfig::default()).is_err());
         assert!(lloyd(&p, &[-1.0], &c, &LloydConfig::default()).is_err());
+    }
+
+    #[test]
+    fn f32_compute_converges_close_to_f64() {
+        let p = blobs();
+        let w = vec![1.0; p.rows()];
+        let init = Matrix::from_rows(&[vec![1.0, 0.0], vec![45.0, 0.0]]);
+        let out64 = lloyd(&p, &w, &init, &LloydConfig::default()).unwrap();
+        let cfg32 = LloydConfig {
+            compute: Compute::F32,
+            ..LloydConfig::default()
+        };
+        let out32 = lloyd(&p, &w, &init, &cfg32).unwrap();
+        assert!(out32.converged);
+        assert!(
+            (out32.inertia - out64.inertia).abs() <= 5e-3 * (1.0 + out64.inertia),
+            "f32 inertia {} vs f64 {}",
+            out32.inertia,
+            out64.inertia
+        );
     }
 
     #[test]

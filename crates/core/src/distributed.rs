@@ -28,12 +28,12 @@ use crate::pipelines::{expect_coreset, quantize_for_wire};
 use crate::stage::Stage;
 use crate::{CoreError, Result, RunOutput};
 use ekm_clustering::bicriteria::{bicriteria, BicriteriaConfig};
-use ekm_clustering::cost::assign;
+use ekm_clustering::cost::assign_with;
 use ekm_coreset::Coreset;
 use ekm_linalg::random::{derive_seed, rng_from_seed, sample_weighted_indices};
 use ekm_linalg::{ops, svd, Matrix};
 use ekm_net::messages::Message;
-use ekm_net::wire::Precision;
+use ekm_net::wire::{Compute, Precision};
 use ekm_net::{Network, Transport, TransportLink};
 use std::borrow::Borrow;
 use std::time::Instant;
@@ -127,6 +127,7 @@ pub(crate) fn disss_local_bicriteria(
     k: usize,
     seed: u64,
     i: usize,
+    compute: Compute,
 ) -> Result<ekm_clustering::bicriteria::BicriteriaSolution> {
     let w = vec![1.0; shard.rows()];
     bicriteria(
@@ -135,6 +136,7 @@ pub(crate) fn disss_local_bicriteria(
         k,
         &BicriteriaConfig {
             seed: derive_seed(seed, 100 + i as u64),
+            compute,
             ..BicriteriaConfig::default()
         },
     )
@@ -160,6 +162,7 @@ pub(crate) fn disss_allocations(costs: &[f64], sample_size: usize) -> Vec<usize>
 /// (with the overshoot-safe per-cluster scheme), appends the bicriteria
 /// centers, and builds the (possibly quantized) coreset message exactly
 /// as it goes on the wire.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn disss_local_sample(
     shard: &Matrix,
     bic: &ekm_clustering::bicriteria::BicriteriaSolution,
@@ -168,8 +171,9 @@ pub(crate) fn disss_local_sample(
     i: usize,
     quantizer: Option<&ekm_quant::RoundingQuantizer>,
     precision: Precision,
+    compute: Compute,
 ) -> Result<Message> {
-    let a = assign(shard, &bic.centers)?;
+    let a = assign_with(shard, &bic.centers, compute)?;
     let n_clusters = bic.centers.rows();
     let cluster_sizes: Vec<f64> = {
         let sizes = a.cluster_sizes(n_clusters);
@@ -400,6 +404,7 @@ pub fn disss<T: Transport>(
         net,
         true,
         Precision::Full,
+        Compute::F64,
     )
 }
 
@@ -420,6 +425,7 @@ pub fn disss_opts<S: Borrow<Matrix> + Sync, T: Transport>(
     net: &mut T,
     parallel: bool,
     precision: Precision,
+    compute: Compute,
 ) -> Result<DisSsOutput> {
     if shard_points.is_empty() {
         return Err(CoreError::InvalidConfig {
@@ -443,7 +449,7 @@ pub fn disss_opts<S: Borrow<Matrix> + Sync, T: Transport>(
     let step1 = par_map_sources(shard_points, &mut links, parallel, |i, shard, link| {
         let shard = shard.borrow();
         let t0 = Instant::now();
-        let bic = disss_local_bicriteria(shard, k, seed, i)?;
+        let bic = disss_local_bicriteria(shard, k, seed, i, compute)?;
         let secs = t0.elapsed().as_secs_f64();
         let received = link.send_to_server(&Message::CostReport { cost: bic.cost })?;
         let cost = match received {
@@ -484,6 +490,7 @@ pub fn disss_opts<S: Borrow<Matrix> + Sync, T: Transport>(
             i,
             quantizer,
             precision,
+            compute,
         )?;
         let secs = t0.elapsed().as_secs_f64();
         let received = link.send_to_server(&msg)?;
@@ -692,9 +699,31 @@ mod tests {
         let data = workload(600, 10, 13);
         let parts = shards(&data, 6);
         let mut net_a = Network::new(6);
-        let a = disss_opts(&parts, 2, 80, 7, None, &mut net_a, true, Precision::Full).unwrap();
+        let a = disss_opts(
+            &parts,
+            2,
+            80,
+            7,
+            None,
+            &mut net_a,
+            true,
+            Precision::Full,
+            Compute::F64,
+        )
+        .unwrap();
         let mut net_b = Network::new(6);
-        let b = disss_opts(&parts, 2, 80, 7, None, &mut net_b, false, Precision::Full).unwrap();
+        let b = disss_opts(
+            &parts,
+            2,
+            80,
+            7,
+            None,
+            &mut net_b,
+            false,
+            Precision::Full,
+            Compute::F64,
+        )
+        .unwrap();
         assert!(a.coreset.points().approx_eq(b.coreset.points(), 0.0));
         assert_eq!(a.coreset.weights(), b.coreset.weights());
         assert_eq!(net_a.stats(), net_b.stats());

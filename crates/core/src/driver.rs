@@ -531,6 +531,7 @@ fn finalize<T: CommandTransport>(
         params.kmeans_restarts,
         derive_seed(params.seed, seeds::SERVER),
         params.solver_shards,
+        params.compute,
     )?;
     let mut centers = match &st.server_basis {
         Some(basis) => lift_centers_through_basis(&centers_summary, basis)?,

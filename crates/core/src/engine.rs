@@ -464,6 +464,7 @@ impl StagePipeline {
         h.write_str(&format!("{:?}", p.jl_kind));
         h.write_u64(p.seed);
         h.write_usize(p.stream_leaf_size);
+        h.write_str(p.compute.as_str());
         h.write_u64(state_fp);
         h.finish()
     }
@@ -525,6 +526,7 @@ impl StagePipeline {
                     net,
                     self.parallel,
                     self.params.precision,
+                    self.params.compute,
                 )?;
                 state.server_summary =
                     Some((out.coreset.points().clone(), out.coreset.weights().to_vec()));
@@ -599,6 +601,7 @@ impl StagePipeline {
             .with_pca_dim(t)
             .with_sample_size(size)
             .with_seed(derive_seed(self.params.seed, seeds::FSS))
+            .with_compute(self.params.compute)
             .build(state.parts[0].as_ref())?;
         state.parts[0] = Cow::Owned(fss.coordinates().clone());
         state.weights = Some(vec![fss.weights().to_vec()]);
@@ -632,7 +635,8 @@ impl StagePipeline {
         let streamed = par_map(&state.parts, self.parallel, |i, part| {
             let t0 = Instant::now();
             let mut stream = StreamingCoreset::new(k, leaf, per_source)
-                .with_seed(derive_seed(stream_seed, i as u64));
+                .with_seed(derive_seed(stream_seed, i as u64))
+                .with_compute(self.params.compute);
             // push_batch buffers row by row and flushes a leaf whenever
             // the buffer fills, so one call is bit-identical to feeding
             // leaf-sized bursts.
@@ -841,6 +845,7 @@ impl StagePipeline {
             self.params.kmeans_restarts,
             derive_seed(self.params.seed, seeds::SERVER),
             self.params.solver_shards,
+            self.params.compute,
         )?;
         let mut centers = match &state.basis {
             Some(basis) => lift_centers_through_basis(&centers_summary, basis)?,

@@ -10,6 +10,7 @@
 
 use crate::server::solve_weighted_kmeans;
 use crate::Result;
+use ekm_linalg::distance::Compute;
 use ekm_linalg::Matrix;
 
 /// A reference solution computed from the full dataset (the `X*` proxy).
@@ -29,7 +30,9 @@ pub struct Reference {
 /// Propagates clustering failures.
 pub fn reference(data: &Matrix, k: usize, restarts: usize, seed: u64) -> Result<Reference> {
     let weights = vec![1.0; data.rows()];
-    let centers = solve_weighted_kmeans(data, &weights, k, restarts.max(1), seed, 0)?;
+    // The X* proxy is always solved in f64: it is the yardstick the
+    // f32 compute path's cost-ratio contract is measured against.
+    let centers = solve_weighted_kmeans(data, &weights, k, restarts.max(1), seed, 0, Compute::F64)?;
     let cost = ekm_clustering::cost::cost(data, &centers)?;
     Ok(Reference { centers, cost })
 }

@@ -317,6 +317,7 @@ impl<'a> SourceExecutor<'a> {
                     .with_pca_dim(t)
                     .with_sample_size(size)
                     .with_seed(derive_seed(self.params.seed, seeds::FSS))
+                    .with_compute(self.params.compute)
                     .build(&self.part)?;
                 self.part = fss.coordinates().clone();
                 self.weights = Some(fss.weights().to_vec());
@@ -339,7 +340,8 @@ impl<'a> SourceExecutor<'a> {
                 let ops = complexity::stream(self.part.rows(), self.part.cols(), k, leaf);
                 let stream_seed = derive_seed(self.params.seed, seeds::STREAM);
                 let mut stream = StreamingCoreset::new(k, leaf, per_source)
-                    .with_seed(derive_seed(stream_seed, self.id as u64));
+                    .with_seed(derive_seed(stream_seed, self.id as u64))
+                    .with_compute(self.params.compute);
                 stream.push_batch(&self.part).map_err(CoreError::Coreset)?;
                 let coreset = stream.finalize_reduced().map_err(CoreError::Coreset)?;
                 let (points, w, delta) = coreset.into_parts();
@@ -389,7 +391,8 @@ impl<'a> SourceExecutor<'a> {
                 }
                 let seed = derive_seed(self.params.seed, seeds::FSS);
                 let t0 = Instant::now();
-                let bic = disss_local_bicriteria(&self.part, k, seed, self.id)?;
+                let bic =
+                    disss_local_bicriteria(&self.part, k, seed, self.id, self.params.compute)?;
                 let ops = complexity::bicriteria(self.part.rows(), self.part.cols(), k);
                 let secs = t0.elapsed().as_secs_f64();
                 let cost = bic.cost;
@@ -432,6 +435,7 @@ impl<'a> SourceExecutor<'a> {
                     self.id,
                     self.quantizer.as_ref(),
                     self.params.precision,
+                    self.params.compute,
                 )?;
                 let mut ops = complexity::assign(self.part.rows(), self.part.cols(), self.params.k);
                 if self.quantizer.is_some() {

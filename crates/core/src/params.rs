@@ -11,7 +11,7 @@
 //! * first JL dimension `⌈ln(nk)/ε²⌉` (Lemma 4.1 shape, unit constant),
 //! * second JL dimension `⌈ln(n'k)/ε²⌉` (Lemma 4.2 shape).
 
-use ekm_net::wire::Precision;
+use ekm_net::wire::{Compute, Precision};
 use ekm_quant::RoundingQuantizer;
 use ekm_sketch::JlKind;
 
@@ -50,6 +50,12 @@ pub struct SummaryParams {
     /// weights, SVD summaries ([`Precision::Full`] by default;
     /// [`Precision::F32`] halves them at a bounded accuracy cost).
     pub precision: Precision,
+    /// Compute precision of the distance kernels (seeding, assignment,
+    /// adaptive sampling) on both sources and server
+    /// ([`Compute::F64`] by default — the bit-reproducibility reference;
+    /// [`Compute::F32`] trades bit-identity for speed under the same
+    /// center-perturbation / cost-ratio contract as wire `F32`).
+    pub compute: Compute,
 }
 
 impl SummaryParams {
@@ -96,6 +102,7 @@ impl SummaryParams {
             stream_leaf_size: (2 * coreset_size).max(64),
             solver_shards: 0,
             precision: Precision::Full,
+            compute: Compute::F64,
         }
     }
 
@@ -175,6 +182,12 @@ impl SummaryParams {
     /// weights, SVD summaries).
     pub fn with_precision(mut self, precision: Precision) -> Self {
         self.precision = precision;
+        self
+    }
+
+    /// Sets the compute precision of the distance kernels.
+    pub fn with_compute(mut self, compute: Compute) -> Self {
+        self.compute = compute;
         self
     }
 
@@ -285,13 +298,16 @@ mod tests {
         assert!(p.stream_leaf_size >= p.coreset_size);
         assert_eq!(p.solver_shards, 0);
         assert_eq!(p.precision, Precision::Full);
+        assert_eq!(p.compute, Compute::F64);
         let p = p
             .with_stream_leaf_size(0)
             .with_solver_shards(4)
-            .with_precision(Precision::F32);
+            .with_precision(Precision::F32)
+            .with_compute(Compute::F32);
         assert_eq!(p.stream_leaf_size, 1); // clamped
         assert_eq!(p.solver_shards, 4);
         assert_eq!(p.precision, Precision::F32);
+        assert_eq!(p.compute, Compute::F32);
         assert!(p.validate(1000, 50).is_ok());
         let mut bad = p;
         bad.stream_leaf_size = 0;

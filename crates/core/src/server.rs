@@ -3,6 +3,7 @@
 
 use crate::{CoreError, Result};
 use ekm_clustering::kmeans::KMeans;
+use ekm_linalg::distance::Compute;
 use ekm_linalg::random::derive_seed;
 use ekm_linalg::{ops, Matrix};
 use ekm_sketch::JlProjection;
@@ -12,6 +13,9 @@ use ekm_sketch::JlProjection;
 /// sharded over `shards` worker threads (`0` follows the hardware; the
 /// centers are bit-identical at every setting, so the knob only trades
 /// wall-clock time — the summary can reach ~10⁵ points at full scale).
+/// `compute` selects the distance-kernel precision: `F64` is the
+/// bit-reproducibility reference, `F32` is faster under the accuracy
+/// contract.
 ///
 /// # Errors
 ///
@@ -24,11 +28,13 @@ pub fn solve_weighted_kmeans(
     restarts: usize,
     seed: u64,
     shards: usize,
+    compute: Compute,
 ) -> Result<Matrix> {
     let model = KMeans::new(k)
         .with_n_init(restarts.max(1))
         .with_seed(derive_seed(seed, 0x5EB))
         .with_shards(shards)
+        .with_compute(compute)
         .fit_weighted(points, weights)?;
     Ok(model.centers)
 }
@@ -73,7 +79,9 @@ mod tests {
             vec![8.0, 8.0],
             vec![8.2, 8.0],
         ]);
-        let centers = solve_weighted_kmeans(&points, &[1.0, 1.0, 1.0, 1.0], 2, 3, 1, 1).unwrap();
+        let centers =
+            solve_weighted_kmeans(&points, &[1.0, 1.0, 1.0, 1.0], 2, 3, 1, 1, Compute::F64)
+                .unwrap();
         assert_eq!(centers.shape(), (2, 2));
         let mut xs: Vec<f64> = (0..2).map(|i| centers[(i, 0)]).collect();
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -84,7 +92,8 @@ mod tests {
     #[test]
     fn weights_pull_centers() {
         let points = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
-        let centers = solve_weighted_kmeans(&points, &[3.0, 1.0], 1, 1, 0, 0).unwrap();
+        let centers =
+            solve_weighted_kmeans(&points, &[3.0, 1.0], 1, 1, 0, 0, Compute::F64).unwrap();
         assert!((centers[(0, 0)] - 0.25).abs() < 1e-9);
     }
 
@@ -122,7 +131,9 @@ mod tests {
 
     #[test]
     fn errors_propagate() {
-        assert!(solve_weighted_kmeans(&Matrix::zeros(0, 2), &[], 1, 1, 0, 1).is_err());
+        assert!(
+            solve_weighted_kmeans(&Matrix::zeros(0, 2), &[], 1, 1, 0, 1, Compute::F64).is_err()
+        );
         let pi = JlProjection::generate(JlKind::Gaussian, 10, 4, 1);
         // Wrong center dimension for lift.
         assert!(lift_centers(&Matrix::zeros(2, 5), &[&pi]).is_err());

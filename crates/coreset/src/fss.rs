@@ -16,6 +16,7 @@ use crate::sensitivity::{SensitivitySampler, WeightMode};
 use crate::types::Coreset;
 use crate::{CoresetError, Result};
 use ekm_clustering::bicriteria::BicriteriaConfig;
+use ekm_linalg::distance::Compute;
 use ekm_linalg::{ops, Matrix};
 use ekm_sketch::Pca;
 
@@ -118,6 +119,7 @@ pub struct FssBuilder {
     seed: u64,
     weight_mode: WeightMode,
     bicriteria: Option<BicriteriaConfig>,
+    compute: Compute,
 }
 
 impl FssBuilder {
@@ -132,6 +134,7 @@ impl FssBuilder {
             seed: 0,
             weight_mode: WeightMode::DeterministicTotal,
             bicriteria: None,
+            compute: Compute::F64,
         }
     }
 
@@ -162,6 +165,14 @@ impl FssBuilder {
     /// Overrides the bicriteria configuration of the sampler.
     pub fn with_bicriteria(mut self, config: BicriteriaConfig) -> Self {
         self.bicriteria = Some(config);
+        self
+    }
+
+    /// Sets the compute precision of the sensitivity-sampling step
+    /// ([`Compute::F64`] by default). An explicit bicriteria override
+    /// keeps its own compute for the bicriteria solve.
+    pub fn with_compute(mut self, compute: Compute) -> Self {
+        self.compute = compute;
         self
     }
 
@@ -197,7 +208,8 @@ impl FssBuilder {
         //    representations, so sampling in coordinates is exact.
         let mut sampler = SensitivitySampler::new(self.k, self.sample_size)
             .with_seed(self.seed)
-            .with_weight_mode(self.weight_mode);
+            .with_weight_mode(self.weight_mode)
+            .with_compute(self.compute);
         if let Some(b) = &self.bicriteria {
             sampler = sampler.with_bicriteria(b.clone());
         }

@@ -21,7 +21,8 @@
 use crate::types::Coreset;
 use crate::{CoresetError, Result};
 use ekm_clustering::bicriteria::{bicriteria, BicriteriaConfig, BicriteriaSolution};
-use ekm_clustering::cost::{assign, validate_weights};
+use ekm_clustering::cost::{assign_with, validate_weights};
+use ekm_linalg::distance::Compute;
 use ekm_linalg::random::{derive_seed, rng_from_seed, sample_weighted_indices};
 use ekm_linalg::Matrix;
 
@@ -59,6 +60,7 @@ pub struct SensitivitySampler {
     seed: u64,
     weight_mode: WeightMode,
     bicriteria: BicriteriaConfig,
+    compute: Compute,
 }
 
 impl SensitivitySampler {
@@ -72,6 +74,7 @@ impl SensitivitySampler {
             seed: 0,
             weight_mode: WeightMode::DeterministicTotal,
             bicriteria: BicriteriaConfig::default(),
+            compute: Compute::F64,
         }
     }
 
@@ -88,9 +91,19 @@ impl SensitivitySampler {
         self
     }
 
-    /// Overrides the bicriteria configuration.
+    /// Overrides the bicriteria configuration. The override carries its
+    /// own [`Compute`] for the bicriteria stage; the sampler's assignment
+    /// still follows [`SensitivitySampler::with_compute`].
     pub fn with_bicriteria(mut self, config: BicriteriaConfig) -> Self {
         self.bicriteria = config;
+        self
+    }
+
+    /// Sets the compute precision of both the bicriteria solve and the
+    /// sensitivity assignment ([`Compute::F64`] by default).
+    pub fn with_compute(mut self, compute: Compute) -> Self {
+        self.compute = compute;
+        self.bicriteria.compute = compute;
         self
     }
 
@@ -152,7 +165,7 @@ impl SensitivitySampler {
 
         // One blocked-kernel assignment serves the cluster weights, the
         // total cost, and the per-point sensitivity terms below.
-        let a = assign(points, &bic.centers)?;
+        let a = assign_with(points, &bic.centers, self.compute)?;
         let n_clusters = bic.centers.rows();
         let cluster_w = a.cluster_weights(n_clusters, weights);
         let total_cost = a.weighted_cost(weights);

@@ -17,6 +17,7 @@
 use crate::sensitivity::{SensitivitySampler, WeightMode};
 use crate::types::Coreset;
 use crate::{CoresetError, Result};
+use ekm_linalg::distance::Compute;
 use ekm_linalg::random::derive_seed;
 use ekm_linalg::Matrix;
 
@@ -45,6 +46,7 @@ pub struct StreamingCoreset {
     leaf_size: usize,
     sample_size: usize,
     seed: u64,
+    compute: Compute,
     dim: Option<usize>,
     buffer: Vec<f64>,
     buffered_rows: usize,
@@ -69,6 +71,7 @@ impl StreamingCoreset {
             leaf_size,
             sample_size,
             seed: 0,
+            compute: Compute::F64,
             dim: None,
             buffer: Vec::new(),
             buffered_rows: 0,
@@ -81,6 +84,13 @@ impl StreamingCoreset {
     /// Sets the RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the compute precision of every reduce's sensitivity sampler
+    /// ([`Compute::F64`] by default).
+    pub fn with_compute(mut self, compute: Compute) -> Self {
+        self.compute = compute;
         self
     }
 
@@ -176,6 +186,7 @@ impl StreamingCoreset {
         let reduced = SensitivitySampler::new(self.k, self.sample_size)
             .with_seed(derive_seed(self.seed, 0xF17A7))
             .with_weight_mode(WeightMode::DeterministicTotal)
+            .with_compute(self.compute)
             .sample(merged.points(), Some(merged.weights()))?;
         if delta > 0.0 {
             reduced.with_delta(reduced.delta() + delta)
@@ -205,6 +216,7 @@ impl StreamingCoreset {
         SensitivitySampler::new(self.k, self.sample_size)
             .with_seed(derive_seed(self.seed, 0x100 + self.reduces))
             .with_weight_mode(WeightMode::DeterministicTotal)
+            .with_compute(self.compute)
             .sample(points, weights)
     }
 

@@ -44,7 +44,7 @@ pub mod random;
 pub mod svd;
 
 pub use error::LinalgError;
-pub use matrix::Matrix;
+pub use matrix::{Matrix, MatrixF32};
 
 /// Convenience result alias used across the crate.
 pub type Result<T> = std::result::Result<T, LinalgError>;

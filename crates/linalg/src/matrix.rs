@@ -445,6 +445,78 @@ impl Matrix {
     }
 }
 
+/// A dense, row-major matrix of `f32` values — the storage behind the
+/// opt-in f32 *compute* precision of the distance kernels.
+///
+/// This is deliberately a small mirror of [`Matrix`], not a generic
+/// container: the only producer is [`MatrixF32::from_f64`] (one rounding
+/// per entry, round-to-nearest-even), and the only consumers are the
+/// kernels in [`crate::distance`], which never convert back row-wise —
+/// results cross back into `f64` exactly once, at the distance level.
+#[derive(Clone, PartialEq, Default)]
+pub struct MatrixF32 {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl MatrixF32 {
+    /// Rounds every entry of `m` to `f32`.
+    pub fn from_f64(m: &Matrix) -> Self {
+        MatrixF32 {
+            rows: m.rows,
+            cols: m.cols,
+            data: m.data.iter().map(|&v| v as f32).collect(),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Borrows row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Iterates over the rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1)).take(self.rows)
+    }
+
+    /// Borrows the backing row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+impl fmt::Debug for MatrixF32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MatrixF32 {}x{}", self.rows, self.cols)
+    }
+}
+
 impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
@@ -658,6 +730,17 @@ mod tests {
         let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
         assert_eq!(m[(1, 1)], 4.0);
         assert_eq!(m.into_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn matrix_f32_rounds_and_mirrors_shape() {
+        let m = Matrix::from_rows(&[vec![0.1, 2.0], vec![-3.5, 1e-40]]);
+        let s = MatrixF32::from_f64(&m);
+        assert_eq!(s.shape(), m.shape());
+        assert_eq!(s.row(0), &[0.1f32, 2.0]);
+        assert_eq!(s.row(1), &[-3.5f32, 1e-40f64 as f32]);
+        assert_eq!(s.iter_rows().count(), 2);
+        assert_eq!(s.as_slice().len(), 4);
     }
 
     #[test]

@@ -72,6 +72,90 @@ where
     });
 }
 
+/// Splits the row-major buffer `data` (rows of width `row_width`, any
+/// element type) into `workers` near-equal chunks of whole rows and runs
+/// `f(first_row_index, chunk)` on each via scoped threads. Per-row
+/// results must be independent, so any split is bit-identical; the
+/// blocked distance kernels route every precision through this one
+/// splitter.
+///
+/// # Panics
+///
+/// Panics if `row_width == 0` while `data` is non-empty.
+pub fn for_each_row_chunk_in<T, F>(data: &mut [T], row_width: usize, workers: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if data.is_empty() {
+        return;
+    }
+    assert!(row_width > 0, "for_each_row_chunk_in: zero row width");
+    let n_rows = data.len() / row_width;
+    let workers = workers.clamp(1, n_rows);
+    if workers == 1 {
+        f(0, data);
+        return;
+    }
+    let rows_per = n_rows.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let mut row_start = 0;
+        while !rest.is_empty() {
+            let take_rows = rows_per.min(rest.len() / row_width);
+            let (chunk, tail) = rest.split_at_mut(take_rows * row_width);
+            let fref = &f;
+            let start = row_start;
+            scope.spawn(move || fref(start, chunk));
+            row_start += take_rows;
+            rest = tail;
+        }
+    });
+}
+
+/// Splits two equal-length buffers at the same row boundaries and runs
+/// `f(first_index, a_chunk, b_chunk)` on each pair via scoped threads —
+/// the splitter behind fused assignment (labels + distances written by
+/// the same worker for the same points).
+///
+/// # Panics
+///
+/// Panics if the buffers disagree on length.
+pub fn for_each_pair_chunk_in<A, B, F>(a: &mut [A], b: &mut [B], workers: usize, f: F)
+where
+    A: Send,
+    B: Send,
+    F: Fn(usize, &mut [A], &mut [B]) + Sync,
+{
+    assert_eq!(a.len(), b.len(), "for_each_pair_chunk_in: length mismatch");
+    let n = a.len();
+    if n == 0 {
+        return;
+    }
+    let workers = workers.clamp(1, n);
+    if workers == 1 {
+        f(0, a, b);
+        return;
+    }
+    let per = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let mut arest = a;
+        let mut brest = b;
+        let mut start = 0;
+        while !arest.is_empty() {
+            let take = per.min(arest.len());
+            let (achunk, atail) = arest.split_at_mut(take);
+            let (bchunk, btail) = brest.split_at_mut(take);
+            arest = atail;
+            brest = btail;
+            let fref = &f;
+            let first = start;
+            scope.spawn(move || fref(first, achunk, bchunk));
+            start += take;
+        }
+    });
+}
+
 /// Maps `f` over `0..n` in parallel, writing results into a `Vec`.
 ///
 /// Used for embarrassingly parallel per-point computations (e.g. assignment
@@ -172,6 +256,47 @@ mod tests {
         let reference = par_map_indices_in(257, 1, |i| i * 3 + 1);
         for workers in [2, 4, 8, 300] {
             assert_eq!(par_map_indices_in(257, workers, |i| i * 3 + 1), reference);
+        }
+    }
+
+    #[test]
+    fn for_each_row_chunk_in_identical_at_every_worker_count() {
+        let width = 5;
+        let rows = 97;
+        let fill = |start: usize, chunk: &mut [f32]| {
+            for (local, row) in chunk.chunks_exact_mut(width).enumerate() {
+                for (j, v) in row.iter_mut().enumerate() {
+                    *v = ((start + local) * width + j) as f32;
+                }
+            }
+        };
+        let mut reference = vec![0.0f32; rows * width];
+        for_each_row_chunk_in(&mut reference, width, 1, fill);
+        for workers in [2, 3, 8, 200] {
+            let mut out = vec![0.0f32; rows * width];
+            for_each_row_chunk_in(&mut out, width, workers, fill);
+            assert_eq!(out, reference, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn for_each_pair_chunk_in_splits_pairs_consistently() {
+        let n = 61;
+        let fill = |start: usize, a: &mut [usize], b: &mut [f64]| {
+            for (off, (x, y)) in a.iter_mut().zip(b.iter_mut()).enumerate() {
+                *x = start + off;
+                *y = (start + off) as f64 * 0.5;
+            }
+        };
+        let mut ra = vec![0usize; n];
+        let mut rb = vec![0.0f64; n];
+        for_each_pair_chunk_in(&mut ra, &mut rb, 1, fill);
+        for workers in [2, 4, 100] {
+            let mut a = vec![0usize; n];
+            let mut b = vec![0.0f64; n];
+            for_each_pair_chunk_in(&mut a, &mut b, workers, fill);
+            assert_eq!(a, ra, "{workers} workers");
+            assert_eq!(b, rb, "{workers} workers");
         }
     }
 

@@ -172,6 +172,67 @@ proptest! {
         }
     }
 
+    /// The lane-accumulator kernel is bit-identical, at worker counts
+    /// {1,2,4,8}, to the pre-lane blocked kernel's arithmetic: the
+    /// norm-expansion form with one serial left-to-right dot product
+    /// per term, argmin with strict `<` in increasing center order.
+    #[test]
+    fn lane_kernel_bitwise_matches_serial_expansion(
+        p in matrix_strategy(90, 11),
+        seed in 0u64..1000,
+        k in 1usize..40,
+    ) {
+        let serial = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter().zip(b).fold(0.0, |acc, (x, y)| acc + x * y)
+        };
+        let c = ekm_linalg::random::gaussian_matrix(seed, k, p.cols(), 5.0);
+        let reference = Matrix::from_fn(p.rows(), k, |i, j| {
+            let (x, cj) = (p.row(i), c.row(j));
+            (serial(x, x) + serial(cj, cj) - 2.0 * serial(x, cj)).max(0.0)
+        });
+        let mut ref_best = vec![f64::INFINITY; p.rows()];
+        for (i, b) in ref_best.iter_mut().enumerate() {
+            for &v in reference.row(i) {
+                if v < *b {
+                    *b = v;
+                }
+            }
+        }
+        for workers in [1usize, 2, 4, 8] {
+            let m = distance::sq_dists_block_in(&p, &c, workers).unwrap();
+            prop_assert!(m == reference, "{} workers", workers);
+            let norms = distance::row_norms_sq(&p);
+            let mut best = vec![f64::INFINITY; p.rows()];
+            distance::min_sq_dists_update_in(&p, &norms, &c, &mut best, workers).unwrap();
+            prop_assert!(best == ref_best, "{} workers", workers);
+        }
+    }
+
+    /// The f32 compute path is deterministic and worker-invariant at its
+    /// own precision, and its distances stay within single-precision
+    /// relative tolerance of the f64 reference.
+    #[test]
+    fn f32_engine_deterministic_and_close(
+        p in matrix_strategy(120, 7),
+        seed in 0u64..1000,
+        k in 1usize..30,
+    ) {
+        let c = ekm_linalg::random::gaussian_matrix(seed, k, p.cols(), 2.0);
+        let engine = distance::DistanceEngine::new(&p, distance::Compute::F32);
+        let (labels, dists) = engine.assign_in(&c, 1).unwrap();
+        for workers in [2usize, 4, 8] {
+            let (l, d) = engine.assign_in(&c, workers).unwrap();
+            prop_assert!(l == labels, "{} workers", workers);
+            prop_assert!(d == dists, "{} workers", workers);
+        }
+        let (_, dists64) = distance::assign_blocked_in(&p, &c, 1).unwrap();
+        for (i, (&a, &b)) in dists.iter().zip(&dists64).enumerate() {
+            // Relative f32 tolerance on the expansion operands.
+            let scale = 1.0 + ops::dot(p.row(i), p.row(i)).abs() + b.abs();
+            prop_assert!((a - b).abs() <= 1e-5 * scale, "row {}: {} vs {}", i, a, b);
+        }
+    }
+
     #[test]
     fn dot_cauchy_schwarz(
         v in proptest::collection::vec(-5.0f64..5.0, 1..32),

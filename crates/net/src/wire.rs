@@ -11,6 +11,12 @@ use crate::{NetError, Result};
 use ekm_linalg::Matrix;
 use ekm_quant::rounding::{EXPONENT_BITS, STORED_SIGNIFICAND_BITS};
 
+/// Compute (kernel) precision, re-exported next to the wire
+/// [`Precision`] so run configurations can carry both descriptors:
+/// `Precision` governs how floats travel, `Compute` governs the scalar
+/// type the distance kernels run in at either end.
+pub use ekm_linalg::distance::Compute;
+
 /// Precision at which float payloads are encoded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Precision {
@@ -210,6 +216,18 @@ pub fn decode_matrix(r: &mut BitReader<'_>, precision: Precision) -> Result<Matr
 mod tests {
     use super::*;
     use ekm_quant::RoundingQuantizer;
+
+    #[test]
+    fn compute_descriptor_parses_both_ways() {
+        // The re-exported compute descriptor must roundtrip through its
+        // textual form, which is what run configs put on the wire.
+        for c in [Compute::F64, Compute::F32] {
+            assert_eq!(Compute::parse(c.as_str()), Some(c));
+            assert_eq!(format!("{c}"), c.as_str());
+        }
+        assert_eq!(Compute::parse("f16"), None);
+        assert_eq!(Compute::default(), Compute::F64);
+    }
 
     fn roundtrip_f64(x: f64, p: Precision) -> f64 {
         let mut w = BitWriter::new();

@@ -20,4 +20,35 @@ EKM_PERF_SCALE="$scale" cargo bench -p ekm-bench --bench bench_micro
 
 out="${EKM_BENCH_JSON:-BENCH_micro.json}"
 test -s "$out" || { echo "error: $out was not written" >&2; exit 1; }
+
+# Schema validation: v2 is current (per-kernel compute/workers fields,
+# f32_speedups, tile_sweep); v1 documents are still accepted during the
+# transition so older recordings keep validating.
+python3 - "$out" <<'EOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+schema = doc["schema"]
+assert schema in ("ekm-bench-micro/v1", "ekm-bench-micro/v2"), schema
+assert doc["kernels"], "no kernel timings recorded"
+assert doc["assign_speedups"], "no assignment speedups recorded"
+assert doc["transb_speedups"], "no matmul_transb speedups recorded"
+assert doc["protocol"], "no protocol-mode timings recorded"
+assert all(r["wire_bytes"] > 0 for r in doc["protocol"])
+assert doc["stage_cache"]["hits"] > 0, "stage cache never hit"
+if schema == "ekm-bench-micro/v2":
+    for k in doc["kernels"]:
+        assert k["compute"] in ("f64", "f32"), k
+        assert k["workers"] >= 1, k
+    assert doc["f32_speedups"], "no f32 compute speedups recorded"
+    for r in doc["f32_speedups"]:
+        assert r["compute"] == "f32" and r["blocked_f32_ns"] > 0, r
+    assert doc["tile_sweep"], "no CENTER_TILE/POINT_BLOCK sweep recorded"
+    for r in doc["assign_speedups"]:
+        # The parallel-scalar comparison is either present or explicitly
+        # labeled as skipped on single-worker hosts — never silently absent.
+        assert "scalar_par_ns" in r or r.get("scalar_par", "").startswith("skipped"), r
+print(f"{sys.argv[1]} ok ({schema}): {len(doc['kernels'])} kernels")
+EOF
+
 echo "bench_perf: $out ($scale scale)"

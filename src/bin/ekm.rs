@@ -24,7 +24,7 @@ use edge_kmeans::data::partition::partition_uniform;
 use edge_kmeans::data::synth::GaussianMixture;
 use edge_kmeans::net::event::{EventServerBinding, EventTcpSource};
 use edge_kmeans::net::tcp::{self, RunDigest, TcpServerBinding, TcpSource};
-use edge_kmeans::net::wire::Precision;
+use edge_kmeans::net::wire::{Compute, Precision};
 use edge_kmeans::net::{CommandTransport, Transport};
 use edge_kmeans::prelude::*;
 use std::collections::HashMap;
@@ -77,6 +77,10 @@ FLAGS (with defaults):
     --precision <p>     f64 | f32: wire precision of the auxiliary
                         payloads (bases, coreset weights, SVD
                         summaries); f32 halves them             [f64]
+    --compute <p>       f64 | f32: distance-kernel precision on the
+                        sources and the server; f64 is the
+                        bit-reproducibility reference, f32 trades
+                        ~1e-2 relative accuracy for speed       [f64]
     --leaf-size <int>   stream stage leaf-buffer size [2x coreset size]
     --threads <int>     cap worker threads (sharded solve, per-source
                         fan-out); 0 follows the hardware        [0]
@@ -252,6 +256,11 @@ fn build_params(args: &Args, n: usize, d: usize) -> Result<SummaryParams, String
         "f64" => {}
         "f32" => params = params.with_precision(Precision::F32),
         other => return Err(format!("--precision expects f64|f32, got '{other}'")),
+    }
+    let compute_flag = args.get_str("compute", "f64");
+    match Compute::parse(&compute_flag) {
+        Some(c) => params = params.with_compute(c),
+        None => return Err(format!("--compute expects f64|f32, got '{compute_flag}'")),
     }
     if args.flags.contains_key("leaf-size") {
         let leaf = args.get_usize("leaf-size", 0)?;
@@ -510,7 +519,7 @@ struct DistRun {
 fn canonical_config(args: &Args, m: usize) -> Result<String, String> {
     Ok(format!(
         "dataset={};n={};d={};k={};seed={};pipeline={};stages={};quantize={};\
-         precision={};leaf-size={};sources={m}",
+         precision={};compute={};leaf-size={};sources={m}",
         args.get_str("dataset", "mnist-like"),
         args.get_usize("n", 2000)?,
         args.get_usize("d", 196)?,
@@ -520,6 +529,7 @@ fn canonical_config(args: &Args, m: usize) -> Result<String, String> {
         args.get_str("stages", "-"),
         args.get_str("quantize", "-"),
         args.get_str("precision", "f64"),
+        args.get_str("compute", "f64"),
         args.get_str("leaf-size", "-"),
     ))
 }
@@ -1007,6 +1017,20 @@ mod tests {
     }
 
     #[test]
+    fn compute_flag_reaches_params() {
+        let a = args(&["run", "--compute", "f32"]).unwrap();
+        let p = build_params(&a, 100, 10).unwrap();
+        assert_eq!(p.compute, Compute::F32);
+        // f64 is both the default and an explicit spelling.
+        let a = args(&["run"]).unwrap();
+        assert_eq!(build_params(&a, 100, 10).unwrap().compute, Compute::F64);
+        let a = args(&["run", "--compute", "f64"]).unwrap();
+        assert_eq!(build_params(&a, 100, 10).unwrap().compute, Compute::F64);
+        let a = args(&["run", "--compute", "f16"]).unwrap();
+        assert!(build_params(&a, 100, 10).unwrap_err().contains("f16"));
+    }
+
+    #[test]
     fn fingerprint_covers_precision_and_leaf_size() {
         let base = args(&["serve", "--n", "500"]).unwrap();
         let fp = |a: &Args| tcp::fingerprint(&canonical_config(a, 2).unwrap());
@@ -1014,6 +1038,10 @@ mod tests {
         assert_ne!(fp(&base), fp(&f32p));
         let leaf = args(&["serve", "--n", "500", "--leaf-size", "64"]).unwrap();
         assert_ne!(fp(&base), fp(&leaf));
+        // --compute shapes every distance result, so both ends must agree.
+        let f32c = args(&["serve", "--n", "500", "--compute", "f32"]).unwrap();
+        assert_ne!(fp(&base), fp(&f32c));
+        assert_ne!(fp(&f32p), fp(&f32c));
         // --threads does not shape the bits, so it stays out.
         let threads = args(&["serve", "--n", "500", "--threads", "2"]).unwrap();
         assert_eq!(fp(&base), fp(&threads));

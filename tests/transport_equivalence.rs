@@ -38,9 +38,16 @@ fn workload(seed: u64) -> Matrix {
     normalize_paper(&ds.points).0
 }
 
+/// `EKM_COMPUTE=f32` reruns the whole equivalence matrix under the f32
+/// distance kernels: transports must agree with the simulation at either
+/// compute precision (f64 stays the default leg).
 fn params(data: &Matrix) -> SummaryParams {
     let (n, d) = data.shape();
-    SummaryParams::practical(2, n, d).with_seed(23)
+    let mut p = SummaryParams::practical(2, n, d).with_seed(23);
+    if std::env::var("EKM_COMPUTE").as_deref() == Ok("f32") {
+        p = p.with_compute(edge_kmeans::net::wire::Compute::F32);
+    }
+    p
 }
 
 /// The per-source shards a pipeline runs over: the whole dataset for a
