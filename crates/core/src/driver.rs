@@ -24,6 +24,7 @@
 
 use crate::engine::JlBook;
 use crate::executor::{SourceExecutor, SourceRunReport};
+use crate::output::Degradation;
 use crate::pipelines::seeds;
 use crate::projection::MaybeProjection;
 use crate::server::{lift_centers_through_basis, solve_weighted_kmeans};
@@ -33,7 +34,9 @@ use ekm_coreset::Coreset;
 use ekm_linalg::random::derive_seed;
 use ekm_linalg::Matrix;
 use ekm_net::messages::Message;
-use ekm_net::protocol::{channel_pairs, Command, CommandTransport, Payload, Response};
+use ekm_net::protocol::{
+    channel_pairs, Command, CommandTransport, DeadlinePolicy, Payload, Response,
+};
 use ekm_net::{NetError, NetworkStats, RunDigest};
 use std::time::Instant;
 
@@ -46,6 +49,7 @@ fn expect_done(resp: Response, context: &'static str) -> Result<(u64, u64, u64, 
             cols,
             ops,
             seconds,
+            ..
         } => Ok((rows, cols, ops, seconds)),
         Response::Err { reason } => Err(CoreError::Net(NetError::RemoteAbort { reason })),
         other => Err(CoreError::Net(NetError::ProtocolViolation {
@@ -63,6 +67,7 @@ fn expect_up(resp: Response, context: &'static str) -> Result<(Payload, u64, f64
             payload,
             ops,
             seconds,
+            ..
         } => Ok((payload, ops, seconds)),
         Response::Err { reason } => Err(CoreError::Net(NetError::RemoteAbort { reason })),
         other => Err(CoreError::Net(NetError::ProtocolViolation {
@@ -70,6 +75,166 @@ fn expect_up(resp: Response, context: &'static str) -> Result<(Payload, u64, f64
             expected: "an uplink response",
             got: other.name().to_string(),
         })),
+    }
+}
+
+/// Per-source liveness bookkeeping layered over the raw transport — the
+/// driver's straggler-handling seam.
+///
+/// Every round command is remembered per source so a transport-level
+/// [`Response::SourceLost`] (a missed deadline or a dropped connection)
+/// triggers exactly one [`Command::Reissue`]. A second failure *degrades*
+/// the run: the source is marked lost, subsequent sends skip it silently,
+/// and every fold proceeds over the survivors. Responses carrying a round
+/// number below the source's current round are duplicates surfaced by a
+/// reissue race and are dropped.
+///
+/// Loss during the describe round is a hard error — the driver cannot
+/// bound the cost of dropping a shard whose size it never learned.
+struct RoundNet<'a, T: CommandTransport> {
+    inner: &'a mut T,
+    alive: Vec<bool>,
+    lost: Vec<Option<String>>,
+    /// Expected round number per source (rounds issued so far).
+    rounds: Vec<u64>,
+    /// The last round command sent per source, for a one-shot reissue.
+    last_cmd: Vec<Option<Command>>,
+    /// False until the describe round completes.
+    degradable: bool,
+}
+
+impl<'a, T: CommandTransport> RoundNet<'a, T> {
+    fn new(inner: &'a mut T) -> Self {
+        let m = inner.sources();
+        RoundNet {
+            inner,
+            alive: vec![true; m],
+            lost: vec![None; m],
+            rounds: vec![0; m],
+            last_cmd: vec![None; m],
+            degradable: false,
+        }
+    }
+
+    fn survivors(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    fn stats(&self) -> &NetworkStats {
+        self.inner.stats()
+    }
+
+    fn mark_lost(&mut self, i: usize, reason: String) -> Result<()> {
+        if !self.degradable {
+            return Err(CoreError::Net(NetError::Transport {
+                context: "describe round",
+                detail: format!("source {i} failed before describing its shard: {reason}"),
+            }));
+        }
+        self.alive[i] = false;
+        self.lost[i] = Some(reason);
+        if self.survivors() == 0 {
+            return Err(CoreError::Net(NetError::Transport {
+                context: "fault handling",
+                detail: "every source was lost; nothing left to degrade onto".to_string(),
+            }));
+        }
+        Ok(())
+    }
+
+    /// Sends to `i` unless it is already lost. A transport failure marks
+    /// the source lost (the round proceeds without it); every other error
+    /// kind propagates.
+    fn send(&mut self, i: usize, cmd: &Command) -> Result<()> {
+        if !self.alive[i] {
+            return Ok(());
+        }
+        if cmd.is_round() {
+            self.rounds[i] += 1;
+            self.last_cmd[i] = Some(cmd.clone());
+        }
+        match self.inner.send(i, cmd) {
+            Ok(()) => Ok(()),
+            Err(NetError::Transport { context, detail }) => {
+                self.mark_lost(i, format!("send failed during {context}: {detail}"))
+            }
+            Err(e) => Err(CoreError::Net(e)),
+        }
+    }
+
+    /// Receives source `i`'s answer to the current round, or `None` when
+    /// the source is (or just became) lost.
+    fn recv(&mut self, i: usize) -> Result<Option<Response>> {
+        if !self.alive[i] {
+            return Ok(None);
+        }
+        let mut reissued = false;
+        loop {
+            match self.inner.recv(i) {
+                Ok(Response::SourceLost { reason }) => {
+                    let retry = !reissued
+                        && self.degradable
+                        && self.last_cmd[i].is_some()
+                        && self.reissue(i).is_ok();
+                    if !retry {
+                        self.mark_lost(i, reason)?;
+                        return Ok(None);
+                    }
+                    reissued = true;
+                }
+                Ok(resp) => {
+                    if let Some(r) = resp.round() {
+                        if r < self.rounds[i] {
+                            // A duplicate from before the reissue.
+                            continue;
+                        }
+                    }
+                    return Ok(Some(resp));
+                }
+                Err(e) => return Err(CoreError::Net(e)),
+            }
+        }
+    }
+
+    /// Re-sends the current round command wrapped in [`Command::Reissue`]
+    /// directly on the inner transport: the executor answers from its
+    /// response cache if it already ran the round, or runs it fresh if
+    /// the original command never arrived. Retransmissions are control
+    /// plane — they carry recovery overhead, not protocol cost, and are
+    /// not charged to [`NetworkStats`].
+    fn reissue(&mut self, i: usize) -> std::result::Result<(), NetError> {
+        let cmd = self.last_cmd[i].clone().expect("checked by caller");
+        self.inner.send(
+            i,
+            &Command::Reissue {
+                round: self.rounds[i],
+                cmd: Box::new(cmd),
+            },
+        )
+    }
+
+    /// The degradation record for the run, or `None` if every source
+    /// survived. `rows` is the per-source shard size from the describe
+    /// round; the bound is the documented `(1 + ε) / (1 − p)` heuristic.
+    fn degradation(&self, rows: &[u64], epsilon: f64) -> Option<Degradation> {
+        let lost_sources: Vec<(usize, String)> = self
+            .lost
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().map(|r| (i, r.clone())))
+            .collect();
+        if lost_sources.is_empty() {
+            return None;
+        }
+        let rows_total: usize = rows.iter().map(|&r| r as usize).sum();
+        let rows_lost: usize = lost_sources.iter().map(|&(i, _)| rows[i] as usize).sum();
+        let frac = rows_lost as f64 / rows_total.max(1) as f64;
+        Some(Degradation {
+            lost_sources,
+            rows_lost,
+            rows_total,
+            cost_ratio_bound: (1.0 + epsilon) / (1.0 - frac),
+        })
     }
 }
 
@@ -135,15 +300,33 @@ fn drive<T: CommandTransport>(pipe: &StagePipeline, net: &mut T) -> Result<RunOu
     let up0 = net.stats().total_uplink_bits();
     let down0 = net.stats().total_downlink_bits();
 
+    // A non-default deadline policy is announced before any round: the
+    // transport arms its own timers, and every source re-arms its
+    // endpoint. `Deadline` takes no response and is never journaled.
+    if params.deadline != DeadlinePolicy::default() {
+        net.set_deadline(params.deadline);
+        let ms = params.deadline.command.as_millis() as u64;
+        for i in 0..m {
+            net.send(i, &Command::Deadline { ms })?;
+        }
+    }
+
+    let mut rnet = RoundNet::new(net);
+
     // Round 0: every source describes its shard; the driver performs the
-    // same validation the engine runs on the materialized shards.
+    // same validation the engine runs on the materialized shards. Loss
+    // here is unrecoverable — a shard of unknown size cannot be dropped
+    // within a quantified bound.
     for i in 0..m {
-        net.send(i, &Command::Describe)?;
+        rnet.send(i, &Command::Describe)?;
     }
     let mut rows = vec![0u64; m];
     let mut d = 0usize;
     for (i, row) in rows.iter_mut().enumerate() {
-        let (r, c, _, _) = expect_done(net.recv(i)?, "describe round")?;
+        let resp = rnet.recv(i)?.ok_or(CoreError::Protocol {
+            reason: "a source was lost during the describe round",
+        })?;
+        let (r, c, _, _) = expect_done(resp, "describe round")?;
         *row = r;
         if i == 0 {
             d = c as usize;
@@ -155,6 +338,7 @@ fn drive<T: CommandTransport>(pipe: &StagePipeline, net: &mut T) -> Result<RunOu
     }
     let total_n: usize = rows.iter().map(|&r| r as usize).sum();
     params.validate(total_n, d)?;
+    rnet.degradable = true;
 
     let mut st = DriverState {
         cur: d,
@@ -178,10 +362,10 @@ fn drive<T: CommandTransport>(pipe: &StagePipeline, net: &mut T) -> Result<RunOu
                 reason: "no stage may follow disss: the summary already lives at the server",
             });
         }
-        run_stage(pipe, net, &mut st, idx as u32, stage, m)?;
+        run_stage(pipe, &mut rnet, &mut st, idx as u32, stage, m)?;
     }
 
-    finalize(pipe, net, st, m, up0, down0)
+    finalize(pipe, &mut rnet, st, m, up0, down0, &rows)
 }
 
 /// Drops the driver's basis bookkeeping, mirroring the executors'
@@ -195,11 +379,11 @@ fn drop_basis(st: &mut DriverState) {
     }
 }
 
-/// One `Stage` command to every source, responses folded as `Done`s.
-/// Returns `(max ops, max seconds, cols)` with the column count
-/// verified identical across sources.
+/// One `Stage` command to every surviving source, responses folded as
+/// `Done`s. Returns `(max ops, max seconds, cols)` with the column count
+/// verified identical across the sources that answered.
 fn local_round<T: CommandTransport>(
-    net: &mut T,
+    net: &mut RoundNet<'_, T>,
     idx: u32,
     m: usize,
     context: &'static str,
@@ -209,27 +393,33 @@ fn local_round<T: CommandTransport>(
     }
     let mut ops = 0u64;
     let mut secs = 0.0f64;
-    let mut cols = 0usize;
+    let mut cols: Option<usize> = None;
     for i in 0..m {
-        let (_, c, o, s) = expect_done(net.recv(i)?, context)?;
-        if i == 0 {
-            cols = c as usize;
-        } else if c as usize != cols {
-            return Err(CoreError::Net(NetError::ProtocolViolation {
-                context,
-                expected: "every source in the same working dimension",
-                got: format!("source {i} reports {c} columns, source 0 reports {cols}"),
-            }));
+        let Some(resp) = net.recv(i)? else { continue };
+        let (_, c, o, s) = expect_done(resp, context)?;
+        match cols {
+            None => cols = Some(c as usize),
+            Some(expected) if c as usize != expected => {
+                return Err(CoreError::Net(NetError::ProtocolViolation {
+                    context,
+                    expected: "every source in the same working dimension",
+                    got: format!("source {i} reports {c} columns, an earlier source {expected}"),
+                }));
+            }
+            Some(_) => {}
         }
         ops = ops.max(o);
         secs = secs.max(s);
     }
+    let cols = cols.ok_or(CoreError::Protocol {
+        reason: "no surviving source answered the round",
+    })?;
     Ok((ops, secs, cols))
 }
 
 fn run_stage<T: CommandTransport>(
     pipe: &StagePipeline,
-    net: &mut T,
+    net: &mut RoundNet<'_, T>,
     st: &mut DriverState,
     idx: u32,
     stage: &Stage,
@@ -317,7 +507,8 @@ fn run_stage<T: CommandTransport>(
             let mut ops1 = 0u64;
             let mut secs1 = 0.0f64;
             for i in 0..m {
-                let (payload, o, s) = expect_up(net.recv(i)?, "dispca summary")?;
+                let Some(resp) = net.recv(i)? else { continue };
+                let (payload, o, s) = expect_up(resp, "dispca summary")?;
                 ops1 = ops1.max(o);
                 secs1 = secs1.max(s);
                 match payload.decode().map_err(CoreError::Net)? {
@@ -355,7 +546,8 @@ fn run_stage<T: CommandTransport>(
             let mut ops2 = 0u64;
             let mut secs2 = 0.0f64;
             for i in 0..m {
-                let (_, c, o, s) = expect_done(net.recv(i)?, "dispca projection")?;
+                let Some(resp) = net.recv(i)? else { continue };
+                let (_, c, o, s) = expect_done(resp, "dispca projection")?;
                 verify_cols(c as usize, basis.cols(), "dispca projection")?;
                 ops2 = ops2.max(o);
                 secs2 = secs2.max(s);
@@ -385,15 +577,23 @@ fn run_stage<T: CommandTransport>(
             for i in 0..m {
                 net.send(i, &Command::Stage { index: idx })?;
             }
+            // Responders are tracked by id: a lost source drops out of
+            // the allocation fold, and its budget share is redistributed
+            // over the survivors by the same proportional rule.
+            let mut responders = Vec::with_capacity(m);
             let mut costs = Vec::with_capacity(m);
             let mut ops1 = 0u64;
             let mut secs1 = 0.0f64;
             for i in 0..m {
-                let (payload, o, s) = expect_up(net.recv(i)?, "disss cost report")?;
+                let Some(resp) = net.recv(i)? else { continue };
+                let (payload, o, s) = expect_up(resp, "disss cost report")?;
                 ops1 = ops1.max(o);
                 secs1 = secs1.max(s);
                 match payload.decode().map_err(CoreError::Net)? {
-                    Message::CostReport { cost } => costs.push(cost),
+                    Message::CostReport { cost } => {
+                        responders.push(i);
+                        costs.push(cost);
+                    }
                     _ => {
                         return Err(CoreError::Protocol {
                             reason: "expected cost report",
@@ -403,7 +603,7 @@ fn run_stage<T: CommandTransport>(
             }
             // Step 2: proportional allocation (shared fold).
             let allocations = distributed::disss_allocations(&costs, budget);
-            for (i, &s_i) in allocations.iter().enumerate() {
+            for (&i, &s_i) in responders.iter().zip(allocations.iter()) {
                 net.send(
                     i,
                     &Command::Deliver {
@@ -415,8 +615,9 @@ fn run_stage<T: CommandTransport>(
             let mut parts = Vec::with_capacity(m);
             let mut ops2 = 0u64;
             let mut secs2 = 0.0f64;
-            for i in 0..m {
-                let (payload, o, s) = expect_up(net.recv(i)?, "disss sample")?;
+            for &i in &responders {
+                let Some(resp) = net.recv(i)? else { continue };
+                let (payload, o, s) = expect_up(resp, "disss sample")?;
                 ops2 = ops2.max(o);
                 secs2 = secs2.max(s);
                 match payload.decode().map_err(CoreError::Net)? {
@@ -460,11 +661,12 @@ fn verify_cols(got: usize, expected: usize, context: &'static str) -> Result<()>
 
 fn finalize<T: CommandTransport>(
     pipe: &StagePipeline,
-    net: &mut T,
+    net: &mut RoundNet<'_, T>,
     mut st: DriverState,
     m: usize,
     up0: u64,
     down0: u64,
+    rows: &[u64],
 ) -> Result<RunOutput> {
     let params = pipe.params();
     let (points, weights) = match st.server_summary.take() {
@@ -474,7 +676,10 @@ fn finalize<T: CommandTransport>(
             // copy for the final lift.
             if st.has_basis && !st.basis_shared {
                 net.send(0, &Command::TransmitBasis)?;
-                let (payload, _, _) = expect_up(net.recv(0)?, "basis transmit")?;
+                let resp = net.recv(0)?.ok_or(CoreError::Protocol {
+                    reason: "the basis-holding source was lost before transmitting it",
+                })?;
+                let (payload, _, _) = expect_up(resp, "basis transmit")?;
                 match payload.decode().map_err(CoreError::Net)? {
                     Message::Basis { basis, .. } => st.server_basis = Some(basis),
                     _ => {
@@ -493,7 +698,8 @@ fn finalize<T: CommandTransport>(
             let mut ops = 0u64;
             let mut secs = 0.0f64;
             for i in 0..m {
-                let (payload, o, s) = expect_up(net.recv(i)?, "summary transmit")?;
+                let Some(resp) = net.recv(i)? else { continue };
+                let (payload, o, s) = expect_up(resp, "summary transmit")?;
                 ops = ops.max(o);
                 secs = secs.max(s);
                 match payload.decode().map_err(CoreError::Net)? {
@@ -557,10 +763,12 @@ fn finalize<T: CommandTransport>(
         )?;
     }
     for i in 0..m {
-        match net.recv(i)? {
+        let Some(resp) = net.recv(i)? else { continue };
+        match resp {
             Response::Fin {
                 uplink_bits,
                 downlink_bits,
+                ..
             } => {
                 if uplink_bits != net.stats().uplink_bits(i)
                     || downlink_bits != net.stats().downlink_bits(i)
@@ -584,6 +792,7 @@ fn finalize<T: CommandTransport>(
         }
     }
 
+    let degraded = net.degradation(rows, params.epsilon);
     Ok(RunOutput {
         centers,
         uplink_bits: net.stats().total_uplink_bits() - up0,
@@ -592,6 +801,7 @@ fn finalize<T: CommandTransport>(
         server_seconds: st.server_seconds,
         source_ops: st.source_ops,
         summary_points: points.rows(),
+        degraded,
     })
 }
 
@@ -654,9 +864,18 @@ impl StagePipeline {
             let out = run_driver(self, &mut hub);
             let reports: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
             let out = out?;
+            let mut lost = vec![false; m];
+            if let Some(deg) = &out.degraded {
+                for &(i, _) in &deg.lost_sources {
+                    lost[i] = true;
+                }
+            }
             let mut source_reports = Vec::with_capacity(m);
-            for report in reports {
+            for (i, report) in reports.into_iter().enumerate() {
                 match report {
+                    // A dropped source has no run report; the degraded
+                    // record already names it.
+                    _ if lost[i] => continue,
                     Ok(Ok(r)) => source_reports.push(r),
                     Ok(Err(e)) => return Err(e),
                     Err(_) => {

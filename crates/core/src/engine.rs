@@ -864,6 +864,7 @@ impl StagePipeline {
             server_seconds: state.server_seconds,
             source_ops: state.source_ops,
             summary_points: points.rows(),
+            degraded: None,
         })
     }
 }

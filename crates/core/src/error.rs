@@ -30,6 +30,13 @@ pub enum CoreError {
         /// The offending token.
         token: String,
     },
+    /// The command-round journal is unusable: corrupt records, a
+    /// configuration mismatch, or a replay that diverged from the
+    /// driver's deterministic command sequence.
+    Journal {
+        /// Explanation.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -47,6 +54,7 @@ impl fmt::Display for CoreError {
                 "unknown stage '{token}' (valid stages: {})",
                 crate::stage::Stage::vocabulary()
             ),
+            CoreError::Journal { reason } => write!(f, "journal failure: {reason}"),
         }
     }
 }

@@ -31,10 +31,22 @@ use ekm_coreset::{FssBuilder, StreamingCoreset};
 use ekm_linalg::random::derive_seed;
 use ekm_linalg::{ops, Matrix};
 use ekm_net::messages::Message;
-use ekm_net::protocol::{Command, Payload, Response, SourceEndpoint};
+use ekm_net::protocol::{Command, DeadlinePolicy, Payload, Response, SourceEndpoint};
 use ekm_net::NetError;
 use std::collections::BTreeMap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// FNV-1a fingerprint of an executor's protocol position: the round
+/// counter plus its own uplink/downlink ledgers. A resumed driver
+/// cross-checks this against its journal-replayed counters before
+/// going live again.
+pub(crate) fn state_fingerprint(round: u64, uplink_bits: u64, downlink_bits: u64) -> u64 {
+    let mut h = crate::cache::Fnv::new();
+    h.write_u64(round);
+    h.write_u64(uplink_bits);
+    h.write_u64(downlink_bits);
+    h.finish()
+}
 
 /// What one executor observed over a completed run — its own traffic
 /// only. The driver cross-checks the bit counts against its per-source
@@ -93,6 +105,11 @@ pub struct SourceExecutor<'a> {
     handed_off: bool,
     pending: Option<PendingDeliver>,
     report: SourceRunReport,
+    /// Rounds answered so far (the first command of a run is round 1).
+    round: u64,
+    /// The last round's response, kept for `Command::Reissue` so a
+    /// recovering driver can re-collect it without recomputation.
+    last_response: Option<Response>,
 }
 
 impl<'a> SourceExecutor<'a> {
@@ -124,10 +141,17 @@ impl<'a> SourceExecutor<'a> {
             handed_off: false,
             pending: None,
             report: SourceRunReport::default(),
+            round: 0,
+            last_response: None,
         }
     }
 
     /// Serves commands until the run finishes or fails.
+    ///
+    /// Takes `&mut self` so a transport failure leaves the executor's
+    /// state intact: a source that loses its server can reconnect and
+    /// call `serve` again on a fresh endpoint, answering replayed or
+    /// reissued rounds from the same position (`ekm source --reconnect`).
     ///
     /// # Errors
     ///
@@ -135,14 +159,68 @@ impl<'a> SourceExecutor<'a> {
     /// aborts, and local compute/validation failures (which are also
     /// reported back to the driver as an `Err` response before
     /// returning).
-    pub fn serve<E: SourceEndpoint>(mut self, endpoint: &mut E) -> Result<SourceRunReport> {
+    pub fn serve<E: SourceEndpoint>(&mut self, endpoint: &mut E) -> Result<SourceRunReport> {
         loop {
-            let cmd = endpoint.recv_command().map_err(CoreError::Net)?;
+            let mut cmd = endpoint.recv_command().map_err(CoreError::Net)?;
+            // The fault-tolerance vocabulary is handled here, against the
+            // endpoint; `step` only ever sees round commands and aborts.
+            match cmd {
+                Command::Deadline { ms } => {
+                    endpoint.set_deadline(DeadlinePolicy::uniform(Duration::from_millis(ms)));
+                    continue;
+                }
+                Command::Resume { .. } => {
+                    let resp = Response::Resumed {
+                        round: self.round,
+                        fingerprint: state_fingerprint(
+                            self.round,
+                            self.report.uplink_bits,
+                            self.report.downlink_bits,
+                        ),
+                    };
+                    endpoint.send_response(resp).map_err(CoreError::Net)?;
+                    continue;
+                }
+                Command::Reissue { round, cmd: inner } => {
+                    if round == self.round {
+                        // Already executed: resend the cached response.
+                        let resp = self.last_response.clone().ok_or(CoreError::Net(
+                            NetError::ProtocolViolation {
+                                context: "reissue",
+                                expected: "a cached response for the reissued round",
+                                got: format!("round {round} with no cached response"),
+                            },
+                        ))?;
+                        endpoint.send_response(resp).map_err(CoreError::Net)?;
+                        continue;
+                    }
+                    if round != self.round + 1 {
+                        return Err(CoreError::Net(NetError::ProtocolViolation {
+                            context: "reissue",
+                            expected: "the current or next round",
+                            got: format!("round {round} at executor round {}", self.round),
+                        }));
+                    }
+                    // Never received: execute the carried command fresh.
+                    cmd = *inner;
+                }
+                _ => {}
+            }
+            let is_round = cmd.is_round();
+            if is_round {
+                self.round += 1;
+            }
             match self.step(cmd) {
                 Ok(StepOutcome::Reply(resp)) => {
+                    if is_round {
+                        self.last_response = Some(resp.clone());
+                    }
                     endpoint.send_response(resp).map_err(CoreError::Net)?;
                 }
                 Ok(StepOutcome::Finished(resp, report)) => {
+                    if is_round {
+                        self.last_response = Some(resp.clone());
+                    }
                     endpoint.send_response(resp).map_err(CoreError::Net)?;
                     return Ok(report);
                 }
@@ -162,6 +240,7 @@ impl<'a> SourceExecutor<'a> {
 
     fn done(&self, ops: u64, seconds: f64) -> Response {
         Response::Done {
+            round: self.round,
             rows: self.part.rows() as u64,
             cols: self.part.cols() as u64,
             ops,
@@ -175,6 +254,7 @@ impl<'a> SourceExecutor<'a> {
         self.report.uplink_bits += payload.bits();
         *self.report.uplink_kinds.entry(msg.kind()).or_insert(0) += payload.bits();
         Response::Up {
+            round: self.round,
             payload,
             ops,
             seconds,
@@ -260,6 +340,7 @@ impl<'a> SourceExecutor<'a> {
                 self.report.server_uplink_bits = uplink_bits;
                 self.report.server_downlink_bits = downlink_bits;
                 let resp = Response::Fin {
+                    round: self.round,
                     uplink_bits: self.report.uplink_bits,
                     downlink_bits: self.report.downlink_bits,
                 };

@@ -1,0 +1,832 @@
+//! Driver-side journaling of command rounds for deterministic recovery.
+//!
+//! [`JournalingTransport`] wraps any [`CommandTransport`] and appends a
+//! length-prefixed record (via [`ekm_net::frame`]) for every *round*
+//! command the driver sends and every response it receives, flushing
+//! before the command touches the wire (write-ahead). Because the
+//! driver's call order is deterministic — seed-derived randomness,
+//! fixed source-id folds, single-threaded — a restarted driver given
+//! the same plan replays the journal to the exact pre-crash state: the
+//! replayed sends are verified byte-for-byte against the journaled
+//! commands (no wire I/O), the replayed receives return the journaled
+//! responses (charged to this transport's own [`NetworkStats`]), and
+//! the first un-journaled operation reconciles with the live executors
+//! via [`Command::Resume`] / [`Command::Reissue`] before going live.
+//!
+//! Control-plane commands (`Abort`, `Deadline`, `Resume`, `Reissue`)
+//! are never journaled: they shape recovery, not the computation.
+
+use crate::executor::state_fingerprint;
+use crate::{CoreError, Result};
+use ekm_net::frame::{try_read_frame, write_frame};
+use ekm_net::protocol::{
+    charge_command, charge_response, Command, CommandTransport, DeadlinePolicy, Response,
+};
+use ekm_net::{NetError, NetworkStats};
+use std::collections::VecDeque;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::Path;
+
+/// Journal frame kind: the one-per-file header record.
+pub const JOURNAL_HEADER: u8 = 16;
+/// Journal frame kind: one round command (source id + encoded bytes).
+pub const JOURNAL_CMD: u8 = 17;
+/// Journal frame kind: one response (source id + encoded bytes).
+pub const JOURNAL_RESP: u8 = 18;
+/// Journal frame kind: a source-lost event observed by the driver.
+pub const JOURNAL_LOST: u8 = 19;
+
+/// `"EKMJ"` — rejects files that are not journals before any decode.
+const MAGIC: u32 = 0x454b_4d4a;
+const VERSION: u16 = 1;
+
+/// The journal's file header: enough to refuse resuming a run under a
+/// different topology or configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalHeader {
+    /// Number of sources the journaled run was driving.
+    pub sources: u32,
+    /// Caller-supplied configuration fingerprint (the CLI hashes its
+    /// canonical config); a resume under a different fingerprint is
+    /// rejected outright.
+    pub fingerprint: u64,
+}
+
+/// One journal record, in append order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalEntry {
+    /// A round command the driver sent to `source` — the exact encoded
+    /// bytes, so replay can verify bit-identity.
+    Cmd {
+        /// Destination source id.
+        source: u32,
+        /// `Command::encode()` output.
+        bytes: Vec<u8>,
+    },
+    /// A response received from `source` (exact encoded bytes).
+    Resp {
+        /// Originating source id.
+        source: u32,
+        /// `Response::encode()` output.
+        bytes: Vec<u8>,
+    },
+    /// The transport declared `source` unreachable: a failed send
+    /// (`via_send`) or a `SourceLost` answer on receive.
+    Lost {
+        /// The unreachable source id.
+        source: u32,
+        /// True when the loss surfaced on the send path.
+        via_send: bool,
+        /// Transport-provided explanation.
+        reason: String,
+    },
+}
+
+fn journal_io(reason: String) -> CoreError {
+    CoreError::Journal { reason }
+}
+
+/// A transport-level journal failure: surfaced through the
+/// [`CommandTransport`] methods, which speak [`NetError`].
+fn jerr(context: &'static str, detail: String) -> NetError {
+    NetError::Transport { context, detail }
+}
+
+impl JournalEntry {
+    /// Appends this record as one frame.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, as [`NetError::Transport`].
+    pub fn write_to<W: Write>(&self, w: &mut W) -> std::result::Result<(), NetError> {
+        let (kind, payload) = match self {
+            JournalEntry::Cmd { source, bytes } => (JOURNAL_CMD, prefixed(*source, bytes)),
+            JournalEntry::Resp { source, bytes } => (JOURNAL_RESP, prefixed(*source, bytes)),
+            JournalEntry::Lost {
+                source,
+                via_send,
+                reason,
+            } => {
+                let mut p = Vec::with_capacity(5 + reason.len());
+                p.extend_from_slice(&source.to_be_bytes());
+                p.push(u8::from(*via_send));
+                p.extend_from_slice(reason.as_bytes());
+                (JOURNAL_LOST, p)
+            }
+        };
+        let bits = payload.len() * 8;
+        write_frame(w, kind, &payload, bits)
+    }
+}
+
+fn prefixed(source: u32, bytes: &[u8]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(4 + bytes.len());
+    p.extend_from_slice(&source.to_be_bytes());
+    p.extend_from_slice(bytes);
+    p
+}
+
+fn parse_entry(kind: u8, payload: &[u8]) -> Result<JournalEntry> {
+    if payload.len() < 4 {
+        return Err(journal_io(format!(
+            "journal record of kind {kind} is {} bytes, too short for a source id",
+            payload.len()
+        )));
+    }
+    let source = u32::from_be_bytes(payload[..4].try_into().expect("4-byte slice"));
+    let body = &payload[4..];
+    match kind {
+        JOURNAL_CMD => Ok(JournalEntry::Cmd {
+            source,
+            bytes: body.to_vec(),
+        }),
+        JOURNAL_RESP => Ok(JournalEntry::Resp {
+            source,
+            bytes: body.to_vec(),
+        }),
+        JOURNAL_LOST => {
+            if body.is_empty() {
+                return Err(journal_io(
+                    "lost record without a via-send flag".to_string(),
+                ));
+            }
+            let reason = String::from_utf8(body[1..].to_vec())
+                .map_err(|_| journal_io("lost record with a non-UTF-8 reason".to_string()))?;
+            Ok(JournalEntry::Lost {
+                source,
+                via_send: body[0] != 0,
+                reason,
+            })
+        }
+        other => Err(journal_io(format!("unknown journal record kind {other}"))),
+    }
+}
+
+/// Writes the file header record.
+///
+/// # Errors
+///
+/// I/O failures, as [`NetError::Transport`].
+pub fn write_header<W: Write>(
+    w: &mut W,
+    header: &JournalHeader,
+) -> std::result::Result<(), NetError> {
+    let mut p = Vec::with_capacity(18);
+    p.extend_from_slice(&MAGIC.to_be_bytes());
+    p.extend_from_slice(&VERSION.to_be_bytes());
+    p.extend_from_slice(&header.sources.to_be_bytes());
+    p.extend_from_slice(&header.fingerprint.to_be_bytes());
+    let bits = p.len() * 8;
+    write_frame(w, JOURNAL_HEADER, &p, bits)
+}
+
+/// Reads and validates the file header record.
+///
+/// # Errors
+///
+/// [`CoreError::Journal`] on a missing, torn, or foreign header.
+pub fn read_header<R: Read>(r: &mut R) -> Result<JournalHeader> {
+    let (kind, payload, _) = try_read_frame(r)
+        .map_err(|e| journal_io(format!("unreadable journal header: {e}")))?
+        .ok_or_else(|| journal_io("empty journal file".to_string()))?;
+    if kind != JOURNAL_HEADER || payload.len() != 18 {
+        return Err(journal_io(format!(
+            "first journal record is kind {kind} ({} bytes), not a header",
+            payload.len()
+        )));
+    }
+    let magic = u32::from_be_bytes(payload[..4].try_into().expect("4-byte slice"));
+    let version = u16::from_be_bytes(payload[4..6].try_into().expect("2-byte slice"));
+    if magic != MAGIC || version != VERSION {
+        return Err(journal_io(format!(
+            "journal magic/version mismatch (magic {magic:#x}, version {version})"
+        )));
+    }
+    Ok(JournalHeader {
+        sources: u32::from_be_bytes(payload[6..10].try_into().expect("4-byte slice")),
+        fingerprint: u64::from_be_bytes(payload[10..18].try_into().expect("8-byte slice")),
+    })
+}
+
+/// Reads the next record, strictly: a torn tail is a typed
+/// [`CoreError::Journal`], never a panic and never silently dropped.
+/// `Ok(None)` means a clean end of file.
+///
+/// # Errors
+///
+/// [`CoreError::Journal`] on torn or corrupt records.
+pub fn read_entry<R: Read>(r: &mut R) -> Result<Option<JournalEntry>> {
+    match try_read_frame(r) {
+        Ok(None) => Ok(None),
+        Ok(Some((kind, payload, _))) => parse_entry(kind, &payload).map(Some),
+        Err(e) => Err(journal_io(format!("torn journal record: {e}"))),
+    }
+}
+
+/// Strictly reads a whole journal file: header plus every record.
+///
+/// # Errors
+///
+/// [`CoreError::Journal`] on any torn or corrupt content.
+pub fn read_journal(path: &Path) -> Result<(JournalHeader, Vec<JournalEntry>)> {
+    let buf = std::fs::read(path)
+        .map_err(|e| journal_io(format!("cannot read journal {}: {e}", path.display())))?;
+    let mut cur = &buf[..];
+    let header = read_header(&mut cur)?;
+    let mut entries = Vec::new();
+    while let Some(e) = read_entry(&mut cur)? {
+        entries.push(e);
+    }
+    Ok((header, entries))
+}
+
+/// Lossily loads a journal for resumption: parsing stops at the first
+/// torn record (a crash mid-append), and the byte offset of the last
+/// good record boundary is returned so the file can be truncated there
+/// before new records are appended.
+fn load_lossy(path: &Path) -> Result<(JournalHeader, Vec<JournalEntry>, u64)> {
+    let buf = std::fs::read(path)
+        .map_err(|e| journal_io(format!("cannot read journal {}: {e}", path.display())))?;
+    let mut cur = &buf[..];
+    let header = read_header(&mut cur)?;
+    let mut entries = Vec::new();
+    let mut good = buf.len() - cur.len();
+    while let Ok(Some((kind, payload, _))) = try_read_frame(&mut cur) {
+        match parse_entry(kind, &payload) {
+            Ok(e) => {
+                entries.push(e);
+                good = buf.len() - cur.len();
+            }
+            Err(_) => break,
+        }
+    }
+    Ok((header, entries, good as u64))
+}
+
+enum Mode {
+    Record,
+    Replay,
+}
+
+/// A write-ahead journaling layer over any [`CommandTransport`].
+///
+/// In **record** mode every round command is appended (and flushed)
+/// before it is sent, and every response is appended as it arrives. In
+/// **resume** mode ([`JournalingTransport::resume`]) the journaled
+/// prefix is replayed without wire I/O; when the journal runs dry the
+/// transport reconciles with the live executors (which kept their state
+/// and round counters across the driver crash) and switches to record
+/// mode, so the run continues — and keeps journaling — from exactly
+/// where the crashed driver stopped.
+///
+/// The transport keeps its **own** [`NetworkStats`], charged for
+/// replayed and live traffic alike: a resumed run reports the same
+/// counters, bit for bit, as an uninterrupted one. Retransmissions
+/// (`Resume`/`Reissue`) are control plane and never charged.
+pub struct JournalingTransport<T: CommandTransport> {
+    inner: T,
+    writer: BufWriter<File>,
+    stats: NetworkStats,
+    mode: Mode,
+    queue: VecDeque<JournalEntry>,
+    /// Round commands journaled per source.
+    r_cmd: Vec<u64>,
+    /// Responses journaled per source.
+    r_resp: Vec<u64>,
+    /// Encoded bytes of each source's journaled-but-unanswered command.
+    pending_cmd: Vec<Option<Vec<u8>>>,
+    /// Sources whose journaled loss was final (the driver degraded past
+    /// them); reconciliation never contacts these.
+    dead: Vec<bool>,
+    /// Responses drained — and journaled, and charged — during
+    /// reconciliation, handed to the driver on its next `recv` without
+    /// re-charging.
+    buffered: Vec<VecDeque<Response>>,
+    replayed: usize,
+    cmds_appended: u64,
+    hook: Option<Box<dyn FnMut(u64) + Send>>,
+}
+
+impl<T: CommandTransport> JournalingTransport<T> {
+    /// Starts journaling a fresh run to `path` (truncating any previous
+    /// file there).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Journal`] when the file cannot be created.
+    pub fn record(inner: T, path: &Path, fingerprint: u64) -> Result<Self> {
+        let m = inner.sources();
+        let file = File::create(path)
+            .map_err(|e| journal_io(format!("cannot create journal {}: {e}", path.display())))?;
+        let mut writer = BufWriter::new(file);
+        write_header(
+            &mut writer,
+            &JournalHeader {
+                sources: m as u32,
+                fingerprint,
+            },
+        )
+        .map_err(|e| journal_io(format!("cannot write journal header: {e}")))?;
+        writer
+            .flush()
+            .map_err(|e| journal_io(format!("cannot flush journal header: {e}")))?;
+        Ok(Self::build(inner, writer, m, VecDeque::new()))
+    }
+
+    /// Opens an existing journal for deterministic resumption. The file
+    /// is truncated to its last intact record (a crash mid-append loses
+    /// at most the torn tail), its header must match this transport's
+    /// source count and the caller's `fingerprint`, and subsequent
+    /// records are appended after the replayed prefix.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Journal`] on an unreadable file or a header
+    /// mismatch.
+    pub fn resume(inner: T, path: &Path, fingerprint: u64) -> Result<Self> {
+        let m = inner.sources();
+        let (header, entries, good) = load_lossy(path)?;
+        if header.sources as usize != m {
+            return Err(journal_io(format!(
+                "journal drove {} sources, this run has {m}",
+                header.sources
+            )));
+        }
+        if header.fingerprint != fingerprint {
+            return Err(journal_io(
+                "journal fingerprint does not match this configuration".to_string(),
+            ));
+        }
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| journal_io(format!("cannot reopen journal {}: {e}", path.display())))?;
+        file.set_len(good)
+            .map_err(|e| journal_io(format!("cannot truncate journal tail: {e}")))?;
+        let writer = BufWriter::new(file);
+        let mut this = Self::build(inner, writer, m, entries.into());
+        this.mode = Mode::Replay;
+        this.replayed = this.queue.len();
+        // Reconstruct the round/response/pending/lost bookkeeping the
+        // crashed driver had accumulated.
+        let mut last_was_lost = vec![false; m];
+        for e in &this.queue {
+            match e {
+                JournalEntry::Cmd { source, bytes } => {
+                    let s = *source as usize;
+                    this.r_cmd[s] += 1;
+                    this.pending_cmd[s] = Some(bytes.clone());
+                }
+                JournalEntry::Resp { source, .. } => {
+                    let s = *source as usize;
+                    this.r_resp[s] += 1;
+                    this.pending_cmd[s] = None;
+                    last_was_lost[s] = false;
+                }
+                JournalEntry::Lost {
+                    source, via_send, ..
+                } => {
+                    let s = *source as usize;
+                    // One recv-side loss is retried (reissued) by the
+                    // driver; a send-side loss or a second recv-side
+                    // loss degraded the run past this source.
+                    if *via_send || last_was_lost[s] {
+                        this.dead[s] = true;
+                    } else {
+                        last_was_lost[s] = true;
+                    }
+                }
+            }
+        }
+        Ok(this)
+    }
+
+    fn build(inner: T, writer: BufWriter<File>, m: usize, queue: VecDeque<JournalEntry>) -> Self {
+        JournalingTransport {
+            inner,
+            writer,
+            stats: NetworkStats::new(m),
+            mode: Mode::Record,
+            queue,
+            r_cmd: vec![0; m],
+            r_resp: vec![0; m],
+            pending_cmd: vec![None; m],
+            dead: vec![false; m],
+            buffered: vec![VecDeque::new(); m],
+            replayed: 0,
+            cmds_appended: 0,
+            hook: None,
+        }
+    }
+
+    /// Installs a hook fired after every *appended* (not replayed)
+    /// round command, with the running count — the CLI's
+    /// `--crash-after-commands` exits the process from here to test
+    /// recovery.
+    pub fn with_entry_hook(mut self, hook: Box<dyn FnMut(u64) + Send>) -> Self {
+        self.hook = Some(hook);
+        self
+    }
+
+    /// Number of journal records replayed at open (0 in record mode).
+    pub fn replayed_entries(&self) -> usize {
+        self.replayed
+    }
+
+    /// Recovers the wrapped transport (used by crash tests to resume
+    /// over the very same channel hub).
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    fn append(&mut self, e: &JournalEntry) -> std::result::Result<(), NetError> {
+        e.write_to(&mut self.writer)
+            .map_err(|err| jerr("journal append", err.to_string()))?;
+        self.writer
+            .flush()
+            .map_err(|err| jerr("journal append", err.to_string()))
+    }
+
+    fn record_send(&mut self, source: usize, cmd: &Command) -> std::result::Result<(), NetError> {
+        if cmd.is_round() {
+            let bytes = cmd.encode();
+            self.append(&JournalEntry::Cmd {
+                source: source as u32,
+                bytes: bytes.clone(),
+            })?;
+            self.r_cmd[source] += 1;
+            self.pending_cmd[source] = Some(bytes);
+            self.cmds_appended += 1;
+            let n = self.cmds_appended;
+            if let Some(hook) = &mut self.hook {
+                hook(n);
+            }
+            charge_command(&mut self.stats, source, cmd)?;
+        }
+        match self.inner.send(source, cmd) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                // Journal the failure so a replay fails the same way.
+                self.append(&JournalEntry::Lost {
+                    source: source as u32,
+                    via_send: true,
+                    reason: e.to_string(),
+                })?;
+                self.dead[source] = true;
+                Err(e)
+            }
+        }
+    }
+
+    fn record_recv(&mut self, source: usize) -> std::result::Result<Response, NetError> {
+        let resp = self.inner.recv(source)?;
+        match &resp {
+            Response::SourceLost { reason } => {
+                self.append(&JournalEntry::Lost {
+                    source: source as u32,
+                    via_send: false,
+                    reason: reason.clone(),
+                })?;
+            }
+            Response::Resumed { .. } => {}
+            other => {
+                // A duplicate of an already-answered round (surfaced by
+                // a reissue race) is dropped by the driver — journaling
+                // it would desync the counts on a later resume.
+                let stale = matches!(other.round(), Some(r) if r <= self.r_resp[source]);
+                if !stale {
+                    self.append(&JournalEntry::Resp {
+                        source: source as u32,
+                        bytes: other.encode(),
+                    })?;
+                    self.r_resp[source] += 1;
+                    self.pending_cmd[source] = None;
+                    charge_response(&mut self.stats, source, other)?;
+                }
+            }
+        }
+        Ok(resp)
+    }
+
+    fn replay_send(&mut self, source: usize, cmd: &Command) -> std::result::Result<(), NetError> {
+        if self.queue.is_empty() {
+            self.reconcile()?;
+            return self.record_send(source, cmd);
+        }
+        if cmd.is_round() {
+            match self.queue.pop_front() {
+                Some(JournalEntry::Cmd { source: s, bytes })
+                    if s as usize == source && bytes == cmd.encode() =>
+                {
+                    charge_command(&mut self.stats, source, cmd)?;
+                }
+                Some(other) => {
+                    return Err(jerr(
+                        "journal replay",
+                        format!(
+                            "driver sent {} to source {source} but the journal holds {other:?} \
+                             — the run diverged from its journal",
+                            cmd.name()
+                        ),
+                    ))
+                }
+                None => unreachable!("queue checked non-empty"),
+            }
+        }
+        // A journaled send failure replays as the same failure.
+        if matches!(
+            self.queue.front(),
+            Some(JournalEntry::Lost { source: s, via_send: true, .. }) if *s as usize == source
+        ) {
+            let Some(JournalEntry::Lost { reason, .. }) = self.queue.pop_front() else {
+                unreachable!("front matched a lost record");
+            };
+            return Err(jerr("journal replay", reason));
+        }
+        Ok(())
+    }
+
+    fn replay_recv(&mut self, source: usize) -> std::result::Result<Response, NetError> {
+        if self.queue.is_empty() {
+            self.reconcile()?;
+            if let Some(resp) = self.buffered[source].pop_front() {
+                return Ok(resp);
+            }
+            return self.record_recv(source);
+        }
+        match self.queue.pop_front() {
+            Some(JournalEntry::Resp { source: s, bytes }) if s as usize == source => {
+                let resp = Response::decode(&bytes)
+                    .map_err(|e| jerr("journal replay", format!("corrupt response record: {e}")))?;
+                charge_response(&mut self.stats, source, &resp)?;
+                Ok(resp)
+            }
+            Some(JournalEntry::Lost {
+                source: s,
+                via_send: false,
+                reason,
+            }) if s as usize == source => Ok(Response::SourceLost { reason }),
+            Some(other) => Err(jerr(
+                "journal replay",
+                format!(
+                    "driver expects a response from source {source} but the journal holds \
+                     {other:?} — the run diverged from its journal"
+                ),
+            )),
+            None => unreachable!("queue checked non-empty"),
+        }
+    }
+
+    /// Replay exhausted: bring every surviving executor to the exact
+    /// pre-crash boundary, then go live.
+    ///
+    /// Each executor kept its round counter and response cache across
+    /// the driver crash. `Resume { round: r }` (with `r` = responses we
+    /// hold from it) makes it report its own round and a fingerprint of
+    /// its state. Three cases per source:
+    ///
+    /// 1. No pending command: the fingerprint must match our replayed
+    ///    ledger — bit-identical recovery, nothing recomputed.
+    /// 2. Pending command, executor already ran it: its response was in
+    ///    flight when the driver died. Over channels it is still queued
+    ///    and drained here; over TCP a `Reissue` makes the executor
+    ///    resend its cached response. Either way the response is
+    ///    journaled, charged, and buffered for the driver's next recv.
+    /// 3. Pending command the executor never received (the driver died
+    ///    between append and send): `Reissue` executes it fresh.
+    fn reconcile(&mut self) -> std::result::Result<(), NetError> {
+        self.mode = Mode::Record;
+        for i in 0..self.inner.sources() {
+            if !self.dead[i] {
+                self.reconcile_source(i)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn reconcile_source(&mut self, i: usize) -> std::result::Result<(), NetError> {
+        self.inner.send(
+            i,
+            &Command::Resume {
+                round: self.r_resp[i],
+            },
+        )?;
+        let mut awaiting_resumed = true;
+        let mut reissued = false;
+        loop {
+            match self.inner.recv(i)? {
+                Response::Resumed { round, fingerprint } => {
+                    awaiting_resumed = false;
+                    let pending = self.r_cmd[i] > self.r_resp[i];
+                    if pending {
+                        if round != self.r_cmd[i] && round != self.r_resp[i] {
+                            return Err(jerr(
+                                "journal replay",
+                                format!(
+                                    "source {i} resumed at round {round}, journal expects \
+                                     {} or {}",
+                                    self.r_resp[i], self.r_cmd[i]
+                                ),
+                            ));
+                        }
+                        if reissued {
+                            return Err(jerr(
+                                "journal replay",
+                                format!("reissue did not resolve source {i}'s pending round"),
+                            ));
+                        }
+                        let bytes = self.pending_cmd[i]
+                            .clone()
+                            .expect("pending implies a journaled command");
+                        let cmd = Command::decode(&bytes).map_err(|e| {
+                            jerr("journal replay", format!("corrupt command record: {e}"))
+                        })?;
+                        self.inner.send(
+                            i,
+                            &Command::Reissue {
+                                round: self.r_cmd[i],
+                                cmd: Box::new(cmd),
+                            },
+                        )?;
+                        reissued = true;
+                    } else {
+                        if round != self.r_resp[i] {
+                            return Err(jerr(
+                                "journal replay",
+                                format!(
+                                    "source {i} resumed at round {round}, journal holds {}",
+                                    self.r_resp[i]
+                                ),
+                            ));
+                        }
+                        let want = state_fingerprint(
+                            round,
+                            self.stats.uplink_bits(i),
+                            self.stats.downlink_bits(i),
+                        );
+                        if fingerprint != want {
+                            return Err(jerr(
+                                "journal replay",
+                                format!(
+                                    "source {i} state fingerprint {fingerprint:#x} does not \
+                                     match the replayed ledger {want:#x}"
+                                ),
+                            ));
+                        }
+                        return Ok(());
+                    }
+                }
+                Response::SourceLost { reason } => {
+                    return Err(jerr(
+                        "journal replay",
+                        format!("source {i} unreachable during resume: {reason}"),
+                    ))
+                }
+                resp => match resp.round() {
+                    Some(r) if self.r_cmd[i] > self.r_resp[i] && r == self.r_cmd[i] => {
+                        // The pre-crash (or reissued) answer to the
+                        // pending round: journal it, charge it now, and
+                        // buffer it for the driver.
+                        self.append(&JournalEntry::Resp {
+                            source: i as u32,
+                            bytes: resp.encode(),
+                        })?;
+                        charge_response(&mut self.stats, i, &resp)?;
+                        self.r_resp[i] += 1;
+                        self.pending_cmd[i] = None;
+                        self.buffered[i].push_back(resp);
+                        if !awaiting_resumed {
+                            // The reissue consumed the first Resumed;
+                            // ask again so the fingerprint still gets
+                            // verified.
+                            self.inner.send(
+                                i,
+                                &Command::Resume {
+                                    round: self.r_resp[i],
+                                },
+                            )?;
+                            awaiting_resumed = true;
+                        }
+                    }
+                    Some(r) if r <= self.r_resp[i] => {
+                        // A duplicate of an already-journaled response.
+                    }
+                    _ => {
+                        return Err(jerr(
+                            "journal replay",
+                            format!("unexpected {} from source {i} during resume", resp.name()),
+                        ))
+                    }
+                },
+            }
+        }
+    }
+}
+
+impl<T: CommandTransport> CommandTransport for JournalingTransport<T> {
+    fn sources(&self) -> usize {
+        self.inner.sources()
+    }
+
+    fn send(&mut self, source: usize, cmd: &Command) -> std::result::Result<(), NetError> {
+        match self.mode {
+            Mode::Record => self.record_send(source, cmd),
+            Mode::Replay => self.replay_send(source, cmd),
+        }
+    }
+
+    fn recv(&mut self, source: usize) -> std::result::Result<Response, NetError> {
+        if let Some(resp) = self.buffered[source].pop_front() {
+            return Ok(resp);
+        }
+        match self.mode {
+            Mode::Record => self.record_recv(source),
+            Mode::Replay => self.replay_recv(source),
+        }
+    }
+
+    fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    fn set_deadline(&mut self, policy: DeadlinePolicy) {
+        self.inner.set_deadline(policy);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_roundtrip_bitwise() {
+        let entries = vec![
+            JournalEntry::Cmd {
+                source: 3,
+                bytes: Command::Describe.encode(),
+            },
+            JournalEntry::Resp {
+                source: 3,
+                bytes: Response::Done {
+                    round: 1,
+                    rows: 10,
+                    cols: 4,
+                    ops: 7,
+                    seconds: 0.5,
+                }
+                .encode(),
+            },
+            JournalEntry::Lost {
+                source: 1,
+                via_send: true,
+                reason: "socket closed".to_string(),
+            },
+        ];
+        let mut buf = Vec::new();
+        for e in &entries {
+            e.write_to(&mut buf).unwrap();
+        }
+        let mut cur = &buf[..];
+        for e in &entries {
+            assert_eq!(read_entry(&mut cur).unwrap().as_ref(), Some(e));
+        }
+        assert_eq!(read_entry(&mut cur).unwrap(), None);
+    }
+
+    #[test]
+    fn torn_tail_is_a_typed_error() {
+        let mut buf = Vec::new();
+        JournalEntry::Lost {
+            source: 0,
+            via_send: false,
+            reason: "x".to_string(),
+        }
+        .write_to(&mut buf)
+        .unwrap();
+        for cut in 1..buf.len() {
+            let mut cur = &buf[..cut];
+            match read_entry(&mut cur) {
+                Err(CoreError::Journal { .. }) => {}
+                other => panic!("cut at {cut}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn header_roundtrip_and_foreign_files_rejected() {
+        let h = JournalHeader {
+            sources: 4,
+            fingerprint: 0xdead_beef,
+        };
+        let mut buf = Vec::new();
+        write_header(&mut buf, &h).unwrap();
+        let mut cur = &buf[..];
+        assert_eq!(read_header(&mut cur).unwrap(), h);
+        let mut not_a_journal = &b"not a journal at all"[..];
+        assert!(matches!(
+            read_header(&mut not_a_journal),
+            Err(CoreError::Journal { .. })
+        ));
+    }
+}

@@ -68,6 +68,7 @@ pub mod engine;
 mod error;
 pub mod evaluation;
 pub mod executor;
+pub mod journal;
 pub mod output;
 pub mod params;
 pub mod pipelines;
@@ -80,7 +81,8 @@ pub use driver::run_driver;
 pub use engine::StagePipeline;
 pub use error::CoreError;
 pub use executor::{SourceExecutor, SourceRunReport};
-pub use output::RunOutput;
+pub use journal::JournalingTransport;
+pub use output::{Degradation, RunOutput};
 pub use params::SummaryParams;
 pub use stage::Stage;
 

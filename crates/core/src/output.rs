@@ -2,6 +2,39 @@
 
 use ekm_linalg::Matrix;
 
+/// How a degraded run lost data: which sources were dropped and the
+/// paper-derived bound on the cost it can have cost.
+///
+/// The paper's sampling bounds tolerate a dropped source with a
+/// quantified hit: the surviving sources still summarize their `1 − p`
+/// fraction of the data within `(1 + ε)`, so against the full-data twin
+/// the degraded centers' cost is heuristically bounded by
+/// `(1 + ε) / (1 − p)` where `p` is the fraction of rows lost. The CI
+/// fault suite asserts the *measured* ratio stays under this bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Degradation {
+    /// `(source id, why it was declared lost)` for every dropped source.
+    pub lost_sources: Vec<(usize, String)>,
+    /// Rows held by the dropped sources.
+    pub rows_lost: usize,
+    /// Rows described by all sources at the start of the run.
+    pub rows_total: usize,
+    /// The documented cost-ratio bound `(1 + ε) / (1 − rows_lost /
+    /// rows_total)` the degraded run is expected to stay within.
+    pub cost_ratio_bound: f64,
+}
+
+impl Degradation {
+    /// Fraction of the dataset the dropped sources held.
+    pub fn frac_lost(&self) -> f64 {
+        if self.rows_total == 0 {
+            0.0
+        } else {
+            self.rows_lost as f64 / self.rows_total as f64
+        }
+    }
+}
+
 /// The result of one end-to-end pipeline run.
 #[derive(Debug, Clone)]
 pub struct RunOutput {
@@ -24,6 +57,10 @@ pub struct RunOutput {
     pub source_ops: u64,
     /// Number of summary points the server clustered.
     pub summary_points: usize,
+    /// `Some` when the run completed without every source: which shards
+    /// were dropped and the asserted cost-ratio bound. `None` for a
+    /// clean, full-source run.
+    pub degraded: Option<Degradation>,
 }
 
 impl RunOutput {
@@ -48,8 +85,21 @@ mod tests {
             server_seconds: 0.0,
             source_ops: 0,
             summary_points: 5,
+            degraded: None,
         };
         // 64 bits over 10×10×64 = 6400 raw bits = 0.01.
         assert!((out.normalized_comm(10, 10) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degradation_records_the_documented_bound() {
+        let d = Degradation {
+            lost_sources: vec![(2, "disconnected".to_string())],
+            rows_lost: 200,
+            rows_total: 600,
+            cost_ratio_bound: (1.0 + 0.5) / (1.0 - 200.0 / 600.0),
+        };
+        assert!((d.frac_lost() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((d.cost_ratio_bound - 2.25).abs() < 1e-12);
     }
 }

@@ -12,6 +12,7 @@
 //! * second JL dimension `⌈ln(n'k)/ε²⌉` (Lemma 4.2 shape).
 
 use ekm_net::wire::{Compute, Precision};
+use ekm_net::DeadlinePolicy;
 use ekm_quant::RoundingQuantizer;
 use ekm_sketch::JlKind;
 
@@ -56,6 +57,11 @@ pub struct SummaryParams {
     /// [`Compute::F32`] trades bit-identity for speed under the same
     /// center-perturbation / cost-ratio contract as wire `F32`).
     pub compute: Compute,
+    /// Straggler deadlines of the driver's command rounds (and the
+    /// per-read/write socket timeouts beneath them). Excluded from stage
+    /// keys and handshake fingerprints — it shapes *when* a run fails
+    /// over, never the bits it computes.
+    pub deadline: DeadlinePolicy,
 }
 
 impl SummaryParams {
@@ -103,6 +109,7 @@ impl SummaryParams {
             solver_shards: 0,
             precision: Precision::Full,
             compute: Compute::F64,
+            deadline: DeadlinePolicy::default(),
         }
     }
 
@@ -188,6 +195,12 @@ impl SummaryParams {
     /// Sets the compute precision of the distance kernels.
     pub fn with_compute(mut self, compute: Compute) -> Self {
         self.compute = compute;
+        self
+    }
+
+    /// Sets the straggler deadline policy.
+    pub fn with_deadline(mut self, deadline: DeadlinePolicy) -> Self {
+        self.deadline = deadline;
         self
     }
 
@@ -309,6 +322,8 @@ mod tests {
         assert_eq!(p.precision, Precision::F32);
         assert_eq!(p.compute, Compute::F32);
         assert!(p.validate(1000, 50).is_ok());
+        let p = p.with_deadline(DeadlinePolicy::uniform(std::time::Duration::from_millis(5)));
+        assert_eq!(p.deadline.io, p.deadline.command);
         let mut bad = p;
         bad.stream_leaf_size = 0;
         assert!(bad.validate(1000, 50).is_err());

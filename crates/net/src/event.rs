@@ -22,7 +22,8 @@
 use crate::frame::{expect_frame, write_frame, FRAME_CMD, FRAME_HELLO, FRAME_RESP, MAX_FRAME_BITS};
 use crate::network::NetworkStats;
 use crate::protocol::{
-    charge_command, charge_response, Command, CommandTransport, Response, SourceEndpoint,
+    charge_command, charge_response, Command, CommandTransport, DeadlinePolicy, Response,
+    SourceEndpoint,
 };
 use crate::tcp::{configure, decode_hello, encode_hello, transport_err, IO_TIMEOUT};
 use crate::{NetError, Result};
@@ -96,7 +97,7 @@ impl EventServerBinding {
                 .listener
                 .accept()
                 .map_err(|e| transport_err("accept", e))?;
-            configure(&stream)?;
+            configure(&stream, IO_TIMEOUT)?;
             let (payload, _) = expect_frame(&mut stream, FRAME_HELLO)?;
             let (role, source_id, m, got_fp) = decode_hello(&payload)?;
             if role != ROLE_PROTO_SOURCE {
@@ -145,6 +146,7 @@ impl EventServerBinding {
                 .map(|c| c.expect("all connected"))
                 .collect(),
             stats: NetworkStats::new(sources),
+            deadline: DeadlinePolicy::default(),
         })
     }
 }
@@ -266,6 +268,7 @@ impl Conn {
 pub struct EventTcpServer {
     conns: Vec<Conn>,
     stats: NetworkStats,
+    deadline: DeadlinePolicy,
 }
 
 impl EventTcpServer {
@@ -298,30 +301,33 @@ impl CommandTransport for EventTcpServer {
         self.check(source)?;
         charge_command(&mut self.stats, source, cmd)?;
         let frame = frame_bytes(FRAME_CMD, &cmd.encode());
-        let deadline = Instant::now() + IO_TIMEOUT;
+        let deadline = Instant::now() + self.deadline.io;
         self.conns[source].write_all_nb(&frame, deadline)
     }
 
     fn recv(&mut self, source: usize) -> Result<Response> {
         self.check(source)?;
-        let deadline = Instant::now() + IO_TIMEOUT;
+        let deadline = Instant::now() + self.deadline.command;
         loop {
             if let Some(resp) = self.conns[source].inbox.pop_front() {
                 charge_response(&mut self.stats, source, &resp)?;
                 return Ok(resp);
             }
+            // A vanished or stalled source is a *typed* loss the driver
+            // can degrade around, not a transport error.
             if self.conns[source].closed {
-                return Err(NetError::Transport {
-                    context: "protocol recv",
-                    detail: format!("source {source} disconnected mid-run"),
+                return Ok(Response::SourceLost {
+                    reason: format!("source {source} disconnected mid-run"),
                 });
             }
             let progress = self.poll_once()?;
             if !progress {
                 if Instant::now() >= deadline {
-                    return Err(NetError::Transport {
-                        context: "protocol recv",
-                        detail: format!("timed out waiting for source {source}"),
+                    return Ok(Response::SourceLost {
+                        reason: format!(
+                            "source {source} missed the {:?} command deadline",
+                            self.deadline.command
+                        ),
                     });
                 }
                 std::thread::sleep(POLL_BACKOFF);
@@ -331,6 +337,10 @@ impl CommandTransport for EventTcpServer {
 
     fn stats(&self) -> &NetworkStats {
         &self.stats
+    }
+
+    fn set_deadline(&mut self, policy: DeadlinePolicy) {
+        self.deadline = policy;
     }
 }
 
@@ -372,7 +382,7 @@ impl EventTcpSource {
                 }
             }
         };
-        configure(&stream)?;
+        configure(&stream, IO_TIMEOUT)?;
         let hello = encode_hello(ROLE_PROTO_SOURCE, source_id as u32, sources as u32, fp);
         write_frame(&mut stream, FRAME_HELLO, &hello, hello.len() * 8)?;
         let (ack, _) = expect_frame(&mut stream, FRAME_HELLO)?;
@@ -411,6 +421,17 @@ impl SourceEndpoint for EventTcpSource {
     fn send_response(&mut self, resp: Response) -> Result<()> {
         let buf = resp.encode();
         write_frame(&mut self.stream, FRAME_RESP, &buf, buf.len() * 8)
+    }
+
+    fn set_deadline(&mut self, policy: DeadlinePolicy) {
+        // Waiting for the *next command* can span several whole rounds
+        // (the server may be waiting out and reissuing stragglers), so
+        // reads get the idle deadline; writes are pure I/O.
+        // Best-effort: a failed reconfigure keeps the old timeouts.
+        let _ = self
+            .stream
+            .set_read_timeout(Some(policy.idle()))
+            .and_then(|()| self.stream.set_write_timeout(Some(policy.io)));
     }
 }
 
@@ -455,6 +476,7 @@ mod tests {
                 let cmd = src.recv_command().unwrap();
                 assert_eq!(cmd, Command::Stage { index: 1 });
                 src.send_response(Response::Up {
+                    round: 1,
                     payload: Payload::of(&Message::CostReport { cost: 2.5 }),
                     ops: 7,
                     seconds: 0.0,
@@ -501,6 +523,7 @@ mod tests {
             assert!(matches!(cmd, Command::Deliver { .. }));
             sources[0]
                 .send_response(Response::Done {
+                    round: 1,
                     rows: 0,
                     cols: 0,
                     ops: 0,
@@ -515,15 +538,26 @@ mod tests {
     }
 
     #[test]
-    fn disconnect_mid_stage_is_a_typed_error() {
+    fn disconnect_mid_stage_is_source_lost() {
         let (mut server, sources) = pair(1);
         drop(sources); // the source vanishes before answering
         server.send(0, &Command::Describe).ok();
-        let err = server.recv(0).unwrap_err();
-        assert!(
-            matches!(err, NetError::Transport { ref detail, .. } if detail.contains("disconnected")),
-            "{err:?}"
-        );
+        match server.recv(0).unwrap() {
+            Response::SourceLost { reason } => assert!(reason.contains("disconnected")),
+            other => panic!("expected SourceLost, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missed_deadline_is_source_lost() {
+        let (mut server, _sources) = pair(1);
+        server.set_deadline(DeadlinePolicy::uniform(Duration::from_millis(20)));
+        // The source is alive but never answers: the command deadline
+        // trips and the driver gets a typed loss, not a hang.
+        match server.recv(0).unwrap() {
+            Response::SourceLost { reason } => assert!(reason.contains("deadline")),
+            other => panic!("expected SourceLost, got {other:?}"),
+        }
     }
 
     #[test]

@@ -101,6 +101,51 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<(u8, Vec<u8>, usize)> {
     Ok((kind, payload, bit_len as usize))
 }
 
+/// Reads one frame like [`read_frame`], but distinguishes a *clean* end
+/// of stream (zero bytes available at a frame boundary → `Ok(None)`)
+/// from a *torn* frame (stream ends mid-header or mid-payload → typed
+/// [`NetError::Transport`]).
+///
+/// This is what journal readers use: a journal that ends exactly between
+/// records is complete, one that ends inside a record was truncated by a
+/// crash mid-append.
+///
+/// # Errors
+///
+/// [`NetError::Transport`] on a torn frame, I/O failure, or a header
+/// claiming more than [`MAX_FRAME_BITS`].
+pub fn try_read_frame<R: Read>(r: &mut R) -> Result<Option<(u8, Vec<u8>, usize)>> {
+    let mut header = [0u8; 9];
+    let mut filled = 0;
+    while filled < header.len() {
+        let n = r
+            .read(&mut header[filled..])
+            .map_err(|e| io_err("frame header read", e))?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None); // clean boundary
+            }
+            return Err(NetError::Transport {
+                context: "frame header read",
+                detail: format!("stream ended {filled} bytes into a 9-byte frame header"),
+            });
+        }
+        filled += n;
+    }
+    let kind = header[0];
+    let bit_len = u64::from_be_bytes(header[1..].try_into().expect("8-byte slice"));
+    if bit_len > MAX_FRAME_BITS {
+        return Err(NetError::Transport {
+            context: "frame header read",
+            detail: format!("oversized frame: {bit_len} bits exceeds the {MAX_FRAME_BITS}-bit cap"),
+        });
+    }
+    let mut payload = vec![0u8; (bit_len as usize).div_ceil(8)];
+    r.read_exact(&mut payload)
+        .map_err(|e| io_err("frame payload read (truncated frame?)", e))?;
+    Ok(Some((kind, payload, bit_len as usize)))
+}
+
 /// Reads one frame and checks its kind.
 ///
 /// # Errors
@@ -203,6 +248,29 @@ mod tests {
         assert!(write_frame(&mut buf, FRAME_MSG, &[1, 2], 24).is_err());
         assert!(write_frame(&mut buf, FRAME_MSG, &[1], (MAX_FRAME_BITS + 1) as usize).is_err());
         assert!(buf.is_empty(), "nothing written on rejection");
+    }
+
+    #[test]
+    fn try_read_frame_distinguishes_clean_eof_from_torn_frames() {
+        // Clean boundary: zero frames, then one frame, then Ok(None).
+        assert!(try_read_frame(&mut Cursor::new(&[] as &[u8]))
+            .unwrap()
+            .is_none());
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FRAME_MSG, &[1, 2, 3], 24).unwrap();
+        let mut cur = Cursor::new(&buf);
+        let (kind, payload, bits) = try_read_frame(&mut cur).unwrap().unwrap();
+        assert_eq!((kind, payload, bits), (FRAME_MSG, vec![1, 2, 3], 24));
+        assert!(try_read_frame(&mut cur).unwrap().is_none());
+
+        // Torn header and torn payload are typed errors, not Ok(None).
+        for cut in [1, 8, 10] {
+            let err = try_read_frame(&mut Cursor::new(&buf[..cut])).unwrap_err();
+            assert!(matches!(err, NetError::Transport { .. }), "cut={cut}");
+        }
+        // Torn frames delivered a byte at a time are detected too.
+        let err = try_read_frame(&mut Trickle(Cursor::new(&buf[..5]))).unwrap_err();
+        assert!(matches!(err, NetError::Transport { .. }));
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub mod wire;
 pub use error::NetError;
 pub use event::{EventServerBinding, EventTcpServer, EventTcpSource};
 pub use network::{Network, NetworkStats};
-pub use protocol::{Command, CommandTransport, Payload, Response, SourceEndpoint};
+pub use protocol::{Command, CommandTransport, DeadlinePolicy, Payload, Response, SourceEndpoint};
 pub use tcp::{RunDigest, TcpServer, TcpServerBinding, TcpSource};
 pub use transport::{Transport, TransportLink};
 

@@ -20,7 +20,10 @@ pub struct NetworkStats {
 }
 
 impl NetworkStats {
-    pub(crate) fn new(sources: usize) -> Self {
+    /// Zeroed counters for `sources` sources. Public so replaying
+    /// transports (the journal layer in `ekm_core`) can rebuild an exact
+    /// ledger outside this crate.
+    pub fn new(sources: usize) -> Self {
         NetworkStats {
             uplink_bits: vec![0; sources],
             downlink_bits: vec![0; sources],
@@ -82,15 +85,17 @@ impl NetworkStats {
     }
 
     /// Charges one uplink message of `bits` to `source` (shared by every
-    /// transport backend, so accounting is identical by construction).
-    pub(crate) fn charge_uplink(&mut self, source: usize, bits: usize, kind: &'static str) {
+    /// transport backend, so accounting is identical by construction;
+    /// public for the journal-replay accounting path).
+    pub fn charge_uplink(&mut self, source: usize, bits: usize, kind: &'static str) {
         self.uplink_bits[source] += bits as u64;
         self.uplink_msgs[source] += 1;
         *self.uplink_by_kind.entry(kind).or_insert(0) += bits as u64;
     }
 
-    /// Charges one downlink message of `bits` to `source`.
-    pub(crate) fn charge_downlink(&mut self, source: usize, bits: usize) {
+    /// Charges one downlink message of `bits` to `source` (public for
+    /// the journal-replay accounting path).
+    pub fn charge_downlink(&mut self, source: usize, bits: usize) {
         self.downlink_bits[source] += bits as u64;
         self.downlink_msgs[source] += 1;
     }

@@ -36,8 +36,60 @@
 use crate::messages::Message;
 use crate::network::NetworkStats;
 use crate::{NetError, Result};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::time::Duration;
+
+/// The one fault-tolerance knob every backend obeys: how long any single
+/// socket read/write may take (`io`) and how long the driver waits for a
+/// source to answer a command round (`command`) before declaring the
+/// source lost ([`Response::SourceLost`]).
+///
+/// Both the in-process channel backend and the event-driven TCP backend
+/// derive their timeouts from this policy, and the legacy replicated
+/// backend's `IO_TIMEOUT` is an alias of [`DeadlinePolicy::DEFAULT_IO`] —
+/// so one knob (`ekm serve --deadline-ms`) governs every transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlinePolicy {
+    /// Per-read/write socket deadline.
+    pub io: Duration,
+    /// Whole-command-round deadline: how long the driver waits for a
+    /// source's response before treating the source as a straggler.
+    pub command: Duration,
+}
+
+impl DeadlinePolicy {
+    /// Default per-read/write socket deadline (the former hard-coded
+    /// `tcp::IO_TIMEOUT`).
+    pub const DEFAULT_IO: Duration = Duration::from_secs(120);
+
+    /// Default command-round deadline (the former hard-coded
+    /// [`CHANNEL_TIMEOUT`]).
+    pub const DEFAULT_COMMAND: Duration = Duration::from_secs(600);
+
+    /// A policy with both deadlines set to `d` (what `--deadline-ms`
+    /// configures).
+    pub fn uniform(d: Duration) -> DeadlinePolicy {
+        DeadlinePolicy { io: d, command: d }
+    }
+
+    /// How long a *source* waits for its next command before concluding
+    /// the server is gone. Between two commands to the same source the
+    /// driver may legitimately stall several whole command deadlines —
+    /// waiting out, then reissuing, every straggler in the round — so
+    /// sources allow eight of them before giving up.
+    pub fn idle(&self) -> Duration {
+        self.command.saturating_mul(8)
+    }
+}
+
+impl Default for DeadlinePolicy {
+    fn default() -> DeadlinePolicy {
+        DeadlinePolicy {
+            io: Self::DEFAULT_IO,
+            command: Self::DEFAULT_COMMAND,
+        }
+    }
+}
 
 /// One data-plane message, kept in its exact wire encoding.
 #[derive(Debug, Clone, PartialEq)]
@@ -133,6 +185,30 @@ pub enum Command {
         /// The driver-side failure.
         reason: String,
     },
+    /// Fire-and-forget deadline announcement: the executor applies a
+    /// uniform [`DeadlinePolicy`] of `ms` milliseconds to its endpoint.
+    /// Not a round command — no response is sent.
+    Deadline {
+        /// Uniform deadline in milliseconds.
+        ms: u64,
+    },
+    /// Recovery: re-deliver the response for round `round`. An executor
+    /// already past the round answers from its cached last response; an
+    /// executor one round behind executes `cmd` fresh.
+    Reissue {
+        /// The round the driver is missing a response for.
+        round: u64,
+        /// The original round command, re-executed if the executor never
+        /// saw it.
+        cmd: Box<Command>,
+    },
+    /// Recovery: a restarted driver asks the executor for its position.
+    /// Answered by [`Response::Resumed`]; pending responses the executor
+    /// already sent may arrive first.
+    Resume {
+        /// The last round the driver holds a journaled response for.
+        round: u64,
+    },
 }
 
 /// A source → server protocol response.
@@ -141,6 +217,8 @@ pub enum Command {
 pub enum Response {
     /// A local phase finished; control-plane metadata only.
     Done {
+        /// The executor's round counter after this command (1-based).
+        round: u64,
         /// Shard rows after the phase.
         rows: u64,
         /// Shard columns after the phase.
@@ -152,6 +230,8 @@ pub enum Response {
     },
     /// A charged data-plane uplink payload plus the phase metadata.
     Up {
+        /// The executor's round counter after this command (1-based).
+        round: u64,
         /// The encoded message.
         payload: Payload,
         /// Deterministic operation count of the phase.
@@ -161,6 +241,8 @@ pub enum Response {
     },
     /// Counter report answering [`Command::Finish`].
     Fin {
+        /// The executor's round counter after this command (1-based).
+        round: u64,
         /// Uplink bits this source observed itself sending.
         uplink_bits: u64,
         /// Downlink bits this source observed itself receiving.
@@ -169,6 +251,23 @@ pub enum Response {
     /// The executor failed; carries the failure for the driver.
     Err {
         /// The executor-side failure.
+        reason: String,
+    },
+    /// Answers [`Command::Resume`]: where the executor stands.
+    Resumed {
+        /// The executor's current round counter.
+        round: u64,
+        /// FNV-1a fingerprint over (round, uplink bits, downlink bits)
+        /// of the executor's own ledger, cross-checked by the resumed
+        /// driver against its journal-replayed counters.
+        fingerprint: u64,
+    },
+    /// Synthesized by the *server-side* transport when a source
+    /// disconnects or misses its command deadline — never sent on the
+    /// wire by an executor. Typed so the driver can degrade instead of
+    /// abort.
+    SourceLost {
+        /// What happened (disconnect vs deadline).
         reason: String,
     },
 }
@@ -180,11 +279,16 @@ const CMD_TRANSMIT_BASIS: u8 = 4;
 const CMD_TRANSMIT: u8 = 5;
 const CMD_FINISH: u8 = 6;
 const CMD_ABORT: u8 = 7;
+const CMD_DEADLINE: u8 = 8;
+const CMD_REISSUE: u8 = 9;
+const CMD_RESUME: u8 = 10;
 
 const RESP_DONE: u8 = 1;
 const RESP_UP: u8 = 2;
 const RESP_FIN: u8 = 3;
 const RESP_ERR: u8 = 4;
+const RESP_RESUMED: u8 = 5;
+const RESP_SOURCE_LOST: u8 = 6;
 
 fn push_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_be_bytes());
@@ -286,7 +390,23 @@ impl Command {
             Command::Transmit => "transmit",
             Command::Finish { .. } => "finish",
             Command::Abort { .. } => "abort",
+            Command::Deadline { .. } => "deadline",
+            Command::Reissue { .. } => "reissue",
+            Command::Resume { .. } => "resume",
         }
+    }
+
+    /// `true` for the commands that advance the executor's round counter
+    /// and expect exactly one response (everything except `Abort` and
+    /// the fault-tolerance vocabulary).
+    pub fn is_round(&self) -> bool {
+        !matches!(
+            self,
+            Command::Abort { .. }
+                | Command::Deadline { .. }
+                | Command::Reissue { .. }
+                | Command::Resume { .. }
+        )
     }
 
     /// Encodes the command for a socket frame.
@@ -318,6 +438,21 @@ impl Command {
                 buf.push(CMD_ABORT);
                 push_str(&mut buf, reason);
             }
+            Command::Deadline { ms } => {
+                buf.push(CMD_DEADLINE);
+                push_u64(&mut buf, *ms);
+            }
+            Command::Reissue { round, cmd } => {
+                buf.push(CMD_REISSUE);
+                push_u64(&mut buf, *round);
+                let inner = cmd.encode();
+                push_u64(&mut buf, inner.len() as u64);
+                buf.extend_from_slice(&inner);
+            }
+            Command::Resume { round } => {
+                buf.push(CMD_RESUME);
+                push_u64(&mut buf, *round);
+            }
         }
         buf
     }
@@ -348,6 +483,17 @@ impl Command {
             CMD_ABORT => Command::Abort {
                 reason: r.string()?,
             },
+            CMD_DEADLINE => Command::Deadline { ms: r.u64()? },
+            CMD_REISSUE => {
+                let round = r.u64()?;
+                let len = r.u64()? as usize;
+                let inner = r.bytes(len)?;
+                Command::Reissue {
+                    round,
+                    cmd: Box::new(Command::decode(&inner)?),
+                }
+            }
+            CMD_RESUME => Command::Resume { round: r.u64()? },
             other => {
                 return Err(NetError::ProtocolViolation {
                     context: "command decode",
@@ -369,6 +515,19 @@ impl Response {
             Response::Up { .. } => "up",
             Response::Fin { .. } => "fin",
             Response::Err { .. } => "err",
+            Response::Resumed { .. } => "resumed",
+            Response::SourceLost { .. } => "source-lost",
+        }
+    }
+
+    /// The round counter a [`Response::Done`]/[`Up`](Response::Up)/
+    /// [`Fin`](Response::Fin) carries; `None` for the others.
+    pub fn round(&self) -> Option<u64> {
+        match self {
+            Response::Done { round, .. }
+            | Response::Up { round, .. }
+            | Response::Fin { round, .. } => Some(*round),
+            _ => None,
         }
     }
 
@@ -377,37 +536,52 @@ impl Response {
         let mut buf = Vec::new();
         match self {
             Response::Done {
+                round,
                 rows,
                 cols,
                 ops,
                 seconds,
             } => {
                 buf.push(RESP_DONE);
+                push_u64(&mut buf, *round);
                 push_u64(&mut buf, *rows);
                 push_u64(&mut buf, *cols);
                 push_u64(&mut buf, *ops);
                 push_u64(&mut buf, seconds.to_bits());
             }
             Response::Up {
+                round,
                 payload,
                 ops,
                 seconds,
             } => {
                 buf.push(RESP_UP);
+                push_u64(&mut buf, *round);
                 push_u64(&mut buf, *ops);
                 push_u64(&mut buf, seconds.to_bits());
                 push_payload(&mut buf, payload);
             }
             Response::Fin {
+                round,
                 uplink_bits,
                 downlink_bits,
             } => {
                 buf.push(RESP_FIN);
+                push_u64(&mut buf, *round);
                 push_u64(&mut buf, *uplink_bits);
                 push_u64(&mut buf, *downlink_bits);
             }
             Response::Err { reason } => {
                 buf.push(RESP_ERR);
+                push_str(&mut buf, reason);
+            }
+            Response::Resumed { round, fingerprint } => {
+                buf.push(RESP_RESUMED);
+                push_u64(&mut buf, *round);
+                push_u64(&mut buf, *fingerprint);
+            }
+            Response::SourceLost { reason } => {
+                buf.push(RESP_SOURCE_LOST);
                 push_str(&mut buf, reason);
             }
         }
@@ -423,21 +597,31 @@ impl Response {
         let mut r = ByteReader::new(buf, "response decode");
         let resp = match r.u8()? {
             RESP_DONE => Response::Done {
+                round: r.u64()?,
                 rows: r.u64()?,
                 cols: r.u64()?,
                 ops: r.u64()?,
                 seconds: r.f64()?,
             },
             RESP_UP => Response::Up {
+                round: r.u64()?,
                 ops: r.u64()?,
                 seconds: r.f64()?,
                 payload: r.payload()?,
             },
             RESP_FIN => Response::Fin {
+                round: r.u64()?,
                 uplink_bits: r.u64()?,
                 downlink_bits: r.u64()?,
             },
             RESP_ERR => Response::Err {
+                reason: r.string()?,
+            },
+            RESP_RESUMED => Response::Resumed {
+                round: r.u64()?,
+                fingerprint: r.u64()?,
+            },
+            RESP_SOURCE_LOST => Response::SourceLost {
                 reason: r.string()?,
             },
             other => {
@@ -482,6 +666,12 @@ pub trait CommandTransport {
 
     /// Read access to the accumulated data-plane statistics.
     fn stats(&self) -> &NetworkStats;
+
+    /// Applies a deadline policy to the transport. Backends without
+    /// timeouts (or with fixed ones) may ignore it.
+    fn set_deadline(&mut self, policy: DeadlinePolicy) {
+        let _ = policy;
+    }
 }
 
 /// The source side of a protocol run.
@@ -500,6 +690,13 @@ pub trait SourceEndpoint {
     ///
     /// Transport failures.
     fn send_response(&mut self, resp: Response) -> Result<()>;
+
+    /// Applies a deadline policy to the endpoint (what
+    /// [`Command::Deadline`] carries). Backends without timeouts may
+    /// ignore it.
+    fn set_deadline(&mut self, policy: DeadlinePolicy) {
+        let _ = policy;
+    }
 }
 
 /// Charges a command's data-plane payload (if any) to the downlink.
@@ -531,7 +728,8 @@ pub fn charge_response(stats: &mut NetworkStats, source: usize, resp: &Response)
 /// How long a channel-backend receive waits before declaring the peer
 /// gone (an executor thread that panicked drops its endpoint, which
 /// surfaces immediately; the timeout only guards genuine wedges).
-pub const CHANNEL_TIMEOUT: Duration = Duration::from_secs(600);
+/// Alias of [`DeadlinePolicy::DEFAULT_COMMAND`].
+pub const CHANNEL_TIMEOUT: Duration = DeadlinePolicy::DEFAULT_COMMAND;
 
 /// The server half of the in-process channel backend.
 #[derive(Debug)]
@@ -539,6 +737,7 @@ pub struct ChannelHub {
     to_sources: Vec<Sender<Command>>,
     from_sources: Vec<Receiver<Response>>,
     stats: NetworkStats,
+    deadline: DeadlinePolicy,
 }
 
 /// The source half of the in-process channel backend.
@@ -546,6 +745,7 @@ pub struct ChannelHub {
 pub struct ChannelEndpoint {
     commands: Receiver<Command>,
     responses: Sender<Response>,
+    deadline: DeadlinePolicy,
 }
 
 /// Builds the in-process channel backend for `m` sources: one
@@ -568,6 +768,7 @@ pub fn channel_pairs(m: usize) -> (ChannelHub, Vec<ChannelEndpoint>) {
         endpoints.push(ChannelEndpoint {
             commands: cmd_rx,
             responses: resp_tx,
+            deadline: DeadlinePolicy::default(),
         });
     }
     (
@@ -575,6 +776,7 @@ pub fn channel_pairs(m: usize) -> (ChannelHub, Vec<ChannelEndpoint>) {
             to_sources,
             from_sources,
             stats: NetworkStats::new(m),
+            deadline: DeadlinePolicy::default(),
         },
         endpoints,
     )
@@ -610,12 +812,24 @@ impl CommandTransport for ChannelHub {
 
     fn recv(&mut self, source: usize) -> Result<Response> {
         self.check(source)?;
-        let resp = self.from_sources[source]
-            .recv_timeout(CHANNEL_TIMEOUT)
-            .map_err(|e| NetError::Transport {
-                context: "channel recv",
-                detail: format!("source {source}: {e}"),
-            })?;
+        let resp = match self.from_sources[source].recv_timeout(self.deadline.command) {
+            Ok(resp) => resp,
+            // A vanished or stalled executor is a *typed* loss the driver
+            // can degrade around, not a transport error.
+            Err(RecvTimeoutError::Timeout) => {
+                return Ok(Response::SourceLost {
+                    reason: format!(
+                        "source {source} missed the {:?} command deadline",
+                        self.deadline.command
+                    ),
+                })
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                return Ok(Response::SourceLost {
+                    reason: format!("source {source} disconnected"),
+                })
+            }
+        };
         charge_response(&mut self.stats, source, &resp)?;
         Ok(resp)
     }
@@ -623,12 +837,16 @@ impl CommandTransport for ChannelHub {
     fn stats(&self) -> &NetworkStats {
         &self.stats
     }
+
+    fn set_deadline(&mut self, policy: DeadlinePolicy) {
+        self.deadline = policy;
+    }
 }
 
 impl SourceEndpoint for ChannelEndpoint {
     fn recv_command(&mut self) -> Result<Command> {
         self.commands
-            .recv_timeout(CHANNEL_TIMEOUT)
+            .recv_timeout(self.deadline.idle())
             .map_err(|e| NetError::Transport {
                 context: "channel recv_command",
                 detail: format!("server: {e}"),
@@ -640,6 +858,10 @@ impl SourceEndpoint for ChannelEndpoint {
             context: "channel send_response",
             detail: "server hung up".to_string(),
         })
+    }
+
+    fn set_deadline(&mut self, policy: DeadlinePolicy) {
+        self.deadline = policy;
     }
 }
 
@@ -684,6 +906,12 @@ mod tests {
             Command::Abort {
                 reason: "boom".to_string(),
             },
+            Command::Deadline { ms: 1500 },
+            Command::Reissue {
+                round: 4,
+                cmd: Box::new(Command::Deliver { payload: payload() }),
+            },
+            Command::Resume { round: 9 },
         ] {
             assert_eq!(
                 Command::decode(&cmd.encode()).unwrap(),
@@ -698,22 +926,32 @@ mod tests {
     fn responses_roundtrip() {
         for resp in [
             Response::Done {
+                round: 1,
                 rows: 5,
                 cols: 7,
                 ops: 11,
                 seconds: 0.25,
             },
             Response::Up {
+                round: 2,
                 payload: payload(),
                 ops: 3,
                 seconds: 0.5,
             },
             Response::Fin {
+                round: 3,
                 uplink_bits: 1,
                 downlink_bits: 2,
             },
             Response::Err {
                 reason: "bad".to_string(),
+            },
+            Response::Resumed {
+                round: 6,
+                fingerprint: 0xABCD,
+            },
+            Response::SourceLost {
+                reason: "gone".to_string(),
             },
         ] {
             assert_eq!(
@@ -770,6 +1008,7 @@ mod tests {
         // Uplink: Up is charged under its message kind, Done is not.
         eps[0]
             .send_response(Response::Done {
+                round: 1,
                 rows: 1,
                 cols: 1,
                 ops: 0,
@@ -778,6 +1017,7 @@ mod tests {
             .unwrap();
         eps[1]
             .send_response(Response::Up {
+                round: 1,
                 payload: p,
                 ops: 0,
                 seconds: 0.0,
@@ -791,13 +1031,40 @@ mod tests {
     }
 
     #[test]
-    fn dropped_endpoint_is_a_typed_error() {
+    fn dropped_endpoint_is_send_error_and_source_lost_on_recv() {
         let (mut hub, eps) = channel_pairs(1);
         drop(eps);
         assert!(matches!(
             hub.send(0, &Command::Describe),
             Err(NetError::Transport { .. })
         ));
-        assert!(matches!(hub.recv(0), Err(NetError::Transport { .. })));
+        // The receive side degrades: a vanished executor is a typed
+        // SourceLost the driver folds around, not an abort.
+        match hub.recv(0) {
+            Ok(Response::SourceLost { reason }) => assert!(reason.contains("disconnected")),
+            other => panic!("expected SourceLost, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missed_command_deadline_is_source_lost() {
+        let (mut hub, _eps) = channel_pairs(1);
+        hub.set_deadline(DeadlinePolicy::uniform(Duration::from_millis(10)));
+        match hub.recv(0) {
+            Ok(Response::SourceLost { reason }) => assert!(reason.contains("deadline")),
+            other => panic!("expected SourceLost, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_policy_defaults_and_uniform() {
+        let d = DeadlinePolicy::default();
+        assert_eq!(d.io, DeadlinePolicy::DEFAULT_IO);
+        assert_eq!(d.command, DeadlinePolicy::DEFAULT_COMMAND);
+        let u = DeadlinePolicy::uniform(Duration::from_millis(250));
+        assert_eq!(u.io, u.command);
+        assert!(Command::Describe.is_round());
+        assert!(!Command::Deadline { ms: 1 }.is_round());
+        assert!(!Command::Resume { round: 0 }.is_round());
     }
 }

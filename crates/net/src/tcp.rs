@@ -50,8 +50,9 @@ pub(crate) const ROLE_SERVER: u8 = 1;
 
 /// Per-read/write socket timeout. Generous because legitimate gaps are
 /// compute (a source may run a local SVD between frames), but bounded so
-/// a hung peer fails a CI run instead of wedging it.
-pub const IO_TIMEOUT: Duration = Duration::from_secs(120);
+/// a hung peer fails a CI run instead of wedging it. Alias of
+/// [`DeadlinePolicy::DEFAULT_IO`] so one knob governs every backend.
+pub const IO_TIMEOUT: Duration = crate::protocol::DeadlinePolicy::DEFAULT_IO;
 
 pub(crate) fn transport_err(context: &'static str, e: std::io::Error) -> NetError {
     NetError::Transport {
@@ -60,11 +61,11 @@ pub(crate) fn transport_err(context: &'static str, e: std::io::Error) -> NetErro
     }
 }
 
-pub(crate) fn configure(stream: &TcpStream) -> Result<()> {
+pub(crate) fn configure(stream: &TcpStream, io: Duration) -> Result<()> {
     stream
         .set_nodelay(true)
-        .and_then(|()| stream.set_read_timeout(Some(IO_TIMEOUT)))
-        .and_then(|()| stream.set_write_timeout(Some(IO_TIMEOUT)))
+        .and_then(|()| stream.set_read_timeout(Some(io)))
+        .and_then(|()| stream.set_write_timeout(Some(io)))
         .map_err(|e| transport_err("socket configuration", e))
 }
 
@@ -258,7 +259,7 @@ impl TcpServerBinding {
                 .listener
                 .accept()
                 .map_err(|e| transport_err("accept", e))?;
-            configure(&stream)?;
+            configure(&stream, IO_TIMEOUT)?;
             let (payload, _) = expect_frame(&mut stream, FRAME_HELLO)?;
             let (role, source_id, m, got_fp) = decode_hello(&payload)?;
             if role != ROLE_SOURCE {
@@ -490,7 +491,7 @@ impl TcpSource {
                 }
             }
         };
-        configure(&stream)?;
+        configure(&stream, IO_TIMEOUT)?;
         let hello = encode_hello(ROLE_SOURCE, source_id as u32, sources as u32, fp);
         write_frame(&mut stream, FRAME_HELLO, &hello, hello.len() * 8)?;
         let (ack, _) = expect_frame(&mut stream, FRAME_HELLO)?;
@@ -687,7 +688,7 @@ mod tests {
         /// transport can be constructed; tests only exercise `me`).
         fn accept_one_for_tests(self, sources: usize, me: usize) -> TcpServer {
             let (mut stream, _) = self.listener.accept().unwrap();
-            configure(&stream).unwrap();
+            configure(&stream, IO_TIMEOUT).unwrap();
             let (payload, _) = expect_frame(&mut stream, FRAME_HELLO).unwrap();
             let (role, id, m, fp) = decode_hello(&payload).unwrap();
             assert_eq!(

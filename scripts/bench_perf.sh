@@ -1,35 +1,80 @@
 #!/usr/bin/env bash
 # Perf-trajectory entry point: runs the bench_micro harness and leaves
-# the machine-readable BENCH_micro.json at the workspace root.
+# the machine-readable BENCH_micro.json at the workspace root. Also the
+# single source of truth for validating the perf/fault JSON schemas —
+# CI and the fault-injection e2e suite both call `validate` instead of
+# carrying their own copies of the checks.
 #
-#   scripts/bench_perf.sh          # full scale (paper-shape assignment sizes)
-#   scripts/bench_perf.sh smoke    # smallest sizes (CI smoke; ~seconds)
+#   scripts/bench_perf.sh               # full scale (paper-shape assignment sizes)
+#   scripts/bench_perf.sh smoke         # smallest sizes (CI smoke; ~seconds)
+#   scripts/bench_perf.sh validate [f]  # validate an existing JSON document
+#                                       # (default BENCH_micro.json) without
+#                                       # re-running the benches
+#
+# `validate` accepts bench documents (ekm-bench-micro/v1 or /v2, with an
+# optional `faults` section recording recovery-path overhead) and
+# standalone fault-suite documents (ekm-fault-suite/v1, emitted by
+# `scripts/distributed_e2e.sh faults`). A fresh emit from this script is
+# held to the stricter v2-only bar; `validate` keeps accepting older v1
+# recordings.
 #
 # Env:
 #   EKM_BENCH_JSON  override the output path (default <repo>/BENCH_micro.json)
 set -euo pipefail
 
-scale="${1:-full}"
-case "$scale" in
-    smoke|full) ;;
-    *) echo "usage: $0 [smoke|full]" >&2; exit 2 ;;
+mode="${1:-full}"
+case "$mode" in
+    smoke|full|validate) ;;
+    *) echo "usage: $0 [smoke|full|validate [file]]" >&2; exit 2 ;;
 esac
 
 cd "$(dirname "$0")/.."
-EKM_PERF_SCALE="$scale" cargo bench -p ekm-bench --bench bench_micro
 
-out="${EKM_BENCH_JSON:-BENCH_micro.json}"
-test -s "$out" || { echo "error: $out was not written" >&2; exit 1; }
-
-# Schema validation: v2 is current (per-kernel compute/workers fields,
-# f32_speedups, tile_sweep); v1 documents are still accepted during the
-# transition so older recordings keep validating.
-python3 - "$out" <<'EOF'
+# validate_json <file> [fresh]
+#   fresh: the document was just emitted, so the transitional v1 bench
+#   schema is not acceptable — it must be v2 with both compute
+#   precisions timed.
+validate_json() {
+    python3 - "$@" <<'EOF'
 import json, sys
 
-doc = json.load(open(sys.argv[1]))
+path = sys.argv[1]
+fresh = len(sys.argv) > 2 and sys.argv[2] == "fresh"
+doc = json.load(open(path))
 schema = doc["schema"]
+
+
+def check_faults(f):
+    # Recovery-path overhead: a degraded run stayed within the paper's
+    # documented cost-ratio bound, and a crashed driver replayed its
+    # journal instead of recomputing.
+    deg = f["degraded"]
+    assert deg["rows_total"] > deg["rows_lost"] > 0, deg
+    assert deg["cost_ratio_bound"] > 1.0, deg
+    assert 0 < deg["cost_ratio"] <= deg["cost_ratio_bound"], deg
+    res = f["resume"]
+    assert res["replayed_records"] > 0, res
+    assert res["resume_wall_ms"] >= 0, res
+    assert res["centers_bit_identical"] is True, res
+
+
+if schema == "ekm-fault-suite/v1":
+    check_faults(doc)
+    print(f"{path} ok ({schema}): degraded ratio "
+          f"{doc['degraded']['cost_ratio']:.4f} <= bound "
+          f"{doc['degraded']['cost_ratio_bound']:.4f}, "
+          f"{doc['resume']['replayed_records']} records replayed")
+    sys.exit(0)
+
 assert schema in ("ekm-bench-micro/v1", "ekm-bench-micro/v2"), schema
+if fresh:
+    # A fresh emit must be v2 with the distance kernels timed in both
+    # compute precisions (the v1-compat path is only for older
+    # recordings validated after the fact).
+    assert schema == "ekm-bench-micro/v2", schema
+    computes = {k["compute"] for k in doc["kernels"]
+                if k["name"].startswith("distance/assign_blocked")}
+    assert computes == {"f64", "f32"}, computes
 assert doc["kernels"], "no kernel timings recorded"
 assert doc["assign_speedups"], "no assignment speedups recorded"
 assert doc["transb_speedups"], "no matmul_transb speedups recorded"
@@ -48,7 +93,25 @@ if schema == "ekm-bench-micro/v2":
         # The parallel-scalar comparison is either present or explicitly
         # labeled as skipped on single-worker hosts — never silently absent.
         assert "scalar_par_ns" in r or r.get("scalar_par", "").startswith("skipped"), r
-print(f"{sys.argv[1]} ok ({schema}): {len(doc['kernels'])} kernels")
+if "faults" in doc:
+    check_faults(doc["faults"])
+print(f"{path} ok ({schema}): {len(doc['kernels'])} kernels"
+      + (", faults section present" if "faults" in doc else ""))
 EOF
+}
 
-echo "bench_perf: $out ($scale scale)"
+if [[ "$mode" == "validate" ]]; then
+    file="${2:-BENCH_micro.json}"
+    test -s "$file" || { echo "error: $file is missing or empty" >&2; exit 1; }
+    validate_json "$file"
+    exit 0
+fi
+
+EKM_PERF_SCALE="$mode" cargo bench -p ekm-bench --bench bench_micro
+
+out="${EKM_BENCH_JSON:-BENCH_micro.json}"
+test -s "$out" || { echo "error: $out was not written" >&2; exit 1; }
+
+validate_json "$out" fresh
+
+echo "bench_perf: $out ($mode scale)"

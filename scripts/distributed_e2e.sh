@@ -4,7 +4,7 @@
 # process exits cleanly and that the run's accounting holds. Run
 # locally or from the CI `distributed-e2e` matrix:
 #
-#   cargo build --release && scripts/distributed_e2e.sh [core|streaming|non-replicated|all]
+#   cargo build --release && scripts/distributed_e2e.sh [core|streaming|non-replicated|faults|all]
 #
 # `core` and `streaming` run in the replicated SPMD debug mode
 # (`--replicated-check`): every process recomputes the full run and the
@@ -13,7 +13,11 @@
 # protocol — sources hold only their shard, the server drives the plan
 # over one event-driven thread — and asserts the uplink bits equal the
 # in-process simulation's (`ekm run`) while no divergence-check
-# machinery ran. The default `all` runs everything.
+# machinery ran. `faults` is the fault-injection suite: it kills a
+# source mid-stage and asserts the degraded run stays within the
+# documented cost-ratio bound, then kills the server mid-round and
+# asserts `--resume` replays the journal to bit-identical centers and
+# per-source counters. The default `all` runs everything.
 set -euo pipefail
 
 SUITE=${1:-all}
@@ -24,8 +28,15 @@ ADDR="127.0.0.1:${PORT}"
 # timeout until every source has handshaked, so a source that dies
 # before connecting would otherwise hang the round (and the CI job).
 ROUND_TIMEOUT=${EKM_E2E_TIMEOUT:-180}
-LOGDIR=$(mktemp -d)
-trap 'rm -rf "$LOGDIR"' EXIT
+# CI sets EKM_E2E_LOGDIR to a path it uploads as an artifact on
+# failure; when unset the logs live in a scratch dir removed on exit.
+if [[ -n "${EKM_E2E_LOGDIR:-}" ]]; then
+    LOGDIR="$EKM_E2E_LOGDIR"
+    mkdir -p "$LOGDIR"
+else
+    LOGDIR=$(mktemp -d)
+    trap 'rm -rf "$LOGDIR"' EXIT
+fi
 
 # run_round <label> <mode> <sources> <flags...>
 #   mode: "replicated" adds --replicated-check and asserts the digest
@@ -176,6 +187,145 @@ if [[ "$SUITE" == "non-replicated" || "$SUITE" == "all" ]]; then
         --stages jl,stream,qt:8 --dataset mixture --n 900 --d 40 --k 2 --seed 13
     run_round "proto-centralized" protocol 1 \
         --pipeline jl-fss-jl --dataset mnist-like --n 500 --d 196 --k 2 --seed 5
+fi
+
+# faults: the fault-injection suite over the server-driven protocol.
+# Round A kills one source mid-stage and asserts the run degrades onto
+# the survivors within the paper's (1+eps)/(1-frac_lost) cost-ratio
+# bound. Round B kills the *server* mid-round and asserts a restarted
+# `serve --resume` replays its journal to centers and per-source
+# counters bit-identical to a clean twin's. The measurements land in
+# faults.json (schema ekm-fault-suite/v1), validated by the shared
+# checker in scripts/bench_perf.sh.
+if [[ "$SUITE" == "faults" || "$SUITE" == "all" ]]; then
+    FCOMMON=(--dataset mixture --n 600 --d 40 --k 2 --stages dispca,disss --seed 9 --sources 3)
+
+    echo "=== fault-degrade [protocol]: ${FCOMMON[*]} (source 2 killed mid-stage) ==="
+    timeout --kill-after=10 "$ROUND_TIMEOUT" \
+        "$BIN" serve --listen "$ADDR" "${FCOMMON[@]}" --deadline-ms 5000 \
+        --centers-out "$LOGDIR/degraded-centers.txt" >"$LOGDIR/fault-serve.log" 2>&1 &
+    serve_pid=$!
+    src_pids=()
+    for i in 0 1 2; do
+        flags=()
+        # Source 2 serves two commands, then exits 43 mid-stage — the
+        # scripted stand-in for a dead edge device.
+        [[ $i == 2 ]] && flags=(--fail-after-commands 2)
+        timeout --kill-after=10 "$ROUND_TIMEOUT" \
+            "$BIN" source --connect "$ADDR" --source-id "$i" "${FCOMMON[@]}" \
+            "${flags[@]}" >"$LOGDIR/fault-source-$i.log" 2>&1 &
+        src_pids+=($!)
+    done
+    for i in 0 1; do
+        wait "${src_pids[$i]}" || { echo "FAIL: surviving source $i exited nonzero"; exit 1; }
+    done
+    if wait "${src_pids[2]}"; then
+        echo "FAIL: the killed source exited zero — the fault never fired"
+        exit 1
+    fi
+    wait "$serve_pid" || { echo "FAIL: serve did not survive the lost source"; exit 1; }
+    sed 's/^/  serve  | /' "$LOGDIR/fault-serve.log"
+    grep -q "degraded: source 2 lost" "$LOGDIR/fault-serve.log" \
+        || { echo "FAIL: serve did not report the lost source"; exit 1; }
+    grep -q "rows dropped, cost-ratio bound" "$LOGDIR/fault-serve.log" \
+        || { echo "FAIL: serve did not report the degradation bound"; exit 1; }
+
+    # Clean twin via the in-process simulation (bit-identical to the
+    # protocol for the same flags), then score both center sets on the
+    # full dataset and hold the ratio to the documented bound.
+    timeout --kill-after=10 "$ROUND_TIMEOUT" \
+        "$BIN" run "${FCOMMON[@]}" --centers-out "$LOGDIR/clean-centers.txt" \
+        >"$LOGDIR/fault-twin.log" 2>&1 \
+        || { echo "FAIL: clean twin run failed"; exit 1; }
+    degraded_cost=$("$BIN" eval "${FCOMMON[@]}" --centers "$LOGDIR/degraded-centers.txt" \
+        | sed -n 's/^cost //p')
+    clean_cost=$("$BIN" eval "${FCOMMON[@]}" --centers "$LOGDIR/clean-centers.txt" \
+        | sed -n 's/^cost //p')
+    bound=$(sed -n 's/.*rows dropped, cost-ratio bound //p' "$LOGDIR/fault-serve.log")
+    rows_lost=$(sed -n 's/^degraded: \([0-9]*\) of [0-9]* rows dropped.*/\1/p' "$LOGDIR/fault-serve.log")
+    rows_total=$(sed -n 's/^degraded: [0-9]* of \([0-9]*\) rows dropped.*/\1/p' "$LOGDIR/fault-serve.log")
+    ratio=$(python3 -c "print($degraded_cost / $clean_cost)")
+    python3 -c "import sys; sys.exit(0 if 0 < $ratio <= $bound else 1)" \
+        || { echo "FAIL: degraded cost ratio $ratio exceeds the bound $bound"; exit 1; }
+    echo "OK: degraded run within the bound (cost ratio $ratio <= $bound)"
+
+    echo "=== fault-resume [protocol]: ${FCOMMON[*]} (server killed mid-round) ==="
+    JOURNAL="$LOGDIR/run.journal"
+    timeout --kill-after=10 "$ROUND_TIMEOUT" \
+        "$BIN" serve --listen "$ADDR" "${FCOMMON[@]}" --journal "$JOURNAL" \
+        --crash-after-commands 5 >"$LOGDIR/crash-serve1.log" 2>&1 &
+    serve_pid=$!
+    src_pids=()
+    for i in 0 1 2; do
+        # The sources survive the server crash: they keep reconnecting
+        # for up to 120 s and answer replayed rounds from their caches.
+        timeout --kill-after=10 "$ROUND_TIMEOUT" \
+            "$BIN" source --connect "$ADDR" --source-id "$i" "${FCOMMON[@]}" \
+            --reconnect 120 >"$LOGDIR/crash-source-$i.log" 2>&1 &
+        src_pids+=($!)
+    done
+    if wait "$serve_pid"; then
+        echo "FAIL: the first serve exited zero — the crash never fired"
+        exit 1
+    fi
+    resume_start=$(date +%s%3N)
+    timeout --kill-after=10 "$ROUND_TIMEOUT" \
+        "$BIN" serve --listen "$ADDR" "${FCOMMON[@]}" --journal "$JOURNAL" --resume \
+        --centers-out "$LOGDIR/resumed-centers.txt" >"$LOGDIR/crash-serve2.log" 2>&1 \
+        || { echo "FAIL: the resumed serve failed"; sed 's/^/  serve2 | /' "$LOGDIR/crash-serve2.log"; exit 1; }
+    resume_ms=$(( $(date +%s%3N) - resume_start ))
+    for i in 0 1 2; do
+        wait "${src_pids[$i]}" || { echo "FAIL: source $i did not survive the server crash"; exit 1; }
+    done
+    sed 's/^/  serve2 | /' "$LOGDIR/crash-serve2.log"
+    grep -q "resume: replayed" "$LOGDIR/crash-serve2.log" \
+        || { echo "FAIL: the resumed serve replayed nothing"; exit 1; }
+    replayed=$(sed -n 's/^resume: replayed \([0-9]*\) journal record(s).*/\1/p' "$LOGDIR/crash-serve2.log")
+
+    # Clean twin over fresh processes on a fresh port: the resumed run
+    # must be indistinguishable from one that never crashed.
+    TWIN_ADDR="127.0.0.1:$((PORT + 1))"
+    timeout --kill-after=10 "$ROUND_TIMEOUT" \
+        "$BIN" serve --listen "$TWIN_ADDR" "${FCOMMON[@]}" \
+        --centers-out "$LOGDIR/twin-centers.txt" >"$LOGDIR/crash-serve3.log" 2>&1 &
+    serve_pid=$!
+    for i in 0 1 2; do
+        timeout --kill-after=10 "$ROUND_TIMEOUT" \
+            "$BIN" source --connect "$TWIN_ADDR" --source-id "$i" "${FCOMMON[@]}" \
+            >"$LOGDIR/twin-source-$i.log" 2>&1 &
+    done
+    wait "$serve_pid" || { echo "FAIL: the clean twin serve failed"; exit 1; }
+    cmp -s "$LOGDIR/resumed-centers.txt" "$LOGDIR/twin-centers.txt" \
+        || { echo "FAIL: resumed centers differ from the clean twin's"; exit 1; }
+    grep "uplink-bits" "$LOGDIR/crash-serve2.log" | sort >"$LOGDIR/bits-resumed.txt"
+    grep "uplink-bits" "$LOGDIR/crash-serve3.log" | sort >"$LOGDIR/bits-twin.txt"
+    cmp -s "$LOGDIR/bits-resumed.txt" "$LOGDIR/bits-twin.txt" \
+        || { echo "FAIL: resumed per-source counters differ from the clean twin's"; \
+             diff "$LOGDIR/bits-resumed.txt" "$LOGDIR/bits-twin.txt" || true; exit 1; }
+    echo "OK: resume replayed $replayed record(s) to bit-identical centers and counters (${resume_ms} ms)"
+
+    # Record the suite's measurements and hold them to the shared
+    # schema checker — the same validator CI runs on bench documents.
+    python3 - "$LOGDIR/faults.json" <<EOF
+import json, sys
+doc = {
+    "schema": "ekm-fault-suite/v1",
+    "degraded": {
+        "cost_ratio": $ratio,
+        "cost_ratio_bound": $bound,
+        "rows_lost": $rows_lost,
+        "rows_total": $rows_total,
+    },
+    "resume": {
+        "replayed_records": $replayed,
+        "resume_wall_ms": $resume_ms,
+        "centers_bit_identical": True,
+    },
+}
+json.dump(doc, open(sys.argv[1], "w"), indent=2)
+EOF
+    "$(dirname "$0")/bench_perf.sh" validate "$LOGDIR/faults.json" \
+        || { echo "FAIL: faults.json failed schema validation"; exit 1; }
 fi
 
 echo "distributed e2e: all rounds passed (suite: ${SUITE})"

@@ -17,17 +17,21 @@
 
 use edge_kmeans::clustering::lower_bound::cost_lower_bound;
 use edge_kmeans::core::executor::SourceExecutor;
+use edge_kmeans::core::journal::JournalingTransport;
+use edge_kmeans::core::CoreError;
 use edge_kmeans::data::mnist_like::MnistLike;
 use edge_kmeans::data::neurips_like::NeurIpsLike;
 use edge_kmeans::data::normalize::normalize_paper;
 use edge_kmeans::data::partition::partition_uniform;
 use edge_kmeans::data::synth::GaussianMixture;
-use edge_kmeans::net::event::{EventServerBinding, EventTcpSource};
+use edge_kmeans::net::event::{EventServerBinding, EventTcpServer, EventTcpSource};
+use edge_kmeans::net::protocol::{Command, DeadlinePolicy, Response, SourceEndpoint};
 use edge_kmeans::net::tcp::{self, RunDigest, TcpServerBinding, TcpSource};
 use edge_kmeans::net::wire::{Compute, Precision};
-use edge_kmeans::net::{CommandTransport, Transport};
+use edge_kmeans::net::{CommandTransport, NetError, NetworkStats, Transport};
 use edge_kmeans::prelude::*;
 use std::collections::HashMap;
+use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -54,6 +58,8 @@ COMMANDS:
              (launch with the same dataset/pipeline flags as the server);
              in the default protocol mode the process keeps only its own
              shard and answers the server's commands
+    eval     compute the absolute k-means cost of saved centers
+             (--centers <file>) on the dataset the flags describe
     help     show this message
 
 FLAGS (with defaults):
@@ -95,6 +101,28 @@ FLAGS (with defaults):
                         byte-equality divergence checks)
     --y0 <float>        qtopt error budget                     [2.0]
 
+FAULT TOLERANCE (serve/source, protocol mode):
+    --deadline-ms <ms>  per-command deadline: a source that misses it is
+                        reissued the round once, then dropped — the run
+                        completes degraded on the survivors and reports
+                        the documented cost-ratio bound
+    --journal <path>    serve: write-ahead journal of every command
+                        round, for deterministic crash recovery
+    --resume            serve: replay the journal to the pre-crash state
+                        (bit-identical), reconcile the round in flight
+                        from the executors' fingerprints, finish live
+    --centers-out <f>   run/serve: save the centers losslessly (hex-
+                        encoded f64 bits), for `ekm eval` comparisons
+    --centers <file>    eval: the saved centers to score
+    --cache-dir <dir>   sweep: disk tier under the stage cache — evicted
+                        snapshots spill to files and come back as hits
+    --reconnect <secs>  source: keep reconnecting for this long when the
+                        server vanishes mid-run (crash recovery window)
+    --crash-after-commands <n>  serve: exit(42) after n journaled
+                        commands (fault-injection testing)
+    --fail-after-commands <n>   source: exit(43) after n served
+                        commands (fault-injection testing)
+
 EXAMPLES:
     ekm run --pipeline jl-bklw --sources 10
     ekm run --stages jl,fss,qt,jl --quantize 8
@@ -106,10 +134,15 @@ EXAMPLES:
     ekm serve --listen 127.0.0.1:7000 --pipeline bklw --sources 2 &
     ekm source --connect 127.0.0.1:7000 --source-id 0 --pipeline bklw --sources 2 &
     ekm source --connect 127.0.0.1:7000 --source-id 1 --pipeline bklw --sources 2
+    ekm serve --listen 127.0.0.1:7000 --stages dispca,disss --sources 3 \\
+              --journal run.journal --deadline-ms 30000 --centers-out centers.txt
+    ekm serve --listen 127.0.0.1:7000 --stages dispca,disss --sources 3 \\
+              --journal run.journal --resume --centers-out resumed.txt
+    ekm eval --dataset mixture --n 600 --d 40 --k 2 --centers centers.txt
 ";
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: &[&str] = &["no-cache", "replicated-check"];
+const BOOLEAN_FLAGS: &[&str] = &["no-cache", "replicated-check", "resume"];
 
 /// Valid `--pipeline` names, for dispatch and error messages.
 const PIPELINES: &[&str] = &[
@@ -276,7 +309,67 @@ fn build_params(args: &Args, n: usize, d: usize) -> Result<SummaryParams, String
         edge_kmeans::linalg::parallel::set_worker_count(threads);
         params = params.with_solver_shards(threads);
     }
+    if args.flags.contains_key("deadline-ms") {
+        let ms = args.get_u64("deadline-ms", 0)?;
+        if ms == 0 {
+            return Err("--deadline-ms expects a positive millisecond count".into());
+        }
+        // One knob for every transport: the driver announces it to the
+        // sources at the start of the run. Deliberately excluded from
+        // the stage keys and the handshake fingerprint — deadlines
+        // never shape the bits.
+        params = params.with_deadline(DeadlinePolicy::uniform(Duration::from_millis(ms)));
+    }
     Ok(params)
+}
+
+/// Saves centers losslessly: a `rows cols` header line, then one line
+/// per center of space-separated hex-encoded `f64` bit patterns — so an
+/// `ekm eval` of a `--centers-out` file scores *exactly* the centers
+/// the run produced.
+fn write_centers(path: &str, centers: &Matrix) -> Result<(), String> {
+    let (rows, cols) = centers.shape();
+    let mut text = format!("{rows} {cols}\n");
+    for i in 0..rows {
+        let row: Vec<String> = (0..cols)
+            .map(|j| format!("{:016x}", centers[(i, j)].to_bits()))
+            .collect();
+        text.push_str(&row.join(" "));
+        text.push('\n');
+    }
+    std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// Reads a `write_centers` file back, bit-exactly.
+fn read_centers(path: &str) -> Result<Matrix, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut lines = text.lines();
+    let header = lines.next().ok_or_else(|| format!("{path} is empty"))?;
+    let dims: Vec<usize> = header
+        .split_whitespace()
+        .map(|t| {
+            t.parse::<usize>()
+                .map_err(|_| format!("bad header in {path}: '{header}'"))
+        })
+        .collect::<Result<_, _>>()?;
+    let [rows, cols] = dims[..] else {
+        return Err(format!("bad header in {path}: '{header}'"));
+    };
+    let mut data = Vec::with_capacity(rows * cols);
+    for (i, line) in lines.enumerate() {
+        for tok in line.split_whitespace() {
+            let bits = u64::from_str_radix(tok, 16)
+                .map_err(|_| format!("bad f64 bits '{tok}' on line {} of {path}", i + 2))?;
+            data.push(f64::from_bits(bits));
+        }
+    }
+    if data.len() != rows * cols {
+        return Err(format!(
+            "{path} holds {} values, expected {rows}x{cols}",
+            data.len()
+        ));
+    }
+    Ok(Matrix::from_vec(rows, cols, data))
 }
 
 /// Resolves a `--pipeline` name to its canned stage list.
@@ -441,6 +534,33 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     };
     report_line(pipe, &data, &out, reference.cost)?;
     println!("total uplink-bits {}", out.uplink_bits);
+    if let Some(path) = args.flags.get("centers-out") {
+        write_centers(path, &out.centers)?;
+        println!("centers saved to {path}");
+    }
+    Ok(())
+}
+
+/// Scores saved centers against the dataset the flags describe: the
+/// fault-injection CI suite uses this to compare a degraded run's cost
+/// against its clean twin's without either serve process holding data.
+fn cmd_eval(args: &Args) -> Result<(), String> {
+    let path = args
+        .flags
+        .get("centers")
+        .ok_or("eval needs --centers <path>")?;
+    let centers = read_centers(path)?;
+    let data = build_dataset(args)?;
+    let (n, d) = data.shape();
+    if centers.cols() != d {
+        return Err(format!(
+            "centers have {} columns but the dataset has {d}",
+            centers.cols()
+        ));
+    }
+    let cost = edge_kmeans::clustering::cost::cost(&data, &centers).map_err(|e| e.to_string())?;
+    println!("dataset {n} x {d}, centers {}", centers.rows());
+    println!("cost {cost:.17e}");
     Ok(())
 }
 
@@ -467,6 +587,18 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     } else {
         Some(StageCache::new())
     };
+    if let Some(dir) = args.flags.get("cache-dir") {
+        let Some(memory) = cache.take() else {
+            return Err("--cache-dir conflicts with --no-cache".into());
+        };
+        // Entries the memory budget evicts spill to FNV-keyed files
+        // under `dir` instead of being recomputed; 256 MiB on disk.
+        cache = Some(
+            memory
+                .with_disk_tier(Path::new(dir), 256 << 20)
+                .map_err(|e| format!("--cache-dir {dir}: {e}"))?,
+        );
+    }
     // Keep sweeping after a failure so the table stays comparable, but
     // report every failure and exit nonzero if any pipeline failed.
     let mut failures = Vec::new();
@@ -487,6 +619,13 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
             cache.held_bytes(),
             cache.hit_rate()
         );
+        if args.flags.contains_key("cache-dir") {
+            println!(
+                "disk tier: {} spills, {} disk hits",
+                cache.spills(),
+                cache.disk_hits()
+            );
+        }
     }
     if failures.is_empty() {
         Ok(())
@@ -622,6 +761,16 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     }
     // Default: the server-driven protocol. This process never builds
     // the dataset — it owns the plan, the sources own their shards.
+    // Fail fast on inconsistent fault-tolerance flags before binding
+    // the listener, not after sources have connected.
+    if !args.flags.contains_key("journal") {
+        if args.flags.contains_key("resume") {
+            return Err("--resume needs --journal <path>".into());
+        }
+        if args.get_u64("crash-after-commands", 0)? > 0 {
+            return Err("--crash-after-commands needs --journal <path>".into());
+        }
+    }
     let plan = prepare_dist_plan(args)?;
     let binding = EventServerBinding::bind(addr.as_str()).map_err(|e| e.to_string())?;
     println!(
@@ -631,12 +780,12 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         plan.pipe.name(),
         plan.fingerprint
     );
-    let mut net = binding
+    let net = binding
         .accept(plan.m, plan.fingerprint)
         .map_err(|e| e.to_string())?;
     println!("all {} source(s) connected; driving the protocol", plan.m);
-    let out = plan.pipe.run_driver(&mut net).map_err(|e| e.to_string())?;
-    let digest = RunDigest::new(net.stats(), &out.centers);
+    let (out, stats) = drive_accepted(args, &plan, net)?;
+    let digest = RunDigest::new(&stats, &out.centers);
     println!(
         "{} complete: centers {}x{}, comm {:.3e}, summary {} pts",
         plan.pipe.name(),
@@ -645,15 +794,77 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         out.normalized_comm(plan.n, plan.d),
         out.summary_points
     );
+    if let Some(deg) = &out.degraded {
+        for (i, reason) in &deg.lost_sources {
+            println!("degraded: source {i} lost ({reason})");
+        }
+        println!(
+            "degraded: {} of {} rows dropped, cost-ratio bound {:.6}",
+            deg.rows_lost, deg.rows_total, deg.cost_ratio_bound
+        );
+    }
     for i in 0..plan.m {
-        println!("source {i} uplink-bits {}", net.stats().uplink_bits(i));
+        println!("source {i} uplink-bits {}", stats.uplink_bits(i));
     }
     println!("total uplink-bits {}", out.uplink_bits);
     println!(
         "digest {:#018x}: per-source counters verified across {} source(s), no replication",
         digest.centers_hash, plan.m
     );
+    if let Some(path) = args.flags.get("centers-out") {
+        write_centers(path, &out.centers)?;
+        println!("centers saved to {path}");
+    }
     Ok(())
+}
+
+/// Runs the driver over the accepted transport, optionally through the
+/// write-ahead journal (`--journal`, `--resume`) and the crash injector
+/// (`--crash-after-commands`). Returns the run plus the transport's
+/// per-source statistics (the journal owns its own accounting so a
+/// resumed run's counters cover the replayed rounds too).
+fn drive_accepted(
+    args: &Args,
+    plan: &DistPlan,
+    mut net: EventTcpServer,
+) -> Result<(RunOutput, NetworkStats), String> {
+    let resume = args.flags.contains_key("resume");
+    let crash_after = args.get_u64("crash-after-commands", 0)?;
+    let Some(journal) = args.flags.get("journal") else {
+        if resume {
+            return Err("--resume needs --journal <path>".into());
+        }
+        if crash_after > 0 {
+            return Err("--crash-after-commands needs --journal <path>".into());
+        }
+        let out = plan.pipe.run_driver(&mut net).map_err(|e| e.to_string())?;
+        let stats = net.stats().clone();
+        return Ok((out, stats));
+    };
+    let path = Path::new(journal);
+    let mut jnet = if resume {
+        JournalingTransport::resume(net, path, plan.fingerprint)
+    } else {
+        JournalingTransport::record(net, path, plan.fingerprint)
+    }
+    .map_err(|e| e.to_string())?;
+    if resume {
+        println!(
+            "resume: replayed {} journal record(s) from {journal}",
+            jnet.replayed_entries()
+        );
+    }
+    if crash_after > 0 {
+        jnet = jnet.with_entry_hook(Box::new(move |n| {
+            if n >= crash_after {
+                eprintln!("injected crash after {n} journaled command(s)");
+                std::process::exit(42);
+            }
+        }));
+    }
+    let out = plan.pipe.run_driver(&mut jnet).map_err(|e| e.to_string())?;
+    let stats = jnet.stats().clone();
+    Ok((out, stats))
 }
 
 /// The replicated SPMD debug fallback: every process recomputes the
@@ -746,17 +957,36 @@ fn cmd_source(args: &Args) -> Result<(), String> {
         .into_iter()
         .nth(id)
         .expect("source id within shard range");
-    let mut endpoint = EventTcpSource::connect(
-        addr.as_str(),
-        id,
-        run.m,
-        run.fingerprint,
-        Duration::from_secs(30),
-    )
-    .map_err(|e| e.to_string())?;
-    let report = SourceExecutor::new(run.pipe.stages(), run.pipe.params(), id, run.m, shard)
-        .serve(&mut endpoint)
-        .map_err(|e| e.to_string())?;
+    let reconnect = args.get_u64("reconnect", 0)?;
+    let mut fail_after = args.get_u64("fail-after-commands", 0)?;
+    let connect_window = Duration::from_secs(if reconnect > 0 { reconnect } else { 30 });
+    // One executor for the process lifetime: across reconnects it keeps
+    // its round counter and response cache, so a restarted driver's
+    // replayed rounds are answered from the cache without recomputation.
+    let mut executor = SourceExecutor::new(run.pipe.stages(), run.pipe.params(), id, run.m, shard);
+    let report = loop {
+        let mut endpoint =
+            EventTcpSource::connect(addr.as_str(), id, run.m, run.fingerprint, connect_window)
+                .map_err(|e| e.to_string())?;
+        let served = if fail_after > 0 {
+            let mut failing = FailingEndpoint {
+                inner: endpoint,
+                countdown: &mut fail_after,
+                source_id: id,
+            };
+            executor.serve(&mut failing)
+        } else {
+            executor.serve(&mut endpoint)
+        };
+        match served {
+            Ok(report) => break report,
+            Err(CoreError::Net(NetError::Transport { .. })) if reconnect > 0 => {
+                eprintln!("source {id}: connection lost; reconnecting");
+                continue;
+            }
+            Err(e) => return Err(e.to_string()),
+        }
+    };
     println!(
         "source {id}: {} done — sent {} uplink-bits, received {} downlink-bits \
          (digest {:#018x}, counters verified by the server)",
@@ -766,6 +996,38 @@ fn cmd_source(args: &Args) -> Result<(), String> {
         report.centers_hash
     );
     Ok(())
+}
+
+/// Fault injection for the CI suite: a source endpoint that serves a
+/// fixed number of commands and then exits the whole process with code
+/// 43 — the scripted stand-in for an edge device dying mid-stage. The
+/// countdown lives outside the endpoint so it spans reconnects.
+struct FailingEndpoint<'a, E: SourceEndpoint> {
+    inner: E,
+    countdown: &'a mut u64,
+    source_id: usize,
+}
+
+impl<E: SourceEndpoint> SourceEndpoint for FailingEndpoint<'_, E> {
+    fn recv_command(&mut self) -> Result<Command, NetError> {
+        if *self.countdown == 0 {
+            eprintln!(
+                "source {}: injected fault — exiting mid-stage",
+                self.source_id
+            );
+            std::process::exit(43);
+        }
+        *self.countdown -= 1;
+        self.inner.recv_command()
+    }
+
+    fn send_response(&mut self, resp: Response) -> Result<(), NetError> {
+        self.inner.send_response(resp)
+    }
+
+    fn set_deadline(&mut self, policy: DeadlinePolicy) {
+        self.inner.set_deadline(policy);
+    }
 }
 
 fn cmd_qtopt(args: &Args) -> Result<(), String> {
@@ -815,6 +1077,7 @@ fn main() -> ExitCode {
     };
     let result = match args.command.as_str() {
         "run" => cmd_run(&args),
+        "eval" => cmd_eval(&args),
         "sweep" => cmd_sweep(&args),
         "qtopt" => cmd_qtopt(&args),
         "serve" => cmd_serve(&args),
@@ -1115,5 +1378,88 @@ mod tests {
                 "{v}"
             );
         }
+    }
+
+    #[test]
+    fn resume_is_boolean_and_keeps_the_next_flag() {
+        // --resume must not swallow the flag that follows it.
+        let a = args(&["serve", "--resume", "--journal", "run.journal"]).unwrap();
+        assert!(a.flags.contains_key("resume"));
+        assert_eq!(a.flags.get("journal").unwrap(), "run.journal");
+    }
+
+    #[test]
+    fn deadline_flag_reaches_params_and_rejects_zero() {
+        let a = args(&["serve", "--deadline-ms", "250"]).unwrap();
+        let p = build_params(&a, 100, 10).unwrap();
+        assert_eq!(p.deadline.command, Duration::from_millis(250));
+        assert_eq!(p.deadline.io, Duration::from_millis(250));
+        let a = args(&["serve", "--deadline-ms", "0"]).unwrap();
+        assert!(build_params(&a, 100, 10)
+            .unwrap_err()
+            .contains("--deadline-ms"));
+    }
+
+    #[test]
+    fn fault_tolerance_flags_stay_out_of_the_fingerprint() {
+        // The journal, deadlines, and output paths shape recovery, not
+        // the run's bits — a resumed driver must present the same
+        // handshake fingerprint as the one that crashed.
+        let base = args(&["serve", "--n", "500"]).unwrap();
+        let fp = |a: &Args| tcp::fingerprint(&canonical_config(a, 3).unwrap());
+        let faulty = args(&[
+            "serve",
+            "--n",
+            "500",
+            "--deadline-ms",
+            "2000",
+            "--journal",
+            "run.journal",
+            "--resume",
+            "--centers-out",
+            "c.txt",
+        ])
+        .unwrap();
+        assert_eq!(fp(&base), fp(&faulty));
+    }
+
+    #[test]
+    fn centers_roundtrip_is_bit_exact() {
+        let m = Matrix::from_vec(
+            2,
+            3,
+            vec![1.5, -0.25, 1.0e-300, f64::MIN_POSITIVE, -0.0, 3.25],
+        );
+        let path = std::env::temp_dir().join(format!("ekm-centers-{}.txt", std::process::id()));
+        let path = path.to_str().unwrap().to_string();
+        write_centers(&path, &m).unwrap();
+        let back = read_centers(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(back.shape(), (2, 3));
+        for (a, b) in m.as_slice().iter().zip(back.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn eval_requires_a_centers_file() {
+        assert!(cmd_eval(&args(&["eval"]).unwrap())
+            .unwrap_err()
+            .contains("--centers"));
+    }
+
+    #[test]
+    fn resume_and_crash_injection_require_a_journal() {
+        let a = args(&["serve", "--listen", "127.0.0.1:0", "--resume"]).unwrap();
+        assert!(cmd_serve(&a).unwrap_err().contains("--journal"));
+        let a = args(&[
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--crash-after-commands",
+            "3",
+        ])
+        .unwrap();
+        assert!(cmd_serve(&a).unwrap_err().contains("--journal"));
     }
 }

@@ -1,0 +1,301 @@
+//! Fault tolerance end to end, in process: a source lost mid-stage
+//! degrades the run (completes on the survivors, reports the dropped
+//! shard, stays within the documented cost-ratio bound), and a driver
+//! that crashes mid-run resumes from its journal to bit-identical
+//! centers and network statistics — without the surviving executors
+//! recomputing anything.
+
+use edge_kmeans::core::journal::JournalingTransport;
+use edge_kmeans::core::CoreError;
+use edge_kmeans::data::partition::partition_uniform;
+use edge_kmeans::data::synth::GaussianMixture;
+use edge_kmeans::net::protocol::{
+    channel_pairs, Command, CommandTransport, Response, SourceEndpoint,
+};
+use edge_kmeans::net::{NetError, NetworkStats};
+use edge_kmeans::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const FP: u64 = 0xFA17_70B5;
+
+fn workload(n: usize, d: usize, seed: u64) -> Matrix {
+    let raw = GaussianMixture::new(n, d, 2)
+        .with_separation(4.0)
+        .with_seed(seed)
+        .generate()
+        .unwrap()
+        .points;
+    edge_kmeans::data::normalize::normalize_paper(&raw).0
+}
+
+fn pipeline(list: &str, n: usize, d: usize) -> StagePipeline {
+    StagePipeline::from_names(list, SummaryParams::practical(2, n, d).with_seed(9)).unwrap()
+}
+
+fn scratch_journal(tag: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "ekm-ft-{tag}-{}-{}.journal",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn assert_centers_bit_identical(a: &Matrix, b: &Matrix) {
+    assert_eq!(a.shape(), b.shape());
+    for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+        assert_eq!(x.to_bits(), y.to_bits(), "centers diverge: {x} vs {y}");
+    }
+}
+
+/// A source endpoint that dies (typed transport error, then the
+/// channel drops) after serving `remaining` commands — the in-process
+/// stand-in for a killed edge device.
+struct DyingEndpoint<E: SourceEndpoint> {
+    inner: E,
+    remaining: usize,
+}
+
+impl<E: SourceEndpoint> SourceEndpoint for DyingEndpoint<E> {
+    fn recv_command(&mut self) -> Result<Command, NetError> {
+        if self.remaining == 0 {
+            return Err(NetError::Transport {
+                context: "injected fault",
+                detail: "source process killed".to_string(),
+            });
+        }
+        self.remaining -= 1;
+        self.inner.recv_command()
+    }
+
+    fn send_response(&mut self, resp: Response) -> Result<(), NetError> {
+        self.inner.send_response(resp)
+    }
+}
+
+/// A driver-side transport that silently swallows every send after the
+/// first `sends_before_crash` and fails every receive from then on —
+/// the in-process stand-in for a driver process dying mid-round.
+struct FaultInjector<T: CommandTransport> {
+    inner: T,
+    sends_before_crash: usize,
+}
+
+impl<T: CommandTransport> FaultInjector<T> {
+    fn tripped(&self) -> bool {
+        self.sends_before_crash == 0
+    }
+}
+
+impl<T: CommandTransport> CommandTransport for FaultInjector<T> {
+    fn sources(&self) -> usize {
+        self.inner.sources()
+    }
+
+    fn send(&mut self, source: usize, cmd: &Command) -> Result<(), NetError> {
+        if self.tripped() {
+            // The crashed driver reaches nobody — not even with the
+            // abort broadcast `run_driver` fires on the way down.
+            return Ok(());
+        }
+        self.sends_before_crash -= 1;
+        self.inner.send(source, cmd)
+    }
+
+    fn recv(&mut self, source: usize) -> Result<Response, NetError> {
+        if self.tripped() {
+            return Err(NetError::Transport {
+                context: "injected fault",
+                detail: "driver process crashed".to_string(),
+            });
+        }
+        self.inner.recv(source)
+    }
+
+    fn stats(&self) -> &NetworkStats {
+        self.inner.stats()
+    }
+}
+
+#[test]
+fn lost_source_degrades_within_the_documented_bound() {
+    let n = 600;
+    let d = 24;
+    let m = 3;
+    let pipe = pipeline("dispca,disss", n, d);
+    let data = workload(n, d, 11);
+    let shards = partition_uniform(&data, m, 7).unwrap();
+    let lost_rows = shards[2].rows();
+
+    // Clean twin: every source answers.
+    let clean = pipe.run_channel(shards.clone()).unwrap();
+    assert!(clean.degraded.is_none());
+
+    // Faulted run: source 2 serves two commands (describe + the first
+    // stage round), then dies mid-run.
+    let (mut hub, endpoints) = channel_pairs(m);
+    let degraded = std::thread::scope(|scope| {
+        for (i, (ep, shard)) in endpoints.into_iter().zip(shards.clone()).enumerate() {
+            let stages = pipe.stages();
+            let params = pipe.params();
+            scope.spawn(move || {
+                let mut ep = DyingEndpoint {
+                    inner: ep,
+                    remaining: if i == 2 { 2 } else { usize::MAX },
+                };
+                let _ = SourceExecutor::new(stages, params, i, m, shard).serve(&mut ep);
+            });
+        }
+        pipe.run_driver(&mut hub).unwrap()
+    });
+
+    let record = degraded.degraded.as_ref().expect("run must be degraded");
+    assert_eq!(record.lost_sources.len(), 1);
+    assert_eq!(record.lost_sources[0].0, 2);
+    assert_eq!(record.rows_total, n);
+    assert_eq!(record.rows_lost, lost_rows);
+    let frac = lost_rows as f64 / n as f64;
+    let expected_bound = (1.0 + pipe.params().epsilon) / (1.0 - frac);
+    assert!((record.cost_ratio_bound - expected_bound).abs() < 1e-12);
+
+    // The paper's accounting: the survivors still summarize their share
+    // within (1 + ε), so the degraded centers' cost on the FULL dataset
+    // stays within the documented ratio of the clean twin's.
+    let degraded_cost = edge_kmeans::clustering::cost::cost(&data, &degraded.centers).unwrap();
+    let clean_cost = edge_kmeans::clustering::cost::cost(&data, &clean.centers).unwrap();
+    let ratio = degraded_cost / clean_cost;
+    assert!(
+        ratio <= record.cost_ratio_bound,
+        "cost ratio {ratio:.4} exceeds the documented bound {:.4}",
+        record.cost_ratio_bound
+    );
+}
+
+#[test]
+fn losing_every_source_is_a_typed_error_not_a_degraded_run() {
+    let n = 300;
+    let d = 12;
+    let pipe = pipeline("dispca,disss", n, d);
+    let data = workload(n, d, 13);
+    let shards = partition_uniform(&data, 2, 3).unwrap();
+    let (mut hub, endpoints) = channel_pairs(2);
+    std::thread::scope(|scope| {
+        for (i, (ep, shard)) in endpoints.into_iter().zip(shards).enumerate() {
+            let stages = pipe.stages();
+            let params = pipe.params();
+            scope.spawn(move || {
+                // Both sources die after the describe round.
+                let mut ep = DyingEndpoint {
+                    inner: ep,
+                    remaining: 1,
+                };
+                let _ = SourceExecutor::new(stages, params, i, 2, shard).serve(&mut ep);
+            });
+        }
+        let err = pipe.run_driver(&mut hub).unwrap_err();
+        assert!(
+            matches!(err, CoreError::Net(NetError::Transport { .. })),
+            "expected a typed transport error once no source survives, got {err:?}"
+        );
+    });
+}
+
+#[test]
+fn crashed_driver_resumes_to_bit_identical_centers_and_stats() {
+    let n = 600;
+    let d = 20;
+    let m = 3;
+    let pipe = pipeline("dispca,disss", n, d);
+    let data = workload(n, d, 17);
+    let shards = partition_uniform(&data, m, 5).unwrap();
+
+    // Clean twin for the bitwise comparison.
+    let (clean, clean_stats, _) = pipe.run_channel_detailed(shards.clone()).unwrap();
+
+    let journal = scratch_journal("resume");
+    let (out, stats, replayed) = std::thread::scope(|scope| {
+        let (hub, endpoints) = channel_pairs(m);
+        for (i, (mut ep, shard)) in endpoints.into_iter().zip(shards.clone()).enumerate() {
+            let stages = pipe.stages();
+            let params = pipe.params();
+            // The executors outlive the driver crash: real processes
+            // keep their sockets open while the driver restarts.
+            scope.spawn(move || SourceExecutor::new(stages, params, i, m, shard).serve(&mut ep));
+        }
+
+        // Attempt 1: the driver journals every round, then "crashes"
+        // mid-fanout — after the describe round plus part of the first
+        // stage broadcast.
+        let recording = JournalingTransport::record(hub, &journal, FP).unwrap();
+        let mut crashing = FaultInjector {
+            inner: recording,
+            sends_before_crash: 5,
+        };
+        let err = pipe.run_driver(&mut crashing).unwrap_err();
+        assert!(
+            matches!(err, CoreError::Net(NetError::Transport { .. })),
+            "the injected crash must surface as a transport error, got {err:?}"
+        );
+        let hub = crashing.inner.into_inner();
+
+        // Attempt 2: a fresh driver resumes from the journal over the
+        // same executors. Replayed rounds come from disk; the round in
+        // flight is reconciled from the executors' fingerprints; the
+        // rest of the run happens live.
+        let mut resuming = JournalingTransport::resume(hub, &journal, FP).unwrap();
+        let replayed = resuming.replayed_entries();
+        let out = pipe.run_driver(&mut resuming).unwrap();
+        let stats = resuming.stats().clone();
+        (out, stats, replayed)
+    });
+    let _ = std::fs::remove_file(&journal);
+
+    assert!(replayed > 0, "the resume must replay journaled rounds");
+    assert!(
+        out.degraded.is_none(),
+        "a resumed run is not a degraded run"
+    );
+    assert_centers_bit_identical(&out.centers, &clean.centers);
+    assert_eq!(out.uplink_bits, clean.uplink_bits);
+    assert_eq!(out.downlink_bits, clean.downlink_bits);
+    assert_eq!(out.summary_points, clean.summary_points);
+    for i in 0..m {
+        assert_eq!(stats.uplink_bits(i), clean_stats.uplink_bits(i));
+        assert_eq!(stats.downlink_bits(i), clean_stats.downlink_bits(i));
+    }
+}
+
+#[test]
+fn resume_with_a_different_run_fingerprint_is_refused() {
+    let n = 200;
+    let d = 10;
+    let pipe = pipeline("dispca,disss", n, d);
+    let data = workload(n, d, 19);
+    let shards = partition_uniform(&data, 2, 3).unwrap();
+    let journal = scratch_journal("fp");
+
+    std::thread::scope(|scope| {
+        let (hub, endpoints) = channel_pairs(2);
+        for (i, (mut ep, shard)) in endpoints.into_iter().zip(shards).enumerate() {
+            let stages = pipe.stages();
+            let params = pipe.params();
+            scope.spawn(move || SourceExecutor::new(stages, params, i, 2, shard).serve(&mut ep));
+        }
+        let mut net = JournalingTransport::record(hub, &journal, FP).unwrap();
+        pipe.run_driver(&mut net).unwrap();
+    });
+
+    // Resuming the finished journal under a different configuration
+    // fingerprint must be a typed error, not a silent wrong replay.
+    let (hub, _endpoints) = channel_pairs(2);
+    let err = match JournalingTransport::resume(hub, &journal, FP ^ 1) {
+        Ok(_) => panic!("a stale fingerprint must refuse to resume"),
+        Err(e) => e,
+    };
+    let _ = std::fs::remove_file(&journal);
+    assert!(
+        matches!(err, CoreError::Journal { ref reason } if reason.contains("fingerprint")),
+        "{err:?}"
+    );
+}
