@@ -97,27 +97,194 @@ pub(crate) fn local_svd_summary(data: &Matrix, t: usize) -> Result<(Vec<f64>, Ma
     Ok((s.singular_values, s.v))
 }
 
-/// disPCA step 2, the server-side fold: stacks `Y = [Σ_1V_1ᵀ; …]` in
-/// source order and takes the global top-`t` right singular vectors.
-/// One function, shared by the in-process engine and the server driver,
-/// so the two execution models are bit-identical by construction.
-pub(crate) fn dispca_global_basis(summaries: &[(Vec<f64>, Matrix)], t: usize) -> Result<Matrix> {
-    let mut blocks = Vec::with_capacity(summaries.len());
-    for (sv, v) in summaries {
-        // Σ_i V_iᵀ is (rank × d): scale the columns of V by σ then
-        // transpose.
-        let mut scaled = v.clone();
-        for r in 0..scaled.rows() {
-            let row = scaled.row_mut(r);
-            for (x, s) in row.iter_mut().zip(sv) {
-                *x *= s;
+/// The canonical `next_2_power` pairwise merge schedule over `m` leaves:
+/// level `ℓ` merges position `i + 2^ℓ` into position `i` for every `i`
+/// that is a multiple of `2^(ℓ+1)`, giving `ceil(log2 m)` levels with the
+/// root at position 0. The schedule is order-preserving — folding
+/// concatenative summaries along it yields exactly the position-order
+/// concatenation — and it is shared verbatim by the simulation reference
+/// fold, the star driver fold, and the tree driver, which is what makes
+/// the three bit-identical.
+pub fn merge_schedule(m: usize) -> Vec<Vec<(usize, usize)>> {
+    let mut levels = Vec::new();
+    let mut stride = 1;
+    while stride < m {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < m {
+            if i + stride < m {
+                pairs.push((i, i + stride));
+            }
+            i += 2 * stride;
+        }
+        levels.push(pairs);
+        stride *= 2;
+    }
+    levels
+}
+
+/// `Σ Vᵀ` of one summary — the (rank × d) block disPCA stacks.
+fn scaled_stack(sv: &[f64], v: &Matrix) -> Matrix {
+    let mut scaled = v.clone();
+    for r in 0..scaled.rows() {
+        let row = scaled.row_mut(r);
+        for (x, s) in row.iter_mut().zip(sv) {
+            *x *= s;
+        }
+    }
+    scaled.transpose()
+}
+
+/// Passes a summary through its wire encoding at `precision`, returning
+/// exactly what a receiver would decode. Every merge output is
+/// roundtripped so that a summary computed at a source and shipped one
+/// hop equals the same summary computed server-side — the roundtrip is
+/// idempotent, so re-encoding for the next hop changes nothing.
+fn wire_roundtrip_summary(
+    singular_values: Vec<f64>,
+    basis: Matrix,
+    precision: Precision,
+) -> Result<(Vec<f64>, Matrix)> {
+    let msg = Message::SvdSummary {
+        singular_values,
+        basis,
+        precision,
+    };
+    let (buf, bits) = msg.encode();
+    match Message::decode(&buf, bits)? {
+        Message::SvdSummary {
+            singular_values,
+            basis,
+            ..
+        } => Ok((singular_values, basis)),
+        _ => Err(CoreError::Protocol {
+            reason: "svd summary roundtrip changed kind",
+        }),
+    }
+}
+
+/// The canonical pairwise disPCA merge: stacks `[Σ_aV_aᵀ; Σ_bV_bᵀ]`,
+/// takes the thin SVD truncated to rank `t`, and roundtrips the result
+/// through its wire encoding. Used identically by the server-side fold
+/// and by tree-mode executors merging a peer's summary.
+pub(crate) fn dispca_merge_pair(
+    a: &(Vec<f64>, Matrix),
+    b: &(Vec<f64>, Matrix),
+    t: usize,
+    precision: Precision,
+) -> Result<(Vec<f64>, Matrix)> {
+    let y = scaled_stack(&a.0, &a.1).vstack(&scaled_stack(&b.0, &b.1))?;
+    let rank = t.min(y.rows().min(y.cols()));
+    let s = svd::thin_svd(&y)?.truncate(rank)?;
+    wire_roundtrip_summary(s.singular_values, s.v, precision)
+}
+
+/// Folds the summaries along [`merge_schedule`] down to a single summary.
+pub(crate) fn dispca_fold(
+    summaries: &[(Vec<f64>, Matrix)],
+    t: usize,
+    precision: Precision,
+) -> Result<(Vec<f64>, Matrix)> {
+    let mut slots: Vec<Option<(Vec<f64>, Matrix)>> = summaries.iter().cloned().map(Some).collect();
+    for level in merge_schedule(slots.len()) {
+        for (i, j) in level {
+            let (a, b) = (slots[i].take(), slots[j].take());
+            if let (Some(a), Some(b)) = (a, b) {
+                slots[i] = Some(dispca_merge_pair(&a, &b, t, precision)?);
             }
         }
-        blocks.push(scaled.transpose());
     }
-    let y = Matrix::vstack_all(blocks.iter())?;
+    slots
+        .into_iter()
+        .next()
+        .flatten()
+        .ok_or(CoreError::Protocol {
+            reason: "disPCA fold of zero summaries",
+        })
+}
+
+/// disPCA step 2, the server-side fold: pairwise-merges the summaries
+/// along the canonical [`merge_schedule`], then finalizes the single
+/// folded summary — stack `ΣVᵀ` and take the global top-`t` right
+/// singular vectors. One function, shared by the in-process engine and
+/// the star driver; the tree driver performs the same pairwise merges at
+/// the sources and hands the server the already-folded root, so all
+/// three execution models are bit-identical by construction.
+pub(crate) fn dispca_global_basis(
+    summaries: &[(Vec<f64>, Matrix)],
+    t: usize,
+    precision: Precision,
+) -> Result<Matrix> {
+    let (sv, v) = dispca_fold(summaries, t, precision)?;
+    let y = scaled_stack(&sv, &v);
     let global_rank = t.min(y.rows().min(y.cols()));
     Ok(svd::thin_svd(&y)?.truncate(global_rank)?.v)
+}
+
+/// Merges two encoded-and-decoded summary messages of the same kind —
+/// the executor-side counterpart of the server's fold step. SVD
+/// summaries merge through [`dispca_merge_pair`] (rank `t`); coresets
+/// and raw blocks concatenate in order, exactly matching the server's
+/// source-order `vstack`/`Coreset::merge`.
+pub(crate) fn merge_summary_messages(
+    a: Message,
+    b: Message,
+    t: usize,
+    precision: Precision,
+) -> Result<Message> {
+    match (a, b) {
+        (
+            Message::SvdSummary {
+                singular_values: sva,
+                basis: va,
+                ..
+            },
+            Message::SvdSummary {
+                singular_values: svb,
+                basis: vb,
+                ..
+            },
+        ) => {
+            let (singular_values, basis) = dispca_merge_pair(&(sva, va), &(svb, vb), t, precision)?;
+            Ok(Message::SvdSummary {
+                singular_values,
+                basis,
+                precision,
+            })
+        }
+        (
+            Message::Coreset {
+                points: pa,
+                weights: mut wa,
+                delta: da,
+                precision: prec,
+                weights_precision,
+            },
+            Message::Coreset {
+                points: pb,
+                weights: wb,
+                delta: db,
+                ..
+            },
+        ) => {
+            wa.extend_from_slice(&wb);
+            Ok(Message::Coreset {
+                points: pa.vstack(&pb)?,
+                weights: wa,
+                delta: da + db,
+                precision: prec,
+                weights_precision,
+            })
+        }
+        (Message::RawData { points: pa }, Message::RawData { points: pb }) => {
+            Ok(Message::RawData {
+                points: pa.vstack(&pb)?,
+            })
+        }
+        _ => Err(CoreError::Protocol {
+            reason: "mismatched summary kinds in pairwise merge",
+        }),
+    }
 }
 
 /// disSS step 1, the source-local bicriteria solution for source `i`
@@ -308,7 +475,7 @@ pub fn dispca_opts<S: Borrow<Matrix> + Sync, T: Transport>(
 
     // Step 2: server stacks Y = [Σ_i V_iᵀ] and takes the global SVD.
     let t1 = Instant::now();
-    let basis = dispca_global_basis(&summaries, t)?; // d × t2
+    let basis = dispca_global_basis(&summaries, t, precision)?; // d × t2
     let server_seconds = t1.elapsed().as_secs_f64();
 
     // Step 3: broadcast the basis; each source computes its coordinates

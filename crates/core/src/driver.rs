@@ -25,6 +25,7 @@
 use crate::engine::JlBook;
 use crate::executor::{SourceExecutor, SourceRunReport};
 use crate::output::Degradation;
+use crate::params::Topology;
 use crate::pipelines::seeds;
 use crate::projection::MaybeProjection;
 use crate::server::{lift_centers_through_basis, solve_weighted_kmeans};
@@ -73,6 +74,21 @@ fn expect_up(resp: Response, context: &'static str) -> Result<(Payload, u64, f64
         other => Err(CoreError::Net(NetError::ProtocolViolation {
             context,
             expected: "an uplink response",
+            got: other.name().to_string(),
+        })),
+    }
+}
+
+/// Destructures a `Merged` response, returning its optional surrendered
+/// buffer. The leaf accounting fields are the transport's business
+/// ([`ekm_net::protocol::charge_response`]), not the driver's.
+fn expect_merged(resp: Response, context: &'static str) -> Result<Option<Payload>> {
+    match resp {
+        Response::Merged { payload, .. } => Ok(payload),
+        Response::Err { reason } => Err(CoreError::Net(NetError::RemoteAbort { reason })),
+        other => Err(CoreError::Net(NetError::ProtocolViolation {
+            context,
+            expected: "a merged response",
             got: other.name().to_string(),
         })),
     }
@@ -236,6 +252,171 @@ impl<'a, T: CommandTransport> RoundNet<'a, T> {
             cost_ratio_bound: (1.0 + epsilon) / (1.0 - frac),
         })
     }
+}
+
+/// Gather ids for [`Command::MergeWith`], one per tree-reduced phase.
+const GATHER_DISPCA: u8 = 1;
+const GATHER_DISSS: u8 = 2;
+const GATHER_TRANSMIT: u8 = 3;
+
+/// A tree position's occupant: the source currently holding the folded
+/// summary of `origins` (its own leaf plus every subtree merged in).
+struct Holder {
+    source: usize,
+    origins: Vec<usize>,
+}
+
+/// Marks every source whose summary `holder` had absorbed as lost — the
+/// data sat in a buffer that just disappeared with the holder. The
+/// holder's own source is skipped (the transport loss already marked
+/// it), as is anything already lost for its own reasons.
+fn mark_absorbed_lost<T: CommandTransport>(
+    net: &mut RoundNet<'_, T>,
+    holder: &Holder,
+) -> Result<()> {
+    for &o in &holder.origins {
+        if o != holder.source && net.alive[o] {
+            net.mark_lost(
+                o,
+                format!("summary absorbed by lost source {}", holder.source),
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// The tree topology's reduction: pairwise merges along the canonical
+/// [`distributed::merge_schedule`] over the sources that buffered a
+/// summary this gather, halving the active set each level until one
+/// root delivers the folded result — `ceil(log2 s)` merge levels plus
+/// the root emit, with the server folding a single input instead of
+/// `s`.
+///
+/// Peer traffic is routed through the server in v1 (send the emitter a
+/// bare `MergeWith`, forward its surrendered buffer to the partner), so
+/// a holder lost *after* emitting strands its summary server-side
+/// rather than losing it: stranded summaries join the root in the
+/// returned list, ordered by tree position, and the driver folds them
+/// with the same shared functions the star path uses. A holder lost
+/// *before* emitting takes every absorbed origin down with it — the
+/// degradation record then names the whole subtree.
+fn tree_gather<T: CommandTransport>(
+    net: &mut RoundNet<'_, T>,
+    responders: &[usize],
+    gather: u8,
+) -> Result<Vec<Message>> {
+    let mut positions: Vec<Option<Holder>> = responders
+        .iter()
+        .map(|&source| {
+            Some(Holder {
+                source,
+                origins: vec![source],
+            })
+        })
+        .collect();
+    // Summaries that already transited the server when their next
+    // holder died, plus (last) the root's delivery.
+    let mut finals: Vec<(usize, Payload)> = Vec::new();
+    let levels = distributed::merge_schedule(positions.len());
+    let depth = levels.len() as u64;
+    for (lvl, pairs) in levels.into_iter().enumerate() {
+        let active = positions.iter().flatten().count() as u64;
+        for (pi, pj) in pairs {
+            let Some(src) = positions[pj].take() else {
+                continue;
+            };
+            let Some(dst_source) = positions[pi].as_ref().map(|h| h.source) else {
+                // The partner is gone: the holder advances unpaired.
+                positions[pi] = Some(src);
+                continue;
+            };
+            net.send(
+                src.source,
+                &Command::MergeWith {
+                    gather,
+                    level: lvl as u64,
+                    active,
+                    payload: None,
+                    emit: true,
+                    last: false,
+                },
+            )?;
+            let Some(resp) = net.recv(src.source)? else {
+                mark_absorbed_lost(net, &src)?;
+                continue;
+            };
+            let payload = expect_merged(resp, "tree merge emit")?.ok_or(CoreError::Net(
+                NetError::ProtocolViolation {
+                    context: "tree merge emit",
+                    expected: "a surrendered merge buffer",
+                    got: "a merged response with no payload".to_string(),
+                },
+            ))?;
+            net.send(
+                dst_source,
+                &Command::MergeWith {
+                    gather,
+                    level: lvl as u64,
+                    active,
+                    payload: Some(payload.clone()),
+                    emit: false,
+                    last: false,
+                },
+            )?;
+            match net.recv(dst_source)? {
+                Some(resp) => {
+                    expect_merged(resp, "tree merge fold")?;
+                    positions[pi]
+                        .as_mut()
+                        .expect("holder checked above")
+                        .origins
+                        .extend(src.origins);
+                }
+                None => {
+                    // The destination died holding its subtree, but the
+                    // emitted summary already reached the server: it is
+                    // stranded here and joins the server-side fold.
+                    let dst = positions[pi].take().expect("holder checked above");
+                    mark_absorbed_lost(net, &dst)?;
+                    finals.push((pj, payload));
+                }
+            }
+        }
+    }
+    // The root delivers the folded tree — the server's one fold input.
+    let active = positions.iter().flatten().count() as u64;
+    if let Some(pos) = positions.iter().position(Option::is_some) {
+        let root = positions[pos].take().expect("found above");
+        net.send(
+            root.source,
+            &Command::MergeWith {
+                gather,
+                level: depth,
+                active,
+                payload: None,
+                emit: true,
+                last: true,
+            },
+        )?;
+        match net.recv(root.source)? {
+            Some(resp) => {
+                let payload = expect_merged(resp, "tree root emit")?.ok_or(CoreError::Net(
+                    NetError::ProtocolViolation {
+                        context: "tree root emit",
+                        expected: "the folded root summary",
+                        got: "a merged response with no payload".to_string(),
+                    },
+                ))?;
+                finals.push((pos, payload));
+            }
+            None => mark_absorbed_lost(net, &root)?,
+        }
+    }
+    finals.sort_by_key(|&(pos, _)| pos);
+    finals
+        .iter()
+        .map(|(_, p)| p.decode().map_err(CoreError::Net))
+        .collect()
 }
 
 /// The driver's plan-derived shadow of the distributed state: everything
@@ -506,28 +687,55 @@ fn run_stage<T: CommandTransport>(
             let mut summaries = Vec::with_capacity(m);
             let mut ops1 = 0u64;
             let mut secs1 = 0.0f64;
-            for i in 0..m {
-                let Some(resp) = net.recv(i)? else { continue };
-                let (payload, o, s) = expect_up(resp, "dispca summary")?;
-                ops1 = ops1.max(o);
-                secs1 = secs1.max(s);
-                match payload.decode().map_err(CoreError::Net)? {
-                    Message::SvdSummary {
-                        singular_values,
-                        basis,
-                        ..
-                    } => summaries.push((singular_values, basis)),
-                    _ => {
-                        return Err(CoreError::Protocol {
-                            reason: "expected svd summary",
-                        })
+            if params.topology == Topology::Tree && m > 1 {
+                // Tree topology: sources buffer their summaries behind a
+                // plain acknowledgement; the reduction happens pairwise.
+                let mut holders = Vec::with_capacity(m);
+                for i in 0..m {
+                    let Some(resp) = net.recv(i)? else { continue };
+                    let (_, _, o, s) = expect_done(resp, "dispca summary")?;
+                    ops1 = ops1.max(o);
+                    secs1 = secs1.max(s);
+                    holders.push(i);
+                }
+                for msg in tree_gather(net, &holders, GATHER_DISPCA)? {
+                    match msg {
+                        Message::SvdSummary {
+                            singular_values,
+                            basis,
+                            ..
+                        } => summaries.push((singular_values, basis)),
+                        _ => {
+                            return Err(CoreError::Protocol {
+                                reason: "expected svd summary",
+                            })
+                        }
+                    }
+                }
+            } else {
+                for i in 0..m {
+                    let Some(resp) = net.recv(i)? else { continue };
+                    let (payload, o, s) = expect_up(resp, "dispca summary")?;
+                    ops1 = ops1.max(o);
+                    secs1 = secs1.max(s);
+                    match payload.decode().map_err(CoreError::Net)? {
+                        Message::SvdSummary {
+                            singular_values,
+                            basis,
+                            ..
+                        } => summaries.push((singular_values, basis)),
+                        _ => {
+                            return Err(CoreError::Protocol {
+                                reason: "expected svd summary",
+                            })
+                        }
                     }
                 }
             }
             // Step 2: the global SVD — the same server fold as the
             // engine's dispca.
             let t1 = Instant::now();
-            let basis = distributed::dispca_global_basis(&summaries, t)?;
+            let basis = distributed::dispca_global_basis(&summaries, t, params.precision)?;
             st.server_seconds += t1.elapsed().as_secs_f64();
             // Step 3: broadcast; each source projects onto its decoded
             // copy and reports the new shape.
@@ -615,23 +823,52 @@ fn run_stage<T: CommandTransport>(
             let mut parts = Vec::with_capacity(m);
             let mut ops2 = 0u64;
             let mut secs2 = 0.0f64;
-            for &i in &responders {
-                let Some(resp) = net.recv(i)? else { continue };
-                let (payload, o, s) = expect_up(resp, "disss sample")?;
-                ops2 = ops2.max(o);
-                secs2 = secs2.max(s);
-                match payload.decode().map_err(CoreError::Net)? {
-                    Message::Coreset {
-                        points,
-                        weights,
-                        delta,
-                        ..
-                    } => parts
-                        .push(Coreset::new(points, weights, delta).map_err(CoreError::Coreset)?),
-                    _ => {
-                        return Err(CoreError::Protocol {
-                            reason: "expected a coreset message",
-                        })
+            if params.topology == Topology::Tree && m > 1 {
+                let mut holders = Vec::with_capacity(responders.len());
+                for &i in &responders {
+                    let Some(resp) = net.recv(i)? else { continue };
+                    let (_, _, o, s) = expect_done(resp, "disss sample")?;
+                    ops2 = ops2.max(o);
+                    secs2 = secs2.max(s);
+                    holders.push(i);
+                }
+                for msg in tree_gather(net, &holders, GATHER_DISSS)? {
+                    match msg {
+                        Message::Coreset {
+                            points,
+                            weights,
+                            delta,
+                            ..
+                        } => parts.push(
+                            Coreset::new(points, weights, delta).map_err(CoreError::Coreset)?,
+                        ),
+                        _ => {
+                            return Err(CoreError::Protocol {
+                                reason: "expected a coreset message",
+                            })
+                        }
+                    }
+                }
+            } else {
+                for &i in &responders {
+                    let Some(resp) = net.recv(i)? else { continue };
+                    let (payload, o, s) = expect_up(resp, "disss sample")?;
+                    ops2 = ops2.max(o);
+                    secs2 = secs2.max(s);
+                    match payload.decode().map_err(CoreError::Net)? {
+                        Message::Coreset {
+                            points,
+                            weights,
+                            delta,
+                            ..
+                        } => parts.push(
+                            Coreset::new(points, weights, delta).map_err(CoreError::Coreset)?,
+                        ),
+                        _ => {
+                            return Err(CoreError::Protocol {
+                                reason: "expected a coreset message",
+                            })
+                        }
                     }
                 }
             }
@@ -697,27 +934,42 @@ fn finalize<T: CommandTransport>(
             let mut weights = Vec::new();
             let mut ops = 0u64;
             let mut secs = 0.0f64;
-            for i in 0..m {
-                let Some(resp) = net.recv(i)? else { continue };
-                let (payload, o, s) = expect_up(resp, "summary transmit")?;
-                ops = ops.max(o);
-                secs = secs.max(s);
-                match payload.decode().map_err(CoreError::Net)? {
-                    Message::RawData { points } => {
-                        weights.extend(vec![1.0; points.rows()]);
-                        blocks.push(points);
-                    }
-                    Message::Coreset {
-                        points, weights: w, ..
-                    } => {
-                        weights.extend(w);
-                        blocks.push(points);
-                    }
-                    _ => {
-                        return Err(CoreError::Protocol {
-                            reason: "expected raw data or a coreset",
-                        })
-                    }
+            let mut fold_block = |msg: Message, weights: &mut Vec<f64>| match msg {
+                Message::RawData { points } => {
+                    weights.extend(vec![1.0; points.rows()]);
+                    blocks.push(points);
+                    Ok(())
+                }
+                Message::Coreset {
+                    points, weights: w, ..
+                } => {
+                    weights.extend(w);
+                    blocks.push(points);
+                    Ok(())
+                }
+                _ => Err(CoreError::Protocol {
+                    reason: "expected raw data or a coreset",
+                }),
+            };
+            if params.topology == Topology::Tree && m > 1 {
+                let mut holders = Vec::with_capacity(m);
+                for i in 0..m {
+                    let Some(resp) = net.recv(i)? else { continue };
+                    let (_, _, o, s) = expect_done(resp, "summary transmit")?;
+                    ops = ops.max(o);
+                    secs = secs.max(s);
+                    holders.push(i);
+                }
+                for msg in tree_gather(net, &holders, GATHER_TRANSMIT)? {
+                    fold_block(msg, &mut weights)?;
+                }
+            } else {
+                for i in 0..m {
+                    let Some(resp) = net.recv(i)? else { continue };
+                    let (payload, o, s) = expect_up(resp, "summary transmit")?;
+                    ops = ops.max(o);
+                    secs = secs.max(s);
+                    fold_block(payload.decode().map_err(CoreError::Net)?, &mut weights)?;
                 }
             }
             st.source_ops += ops;

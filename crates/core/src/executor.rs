@@ -17,9 +17,11 @@
 //! `tests/transport_equivalence.rs`.
 
 use crate::complexity;
-use crate::distributed::{disss_local_bicriteria, disss_local_sample, local_svd_summary};
+use crate::distributed::{
+    disss_local_bicriteria, disss_local_sample, local_svd_summary, merge_summary_messages,
+};
 use crate::engine::JlBook;
-use crate::params::SummaryParams;
+use crate::params::{SummaryParams, Topology};
 use crate::pipelines::{quantize_for_wire, seeds};
 use crate::projection::MaybeProjection;
 use crate::stage::{
@@ -88,6 +90,26 @@ enum StepOutcome {
     Aborted(String),
 }
 
+/// A summary held back for the tree topology's pairwise fold instead of
+/// being uplinked directly. The message is the *post-wire* copy (encoded
+/// and decoded once), so merging it with a peer's summary is bit-identical
+/// to the server folding the two decoded uplinks itself.
+#[derive(Debug)]
+struct MergeBuffer {
+    /// The buffered summary, exactly as a receiver would decode it.
+    msg: Message,
+    /// Truncation rank for SVD-summary merges (ignored for coresets).
+    rank: usize,
+    /// Wire size of the original leaf summary, reported on this
+    /// source's first `Merged` response so the server can keep the
+    /// classic per-source uplink ledger identical to the star run.
+    leaf_bits: u64,
+    /// Wire tag of the leaf summary (recovers the message kind).
+    leaf_tag: u8,
+    /// Whether `leaf_bits` has already been reported.
+    charged: bool,
+}
+
 /// One data source of a server-driven protocol run.
 #[derive(Debug)]
 pub struct SourceExecutor<'a> {
@@ -104,6 +126,8 @@ pub struct SourceExecutor<'a> {
     jl: JlBook,
     handed_off: bool,
     pending: Option<PendingDeliver>,
+    /// Tree topology only: the summary awaiting pairwise merges.
+    merge: Option<MergeBuffer>,
     report: SourceRunReport,
     /// Rounds answered so far (the first command of a run is round 1).
     round: u64,
@@ -140,6 +164,7 @@ impl<'a> SourceExecutor<'a> {
             jl: JlBook::default(),
             handed_off: false,
             pending: None,
+            merge: None,
             report: SourceRunReport::default(),
             round: 0,
             last_response: None,
@@ -261,6 +286,39 @@ impl<'a> SourceExecutor<'a> {
         }
     }
 
+    /// Whether summary uplinks go through the pairwise reduction tree
+    /// instead of straight to the server (a single source is its own
+    /// root, so it always stars).
+    fn tree_mode(&self) -> bool {
+        self.params.topology == Topology::Tree && self.m > 1
+    }
+
+    /// Tree-mode counterpart of [`Self::up`]: books the summary's wire
+    /// size into this source's classic uplink ledger (so the ledgers
+    /// match the star run bit for bit), then holds the *decoded* copy
+    /// back for the merge rounds and acknowledges the stage with a
+    /// plain `Done`.
+    fn buffer_leaf(
+        &mut self,
+        msg: &Message,
+        rank: usize,
+        ops: u64,
+        seconds: f64,
+    ) -> Result<StepOutcome> {
+        let payload = Payload::of(msg);
+        self.report.uplink_bits += payload.bits();
+        *self.report.uplink_kinds.entry(msg.kind()).or_insert(0) += payload.bits();
+        let decoded = payload.decode().map_err(CoreError::Net)?;
+        self.merge = Some(MergeBuffer {
+            leaf_bits: payload.bits(),
+            leaf_tag: payload.tag(),
+            msg: decoded,
+            rank,
+            charged: false,
+        });
+        Ok(StepOutcome::Reply(self.done(ops, seconds)))
+    }
+
     fn require_source_side(&self) -> Result<()> {
         if self.handed_off {
             return Err(CoreError::InvalidConfig {
@@ -345,6 +403,61 @@ impl<'a> SourceExecutor<'a> {
                     downlink_bits: self.report.downlink_bits,
                 };
                 Ok(StepOutcome::Finished(resp, self.report.clone()))
+            }
+            Command::MergeWith {
+                payload,
+                emit,
+                last,
+                ..
+            } => {
+                // A merge round may arrive while a deliver is pending
+                // (disPCA buffers its summary before the basis comes
+                // back), so no pending/side checks here.
+                let MergeBuffer {
+                    mut msg,
+                    rank,
+                    leaf_bits,
+                    leaf_tag,
+                    charged,
+                } = self
+                    .merge
+                    .take()
+                    .ok_or(CoreError::Net(NetError::ProtocolViolation {
+                        context: "merge-with",
+                        expected: "a buffered summary awaiting the tree fold",
+                        got: "no merge buffer on this source".to_string(),
+                    }))?;
+                if let Some(p) = payload {
+                    let peer = p.decode().map_err(CoreError::Net)?;
+                    msg = merge_summary_messages(msg, peer, rank, self.params.precision)?;
+                }
+                // The leaf's wire size rides on the first merge response
+                // of each gather so the server can charge the classic
+                // per-source uplink ledger exactly once, star-style.
+                let (leaf_bits, leaf_tag) = if charged {
+                    (0, 0)
+                } else {
+                    (leaf_bits, leaf_tag)
+                };
+                let payload = if emit {
+                    Some(Payload::of(&msg))
+                } else {
+                    self.merge = Some(MergeBuffer {
+                        msg,
+                        rank,
+                        leaf_bits: 0,
+                        leaf_tag: 0,
+                        charged: true,
+                    });
+                    None
+                };
+                Ok(StepOutcome::Reply(Response::Merged {
+                    round: self.round,
+                    payload,
+                    leaf_bits,
+                    leaf_tag,
+                    last,
+                }))
             }
             Command::Abort { reason } => Ok(StepOutcome::Aborted(reason)),
             other => Err(CoreError::Net(NetError::ProtocolViolation {
@@ -457,6 +570,9 @@ impl<'a> SourceExecutor<'a> {
                     precision: self.params.precision,
                 };
                 self.pending = Some(PendingDeliver::DispcaBasis);
+                if self.tree_mode() {
+                    return self.buffer_leaf(&msg, t, ops, secs);
+                }
                 Ok(StepOutcome::Reply(self.up(&msg, ops, secs)))
             }
             Stage::DisSs(cfg) => {
@@ -526,6 +642,9 @@ impl<'a> SourceExecutor<'a> {
                 // The summary now lives at the server.
                 self.part = Matrix::zeros(0, 0);
                 self.handed_off = true;
+                if self.tree_mode() {
+                    return self.buffer_leaf(&msg, 0, ops, secs);
+                }
                 Ok(StepOutcome::Reply(self.up(&msg, ops, secs)))
             }
             (pending, msg) => Err(CoreError::Net(NetError::ProtocolViolation {
@@ -579,6 +698,11 @@ impl<'a> SourceExecutor<'a> {
             },
         };
         let secs = t0.elapsed().as_secs_f64();
+        if self.tree_mode() {
+            let outcome = self.buffer_leaf(&msg, 0, ops, secs);
+            self.part = Matrix::zeros(0, 0);
+            return outcome;
+        }
         let resp = self.up(&msg, ops, secs);
         // Transmission is the shard's last use.
         self.part = Matrix::zeros(0, 0);

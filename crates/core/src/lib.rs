@@ -83,7 +83,7 @@ pub use error::CoreError;
 pub use executor::{SourceExecutor, SourceRunReport};
 pub use journal::JournalingTransport;
 pub use output::{Degradation, RunOutput};
-pub use params::SummaryParams;
+pub use params::{SummaryParams, Topology};
 pub use stage::Stage;
 
 /// Convenience result alias used across the crate.

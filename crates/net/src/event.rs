@@ -355,7 +355,8 @@ pub struct EventTcpSource {
 
 impl EventTcpSource {
     /// Connects to a protocol server at `addr` and handshakes as
-    /// `source_id` of `sources`, retrying for up to `retry_for`.
+    /// `source_id` of `sources`, retrying for up to `retry_for` with the
+    /// default [`DeadlinePolicy`]'s retry backoff.
     ///
     /// # Errors
     ///
@@ -369,8 +370,36 @@ impl EventTcpSource {
         fp: u64,
         retry_for: Duration,
     ) -> Result<EventTcpSource> {
+        Self::connect_with_policy(
+            addr,
+            source_id,
+            sources,
+            fp,
+            retry_for,
+            DeadlinePolicy::default(),
+        )
+    }
+
+    /// [`EventTcpSource::connect`] with the retry backoff derived from
+    /// `policy` ([`DeadlinePolicy::retry_backoff`]) instead of the
+    /// default — a `--deadline-ms`-tightened run reconnects during
+    /// `--resume` recovery at a matching cadence rather than the former
+    /// hard-coded 100ms sleep.
+    ///
+    /// # Errors
+    ///
+    /// See [`EventTcpSource::connect`].
+    pub fn connect_with_policy<A: ToSocketAddrs>(
+        addr: A,
+        source_id: usize,
+        sources: usize,
+        fp: u64,
+        retry_for: Duration,
+        policy: DeadlinePolicy,
+    ) -> Result<EventTcpSource> {
         assert!(source_id < sources, "source id out of range");
         let deadline = Instant::now() + retry_for;
+        let backoff = policy.retry_backoff();
         let mut stream = loop {
             match TcpStream::connect(&addr) {
                 Ok(s) => break s,
@@ -378,7 +407,7 @@ impl EventTcpSource {
                     if Instant::now() >= deadline {
                         return Err(transport_err("connect", e));
                     }
-                    std::thread::sleep(Duration::from_millis(100));
+                    std::thread::sleep(backoff);
                 }
             }
         };
@@ -570,6 +599,32 @@ mod tests {
         let err = binding.accept(1, FP).unwrap_err();
         assert!(matches!(err, NetError::Handshake { .. }));
         assert!(src.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn connect_retry_backoff_derives_from_the_deadline_policy() {
+        // No listener: the retry loop must exhaust its window using the
+        // policy-derived backoff. With the former hard-coded 100ms sleep
+        // a 120ms window allowed at most two attempts; the 20ms policy
+        // (1ms backoff) retries densely and still gives up on time.
+        let policy = DeadlinePolicy::uniform(Duration::from_millis(20));
+        assert_eq!(policy.retry_backoff(), Duration::from_millis(1));
+        let t0 = Instant::now();
+        let err = EventTcpSource::connect_with_policy(
+            "127.0.0.1:1",
+            0,
+            1,
+            FP,
+            Duration::from_millis(120),
+            policy,
+        )
+        .unwrap_err();
+        assert!(matches!(err, NetError::Transport { .. }), "{err:?}");
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(100) && elapsed < Duration::from_secs(5),
+            "retry window not honored: {elapsed:?}"
+        );
     }
 
     #[test]

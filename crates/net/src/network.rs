@@ -10,6 +10,15 @@ use crate::{NetError, Result};
 use std::collections::BTreeMap;
 
 /// Per-direction, per-source transmission counters.
+///
+/// The classic ledgers (uplink/downlink bits, messages, by-kind) describe
+/// the *protocol* cost and are identical across aggregation topologies by
+/// construction. The tree-topology counters (`relay_*`, `server_fold_*`,
+/// `merge_levels`) describe the *physical placement* of that traffic
+/// under `--topology tree`: peer-merge payloads relayed through the
+/// server, the single folded root the server actually receives, and the
+/// per-level active sets proving the `O(log s)` round count. They stay
+/// zero/empty on star and simulation runs.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NetworkStats {
     uplink_bits: Vec<u64>,
@@ -17,6 +26,12 @@ pub struct NetworkStats {
     uplink_msgs: Vec<u64>,
     downlink_msgs: Vec<u64>,
     uplink_by_kind: BTreeMap<&'static str, u64>,
+    relay_bits: Vec<u64>,
+    relay_msgs: Vec<u64>,
+    server_fold_bits: u64,
+    server_fold_inputs: u64,
+    /// `(gather, level) → active summary holders entering the level`.
+    merge_levels: BTreeMap<(u8, u64), u64>,
 }
 
 impl NetworkStats {
@@ -30,6 +45,11 @@ impl NetworkStats {
             uplink_msgs: vec![0; sources],
             downlink_msgs: vec![0; sources],
             uplink_by_kind: BTreeMap::new(),
+            relay_bits: vec![0; sources],
+            relay_msgs: vec![0; sources],
+            server_fold_bits: 0,
+            server_fold_inputs: 0,
+            merge_levels: BTreeMap::new(),
         }
     }
 
@@ -98,6 +118,73 @@ impl NetworkStats {
     pub fn charge_downlink(&mut self, source: usize, bits: usize) {
         self.downlink_bits[source] += bits as u64;
         self.downlink_msgs[source] += 1;
+    }
+
+    /// Charges one tree-topology relay message of `bits` touching
+    /// `source` — a peer summary forwarded through the server during a
+    /// pairwise merge. Kept off the classic ledgers so those stay
+    /// bit-identical to the star topology.
+    pub fn charge_relay(&mut self, source: usize, bits: u64) {
+        self.relay_bits[source] += bits;
+        self.relay_msgs[source] += 1;
+    }
+
+    /// Charges the folded root summary the server keeps as a fold input
+    /// under `--topology tree` (exactly one per gather on a fault-free
+    /// run).
+    pub fn charge_server_fold(&mut self, bits: u64) {
+        self.server_fold_bits += bits;
+        self.server_fold_inputs += 1;
+    }
+
+    /// Records the active holder count entering merge level `level` of
+    /// gather `gather`. Idempotent per `(gather, level)`, so reissued or
+    /// journal-replayed commands cannot inflate the record.
+    pub fn note_merge_level(&mut self, gather: u8, level: u64, active: u64) {
+        self.merge_levels.entry((gather, level)).or_insert(active);
+    }
+
+    /// Relay bits that passed through `source` during tree merges.
+    pub fn relay_bits(&self, source: usize) -> u64 {
+        self.relay_bits[source]
+    }
+
+    /// Total tree-topology relay bits over all sources.
+    pub fn total_relay_bits(&self) -> u64 {
+        self.relay_bits.iter().sum()
+    }
+
+    /// Total relay messages over all sources.
+    pub fn total_relay_messages(&self) -> u64 {
+        self.relay_msgs.iter().sum()
+    }
+
+    /// Data-plane bits the server actually received as fold inputs under
+    /// `--topology tree` (the folded roots only).
+    pub fn server_fold_bits(&self) -> u64 {
+        self.server_fold_bits
+    }
+
+    /// Number of fold inputs the server received under `--topology tree`
+    /// (one per gather on a fault-free run, regardless of `s`).
+    pub fn server_fold_inputs(&self) -> u64 {
+        self.server_fold_inputs
+    }
+
+    /// The recorded merge levels: `(gather, level) → active holders`.
+    pub fn merge_levels(&self) -> &BTreeMap<(u8, u64), u64> {
+        &self.merge_levels
+    }
+
+    /// The deepest per-gather level count (merge rounds plus the root
+    /// emit) — the number the `O(log s)` contract bounds.
+    pub fn max_merge_rounds(&self) -> u64 {
+        let mut per_gather: BTreeMap<u8, u64> = BTreeMap::new();
+        for &(gather, level) in self.merge_levels.keys() {
+            let e = per_gather.entry(gather).or_insert(0);
+            *e = (*e).max(level + 1);
+        }
+        per_gather.values().copied().max().unwrap_or(0)
     }
 
     /// Folds a link's private counters into these statistics.

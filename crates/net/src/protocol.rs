@@ -80,6 +80,15 @@ impl DeadlinePolicy {
     pub fn idle(&self) -> Duration {
         self.command.saturating_mul(8)
     }
+
+    /// Backoff between connection attempts while a source waits for the
+    /// server to (re)bind: `io / 20`, clamped to `[1ms, 100ms]`. At the
+    /// default policy this reproduces the former hard-coded 100ms sleep;
+    /// a tightened `--deadline-ms` now proportionally tightens reconnect
+    /// latency during `--resume` recovery instead of being ignored.
+    pub fn retry_backoff(&self) -> Duration {
+        (self.io / 20).clamp(Duration::from_millis(1), Duration::from_millis(100))
+    }
 }
 
 impl Default for DeadlinePolicy {
@@ -141,6 +150,12 @@ impl Payload {
             .copied()
             .ok_or(NetError::UnknownMessageTag { tag: 0 })?;
         Message::kind_of_tag(tag)
+    }
+
+    /// The leading wire tag byte (`0` for an empty payload) — what a
+    /// tree-mode executor reports as its leaf kind without decoding.
+    pub fn tag(&self) -> u8 {
+        self.bytes.first().copied().unwrap_or(0)
     }
 
     fn encoded(&self) -> (&[u8], u64) {
@@ -209,6 +224,30 @@ pub enum Command {
         /// The last round the driver holds a journaled response for.
         round: u64,
     },
+    /// Tree-topology aggregation step, answered by [`Response::Merged`].
+    /// With a `payload`, the executor folds the peer's encoded summary
+    /// into its merge buffer; with `emit` set, it surrenders its buffer
+    /// in the response (`last` marks the root delivery — the single
+    /// server-side fold input). Peer summaries are routed through the
+    /// server in v1, so the relay traffic is charged here and on the
+    /// matching response, never to the star-equivalent classic ledgers.
+    MergeWith {
+        /// Which gather the merge belongs to (1 = disPCA summaries,
+        /// 2 = disSS coresets, 3 = final transmit).
+        gather: u8,
+        /// Reduction-tree level, 0-based; the root emit uses the level
+        /// one past the last merge level.
+        level: u64,
+        /// Number of summary holders still active entering this level.
+        active: u64,
+        /// A peer's encoded summary to fold into the local buffer.
+        payload: Option<Payload>,
+        /// Whether to surrender the merge buffer in the response.
+        emit: bool,
+        /// Whether the emitted buffer is the folded root bound for the
+        /// server.
+        last: bool,
+    },
 }
 
 /// A source → server protocol response.
@@ -270,6 +309,26 @@ pub enum Response {
         /// What happened (disconnect vs deadline).
         reason: String,
     },
+    /// Answers [`Command::MergeWith`]: an optional surrendered merge
+    /// buffer plus the source's one-time leaf accounting.
+    Merged {
+        /// The executor's round counter after this command (1-based).
+        round: u64,
+        /// The surrendered merge buffer (present iff the command set
+        /// `emit`).
+        payload: Option<Payload>,
+        /// On the source's *first* `Merged` only: the encoded bit
+        /// length of its own buffered leaf summary, charged to the
+        /// classic uplink ledger under `leaf_tag`'s kind — which keeps
+        /// every per-source counter and the run digest identical to
+        /// the star topology. Zero afterwards.
+        leaf_bits: u64,
+        /// Wire tag of the leaf summary (`0` when `leaf_bits == 0`).
+        leaf_tag: u8,
+        /// Whether `payload` is the folded root (charged as the
+        /// server's single fold input rather than relay traffic).
+        last: bool,
+    },
 }
 
 const CMD_DESCRIBE: u8 = 1;
@@ -282,6 +341,7 @@ const CMD_ABORT: u8 = 7;
 const CMD_DEADLINE: u8 = 8;
 const CMD_REISSUE: u8 = 9;
 const CMD_RESUME: u8 = 10;
+const CMD_MERGE_WITH: u8 = 11;
 
 const RESP_DONE: u8 = 1;
 const RESP_UP: u8 = 2;
@@ -289,6 +349,7 @@ const RESP_FIN: u8 = 3;
 const RESP_ERR: u8 = 4;
 const RESP_RESUMED: u8 = 5;
 const RESP_SOURCE_LOST: u8 = 6;
+const RESP_MERGED: u8 = 7;
 
 fn push_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_be_bytes());
@@ -393,6 +454,7 @@ impl Command {
             Command::Deadline { .. } => "deadline",
             Command::Reissue { .. } => "reissue",
             Command::Resume { .. } => "resume",
+            Command::MergeWith { .. } => "merge-with",
         }
     }
 
@@ -453,6 +515,25 @@ impl Command {
                 buf.push(CMD_RESUME);
                 push_u64(&mut buf, *round);
             }
+            Command::MergeWith {
+                gather,
+                level,
+                active,
+                payload,
+                emit,
+                last,
+            } => {
+                buf.push(CMD_MERGE_WITH);
+                buf.push(*gather);
+                push_u64(&mut buf, *level);
+                push_u64(&mut buf, *active);
+                let flags =
+                    u8::from(payload.is_some()) | (u8::from(*emit) << 1) | (u8::from(*last) << 2);
+                buf.push(flags);
+                if let Some(p) = payload {
+                    push_payload(&mut buf, p);
+                }
+            }
         }
         buf
     }
@@ -494,6 +575,25 @@ impl Command {
                 }
             }
             CMD_RESUME => Command::Resume { round: r.u64()? },
+            CMD_MERGE_WITH => {
+                let gather = r.u8()?;
+                let level = r.u64()?;
+                let active = r.u64()?;
+                let flags = r.u8()?;
+                let payload = if flags & 1 != 0 {
+                    Some(r.payload()?)
+                } else {
+                    None
+                };
+                Command::MergeWith {
+                    gather,
+                    level,
+                    active,
+                    payload,
+                    emit: flags & 2 != 0,
+                    last: flags & 4 != 0,
+                }
+            }
             other => {
                 return Err(NetError::ProtocolViolation {
                     context: "command decode",
@@ -517,16 +617,19 @@ impl Response {
             Response::Err { .. } => "err",
             Response::Resumed { .. } => "resumed",
             Response::SourceLost { .. } => "source-lost",
+            Response::Merged { .. } => "merged",
         }
     }
 
     /// The round counter a [`Response::Done`]/[`Up`](Response::Up)/
-    /// [`Fin`](Response::Fin) carries; `None` for the others.
+    /// [`Fin`](Response::Fin)/[`Merged`](Response::Merged) carries;
+    /// `None` for the others.
     pub fn round(&self) -> Option<u64> {
         match self {
             Response::Done { round, .. }
             | Response::Up { round, .. }
-            | Response::Fin { round, .. } => Some(*round),
+            | Response::Fin { round, .. }
+            | Response::Merged { round, .. } => Some(*round),
             _ => None,
         }
     }
@@ -584,6 +687,23 @@ impl Response {
                 buf.push(RESP_SOURCE_LOST);
                 push_str(&mut buf, reason);
             }
+            Response::Merged {
+                round,
+                payload,
+                leaf_bits,
+                leaf_tag,
+                last,
+            } => {
+                buf.push(RESP_MERGED);
+                push_u64(&mut buf, *round);
+                push_u64(&mut buf, *leaf_bits);
+                buf.push(*leaf_tag);
+                let flags = u8::from(payload.is_some()) | (u8::from(*last) << 1);
+                buf.push(flags);
+                if let Some(p) = payload {
+                    push_payload(&mut buf, p);
+                }
+            }
         }
         buf
     }
@@ -624,6 +744,24 @@ impl Response {
             RESP_SOURCE_LOST => Response::SourceLost {
                 reason: r.string()?,
             },
+            RESP_MERGED => {
+                let round = r.u64()?;
+                let leaf_bits = r.u64()?;
+                let leaf_tag = r.u8()?;
+                let flags = r.u8()?;
+                let payload = if flags & 1 != 0 {
+                    Some(r.payload()?)
+                } else {
+                    None
+                };
+                Response::Merged {
+                    round,
+                    payload,
+                    leaf_bits,
+                    leaf_tag,
+                    last: flags & 2 != 0,
+                }
+            }
             other => {
                 return Err(NetError::ProtocolViolation {
                     context: "response decode",
@@ -701,26 +839,76 @@ pub trait SourceEndpoint {
 
 /// Charges a command's data-plane payload (if any) to the downlink.
 ///
+/// A [`Command::MergeWith`] records its tree level and charges a carried
+/// peer summary to the *relay* ledger — physical merge traffic stays off
+/// the classic downlink counters, which remain bit-identical to the star
+/// topology by construction.
+///
 /// # Errors
 ///
 /// [`NetError::UnknownMessageTag`] for a malformed payload.
 pub fn charge_command(stats: &mut NetworkStats, source: usize, cmd: &Command) -> Result<()> {
-    if let Command::Deliver { payload } = cmd {
-        payload.kind()?; // malformed payloads are rejected before charging
-        stats.charge_downlink(source, payload.bits() as usize);
+    match cmd {
+        Command::Deliver { payload } => {
+            payload.kind()?; // malformed payloads are rejected before charging
+            stats.charge_downlink(source, payload.bits() as usize);
+        }
+        Command::MergeWith {
+            gather,
+            level,
+            active,
+            payload,
+            ..
+        } => {
+            stats.note_merge_level(*gather, *level, *active);
+            if let Some(p) = payload {
+                p.kind()?;
+                stats.charge_relay(source, p.bits());
+            }
+        }
+        _ => {}
     }
     Ok(())
 }
 
 /// Charges a response's data-plane payload (if any) to the uplink.
 ///
+/// A [`Response::Merged`] charges the source's one-time `leaf_bits` to
+/// the classic uplink ledger under the leaf's own kind (so per-source
+/// counters and the run digest match the star topology exactly), and
+/// books a surrendered buffer as relay traffic — or, for the folded
+/// root, as the server's single fold input.
+///
 /// # Errors
 ///
-/// [`NetError::UnknownMessageTag`] for a malformed payload.
+/// [`NetError::UnknownMessageTag`] for a malformed payload or leaf tag.
 pub fn charge_response(stats: &mut NetworkStats, source: usize, resp: &Response) -> Result<()> {
-    if let Response::Up { payload, .. } = resp {
-        let kind = payload.kind()?;
-        stats.charge_uplink(source, payload.bits() as usize, kind);
+    match resp {
+        Response::Up { payload, .. } => {
+            let kind = payload.kind()?;
+            stats.charge_uplink(source, payload.bits() as usize, kind);
+        }
+        Response::Merged {
+            payload,
+            leaf_bits,
+            leaf_tag,
+            last,
+            ..
+        } => {
+            if *leaf_bits > 0 {
+                let kind = Message::kind_of_tag(*leaf_tag)?;
+                stats.charge_uplink(source, *leaf_bits as usize, kind);
+            }
+            if let Some(p) = payload {
+                p.kind()?;
+                if *last {
+                    stats.charge_server_fold(p.bits());
+                } else {
+                    stats.charge_relay(source, p.bits());
+                }
+            }
+        }
+        _ => {}
     }
     Ok(())
 }
@@ -912,6 +1100,22 @@ mod tests {
                 cmd: Box::new(Command::Deliver { payload: payload() }),
             },
             Command::Resume { round: 9 },
+            Command::MergeWith {
+                gather: 1,
+                level: 2,
+                active: 5,
+                payload: None,
+                emit: true,
+                last: false,
+            },
+            Command::MergeWith {
+                gather: 3,
+                level: 0,
+                active: 8,
+                payload: Some(payload()),
+                emit: false,
+                last: true,
+            },
         ] {
             assert_eq!(
                 Command::decode(&cmd.encode()).unwrap(),
@@ -952,6 +1156,20 @@ mod tests {
             },
             Response::SourceLost {
                 reason: "gone".to_string(),
+            },
+            Response::Merged {
+                round: 7,
+                payload: Some(payload()),
+                leaf_bits: 321,
+                leaf_tag: 2,
+                last: true,
+            },
+            Response::Merged {
+                round: 8,
+                payload: None,
+                leaf_bits: 0,
+                leaf_tag: 0,
+                last: false,
             },
         ] {
             assert_eq!(
@@ -1054,6 +1272,106 @@ mod tests {
             Ok(Response::SourceLost { reason }) => assert!(reason.contains("deadline")),
             other => panic!("expected SourceLost, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn merge_frames_charge_tree_counters_not_classic_ledgers() {
+        let p = payload();
+        let bits = p.bits();
+        let mut stats = NetworkStats::new(3);
+
+        // A bare emit request records the level but moves no data.
+        charge_command(
+            &mut stats,
+            1,
+            &Command::MergeWith {
+                gather: 2,
+                level: 0,
+                active: 3,
+                payload: None,
+                emit: true,
+                last: false,
+            },
+        )
+        .unwrap();
+        // Delivering a peer summary is relay traffic; a replayed or
+        // reissued level note stays idempotent.
+        charge_command(
+            &mut stats,
+            0,
+            &Command::MergeWith {
+                gather: 2,
+                level: 0,
+                active: 99,
+                payload: Some(p.clone()),
+                emit: false,
+                last: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(stats.total_downlink_bits(), 0);
+        assert_eq!(stats.relay_bits(0), bits);
+        assert_eq!(stats.merge_levels()[&(2, 0)], 3);
+        assert_eq!(stats.max_merge_rounds(), 1);
+
+        // A first Merged charges the leaf to the classic uplink under
+        // its own kind; the surrendered buffer is relay traffic…
+        charge_response(
+            &mut stats,
+            1,
+            &Response::Merged {
+                round: 4,
+                payload: Some(p.clone()),
+                leaf_bits: 100,
+                leaf_tag: 2,
+                last: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(stats.uplink_bits(1), 100);
+        assert_eq!(stats.uplink_bits_by_kind()["coreset"], 100);
+        assert_eq!(stats.relay_bits(1), bits);
+        assert_eq!(stats.server_fold_inputs(), 0);
+
+        // …while the root emit is the server's single fold input.
+        charge_response(
+            &mut stats,
+            0,
+            &Response::Merged {
+                round: 5,
+                payload: Some(p),
+                leaf_bits: 0,
+                leaf_tag: 0,
+                last: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(stats.server_fold_inputs(), 1);
+        assert_eq!(stats.server_fold_bits(), bits);
+        assert_eq!(stats.total_uplink_bits(), 100);
+    }
+
+    #[test]
+    fn retry_backoff_tracks_the_io_deadline() {
+        // The default policy reproduces the former hard-coded 100ms.
+        assert_eq!(
+            DeadlinePolicy::default().retry_backoff(),
+            Duration::from_millis(100)
+        );
+        // A tightened deadline tightens the backoff proportionally…
+        assert_eq!(
+            DeadlinePolicy::uniform(Duration::from_millis(250)).retry_backoff(),
+            Duration::from_micros(12_500)
+        );
+        // …clamped so pathological policies neither spin nor stall.
+        assert_eq!(
+            DeadlinePolicy::uniform(Duration::from_micros(1)).retry_backoff(),
+            Duration::from_millis(1)
+        );
+        assert_eq!(
+            DeadlinePolicy::uniform(Duration::from_secs(3600)).retry_backoff(),
+            Duration::from_millis(100)
+        );
     }
 
     #[test]

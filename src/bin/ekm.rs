@@ -93,6 +93,12 @@ FLAGS (with defaults):
     --parallel <on|off> run: the server-driven channel backend (one
                         executor thread per source) vs the sequential
                         in-process simulation — bit-identical   [on]
+    --topology <t>      star | tree: summary aggregation of the
+                        server-driven protocol — star uplinks every
+                        summary to the server, tree pairwise-merges
+                        them at the sources in ceil(log2 s) rounds so
+                        the server folds a single input; results are
+                        bit-identical                           [star]
     --no-cache          sweep: disable the stage-output cache
     --cache-budget <b>  sweep: bound the stage cache to ~b bytes with
                         least-recently-used eviction
@@ -308,6 +314,15 @@ fn build_params(args: &Args, n: usize, d: usize) -> Result<SummaryParams, String
         // results are bit-identical at any setting.
         edge_kmeans::linalg::parallel::set_worker_count(threads);
         params = params.with_solver_shards(threads);
+    }
+    let topology_flag = args.get_str("topology", "star");
+    match Topology::parse(&topology_flag) {
+        Ok(t) => params = params.with_topology(t),
+        Err(_) => {
+            return Err(format!(
+                "--topology expects star|tree, got '{topology_flag}'"
+            ))
+        }
     }
     if args.flags.contains_key("deadline-ms") {
         let ms = args.get_u64("deadline-ms", 0)?;
@@ -565,6 +580,18 @@ fn cmd_eval(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_sweep(args: &Args) -> Result<(), String> {
+    // The cache-tier flags shape a cache that --no-cache removes:
+    // honoring one silently would surprise, so the combination is a
+    // usage error — rejected before any dataset work.
+    if args.flags.contains_key("no-cache") {
+        for conflicting in ["cache-budget", "cache-dir"] {
+            if args.flags.contains_key(conflicting) {
+                return Err(format!(
+                    "--{conflicting} conflicts with --no-cache: the stage cache is disabled"
+                ));
+            }
+        }
+    }
     let data = build_dataset(args)?;
     let (n, d) = data.shape();
     let params = build_params(args, n, d)?;
@@ -658,7 +685,7 @@ struct DistRun {
 fn canonical_config(args: &Args, m: usize) -> Result<String, String> {
     Ok(format!(
         "dataset={};n={};d={};k={};seed={};pipeline={};stages={};quantize={};\
-         precision={};compute={};leaf-size={};sources={m}",
+         precision={};compute={};leaf-size={};sources={m};topology={}",
         args.get_str("dataset", "mnist-like"),
         args.get_usize("n", 2000)?,
         args.get_usize("d", 196)?,
@@ -670,6 +697,7 @@ fn canonical_config(args: &Args, m: usize) -> Result<String, String> {
         args.get_str("precision", "f64"),
         args.get_str("compute", "f64"),
         args.get_str("leaf-size", "-"),
+        args.get_str("topology", "star"),
     ))
 }
 
@@ -807,6 +835,17 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         println!("source {i} uplink-bits {}", stats.uplink_bits(i));
     }
     println!("total uplink-bits {}", out.uplink_bits);
+    if plan.pipe.params().topology == Topology::Tree && plan.m > 1 {
+        // The tree run's physical counters, one per line for scripted
+        // assertions (scripts/distributed_e2e.sh `tree` suite).
+        println!("tree merge-rounds {}", stats.max_merge_rounds());
+        println!("tree relay-bits {}", stats.total_relay_bits());
+        println!(
+            "tree server-fold-bits {} over {} input(s)",
+            stats.server_fold_bits(),
+            stats.server_fold_inputs()
+        );
+    }
     println!(
         "digest {:#018x}: per-source counters verified across {} source(s), no replication",
         digest.centers_hash, plan.m
@@ -965,9 +1004,17 @@ fn cmd_source(args: &Args) -> Result<(), String> {
     // replayed rounds are answered from the cache without recomputation.
     let mut executor = SourceExecutor::new(run.pipe.stages(), run.pipe.params(), id, run.m, shard);
     let report = loop {
-        let mut endpoint =
-            EventTcpSource::connect(addr.as_str(), id, run.m, run.fingerprint, connect_window)
-                .map_err(|e| e.to_string())?;
+        // The connect retry backoff follows the run's deadline policy:
+        // a tight --deadline-ms run probes faster than the default.
+        let mut endpoint = EventTcpSource::connect_with_policy(
+            addr.as_str(),
+            id,
+            run.m,
+            run.fingerprint,
+            connect_window,
+            run.pipe.params().deadline,
+        )
+        .map_err(|e| e.to_string())?;
         let served = if fail_after > 0 {
             let mut failing = FailingEndpoint {
                 inner: endpoint,
@@ -1308,6 +1355,39 @@ mod tests {
         // --threads does not shape the bits, so it stays out.
         let threads = args(&["serve", "--n", "500", "--threads", "2"]).unwrap();
         assert_eq!(fp(&base), fp(&threads));
+    }
+
+    #[test]
+    fn topology_flag_reaches_params_and_fingerprint() {
+        let a = args(&["run"]).unwrap();
+        assert_eq!(build_params(&a, 100, 10).unwrap().topology, Topology::Star);
+        let a = args(&["run", "--topology", "tree"]).unwrap();
+        assert_eq!(build_params(&a, 100, 10).unwrap().topology, Topology::Tree);
+        let a = args(&["run", "--topology", "ring"]).unwrap();
+        assert!(build_params(&a, 100, 10).unwrap_err().contains("ring"));
+        // Both ends must agree on the topology: a tree server would
+        // issue MergeWith rounds a star source rejects, so it is part
+        // of the handshake (and journal-resume) fingerprint.
+        let fp = |a: &Args| tcp::fingerprint(&canonical_config(a, 3).unwrap());
+        let star = args(&["serve", "--n", "500"]).unwrap();
+        let tree = args(&["serve", "--n", "500", "--topology", "tree"]).unwrap();
+        assert_ne!(fp(&star), fp(&tree));
+        let explicit = args(&["serve", "--n", "500", "--topology", "star"]).unwrap();
+        assert_eq!(fp(&star), fp(&explicit));
+    }
+
+    #[test]
+    fn sweep_rejects_cache_tier_flags_with_no_cache() {
+        // --no-cache plus a cache-shaping flag used to silently ignore
+        // the latter; it is a usage error, rejected before any work.
+        let a = args(&["sweep", "--no-cache", "--cache-budget", "1000"]).unwrap();
+        let err = cmd_sweep(&a).unwrap_err();
+        assert!(err.contains("--cache-budget"), "{err}");
+        assert!(err.contains("--no-cache"), "{err}");
+        let a = args(&["sweep", "--no-cache", "--cache-dir", "/tmp/x"]).unwrap();
+        let err = cmd_sweep(&a).unwrap_err();
+        assert!(err.contains("--cache-dir"), "{err}");
+        assert!(err.contains("--no-cache"), "{err}");
     }
 
     #[test]

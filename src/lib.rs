@@ -69,7 +69,7 @@ pub mod prelude {
     pub use ekm_clustering::kmeans::KMeans;
     pub use ekm_core::distributed::{Bklw, BklwJl, DistributedPipeline, JlBklw};
     pub use ekm_core::evaluation;
-    pub use ekm_core::params::SummaryParams;
+    pub use ekm_core::params::{SummaryParams, Topology};
     pub use ekm_core::pipelines::{CentralizedPipeline, Fss, FssJl, JlFss, JlFssJl, NoReduction};
     pub use ekm_core::{
         RunOutput, SourceExecutor, SourceRunReport, Stage, StageCache, StagePipeline,
