@@ -23,9 +23,10 @@
 //! across real processes.
 
 use crate::engine::JlBook;
-use crate::executor::{SourceExecutor, SourceRunReport};
-use crate::output::Degradation;
-use crate::params::Topology;
+use crate::executor::{state_fingerprint, SourceExecutor, SourceRunReport};
+use crate::health::{HealthMachine, RecoveryAction};
+use crate::output::{Degradation, Recovery};
+use crate::params::{replica_holders, replica_origins, Topology};
 use crate::pipelines::seeds;
 use crate::projection::MaybeProjection;
 use crate::server::{lift_centers_through_basis, solve_weighted_kmeans};
@@ -38,7 +39,8 @@ use ekm_net::messages::Message;
 use ekm_net::protocol::{
     channel_pairs, Command, CommandTransport, DeadlinePolicy, Payload, Response,
 };
-use ekm_net::{NetError, NetworkStats, RunDigest};
+use ekm_net::{NetError, NetworkStats, RoutingTransport, RunDigest};
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// Destructures a `Done` response; maps executor errors and type
@@ -97,13 +99,18 @@ fn expect_merged(resp: Response, context: &'static str) -> Result<Option<Payload
 /// Per-source liveness bookkeeping layered over the raw transport — the
 /// driver's straggler-handling seam.
 ///
-/// Every round command is remembered per source so a transport-level
-/// [`Response::SourceLost`] (a missed deadline or a dropped connection)
-/// triggers exactly one [`Command::Reissue`]. A second failure *degrades*
-/// the run: the source is marked lost, subsequent sends skip it silently,
-/// and every fold proceeds over the survivors. Responses carrying a round
-/// number below the source's current round are duplicates surfaced by a
-/// reissue race and are dropped.
+/// Every round command is remembered per source (the full history, in
+/// round order) and a [`HealthMachine`] over the source's canonical
+/// replica ring decides what a transport-level [`Response::SourceLost`]
+/// (a missed deadline or a dropped connection) escalates to: the first
+/// loss triggers exactly one [`Command::Reissue`]; a second promotes
+/// the next replica holder — the dead owner's completed rounds are
+/// replayed onto a fresh persona there and the in-flight round is
+/// reissued through the new route — and only when the ring is exhausted
+/// does the run *degrade*: the source is marked lost, subsequent sends
+/// skip it silently, and every fold proceeds over the survivors.
+/// Responses carrying a round number below the source's current round
+/// are duplicates surfaced by a reissue race and are dropped.
 ///
 /// Loss during the describe round is a hard error — the driver cannot
 /// bound the cost of dropping a shard whose size it never learned.
@@ -111,29 +118,43 @@ struct RoundNet<'a, T: CommandTransport> {
     inner: &'a mut T,
     alive: Vec<bool>,
     lost: Vec<Option<String>>,
-    /// Expected round number per source (rounds issued so far).
-    rounds: Vec<u64>,
-    /// The last round command sent per source, for a one-shot reissue.
-    last_cmd: Vec<Option<Command>>,
+    /// Every round command sent per source, in round order — the replay
+    /// vocabulary for promoting a replica mid-run.
+    history: Vec<Vec<Command>>,
+    /// Per-source failover state over the canonical replica ring.
+    health: Vec<HealthMachine>,
+    /// Responses harvested out of turn (a host answering its own round
+    /// while the driver was mid-promotion on its connection).
+    parked: Vec<std::collections::VecDeque<Response>>,
+    /// Completed rounds replayed onto promoted personas.
+    replayed_rounds: u64,
     /// False until the describe round completes.
     degradable: bool,
 }
 
 impl<'a, T: CommandTransport> RoundNet<'a, T> {
-    fn new(inner: &'a mut T) -> Self {
+    fn new(inner: &'a mut T, replication: usize) -> Self {
         let m = inner.sources();
         RoundNet {
             inner,
             alive: vec![true; m],
             lost: vec![None; m],
-            rounds: vec![0; m],
-            last_cmd: vec![None; m],
+            history: vec![Vec::new(); m],
+            health: (0..m)
+                .map(|i| HealthMachine::new(replica_holders(i, m, replication)))
+                .collect(),
+            parked: vec![std::collections::VecDeque::new(); m],
+            replayed_rounds: 0,
             degradable: false,
         }
     }
 
     fn survivors(&self) -> usize {
         self.alive.iter().filter(|&&a| a).count()
+    }
+
+    fn rounds(&self, i: usize) -> u64 {
+        self.history[i].len() as u64
     }
 
     fn stats(&self) -> &NetworkStats {
@@ -158,21 +179,21 @@ impl<'a, T: CommandTransport> RoundNet<'a, T> {
         Ok(())
     }
 
-    /// Sends to `i` unless it is already lost. A transport failure marks
-    /// the source lost (the round proceeds without it); every other error
-    /// kind propagates.
+    /// Sends to `i` unless it is already lost. A transport failure runs
+    /// the health machine (reissue → promote → degrade); every other
+    /// error kind propagates.
     fn send(&mut self, i: usize, cmd: &Command) -> Result<()> {
         if !self.alive[i] {
             return Ok(());
         }
         if cmd.is_round() {
-            self.rounds[i] += 1;
-            self.last_cmd[i] = Some(cmd.clone());
+            self.history[i].push(cmd.clone());
         }
         match self.inner.send(i, cmd) {
             Ok(()) => Ok(()),
             Err(NetError::Transport { context, detail }) => {
-                self.mark_lost(i, format!("send failed during {context}: {detail}"))
+                let reason = format!("send failed during {context}: {detail}");
+                self.handle_loss(i, reason).map(|_| ())
             }
             Err(e) => Err(CoreError::Net(e)),
         }
@@ -184,32 +205,108 @@ impl<'a, T: CommandTransport> RoundNet<'a, T> {
         if !self.alive[i] {
             return Ok(None);
         }
-        let mut reissued = false;
         loop {
-            match self.inner.recv(i) {
+            let resp = match self.parked[i].pop_front() {
+                Some(resp) => Ok(resp),
+                None => self.inner.recv(i),
+            };
+            match resp {
                 Ok(Response::SourceLost { reason }) => {
-                    let retry = !reissued
-                        && self.degradable
-                        && self.last_cmd[i].is_some()
-                        && self.reissue(i).is_ok();
-                    if !retry {
-                        self.mark_lost(i, reason)?;
+                    if !self.handle_loss(i, reason)? {
                         return Ok(None);
                     }
-                    reissued = true;
                 }
                 Ok(resp) => {
                     if let Some(r) = resp.round() {
-                        if r < self.rounds[i] {
+                        if r < self.rounds(i) {
                             // A duplicate from before the reissue.
                             continue;
                         }
                     }
+                    self.health[i].on_response();
                     return Ok(Some(resp));
                 }
                 Err(e) => return Err(CoreError::Net(e)),
             }
         }
+    }
+
+    /// Runs the health machine over a transport loss on source `i`.
+    /// Returns whether the source is still answerable (a reissue or a
+    /// promotion is in flight) or was marked lost (`false` — the round
+    /// proceeds without it). The escalation loop terminates because
+    /// every iteration either succeeds or consumes a replica.
+    fn handle_loss(&mut self, i: usize, reason: String) -> Result<bool> {
+        if !self.degradable || self.history[i].is_empty() {
+            self.mark_lost(i, reason)?;
+            return Ok(false);
+        }
+        let mut action = self.health[i].on_loss();
+        loop {
+            match action {
+                RecoveryAction::Reissue => {
+                    if self.reissue(i).is_ok() {
+                        return Ok(true);
+                    }
+                    // The reissue could not even be sent: escalate.
+                    action = self.health[i].on_loss();
+                }
+                RecoveryAction::Promote { host } => {
+                    if self.alive[host] && self.promote(i, host).is_ok() {
+                        return Ok(true);
+                    }
+                    action = self.health[i].on_promotion_failed();
+                }
+                RecoveryAction::Degrade => {
+                    self.mark_lost(i, reason)?;
+                    return Ok(false);
+                }
+            }
+        }
+    }
+
+    /// Promotes `host`'s cold replica of `i`'s shard: arms the routing
+    /// layer, replays the dead owner's *completed* rounds onto the fresh
+    /// persona, verifies the rebuilt state against the server's ledger,
+    /// and reissues the in-flight round through the new route. During
+    /// journal replay only the promotion record is consumed — the
+    /// journal re-fires the recorded wire sequence at reconcile time.
+    fn promote(&mut self, i: usize, host: usize) -> std::result::Result<(), NetError> {
+        self.inner.promote(i, host)?;
+        if self.inner.replaying() {
+            return Ok(());
+        }
+        let completed = self.history[i].len().saturating_sub(1);
+        let fingerprint = replay_rounds(
+            &mut *self.inner,
+            i,
+            host,
+            &self.history[i][..completed],
+            &mut self.parked,
+        )?;
+        self.replayed_rounds += completed as u64;
+        if completed > 0 {
+            // The persona's rebuilt ledger must match the server's row
+            // for the dead owner — minus the in-flight command, charged
+            // at send time but only reaching the persona via the
+            // reissue below.
+            let inflight = match self.history[i].last() {
+                Some(Command::Deliver { payload }) => payload.bits(),
+                _ => 0,
+            };
+            let want = state_fingerprint(
+                completed as u64,
+                self.stats().uplink_bits(i),
+                self.stats().downlink_bits(i) - inflight,
+            );
+            if fingerprint != want {
+                return Err(NetError::Divergence {
+                    source: i,
+                    direction: "replica replay",
+                });
+            }
+        }
+        self.reissue(i)
     }
 
     /// Re-sends the current round command wrapped in [`Command::Reissue`]
@@ -219,14 +316,35 @@ impl<'a, T: CommandTransport> RoundNet<'a, T> {
     /// plane — they carry recovery overhead, not protocol cost, and are
     /// not charged to [`NetworkStats`].
     fn reissue(&mut self, i: usize) -> std::result::Result<(), NetError> {
-        let cmd = self.last_cmd[i].clone().expect("checked by caller");
+        let cmd = self.history[i].last().cloned().expect("checked by caller");
         self.inner.send(
             i,
             &Command::Reissue {
-                round: self.rounds[i],
+                round: self.rounds(i),
                 cmd: Box::new(cmd),
             },
         )
+    }
+
+    /// The recovery record for the run, or `None` if no promotion
+    /// happened. Only sources still alive at the end count as recovered
+    /// — a promoted-then-degraded source belongs to the degradation
+    /// record — but replayed rounds are counted for every attempt.
+    fn recovery(&self) -> Option<Recovery> {
+        let promoted: Vec<(usize, usize)> = self
+            .health
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| self.alive[i])
+            .filter_map(|(i, h)| h.host().map(|host| (i, host)))
+            .collect();
+        if promoted.is_empty() && self.replayed_rounds == 0 {
+            return None;
+        }
+        Some(Recovery {
+            promoted,
+            replayed_rounds: self.replayed_rounds,
+        })
     }
 
     /// The degradation record for the run, or `None` if every source
@@ -252,6 +370,72 @@ impl<'a, T: CommandTransport> RoundNet<'a, T> {
             cost_ratio_bound: (1.0 + epsilon) / (1.0 - frac),
         })
     }
+}
+
+/// Replays `history` (the dead owner's completed rounds, in order) onto
+/// the persona `host` just built for `origin`, waiting out each
+/// [`Response::Replayed`] acknowledgement before the next round.
+/// Returns the persona's final state fingerprint (trivial when the
+/// history is empty — the persona is still at round zero).
+///
+/// The host may interleave answers to its *own* in-flight round on the
+/// shared connection; those are parked for the driver's later
+/// [`RoundNet::recv`] rather than dropped. Replay frames are charged to
+/// the run's replica-overhead counters by the transport, never to the
+/// classic ledgers.
+fn replay_rounds<T: CommandTransport>(
+    net: &mut T,
+    origin: usize,
+    host: usize,
+    history: &[Command],
+    parked: &mut [std::collections::VecDeque<Response>],
+) -> std::result::Result<u64, NetError> {
+    let mut fingerprint = state_fingerprint(0, 0, 0);
+    for (k, cmd) in history.iter().enumerate() {
+        let round = (k + 1) as u64;
+        net.send(
+            host,
+            &Command::Replay {
+                origin: origin as u64,
+                round,
+                cmd: Box::new(cmd.clone()),
+            },
+        )?;
+        loop {
+            match net.recv(host)? {
+                Response::Replayed {
+                    origin: o,
+                    round: r,
+                    fingerprint: f,
+                } if o as usize == origin && r == round => {
+                    fingerprint = f;
+                    break;
+                }
+                Response::SourceLost { reason } => {
+                    return Err(NetError::Transport {
+                        context: "replica replay",
+                        detail: reason,
+                    });
+                }
+                Response::Err { reason } => {
+                    return Err(NetError::RemoteAbort { reason });
+                }
+                // A stale acknowledgement from an earlier (abandoned)
+                // replay of the same origin: the fresh persona re-walks
+                // the same rounds, so old duplicates are skipped.
+                Response::Replayed { .. } | Response::Promoted { .. } => {}
+                resp if resp.round().is_some() => parked[host].push_back(resp),
+                other => {
+                    return Err(NetError::ProtocolViolation {
+                        context: "replica replay",
+                        expected: "a replayed acknowledgement",
+                        got: other.name().to_string(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(fingerprint)
 }
 
 /// Gather ids for [`Command::MergeWith`], one per tree-reduced phase.
@@ -492,7 +676,7 @@ fn drive<T: CommandTransport>(pipe: &StagePipeline, net: &mut T) -> Result<RunOu
         }
     }
 
-    let mut rnet = RoundNet::new(net);
+    let mut rnet = RoundNet::new(net, params.replication);
 
     // Round 0: every source describes its shard; the driver performs the
     // same validation the engine runs on the materialized shards. Loss
@@ -1045,6 +1229,7 @@ fn finalize<T: CommandTransport>(
     }
 
     let degraded = net.degradation(rows, params.epsilon);
+    let recovered = net.recovery();
     Ok(RunOutput {
         centers,
         uplink_bits: net.stats().total_uplink_bits() - up0,
@@ -1054,6 +1239,7 @@ fn finalize<T: CommandTransport>(
         source_ops: st.source_ops,
         summary_points: points.rows(),
         degraded,
+        recovered,
     })
 }
 
@@ -1099,35 +1285,57 @@ impl StagePipeline {
             });
         }
         let m = shards.len();
-        let (mut hub, endpoints) = channel_pairs(m);
+        let r = self.params().replication;
+        // Cold replica copies handed to each holder, per the canonical
+        // ring assignment (empty at the default replication of 1).
+        let replica_sets: Vec<BTreeMap<usize, Matrix>> = (0..m)
+            .map(|holder| {
+                replica_origins(holder, m, r)
+                    .into_iter()
+                    .map(|o| (o, shards[o].clone()))
+                    .collect()
+            })
+            .collect();
+        let (hub, endpoints) = channel_pairs(m);
+        let mut routed = RoutingTransport::new(hub);
         std::thread::scope(|scope| {
             let handles: Vec<_> = endpoints
                 .into_iter()
                 .zip(shards)
+                .zip(replica_sets)
                 .enumerate()
-                .map(|(i, (mut endpoint, shard))| {
+                .map(|(i, ((mut endpoint, shard), replicas))| {
                     let stages = self.stages();
                     let params = self.params();
                     scope.spawn(move || {
-                        SourceExecutor::new(stages, params, i, m, shard).serve(&mut endpoint)
+                        SourceExecutor::new(stages, params, i, m, shard)
+                            .with_replicas(replicas)
+                            .serve(&mut endpoint)
                     })
                 })
                 .collect();
-            let out = run_driver(self, &mut hub);
+            let out = run_driver(self, &mut routed);
             let reports: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
             let out = out?;
-            let mut lost = vec![false; m];
+            let mut skipped = vec![false; m];
             if let Some(deg) = &out.degraded {
                 for &(i, _) in &deg.lost_sources {
-                    lost[i] = true;
+                    skipped[i] = true;
+                }
+            }
+            if let Some(rec) = &out.recovered {
+                for &(i, _) in &rec.promoted {
+                    skipped[i] = true;
                 }
             }
             let mut source_reports = Vec::with_capacity(m);
             for (i, report) in reports.into_iter().enumerate() {
                 match report {
-                    // A dropped source has no run report; the degraded
-                    // record already names it.
-                    _ if lost[i] => continue,
+                    // A dropped source has no run report, and a
+                    // recovered one died mid-run — the degradation or
+                    // recovery record already names it (the promoted
+                    // persona's ledger was verified by the fin round).
+                    _ if skipped[i] => continue,
                     Ok(Ok(r)) => source_reports.push(r),
                     Ok(Err(e)) => return Err(e),
                     Err(_) => {
@@ -1137,7 +1345,7 @@ impl StagePipeline {
                     }
                 }
             }
-            Ok((out, hub.stats().clone(), source_reports))
+            Ok((out, routed.stats().clone(), source_reports))
         })
     }
 }

@@ -865,6 +865,7 @@ impl StagePipeline {
             source_ops: state.source_ops,
             summary_points: points.rows(),
             degraded: None,
+            recovered: None,
         })
     }
 }

@@ -106,6 +106,8 @@ struct MergeBuffer {
     leaf_bits: u64,
     /// Wire tag of the leaf summary (recovers the message kind).
     leaf_tag: u8,
+    /// Message kind of the leaf summary, for the by-kind ledger.
+    leaf_kind: &'static str,
     /// Whether `leaf_bits` has already been reported.
     charged: bool,
 }
@@ -134,6 +136,16 @@ pub struct SourceExecutor<'a> {
     /// The last round's response, kept for `Command::Reissue` so a
     /// recovering driver can re-collect it without recomputation.
     last_response: Option<Response>,
+    /// Cold replica shards held for other sources (canonical ring
+    /// assignment, [`crate::params::replica_origins`]), untouched until
+    /// a [`Command::Promote`] names their origin.
+    replicas: BTreeMap<usize, Matrix>,
+    /// Live personas for absorbed origins: full executors over the
+    /// replica shard, fed by `Replay`/`Forward` wrappers.
+    personas: BTreeMap<usize, SourceExecutor<'a>>,
+    /// This executor's own finished report, held back while personas
+    /// are still answering for their origins.
+    finished: Option<SourceRunReport>,
 }
 
 impl<'a> SourceExecutor<'a> {
@@ -168,7 +180,19 @@ impl<'a> SourceExecutor<'a> {
             report: SourceRunReport::default(),
             round: 0,
             last_response: None,
+            replicas: BTreeMap::new(),
+            personas: BTreeMap::new(),
+            finished: None,
         }
+    }
+
+    /// Arms this executor as a replica holder: `replicas` maps each
+    /// origin to a cold copy of its shard, answered for only after a
+    /// [`Command::Promote`] names it.
+    #[must_use]
+    pub fn with_replicas(mut self, replicas: BTreeMap<usize, Matrix>) -> Self {
+        self.replicas = replicas;
+        self
     }
 
     /// Serves commands until the run finishes or fails.
@@ -186,68 +210,43 @@ impl<'a> SourceExecutor<'a> {
     /// returning).
     pub fn serve<E: SourceEndpoint>(&mut self, endpoint: &mut E) -> Result<SourceRunReport> {
         loop {
-            let mut cmd = endpoint.recv_command().map_err(CoreError::Net)?;
-            // The fault-tolerance vocabulary is handled here, against the
-            // endpoint; `step` only ever sees round commands and aborts.
+            let cmd = endpoint.recv_command().map_err(CoreError::Net)?;
+            // The transport-level and failover vocabulary is handled
+            // here, against the endpoint; `execute` sees everything
+            // else (round commands, recovery, aborts).
             match cmd {
                 Command::Deadline { ms } => {
                     endpoint.set_deadline(DeadlinePolicy::uniform(Duration::from_millis(ms)));
                     continue;
                 }
-                Command::Resume { .. } => {
-                    let resp = Response::Resumed {
-                        round: self.round,
-                        fingerprint: state_fingerprint(
-                            self.round,
-                            self.report.uplink_bits,
-                            self.report.downlink_bits,
-                        ),
-                    };
-                    endpoint.send_response(resp).map_err(CoreError::Net)?;
+                Command::Promote { origin } => {
+                    self.promote(origin as usize, endpoint)?;
                     continue;
                 }
-                Command::Reissue { round, cmd: inner } => {
-                    if round == self.round {
-                        // Already executed: resend the cached response.
-                        let resp = self.last_response.clone().ok_or(CoreError::Net(
-                            NetError::ProtocolViolation {
-                                context: "reissue",
-                                expected: "a cached response for the reissued round",
-                                got: format!("round {round} with no cached response"),
-                            },
-                        ))?;
-                        endpoint.send_response(resp).map_err(CoreError::Net)?;
-                        continue;
+                Command::Replay { origin, round, cmd } => {
+                    self.replay(origin as usize, round, *cmd, endpoint)?;
+                    continue;
+                }
+                Command::Forward { origin, cmd } => {
+                    if let Some(report) = self.forward(origin as usize, *cmd, endpoint)? {
+                        return Ok(report);
                     }
-                    if round != self.round + 1 {
-                        return Err(CoreError::Net(NetError::ProtocolViolation {
-                            context: "reissue",
-                            expected: "the current or next round",
-                            got: format!("round {round} at executor round {}", self.round),
-                        }));
-                    }
-                    // Never received: execute the carried command fresh.
-                    cmd = *inner;
+                    continue;
                 }
                 _ => {}
             }
-            let is_round = cmd.is_round();
-            if is_round {
-                self.round += 1;
-            }
-            match self.step(cmd) {
+            match self.execute(cmd) {
                 Ok(StepOutcome::Reply(resp)) => {
-                    if is_round {
-                        self.last_response = Some(resp.clone());
-                    }
                     endpoint.send_response(resp).map_err(CoreError::Net)?;
                 }
                 Ok(StepOutcome::Finished(resp, report)) => {
-                    if is_round {
-                        self.last_response = Some(resp.clone());
-                    }
                     endpoint.send_response(resp).map_err(CoreError::Net)?;
-                    return Ok(report);
+                    if self.personas.is_empty() {
+                        return Ok(report);
+                    }
+                    // Personas still owe rounds for their absorbed
+                    // origins: keep serving until the last finishes.
+                    self.finished = Some(report);
                 }
                 Ok(StepOutcome::Aborted(reason)) => {
                     return Err(CoreError::Net(NetError::RemoteAbort { reason }));
@@ -259,6 +258,204 @@ impl<'a> SourceExecutor<'a> {
                     });
                     return Err(e);
                 }
+            }
+        }
+    }
+
+    /// Executes one command against this executor's state — including
+    /// the `Resume`/`Reissue` recovery vocabulary — and returns the
+    /// outcome. Shared between a source's own serve loop and the
+    /// persona dispatch of its replica host.
+    fn execute(&mut self, cmd: Command) -> Result<StepOutcome> {
+        let cmd = match cmd {
+            Command::Resume { .. } => {
+                return Ok(StepOutcome::Reply(Response::Resumed {
+                    round: self.round,
+                    fingerprint: self.fingerprint(),
+                }));
+            }
+            Command::Reissue { round, cmd: inner } => {
+                if round == self.round {
+                    // Already executed: resend the cached response.
+                    let resp = self.last_response.clone().ok_or(CoreError::Net(
+                        NetError::ProtocolViolation {
+                            context: "reissue",
+                            expected: "a cached response for the reissued round",
+                            got: format!("round {round} with no cached response"),
+                        },
+                    ))?;
+                    return Ok(StepOutcome::Reply(resp));
+                }
+                if round != self.round + 1 {
+                    return Err(CoreError::Net(NetError::ProtocolViolation {
+                        context: "reissue",
+                        expected: "the current or next round",
+                        got: format!("round {round} at executor round {}", self.round),
+                    }));
+                }
+                // Never received: execute the carried command fresh.
+                *inner
+            }
+            other => other,
+        };
+        let is_round = cmd.is_round();
+        if is_round {
+            self.round += 1;
+        }
+        let out = self.step(cmd)?;
+        if is_round {
+            match &out {
+                StepOutcome::Reply(resp) | StepOutcome::Finished(resp, _) => {
+                    self.last_response = Some(resp.clone());
+                }
+                StepOutcome::Aborted(_) => {}
+            }
+        }
+        Ok(out)
+    }
+
+    fn fingerprint(&self) -> u64 {
+        state_fingerprint(
+            self.round,
+            self.report.uplink_bits,
+            self.report.downlink_bits,
+        )
+    }
+
+    /// Handles [`Command::Promote`]: (re)builds a fresh persona for
+    /// `origin` from its cold replica shard. Idempotent by reset — a
+    /// re-promotion after a driver crash starts the persona over, so
+    /// the replay sequence reproduces the same state from any crash
+    /// point. A host without the replica answers `Err` (the driver
+    /// walks on to the next ring entry) but keeps serving its own
+    /// shard.
+    fn promote<E: SourceEndpoint>(&mut self, origin: usize, endpoint: &mut E) -> Result<()> {
+        match self.replicas.get(&origin) {
+            Some(shard) => {
+                let persona =
+                    SourceExecutor::new(self.stages, self.params, origin, self.m, shard.clone());
+                self.personas.insert(origin, persona);
+                endpoint
+                    .send_response(Response::Promoted {
+                        origin: origin as u64,
+                        round: 0,
+                    })
+                    .map_err(CoreError::Net)
+            }
+            None => endpoint
+                .send_response(Response::Err {
+                    reason: format!(
+                        "source {} holds no replica of source {origin}'s shard",
+                        self.id
+                    ),
+                })
+                .map_err(CoreError::Net),
+        }
+    }
+
+    /// Handles [`Command::Replay`]: the persona re-runs one of the dead
+    /// owner's completed rounds. The persona's response is swallowed —
+    /// its bits are booked on the persona's own ledger, reproducing the
+    /// owner's exactly — and only a `Replayed` position/fingerprint ack
+    /// travels back.
+    fn replay<E: SourceEndpoint>(
+        &mut self,
+        origin: usize,
+        round: u64,
+        cmd: Command,
+        endpoint: &mut E,
+    ) -> Result<()> {
+        let persona =
+            self.personas
+                .get_mut(&origin)
+                .ok_or(CoreError::Net(NetError::ProtocolViolation {
+                    context: "replay",
+                    expected: "a promoted persona for the origin",
+                    got: format!("no persona for source {origin}"),
+                }))?;
+        if round == persona.round + 1 {
+            match persona.execute(cmd) {
+                Ok(StepOutcome::Reply(_) | StepOutcome::Finished(..)) => {}
+                Ok(StepOutcome::Aborted(reason)) => {
+                    return Err(CoreError::Net(NetError::RemoteAbort { reason }));
+                }
+                Err(e) => {
+                    let _ = endpoint.send_response(Response::Err {
+                        reason: e.to_string(),
+                    });
+                    return Err(e);
+                }
+            }
+        } else if round != persona.round {
+            return Err(CoreError::Net(NetError::ProtocolViolation {
+                context: "replay",
+                expected: "the persona's current or next round",
+                got: format!("round {round} at persona round {}", persona.round),
+            }));
+        }
+        let resp = Response::Replayed {
+            origin: origin as u64,
+            round: persona.round,
+            fingerprint: persona.fingerprint(),
+        };
+        endpoint.send_response(resp).map_err(CoreError::Net)
+    }
+
+    /// Handles [`Command::Forward`]: the persona executes the carried
+    /// live command and its response travels back wrapped in
+    /// [`Response::Forwarded`]. Returns this executor's own held-back
+    /// report when the last persona finishes after the host's own run
+    /// already did.
+    fn forward<E: SourceEndpoint>(
+        &mut self,
+        origin: usize,
+        cmd: Command,
+        endpoint: &mut E,
+    ) -> Result<Option<SourceRunReport>> {
+        let persona =
+            self.personas
+                .get_mut(&origin)
+                .ok_or(CoreError::Net(NetError::ProtocolViolation {
+                    context: "forward",
+                    expected: "a promoted persona for the origin",
+                    got: format!("no persona for source {origin}"),
+                }))?;
+        match persona.execute(cmd) {
+            Ok(StepOutcome::Reply(resp)) => {
+                endpoint
+                    .send_response(Response::Forwarded {
+                        origin: origin as u64,
+                        resp: Box::new(resp),
+                    })
+                    .map_err(CoreError::Net)?;
+                Ok(None)
+            }
+            Ok(StepOutcome::Finished(resp, _)) => {
+                // The absorbed origin's run is over; its ledger was
+                // already cross-checked by the driver's Fin handling.
+                endpoint
+                    .send_response(Response::Forwarded {
+                        origin: origin as u64,
+                        resp: Box::new(resp),
+                    })
+                    .map_err(CoreError::Net)?;
+                self.personas.remove(&origin);
+                if self.personas.is_empty() {
+                    return Ok(self.finished.take());
+                }
+                Ok(None)
+            }
+            Ok(StepOutcome::Aborted(reason)) => {
+                Err(CoreError::Net(NetError::RemoteAbort { reason }))
+            }
+            Err(e) => {
+                let _ = endpoint.send_response(Response::Forwarded {
+                    origin: origin as u64,
+                    resp: Box::new(Response::Err {
+                        reason: e.to_string(),
+                    }),
+                });
+                Err(e)
             }
         }
     }
@@ -306,12 +503,16 @@ impl<'a> SourceExecutor<'a> {
         seconds: f64,
     ) -> Result<StepOutcome> {
         let payload = Payload::of(msg);
-        self.report.uplink_bits += payload.bits();
-        *self.report.uplink_kinds.entry(msg.kind()).or_insert(0) += payload.bits();
+        // The leaf's bits are booked when they are *reported* (the first
+        // `Merged` response of the gather), not here: the server charges
+        // its classic ledger at that response, and a promoted replica's
+        // replayed ledger must match the server's row at every completed
+        // round boundary.
         let decoded = payload.decode().map_err(CoreError::Net)?;
         self.merge = Some(MergeBuffer {
             leaf_bits: payload.bits(),
             leaf_tag: payload.tag(),
+            leaf_kind: msg.kind(),
             msg: decoded,
             rank,
             charged: false,
@@ -418,6 +619,7 @@ impl<'a> SourceExecutor<'a> {
                     rank,
                     leaf_bits,
                     leaf_tag,
+                    leaf_kind,
                     charged,
                 } = self
                     .merge
@@ -437,6 +639,10 @@ impl<'a> SourceExecutor<'a> {
                 let (leaf_bits, leaf_tag) = if charged {
                     (0, 0)
                 } else {
+                    // Book the one-time leaf bits in lockstep with the
+                    // server, which charges them off this response.
+                    self.report.uplink_bits += leaf_bits;
+                    *self.report.uplink_kinds.entry(leaf_kind).or_insert(0) += leaf_bits;
                     (leaf_bits, leaf_tag)
                 };
                 let payload = if emit {
@@ -447,6 +653,7 @@ impl<'a> SourceExecutor<'a> {
                         rank,
                         leaf_bits: 0,
                         leaf_tag: 0,
+                        leaf_kind: "",
                         charged: true,
                     });
                     None

@@ -36,6 +36,8 @@ pub const JOURNAL_CMD: u8 = 17;
 pub const JOURNAL_RESP: u8 = 18;
 /// Journal frame kind: a source-lost event observed by the driver.
 pub const JOURNAL_LOST: u8 = 19;
+/// Journal frame kind: a replica promotion (origin re-homed to host).
+pub const JOURNAL_PROMOTED: u8 = 20;
 
 /// `"EKMJ"` — rejects files that are not journals before any decode.
 const MAGIC: u32 = 0x454b_4d4a;
@@ -81,6 +83,18 @@ pub enum JournalEntry {
         /// Transport-provided explanation.
         reason: String,
     },
+    /// The driver promoted `host`'s cold replica of `origin`'s shard.
+    /// Written write-ahead: a `Lost { source: host, via_send: true }`
+    /// record *immediately* after marks the attempt as failed (after a
+    /// successful promotion the next record always concerns `origin` —
+    /// its reissue answer routes through the new host but is journaled
+    /// under the origin).
+    Promoted {
+        /// The dead source whose shard was re-homed.
+        origin: u32,
+        /// The replica holder that adopted it.
+        host: u32,
+    },
 }
 
 fn journal_io(reason: String) -> CoreError {
@@ -113,6 +127,9 @@ impl JournalEntry {
                 p.push(u8::from(*via_send));
                 p.extend_from_slice(reason.as_bytes());
                 (JOURNAL_LOST, p)
+            }
+            JournalEntry::Promoted { origin, host } => {
+                (JOURNAL_PROMOTED, prefixed(*origin, &host.to_be_bytes()))
             }
         };
         let bits = payload.len() * 8;
@@ -157,6 +174,18 @@ fn parse_entry(kind: u8, payload: &[u8]) -> Result<JournalEntry> {
                 source,
                 via_send: body[0] != 0,
                 reason,
+            })
+        }
+        JOURNAL_PROMOTED => {
+            if body.len() != 4 {
+                return Err(journal_io(format!(
+                    "promotion record with a {}-byte host id",
+                    body.len()
+                )));
+            }
+            Ok(JournalEntry::Promoted {
+                origin: source,
+                host: u32::from_be_bytes(body.try_into().expect("4-byte slice")),
             })
         }
         other => Err(journal_io(format!("unknown journal record kind {other}"))),
@@ -264,6 +293,38 @@ fn load_lossy(path: &Path) -> Result<(JournalHeader, Vec<JournalEntry>, u64)> {
     Ok((header, entries, good as u64))
 }
 
+/// Scans a journal for origins absorbed by a successful replica
+/// promotion, without replaying it. A resumed `ekm serve` accepts
+/// handshakes only from the survivors: a promoted origin's owner is
+/// dead (that is why it was promoted) and its remaining rounds run
+/// through its host's connection, so waiting for the owner to
+/// reconnect would hang the accept loop forever. A promotion whose
+/// host was lost on the very next record was a failed attempt and does
+/// not count. Tolerates a torn tail exactly like
+/// [`JournalingTransport::resume`].
+///
+/// # Errors
+///
+/// [`CoreError::Journal`] when the file is missing or its header is
+/// corrupt or from a different configuration of the tool.
+pub fn absorbed_origins(path: &Path) -> Result<Vec<usize>> {
+    let (_, entries, _) = load_lossy(path)?;
+    let mut origins = Vec::new();
+    for (k, e) in entries.iter().enumerate() {
+        if let JournalEntry::Promoted { origin, host } = e {
+            let failed = matches!(
+                entries.get(k + 1),
+                Some(JournalEntry::Lost { source, via_send: true, .. }) if source == host
+            );
+            if !failed && !origins.contains(&(*origin as usize)) {
+                origins.push(*origin as usize);
+            }
+        }
+    }
+    origins.sort_unstable();
+    Ok(origins)
+}
+
 enum Mode {
     Record,
     Replay,
@@ -303,6 +364,13 @@ pub struct JournalingTransport<T: CommandTransport> {
     /// reconciliation, handed to the driver on its next `recv` without
     /// re-charging.
     buffered: Vec<VecDeque<Response>>,
+    /// Every journaled round command per source, in order — the replay
+    /// vocabulary for re-firing journaled promotions at reconcile time.
+    /// Populated only on resume.
+    cmd_history: Vec<Vec<Vec<u8>>>,
+    /// Promotions consumed from the journal during replay, re-fired on
+    /// the wire at reconcile time (last host per origin wins).
+    deferred: Vec<(usize, usize)>,
     replayed: usize,
     cmds_appended: u64,
     hook: Option<Box<dyn FnMut(u64) + Send>>,
@@ -331,6 +399,10 @@ impl<T: CommandTransport> JournalingTransport<T> {
         writer
             .flush()
             .map_err(|e| journal_io(format!("cannot flush journal header: {e}")))?;
+        writer
+            .get_ref()
+            .sync_data()
+            .map_err(|e| journal_io(format!("cannot sync journal header: {e}")))?;
         Ok(Self::build(inner, writer, m, VecDeque::new()))
     }
 
@@ -371,12 +443,20 @@ impl<T: CommandTransport> JournalingTransport<T> {
         // Reconstruct the round/response/pending/lost bookkeeping the
         // crashed driver had accumulated.
         let mut last_was_lost = vec![false; m];
+        let mut promoted: Vec<Option<usize>> = vec![None; m];
+        // The promotion record immediately preceding, with the origin's
+        // prior host: a send-side host loss right after it marks the
+        // attempt as failed (after a success the next record always
+        // concerns the origin).
+        let mut prev_promo: Option<(usize, usize, Option<usize>)> = None;
         for e in &this.queue {
+            let mut is_promo = false;
             match e {
                 JournalEntry::Cmd { source, bytes } => {
                     let s = *source as usize;
                     this.r_cmd[s] += 1;
                     this.pending_cmd[s] = Some(bytes.clone());
+                    this.cmd_history[s].push(bytes.clone());
                 }
                 JournalEntry::Resp { source, .. } => {
                     let s = *source as usize;
@@ -388,15 +468,34 @@ impl<T: CommandTransport> JournalingTransport<T> {
                     source, via_send, ..
                 } => {
                     let s = *source as usize;
+                    if let Some((o, h, prior)) = prev_promo {
+                        if *via_send && s == h {
+                            // A failed promotion attempt: the origin
+                            // falls back to whoever held it before.
+                            promoted[o] = prior;
+                            this.dead[o] = true;
+                        }
+                    }
                     // One recv-side loss is retried (reissued) by the
                     // driver; a send-side loss or a second recv-side
-                    // loss degraded the run past this source.
+                    // loss escalated past this source.
                     if *via_send || last_was_lost[s] {
                         this.dead[s] = true;
                     } else {
                         last_was_lost[s] = true;
                     }
                 }
+                JournalEntry::Promoted { origin, host } => {
+                    let o = *origin as usize;
+                    is_promo = true;
+                    prev_promo = Some((o, *host as usize, promoted[o]));
+                    promoted[o] = Some(*host as usize);
+                    this.dead[o] = false;
+                    last_was_lost[o] = false;
+                }
+            }
+            if !is_promo {
+                prev_promo = None;
             }
         }
         Ok(this)
@@ -414,6 +513,8 @@ impl<T: CommandTransport> JournalingTransport<T> {
             pending_cmd: vec![None; m],
             dead: vec![false; m],
             buffered: vec![VecDeque::new(); m],
+            cmd_history: vec![Vec::new(); m],
+            deferred: Vec::new(),
             replayed: 0,
             cmds_appended: 0,
             hook: None,
@@ -445,7 +546,15 @@ impl<T: CommandTransport> JournalingTransport<T> {
             .map_err(|err| jerr("journal append", err.to_string()))?;
         self.writer
             .flush()
-            .map_err(|err| jerr("journal append", err.to_string()))
+            .map_err(|err| jerr("journal append", err.to_string()))?;
+        // Durability, not just visibility: a record the write-ahead
+        // discipline relies on must survive a power loss, so every
+        // record boundary is synced. A crash mid-append leaves at most
+        // one torn tail record, truncated away on resume.
+        self.writer
+            .get_ref()
+            .sync_data()
+            .map_err(|err| jerr("journal sync", err.to_string()))
     }
 
     fn record_send(&mut self, source: usize, cmd: &Command) -> std::result::Result<(), NetError> {
@@ -462,8 +571,10 @@ impl<T: CommandTransport> JournalingTransport<T> {
             if let Some(hook) = &mut self.hook {
                 hook(n);
             }
-            charge_command(&mut self.stats, source, cmd)?;
         }
+        // Round payloads and the replica plane (`Promote`/`Replay`)
+        // both charge; recovery control frames are no-ops inside.
+        charge_command(&mut self.stats, source, cmd)?;
         match self.inner.send(source, cmd) {
             Ok(()) => Ok(()),
             Err(e) => {
@@ -490,6 +601,13 @@ impl<T: CommandTransport> JournalingTransport<T> {
                 })?;
             }
             Response::Resumed { .. } => {}
+            // Replica-plane acknowledgements carry no round number, so
+            // the stale check below would journal them and desync the
+            // response counts on a later resume: charge-only, and the
+            // matching promotion/replay is re-fired from its own record.
+            Response::Promoted { .. } | Response::Replayed { .. } => {
+                charge_response(&mut self.stats, source, &resp)?;
+            }
             other => {
                 // A duplicate of an already-answered round (surfaced by
                 // a reissue race) is dropped by the driver — journaling
@@ -548,34 +666,265 @@ impl<T: CommandTransport> JournalingTransport<T> {
     }
 
     fn replay_recv(&mut self, source: usize) -> std::result::Result<Response, NetError> {
+        loop {
+            if self.queue.is_empty() {
+                self.reconcile()?;
+                if let Some(resp) = self.buffered[source].pop_front() {
+                    return Ok(resp);
+                }
+                return self.record_recv(source);
+            }
+            match self.queue.pop_front() {
+                Some(JournalEntry::Resp { source: s, bytes }) if s as usize == source => {
+                    let resp = Response::decode(&bytes).map_err(|e| {
+                        jerr("journal replay", format!("corrupt response record: {e}"))
+                    })?;
+                    charge_response(&mut self.stats, source, &resp)?;
+                    return Ok(resp);
+                }
+                Some(JournalEntry::Resp { source: s, bytes }) => {
+                    // Another source's answer, harvested out of driver
+                    // order during a live promotion (the host answering
+                    // its own round mid-replay): charge it at the same
+                    // journal position and buffer it for that source's
+                    // own receive.
+                    let s = s as usize;
+                    let resp = Response::decode(&bytes).map_err(|e| {
+                        jerr("journal replay", format!("corrupt response record: {e}"))
+                    })?;
+                    charge_response(&mut self.stats, s, &resp)?;
+                    self.buffered[s].push_back(resp);
+                }
+                Some(JournalEntry::Lost {
+                    source: s,
+                    via_send: false,
+                    reason,
+                }) if s as usize == source => return Ok(Response::SourceLost { reason }),
+                Some(other) => {
+                    return Err(jerr(
+                        "journal replay",
+                        format!(
+                            "driver expects a response from source {source} but the journal \
+                             holds {other:?} — the run diverged from its journal"
+                        ),
+                    ))
+                }
+                None => unreachable!("queue checked non-empty"),
+            }
+        }
+    }
+
+    /// Write-ahead journals a promotion, then arms the routing layer
+    /// below. A failed promotion appends the host's loss immediately
+    /// after the promotion record, so a replay fails the same way.
+    fn record_promote(&mut self, origin: usize, host: usize) -> std::result::Result<(), NetError> {
+        self.append(&JournalEntry::Promoted {
+            origin: origin as u32,
+            host: host as u32,
+        })?;
+        match self.inner.promote(origin, host) {
+            Ok(()) => {
+                // A failed reissue may have marked the origin dead on
+                // its way here; the promotion revives it (mirroring the
+                // resume-time bookkeeping).
+                self.dead[origin] = false;
+                // Mirror the Promote/Promoted exchange the routing layer
+                // consumed below this transport's own ledger.
+                charge_command(
+                    &mut self.stats,
+                    host,
+                    &Command::Promote {
+                        origin: origin as u64,
+                    },
+                )?;
+                charge_response(
+                    &mut self.stats,
+                    host,
+                    &Response::Promoted {
+                        origin: origin as u64,
+                        round: 0,
+                    },
+                )?;
+                Ok(())
+            }
+            Err(e) => {
+                self.append(&JournalEntry::Lost {
+                    source: host as u32,
+                    via_send: true,
+                    reason: e.to_string(),
+                })?;
+                self.dead[host] = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// Consumes a journaled promotion during replay. A successful one is
+    /// deferred — the wire-level promotion and the replica's round
+    /// replay re-fire at reconcile time — while a journaled failure
+    /// (the host's send-side loss immediately after) fails here exactly
+    /// as it did live, sending the driver's health machine down the
+    /// same escalation path.
+    fn replay_promote(&mut self, origin: usize, host: usize) -> std::result::Result<(), NetError> {
         if self.queue.is_empty() {
             self.reconcile()?;
-            if let Some(resp) = self.buffered[source].pop_front() {
-                return Ok(resp);
-            }
-            return self.record_recv(source);
+            return self.record_promote(origin, host);
         }
         match self.queue.pop_front() {
-            Some(JournalEntry::Resp { source: s, bytes }) if s as usize == source => {
-                let resp = Response::decode(&bytes)
-                    .map_err(|e| jerr("journal replay", format!("corrupt response record: {e}")))?;
-                charge_response(&mut self.stats, source, &resp)?;
-                Ok(resp)
+            Some(JournalEntry::Promoted { origin: o, host: h })
+                if o as usize == origin && h as usize == host => {}
+            Some(other) => {
+                return Err(jerr(
+                    "journal replay",
+                    format!(
+                        "driver promoted source {origin} onto {host} but the journal holds \
+                         {other:?} — the run diverged from its journal"
+                    ),
+                ))
             }
-            Some(JournalEntry::Lost {
-                source: s,
-                via_send: false,
-                reason,
-            }) if s as usize == source => Ok(Response::SourceLost { reason }),
-            Some(other) => Err(jerr(
-                "journal replay",
-                format!(
-                    "driver expects a response from source {source} but the journal holds \
-                     {other:?} — the run diverged from its journal"
-                ),
-            )),
             None => unreachable!("queue checked non-empty"),
         }
+        if matches!(
+            self.queue.front(),
+            Some(JournalEntry::Lost { source: s, via_send: true, .. }) if *s as usize == host
+        ) {
+            let Some(JournalEntry::Lost { reason, .. }) = self.queue.pop_front() else {
+                unreachable!("front matched a lost record");
+            };
+            self.dead[host] = true;
+            return Err(jerr("journal replay", reason));
+        }
+        self.deferred.push((origin, host));
+        charge_command(
+            &mut self.stats,
+            host,
+            &Command::Promote {
+                origin: origin as u64,
+            },
+        )?;
+        charge_response(
+            &mut self.stats,
+            host,
+            &Response::Promoted {
+                origin: origin as u64,
+                round: 0,
+            },
+        )
+    }
+
+    /// Re-fires a journaled promotion on the wire at reconcile time:
+    /// arms the routing layer, replays every *journaled-and-answered*
+    /// round of the origin onto the host's fresh persona, and verifies
+    /// the rebuilt state against the replayed ledger. The host may
+    /// interleave its own pre-crash round answer on the shared
+    /// connection; that is journaled, charged, and buffered exactly as
+    /// reconciliation would have.
+    fn refire_promotion(
+        &mut self,
+        origin: usize,
+        host: usize,
+    ) -> std::result::Result<(), NetError> {
+        self.inner.promote(origin, host)?;
+        let completed = self.r_resp[origin];
+        let mut fingerprint = state_fingerprint(0, 0, 0);
+        for k in 0..completed {
+            let bytes = &self.cmd_history[origin][k as usize];
+            let cmd = Command::decode(bytes)
+                .map_err(|e| jerr("journal replay", format!("corrupt command record: {e}")))?;
+            let round = k + 1;
+            let replay = Command::Replay {
+                origin: origin as u64,
+                round,
+                cmd: Box::new(cmd),
+            };
+            charge_command(&mut self.stats, host, &replay)?;
+            self.inner.send(host, &replay)?;
+            loop {
+                let resp = self.inner.recv(host)?;
+                match resp {
+                    Response::Replayed {
+                        origin: o,
+                        round: r,
+                        fingerprint: f,
+                    } if o as usize == origin && r == round => {
+                        charge_response(
+                            &mut self.stats,
+                            host,
+                            &Response::Replayed {
+                                origin: o,
+                                round: r,
+                                fingerprint: f,
+                            },
+                        )?;
+                        fingerprint = f;
+                        break;
+                    }
+                    Response::SourceLost { reason } => {
+                        return Err(jerr(
+                            "journal replay",
+                            format!("promoted host {host} unreachable during replay: {reason}"),
+                        ))
+                    }
+                    // A stale acknowledgement from a pre-crash partial
+                    // replay: the fresh persona re-produces the same
+                    // deterministic acks, so earlier rounds' duplicates
+                    // are skipped.
+                    Response::Replayed { .. } | Response::Promoted { .. } => {}
+                    resp => match resp.round() {
+                        Some(r) if r > self.r_resp[host] => {
+                            // The host's own pre-crash round answer.
+                            self.append(&JournalEntry::Resp {
+                                source: host as u32,
+                                bytes: resp.encode(),
+                            })?;
+                            charge_response(&mut self.stats, host, &resp)?;
+                            self.r_resp[host] += 1;
+                            self.pending_cmd[host] = None;
+                            self.buffered[host].push_back(resp);
+                        }
+                        Some(_) => {
+                            // A duplicate of an already-journaled answer.
+                        }
+                        None => {
+                            return Err(jerr(
+                                "journal replay",
+                                format!(
+                                    "unexpected {} from host {host} during promotion replay",
+                                    resp.name()
+                                ),
+                            ))
+                        }
+                    },
+                }
+            }
+        }
+        if completed > 0 {
+            // The journaled in-flight command (if any) was charged
+            // during replay but reaches the persona only through the
+            // reconcile reissue; everything else must already match.
+            let inflight = match &self.pending_cmd[origin] {
+                Some(bytes) => match Command::decode(bytes) {
+                    Ok(Command::Deliver { payload }) => payload.bits(),
+                    _ => 0,
+                },
+                None => 0,
+            };
+            let want = state_fingerprint(
+                completed,
+                self.stats.uplink_bits(origin),
+                self.stats.downlink_bits(origin) - inflight,
+            );
+            if fingerprint != want {
+                return Err(jerr(
+                    "journal replay",
+                    format!(
+                        "promoted replica of source {origin} rebuilt fingerprint \
+                         {fingerprint:#x}, the replayed ledger expects {want:#x}"
+                    ),
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Replay exhausted: bring every surviving executor to the exact
@@ -597,6 +946,18 @@ impl<T: CommandTransport> JournalingTransport<T> {
     ///    between append and send): `Reissue` executes it fresh.
     fn reconcile(&mut self) -> std::result::Result<(), NetError> {
         self.mode = Mode::Record;
+        // Journaled promotions re-fire first (last host per origin
+        // wins): the routes must be armed and the personas rebuilt
+        // before any `Resume` goes out, because an absorbed origin's
+        // reconciliation runs through its host's connection.
+        let deferred = std::mem::take(&mut self.deferred);
+        let mut final_host: Vec<Option<(usize, usize)>> = vec![None; self.inner.sources()];
+        for (origin, host) in deferred {
+            final_host[origin] = Some((origin, host));
+        }
+        for entry in final_host.into_iter().flatten() {
+            self.refire_promotion(entry.0, entry.1)?;
+        }
         for i in 0..self.inner.sources() {
             if !self.dead[i] {
                 self.reconcile_source(i)?;
@@ -753,6 +1114,17 @@ impl<T: CommandTransport> CommandTransport for JournalingTransport<T> {
     fn set_deadline(&mut self, policy: DeadlinePolicy) {
         self.inner.set_deadline(policy);
     }
+
+    fn promote(&mut self, origin: usize, host: usize) -> std::result::Result<(), NetError> {
+        match self.mode {
+            Mode::Record => self.record_promote(origin, host),
+            Mode::Replay => self.replay_promote(origin, host),
+        }
+    }
+
+    fn replaying(&self) -> bool {
+        matches!(self.mode, Mode::Replay)
+    }
 }
 
 #[cfg(test)]
@@ -828,5 +1200,39 @@ mod tests {
             read_header(&mut not_a_journal),
             Err(CoreError::Journal { .. })
         ));
+    }
+
+    #[test]
+    fn absorbed_origins_skips_failed_attempts_and_dedupes() {
+        let path =
+            std::env::temp_dir().join(format!("ekm-absorbed-scan-{}.journal", std::process::id()));
+        let mut buf = Vec::new();
+        write_header(
+            &mut buf,
+            &JournalHeader {
+                sources: 4,
+                fingerprint: 0xfeed,
+            },
+        )
+        .unwrap();
+        for e in [
+            // A failed attempt: the host was lost on the very next
+            // send, so origin 1 is *not* absorbed by host 2…
+            JournalEntry::Promoted { origin: 1, host: 2 },
+            JournalEntry::Lost {
+                source: 2,
+                via_send: true,
+                reason: "host died mid-promotion".to_string(),
+            },
+            // …but the retry onto host 3 sticks (and host 2's own
+            // death later makes origin 2 promotable too).
+            JournalEntry::Promoted { origin: 1, host: 3 },
+            JournalEntry::Promoted { origin: 2, host: 3 },
+        ] {
+            e.write_to(&mut buf).unwrap();
+        }
+        std::fs::write(&path, &buf).unwrap();
+        assert_eq!(absorbed_origins(&path).unwrap(), vec![1, 2]);
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -68,6 +68,7 @@ pub mod engine;
 mod error;
 pub mod evaluation;
 pub mod executor;
+pub mod health;
 pub mod journal;
 pub mod output;
 pub mod params;
@@ -81,8 +82,9 @@ pub use driver::run_driver;
 pub use engine::StagePipeline;
 pub use error::CoreError;
 pub use executor::{SourceExecutor, SourceRunReport};
+pub use health::{Health, HealthMachine, RecoveryAction};
 pub use journal::JournalingTransport;
-pub use output::{Degradation, RunOutput};
+pub use output::{Degradation, Recovery, RunOutput};
 pub use params::{SummaryParams, Topology};
 pub use stage::Stage;
 

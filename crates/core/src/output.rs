@@ -35,6 +35,21 @@ impl Degradation {
     }
 }
 
+/// How a run absorbed source losses *without* losing data: every listed
+/// source died mid-run but a promoted replica answered its remaining
+/// rounds from a replayed copy of its shard, so the centers, digest,
+/// and classic ledgers are bit-identical to a run where the replica
+/// owned the shard from the start. Contrast [`Degradation`], the
+/// last-resort record when no replica survived.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recovery {
+    /// `(origin, promoted host)` for every source that finished the run
+    /// absorbed by a replica.
+    pub promoted: Vec<(usize, usize)>,
+    /// Completed rounds replayed onto promoted personas.
+    pub replayed_rounds: u64,
+}
+
 /// The result of one end-to-end pipeline run.
 #[derive(Debug, Clone)]
 pub struct RunOutput {
@@ -61,6 +76,10 @@ pub struct RunOutput {
     /// were dropped and the asserted cost-ratio bound. `None` for a
     /// clean, full-source run.
     pub degraded: Option<Degradation>,
+    /// `Some` when replica promotion absorbed one or more source losses
+    /// bit-identically. Independent of `degraded`: a run can recover
+    /// some sources and still degrade others whose replicas ran out.
+    pub recovered: Option<Recovery>,
 }
 
 impl RunOutput {
@@ -86,6 +105,7 @@ mod tests {
             source_ops: 0,
             summary_points: 5,
             degraded: None,
+            recovered: None,
         };
         // 64 bits over 10×10×64 = 6400 raw bits = 0.01.
         assert!((out.normalized_comm(10, 10) - 0.01).abs() < 1e-12);

@@ -108,6 +108,33 @@ pub struct SummaryParams {
     /// handshake/journal fingerprint — a resume cannot silently switch
     /// topologies mid-run.
     pub topology: Topology,
+    /// Shard replication factor `r` of the server-driven protocol
+    /// (`1` = no replicas, today's behavior). Each shard `i` gets an
+    /// owner plus `r − 1` cold replica holders at sources
+    /// `(i + 1) % m .. (i + r − 1) % m` — the canonical assignment both
+    /// ends derive independently, so it is part of the
+    /// handshake/journal fingerprint. A dead owner's rounds are
+    /// replayed to a promoted replica instead of degrading the run.
+    pub replication: usize,
+}
+
+/// The source indices holding cold replicas of shard `origin` under
+/// replication factor `replication` with `m` sources: the next
+/// `min(replication, m) − 1` sources in ring order. Canonical — driver
+/// and executors derive the same assignment from the fingerprinted
+/// params, so no shard placement is ever negotiated on the wire.
+pub fn replica_holders(origin: usize, m: usize, replication: usize) -> Vec<usize> {
+    (1..replication.min(m)).map(|j| (origin + j) % m).collect()
+}
+
+/// The origins whose cold replicas source `holder` keeps under
+/// replication factor `replication` with `m` sources — the inverse of
+/// [`replica_holders`]: the previous `min(replication, m) − 1` sources
+/// in ring order.
+pub fn replica_origins(holder: usize, m: usize, replication: usize) -> Vec<usize> {
+    (1..replication.min(m))
+        .map(|j| (holder + m - j) % m)
+        .collect()
 }
 
 impl SummaryParams {
@@ -157,6 +184,7 @@ impl SummaryParams {
             compute: Compute::F64,
             deadline: DeadlinePolicy::default(),
             topology: Topology::Star,
+            replication: 1,
         }
     }
 
@@ -257,6 +285,12 @@ impl SummaryParams {
         self
     }
 
+    /// Sets the shard replication factor (`0` is clamped to `1`).
+    pub fn with_replication(mut self, replication: usize) -> Self {
+        self.replication = replication.max(1);
+        self
+    }
+
     /// Validates the configuration against a dataset shape.
     ///
     /// # Errors
@@ -296,6 +330,11 @@ impl SummaryParams {
         if self.precision.validate().is_err() {
             return Err(crate::CoreError::InvalidConfig {
                 reason: "invalid wire precision",
+            });
+        }
+        if self.replication == 0 {
+            return Err(crate::CoreError::InvalidConfig {
+                reason: "replication factor is zero",
             });
         }
         Ok(())
@@ -425,5 +464,48 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn practical_zero_k_panics() {
         let _ = SummaryParams::practical(0, 10, 10);
+    }
+
+    #[test]
+    fn replication_knob_and_validation() {
+        let p = SummaryParams::practical(2, 100, 10);
+        assert_eq!(p.replication, 1);
+        let p = p.with_replication(0);
+        assert_eq!(p.replication, 1); // clamped
+        let p = p.with_replication(3);
+        assert_eq!(p.replication, 3);
+        assert!(p.validate(100, 10).is_ok());
+        let mut bad = p;
+        bad.replication = 0;
+        assert!(bad.validate(100, 10).is_err());
+    }
+
+    #[test]
+    fn replica_assignment_is_a_canonical_ring() {
+        // r = 1: nobody holds replicas.
+        assert!(replica_holders(0, 4, 1).is_empty());
+        assert!(replica_origins(0, 4, 1).is_empty());
+        // r = 2 at m = 4: each shard's replica lives on the next source.
+        assert_eq!(replica_holders(2, 4, 2), vec![3]);
+        assert_eq!(replica_holders(3, 4, 2), vec![0]);
+        assert_eq!(replica_origins(0, 4, 2), vec![3]);
+        // r = 3 at m = 5: two successors hold each shard.
+        assert_eq!(replica_holders(4, 5, 3), vec![0, 1]);
+        assert_eq!(replica_origins(1, 5, 3), vec![0, 4]);
+        // r clamped to m: never more holders than sources.
+        assert_eq!(replica_holders(0, 3, 9), vec![1, 2]);
+        // The two views are exact inverses for every (origin, holder).
+        for m in 1..=6 {
+            for r in 1..=4 {
+                for origin in 0..m {
+                    for holder in replica_holders(origin, m, r) {
+                        assert!(
+                            replica_origins(holder, m, r).contains(&origin),
+                            "m={m} r={r} origin={origin} holder={holder}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

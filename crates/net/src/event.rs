@@ -89,9 +89,43 @@ impl EventServerBinding {
     /// [`NetError::Transport`] on socket failures, [`NetError::Handshake`]
     /// on protocol violations.
     pub fn accept(self, sources: usize, fp: u64) -> Result<EventTcpServer> {
+        self.accept_absent(sources, fp, &[])
+    }
+
+    /// [`accept`](Self::accept), but the ids in `absent` are expected
+    /// to never connect: their shard owners died before a resume and
+    /// their rounds run through a replica host's connection instead
+    /// (`ekm serve --resume` learns the set from the journal's
+    /// promotion records). An absent source's slot is born closed, so
+    /// any read of it yields the same typed `SourceLost` a mid-run
+    /// disconnect does; a process that tries to handshake under an
+    /// absent id is rejected, because the run's state for that origin
+    /// lives on its host now.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Transport`] on socket failures, [`NetError::Handshake`]
+    /// on protocol violations (including an absent id reconnecting).
+    pub fn accept_absent(
+        self,
+        sources: usize,
+        fp: u64,
+        absent: &[usize],
+    ) -> Result<EventTcpServer> {
         assert!(sources > 0, "server needs at least one source");
         let mut conns: Vec<Option<Conn>> = (0..sources).map(|_| None).collect();
         let mut connected = 0;
+        for &id in absent {
+            assert!(id < sources, "absent id {id} out of range");
+            if conns[id].is_none() {
+                conns[id] = Some(Conn::absent());
+                connected += 1;
+            }
+        }
+        assert!(
+            connected < sources,
+            "at least one source must actually connect"
+        );
         while connected < sources {
             let (mut stream, _) = self
                 .listener
@@ -128,9 +162,15 @@ impl EventServerBinding {
                 });
             }
             if conns[id].is_some() {
-                return Err(NetError::Handshake {
-                    reason: format!("duplicate source id {id}"),
-                });
+                let reason = if absent.contains(&id) {
+                    format!(
+                        "source id {id} was absorbed by its replica host before the \
+                         resume and cannot rejoin"
+                    )
+                } else {
+                    format!("duplicate source id {id}")
+                };
+                return Err(NetError::Handshake { reason });
             }
             let ack = encode_hello(ROLE_PROTO_SERVER, source_id, sources as u32, fp);
             write_frame(&mut stream, FRAME_HELLO, &ack, ack.len() * 8)?;
@@ -152,10 +192,13 @@ impl EventServerBinding {
 }
 
 /// One non-blocking source connection: partial-frame reassembly buffer
-/// plus an inbox of complete, decoded responses.
+/// plus an inbox of complete, decoded responses. A source declared
+/// absent at accept time ([`EventServerBinding::accept_absent`]) has no
+/// stream at all and behaves like a connection that closed before the
+/// first byte.
 #[derive(Debug)]
 struct Conn {
-    stream: TcpStream,
+    stream: Option<TcpStream>,
     inbuf: Vec<u8>,
     inbox: VecDeque<Response>,
     closed: bool,
@@ -164,10 +207,22 @@ struct Conn {
 impl Conn {
     fn new(stream: TcpStream) -> Conn {
         Conn {
-            stream,
+            stream: Some(stream),
             inbuf: Vec::new(),
             inbox: VecDeque::new(),
             closed: false,
+        }
+    }
+
+    /// A source that will never connect (absorbed by its replica host
+    /// before a resume): born closed, so a read maps to the same typed
+    /// `SourceLost` a mid-run disconnect produces.
+    fn absent() -> Conn {
+        Conn {
+            stream: None,
+            inbuf: Vec::new(),
+            inbox: VecDeque::new(),
+            closed: true,
         }
     }
 
@@ -177,10 +232,11 @@ impl Conn {
         if self.closed {
             return Ok(false);
         }
+        let stream = self.stream.as_mut().expect("an open conn has a stream");
         let mut progress = false;
         let mut chunk = [0u8; 64 * 1024];
         loop {
-            match self.stream.read(&mut chunk) {
+            match stream.read(&mut chunk) {
                 Ok(0) => {
                     self.closed = true;
                     break;
@@ -191,6 +247,18 @@ impl Conn {
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                // A peer that died with traffic in flight surfaces as a
+                // reset, not a clean EOF — same typed loss either way,
+                // so the driver can reissue or promote around it.
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        ErrorKind::ConnectionReset | ErrorKind::ConnectionAborted
+                    ) =>
+                {
+                    self.closed = true;
+                    break;
+                }
                 Err(e) => return Err(transport_err("protocol read", e)),
             }
         }
@@ -232,9 +300,15 @@ impl Conn {
     /// Writes `buf` fully despite the non-blocking socket, bounded by
     /// `deadline`.
     fn write_all_nb(&mut self, buf: &[u8], deadline: Instant) -> Result<()> {
+        let Some(stream) = self.stream.as_mut() else {
+            return Err(NetError::Transport {
+                context: "protocol write",
+                detail: "source is absent (absorbed before the resume)".to_string(),
+            });
+        };
         let mut written = 0;
         while written < buf.len() {
-            match self.stream.write(&buf[written..]) {
+            match stream.write(&buf[written..]) {
                 Ok(0) => {
                     return Err(NetError::Transport {
                         context: "protocol write",
@@ -255,7 +329,7 @@ impl Conn {
                 Err(e) => return Err(transport_err("protocol write", e)),
             }
         }
-        self.stream
+        stream
             .flush()
             .map_err(|e| transport_err("protocol flush", e))
     }
@@ -567,6 +641,105 @@ mod tests {
     }
 
     #[test]
+    fn replica_control_plane_transits_the_event_backend() {
+        // The failover vocabulary (Promote/Replay/Forward and their
+        // acks) must cross the real socket backend like any other
+        // frame, charged to the replica ledger and *never* to the
+        // classic totals the run digest hashes.
+        let (mut server, mut sources) = pair(2);
+        let handle = thread::spawn(move || {
+            let cmd = sources[1].recv_command().unwrap();
+            assert_eq!(cmd, Command::Promote { origin: 0 });
+            sources[1]
+                .send_response(Response::Promoted {
+                    origin: 0,
+                    round: 0,
+                })
+                .unwrap();
+            let cmd = sources[1].recv_command().unwrap();
+            assert!(matches!(
+                cmd,
+                Command::Replay {
+                    origin: 0,
+                    round: 1,
+                    ..
+                }
+            ));
+            sources[1]
+                .send_response(Response::Replayed {
+                    origin: 0,
+                    round: 1,
+                    fingerprint: 7,
+                })
+                .unwrap();
+            let Command::Forward { origin, cmd } = sources[1].recv_command().unwrap() else {
+                panic!("expected a forward-wrapped command");
+            };
+            assert_eq!(origin, 0);
+            assert_eq!(*cmd, Command::Stage { index: 1 });
+            sources[1]
+                .send_response(Response::Forwarded {
+                    origin: 0,
+                    resp: Box::new(Response::Done {
+                        round: 2,
+                        rows: 0,
+                        cols: 0,
+                        ops: 0,
+                        seconds: 0.0,
+                    }),
+                })
+                .unwrap();
+            sources
+        });
+
+        server.send(1, &Command::Promote { origin: 0 }).unwrap();
+        assert!(matches!(
+            server.recv(1).unwrap(),
+            Response::Promoted { origin: 0, .. }
+        ));
+        server
+            .send(
+                1,
+                &Command::Replay {
+                    origin: 0,
+                    round: 1,
+                    cmd: Box::new(Command::Stage { index: 0 }),
+                },
+            )
+            .unwrap();
+        assert!(matches!(
+            server.recv(1).unwrap(),
+            Response::Replayed { origin: 0, .. }
+        ));
+        server
+            .send(
+                1,
+                &Command::Forward {
+                    origin: 0,
+                    cmd: Box::new(Command::Stage { index: 1 }),
+                },
+            )
+            .unwrap();
+        match server.recv(1).unwrap() {
+            Response::Forwarded { origin, resp } => {
+                assert_eq!(origin, 0);
+                assert!(matches!(*resp, Response::Done { round: 2, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        handle.join().unwrap();
+
+        assert_eq!(server.stats().replica_promotions(), 1);
+        assert_eq!(server.stats().replayed_rounds(), 1);
+        assert!(server.stats().replica_bits() > 0);
+        // Stage is control-plane and Done carries no payload: the
+        // classic ledgers saw nothing, so a promoted run's digest can
+        // stay bit-identical to its never-failed twin.
+        assert_eq!(server.stats().total_uplink_bits(), 0);
+        assert_eq!(server.stats().total_downlink_bits(), 0);
+    }
+
+    #[test]
     fn disconnect_mid_stage_is_source_lost() {
         let (mut server, sources) = pair(1);
         drop(sources); // the source vanishes before answering
@@ -639,5 +812,62 @@ mod tests {
             "{err:?}"
         );
         assert!(src.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn accept_absent_serves_the_survivors_without_the_dead_owner() {
+        let binding = EventServerBinding::bind("127.0.0.1:0").unwrap();
+        let addr = binding.local_addr().unwrap();
+        thread::scope(|scope| {
+            // Only source 1 connects; source 0 was absorbed before the
+            // resume and must not be waited for.
+            let survivor = scope.spawn(move || {
+                EventTcpSource::connect(addr, 1, 2, FP, Duration::from_secs(5)).unwrap()
+            });
+            let mut server = binding.accept_absent(2, FP, &[0]).unwrap();
+            let mut src = survivor.join().unwrap();
+
+            // The absent slot answers like a closed connection: a typed
+            // loss the driver can promote around, not a transport error.
+            match server.recv(0).unwrap() {
+                Response::SourceLost { .. } => {}
+                other => panic!("expected a source-lost answer, got {other:?}"),
+            }
+            // …while the survivor's connection works normally.
+            let echo = scope.spawn(move || {
+                let cmd = src.recv_command().unwrap();
+                assert_eq!(cmd, Command::Describe);
+                src.send_response(Response::Done {
+                    round: 1,
+                    rows: 1,
+                    cols: 1,
+                    ops: 0,
+                    seconds: 0.0,
+                })
+                .unwrap();
+            });
+            server.send(1, &Command::Describe).unwrap();
+            assert!(matches!(
+                server.recv(1).unwrap(),
+                Response::Done { round: 1, .. }
+            ));
+            echo.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn an_absorbed_id_cannot_rejoin_a_resumed_accept() {
+        let binding = EventServerBinding::bind("127.0.0.1:0").unwrap();
+        let addr = binding.local_addr().unwrap();
+        // The dead owner's id tries to handshake: the accept must
+        // reject it — that origin's state lives on its host now.
+        let ghost =
+            thread::spawn(move || EventTcpSource::connect(addr, 0, 2, FP, Duration::from_secs(5)));
+        let err = binding.accept_absent(2, FP, &[0]).unwrap_err();
+        assert!(
+            matches!(err, NetError::Handshake { ref reason } if reason.contains("absorbed")),
+            "{err:?}"
+        );
+        assert!(ghost.join().unwrap().is_err());
     }
 }

@@ -49,6 +49,7 @@ pub mod frame;
 pub mod messages;
 pub mod network;
 pub mod protocol;
+pub mod routing;
 pub mod tcp;
 pub mod transport;
 pub mod wire;
@@ -57,6 +58,7 @@ pub use error::NetError;
 pub use event::{EventServerBinding, EventTcpServer, EventTcpSource};
 pub use network::{Network, NetworkStats};
 pub use protocol::{Command, CommandTransport, DeadlinePolicy, Payload, Response, SourceEndpoint};
+pub use routing::RoutingTransport;
 pub use tcp::{RunDigest, TcpServer, TcpServerBinding, TcpSource};
 pub use transport::{Transport, TransportLink};
 

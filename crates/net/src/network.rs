@@ -32,6 +32,9 @@ pub struct NetworkStats {
     server_fold_inputs: u64,
     /// `(gather, level) → active summary holders entering the level`.
     merge_levels: BTreeMap<(u8, u64), u64>,
+    replica_promotions: u64,
+    replayed_rounds: u64,
+    replica_bits: u64,
 }
 
 impl NetworkStats {
@@ -50,6 +53,9 @@ impl NetworkStats {
             server_fold_bits: 0,
             server_fold_inputs: 0,
             merge_levels: BTreeMap::new(),
+            replica_promotions: 0,
+            replayed_rounds: 0,
+            replica_bits: 0,
         }
     }
 
@@ -174,6 +180,48 @@ impl NetworkStats {
     /// The recorded merge levels: `(gather, level) → active holders`.
     pub fn merge_levels(&self) -> &BTreeMap<(u8, u64), u64> {
         &self.merge_levels
+    }
+
+    /// Charges one replica-promotion control exchange of `bits`: the
+    /// promote command, the replayed-round wrappers' overhead, and their
+    /// acknowledgements. Kept off the classic ledgers so a recovered run
+    /// stays bit-identical to its never-failed twin there; the recovery
+    /// cost is observable here instead.
+    pub fn charge_promotion(&mut self, bits: u64) {
+        self.replica_promotions += 1;
+        self.replica_bits += bits;
+    }
+
+    /// Charges one replayed round of `bits` delivered to a promoted
+    /// replica while it caught up to its dead origin's state.
+    pub fn charge_replay(&mut self, bits: u64) {
+        self.replayed_rounds += 1;
+        self.replica_bits += bits;
+    }
+
+    /// Charges replica-plane control bits that are neither a promotion
+    /// nor a full replayed round (forward-wrapper overhead on live
+    /// rounds routed to a promoted host).
+    pub fn charge_replica_bits(&mut self, bits: u64) {
+        self.replica_bits += bits;
+    }
+
+    /// Replica promotions performed during the run (a dead owner's
+    /// shard answered by a replica from then on).
+    pub fn replica_promotions(&self) -> u64 {
+        self.replica_promotions
+    }
+
+    /// Completed rounds replayed to promoted replicas to rebuild their
+    /// dead origins' state.
+    pub fn replayed_rounds(&self) -> u64 {
+        self.replayed_rounds
+    }
+
+    /// Total replica-plane bits: promotions, replayed rounds, and
+    /// forward-wrapper overhead. Zero on a fault-free run.
+    pub fn replica_bits(&self) -> u64 {
+        self.replica_bits
     }
 
     /// The deepest per-gather level count (merge rounds plus the root

@@ -224,6 +224,39 @@ pub enum Command {
         /// The last round the driver holds a journaled response for.
         round: u64,
     },
+    /// Replica failover: the receiving host instantiates (or resets) a
+    /// fresh executor persona for dead source `origin` from its cold
+    /// replica shard, answered by [`Response::Promoted`]. Idempotent by
+    /// reset — re-promoting after a driver crash rebuilds the persona
+    /// from the shard again, so any crash point replays cleanly.
+    Promote {
+        /// The dead source whose shard the host must answer for.
+        origin: u64,
+    },
+    /// Replica failover: re-run one of dead source `origin`'s completed
+    /// round commands on the promoted persona to rebuild its state,
+    /// answered by [`Response::Replayed`]. Mirrors [`Command::Reissue`]
+    /// round semantics: a persona already past `round` acknowledges
+    /// without re-executing, one exactly at `round − 1` executes fresh.
+    Replay {
+        /// The dead source being impersonated.
+        origin: u64,
+        /// The 1-based round the carried command completed originally.
+        round: u64,
+        /// The original round command, bit-identical to what the dead
+        /// owner executed.
+        cmd: Box<Command>,
+    },
+    /// Replica failover: a live command for absorbed source `origin`,
+    /// delivered to its promoted host and executed by the persona. The
+    /// carried command is charged exactly as if sent to `origin`
+    /// directly; only the wrapper overhead is replica-plane cost.
+    Forward {
+        /// The absorbed source the carried command addresses.
+        origin: u64,
+        /// The command the persona executes.
+        cmd: Box<Command>,
+    },
     /// Tree-topology aggregation step, answered by [`Response::Merged`].
     /// With a `payload`, the executor folds the peer's encoded summary
     /// into its merge buffer; with `emit` set, it surrenders its buffer
@@ -309,6 +342,34 @@ pub enum Response {
         /// What happened (disconnect vs deadline).
         reason: String,
     },
+    /// Answers [`Command::Promote`]: the persona for `origin` exists
+    /// and stands at `round` (always `0` — promotion resets it).
+    Promoted {
+        /// The absorbed source the host now answers for.
+        origin: u64,
+        /// The fresh persona's round counter.
+        round: u64,
+    },
+    /// Answers [`Command::Replay`]: the persona finished rebuilding
+    /// round `round` of dead source `origin`.
+    Replayed {
+        /// The absorbed source being impersonated.
+        origin: u64,
+        /// The persona's round counter after the replay.
+        round: u64,
+        /// The persona's own ledger fingerprint (same FNV-1a as
+        /// [`Response::Resumed`]) — after the final replay the driver
+        /// cross-checks it against the dead owner's journaled ledger.
+        fingerprint: u64,
+    },
+    /// Answers [`Command::Forward`]: the persona's response for the
+    /// carried command, charged exactly as if `origin` sent it.
+    Forwarded {
+        /// The absorbed source the carried response answers for.
+        origin: u64,
+        /// The persona's response.
+        resp: Box<Response>,
+    },
     /// Answers [`Command::MergeWith`]: an optional surrendered merge
     /// buffer plus the source's one-time leaf accounting.
     Merged {
@@ -342,6 +403,9 @@ const CMD_DEADLINE: u8 = 8;
 const CMD_REISSUE: u8 = 9;
 const CMD_RESUME: u8 = 10;
 const CMD_MERGE_WITH: u8 = 11;
+const CMD_PROMOTE: u8 = 12;
+const CMD_REPLAY: u8 = 13;
+const CMD_FORWARD: u8 = 14;
 
 const RESP_DONE: u8 = 1;
 const RESP_UP: u8 = 2;
@@ -350,6 +414,14 @@ const RESP_ERR: u8 = 4;
 const RESP_RESUMED: u8 = 5;
 const RESP_SOURCE_LOST: u8 = 6;
 const RESP_MERGED: u8 = 7;
+const RESP_PROMOTED: u8 = 8;
+const RESP_REPLAYED: u8 = 9;
+const RESP_FORWARDED: u8 = 10;
+
+/// Encoded overhead of a [`Command::Forward`] / [`Response::Forwarded`]
+/// wrapper around its carried frame (tag + origin + length prefix),
+/// charged to the replica-plane ledger.
+pub const FORWARD_OVERHEAD_BITS: u64 = (1 + 8 + 8) * 8;
 
 fn push_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_be_bytes());
@@ -454,13 +526,18 @@ impl Command {
             Command::Deadline { .. } => "deadline",
             Command::Reissue { .. } => "reissue",
             Command::Resume { .. } => "resume",
+            Command::Promote { .. } => "promote",
+            Command::Replay { .. } => "replay",
+            Command::Forward { .. } => "forward",
             Command::MergeWith { .. } => "merge-with",
         }
     }
 
     /// `true` for the commands that advance the executor's round counter
     /// and expect exactly one response (everything except `Abort` and
-    /// the fault-tolerance vocabulary).
+    /// the fault-tolerance vocabulary). A [`Command::Forward`] wrapper
+    /// is itself not a round — the carried command's round-ness belongs
+    /// to the absorbed origin and is accounted above the routing layer.
     pub fn is_round(&self) -> bool {
         !matches!(
             self,
@@ -468,6 +545,9 @@ impl Command {
                 | Command::Deadline { .. }
                 | Command::Reissue { .. }
                 | Command::Resume { .. }
+                | Command::Promote { .. }
+                | Command::Replay { .. }
+                | Command::Forward { .. }
         )
     }
 
@@ -514,6 +594,25 @@ impl Command {
             Command::Resume { round } => {
                 buf.push(CMD_RESUME);
                 push_u64(&mut buf, *round);
+            }
+            Command::Promote { origin } => {
+                buf.push(CMD_PROMOTE);
+                push_u64(&mut buf, *origin);
+            }
+            Command::Replay { origin, round, cmd } => {
+                buf.push(CMD_REPLAY);
+                push_u64(&mut buf, *origin);
+                push_u64(&mut buf, *round);
+                let inner = cmd.encode();
+                push_u64(&mut buf, inner.len() as u64);
+                buf.extend_from_slice(&inner);
+            }
+            Command::Forward { origin, cmd } => {
+                buf.push(CMD_FORWARD);
+                push_u64(&mut buf, *origin);
+                let inner = cmd.encode();
+                push_u64(&mut buf, inner.len() as u64);
+                buf.extend_from_slice(&inner);
             }
             Command::MergeWith {
                 gather,
@@ -575,6 +674,27 @@ impl Command {
                 }
             }
             CMD_RESUME => Command::Resume { round: r.u64()? },
+            CMD_PROMOTE => Command::Promote { origin: r.u64()? },
+            CMD_REPLAY => {
+                let origin = r.u64()?;
+                let round = r.u64()?;
+                let len = r.u64()? as usize;
+                let inner = r.bytes(len)?;
+                Command::Replay {
+                    origin,
+                    round,
+                    cmd: Box::new(Command::decode(&inner)?),
+                }
+            }
+            CMD_FORWARD => {
+                let origin = r.u64()?;
+                let len = r.u64()? as usize;
+                let inner = r.bytes(len)?;
+                Command::Forward {
+                    origin,
+                    cmd: Box::new(Command::decode(&inner)?),
+                }
+            }
             CMD_MERGE_WITH => {
                 let gather = r.u8()?;
                 let level = r.u64()?;
@@ -617,6 +737,9 @@ impl Response {
             Response::Err { .. } => "err",
             Response::Resumed { .. } => "resumed",
             Response::SourceLost { .. } => "source-lost",
+            Response::Promoted { .. } => "promoted",
+            Response::Replayed { .. } => "replayed",
+            Response::Forwarded { .. } => "forwarded",
             Response::Merged { .. } => "merged",
         }
     }
@@ -687,6 +810,28 @@ impl Response {
                 buf.push(RESP_SOURCE_LOST);
                 push_str(&mut buf, reason);
             }
+            Response::Promoted { origin, round } => {
+                buf.push(RESP_PROMOTED);
+                push_u64(&mut buf, *origin);
+                push_u64(&mut buf, *round);
+            }
+            Response::Replayed {
+                origin,
+                round,
+                fingerprint,
+            } => {
+                buf.push(RESP_REPLAYED);
+                push_u64(&mut buf, *origin);
+                push_u64(&mut buf, *round);
+                push_u64(&mut buf, *fingerprint);
+            }
+            Response::Forwarded { origin, resp } => {
+                buf.push(RESP_FORWARDED);
+                push_u64(&mut buf, *origin);
+                let inner = resp.encode();
+                push_u64(&mut buf, inner.len() as u64);
+                buf.extend_from_slice(&inner);
+            }
             Response::Merged {
                 round,
                 payload,
@@ -744,6 +889,24 @@ impl Response {
             RESP_SOURCE_LOST => Response::SourceLost {
                 reason: r.string()?,
             },
+            RESP_PROMOTED => Response::Promoted {
+                origin: r.u64()?,
+                round: r.u64()?,
+            },
+            RESP_REPLAYED => Response::Replayed {
+                origin: r.u64()?,
+                round: r.u64()?,
+                fingerprint: r.u64()?,
+            },
+            RESP_FORWARDED => {
+                let origin = r.u64()?;
+                let len = r.u64()? as usize;
+                let inner = r.bytes(len)?;
+                Response::Forwarded {
+                    origin,
+                    resp: Box::new(Response::decode(&inner)?),
+                }
+            }
             RESP_MERGED => {
                 let round = r.u64()?;
                 let leaf_bits = r.u64()?;
@@ -810,6 +973,32 @@ pub trait CommandTransport {
     fn set_deadline(&mut self, policy: DeadlinePolicy) {
         let _ = policy;
     }
+
+    /// Arms replica failover: dead source `origin`'s traffic is
+    /// henceforth answered by `host`'s promoted persona. Layered
+    /// transports propagate the call downward (journaling it, arming
+    /// the routing table); plain backends reject it — failover requires
+    /// a [`crate::routing::RoutingTransport`] in the stack.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::ProtocolViolation`] when the transport cannot route,
+    /// transport failures when the host is unreachable.
+    fn promote(&mut self, origin: usize, host: usize) -> Result<()> {
+        let _ = host;
+        Err(NetError::ProtocolViolation {
+            context: "promote",
+            expected: "a routing-capable transport in the stack",
+            got: format!("a transport that cannot re-home source {origin}"),
+        })
+    }
+
+    /// True while the transport is replaying a journaled prefix: no
+    /// wire I/O happens, so the driver must skip the live promotion
+    /// handshake (the journal re-fires it during reconciliation).
+    fn replaying(&self) -> bool {
+        false
+    }
 }
 
 /// The source side of a protocol run.
@@ -853,6 +1042,21 @@ pub fn charge_command(stats: &mut NetworkStats, source: usize, cmd: &Command) ->
             payload.kind()?; // malformed payloads are rejected before charging
             stats.charge_downlink(source, payload.bits() as usize);
         }
+        // The replica plane: a promotion, a replayed round, and a
+        // forward wrapper's overhead all stay off the classic ledgers
+        // (which must remain bit-identical to a never-failed twin); the
+        // carried command of a `Forward` is charged exactly as if it
+        // went to the absorbed origin directly.
+        Command::Promote { .. } => {
+            stats.charge_promotion((cmd.encode().len() * 8) as u64);
+        }
+        Command::Replay { .. } => {
+            stats.charge_replay((cmd.encode().len() * 8) as u64);
+        }
+        Command::Forward { origin, cmd } => {
+            charge_command(stats, *origin as usize, cmd)?;
+            stats.charge_replica_bits(FORWARD_OVERHEAD_BITS);
+        }
         Command::MergeWith {
             gather,
             level,
@@ -887,6 +1091,16 @@ pub fn charge_response(stats: &mut NetworkStats, source: usize, resp: &Response)
         Response::Up { payload, .. } => {
             let kind = payload.kind()?;
             stats.charge_uplink(source, payload.bits() as usize, kind);
+        }
+        // The replica plane mirrors `charge_command`: acknowledgements
+        // are pure recovery overhead, a forwarded response is charged
+        // as if the absorbed origin sent it itself.
+        Response::Promoted { .. } | Response::Replayed { .. } => {
+            stats.charge_replica_bits((resp.encode().len() * 8) as u64);
+        }
+        Response::Forwarded { origin, resp } => {
+            charge_response(stats, *origin as usize, resp)?;
+            stats.charge_replica_bits(FORWARD_OVERHEAD_BITS);
         }
         Response::Merged {
             payload,
@@ -1100,6 +1314,16 @@ mod tests {
                 cmd: Box::new(Command::Deliver { payload: payload() }),
             },
             Command::Resume { round: 9 },
+            Command::Promote { origin: 2 },
+            Command::Replay {
+                origin: 2,
+                round: 3,
+                cmd: Box::new(Command::Deliver { payload: payload() }),
+            },
+            Command::Forward {
+                origin: 2,
+                cmd: Box::new(Command::Stage { index: 1 }),
+            },
             Command::MergeWith {
                 gather: 1,
                 level: 2,
@@ -1156,6 +1380,24 @@ mod tests {
             },
             Response::SourceLost {
                 reason: "gone".to_string(),
+            },
+            Response::Promoted {
+                origin: 3,
+                round: 0,
+            },
+            Response::Replayed {
+                origin: 3,
+                round: 4,
+                fingerprint: 0x5EED,
+            },
+            Response::Forwarded {
+                origin: 3,
+                resp: Box::new(Response::Up {
+                    round: 5,
+                    payload: payload(),
+                    ops: 1,
+                    seconds: 0.0,
+                }),
             },
             Response::Merged {
                 round: 7,
@@ -1349,6 +1591,76 @@ mod tests {
         assert_eq!(stats.server_fold_inputs(), 1);
         assert_eq!(stats.server_fold_bits(), bits);
         assert_eq!(stats.total_uplink_bits(), 100);
+    }
+
+    #[test]
+    fn replica_frames_charge_the_replica_plane_not_classic_ledgers() {
+        let p = payload();
+        let bits = p.bits();
+        let mut stats = NetworkStats::new(3);
+
+        // Promotion + replay traffic never touches the classic ledgers.
+        let promote = Command::Promote { origin: 1 };
+        charge_command(&mut stats, 2, &promote).unwrap();
+        assert_eq!(stats.replica_promotions(), 1);
+        assert_eq!(stats.replica_bits(), (promote.encode().len() * 8) as u64);
+        let replay = Command::Replay {
+            origin: 1,
+            round: 2,
+            cmd: Box::new(Command::Deliver { payload: p.clone() }),
+        };
+        charge_command(&mut stats, 2, &replay).unwrap();
+        assert_eq!(stats.replayed_rounds(), 1);
+        assert_eq!(stats.total_downlink_bits(), 0);
+        assert_eq!(stats.total_uplink_bits(), 0);
+
+        // A forwarded live round charges the carried frames to the
+        // absorbed origin exactly as a direct exchange would, plus the
+        // wrapper overhead on the replica plane.
+        let mut fwd = NetworkStats::new(3);
+        charge_command(
+            &mut fwd,
+            2,
+            &Command::Forward {
+                origin: 1,
+                cmd: Box::new(Command::Deliver { payload: p.clone() }),
+            },
+        )
+        .unwrap();
+        charge_response(
+            &mut fwd,
+            2,
+            &Response::Forwarded {
+                origin: 1,
+                resp: Box::new(Response::Up {
+                    round: 3,
+                    payload: p.clone(),
+                    ops: 0,
+                    seconds: 0.0,
+                }),
+            },
+        )
+        .unwrap();
+        let mut direct = NetworkStats::new(3);
+        charge_command(&mut direct, 1, &Command::Deliver { payload: p.clone() }).unwrap();
+        charge_response(
+            &mut direct,
+            1,
+            &Response::Up {
+                round: 3,
+                payload: p,
+                ops: 0,
+                seconds: 0.0,
+            },
+        )
+        .unwrap();
+        assert_eq!(fwd.downlink_bits(1), bits);
+        assert_eq!(fwd.uplink_bits(1), direct.uplink_bits(1));
+        assert_eq!(fwd.uplink_bits_by_kind(), direct.uplink_bits_by_kind());
+        assert_eq!(fwd.downlink_bits(2), 0);
+        assert_eq!(fwd.uplink_bits(2), 0);
+        assert_eq!(fwd.replica_bits(), 2 * FORWARD_OVERHEAD_BITS);
+        assert_eq!(direct.replica_bits(), 0);
     }
 
     #[test]

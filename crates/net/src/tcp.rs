@@ -844,6 +844,26 @@ mod tests {
     }
 
     #[test]
+    fn digest_ignores_the_replica_ledger() {
+        // The digest hashes the classic uplink/downlink totals only:
+        // a run that promoted a replica (and paid control-plane bits
+        // for it) must still digest-match its never-failed twin.
+        let centers = Matrix::from_fn(2, 2, |i, j| (i * 2 + j) as f64);
+        let clean = NetworkStats::new(2);
+        let mut failed_over = NetworkStats::new(2);
+        failed_over.charge_promotion(96);
+        failed_over.charge_replay(4096);
+        failed_over.charge_replica_bits(136);
+        assert_eq!(
+            RunDigest::new(&clean, &centers),
+            RunDigest::new(&failed_over, &centers)
+        );
+        assert_eq!(failed_over.replica_promotions(), 1);
+        assert_eq!(failed_over.replayed_rounds(), 1);
+        assert_eq!(failed_over.replica_bits(), 96 + 4096 + 136);
+    }
+
+    #[test]
     fn hello_validation() {
         assert!(decode_hello(&[0; 5]).is_err());
         let mut ok = encode_hello(ROLE_SOURCE, 1, 4, 9);

@@ -14,8 +14,10 @@
 # `validate` accepts bench documents (ekm-bench-micro/v1 or /v2, with an
 # optional `faults` section recording recovery-path overhead) and
 # standalone fault-suite documents (ekm-fault-suite/v1, emitted by
-# `scripts/distributed_e2e.sh faults`) and tree-topology e2e documents
-# (ekm-tree-e2e/v1, emitted by `scripts/distributed_e2e.sh tree`). A
+# `scripts/distributed_e2e.sh faults`), tree-topology e2e documents
+# (ekm-tree-e2e/v1, emitted by `scripts/distributed_e2e.sh tree`), and
+# replica-failover e2e documents (ekm-replica-e2e/v1, emitted by
+# `scripts/distributed_e2e.sh replica`). A
 # fresh emit from this script is held to the stricter v2-only bar;
 # `validate` keeps accepting older v1 recordings.
 #
@@ -65,6 +67,31 @@ if schema == "ekm-fault-suite/v1":
           f"{doc['degraded']['cost_ratio']:.4f} <= bound "
           f"{doc['degraded']['cost_ratio_bound']:.4f}, "
           f"{doc['resume']['replayed_records']} records replayed")
+    sys.exit(0)
+
+if schema == "ekm-replica-e2e/v1":
+    # Replica-aware failover: a promoted replica must leave the results
+    # bit-identical to a never-failed run (the replica control plane is
+    # charged to its own ledger, outside the digest), a dry ring must
+    # degrade instead of hanging, and a crashed server must resume a
+    # mid-failover run to the same end state without the dead owner.
+    assert doc["replication"] >= 2, doc
+    assert doc["sources"] > doc["replication"] - 1, doc
+    f = doc["failover"]
+    assert f["promotions"] >= 1, f
+    assert f["replica_bits"] > 0, f
+    assert f["centers_bit_identical"] is True, f
+    assert f["digest_matches_clean"] is True, f
+    d = doc["double_fault"]
+    assert d["lost_sources"] >= 1, d
+    assert d["promotions"] >= 1, d
+    r = doc["resume"]
+    assert r["replayed_records"] > 0, r
+    assert r["absorbed"] >= 1, r
+    assert r["centers_bit_identical"] is True, r
+    print(f"{path} ok ({schema}): {f['promotions']} promotion(s) at r="
+          f"{doc['replication']}, {f['replica_bits']} replica bits, "
+          f"{r['replayed_records']} records replayed after the crash")
     sys.exit(0)
 
 if schema == "ekm-tree-e2e/v1":

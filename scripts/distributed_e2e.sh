@@ -4,7 +4,7 @@
 # process exits cleanly and that the run's accounting holds. Run
 # locally or from the CI `distributed-e2e` matrix:
 #
-#   cargo build --release && scripts/distributed_e2e.sh [core|streaming|non-replicated|faults|tree|all]
+#   cargo build --release && scripts/distributed_e2e.sh [core|streaming|non-replicated|faults|tree|replica|all]
 #
 # `core` and `streaming` run in the replicated SPMD debug mode
 # (`--replicated-check`): every process recomputes the full run and the
@@ -21,8 +21,12 @@
 # `--topology star` and `--topology tree` and asserts the tree leg is a
 # pure placement change: identical digest, centers, and per-source
 # uplink ledger, with at most ceil(log2 s)+1 merge rounds and a
-# server-side fold ingest strictly below the star run's uplink. The
-# default `all` runs everything.
+# server-side fold ingest strictly below the star run's uplink.
+# `replica` is the shard-replication failover suite: a killed owner
+# must be re-homed onto its ring replica with results bit-identical to
+# a never-failed twin, a dead owner plus dead replica must degrade
+# cleanly, and a server crash mid-promotion must `--resume` to the same
+# bit-identical end state. The default `all` runs everything.
 set -euo pipefail
 
 SUITE=${1:-all}
@@ -449,6 +453,201 @@ json.dump(doc, open(sys.argv[1], "w"), indent=2)
 EOF
     "$(dirname "$0")/bench_perf.sh" validate "$LOGDIR/tree.json" \
         || { echo "FAIL: tree.json failed schema validation"; exit 1; }
+fi
+
+# replica: shard replication + health-tracked failover over real TCP.
+# Every shard lives on its owner plus one ring replica (r=2), kept
+# cold. Round A kills an owner mid-stage: the server promotes the
+# replica, replays the dead owner's completed rounds onto it, and the
+# run must finish with centers, digest, and classic per-source ledger
+# bit-identical to a clean twin that never lost anyone. Round B kills
+# an owner AND its replica holder: the dry ring degrades that shard
+# within the documented bound while the other dead source still
+# recovers onto its surviving replica. Round C crashes the *server*
+# mid-promotion: the restarted `serve --resume` learns the absorbed
+# origin from the journal's promotion record, accepts only the
+# survivors, re-fires the promotion, and must again be bit-identical
+# to the clean twin. The measurements land in replica.json (schema
+# ekm-replica-e2e/v1), validated by the shared checker in
+# scripts/bench_perf.sh.
+if [[ "$SUITE" == "replica" || "$SUITE" == "all" ]]; then
+    RCOMMON=(--dataset mixture --n 600 --d 40 --k 2 --stages dispca,disss --seed 9 \
+             --sources 3 --replication 2)
+
+    echo "=== replica-twin [protocol]: ${RCOMMON[*]} (clean baseline) ==="
+    timeout --kill-after=10 "$ROUND_TIMEOUT" \
+        "$BIN" serve --listen "$ADDR" "${RCOMMON[@]}" \
+        --centers-out "$LOGDIR/replica-twin-centers.txt" >"$LOGDIR/replica-twin.log" 2>&1 &
+    serve_pid=$!
+    for i in 0 1 2; do
+        timeout --kill-after=10 "$ROUND_TIMEOUT" \
+            "$BIN" source --connect "$ADDR" --source-id "$i" "${RCOMMON[@]}" \
+            >"$LOGDIR/replica-twin-source-$i.log" 2>&1 &
+    done
+    wait "$serve_pid" || { echo "FAIL: the clean replica twin failed"; exit 1; }
+    grep -q "replica promotions 0" "$LOGDIR/replica-twin.log" \
+        || { echo "FAIL: the clean twin promoted a replica"; exit 1; }
+    twin_digest=$(sed -n 's/^digest \(0x[0-9a-f]*\):.*/\1/p' "$LOGDIR/replica-twin.log")
+
+    echo "=== replica-failover [protocol]: ${RCOMMON[*]} (owner 1 killed mid-stage) ==="
+    timeout --kill-after=10 "$ROUND_TIMEOUT" \
+        "$BIN" serve --listen "$ADDR" "${RCOMMON[@]}" \
+        --centers-out "$LOGDIR/replica-rec-centers.txt" >"$LOGDIR/replica-serve.log" 2>&1 &
+    serve_pid=$!
+    src_pids=()
+    for i in 0 1 2; do
+        flags=()
+        [[ $i == 1 ]] && flags=(--fail-after-commands 2)
+        timeout --kill-after=10 "$ROUND_TIMEOUT" \
+            "$BIN" source --connect "$ADDR" --source-id "$i" "${RCOMMON[@]}" \
+            "${flags[@]}" >"$LOGDIR/replica-source-$i.log" 2>&1 &
+        src_pids+=($!)
+    done
+    for i in 0 2; do
+        wait "${src_pids[$i]}" || { echo "FAIL: surviving source $i exited nonzero"; exit 1; }
+    done
+    if wait "${src_pids[1]}"; then
+        echo "FAIL: the killed owner exited zero — the fault never fired"
+        exit 1
+    fi
+    wait "$serve_pid" || { echo "FAIL: serve did not survive the lost owner"; exit 1; }
+    sed 's/^/  serve  | /' "$LOGDIR/replica-serve.log"
+    grep -q "recovered: source 1 re-homed onto replica host 2" "$LOGDIR/replica-serve.log" \
+        || { echo "FAIL: serve did not promote the ring replica"; exit 1; }
+    if grep -q "^degraded:" "$LOGDIR/replica-serve.log"; then
+        echo "FAIL: the replicated run degraded instead of recovering"
+        exit 1
+    fi
+    promotions=$(sed -n 's/^replica promotions \([0-9]*\)$/\1/p' "$LOGDIR/replica-serve.log")
+    replica_bits=$(sed -n 's/^replica-bits \([0-9]*\)$/\1/p' "$LOGDIR/replica-serve.log")
+    [[ -n "$promotions" && "$promotions" -ge 1 && -n "$replica_bits" && "$replica_bits" -gt 0 ]] \
+        || { echo "FAIL: the replica control-plane counters are missing"; exit 1; }
+
+    # Recovery must be invisible in the results: same centers, same
+    # digest, same classic per-source ledger as the never-failed twin
+    # (the replica overhead lives on its own counters, outside both).
+    cmp -s "$LOGDIR/replica-rec-centers.txt" "$LOGDIR/replica-twin-centers.txt" \
+        || { echo "FAIL: recovered centers differ from the clean twin's"; exit 1; }
+    rec_digest=$(sed -n 's/^digest \(0x[0-9a-f]*\):.*/\1/p' "$LOGDIR/replica-serve.log")
+    [[ -n "$twin_digest" && "$rec_digest" == "$twin_digest" ]] \
+        || { echo "FAIL: recovered digest ${rec_digest} != twin ${twin_digest}"; exit 1; }
+    grep '^source .* uplink-bits' "$LOGDIR/replica-serve.log" | sort >"$LOGDIR/bits-rec.txt"
+    grep '^source .* uplink-bits' "$LOGDIR/replica-twin.log" | sort >"$LOGDIR/bits-rtwin.txt"
+    cmp -s "$LOGDIR/bits-rec.txt" "$LOGDIR/bits-rtwin.txt" \
+        || { echo "FAIL: recovered per-source ledger differs from the twin's"; \
+             diff "$LOGDIR/bits-rec.txt" "$LOGDIR/bits-rtwin.txt" || true; exit 1; }
+    echo "OK: failover recovered bit-identically ($promotions promotion(s), $replica_bits replica bits)"
+
+    echo "=== replica-double-fault [protocol]: ${RCOMMON[*]} (owner 1 AND replica 2 killed) ==="
+    timeout --kill-after=10 "$ROUND_TIMEOUT" \
+        "$BIN" serve --listen "$ADDR" "${RCOMMON[@]}" --deadline-ms 5000 \
+        >"$LOGDIR/replica-dbl-serve.log" 2>&1 &
+    serve_pid=$!
+    src_pids=()
+    for i in 0 1 2; do
+        flags=()
+        [[ $i == 1 || $i == 2 ]] && flags=(--fail-after-commands 2)
+        timeout --kill-after=10 "$ROUND_TIMEOUT" \
+            "$BIN" source --connect "$ADDR" --source-id "$i" "${RCOMMON[@]}" \
+            "${flags[@]}" >"$LOGDIR/replica-dbl-source-$i.log" 2>&1 &
+        src_pids+=($!)
+    done
+    wait "${src_pids[0]}" || { echo "FAIL: the surviving source exited nonzero"; exit 1; }
+    for i in 1 2; do
+        if wait "${src_pids[$i]}"; then
+            echo "FAIL: killed source $i exited zero — the fault never fired"
+            exit 1
+        fi
+    done
+    wait "$serve_pid" || { echo "FAIL: serve did not survive the double fault"; exit 1; }
+    sed 's/^/  serve  | /' "$LOGDIR/replica-dbl-serve.log"
+    # Source 1's only replica died with it: a clean degradation within
+    # the documented bound. Source 2's replica (source 0) survived: it
+    # must still recover. Half recovery, half degradation — per shard.
+    grep -q "degraded: source 1 lost" "$LOGDIR/replica-dbl-serve.log" \
+        || { echo "FAIL: the dry ring did not degrade the shard"; exit 1; }
+    grep -q "rows dropped, cost-ratio bound" "$LOGDIR/replica-dbl-serve.log" \
+        || { echo "FAIL: serve did not report the degradation bound"; exit 1; }
+    grep -q "recovered: source 2 re-homed onto replica host 0" "$LOGDIR/replica-dbl-serve.log" \
+        || { echo "FAIL: the shard with a live replica did not recover"; exit 1; }
+    dbl_promotions=$(sed -n 's/^replica promotions \([0-9]*\)$/\1/p' "$LOGDIR/replica-dbl-serve.log")
+    echo "OK: dry ring degraded, live ring recovered ($dbl_promotions promotion attempt(s))"
+
+    echo "=== replica-resume [protocol]: ${RCOMMON[*]} (server crashed mid-promotion) ==="
+    RJOURNAL="$LOGDIR/replica.journal"
+    timeout --kill-after=10 "$ROUND_TIMEOUT" \
+        "$BIN" serve --listen "$ADDR" "${RCOMMON[@]}" --journal "$RJOURNAL" \
+        --crash-after-commands 14 >"$LOGDIR/replica-crash1.log" 2>&1 &
+    serve_pid=$!
+    src_pids=()
+    for i in 0 1 2; do
+        # The owner dies for good; the survivors reconnect and answer
+        # the resumed server's replays from their caches.
+        flags=(--reconnect 120)
+        [[ $i == 1 ]] && flags=(--fail-after-commands 2)
+        timeout --kill-after=10 "$ROUND_TIMEOUT" \
+            "$BIN" source --connect "$ADDR" --source-id "$i" "${RCOMMON[@]}" \
+            "${flags[@]}" >"$LOGDIR/replica-crash-source-$i.log" 2>&1 &
+        src_pids+=($!)
+    done
+    if wait "$serve_pid"; then
+        echo "FAIL: the first serve exited zero — the crash never fired"
+        exit 1
+    fi
+    timeout --kill-after=10 "$ROUND_TIMEOUT" \
+        "$BIN" serve --listen "$ADDR" "${RCOMMON[@]}" --journal "$RJOURNAL" --resume \
+        --centers-out "$LOGDIR/replica-res-centers.txt" >"$LOGDIR/replica-crash2.log" 2>&1 \
+        || { echo "FAIL: the resumed serve failed"; sed 's/^/  serve2 | /' "$LOGDIR/replica-crash2.log"; exit 1; }
+    for i in 0 2; do
+        wait "${src_pids[$i]}" || { echo "FAIL: source $i did not survive the server crash"; exit 1; }
+    done
+    if wait "${src_pids[1]}"; then
+        echo "FAIL: the killed owner exited zero — the fault never fired"
+        exit 1
+    fi
+    sed 's/^/  serve2 | /' "$LOGDIR/replica-crash2.log"
+    grep -q "absorbed source(s) will not rejoin: \[1\]" "$LOGDIR/replica-crash2.log" \
+        || { echo "FAIL: the resumed serve waited for the dead owner"; exit 1; }
+    grep -q "recovered: source 1 re-homed onto replica host 2" "$LOGDIR/replica-crash2.log" \
+        || { echo "FAIL: the resumed serve did not re-fire the promotion"; exit 1; }
+    res_replayed=$(sed -n 's/^resume: replayed \([0-9]*\) journal record(s).*/\1/p' "$LOGDIR/replica-crash2.log")
+    [[ -n "$res_replayed" && "$res_replayed" -gt 0 ]] \
+        || { echo "FAIL: the resumed serve replayed nothing"; exit 1; }
+    cmp -s "$LOGDIR/replica-res-centers.txt" "$LOGDIR/replica-twin-centers.txt" \
+        || { echo "FAIL: resumed centers differ from the clean twin's"; exit 1; }
+    res_digest=$(sed -n 's/^digest \(0x[0-9a-f]*\):.*/\1/p' "$LOGDIR/replica-crash2.log")
+    [[ "$res_digest" == "$twin_digest" ]] \
+        || { echo "FAIL: resumed digest ${res_digest} != twin ${twin_digest}"; exit 1; }
+    echo "OK: crash mid-promotion resumed bit-identically ($res_replayed record(s) replayed)"
+
+    # Record the suite's measurements and hold them to the shared
+    # schema checker — the same validator CI runs on bench documents.
+    python3 - "$LOGDIR/replica.json" <<EOF
+import json, sys
+doc = {
+    "schema": "ekm-replica-e2e/v1",
+    "sources": 3,
+    "replication": 2,
+    "failover": {
+        "promotions": $promotions,
+        "replica_bits": $replica_bits,
+        "centers_bit_identical": True,
+        "digest_matches_clean": True,
+    },
+    "double_fault": {
+        "lost_sources": 1,
+        "promotions": $dbl_promotions,
+    },
+    "resume": {
+        "replayed_records": $res_replayed,
+        "absorbed": 1,
+        "centers_bit_identical": True,
+    },
+}
+json.dump(doc, open(sys.argv[1], "w"), indent=2)
+EOF
+    "$(dirname "$0")/bench_perf.sh" validate "$LOGDIR/replica.json" \
+        || { echo "FAIL: replica.json failed schema validation"; exit 1; }
 fi
 
 echo "distributed e2e: all rounds passed (suite: ${SUITE})"

@@ -28,7 +28,7 @@ use edge_kmeans::net::event::{EventServerBinding, EventTcpServer, EventTcpSource
 use edge_kmeans::net::protocol::{Command, DeadlinePolicy, Response, SourceEndpoint};
 use edge_kmeans::net::tcp::{self, RunDigest, TcpServerBinding, TcpSource};
 use edge_kmeans::net::wire::{Compute, Precision};
-use edge_kmeans::net::{CommandTransport, NetError, NetworkStats, Transport};
+use edge_kmeans::net::{CommandTransport, NetError, NetworkStats, RoutingTransport, Transport};
 use edge_kmeans::prelude::*;
 use std::collections::HashMap;
 use std::path::Path;
@@ -112,6 +112,11 @@ FAULT TOLERANCE (serve/source, protocol mode):
                         reissued the round once, then dropped — the run
                         completes degraded on the survivors and reports
                         the documented cost-ratio bound
+    --replication <r>   serve/source/run: hold every shard on r sources
+                        (its owner plus r-1 ring replicas, kept cold);
+                        a lost owner is re-homed onto a live replica
+                        and its finished rounds replayed, so the run
+                        recovers bit-identical instead of degrading [1]
     --journal <path>    serve: write-ahead journal of every command
                         round, for deterministic crash recovery
     --resume            serve: replay the journal to the pre-crash state
@@ -324,6 +329,11 @@ fn build_params(args: &Args, n: usize, d: usize) -> Result<SummaryParams, String
             ))
         }
     }
+    let replication = args.get_usize("replication", 1)?;
+    if replication == 0 {
+        return Err("--replication expects a positive replica count".into());
+    }
+    params = params.with_replication(replication);
     if args.flags.contains_key("deadline-ms") {
         let ms = args.get_u64("deadline-ms", 0)?;
         if ms == 0 {
@@ -685,7 +695,7 @@ struct DistRun {
 fn canonical_config(args: &Args, m: usize) -> Result<String, String> {
     Ok(format!(
         "dataset={};n={};d={};k={};seed={};pipeline={};stages={};quantize={};\
-         precision={};compute={};leaf-size={};sources={m};topology={}",
+         precision={};compute={};leaf-size={};sources={m};topology={};replication={}",
         args.get_str("dataset", "mnist-like"),
         args.get_usize("n", 2000)?,
         args.get_usize("d", 196)?,
@@ -698,6 +708,7 @@ fn canonical_config(args: &Args, m: usize) -> Result<String, String> {
         args.get_str("compute", "f64"),
         args.get_str("leaf-size", "-"),
         args.get_str("topology", "star"),
+        args.get_usize("replication", 1)?,
     ))
 }
 
@@ -784,13 +795,10 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         .get("listen")
         .ok_or("serve needs --listen <addr>")?
         .clone();
-    if args.flags.contains_key("replicated-check") {
-        return cmd_serve_replicated(args, &addr);
-    }
-    // Default: the server-driven protocol. This process never builds
-    // the dataset — it owns the plan, the sources own their shards.
     // Fail fast on inconsistent fault-tolerance flags before binding
-    // the listener, not after sources have connected.
+    // the listener — and before the replicated-check dispatch, so
+    // `serve --replicated-check --resume` is the same usage error as
+    // `serve --resume` instead of silently dropping the flag.
     if !args.flags.contains_key("journal") {
         if args.flags.contains_key("resume") {
             return Err("--resume needs --journal <path>".into());
@@ -799,6 +807,25 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             return Err("--crash-after-commands needs --journal <path>".into());
         }
     }
+    if args.flags.contains_key("replicated-check") {
+        // The SPMD debug mode recomputes the full run on every process:
+        // there is no journal to replay and no shard to re-home, so the
+        // protocol-mode fault-tolerance flags are usage errors here.
+        if args.flags.contains_key("journal") {
+            return Err(
+                "--journal needs the server-driven protocol mode (drop --replicated-check)".into(),
+            );
+        }
+        if args.get_usize("replication", 1)? > 1 {
+            return Err(
+                "--replication needs the server-driven protocol mode (drop --replicated-check)"
+                    .into(),
+            );
+        }
+        return cmd_serve_replicated(args, &addr);
+    }
+    // Default: the server-driven protocol. This process never builds
+    // the dataset — it owns the plan, the sources own their shards.
     let plan = prepare_dist_plan(args)?;
     let binding = EventServerBinding::bind(addr.as_str()).map_err(|e| e.to_string())?;
     println!(
@@ -808,10 +835,29 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         plan.pipe.name(),
         plan.fingerprint
     );
+    // A resumed run's journal may record replica promotions: those
+    // origins' owners are dead and their rounds run through a host's
+    // connection, so the accept loop must not wait for them.
+    let absent = if args.flags.contains_key("resume") {
+        let journal = args.flags.get("journal").expect("validated above");
+        edge_kmeans::core::journal::absorbed_origins(Path::new(journal))
+            .map_err(|e| e.to_string())?
+    } else {
+        Vec::new()
+    };
+    if !absent.is_empty() {
+        println!(
+            "resume: {} absorbed source(s) will not rejoin: {absent:?}",
+            absent.len()
+        );
+    }
     let net = binding
-        .accept(plan.m, plan.fingerprint)
+        .accept_absent(plan.m, plan.fingerprint, &absent)
         .map_err(|e| e.to_string())?;
-    println!("all {} source(s) connected; driving the protocol", plan.m);
+    println!(
+        "all {} source(s) connected; driving the protocol",
+        plan.m - absent.len()
+    );
     let (out, stats) = drive_accepted(args, &plan, net)?;
     let digest = RunDigest::new(&stats, &out.centers);
     println!(
@@ -822,6 +868,15 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         out.normalized_comm(plan.n, plan.d),
         out.summary_points
     );
+    if let Some(rec) = &out.recovered {
+        for (origin, host) in &rec.promoted {
+            println!("recovered: source {origin} re-homed onto replica host {host}");
+        }
+        println!(
+            "recovered: {} completed round(s) replayed onto replicas",
+            rec.replayed_rounds
+        );
+    }
     if let Some(deg) = &out.degraded {
         for (i, reason) in &deg.lost_sources {
             println!("degraded: source {i} lost ({reason})");
@@ -830,6 +885,14 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             "degraded: {} of {} rows dropped, cost-ratio bound {:.6}",
             deg.rows_lost, deg.rows_total, deg.cost_ratio_bound
         );
+    }
+    if plan.pipe.params().replication > 1 {
+        // The replica control-plane counters, one per line for scripted
+        // assertions (scripts/distributed_e2e.sh `replica` suite); they
+        // stay out of the classic ledgers and the digest.
+        println!("replica promotions {}", stats.replica_promotions());
+        println!("replica replayed-rounds {}", stats.replayed_rounds());
+        println!("replica-bits {}", stats.replica_bits());
     }
     for i in 0..plan.m {
         println!("source {i} uplink-bits {}", stats.uplink_bits(i));
@@ -865,26 +928,31 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
 fn drive_accepted(
     args: &Args,
     plan: &DistPlan,
-    mut net: EventTcpServer,
+    net: EventTcpServer,
 ) -> Result<(RunOutput, NetworkStats), String> {
     let resume = args.flags.contains_key("resume");
     let crash_after = args.get_u64("crash-after-commands", 0)?;
+    // The routing layer re-homes a promoted origin's traffic onto its
+    // replica host; with no promotions it is a pure pass-through, so
+    // every protocol serve runs behind it. The journal sits *above*
+    // routing: entries stay keyed by origin, and a resumed driver
+    // rediscovers the routes by re-firing the journaled promotions.
+    let mut routed = RoutingTransport::new(net);
     let Some(journal) = args.flags.get("journal") else {
-        if resume {
-            return Err("--resume needs --journal <path>".into());
-        }
-        if crash_after > 0 {
-            return Err("--crash-after-commands needs --journal <path>".into());
-        }
-        let out = plan.pipe.run_driver(&mut net).map_err(|e| e.to_string())?;
-        let stats = net.stats().clone();
+        // cmd_serve rejected --resume / --crash-after-commands without
+        // --journal before any socket was bound.
+        let out = plan
+            .pipe
+            .run_driver(&mut routed)
+            .map_err(|e| e.to_string())?;
+        let stats = routed.stats().clone();
         return Ok((out, stats));
     };
     let path = Path::new(journal);
     let mut jnet = if resume {
-        JournalingTransport::resume(net, path, plan.fingerprint)
+        JournalingTransport::resume(routed, path, plan.fingerprint)
     } else {
-        JournalingTransport::record(net, path, plan.fingerprint)
+        JournalingTransport::record(routed, path, plan.fingerprint)
     }
     .map_err(|e| e.to_string())?;
     if resume {
@@ -989,8 +1057,15 @@ fn cmd_source(args: &Args) -> Result<(), String> {
         );
         return Ok(());
     }
-    // Default: protocol mode — keep only this source's shard and answer
-    // the server's commands.
+    // Default: protocol mode — keep this source's shard (plus the cold
+    // replica shards its ring position assigns it) and answer the
+    // server's commands.
+    let replication = run.pipe.params().replication;
+    let replicas: std::collections::BTreeMap<usize, Matrix> =
+        edge_kmeans::core::params::replica_origins(id, run.m, replication)
+            .into_iter()
+            .map(|origin| (origin, run.parts[origin].clone()))
+            .collect();
     let shard = run
         .parts
         .into_iter()
@@ -1002,7 +1077,8 @@ fn cmd_source(args: &Args) -> Result<(), String> {
     // One executor for the process lifetime: across reconnects it keeps
     // its round counter and response cache, so a restarted driver's
     // replayed rounds are answered from the cache without recomputation.
-    let mut executor = SourceExecutor::new(run.pipe.stages(), run.pipe.params(), id, run.m, shard);
+    let mut executor = SourceExecutor::new(run.pipe.stages(), run.pipe.params(), id, run.m, shard)
+        .with_replicas(replicas);
     let report = loop {
         // The connect retry backoff follows the run's deadline policy:
         // a tight --deadline-ms run probes faster than the default.
@@ -1541,5 +1617,75 @@ mod tests {
         ])
         .unwrap();
         assert!(cmd_serve(&a).unwrap_err().contains("--journal"));
+    }
+
+    #[test]
+    fn resume_without_journal_fails_fast_under_replicated_check_too() {
+        // The --replicated-check dispatch used to return before the
+        // fault-tolerance flag validation, so `serve --replicated-check
+        // --resume` silently dropped --resume and ran a fresh replicated
+        // run. It is the same usage error as plain `serve --resume`,
+        // rejected before any listener binds or dataset builds.
+        let a = args(&[
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--replicated-check",
+            "--resume",
+        ])
+        .unwrap();
+        let err = cmd_serve(&a).unwrap_err();
+        assert!(err.contains("--resume"), "{err}");
+        assert!(err.contains("--journal"), "{err}");
+        // And the flags replicated-check mode cannot honor at all are
+        // rejected, not ignored.
+        let a = args(&[
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--replicated-check",
+            "--journal",
+            "run.journal",
+        ])
+        .unwrap();
+        let err = cmd_serve(&a).unwrap_err();
+        assert!(err.contains("--replicated-check"), "{err}");
+        let a = args(&[
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--replicated-check",
+            "--replication",
+            "2",
+        ])
+        .unwrap();
+        let err = cmd_serve(&a).unwrap_err();
+        assert!(err.contains("--replication"), "{err}");
+        assert!(err.contains("--replicated-check"), "{err}");
+    }
+
+    #[test]
+    fn replication_flag_reaches_params_and_rejects_zero() {
+        let a = args(&["serve", "--replication", "2"]).unwrap();
+        assert_eq!(build_params(&a, 100, 10).unwrap().replication, 2);
+        // Default: no replicas beyond the owner.
+        let a = args(&["serve"]).unwrap();
+        assert_eq!(build_params(&a, 100, 10).unwrap().replication, 1);
+        let a = args(&["serve", "--replication", "0"]).unwrap();
+        assert!(build_params(&a, 100, 10)
+            .unwrap_err()
+            .contains("--replication"));
+    }
+
+    #[test]
+    fn replication_is_part_of_the_fingerprint() {
+        // The replica ring shapes which process must hold which cold
+        // shard, so both ends have to agree on r before any data moves.
+        let fp = |a: &Args| tcp::fingerprint(&canonical_config(a, 3).unwrap());
+        let base = args(&["serve", "--n", "500"]).unwrap();
+        let replicated = args(&["serve", "--n", "500", "--replication", "2"]).unwrap();
+        assert_ne!(fp(&base), fp(&replicated));
+        let explicit = args(&["serve", "--n", "500", "--replication", "1"]).unwrap();
+        assert_eq!(fp(&base), fp(&explicit));
     }
 }

@@ -116,6 +116,20 @@ impl<T: CommandTransport> CommandTransport for FaultInjector<T> {
     fn stats(&self) -> &NetworkStats {
         self.inner.stats()
     }
+
+    fn promote(&mut self, origin: usize, host: usize) -> Result<(), NetError> {
+        if self.tripped() {
+            return Err(NetError::Transport {
+                context: "injected fault",
+                detail: "driver process crashed".to_string(),
+            });
+        }
+        self.inner.promote(origin, host)
+    }
+
+    fn replaying(&self) -> bool {
+        self.inner.replaying()
+    }
 }
 
 #[test]
@@ -201,6 +215,131 @@ fn losing_every_source_is_a_typed_error_not_a_degraded_run() {
     });
 }
 
+/// Runs `pipe` over the channel backend with replica shards distributed
+/// per the canonical ring, killing each source after its entry in
+/// `remaining` commands (use `usize::MAX` to keep one alive).
+fn run_replicated_with_deaths(
+    pipe: &StagePipeline,
+    shards: &[Matrix],
+    remaining: &[usize],
+) -> edge_kmeans::core::Result<(RunOutput, NetworkStats)> {
+    let m = shards.len();
+    let r = pipe.params().replication;
+    let (hub, endpoints) = channel_pairs(m);
+    let mut routed = edge_kmeans::net::RoutingTransport::new(hub);
+    std::thread::scope(|scope| {
+        for (i, (ep, shard)) in endpoints.into_iter().zip(shards.to_vec()).enumerate() {
+            let stages = pipe.stages();
+            let params = pipe.params();
+            let replicas: std::collections::BTreeMap<usize, Matrix> =
+                edge_kmeans::core::params::replica_origins(i, m, r)
+                    .into_iter()
+                    .map(|o| (o, shards[o].clone()))
+                    .collect();
+            let die_after = remaining[i];
+            scope.spawn(move || {
+                let mut ep = DyingEndpoint {
+                    inner: ep,
+                    remaining: die_after,
+                };
+                let _ = SourceExecutor::new(stages, params, i, m, shard)
+                    .with_replicas(replicas)
+                    .serve(&mut ep);
+            });
+        }
+        let out = pipe.run_driver(&mut routed)?;
+        Ok((out, routed.stats().clone()))
+    })
+}
+
+#[test]
+fn promoted_replica_keeps_the_run_bit_identical() {
+    let n = 600;
+    let d = 24;
+    let m = 4;
+    let data = workload(n, d, 23);
+    let shards = partition_uniform(&data, m, 7).unwrap();
+    for list in ["dispca,disss", "jl,stream,qt"] {
+        let params = SummaryParams::practical(2, n, d)
+            .with_seed(9)
+            .with_replication(2);
+        let pipe = StagePipeline::from_names(list, params).unwrap();
+
+        // Twin where the replica owned the shard from the start: executor
+        // identity is (source id, shard), so that twin is exactly the
+        // clean run — promotion rebuilds the same persona elsewhere.
+        let (clean, clean_stats, _) = pipe.run_channel_detailed(shards.clone()).unwrap();
+        assert!(clean.recovered.is_none(), "{list}: clean run promoted");
+
+        // Source 1 dies after describe + two stage rounds; its ring
+        // replica lives on source 2.
+        let mut remaining = vec![usize::MAX; m];
+        remaining[1] = 3;
+        let (out, stats) = run_replicated_with_deaths(&pipe, &shards, &remaining).unwrap();
+
+        assert!(out.degraded.is_none(), "{list}: degraded instead");
+        let rec = out
+            .recovered
+            .as_ref()
+            .expect("run must record the recovery");
+        assert_eq!(rec.promoted, vec![(1, 2)], "{list}");
+        assert!(rec.replayed_rounds > 0, "{list}");
+
+        assert_centers_bit_identical(&out.centers, &clean.centers);
+        assert_eq!(out.uplink_bits, clean.uplink_bits, "{list}: uplink");
+        assert_eq!(out.downlink_bits, clean.downlink_bits, "{list}: downlink");
+        assert_eq!(out.summary_points, clean.summary_points, "{list}");
+        for i in 0..m {
+            assert_eq!(
+                stats.uplink_bits(i),
+                clean_stats.uplink_bits(i),
+                "{list}: {i}"
+            );
+            assert_eq!(
+                stats.downlink_bits(i),
+                clean_stats.downlink_bits(i),
+                "{list}: {i}"
+            );
+        }
+        // The recovery overhead lives in its own counters, and the
+        // digest (classic ledgers + centers) is unperturbed by it.
+        assert_eq!(stats.replica_promotions(), 1, "{list}");
+        assert!(stats.replica_bits() > 0, "{list}");
+        assert_eq!(stats.replayed_rounds(), rec.replayed_rounds, "{list}");
+        assert_eq!(
+            edge_kmeans::net::RunDigest::new(&stats, &out.centers),
+            edge_kmeans::net::RunDigest::new(&clean_stats, &clean.centers),
+            "{list}: digest"
+        );
+    }
+}
+
+#[test]
+fn dead_owner_and_dead_replica_degrade_cleanly() {
+    let n = 600;
+    let d = 24;
+    let m = 4;
+    let data = workload(n, d, 29);
+    let shards = partition_uniform(&data, m, 7).unwrap();
+    let params = SummaryParams::practical(2, n, d)
+        .with_seed(9)
+        .with_replication(2);
+    let pipe = StagePipeline::from_names("dispca,disss", params).unwrap();
+
+    // Sources 2 and 3 both die. Shard 2's only replica lives on 3 —
+    // equally dead — so shard 2 degrades (the clean PR 7 path). Shard
+    // 3's replica lives on 0 and recovers. One run, both records.
+    let mut remaining = vec![usize::MAX; m];
+    remaining[2] = 2;
+    remaining[3] = 3;
+    let (out, _) = run_replicated_with_deaths(&pipe, &shards, &remaining).unwrap();
+    let record = out.degraded.as_ref().expect("run must be degraded");
+    let lost: Vec<usize> = record.lost_sources.iter().map(|&(i, _)| i).collect();
+    assert_eq!(lost, vec![2], "only the replica-less shard degrades");
+    let rec = out.recovered.as_ref().expect("shard 3 must recover on 0");
+    assert_eq!(rec.promoted, vec![(3, 0)]);
+}
+
 #[test]
 fn crashed_driver_resumes_to_bit_identical_centers_and_stats() {
     let n = 600;
@@ -267,6 +406,113 @@ fn crashed_driver_resumes_to_bit_identical_centers_and_stats() {
 }
 
 #[test]
+fn crash_during_promotion_resumes_to_bit_identical_centers() {
+    let n = 600;
+    let d = 20;
+    let m = 3;
+    let data = workload(n, d, 31);
+    let shards = partition_uniform(&data, m, 5).unwrap();
+    let params = SummaryParams::practical(2, n, d)
+        .with_seed(9)
+        .with_replication(2);
+    let pipe = StagePipeline::from_names("dispca,disss", params).unwrap();
+
+    // Clean twin (no faults, no journal) for the bitwise comparison.
+    let (clean, clean_stats, _) = pipe.run_channel_detailed(shards.clone()).unwrap();
+
+    // Sweep the driver's crash point across the whole failover window —
+    // before, during, and after the promotion — and require every
+    // resume to land on the same bits. At least one point must fall
+    // with the promotion record journaled but the run unfinished.
+    let mut saw_promotion_window = false;
+    for crash_after_sends in 12..=20 {
+        let journal = scratch_journal("promo");
+        let (out, stats, promo_journaled) = std::thread::scope(|scope| {
+            let (hub, endpoints) = channel_pairs(m);
+            for (i, (ep, shard)) in endpoints.into_iter().zip(shards.clone()).enumerate() {
+                let stages = pipe.stages();
+                let params = pipe.params();
+                let replicas: std::collections::BTreeMap<usize, Matrix> =
+                    edge_kmeans::core::params::replica_origins(i, m, 2)
+                        .into_iter()
+                        .map(|o| (o, shards[o].clone()))
+                        .collect();
+                scope.spawn(move || {
+                    // Source 1 dies after describe + stage + basis; the
+                    // other executors outlive the driver crash.
+                    let mut ep = DyingEndpoint {
+                        inner: ep,
+                        remaining: if i == 1 { 3 } else { usize::MAX },
+                    };
+                    let _ = SourceExecutor::new(stages, params, i, m, shard)
+                        .with_replicas(replicas)
+                        .serve(&mut ep);
+                });
+            }
+
+            // Attempt 1: source 1's death triggers a promotion onto
+            // source 2; the driver crashes around it.
+            let routed = edge_kmeans::net::RoutingTransport::new(hub);
+            let recording = JournalingTransport::record(routed, &journal, FP).unwrap();
+            let mut crashing = FaultInjector {
+                inner: recording,
+                sends_before_crash: crash_after_sends,
+            };
+            pipe.run_driver(&mut crashing).unwrap_err();
+            let hub = crashing.inner.into_inner().into_inner();
+
+            let (_, entries) = edge_kmeans::core::journal::read_journal(&journal).unwrap();
+            let promo_journaled = entries.iter().any(|e| {
+                matches!(
+                    e,
+                    edge_kmeans::core::journal::JournalEntry::Promoted { origin: 1, host: 2 }
+                )
+            });
+
+            // Attempt 2: a fresh driver (fresh routing layer) resumes;
+            // a journaled promotion re-fires at reconcile time.
+            let routed = edge_kmeans::net::RoutingTransport::new(hub);
+            let mut resuming = JournalingTransport::resume(routed, &journal, FP).unwrap();
+            assert!(resuming.replayed_entries() > 0);
+            let out = pipe.run_driver(&mut resuming).unwrap();
+            let stats = resuming.stats().clone();
+            (out, stats, promo_journaled)
+        });
+        let _ = std::fs::remove_file(&journal);
+        saw_promotion_window |= promo_journaled;
+
+        let tag = format!("crash after {crash_after_sends} sends");
+        assert!(out.degraded.is_none(), "{tag}: recovery must not degrade");
+        let rec = out.recovered.as_ref().expect("promotion must be recorded");
+        assert_eq!(rec.promoted, vec![(1, 2)], "{tag}");
+        assert_centers_bit_identical(&out.centers, &clean.centers);
+        assert_eq!(out.uplink_bits, clean.uplink_bits, "{tag}");
+        assert_eq!(out.downlink_bits, clean.downlink_bits, "{tag}");
+        for i in 0..m {
+            assert_eq!(
+                stats.uplink_bits(i),
+                clean_stats.uplink_bits(i),
+                "{tag}: {i}"
+            );
+            assert_eq!(
+                stats.downlink_bits(i),
+                clean_stats.downlink_bits(i),
+                "{tag}: {i}"
+            );
+        }
+        assert_eq!(
+            edge_kmeans::net::RunDigest::new(&stats, &out.centers),
+            edge_kmeans::net::RunDigest::new(&clean_stats, &clean.centers),
+            "{tag}: digest"
+        );
+    }
+    assert!(
+        saw_promotion_window,
+        "no crash point landed inside the promotion window"
+    );
+}
+
+#[test]
 fn resume_with_a_different_run_fingerprint_is_refused() {
     let n = 200;
     let d = 10;
@@ -298,4 +544,236 @@ fn resume_with_a_different_run_fingerprint_is_refused() {
         matches!(err, CoreError::Journal { ref reason } if reason.contains("fingerprint")),
         "{err:?}"
     );
+}
+
+/// Satellite 2: a journal torn at *any* byte offset — the tail a crash
+/// can leave when the filesystem drops the unsynced suffix — must
+/// either parse cleanly (the truncation landed on a record boundary) or
+/// fail with the typed journal error. Never a panic, never a
+/// misclassified error, never a silently wrong entry list.
+#[test]
+fn journal_torn_at_every_byte_is_clean_or_typed() {
+    use edge_kmeans::core::executor::SourceExecutor;
+    use edge_kmeans::core::journal::read_journal;
+
+    let n = 240;
+    let d = 10;
+    let m = 2;
+    let data = workload(n, d, 29);
+    let shards = partition_uniform(&data, m, 5).unwrap();
+    let pipe = pipeline("dispca,disss", n, d);
+
+    let journal = scratch_journal("torn");
+    std::thread::scope(|scope| {
+        let (hub, endpoints) = channel_pairs(m);
+        for (i, (mut ep, shard)) in endpoints.into_iter().zip(shards).enumerate() {
+            let stages = pipe.stages();
+            let params = pipe.params();
+            scope.spawn(move || SourceExecutor::new(stages, params, i, m, shard).serve(&mut ep));
+        }
+        let mut net = JournalingTransport::record(hub, &journal, FP).unwrap();
+        pipe.run_driver(&mut net).unwrap();
+    });
+
+    let full = std::fs::read(&journal).unwrap();
+    let _ = std::fs::remove_file(&journal);
+    let (_, complete) = {
+        let torn = scratch_journal("torn-cut");
+        std::fs::write(&torn, &full).unwrap();
+        let parsed = read_journal(&torn).unwrap();
+        let _ = std::fs::remove_file(&torn);
+        parsed
+    };
+    assert!(complete.len() > 10, "run too short to tear meaningfully");
+
+    let torn = scratch_journal("torn-cut");
+    let mut clean_cuts = 0;
+    for cut in 0..full.len() {
+        std::fs::write(&torn, &full[..cut]).unwrap();
+        match read_journal(&torn) {
+            Ok((_, entries)) => {
+                clean_cuts += 1;
+                // A clean parse must be a strict prefix of the full
+                // journal, not a reshuffled or invented history.
+                assert!(entries.len() < complete.len(), "cut {cut}");
+                assert_eq!(entries, complete[..entries.len()], "cut {cut}");
+            }
+            Err(CoreError::Journal { .. }) => {}
+            Err(other) => panic!("cut {cut}: untyped error {other:?}"),
+        }
+    }
+    let _ = std::fs::remove_file(&torn);
+    // Record boundaries exist where the torn tail parses cleanly — the
+    // fsync-at-append discipline guarantees a crashed driver's journal
+    // is one of these prefixes plus at most one torn record.
+    assert!(clean_cuts >= complete.len(), "{clean_cuts} clean cuts");
+}
+
+mod health_properties {
+    //! Satellite 3: the health machine's escalation contract, checked
+    //! against a reference model for arbitrary loss patterns. The model
+    //! is the documented spec: a loss against a source that answered
+    //! (or was just re-homed) earns exactly one reissue; a loss against
+    //! a suspect consumes the next ring replica; a failed promotion
+    //! consumes the next replica with no reissue owed; an exhausted
+    //! ring degrades, and degradation is absorbing.
+
+    use edge_kmeans::core::health::{Health, HealthMachine, RecoveryAction};
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Ev {
+        Loss,
+        Response,
+        PromoteFails,
+    }
+
+    fn events() -> impl Strategy<Value = Vec<Ev>> {
+        proptest::collection::vec(
+            prop_oneof![Just(Ev::Loss), Just(Ev::Response), Just(Ev::PromoteFails)],
+            0..48,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn escalation_order_is_deterministic_for_any_loss_pattern(
+            ring_len in 0usize..5,
+            events in events(),
+        ) {
+            let ring: Vec<usize> = (10..10 + ring_len).collect();
+            let mut machine = HealthMachine::new(ring.clone());
+
+            // The reference model.
+            let mut unconsumed = ring.clone();
+            let mut owed_reissue = true;
+            let mut dead = false;
+            let mut absorbed_on: Option<usize> = None;
+            // Whether the driver is allowed to report a failed
+            // promotion (only right after a Promote action).
+            let mut promote_outstanding = false;
+
+            for ev in events {
+                match ev {
+                    Ev::Response => {
+                        machine.on_response();
+                        owed_reissue = true;
+                        promote_outstanding = false;
+                    }
+                    Ev::PromoteFails => {
+                        if !promote_outstanding {
+                            continue;
+                        }
+                        let got = machine.on_promotion_failed();
+                        promote_outstanding = false;
+                        if dead {
+                            prop_assert_eq!(got, RecoveryAction::Degrade);
+                            continue;
+                        }
+                        if unconsumed.is_empty() {
+                            prop_assert_eq!(got, RecoveryAction::Degrade);
+                            dead = true;
+                            absorbed_on = None;
+                        } else {
+                            let host = unconsumed.remove(0);
+                            prop_assert_eq!(got, RecoveryAction::Promote { host });
+                            absorbed_on = Some(host);
+                            promote_outstanding = true;
+                            // next_replica clears suspicion: the fresh
+                            // host gets its own reissue before the ring
+                            // is consulted again.
+                            owed_reissue = true;
+                        }
+                    }
+                    Ev::Loss => {
+                        let got = machine.on_loss();
+                        promote_outstanding = false;
+                        if dead {
+                            prop_assert_eq!(got, RecoveryAction::Degrade);
+                            continue;
+                        }
+                        if owed_reissue {
+                            prop_assert_eq!(got, RecoveryAction::Reissue);
+                            owed_reissue = false;
+                        } else if unconsumed.is_empty() {
+                            prop_assert_eq!(got, RecoveryAction::Degrade);
+                            dead = true;
+                            absorbed_on = None;
+                        } else {
+                            let host = unconsumed.remove(0);
+                            prop_assert_eq!(got, RecoveryAction::Promote { host });
+                            absorbed_on = Some(host);
+                            promote_outstanding = true;
+                            owed_reissue = true;
+                        }
+                    }
+                }
+
+                // The observable state always matches the model.
+                let want = if dead {
+                    Health::Dead
+                } else if let Some(host) = absorbed_on {
+                    Health::Absorbed { host }
+                } else if !owed_reissue {
+                    Health::Suspect
+                } else {
+                    Health::Healthy
+                };
+                prop_assert_eq!(machine.state(), want);
+                prop_assert_eq!(machine.host(), absorbed_on);
+            }
+        }
+
+        /// However the losses interleave, the ring hosts are promoted
+        /// in canonical order, each at most once, and only a dry ring
+        /// degrades.
+        #[test]
+        fn ring_hosts_promote_in_order_and_at_most_once(
+            ring_len in 0usize..5,
+            events in events(),
+        ) {
+            let ring: Vec<usize> = (20..20 + ring_len).collect();
+            let mut machine = HealthMachine::new(ring.clone());
+            let mut promoted = Vec::new();
+            let mut degraded = false;
+            let mut promote_outstanding = false;
+            for ev in events {
+                let got = match ev {
+                    Ev::Response => {
+                        machine.on_response();
+                        promote_outstanding = false;
+                        continue;
+                    }
+                    Ev::PromoteFails if promote_outstanding => machine.on_promotion_failed(),
+                    Ev::PromoteFails => continue,
+                    Ev::Loss => machine.on_loss(),
+                };
+                promote_outstanding = false;
+                match got {
+                    RecoveryAction::Reissue => {
+                        prop_assert!(!degraded, "a degraded source was reissued");
+                    }
+                    RecoveryAction::Promote { host } => {
+                        prop_assert!(!degraded, "a degraded source was promoted");
+                        promoted.push(host);
+                        promote_outstanding = true;
+                    }
+                    RecoveryAction::Degrade => {
+                        if !degraded {
+                            prop_assert_eq!(
+                                promoted.len(),
+                                ring.len(),
+                                "degraded with live replicas unconsumed"
+                            );
+                        }
+                        degraded = true;
+                    }
+                }
+            }
+            prop_assert!(promoted.len() <= ring.len());
+            prop_assert_eq!(&promoted[..], &ring[..promoted.len()]);
+        }
+    }
 }

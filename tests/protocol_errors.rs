@@ -170,8 +170,8 @@ fn reissue_is_answered_from_the_executor_response_cache() {
         }
 
         // A reissue for a round the executor never saw is a violation:
-        // the executor refuses and hangs up, which the driver's
-        // transport surfaces as a typed loss it can degrade around.
+        // the executor reports the reason in a best-effort `Err` frame,
+        // then hangs up — so the driver learns *why* before degrading.
         hub.send(
             0,
             &Command::Reissue {
@@ -181,8 +181,10 @@ fn reissue_is_answered_from_the_executor_response_cache() {
         )
         .unwrap();
         match hub.recv(0).unwrap() {
-            Response::SourceLost { .. } => {}
-            other => panic!("expected a source-lost response, got {other:?}"),
+            Response::Err { reason } => {
+                assert!(reason.contains("reissue"), "{reason}");
+            }
+            other => panic!("expected an err response, got {other:?}"),
         }
         let err = handle.join().unwrap().unwrap_err();
         assert!(matches!(

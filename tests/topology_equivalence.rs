@@ -18,7 +18,9 @@
 use edge_kmeans::core::executor::SourceExecutor;
 use edge_kmeans::data::partition::partition_uniform;
 use edge_kmeans::data::synth::GaussianMixture;
-use edge_kmeans::net::protocol::{channel_pairs, Command, DeadlinePolicy, Response};
+use edge_kmeans::net::protocol::{
+    channel_pairs, Command, CommandTransport, DeadlinePolicy, Response,
+};
 use edge_kmeans::net::{NetError, Network, NetworkStats, RunDigest, SourceEndpoint};
 use edge_kmeans::prelude::*;
 use proptest::prelude::*;
@@ -292,4 +294,119 @@ fn a_holder_lost_after_its_partner_emitted_strands_only_its_own_leaf() {
     assert_eq!(lost, vec![0]);
     assert_eq!(record.rows_lost, rows[0] as usize);
     assert!(out.summary_points > 0);
+}
+
+/// Runs `jl,stream,qt` at replication 2 over the tree topology, with
+/// `victim` (if any) dying on its `die_at`-th command. Every source
+/// carries the cold replica shards its ring position assigns it, and
+/// the driver runs behind the routing layer so a promoted origin's
+/// merge rounds reach the persona via origin-id routing.
+fn run_tree_replicated(
+    m: usize,
+    victim: Option<usize>,
+    die_at: usize,
+) -> (RunOutput, NetworkStats) {
+    let data = workload(45 * m.max(4), 10, 31);
+    let (n, d) = data.shape();
+    let params = SummaryParams::practical(2, n, d)
+        .with_seed(17)
+        .with_topology(Topology::Tree)
+        .with_replication(2);
+    let pipe = StagePipeline::from_names("jl,stream,qt", params).unwrap();
+    let shards = partition_uniform(&data, m, pipe.params().seed).unwrap();
+    let (hub, endpoints) = channel_pairs(m);
+    std::thread::scope(|scope| {
+        for (i, (endpoint, shard)) in endpoints.into_iter().zip(shards.clone()).enumerate() {
+            let stages = pipe.stages();
+            let params = pipe.params();
+            let replicas: std::collections::BTreeMap<usize, Matrix> =
+                edge_kmeans::core::params::replica_origins(i, m, 2)
+                    .into_iter()
+                    .map(|origin| (origin, shards[origin].clone()))
+                    .collect();
+            scope.spawn(move || {
+                let mut endpoint = DyingEndpoint {
+                    inner: endpoint,
+                    received: 0,
+                    die_at: if Some(i) == victim {
+                        die_at
+                    } else {
+                        usize::MAX
+                    },
+                };
+                let _ = SourceExecutor::new(stages, params, i, m, shard)
+                    .with_replicas(replicas)
+                    .serve(&mut endpoint);
+            });
+        }
+        let mut routed = edge_kmeans::net::RoutingTransport::new(hub);
+        let out = pipe.run_driver(&mut routed).unwrap();
+        let stats = routed.stats().clone();
+        (out, stats)
+    })
+}
+
+/// Promotion under the tree, against the clean twin: whether the owner
+/// dies before it emitted its summary (odd victim, killed on its
+/// `MergeWith{emit}`), after its partner already emitted (even victim,
+/// killed receiving the partner's summary), or mid-stage before any
+/// merge began, the replica persona inherits the victim's merge role
+/// via origin-id routing and the run recovers bit-identical.
+fn assert_tree_promotion_recovers(m: usize) {
+    let (clean, clean_stats) = run_tree_replicated(m, None, 0);
+    assert!(clean.recovered.is_none() && clean.degraded.is_none());
+    // die_at = 6 is the victim's first merge command (after describe,
+    // three stage rounds, and transmit); die_at = 3 is mid-stage.
+    for (victim, die_at) in [(1usize, 6usize), (0, 6), (1, 3)] {
+        if victim >= m {
+            continue;
+        }
+        let tag = format!("m={m} victim={victim} die_at={die_at}");
+        let (out, stats) = run_tree_replicated(m, Some(victim), die_at);
+        let host = (victim + 1) % m;
+        assert!(out.degraded.is_none(), "{tag}: must not degrade");
+        let rec = out.recovered.as_ref().expect("promotion must be recorded");
+        assert_eq!(rec.promoted, vec![(victim, host)], "{tag}");
+        for (a, b) in out.centers.as_slice().iter().zip(clean.centers.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{tag}: centers");
+        }
+        for i in 0..m {
+            assert_eq!(
+                stats.uplink_bits(i),
+                clean_stats.uplink_bits(i),
+                "{tag}: source {i} uplink"
+            );
+            assert_eq!(
+                stats.downlink_bits(i),
+                clean_stats.downlink_bits(i),
+                "{tag}: source {i} downlink"
+            );
+        }
+        assert_eq!(
+            RunDigest::new(&stats, &out.centers),
+            RunDigest::new(&clean_stats, &clean.centers),
+            "{tag}: digest"
+        );
+        assert_eq!(stats.replica_promotions(), 1, "{tag}");
+        assert!(stats.replica_bits() > 0, "{tag}");
+    }
+}
+
+#[test]
+fn tree_promotion_recovers_bit_identical() {
+    for m in [2, 4, 5] {
+        assert_tree_promotion_recovers(m);
+    }
+}
+
+#[test]
+fn tree_promotion_recovers_at_every_source_count() {
+    // The full sweep rides CI's EKM_SCALE=full axis; the smoke axis
+    // covers {2, 4, 5} above.
+    if !std::env::var("EKM_SCALE").is_ok_and(|v| v.eq_ignore_ascii_case("full")) {
+        return;
+    }
+    for m in 2..=9 {
+        assert_tree_promotion_recovers(m);
+    }
 }
