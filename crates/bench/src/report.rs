@@ -158,6 +158,8 @@ pub enum Json {
     Num(f64),
     /// An unsigned integer (bit counts, op counts — exact, no f64 trip).
     Int(u64),
+    /// A boolean (capability flags, e.g. whether epoll engaged).
+    Bool(bool),
     /// A string.
     Str(String),
     /// An ordered array.
@@ -181,6 +183,7 @@ impl Json {
             Json::Num(v) if v.is_finite() => out.push_str(&format!("{v}")),
             Json::Num(_) => out.push_str("null"),
             Json::Int(v) => out.push_str(&format!("{v}")),
+            Json::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
             Json::Str(s) => {
                 out.push('"');
                 for c in s.chars() {

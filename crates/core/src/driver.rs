@@ -37,7 +37,7 @@ use ekm_linalg::random::derive_seed;
 use ekm_linalg::Matrix;
 use ekm_net::messages::Message;
 use ekm_net::protocol::{
-    channel_pairs, Command, CommandTransport, DeadlinePolicy, Payload, Response,
+    channel_pairs, Command, CommandTransport, DeadlinePolicy, EncodedCommand, Payload, Response,
 };
 use ekm_net::{NetError, NetworkStats, RoutingTransport, RunDigest};
 use std::collections::BTreeMap;
@@ -190,6 +190,26 @@ impl<'a, T: CommandTransport> RoundNet<'a, T> {
             self.history[i].push(cmd.clone());
         }
         match self.inner.send(i, cmd) {
+            Ok(()) => Ok(()),
+            Err(NetError::Transport { context, detail }) => {
+                let reason = format!("send failed during {context}: {detail}");
+                self.handle_loss(i, reason).map(|_| ())
+            }
+            Err(e) => Err(CoreError::Net(e)),
+        }
+    }
+
+    /// [`send`](Self::send) over a shared encoding: a broadcast round is
+    /// encoded once and every live source gets the same bytes. History
+    /// and loss handling are identical to a per-source send.
+    fn send_enc(&mut self, i: usize, enc: &EncodedCommand) -> Result<()> {
+        if !self.alive[i] {
+            return Ok(());
+        }
+        if enc.command().is_round() {
+            self.history[i].push(enc.command().clone());
+        }
+        match self.inner.send_encoded(i, enc) {
             Ok(()) => Ok(()),
             Err(NetError::Transport { context, detail }) => {
                 let reason = format!("send failed during {context}: {detail}");
@@ -671,8 +691,9 @@ fn drive<T: CommandTransport>(pipe: &StagePipeline, net: &mut T) -> Result<RunOu
     if params.deadline != DeadlinePolicy::default() {
         net.set_deadline(params.deadline);
         let ms = params.deadline.command.as_millis() as u64;
+        let enc = EncodedCommand::new(Command::Deadline { ms });
         for i in 0..m {
-            net.send(i, &Command::Deadline { ms })?;
+            net.send_encoded(i, &enc)?;
         }
     }
 
@@ -682,8 +703,9 @@ fn drive<T: CommandTransport>(pipe: &StagePipeline, net: &mut T) -> Result<RunOu
     // same validation the engine runs on the materialized shards. Loss
     // here is unrecoverable — a shard of unknown size cannot be dropped
     // within a quantified bound.
+    let describe = EncodedCommand::new(Command::Describe);
     for i in 0..m {
-        rnet.send(i, &Command::Describe)?;
+        rnet.send_enc(i, &describe)?;
     }
     let mut rows = vec![0u64; m];
     let mut d = 0usize;
@@ -753,8 +775,9 @@ fn local_round<T: CommandTransport>(
     m: usize,
     context: &'static str,
 ) -> Result<(u64, f64, usize)> {
+    let enc = EncodedCommand::new(Command::Stage { index: idx });
     for i in 0..m {
-        net.send(i, &Command::Stage { index: idx })?;
+        net.send_enc(i, &enc)?;
     }
     let mut ops = 0u64;
     let mut secs = 0.0f64;
@@ -865,8 +888,9 @@ fn run_stage<T: CommandTransport>(
             drop_basis(st);
             let t = dispca_rank(cfg, params, st.cur);
             // Step 1: local SVD summaries, folded in source order.
+            let stage_enc = EncodedCommand::new(Command::Stage { index: idx });
             for i in 0..m {
-                net.send(i, &Command::Stage { index: idx })?;
+                net.send_enc(i, &stage_enc)?;
             }
             let mut summaries = Vec::with_capacity(m);
             let mut ops1 = 0u64;
@@ -921,19 +945,17 @@ fn run_stage<T: CommandTransport>(
             let t1 = Instant::now();
             let basis = distributed::dispca_global_basis(&summaries, t, params.precision)?;
             st.server_seconds += t1.elapsed().as_secs_f64();
-            // Step 3: broadcast; each source projects onto its decoded
-            // copy and reports the new shape.
-            let payload = Payload::of(&Message::Basis {
-                basis: basis.clone(),
-                precision: params.precision,
+            // Step 3: broadcast; the basis payload (the fattest frame
+            // of the protocol) is encoded exactly once, and each source
+            // projects onto its decoded copy and reports the new shape.
+            let deliver = EncodedCommand::new(Command::Deliver {
+                payload: Payload::of(&Message::Basis {
+                    basis: basis.clone(),
+                    precision: params.precision,
+                }),
             });
             for i in 0..m {
-                net.send(
-                    i,
-                    &Command::Deliver {
-                        payload: payload.clone(),
-                    },
-                )?;
+                net.send_enc(i, &deliver)?;
             }
             let mut ops2 = 0u64;
             let mut secs2 = 0.0f64;
@@ -966,8 +988,9 @@ fn run_stage<T: CommandTransport>(
                 });
             }
             // Step 1: bicriteria cost reports.
+            let stage_enc = EncodedCommand::new(Command::Stage { index: idx });
             for i in 0..m {
-                net.send(i, &Command::Stage { index: idx })?;
+                net.send_enc(i, &stage_enc)?;
             }
             // Responders are tracked by id: a lost source drops out of
             // the allocation fold, and its budget share is redistributed
@@ -1111,8 +1134,9 @@ fn finalize<T: CommandTransport>(
                 }
                 st.basis_shared = true;
             }
+            let transmit = EncodedCommand::new(Command::Transmit);
             for i in 0..m {
-                net.send(i, &Command::Transmit)?;
+                net.send_enc(i, &transmit)?;
             }
             let mut blocks = Vec::with_capacity(m);
             let mut weights = Vec::new();
@@ -1188,15 +1212,13 @@ fn finalize<T: CommandTransport>(
     // traffic it observed itself, which must equal the server's
     // per-source ledger — the non-replicated integrity check.
     let digest = RunDigest::new(net.stats(), &centers);
+    let finish = EncodedCommand::new(Command::Finish {
+        uplink_bits: digest.uplink_bits,
+        downlink_bits: digest.downlink_bits,
+        centers_hash: digest.centers_hash,
+    });
     for i in 0..m {
-        net.send(
-            i,
-            &Command::Finish {
-                uplink_bits: digest.uplink_bits,
-                downlink_bits: digest.downlink_bits,
-                centers_hash: digest.centers_hash,
-            },
-        )?;
+        net.send_enc(i, &finish)?;
     }
     for i in 0..m {
         let Some(resp) = net.recv(i)? else { continue };

@@ -20,7 +20,8 @@ use crate::executor::state_fingerprint;
 use crate::{CoreError, Result};
 use ekm_net::frame::{try_read_frame, write_frame};
 use ekm_net::protocol::{
-    charge_command, charge_response, Command, CommandTransport, DeadlinePolicy, Response,
+    charge_command, charge_response, Command, CommandTransport, DeadlinePolicy, EncodedCommand,
+    Response,
 };
 use ekm_net::{NetError, NetworkStats};
 use std::collections::VecDeque;
@@ -558,8 +559,25 @@ impl<T: CommandTransport> JournalingTransport<T> {
     }
 
     fn record_send(&mut self, source: usize, cmd: &Command) -> std::result::Result<(), NetError> {
+        self.record_send_parts(source, cmd, None)
+    }
+
+    /// [`record_send`](Self::record_send) with an optional pre-encoded
+    /// command: the journal bytes come from the shared encoding
+    /// (byte-identical to `cmd.encode()` by construction) and the wire
+    /// write shares the frame, so a broadcast round encodes once for
+    /// the journal *and* every source.
+    fn record_send_parts(
+        &mut self,
+        source: usize,
+        cmd: &Command,
+        enc: Option<&EncodedCommand>,
+    ) -> std::result::Result<(), NetError> {
         if cmd.is_round() {
-            let bytes = cmd.encode();
+            let bytes = match enc {
+                Some(enc) => enc.encoded().to_vec(),
+                None => cmd.encode(),
+            };
             self.append(&JournalEntry::Cmd {
                 source: source as u32,
                 bytes: bytes.clone(),
@@ -575,7 +593,11 @@ impl<T: CommandTransport> JournalingTransport<T> {
         // Round payloads and the replica plane (`Promote`/`Replay`)
         // both charge; recovery control frames are no-ops inside.
         charge_command(&mut self.stats, source, cmd)?;
-        match self.inner.send(source, cmd) {
+        let sent = match enc {
+            Some(enc) => self.inner.send_encoded(source, enc),
+            None => self.inner.send(source, cmd),
+        };
+        match sent {
             Ok(()) => Ok(()),
             Err(e) => {
                 // Journal the failure so a replay fails the same way.
@@ -1094,6 +1116,20 @@ impl<T: CommandTransport> CommandTransport for JournalingTransport<T> {
         match self.mode {
             Mode::Record => self.record_send(source, cmd),
             Mode::Replay => self.replay_send(source, cmd),
+        }
+    }
+
+    fn send_encoded(
+        &mut self,
+        source: usize,
+        enc: &EncodedCommand,
+    ) -> std::result::Result<(), NetError> {
+        match self.mode {
+            Mode::Record => self.record_send_parts(source, enc.command(), Some(enc)),
+            // Replay never touches the wire; the byte comparison against
+            // the journaled record is the cold path, so re-encoding is
+            // fine there.
+            Mode::Replay => self.replay_send(source, enc.command()),
         }
     }
 

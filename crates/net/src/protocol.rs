@@ -938,6 +938,48 @@ impl Response {
     }
 }
 
+/// A [`Command`] encoded exactly once: the driver builds one of these
+/// for a broadcast round and hands the *same* pre-framed bytes to every
+/// source, instead of re-running the bit-packing encoder per recipient.
+///
+/// The original command rides along because every layer above the wire
+/// still needs it — statistics charging inspects the variant, `RoundNet`
+/// pushes it into replay history, the journal records its bytes, and
+/// non-socket backends simply deliver it (their
+/// [`CommandTransport::send_encoded`] default ignores the frame).
+#[derive(Debug, Clone)]
+pub struct EncodedCommand {
+    cmd: Command,
+    frame: crate::frame::FrameBuf,
+}
+
+impl EncodedCommand {
+    /// Encodes `cmd` once into a reusable [`crate::frame::FrameBuf`]
+    /// under [`crate::frame::FRAME_CMD`].
+    pub fn new(cmd: Command) -> EncodedCommand {
+        let bytes = cmd.encode();
+        let frame = crate::frame::FrameBuf::new(crate::frame::FRAME_CMD, &bytes, bytes.len() * 8)
+            .expect("command encodings are always consistent and under the frame cap");
+        EncodedCommand { cmd, frame }
+    }
+
+    /// The command itself.
+    pub fn command(&self) -> &Command {
+        &self.cmd
+    }
+
+    /// The complete wire frame (header + encoded command).
+    pub fn frame_bytes(&self) -> &[u8] {
+        self.frame.bytes()
+    }
+
+    /// The encoded command bytes alone — byte-identical to
+    /// `self.command().encode()`, without re-encoding.
+    pub fn encoded(&self) -> &[u8] {
+        self.frame.payload()
+    }
+}
+
 /// The server side of a protocol run: one connection (or channel) per
 /// source, exact [`NetworkStats`] accounting of the data plane.
 ///
@@ -956,6 +998,19 @@ pub trait CommandTransport {
     /// Transport failures (a disconnected source surfaces here as a
     /// typed [`NetError::Transport`], never a hang).
     fn send(&mut self, source: usize, cmd: &Command) -> Result<()>;
+
+    /// Sends a pre-encoded command, sharing one encoding across a
+    /// fan-out. Must be observationally identical to
+    /// `send(source, enc.command())` — same charging, same wire bytes —
+    /// which is exactly what this default does; socket backends
+    /// override it to write the shared frame without re-encoding.
+    ///
+    /// # Errors
+    ///
+    /// See [`CommandTransport::send`].
+    fn send_encoded(&mut self, source: usize, enc: &EncodedCommand) -> Result<()> {
+        self.send(source, enc.command())
+    }
 
     /// Receives the next response from source `source`. Backends may
     /// harvest other sources' responses in arrival order while waiting.

@@ -16,7 +16,7 @@
 //! than the one awaited is parked in a per-source pending queue and
 //! handed out on that origin's next receive.
 
-use crate::protocol::{Command, CommandTransport, DeadlinePolicy, Response};
+use crate::protocol::{Command, CommandTransport, DeadlinePolicy, EncodedCommand, Response};
 use crate::{NetError, NetworkStats, Result};
 use std::collections::VecDeque;
 
@@ -90,6 +90,17 @@ impl<T: CommandTransport> CommandTransport for RoutingTransport<T> {
                     cmd: Box::new(cmd.clone()),
                 },
             ),
+        }
+    }
+
+    fn send_encoded(&mut self, source: usize, enc: &EncodedCommand) -> Result<()> {
+        self.check(source)?;
+        match self.route[source] {
+            // The shared encoding survives only the common un-routed
+            // path; a routed origin's command must be re-wrapped in
+            // `Forward`, which is a different frame anyway.
+            None => self.inner.send_encoded(source, enc),
+            Some(_) => self.send(source, enc.command()),
         }
     }
 

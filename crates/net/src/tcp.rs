@@ -480,6 +480,10 @@ impl TcpSource {
     ) -> Result<TcpSource> {
         assert!(source_id < sources, "source id out of range");
         let deadline = Instant::now() + retry_for;
+        // Backoff comes from the default deadline policy (100ms after
+        // its clamp) and the wait goes through the reactor's `park`, so
+        // every retry sleep in the crate derives from one place.
+        let backoff = crate::protocol::DeadlinePolicy::default().retry_backoff();
         let mut stream = loop {
             match TcpStream::connect(&addr) {
                 Ok(s) => break s,
@@ -487,7 +491,7 @@ impl TcpSource {
                     if Instant::now() >= deadline {
                         return Err(transport_err("connect", e));
                     }
-                    std::thread::sleep(Duration::from_millis(100));
+                    crate::reactor::park(backoff);
                 }
             }
         };

@@ -11,15 +11,16 @@
 #                                       # (default BENCH_micro.json) without
 #                                       # re-running the benches
 #
-# `validate` accepts bench documents (ekm-bench-micro/v1 or /v2, with an
-# optional `faults` section recording recovery-path overhead) and
+# `validate` accepts bench documents (ekm-bench-micro/v1, /v2, or /v3,
+# with an optional `faults` section recording recovery-path overhead) and
 # standalone fault-suite documents (ekm-fault-suite/v1, emitted by
 # `scripts/distributed_e2e.sh faults`), tree-topology e2e documents
 # (ekm-tree-e2e/v1, emitted by `scripts/distributed_e2e.sh tree`), and
 # replica-failover e2e documents (ekm-replica-e2e/v1, emitted by
 # `scripts/distributed_e2e.sh replica`). A
-# fresh emit from this script is held to the stricter v2-only bar;
-# `validate` keeps accepting older v1 recordings.
+# fresh emit from this script is held to the stricter v3-only bar
+# (including the reactor latency section); `validate` keeps accepting
+# older v1/v2 recordings.
 #
 # Env:
 #   EKM_BENCH_JSON  override the output path (default <repo>/BENCH_micro.json)
@@ -34,9 +35,9 @@ esac
 cd "$(dirname "$0")/.."
 
 # validate_json <file> [fresh]
-#   fresh: the document was just emitted, so the transitional v1 bench
-#   schema is not acceptable — it must be v2 with both compute
-#   precisions timed.
+#   fresh: the document was just emitted, so the transitional v1/v2
+#   bench schemas are not acceptable — it must be v3 with both compute
+#   precisions timed and the reactor section recorded.
 validate_json() {
     python3 - "$@" <<'EOF'
 import json, sys
@@ -113,12 +114,14 @@ if schema == "ekm-tree-e2e/v1":
           f"uplink {doc['star']['uplink_bits']}")
     sys.exit(0)
 
-assert schema in ("ekm-bench-micro/v1", "ekm-bench-micro/v2"), schema
+assert schema in ("ekm-bench-micro/v1", "ekm-bench-micro/v2",
+                  "ekm-bench-micro/v3"), schema
 if fresh:
-    # A fresh emit must be v2 with the distance kernels timed in both
-    # compute precisions (the v1-compat path is only for older
-    # recordings validated after the fact).
-    assert schema == "ekm-bench-micro/v2", schema
+    # A fresh emit must be v3 with the distance kernels timed in both
+    # compute precisions and the event-backend reactor latency recorded
+    # (the v1/v2-compat paths are only for older recordings validated
+    # after the fact).
+    assert schema == "ekm-bench-micro/v3", schema
     computes = {k["compute"] for k in doc["kernels"]
                 if k["name"].startswith("distance/assign_blocked")}
     assert computes == {"f64", "f32"}, computes
@@ -128,7 +131,7 @@ assert doc["transb_speedups"], "no matmul_transb speedups recorded"
 assert doc["protocol"], "no protocol-mode timings recorded"
 assert all(r["wire_bytes"] > 0 for r in doc["protocol"])
 assert doc["stage_cache"]["hits"] > 0, "stage cache never hit"
-if schema == "ekm-bench-micro/v2":
+if schema in ("ekm-bench-micro/v2", "ekm-bench-micro/v3"):
     for k in doc["kernels"]:
         assert k["compute"] in ("f64", "f32"), k
         assert k["workers"] >= 1, k
@@ -140,9 +143,36 @@ if schema == "ekm-bench-micro/v2":
         # The parallel-scalar comparison is either present or explicitly
         # labeled as skipped on single-worker hosts — never silently absent.
         assert "scalar_par_ns" in r or r.get("scalar_par", "").startswith("skipped"), r
+reactor_note = ""
+if schema == "ekm-bench-micro/v3":
+    # Event-backend reactor: both backends measured over real loopback
+    # rounds, the zero-copy wire path engaged (every counted frame saved
+    # one header write syscall), and — when the host granted an epoll
+    # instance — the epoll median at least 5x under the 200 us
+    # sleep-poll park floor. An epoll-less host (sandbox, non-Linux)
+    # still records both rows; the sleep fallback engages for both.
+    rx = doc["reactor"]
+    assert rx["sleep_floor_ns"] == 200_000, rx
+    assert rx["syscalls_avoided"] > 0, rx
+    backends = {b["reactor"]: b for b in rx["backends"]}
+    assert set(backends) == {"sleep", "epoll"}, backends
+    for b in rx["backends"]:
+        assert b["median_round_ns"] > 0 and b["rounds"] > 0, b
+        assert b["engaged"] in ("sleep", "epoll"), b
+    if rx["epoll_available"]:
+        epoll = backends["epoll"]
+        assert epoll["engaged"] == "epoll", epoll
+        bar = rx["sleep_floor_ns"] / 5
+        assert epoll["median_round_ns"] <= bar, \
+            f"epoll median {epoll['median_round_ns']} ns above {bar} ns"
+        reactor_note = (f", epoll {epoll['median_round_ns'] / 1e3:.1f} us/round"
+                        f" (floor {rx['sleep_floor_ns'] / 1e3:.0f} us)")
+    else:
+        reactor_note = ", reactor: epoll unavailable (sleep fallback)"
 if "faults" in doc:
     check_faults(doc["faults"])
 print(f"{path} ok ({schema}): {len(doc['kernels'])} kernels"
+      + reactor_note
       + (", faults section present" if "faults" in doc else ""))
 EOF
 }

@@ -26,6 +26,7 @@ use edge_kmeans::data::partition::partition_uniform;
 use edge_kmeans::data::synth::GaussianMixture;
 use edge_kmeans::net::event::{EventServerBinding, EventTcpServer, EventTcpSource};
 use edge_kmeans::net::protocol::{Command, DeadlinePolicy, Response, SourceEndpoint};
+use edge_kmeans::net::reactor::{ReactorChoice, ReactorKind};
 use edge_kmeans::net::tcp::{self, RunDigest, TcpServerBinding, TcpSource};
 use edge_kmeans::net::wire::{Compute, Precision};
 use edge_kmeans::net::{CommandTransport, NetError, NetworkStats, RoutingTransport, Transport};
@@ -99,6 +100,11 @@ FLAGS (with defaults):
                         them at the sources in ceil(log2 s) rounds so
                         the server folds a single input; results are
                         bit-identical                           [star]
+    --reactor <r>       epoll | sleep: serve's readiness backend — epoll
+                        parks in the kernel until a source frame (or a
+                        deadline) is due, sleep is the portable 200 µs
+                        sweep-and-park fallback; results and ledgers are
+                        bit-identical either way               [epoll]
     --no-cache          sweep: disable the stage-output cache
     --cache-budget <b>  sweep: bound the stage cache to ~b bytes with
                         least-recently-used eviction
@@ -688,6 +694,18 @@ struct DistRun {
     d: usize,
 }
 
+/// The `--reactor` choice for the event backend. Validated wherever the
+/// flag is accepted (serve uses it, source tolerates it so both halves
+/// of an e2e script can share one flag set), and deliberately excluded
+/// from [`canonical_config`]: the reactor schedules wakeups, it never
+/// shapes the bits.
+fn reactor_choice(args: &Args) -> Result<ReactorChoice, String> {
+    match args.flags.get("reactor") {
+        None => Ok(ReactorChoice::default()),
+        Some(v) => ReactorChoice::parse(v),
+    }
+}
+
 /// The canonical configuration string hashed into the handshake
 /// fingerprint. Covers every flag that affects the run's bits;
 /// `--parallel` is deliberately excluded (results are bit-identical
@@ -826,8 +844,11 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     }
     // Default: the server-driven protocol. This process never builds
     // the dataset — it owns the plan, the sources own their shards.
+    let reactor = reactor_choice(args)?;
     let plan = prepare_dist_plan(args)?;
-    let binding = EventServerBinding::bind(addr.as_str()).map_err(|e| e.to_string())?;
+    let binding = EventServerBinding::bind(addr.as_str())
+        .map_err(|e| e.to_string())?
+        .with_reactor(reactor);
     println!(
         "listening on {} for {} source(s), pipeline {} [config {:#018x}, server-driven protocol]",
         binding.local_addr().map_err(|e| e.to_string())?,
@@ -855,8 +876,12 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         .accept_absent(plan.m, plan.fingerprint, &absent)
         .map_err(|e| e.to_string())?;
     println!(
-        "all {} source(s) connected; driving the protocol",
-        plan.m - absent.len()
+        "all {} source(s) connected; driving the protocol ({} reactor)",
+        plan.m - absent.len(),
+        match net.reactor_kind() {
+            ReactorKind::Epoll => "epoll",
+            ReactorKind::Sleep => "sleep-poll",
+        }
     );
     let (out, stats) = drive_accepted(args, &plan, net)?;
     let digest = RunDigest::new(&stats, &out.centers);
@@ -1025,6 +1050,10 @@ fn cmd_source(args: &Args) -> Result<(), String> {
     args.flags
         .get("source-id")
         .ok_or("source needs --source-id <int>")?;
+    // The reactor is the server's wakeup mechanism; a source only
+    // validates the value so e2e scripts can hand both processes the
+    // same flag set.
+    reactor_choice(args)?;
     let id = args.get_usize("source-id", 0)?;
     let run = prepare_dist_run(args)?;
     if id >= run.m {
@@ -1554,6 +1583,32 @@ mod tests {
         assert!(build_params(&a, 100, 10)
             .unwrap_err()
             .contains("--deadline-ms"));
+    }
+
+    #[test]
+    fn reactor_flag_parses_and_stays_out_of_the_fingerprint() {
+        assert!(matches!(
+            reactor_choice(&args(&["serve"]).unwrap()),
+            Ok(ReactorChoice::Epoll)
+        ));
+        assert!(matches!(
+            reactor_choice(&args(&["serve", "--reactor", "sleep"]).unwrap()),
+            Ok(ReactorChoice::Sleep)
+        ));
+        assert!(matches!(
+            reactor_choice(&args(&["source", "--reactor", "epoll"]).unwrap()),
+            Ok(ReactorChoice::Epoll)
+        ));
+        let err = reactor_choice(&args(&["serve", "--reactor", "uring"]).unwrap()).unwrap_err();
+        assert!(err.contains("--reactor expects epoll|sleep"), "{err}");
+        assert!(err.contains("uring"), "{err}");
+        // The reactor schedules wakeups, never the bits: an epoll
+        // server must handshake with a source launched before the flag
+        // existed, so it stays out of the fingerprint.
+        let fp = |a: &Args| tcp::fingerprint(&canonical_config(a, 3).unwrap());
+        let base = args(&["serve", "--n", "500"]).unwrap();
+        let sleep = args(&["serve", "--n", "500", "--reactor", "sleep"]).unwrap();
+        assert_eq!(fp(&base), fp(&sleep));
     }
 
     #[test]
